@@ -1,0 +1,95 @@
+//! Sequential greedy MIS: the centralized reference algorithm.
+
+use mis_graph::{Graph, VertexSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Computes a maximal independent set by scanning the vertices in increasing
+/// id order and adding every vertex with no previously added neighbor.
+///
+/// Runs in `O(n + m)` time and is the standard centralized baseline.
+///
+/// # Example
+///
+/// ```
+/// use mis_baselines::greedy_mis;
+/// use mis_graph::{generators, mis_check};
+///
+/// let g = generators::cycle(7);
+/// let mis = greedy_mis(&g);
+/// assert!(mis_check::is_mis(&g, &mis));
+/// ```
+pub fn greedy_mis(g: &Graph) -> VertexSet {
+    let order: Vec<usize> = g.vertices().collect();
+    greedy_mis_in_order(g, &order)
+}
+
+/// Computes a maximal independent set by scanning the vertices in a uniformly
+/// random order. Useful to measure how much the greedy MIS size varies with
+/// the scan order.
+pub fn greedy_mis_random_order<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> VertexSet {
+    let mut order: Vec<usize> = g.vertices().collect();
+    order.shuffle(rng);
+    greedy_mis_in_order(g, &order)
+}
+
+fn greedy_mis_in_order(g: &Graph, order: &[usize]) -> VertexSet {
+    let mut mis = VertexSet::new(g.n());
+    let mut blocked = vec![false; g.n()];
+    for &u in order {
+        if !blocked[u] {
+            mis.insert(u);
+            blocked[u] = true;
+            for &v in g.neighbors(u) {
+                blocked[v] = true;
+            }
+        }
+    }
+    mis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::{generators, mis_check};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn greedy_on_known_graphs() {
+        let g = generators::path(5);
+        let mis = greedy_mis(&g);
+        // Scanning 0..4: picks 0, 2, 4.
+        assert_eq!(mis.to_vec(), vec![0, 2, 4]);
+        assert!(mis_check::is_mis(&g, &mis));
+
+        let g = generators::complete(6);
+        assert_eq!(greedy_mis(&g).len(), 1);
+
+        let g = Graph::empty(4);
+        assert_eq!(greedy_mis(&g).len(), 4);
+    }
+
+    use mis_graph::Graph;
+
+    #[test]
+    fn random_order_is_still_an_mis() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::gnp(100, 0.1, &mut rng);
+        for _ in 0..5 {
+            let mis = greedy_mis_random_order(&g, &mut rng);
+            assert!(mis_check::is_mis(&g, &mis));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn greedy_always_produces_an_mis(seed in 0u64..2000, n in 0usize..80, p in 0.0f64..1.0) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = generators::gnp(n, p, &mut rng);
+            prop_assert!(mis_check::is_mis(&g, &greedy_mis(&g)));
+            prop_assert!(mis_check::is_mis(&g, &greedy_mis_random_order(&g, &mut rng)));
+        }
+    }
+}

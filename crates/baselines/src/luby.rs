@@ -1,0 +1,149 @@
+//! Luby's randomized distributed MIS algorithm (random-priority variant).
+
+use mis_graph::{Graph, VertexId, VertexSet};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Result of a run of [`luby_mis`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LubyOutcome {
+    /// The computed maximal independent set.
+    pub mis: VertexSet,
+    /// Number of synchronous rounds executed.
+    pub rounds: usize,
+    /// Total random bits drawn (`32` per live vertex per round — the
+    /// `Θ(log n)` randomness cost the paper's processes avoid).
+    pub random_bits: u64,
+}
+
+/// Runs Luby's algorithm (the random-priority variant, as in Luby 1986 and
+/// Alon–Babai–Itai 1986) until every vertex is decided.
+///
+/// In each round every still-undecided vertex draws a fresh 32-bit priority;
+/// a vertex whose priority is a strict local maximum among its undecided
+/// neighbors (ties broken by vertex id) joins the MIS, and its neighbors
+/// leave the graph. Terminates in `O(log n)` rounds w.h.p.
+///
+/// This baseline is **not self-stabilizing** (it assumes the dedicated
+/// "undecided" start state) and uses `Θ(log n)` random bits and message bits
+/// per round, which is exactly the comparison point of experiment E10.
+///
+/// # Example
+///
+/// ```
+/// use mis_baselines::luby_mis;
+/// use mis_graph::{generators, mis_check};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+/// let g = generators::gnp(200, 0.05, &mut rng);
+/// let out = luby_mis(&g, &mut rng);
+/// assert!(mis_check::is_mis(&g, &out.mis));
+/// ```
+pub fn luby_mis<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> LubyOutcome {
+    let n = g.n();
+    let mut in_mis = VertexSet::new(n);
+    // live[u]: u has not yet joined the MIS nor been dominated by it.
+    let mut live: Vec<bool> = vec![true; n];
+    let mut live_count = n;
+    let mut rounds = 0usize;
+    let mut random_bits = 0u64;
+    let mut priority: Vec<u32> = vec![0; n];
+
+    while live_count > 0 {
+        rounds += 1;
+        for u in g.vertices() {
+            if live[u] {
+                priority[u] = rng.gen::<u32>();
+                random_bits += 32;
+            }
+        }
+        // A live vertex joins if it beats every live neighbor.
+        let winners: Vec<VertexId> = g
+            .vertices()
+            .filter(|&u| live[u])
+            .filter(|&u| {
+                g.neighbors(u).iter().all(|&v| {
+                    !live[v] || (priority[u], u) > (priority[v], v)
+                })
+            })
+            .collect();
+        for &u in &winners {
+            in_mis.insert(u);
+            if live[u] {
+                live[u] = false;
+                live_count -= 1;
+            }
+            for &v in g.neighbors(u) {
+                if live[v] {
+                    live[v] = false;
+                    live_count -= 1;
+                }
+            }
+        }
+    }
+
+    LubyOutcome { mis: in_mis, rounds, random_bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::{generators, mis_check, Graph};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let mut r = rng(0);
+        let out = luby_mis(&Graph::empty(0), &mut r);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.mis.len(), 0);
+        let out = luby_mis(&Graph::empty(7), &mut r);
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.mis.len(), 7);
+    }
+
+    #[test]
+    fn clique_yields_single_vertex() {
+        let mut r = rng(1);
+        let g = generators::complete(30);
+        let out = luby_mis(&g, &mut r);
+        assert_eq!(out.mis.len(), 1);
+        assert!(mis_check::is_mis(&g, &out.mis));
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_on_random_graphs() {
+        let mut r = rng(2);
+        let g = generators::gnp(2000, 0.01, &mut r);
+        let out = luby_mis(&g, &mut r);
+        assert!(mis_check::is_mis(&g, &out.mis));
+        // O(log n) w.h.p.; 2000 vertices => comfortably below 60 rounds.
+        assert!(out.rounds < 60, "Luby took {} rounds", out.rounds);
+        assert!(out.random_bits > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::gnp(100, 0.1, &mut rng(3));
+        let a = luby_mis(&g, &mut rng(9));
+        let b = luby_mis(&g, &mut rng(9));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn always_produces_an_mis(seed in 0u64..2000, n in 0usize..80, p in 0.0f64..1.0) {
+            let mut r = rng(seed);
+            let g = generators::gnp(n, p, &mut r);
+            let out = luby_mis(&g, &mut r);
+            prop_assert!(mis_check::is_mis(&g, &out.mis));
+        }
+    }
+}

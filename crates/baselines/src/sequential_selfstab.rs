@@ -1,0 +1,219 @@
+//! The deterministic 2-state sequential self-stabilizing MIS algorithm
+//! (Shukla, Rosenkrantz & Ravi 1995; Hedetniemi et al. 2003), which the
+//! paper's 2-state process parallelizes.
+//!
+//! Under a *central scheduler*, one privileged vertex moves per step:
+//!
+//! * a black vertex with a black neighbor turns white;
+//! * a white vertex with no black neighbor turns black.
+//!
+//! From any initial state the algorithm stabilizes after every vertex has
+//! moved at most twice (so within `2n` moves), regardless of the scheduling
+//! order — the property the paper cites in its introduction.
+
+use mis_core::Color;
+use mis_graph::{Graph, VertexId, VertexSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the central scheduler picks the next privileged vertex to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SequentialScheduler {
+    /// Always move the privileged vertex with the smallest id (an adversarial
+    /// but deterministic choice).
+    SmallestId,
+    /// Always move the privileged vertex with the largest id.
+    LargestId,
+    /// Move a uniformly random privileged vertex.
+    Random,
+}
+
+/// Result of a run of the sequential self-stabilizing algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequentialOutcome {
+    /// The stabilized maximal independent set (the black vertices).
+    pub mis: VertexSet,
+    /// Total number of moves (single-vertex state changes) executed.
+    pub moves: usize,
+    /// The maximum number of moves made by any single vertex.
+    pub max_moves_per_vertex: usize,
+}
+
+/// The deterministic sequential self-stabilizing MIS algorithm under a
+/// central scheduler.
+///
+/// # Example
+///
+/// ```
+/// use mis_baselines::{SequentialSelfStabMis, SequentialScheduler};
+/// use mis_core::Color;
+/// use mis_graph::{generators, mis_check};
+/// use rand::SeedableRng;
+///
+/// let g = generators::cycle(9);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let mut alg = SequentialSelfStabMis::new(&g, vec![Color::Black; 9]);
+/// let out = alg.run(SequentialScheduler::SmallestId, &mut rng);
+/// assert!(mis_check::is_mis(&g, &out.mis));
+/// assert!(out.max_moves_per_vertex <= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialSelfStabMis<'g> {
+    graph: &'g Graph,
+    states: Vec<Color>,
+    moves_per_vertex: Vec<usize>,
+}
+
+impl<'g> SequentialSelfStabMis<'g> {
+    /// Creates the algorithm with the given (arbitrary) initial states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != graph.n()`.
+    pub fn new(graph: &'g Graph, states: Vec<Color>) -> Self {
+        assert_eq!(states.len(), graph.n(), "initial state vector length must equal the number of vertices");
+        SequentialSelfStabMis { graph, states, moves_per_vertex: vec![0; graph.n()] }
+    }
+
+    /// Current color of vertex `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn color(&self, u: VertexId) -> Color {
+        self.states[u]
+    }
+
+    /// `true` if vertex `u` is *privileged* (its guard is enabled): black
+    /// with a black neighbor, or white with no black neighbor.
+    pub fn is_privileged(&self, u: VertexId) -> bool {
+        let has_black_neighbor = self.graph.neighbors(u).iter().any(|&v| self.states[v].is_black());
+        match self.states[u] {
+            Color::Black => has_black_neighbor,
+            Color::White => !has_black_neighbor,
+        }
+    }
+
+    /// All currently privileged vertices.
+    pub fn privileged_vertices(&self) -> Vec<VertexId> {
+        self.graph.vertices().filter(|&u| self.is_privileged(u)).collect()
+    }
+
+    /// Executes one move of vertex `u` (flips its state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not privileged.
+    pub fn execute_move(&mut self, u: VertexId) {
+        assert!(self.is_privileged(u), "vertex {u} is not privileged");
+        self.states[u] = match self.states[u] {
+            Color::Black => Color::White,
+            Color::White => Color::Black,
+        };
+        self.moves_per_vertex[u] += 1;
+    }
+
+    /// Runs the algorithm under the given scheduler until no vertex is
+    /// privileged, and returns the outcome.
+    pub fn run<R: Rng + ?Sized>(&mut self, scheduler: SequentialScheduler, rng: &mut R) -> SequentialOutcome {
+        let mut moves = 0usize;
+        loop {
+            let privileged = self.privileged_vertices();
+            if privileged.is_empty() {
+                break;
+            }
+            let chosen = match scheduler {
+                SequentialScheduler::SmallestId => privileged[0],
+                SequentialScheduler::LargestId => *privileged.last().unwrap(),
+                SequentialScheduler::Random => *privileged.choose(rng).unwrap(),
+            };
+            self.execute_move(chosen);
+            moves += 1;
+        }
+        SequentialOutcome {
+            mis: VertexSet::from_indices(
+                self.graph.n(),
+                self.graph.vertices().filter(|&u| self.states[u].is_black()),
+            ),
+            moves,
+            max_moves_per_vertex: self.moves_per_vertex.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::{generators, mis_check};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn stabilizes_within_two_moves_per_vertex() {
+        let mut r = rng(0);
+        for seed in 0..5u64 {
+            let g = generators::gnp(60, 0.1, &mut ChaCha8Rng::seed_from_u64(seed));
+            for scheduler in [
+                SequentialScheduler::SmallestId,
+                SequentialScheduler::LargestId,
+                SequentialScheduler::Random,
+            ] {
+                let init: Vec<Color> = mis_core::init::InitStrategy::Random.two_state(g.n(), &mut r);
+                let mut alg = SequentialSelfStabMis::new(&g, init);
+                let out = alg.run(scheduler, &mut r);
+                assert!(mis_check::is_mis(&g, &out.mis), "{scheduler:?}");
+                assert!(out.max_moves_per_vertex <= 2, "{scheduler:?}: a vertex moved {} times", out.max_moves_per_vertex);
+                assert!(out.moves <= 2 * g.n());
+            }
+        }
+    }
+
+    #[test]
+    fn privileged_guards_match_definition() {
+        let g = generators::path(3);
+        let alg = SequentialSelfStabMis::new(&g, vec![Color::Black, Color::Black, Color::White]);
+        // 0: black with black neighbor -> privileged; 1: same; 2: white with a
+        // black neighbor -> not privileged.
+        assert_eq!(alg.privileged_vertices(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not privileged")]
+    fn moving_an_unprivileged_vertex_panics() {
+        let g = generators::path(2);
+        let mut alg = SequentialSelfStabMis::new(&g, vec![Color::Black, Color::White]);
+        alg.execute_move(1);
+    }
+
+    #[test]
+    fn already_stable_configuration_needs_no_moves() {
+        let g = generators::star(5);
+        let mut states = vec![Color::White; 5];
+        states[0] = Color::Black;
+        let mut alg = SequentialSelfStabMis::new(&g, states);
+        let out = alg.run(SequentialScheduler::SmallestId, &mut rng(1));
+        assert_eq!(out.moves, 0);
+        assert!(mis_check::is_mis(&g, &out.mis));
+    }
+
+    proptest! {
+        #[test]
+        fn stabilizes_from_arbitrary_states(seed in 0u64..2000, n in 1usize..60, p in 0.0f64..1.0) {
+            let mut r = rng(seed);
+            let g = generators::gnp(n, p, &mut r);
+            let init: Vec<Color> = (0..n)
+                .map(|_| if rand::Rng::gen_bool(&mut r, 0.5) { Color::Black } else { Color::White })
+                .collect();
+            let mut alg = SequentialSelfStabMis::new(&g, init);
+            let out = alg.run(SequentialScheduler::Random, &mut r);
+            prop_assert!(mis_check::is_mis(&g, &out.mis));
+            prop_assert!(out.max_moves_per_vertex <= 2);
+        }
+    }
+}

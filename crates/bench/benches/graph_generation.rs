@@ -1,0 +1,56 @@
+//! Benchmark: graph generation and structural analysis substrate costs
+//! (supporting the E7 good-graph experiment and all workload generators).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use mis_graph::{generators, properties};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_millis(1500));
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("gnp_sparse", n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| generators::gnp(n, 8.0 / n as f64, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("random_tree", n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            b.iter(|| generators::random_tree(n, &mut rng));
+        });
+    }
+    group.bench_function("gnp_dense_n2000", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| generators::gnp(2000, 0.3, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_properties(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_structural_properties");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_millis(1500));
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let g = generators::gnp(1000, 0.05, &mut rng);
+    group.bench_function("degeneracy_n1000", |b| b.iter(|| properties::degeneracy(&g)));
+    group.bench_function("max_common_neighbors_n1000", |b| b.iter(|| properties::max_common_neighbors(&g)));
+    group.bench_function("diameter_le_2_n1000", |b| b.iter(|| properties::has_diameter_at_most_2(&g)));
+    group.bench_function("good_graph_check_n1000", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| {
+            properties::check_good(
+                &g,
+                properties::GoodGraphConfig { samples_per_property: 20, p: 0.05 },
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_properties);
+criterion_main!(benches);

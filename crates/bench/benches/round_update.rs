@@ -1,0 +1,48 @@
+//! Micro-benchmark: cost of one synchronous round of each process, on the
+//! graph families the paper analyzes. This is the ablation bench for the
+//! per-round update implementation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use mis_core::init::InitStrategy;
+use mis_core::{Process, ThreeColorProcess, ThreeStateProcess, TwoStateProcess};
+use mis_graph::generators;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_round_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_update");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_millis(1500));
+
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let graphs = vec![
+        ("gnp_sparse_n2000", generators::gnp(2000, 4.0 / 2000.0, &mut rng)),
+        ("gnp_dense_n1000", generators::gnp(1000, 0.2, &mut rng)),
+        ("tree_n4000", generators::random_tree(4000, &mut rng)),
+        ("clique_n500", generators::complete(500)),
+    ];
+
+    for (label, g) in &graphs {
+        group.bench_with_input(BenchmarkId::new("two_state", label), g, |b, g| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let mut proc = TwoStateProcess::with_init(g, InitStrategy::Random, &mut rng);
+            b.iter(|| proc.step(&mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("three_state", label), g, |b, g| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let mut proc = ThreeStateProcess::with_init(g, InitStrategy::Random, &mut rng);
+            b.iter(|| proc.step(&mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("three_color", label), g, |b, g| {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let mut proc = ThreeColorProcess::with_randomized_switch(g, InitStrategy::Random, &mut rng);
+            b.iter(|| proc.step(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_update);
+criterion_main!(benches);

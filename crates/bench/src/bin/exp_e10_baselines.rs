@@ -1,0 +1,21 @@
+//! E10 — comparison against Luby's algorithm and the random-priority
+//! self-stabilizing baseline: rounds, states per vertex, and random bits.
+//!
+//! Usage: `cargo run --release -p mis-bench --bin exp_e10_baselines [-- --quick]`
+
+use mis_bench::experiments::comparison::{baselines_csv, e10_baselines};
+use mis_bench::report::{print_section, write_results_file};
+use mis_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = e10_baselines(scale);
+    let csv = baselines_csv(&rows);
+    print_section(
+        "E10: paper processes vs baselines (shape: Luby wins on rounds, paper processes win on states/randomness and are self-stabilizing)",
+        &csv,
+    );
+    if let Ok(path) = write_results_file("e10_baselines.csv", &csv) {
+        println!("wrote {}", path.display());
+    }
+}

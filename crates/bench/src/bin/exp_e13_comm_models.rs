@@ -1,0 +1,21 @@
+//! E13 — realizability in the beeping / stone age models: the message-passing
+//! adaptations are trace-equivalent to the direct processes.
+//!
+//! Usage: `cargo run --release -p mis-bench --bin exp_e13_comm_models [-- --quick]`
+
+use mis_bench::experiments::lemmas::{comm_csv, e13_comm_models};
+use mis_bench::report::{print_section, write_results_file};
+use mis_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = e13_comm_models(scale);
+    let csv = comm_csv(&rows);
+    print_section(
+        "E13: co-simulation of the beeping / stone-age adaptations against the direct processes (traces must be identical)",
+        &csv,
+    );
+    if let Ok(path) = write_results_file("e13_comm_models.csv", &csv) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,25 @@
+//! E1 — Theorem 8: stabilization time of the 2-state process on `K_n`.
+//!
+//! Usage: `cargo run --release -p mis-bench --bin exp_e1_clique [-- --quick]`
+
+use mis_bench::experiments::stabilization::{e1_clique, e1_clique_tail};
+use mis_bench::report::{print_section, write_results_file};
+use mis_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = e1_clique(scale);
+    print_section("E1: 2-state process on K_n (Theorem 8: O(log n) expected, Θ(log² n) w.h.p.)", &report.table.to_pretty());
+    println!("fitted (ln n)^e exponent: {:.2}   (paper: between 1 and 2)", report.polylog_exponent);
+    println!("fitted n^e exponent:      {:.2}   (paper: ~0, i.e. not polynomial)", report.power_exponent);
+    if let Ok(path) = write_results_file("e1_clique.csv", &report.table.to_csv()) {
+        println!("wrote {}", path.display());
+    }
+
+    let tail = e1_clique_tail(scale);
+    let mut body = String::from("k   P[T >= k*log2(n)]\n");
+    for (k, frac) in &tail {
+        body.push_str(&format!("{k}   {frac:.4}\n"));
+    }
+    print_section("E1 (tail): P[T >= k log n] should decay geometrically in k", &body);
+}

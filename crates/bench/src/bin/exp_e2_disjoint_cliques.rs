@@ -1,0 +1,22 @@
+//! E2 — Remark 9: the 2-state process on `√n` disjoint cliques `K_{√n}`
+//! needs `Θ(log² n)` rounds.
+//!
+//! Usage: `cargo run --release -p mis-bench --bin exp_e2_disjoint_cliques [-- --quick]`
+
+use mis_bench::experiments::stabilization::e2_disjoint_cliques;
+use mis_bench::report::{print_section, write_results_file};
+use mis_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = e2_disjoint_cliques(scale);
+    print_section(
+        "E2: 2-state process on sqrt(n) disjoint cliques (Remark 9: Θ(log² n))",
+        &report.table.to_pretty(),
+    );
+    println!("fitted (ln n)^e exponent: {:.2}   (paper: ~2)", report.polylog_exponent);
+    println!("fitted n^e exponent:      {:.2}   (paper: ~0)", report.power_exponent);
+    if let Ok(path) = write_results_file("e2_disjoint_cliques.csv", &report.table.to_csv()) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,28 @@
+//! E3 — Theorem 11: the 2-state process on bounded-arboricity graphs (trees,
+//! forests, grids) stabilizes in `O(log n)` rounds.
+//!
+//! Usage: `cargo run --release -p mis-bench --bin exp_e3_trees [-- --quick]`
+
+use mis_bench::experiments::stabilization::{e3_bounded_arboricity_families, e3_trees};
+use mis_bench::report::{print_section, write_results_file};
+use mis_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = e3_trees(scale);
+    print_section("E3: 2-state process on random trees (Theorem 11: O(log n))", &report.table.to_pretty());
+    println!("fitted (ln n)^e exponent: {:.2}   (paper: ~1)", report.polylog_exponent);
+    println!("fitted n^e exponent:      {:.2}   (paper: ~0)", report.power_exponent);
+    if let Ok(path) = write_results_file("e3_trees.csv", &report.table.to_csv()) {
+        println!("wrote {}", path.display());
+    }
+
+    let families = e3_bounded_arboricity_families(scale);
+    print_section(
+        "E3 (families): other bounded-arboricity families at fixed n (1=path 2=cycle 3=star 4=tree 5=forests 6=grid)",
+        &families.to_pretty(),
+    );
+    if let Ok(path) = write_results_file("e3_families.csv", &families.to_csv()) {
+        println!("wrote {}", path.display());
+    }
+}

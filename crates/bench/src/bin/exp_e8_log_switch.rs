@@ -1,0 +1,21 @@
+//! E8 — Lemma 27: run-length properties (S1)–(S3) of the randomized
+//! logarithmic switch.
+//!
+//! Usage: `cargo run --release -p mis-bench --bin exp_e8_log_switch [-- --quick]`
+
+use mis_bench::experiments::structure::{e8_log_switch, switch_csv};
+use mis_bench::report::{print_section, write_results_file};
+use mis_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = e8_log_switch(scale);
+    let csv = switch_csv(&rows);
+    print_section(
+        "E8: randomized logarithmic switch run lengths (Lemma 27: off-runs ≤ a ln n everywhere; on diam ≤ 2 graphs off-runs ≥ (a/6) ln n and on-runs ≤ 3)",
+        &csv,
+    );
+    if let Ok(path) = write_results_file("e8_log_switch.csv", &csv) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,27 @@
+//! One module per experiment group; see `EXPERIMENTS.md` for the index.
+//!
+//! * [`stabilization`] — stabilization-time scaling experiments
+//!   (E1–E6, E9): each theorem's graph family, swept over `n` (or `p` or
+//!   `Δ`), with a fitted growth exponent next to the claimed bound.
+//! * [`structure`] — structural lemmas: the (n,p)-good graph checker on
+//!   `G(n,p)` (E7) and the logarithmic-switch run-length properties (E8).
+//! * [`comparison`] — baselines and robustness: resource comparison against
+//!   Luby and the randomized self-stabilizing baseline (E10) and
+//!   transient-fault recovery (E11).
+//! * [`lemmas`] — direct Monte-Carlo checks of Lemma 6 (E12) and the
+//!   trace-equivalence of the weak-communication adaptations (E13).
+
+pub mod ablation;
+pub mod comparison;
+pub mod lemmas;
+pub mod stabilization;
+pub mod structure;
+
+pub use ablation::{ablation_init_strategy, ablation_switch_implementation, ablation_switch_zeta};
+pub use comparison::{e10_baselines, e11_fault_recovery};
+pub use lemmas::{e12_lemma6, e13_comm_models};
+pub use stabilization::{
+    e1_clique, e2_disjoint_cliques, e3_trees, e4_max_degree, e5_gnp_two_state,
+    e6_gnp_three_color, e9_three_state_clique, ScalingReport,
+};
+pub use structure::{e7_good_graphs, e8_log_switch};

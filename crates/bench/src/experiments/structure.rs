@@ -1,0 +1,244 @@
+//! Structural experiments: the good-graph checker on `G(n,p)` (E7) and the
+//! logarithmic-switch run-length properties (E8).
+
+use mis_core::init::InitStrategy;
+use mis_core::{RandomizedLogSwitch, SwitchProcess};
+use mis_graph::{generators, properties};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Scale;
+
+/// One row of the E7 table: a `(n, p)` point and whether the sampled
+/// `G(n,p)` graph passed every good-graph property of Definition 17.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoodGraphRow {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edge probability.
+    pub p: f64,
+    /// Whether all checked properties held.
+    pub is_good: bool,
+    /// Largest common-neighborhood size found (property P5's statistic).
+    pub max_common_neighbors: usize,
+    /// The P5 bound `max(6 n p², 4 ln n)` the statistic is compared against.
+    pub p5_bound: f64,
+    /// Whether the diameter-2 property (P6) was applicable at this density.
+    pub p6_checked: bool,
+}
+
+/// E7 — Lemma 18: a `G(n,p)` random graph satisfies the (n,p)-good properties
+/// w.h.p. Samples one graph per `(n, p)` point and runs the (partially
+/// sampled) checker.
+pub fn e7_good_graphs(scale: Scale) -> Vec<GoodGraphRow> {
+    let points: Vec<(usize, f64)> = match scale {
+        Scale::Quick => vec![(200, 0.05), (200, 0.4)],
+        Scale::Full => vec![
+            (500, 0.01),
+            (500, 0.05),
+            (500, 0.2),
+            (500, 0.5),
+            (1500, 0.01),
+            (1500, 0.05),
+            (1500, 0.3),
+        ],
+    };
+    let samples = match scale {
+        Scale::Quick => 50,
+        Scale::Full => 300,
+    };
+    points
+        .into_iter()
+        .map(|(n, p)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9000 + n as u64 + (p * 1000.0) as u64);
+            let g = generators::gnp(n, p, &mut rng);
+            let report = properties::check_good(
+                &g,
+                properties::GoodGraphConfig { samples_per_property: samples, p },
+                &mut rng,
+            );
+            GoodGraphRow {
+                n,
+                p,
+                is_good: report.is_good(),
+                max_common_neighbors: report.max_common_neighbors,
+                p5_bound: (6.0 * n as f64 * p * p).max(4.0 * (n as f64).ln()),
+                p6_checked: report.p6_diameter.checks > 0,
+            }
+        })
+        .collect()
+}
+
+/// One row of the E8 table: run-length statistics of the randomized
+/// logarithmic switch on one graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchRow {
+    /// Graph family label.
+    pub graph: String,
+    /// Number of vertices.
+    pub n: usize,
+    /// Whether the graph has diameter at most 2 (so (S2)/(S3) apply).
+    pub diameter_at_most_2: bool,
+    /// Longest observed run of consecutive `off` values (property S1's statistic).
+    pub max_off_run: usize,
+    /// The S1 bound `a ln n` with `a = 4/ζ`.
+    pub s1_bound: f64,
+    /// Shortest observed `off` run after the warm-up (S2's statistic;
+    /// meaningful only when `diameter_at_most_2`).
+    pub min_off_run_after_sync: usize,
+    /// The S2 bound `(a/6) ln n`.
+    pub s2_bound: f64,
+    /// Longest observed `on` run after the warm-up (S3's statistic; bound is 3).
+    pub max_on_run_after_sync: usize,
+}
+
+/// E8 — Lemma 27: the randomized logarithmic switch satisfies (S1) on every
+/// graph and (S2)/(S3) on diameter-2 graphs. Measures run lengths of vertex 0
+/// over a long execution on a clique (diameter 1), a dense `G(n,p)`
+/// (diameter 2 w.h.p.), and a path (large diameter, only S1 applies).
+pub fn e8_log_switch(scale: Scale) -> Vec<SwitchRow> {
+    let (n, rounds) = match scale {
+        Scale::Quick => (64, 4_000),
+        Scale::Full => (256, 40_000),
+    };
+    let zeta = 1.0 / 16.0; // a = 64; keeps run lengths short enough to sample many runs
+    let a = 4.0 / zeta;
+    let mut rng = ChaCha8Rng::seed_from_u64(8800);
+
+    let graphs = vec![
+        ("complete".to_string(), generators::complete(n)),
+        ("gnp-dense".to_string(), generators::gnp(n, 0.5, &mut rng)),
+        ("path".to_string(), generators::path(n)),
+    ];
+
+    graphs
+        .into_iter()
+        .map(|(label, g)| {
+            let diam2 = properties::has_diameter_at_most_2(&g);
+            let mut sw = RandomizedLogSwitch::with_init(&g, InitStrategy::Random, zeta, &mut rng);
+            // Warm-up past the constant synchronization prefix.
+            let warmup = 50;
+            let mut max_off_total = 0usize;
+            let mut min_off_after = usize::MAX;
+            let mut max_on_after = 0usize;
+            let mut current_on = sw.is_on(0);
+            let mut len = 1usize;
+            let mut completed_off_runs_after = 0usize;
+            for t in 0..rounds {
+                sw.step(&mut rng);
+                let now_on = sw.is_on(0);
+                if now_on == current_on {
+                    len += 1;
+                } else {
+                    if current_on {
+                        if t >= warmup {
+                            max_on_after = max_on_after.max(len);
+                        }
+                    } else {
+                        max_off_total = max_off_total.max(len);
+                        if t >= warmup {
+                            // Skip the first completed off-run after warm-up:
+                            // it may have started during the warm-up.
+                            if completed_off_runs_after > 0 {
+                                min_off_after = min_off_after.min(len);
+                            }
+                            completed_off_runs_after += 1;
+                        }
+                    }
+                    current_on = now_on;
+                    len = 1;
+                }
+            }
+            SwitchRow {
+                graph: label,
+                n: g.n(),
+                diameter_at_most_2: diam2,
+                max_off_run: max_off_total,
+                s1_bound: a * (g.n() as f64).ln(),
+                min_off_run_after_sync: if min_off_after == usize::MAX { 0 } else { min_off_after },
+                s2_bound: a / 6.0 * (g.n() as f64).ln(),
+                max_on_run_after_sync: max_on_after,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E7 rows as CSV.
+pub fn good_graph_csv(rows: &[GoodGraphRow]) -> String {
+    let mut out = String::from("n,p,is_good,max_common_neighbors,p5_bound,p6_checked\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.1},{}\n",
+            r.n, r.p, r.is_good, r.max_common_neighbors, r.p5_bound, r.p6_checked
+        ));
+    }
+    out
+}
+
+/// Renders the E8 rows as CSV.
+pub fn switch_csv(rows: &[SwitchRow]) -> String {
+    let mut out = String::from(
+        "graph,n,diam_le_2,max_off_run,s1_bound,min_off_run_after_sync,s2_bound,max_on_run_after_sync\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.1},{},{:.1},{}\n",
+            r.graph,
+            r.n,
+            r.diameter_at_most_2,
+            r.max_off_run,
+            r.s1_bound,
+            r.min_off_run_after_sync,
+            r.s2_bound,
+            r.max_on_run_after_sync
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_quick_gnp_graphs_are_good() {
+        let rows = e7_good_graphs(Scale::Quick);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.is_good), "rows: {rows:?}");
+        // The dense point must exercise the diameter property.
+        assert!(rows.iter().any(|r| r.p6_checked));
+        let csv = good_graph_csv(&rows);
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn e8_switch_respects_s1_everywhere_and_s3_on_diameter_two() {
+        let rows = e8_log_switch(Scale::Quick);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                (row.max_off_run as f64) <= row.s1_bound + 6.0,
+                "{}: S1 violated ({} > {})",
+                row.graph,
+                row.max_off_run,
+                row.s1_bound
+            );
+            if row.diameter_at_most_2 {
+                assert!(row.max_on_run_after_sync <= 3, "{}: S3 violated", row.graph);
+                assert!(
+                    row.min_off_run_after_sync as f64 >= row.s2_bound - 2.0,
+                    "{}: S2 violated ({} < {})",
+                    row.graph,
+                    row.min_off_run_after_sync,
+                    row.s2_bound
+                );
+            }
+        }
+        // The clique and the dense G(n,p) must have diameter ≤ 2; the path must not.
+        assert!(rows[0].diameter_at_most_2);
+        assert!(!rows[2].diameter_at_most_2);
+        let csv = switch_csv(&rows);
+        assert_eq!(csv.lines().count(), 4);
+    }
+}

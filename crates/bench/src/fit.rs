@@ -1,0 +1,121 @@
+//! Growth-rate fitting: the experiments check the *shape* of the measured
+//! stabilization times against the paper's asymptotic claims (logarithmic vs
+//! poly-logarithmic vs linear in Δ), not absolute constants.
+
+/// Result of an ordinary least-squares fit `y = slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 = perfect fit; 0 when the variance of
+    /// `y` is zero).
+    pub r_squared: f64,
+}
+
+/// Ordinary least-squares fit of `y` on `x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than two points.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "x and y must have the same length");
+    assert!(x.len() >= 2, "need at least two points to fit a line");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|v| (v - mx).powi(2)).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = y.iter().map(|v| (v - my).powi(2)).sum();
+    let ss_res: f64 =
+        x.iter().zip(y).map(|(a, b)| (b - (slope * a + intercept)).powi(2)).sum();
+    let r_squared = if ss_tot == 0.0 { 0.0 } else { 1.0 - ss_res / ss_tot };
+    LinearFit { slope, intercept, r_squared }
+}
+
+/// Fits `rounds ≈ c · (ln n)^e` by regressing `ln rounds` on `ln ln n` and
+/// returns the exponent `e`.
+///
+/// An exponent near 1 means logarithmic stabilization time, near 2 means
+/// `log²`, and so on; this is the statistic the experiment tables report next
+/// to each theorem's claimed bound.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any value is non-positive.
+pub fn polylog_exponent(ns: &[f64], rounds: &[f64]) -> f64 {
+    assert!(ns.iter().all(|&n| n > 1.0), "sizes must exceed 1");
+    assert!(rounds.iter().all(|&r| r > 0.0), "round counts must be positive");
+    let x: Vec<f64> = ns.iter().map(|n| n.ln().ln()).collect();
+    let y: Vec<f64> = rounds.iter().map(|r| r.ln()).collect();
+    linear_fit(&x, &y).slope
+}
+
+/// Fits `rounds ≈ c · n^e` by log-log regression and returns the exponent
+/// `e`. Used to confirm that stabilization time is *not* polynomial in `n`
+/// (the exponent should be close to 0 for polylog behaviour).
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any value is non-positive.
+pub fn power_exponent(ns: &[f64], rounds: &[f64]) -> f64 {
+    assert!(ns.iter().all(|&n| n > 0.0), "sizes must be positive");
+    assert!(rounds.iter().all(|&r| r > 0.0), "round counts must be positive");
+    let x: Vec<f64> = ns.iter().map(|n| n.ln()).collect();
+    let y: Vec<f64> = rounds.iter().map(|r| r.ln()).collect();
+    linear_fit(&x, &y).slope
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        let fit = linear_fit(&x, &y);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_data_has_zero_slope() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 0.0);
+    }
+
+    #[test]
+    fn polylog_exponent_recovers_powers_of_log() {
+        let ns: Vec<f64> = (6..16).map(|k| (1u64 << k) as f64).collect();
+        // rounds = 3 (ln n)^2
+        let rounds: Vec<f64> = ns.iter().map(|n| 3.0 * n.ln().powi(2)).collect();
+        let e = polylog_exponent(&ns, &rounds);
+        assert!((e - 2.0).abs() < 1e-9, "got exponent {e}");
+        // rounds = 7 ln n
+        let rounds: Vec<f64> = ns.iter().map(|n| 7.0 * n.ln()).collect();
+        let e = polylog_exponent(&ns, &rounds);
+        assert!((e - 1.0).abs() < 1e-9, "got exponent {e}");
+    }
+
+    #[test]
+    fn power_exponent_recovers_linear_growth() {
+        let ns: Vec<f64> = (1..10).map(|k| (k * 100) as f64).collect();
+        let rounds: Vec<f64> = ns.iter().map(|n| 0.5 * n).collect();
+        assert!((power_exponent(&ns, &rounds) - 1.0).abs() < 1e-9);
+        // Logarithmic growth has a power exponent close to 0.
+        let rounds: Vec<f64> = ns.iter().map(|n| 10.0 * n.ln()).collect();
+        assert!(power_exponent(&ns, &rounds) < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        linear_fit(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Report output: every experiment binary prints a human-readable table to
+//! stdout and writes the machine-readable CSV/JSON next to it under
+//! `results/`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory (relative to the workspace root / current directory) where
+/// experiment binaries drop their CSV and JSON outputs.
+pub const RESULTS_DIR: &str = "results";
+
+/// Writes `contents` to `results/<name>`, creating the directory if needed,
+/// and returns the path written.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating the directory or writing the file.
+pub fn write_results_file(name: &str, contents: &str) -> io::Result<PathBuf> {
+    let dir = Path::new(RESULTS_DIR);
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Prints a titled section to stdout: a header line, a rule, and the body.
+pub fn print_section(title: &str, body: &str) {
+    println!("\n== {title} ==");
+    println!("{}", "-".repeat(title.len() + 6));
+    println!("{body}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_into_results_dir() {
+        let dir = std::env::temp_dir().join(format!("mis-bench-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let path = write_results_file("unit_test.csv", "a,b\n1,2\n").unwrap();
+        assert!(path.ends_with("results/unit_test.csv"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        std::env::set_current_dir(old).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn print_section_does_not_panic() {
+        print_section("title", "body");
+    }
+}

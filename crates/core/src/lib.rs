@@ -1,0 +1,54 @@
+//! The self-stabilizing MIS processes of Giakkoupis & Ziccardi (PODC 2023).
+//!
+//! This crate implements the paper's contribution:
+//!
+//! * [`TwoStateProcess`] — the **2-state MIS process** (Definition 4): each
+//!   vertex is black or white; an "inconsistent" vertex (black with a black
+//!   neighbor, or white with no black neighbor) re-randomizes its state each
+//!   round with probability 1/2 per outcome.
+//! * [`ThreeStateProcess`] — the **3-state MIS process** (Definition 5),
+//!   suitable for the synchronous stone age model (no collision detection).
+//! * [`RandomizedLogSwitch`] — the **randomized logarithmic switch**
+//!   (Definition 26), a 6-level phase-clock-like sub-process whose on/off
+//!   output satisfies properties (S1)–(S3) of Definition 25 w.h.p.
+//! * [`ThreeColorProcess`] — the **3-color MIS process** (Definition 28),
+//!   the 2-state process extended with a gray color whose gray→white
+//!   transition is gated by a logarithmic switch; with the randomized switch
+//!   it uses 3 × 6 = 18 states and stabilizes in polylog rounds on `G(n,p)`
+//!   for the whole range of `p` (Theorem 3).
+//!
+//! All processes implement the [`Process`] trait, are **self-stabilizing**
+//! (they may be started from an arbitrary state vector, see [`init`]), and
+//! expose the per-round vertex partitions used throughout the paper's
+//! analysis (`B_t`, `A_t`, `I_t`, `V_t`).
+//!
+//! # Example
+//!
+//! ```
+//! use mis_core::{Process, TwoStateProcess, init::InitStrategy};
+//! use mis_graph::{generators, mis_check};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+//! let g = generators::random_tree(200, &mut rng);
+//! let mut proc = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut rng);
+//! let rounds = proc.run_to_stabilization(&mut rng, 10_000).unwrap();
+//! assert!(mis_check::is_mis(&g, &proc.black_set()));
+//! assert!(rounds <= 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod init;
+mod log_switch;
+mod process;
+mod three_color;
+mod three_state;
+mod two_state;
+
+pub use log_switch::{FixedPeriodSwitch, RandomizedLogSwitch, SwitchProcess, DEFAULT_ZETA};
+pub use process::{Process, StabilizationTimeout, StateCounts};
+pub use three_color::{ThreeColor, ThreeColorProcess, LOG_SWITCH_A};
+pub use three_state::{ThreeState, ThreeStateProcess};
+pub use two_state::{Color, TwoStateProcess};

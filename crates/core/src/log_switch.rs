@@ -1,0 +1,392 @@
+use mis_graph::{Graph, VertexId};
+use rand::{Rng, RngCore};
+
+use crate::init::InitStrategy;
+
+/// Default value of the switch probability parameter `ζ`.
+///
+/// The paper instantiates the 3-color process with `a = 512` and `ζ = 4/a =
+/// 2⁻⁷` (Definition 28 and Section 5.2), so the switch needs at most 7 random
+/// bits per round per vertex.
+pub const DEFAULT_ZETA: f64 = 1.0 / 128.0;
+
+/// A *logarithmic switch* process (Definition 25): a sub-process that outputs
+/// an `on`/`off` value per vertex per round, gating the gray→white transition
+/// of the 3-color MIS process.
+///
+/// The abstract properties an `(a, b)`-switch should satisfy are:
+///
+/// * **(S1)** every run of consecutive `off` values has length at most
+///   `a ln n`;
+/// * **(S2)** if `diam(G) ≤ 2`, after a warm-up every `off`-run has length at
+///   least `(a/6) ln n`;
+/// * **(S3)** if `diam(G) ≤ 2`, after a constant warm-up every `on`-run has
+///   length at most `b`.
+///
+/// [`RandomizedLogSwitch`] satisfies them w.h.p. (Lemma 27);
+/// [`FixedPeriodSwitch`] is a deterministic oracle used for tests and
+/// ablations.
+pub trait SwitchProcess {
+    /// Number of vertices.
+    fn n(&self) -> usize;
+
+    /// Executes one synchronous round of the switch.
+    fn step(&mut self, rng: &mut dyn RngCore);
+
+    /// The switch output `σ_t(u)` for the current round: `true` means `on`.
+    fn is_on(&self, u: VertexId) -> bool;
+
+    /// Number of distinct states the switch keeps per vertex.
+    fn states_per_vertex(&self) -> usize;
+
+    /// Total random bits drawn so far.
+    fn random_bits_used(&self) -> u64;
+}
+
+/// The **randomized logarithmic switch** of Definition 26.
+///
+/// Each vertex keeps a *level* in `{0, …, 5}`. In each round a vertex at
+/// level 5 draws a biased coin (`P[reset] = ζ`); a vertex resets to level 5
+/// if it is at level 0 or if it is at level 5 and the coin did *not* fire;
+/// otherwise it moves to `max{level(v) : v ∈ N⁺(u)} − 1`. The switch output
+/// is `on` when the level is at most 2 and `off` otherwise.
+///
+/// The core mechanism is the `RandPhase` phase clock of Emek & Keren (2021)
+/// for diameter bound `D = 3`, but — as the paper stresses — it is used here
+/// as a local, non-synchronized counter, and is run on graphs of arbitrary
+/// unknown diameter.
+///
+/// # Example
+///
+/// ```
+/// use mis_core::{RandomizedLogSwitch, SwitchProcess, DEFAULT_ZETA, init::InitStrategy};
+/// use mis_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+/// let g = generators::complete(50);
+/// let mut sw = RandomizedLogSwitch::with_init(&g, InitStrategy::Random, DEFAULT_ZETA, &mut rng);
+/// for _ in 0..100 { sw.step(&mut rng); }
+/// let _on = sw.is_on(0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomizedLogSwitch<'g> {
+    graph: &'g Graph,
+    levels: Vec<u8>,
+    next: Vec<u8>,
+    zeta: f64,
+    round: usize,
+    random_bits: u64,
+}
+
+impl<'g> RandomizedLogSwitch<'g> {
+    /// Creates the switch with an explicit initial level vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != graph.n()`, any level exceeds 5, or
+    /// `zeta` is not in `(0, 1)`.
+    pub fn new(graph: &'g Graph, levels: Vec<u8>, zeta: f64) -> Self {
+        assert_eq!(levels.len(), graph.n(), "initial level vector length must equal the number of vertices");
+        assert!(levels.iter().all(|&l| l <= 5), "levels must be in 0..=5");
+        assert!(zeta > 0.0 && zeta < 1.0, "zeta must be in (0, 1), got {zeta}");
+        RandomizedLogSwitch { next: levels.clone(), graph, levels, zeta, round: 0, random_bits: 0 }
+    }
+
+    /// Creates the switch with levels drawn from an [`InitStrategy`].
+    pub fn with_init<R: Rng + ?Sized>(
+        graph: &'g Graph,
+        init: InitStrategy,
+        zeta: f64,
+        rng: &mut R,
+    ) -> Self {
+        Self::new(graph, init.switch_levels(graph.n(), rng), zeta)
+    }
+
+    /// Current level (`0..=5`) of vertex `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn level(&self, u: VertexId) -> u8 {
+        self.levels[u]
+    }
+
+    /// The switch probability parameter `ζ`.
+    pub fn zeta(&self) -> f64 {
+        self.zeta
+    }
+
+    /// Number of rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Overwrites the level of one vertex (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range or `level > 5`.
+    pub fn set_level(&mut self, u: VertexId, level: u8) {
+        assert!(level <= 5, "levels must be in 0..=5");
+        self.levels[u] = level;
+    }
+}
+
+impl SwitchProcess for RandomizedLogSwitch<'_> {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        for u in self.graph.vertices() {
+            let lvl = self.levels[u];
+            let reset = if lvl == 5 {
+                // b = 0 with probability ζ; b = 1 keeps the vertex at level 5.
+                self.random_bits += 7; // ζ = 2⁻⁷ needs at most 7 bits
+                !rng.gen_bool(self.zeta)
+            } else {
+                false
+            };
+            self.next[u] = if reset || lvl == 0 {
+                5
+            } else {
+                let max_nbr = self
+                    .graph
+                    .neighbors(u)
+                    .iter()
+                    .map(|&v| self.levels[v])
+                    .max()
+                    .unwrap_or(0)
+                    .max(lvl);
+                max_nbr - 1
+            };
+        }
+        std::mem::swap(&mut self.levels, &mut self.next);
+        self.round += 1;
+    }
+
+    fn is_on(&self, u: VertexId) -> bool {
+        self.levels[u] <= 2
+    }
+
+    fn states_per_vertex(&self) -> usize {
+        6
+    }
+
+    fn random_bits_used(&self) -> u64 {
+        self.random_bits
+    }
+}
+
+/// A deterministic oracle switch used for tests and ablations: all vertices
+/// share a global clock that is `on` for `on_rounds` rounds and then `off`
+/// for `off_rounds` rounds, repeating.
+///
+/// It trivially satisfies the `(a, b)`-switch contract with
+/// `a ln n = off_rounds` and `b = on_rounds`, which makes it useful for
+/// separating "the switch misbehaves" from "the 3-color dynamics misbehave"
+/// in tests.
+#[derive(Debug, Clone)]
+pub struct FixedPeriodSwitch {
+    n: usize,
+    on_rounds: usize,
+    off_rounds: usize,
+    round: usize,
+}
+
+impl FixedPeriodSwitch {
+    /// Creates the oracle switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on_rounds + off_rounds == 0`.
+    pub fn new(n: usize, on_rounds: usize, off_rounds: usize) -> Self {
+        assert!(on_rounds + off_rounds > 0, "the period must be positive");
+        FixedPeriodSwitch { n, on_rounds, off_rounds, round: 0 }
+    }
+}
+
+impl SwitchProcess for FixedPeriodSwitch {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self, _rng: &mut dyn RngCore) {
+        self.round += 1;
+    }
+
+    fn is_on(&self, _u: VertexId) -> bool {
+        self.round % (self.on_rounds + self.off_rounds) < self.on_rounds
+    }
+
+    fn states_per_vertex(&self) -> usize {
+        self.on_rounds + self.off_rounds
+    }
+
+    fn random_bits_used(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// Records, for one vertex, the lengths of maximal on-runs and off-runs
+    /// over a simulation of `rounds` rounds (ignoring the final partial run).
+    fn run_lengths(
+        sw: &mut RandomizedLogSwitch<'_>,
+        u: VertexId,
+        rounds: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let mut on_runs = Vec::new();
+        let mut off_runs = Vec::new();
+        let mut current_on = sw.is_on(u);
+        let mut len = 1usize;
+        for _ in 0..rounds {
+            sw.step(rng);
+            let now_on = sw.is_on(u);
+            if now_on == current_on {
+                len += 1;
+            } else {
+                if current_on {
+                    on_runs.push(len);
+                } else {
+                    off_runs.push(len);
+                }
+                current_on = now_on;
+                len = 1;
+            }
+        }
+        (on_runs, off_runs)
+    }
+
+    #[test]
+    #[should_panic(expected = "zeta must be in (0, 1)")]
+    fn invalid_zeta_panics() {
+        let g = generators::path(3);
+        RandomizedLogSwitch::new(&g, vec![0; 3], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "levels must be in 0..=5")]
+    fn invalid_levels_panic() {
+        let g = generators::path(3);
+        RandomizedLogSwitch::new(&g, vec![0, 9, 0], DEFAULT_ZETA);
+    }
+
+    #[test]
+    fn levels_stay_in_range_and_level0_resets() {
+        let g = generators::star(20);
+        let mut r = rng(1);
+        let mut sw = RandomizedLogSwitch::with_init(&g, InitStrategy::Random, DEFAULT_ZETA, &mut r);
+        for _ in 0..500 {
+            sw.step(&mut r);
+            for u in g.vertices() {
+                assert!(sw.level(u) <= 5);
+            }
+        }
+        // A vertex forced to level 0 must be at level 5 after one step.
+        sw.set_level(3, 0);
+        sw.step(&mut r);
+        assert_eq!(sw.level(3), 5);
+    }
+
+    /// Property (S1) of Lemma 27: off-runs are at most ~a ln n long.
+    #[test]
+    fn s1_off_runs_are_logarithmically_bounded() {
+        let g = generators::complete(64);
+        let n = g.n() as f64;
+        let zeta = 1.0 / 16.0; // larger zeta keeps the test fast; a = 4/zeta
+        let a = 4.0 / zeta;
+        let mut r = rng(2);
+        let mut sw = RandomizedLogSwitch::with_init(&g, InitStrategy::Random, zeta, &mut r);
+        let (_, off_runs) = run_lengths(&mut sw, 0, 4000, &mut r);
+        assert!(!off_runs.is_empty());
+        let max_off = off_runs.iter().copied().max().unwrap();
+        assert!(
+            (max_off as f64) <= a * n.ln() + 6.0,
+            "off-run of length {max_off} exceeds a ln n = {}",
+            a * n.ln()
+        );
+    }
+
+    /// Properties (S2)/(S3): on a diameter-2 graph, after synchronization the
+    /// on-runs are short (≤ 3) and the off-runs are long (≥ (a/6) ln n).
+    #[test]
+    fn s2_s3_on_diameter_two_graphs() {
+        let g = generators::complete(64);
+        let n = g.n() as f64;
+        let zeta = 1.0 / 16.0;
+        let a = 4.0 / zeta;
+        let mut r = rng(3);
+        let mut sw = RandomizedLogSwitch::with_init(&g, InitStrategy::Random, zeta, &mut r);
+        // Warm up past the synchronization point (t* + 2 ≤ 7 in the proof).
+        for _ in 0..50 {
+            sw.step(&mut r);
+        }
+        let (on_runs, off_runs) = run_lengths(&mut sw, 0, 4000, &mut r);
+        assert!(!on_runs.is_empty() && !off_runs.is_empty());
+        assert!(on_runs.iter().all(|&l| l <= 3), "on-runs must have length at most b = 3, got {on_runs:?}");
+        // Skip the first off-run, which may be a partial run started during warm-up.
+        let min_off = off_runs.iter().skip(1).copied().min().unwrap_or(usize::MAX);
+        assert!(
+            (min_off as f64) >= a / 6.0 * n.ln() - 1.0,
+            "off-run of length {min_off} is below (a/6) ln n = {}",
+            a / 6.0 * n.ln()
+        );
+    }
+
+    #[test]
+    fn low_levels_are_synchronized_on_diameter_two_graphs() {
+        // Lemma 27's proof: after a constant warm-up, whenever some vertex
+        // reaches level 2, *all* vertices are at level 2 in that round, then
+        // all at level 1, then all at level 0 (they only desynchronize while
+        // waiting at level 5).
+        let g = generators::complete(40);
+        let mut r = rng(4);
+        let mut sw = RandomizedLogSwitch::with_init(&g, InitStrategy::Random, DEFAULT_ZETA, &mut r);
+        for _ in 0..20 {
+            sw.step(&mut r);
+        }
+        for _ in 0..2000 {
+            sw.step(&mut r);
+            if let Some(low) = g.vertices().map(|u| sw.level(u)).find(|&l| l <= 2) {
+                assert!(
+                    g.vertices().all(|u| sw.level(u) == low),
+                    "a vertex reached level {low} while others lag behind"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_period_switch_cycles() {
+        let mut sw = FixedPeriodSwitch::new(5, 2, 3);
+        let mut r = rng(0);
+        let mut pattern = Vec::new();
+        for _ in 0..10 {
+            pattern.push(sw.is_on(0));
+            sw.step(&mut r);
+        }
+        assert_eq!(pattern, vec![true, true, false, false, false, true, true, false, false, false]);
+        assert_eq!(sw.states_per_vertex(), 5);
+        assert_eq!(sw.random_bits_used(), 0);
+        assert_eq!(sw.n(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        FixedPeriodSwitch::new(3, 0, 0);
+    }
+}

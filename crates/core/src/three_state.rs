@@ -1,0 +1,397 @@
+use mis_graph::{Graph, VertexId, VertexSet};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::init::InitStrategy;
+use crate::process::{Process, StateCounts};
+
+/// Vertex state of the 3-state MIS process (Definition 5).
+///
+/// `Black1` and `Black0` are both "black" (MIS membership); the extra bit
+/// lets a neighbor distinguish a *fresh* black claim (`Black1`) from a
+/// *retiring* one (`Black0`) without collision detection, which is why this
+/// variant fits the synchronous stone age model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreeState {
+    /// Black with the "assert" bit set.
+    Black1,
+    /// Black with the "assert" bit cleared.
+    Black0,
+    /// Not in the MIS.
+    White,
+}
+
+impl ThreeState {
+    /// `true` for both black variants.
+    pub fn is_black(self) -> bool {
+        matches!(self, ThreeState::Black1 | ThreeState::Black0)
+    }
+}
+
+/// The **3-state MIS process** of Definition 5.
+///
+/// Update rule for vertex `u` with previous state `c` and neighbor states
+/// `NC`:
+///
+/// * if `c = black1`, or (`c = black0` and `NC` contains no `black1`), or
+///   (`c = white` and `NC` contains no black state) — draw a uniformly
+///   random state from `{black1, black0}`;
+/// * else if `c = black0` — become `white`;
+/// * else — keep the state.
+///
+/// A *stable black* vertex (black with no black neighbor) keeps alternating
+/// between `black1` and `black0` forever; stability is therefore defined on
+/// the black/non-black projection, exactly as in the paper.
+///
+/// Note on isolated vertices: Definition 5 phrases the white condition as
+/// `NC_t(u) = {white}`; for a vertex with no neighbors that set is empty, so
+/// a literal reading would leave an isolated white vertex white forever and
+/// the black set would never become maximal. We read the condition as "no
+/// neighbor is black", which coincides with the paper on every vertex that
+/// has at least one neighbor and makes isolated vertices join the MIS.
+///
+/// # Example
+///
+/// ```
+/// use mis_core::{ThreeStateProcess, Process, init::InitStrategy};
+/// use mis_graph::{generators, mis_check};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+/// let g = generators::complete(64);
+/// let mut p = ThreeStateProcess::with_init(&g, InitStrategy::Random, &mut rng);
+/// p.run_to_stabilization(&mut rng, 10_000).unwrap();
+/// assert!(mis_check::is_mis(&g, &p.black_set()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreeStateProcess<'g> {
+    graph: &'g Graph,
+    states: Vec<ThreeState>,
+    /// Number of black (`black1` or `black0`) neighbors per vertex.
+    black_nbrs: Vec<u32>,
+    /// Number of `black1` neighbors per vertex.
+    black1_nbrs: Vec<u32>,
+    round: usize,
+    random_bits: u64,
+    next: Vec<ThreeState>,
+}
+
+impl<'g> ThreeStateProcess<'g> {
+    /// Creates the process on `graph` with the given initial state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != graph.n()`.
+    pub fn new(graph: &'g Graph, states: Vec<ThreeState>) -> Self {
+        assert_eq!(states.len(), graph.n(), "initial state vector length must equal the number of vertices");
+        let mut p = ThreeStateProcess {
+            black_nbrs: vec![0; graph.n()],
+            black1_nbrs: vec![0; graph.n()],
+            next: states.clone(),
+            graph,
+            states,
+            round: 0,
+            random_bits: 0,
+        };
+        p.recount();
+        p
+    }
+
+    /// Creates the process with states drawn from an [`InitStrategy`].
+    pub fn with_init<R: Rng + ?Sized>(graph: &'g Graph, init: InitStrategy, rng: &mut R) -> Self {
+        Self::new(graph, init.three_state(graph.n(), rng))
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Current state of vertex `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn state(&self, u: VertexId) -> ThreeState {
+        self.states[u]
+    }
+
+    /// The full state vector.
+    pub fn states(&self) -> &[ThreeState] {
+        &self.states
+    }
+
+    /// Overwrites the state of one vertex (transient-fault injection),
+    /// keeping the neighbor bookkeeping consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn set_state(&mut self, u: VertexId, state: ThreeState) {
+        if self.states[u] == state {
+            return;
+        }
+        self.states[u] = state;
+        self.recount();
+    }
+
+    /// Whether `u` will re-randomize its state in the next round.
+    pub fn is_active(&self, u: VertexId) -> bool {
+        match self.states[u] {
+            ThreeState::Black1 => true,
+            ThreeState::Black0 => self.black1_nbrs[u] == 0,
+            ThreeState::White => self.black_nbrs[u] == 0,
+        }
+    }
+
+    /// `true` if `u` is stable black: black with no black neighbor. Its state
+    /// keeps alternating between `black1` and `black0` but its *blackness*
+    /// never changes.
+    pub fn is_stable_black(&self, u: VertexId) -> bool {
+        self.states[u].is_black() && self.black_nbrs[u] == 0
+    }
+
+    /// `true` if `u` is stable: stable black or adjacent to a stable black vertex.
+    pub fn is_stable(&self, u: VertexId) -> bool {
+        self.is_stable_black(u) || self.graph.neighbors(u).iter().any(|&v| self.is_stable_black(v))
+    }
+
+    fn recount(&mut self) {
+        self.black_nbrs.iter_mut().for_each(|c| *c = 0);
+        self.black1_nbrs.iter_mut().for_each(|c| *c = 0);
+        for u in self.graph.vertices() {
+            if self.states[u].is_black() {
+                for &v in self.graph.neighbors(u) {
+                    self.black_nbrs[v] += 1;
+                    if self.states[u] == ThreeState::Black1 {
+                        self.black1_nbrs[v] += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Process for ThreeStateProcess<'_> {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        for u in self.graph.vertices() {
+            self.next[u] = if self.is_active(u) {
+                self.random_bits += 1;
+                if rng.gen_bool(0.5) {
+                    ThreeState::Black1
+                } else {
+                    ThreeState::Black0
+                }
+            } else if self.states[u] == ThreeState::Black0 {
+                // black0 with a black1 neighbor retires to white.
+                ThreeState::White
+            } else {
+                self.states[u]
+            };
+        }
+        std::mem::swap(&mut self.states, &mut self.next);
+        self.recount();
+        self.round += 1;
+    }
+
+    fn is_stabilized(&self) -> bool {
+        // Stabilized (on the black/non-black projection) iff every vertex is
+        // stable: the black set is then an MIS and blackness never changes,
+        // even though stable black vertices keep flipping black1/black0.
+        self.graph.vertices().all(|u| self.is_stable(u))
+    }
+
+    fn black_set(&self) -> VertexSet {
+        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.states[u].is_black()))
+    }
+
+    fn active_set(&self) -> VertexSet {
+        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.is_active(u)))
+    }
+
+    fn stable_black_set(&self) -> VertexSet {
+        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.is_stable_black(u)))
+    }
+
+    fn unstable_set(&self) -> VertexSet {
+        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| !self.is_stable(u)))
+    }
+
+    fn counts(&self) -> StateCounts {
+        let mut c = StateCounts::default();
+        for u in self.graph.vertices() {
+            if self.states[u].is_black() {
+                c.black += 1;
+            } else {
+                c.non_black += 1;
+            }
+            if self.is_active(u) {
+                c.active += 1;
+            }
+            if self.is_stable_black(u) {
+                c.stable_black += 1;
+            }
+            if !self.is_stable(u) {
+                c.unstable += 1;
+            }
+        }
+        c
+    }
+
+    fn states_per_vertex(&self) -> usize {
+        3
+    }
+
+    fn random_bits_used(&self) -> u64 {
+        self.random_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::{generators, mis_check};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn isolated_vertex_joins_the_mis() {
+        let g = Graph::empty(3);
+        let mut r = rng(0);
+        let mut p = ThreeStateProcess::with_init(&g, InitStrategy::AllWhite, &mut r);
+        p.run_to_stabilization(&mut r, 1000).unwrap();
+        assert_eq!(p.black_set().len(), 3);
+        assert!(mis_check::is_mis(&g, &p.black_set()));
+    }
+
+    #[test]
+    fn stable_black_vertices_keep_alternating_but_stay_black() {
+        let g = generators::path(3);
+        // Vertex 1 black, others white: an MIS, so stable immediately.
+        let mut p = ThreeStateProcess::new(
+            &g,
+            vec![ThreeState::White, ThreeState::Black1, ThreeState::White],
+        );
+        assert!(p.is_stabilized());
+        let mut r = rng(1);
+        let mut seen_black1 = false;
+        let mut seen_black0 = false;
+        for _ in 0..20 {
+            p.step(&mut r);
+            assert!(p.is_stabilized());
+            assert!(p.state(1).is_black());
+            assert!(!p.state(0).is_black() && !p.state(2).is_black());
+            match p.state(1) {
+                ThreeState::Black1 => seen_black1 = true,
+                ThreeState::Black0 => seen_black0 = true,
+                ThreeState::White => unreachable!("stable black vertex became white"),
+            }
+        }
+        assert!(seen_black1 && seen_black0, "stable black vertex should alternate");
+    }
+
+    #[test]
+    fn black0_with_black1_neighbor_retires_to_white() {
+        let g = generators::path(2);
+        let mut p = ThreeStateProcess::new(&g, vec![ThreeState::Black0, ThreeState::Black1]);
+        // Vertex 0: black0 with a black1 neighbor -> not active -> becomes white.
+        assert!(!p.is_active(0));
+        assert!(p.is_active(1)); // black1 is always active
+        let mut r = rng(2);
+        p.step(&mut r);
+        assert_eq!(p.state(0), ThreeState::White);
+        assert!(p.state(1).is_black());
+    }
+
+    #[test]
+    fn stabilizes_to_mis_on_various_graphs() {
+        let mut r = rng(7);
+        let graphs = vec![
+            generators::complete(32),
+            generators::path(50),
+            generators::cycle(33),
+            generators::star(40),
+            generators::random_tree(100, &mut r),
+            generators::gnp(120, 0.08, &mut r),
+            generators::gnp(80, 0.6, &mut r),
+            generators::disjoint_cliques(4, 9),
+        ];
+        for (i, g) in graphs.into_iter().enumerate() {
+            for init in [InitStrategy::AllWhite, InitStrategy::AllBlack, InitStrategy::Random] {
+                let mut p = ThreeStateProcess::with_init(&g, init, &mut r);
+                p.run_to_stabilization(&mut r, 100_000)
+                    .unwrap_or_else(|e| panic!("graph {i} with {init:?}: {e}"));
+                assert!(mis_check::is_mis(&g, &p.black_set()), "graph {i}, init {init:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn counts_consistency() {
+        let mut r = rng(9);
+        let g = generators::gnp(50, 0.15, &mut r);
+        let mut p = ThreeStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+        for _ in 0..40 {
+            let c = p.counts();
+            assert_eq!(c.black + c.non_black, g.n());
+            assert_eq!(c.black, p.black_set().len());
+            assert_eq!(c.active, p.active_set().len());
+            assert!(mis_check::is_independent(&g, &p.stable_black_set()));
+            if p.is_stabilized() {
+                break;
+            }
+            p.step(&mut r);
+        }
+    }
+
+    #[test]
+    fn set_state_refreshes_bookkeeping() {
+        let g = generators::complete(4);
+        let mut p = ThreeStateProcess::new(&g, vec![ThreeState::White; 4]);
+        p.set_state(0, ThreeState::Black1);
+        assert!(!p.is_active(1), "white vertex with a black neighbor is not active");
+        p.set_state(0, ThreeState::White);
+        assert!(p.is_active(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "state vector length")]
+    fn mismatched_init_panics() {
+        let g = generators::path(3);
+        ThreeStateProcess::new(&g, vec![ThreeState::White; 5]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        /// The 3-state process stabilizes to an MIS from arbitrary states.
+        #[test]
+        fn stabilizes_from_arbitrary_states(seed in 0u64..10_000, n in 1usize..50, p_edge in 0.0f64..1.0) {
+            let mut r = rng(seed);
+            let g = generators::gnp(n, p_edge, &mut r);
+            let init: Vec<ThreeState> = (0..n)
+                .map(|_| match rand::Rng::gen_range(&mut r, 0..3) {
+                    0 => ThreeState::Black1,
+                    1 => ThreeState::Black0,
+                    _ => ThreeState::White,
+                })
+                .collect();
+            let mut proc = ThreeStateProcess::new(&g, init);
+            proc.run_to_stabilization(&mut r, 200_000).unwrap();
+            prop_assert!(mis_check::is_mis(&g, &proc.black_set()));
+        }
+    }
+}

@@ -1,0 +1,452 @@
+use mis_graph::{Graph, VertexId, VertexSet};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::init::InitStrategy;
+use crate::process::{Process, StateCounts};
+
+/// Vertex state of the 2-state MIS process: black indicates (tentative)
+/// membership in the MIS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Color {
+    /// The vertex currently claims MIS membership.
+    Black,
+    /// The vertex currently does not claim MIS membership.
+    White,
+}
+
+impl Color {
+    /// `true` if the color is [`Color::Black`].
+    pub fn is_black(self) -> bool {
+        matches!(self, Color::Black)
+    }
+}
+
+/// The **2-state MIS process** of Definition 4.
+///
+/// Each vertex holds a binary state (black/white), initialized arbitrarily.
+/// In every synchronous round, each vertex whose state is *inconsistent* —
+/// black with at least one black neighbor, or white with no black neighbor —
+/// re-draws its state uniformly at random; consistent vertices keep their
+/// state. The process is self-stabilizing: from any initial state vector it
+/// reaches, with probability 1, a configuration where the black vertices form
+/// a maximal independent set and no state ever changes again.
+///
+/// The struct also exposes the vertex partitions used in the paper's
+/// analysis: active vertices `A_t`, stable black vertices `I_t`, and
+/// non-stable vertices `V_t` (Section 2.1).
+///
+/// # Example
+///
+/// ```
+/// use mis_core::{TwoStateProcess, Process, init::InitStrategy};
+/// use mis_graph::{generators, mis_check};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let g = generators::complete(64);
+/// let mut p = TwoStateProcess::with_init(&g, InitStrategy::AllBlack, &mut rng);
+/// p.run_to_stabilization(&mut rng, 10_000).unwrap();
+/// assert_eq!(p.black_set().len(), 1); // an MIS of a clique is a single vertex
+/// assert!(mis_check::is_mis(&g, &p.black_set()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoStateProcess<'g> {
+    graph: &'g Graph,
+    states: Vec<Color>,
+    /// `black_nbrs[u]` = number of black neighbors of `u`, kept in sync with `states`.
+    black_nbrs: Vec<u32>,
+    round: usize,
+    random_bits: u64,
+    /// Scratch buffer for the synchronous update.
+    next: Vec<Color>,
+}
+
+impl<'g> TwoStateProcess<'g> {
+    /// Creates the process on `graph` with the given initial state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != graph.n()`.
+    pub fn new(graph: &'g Graph, states: Vec<Color>) -> Self {
+        assert_eq!(states.len(), graph.n(), "initial state vector length must equal the number of vertices");
+        let mut p = TwoStateProcess {
+            black_nbrs: vec![0; graph.n()],
+            next: states.clone(),
+            graph,
+            states,
+            round: 0,
+            random_bits: 0,
+        };
+        p.recount_black_neighbors();
+        p
+    }
+
+    /// Creates the process with states drawn from an [`InitStrategy`].
+    pub fn with_init<R: Rng + ?Sized>(graph: &'g Graph, init: InitStrategy, rng: &mut R) -> Self {
+        Self::new(graph, init.two_state(graph.n(), rng))
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Current color of vertex `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn color(&self, u: VertexId) -> Color {
+        self.states[u]
+    }
+
+    /// The full state vector (indexed by vertex id).
+    pub fn states(&self) -> &[Color] {
+        &self.states
+    }
+
+    /// Overwrites the state of a single vertex, e.g. to model a transient
+    /// fault. Neighborhood bookkeeping is updated accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn set_color(&mut self, u: VertexId, color: Color) {
+        let old = self.states[u];
+        if old == color {
+            return;
+        }
+        self.states[u] = color;
+        let delta: i64 = if color.is_black() { 1 } else { -1 };
+        for &v in self.graph.neighbors(u) {
+            self.black_nbrs[v] = (self.black_nbrs[v] as i64 + delta) as u32;
+        }
+    }
+
+    /// `true` if vertex `u` is active at the end of the current round:
+    /// black with a black neighbor, or white with no black neighbor.
+    pub fn is_active(&self, u: VertexId) -> bool {
+        match self.states[u] {
+            Color::Black => self.black_nbrs[u] > 0,
+            Color::White => self.black_nbrs[u] == 0,
+        }
+    }
+
+    /// `true` if vertex `u` is *stable black*: black with no black neighbor
+    /// (i.e. `u ∈ I_t`).
+    pub fn is_stable_black(&self, u: VertexId) -> bool {
+        self.states[u].is_black() && self.black_nbrs[u] == 0
+    }
+
+    /// `true` if vertex `u` is stable: stable black, or adjacent to a stable
+    /// black vertex.
+    pub fn is_stable(&self, u: VertexId) -> bool {
+        self.is_stable_black(u) || self.graph.neighbors(u).iter().any(|&v| self.is_stable_black(v))
+    }
+
+    /// Number of black neighbors of `u`.
+    pub fn black_neighbor_count(&self, u: VertexId) -> usize {
+        self.black_nbrs[u] as usize
+    }
+
+    /// The set `A^k_t` of *k-active* vertices: active vertices with at most
+    /// `k` active neighbors (Section 4.1).
+    pub fn k_active_set(&self, k: usize) -> VertexSet {
+        let active = self.active_set();
+        let mut out = VertexSet::new(self.n());
+        for u in active.iter() {
+            let active_nbrs = self.graph.neighbors(u).iter().filter(|&&v| active.contains(v)).count();
+            if active_nbrs <= k {
+                out.insert(u);
+            }
+        }
+        out
+    }
+
+    fn recount_black_neighbors(&mut self) {
+        self.black_nbrs.iter_mut().for_each(|c| *c = 0);
+        for u in self.graph.vertices() {
+            if self.states[u].is_black() {
+                for &v in self.graph.neighbors(u) {
+                    self.black_nbrs[v] += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Process for TwoStateProcess<'_> {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        for u in self.graph.vertices() {
+            self.next[u] = if self.is_active(u) {
+                self.random_bits += 1;
+                if rng.gen_bool(0.5) {
+                    Color::Black
+                } else {
+                    Color::White
+                }
+            } else {
+                self.states[u]
+            };
+        }
+        std::mem::swap(&mut self.states, &mut self.next);
+        self.recount_black_neighbors();
+        self.round += 1;
+    }
+
+    fn is_stabilized(&self) -> bool {
+        // A configuration is stabilized iff no vertex is active, which holds
+        // iff every vertex is stable (Section 2).
+        self.graph.vertices().all(|u| !self.is_active(u))
+    }
+
+    fn black_set(&self) -> VertexSet {
+        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.states[u].is_black()))
+    }
+
+    fn active_set(&self) -> VertexSet {
+        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.is_active(u)))
+    }
+
+    fn stable_black_set(&self) -> VertexSet {
+        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.is_stable_black(u)))
+    }
+
+    fn unstable_set(&self) -> VertexSet {
+        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| !self.is_stable(u)))
+    }
+
+    fn counts(&self) -> StateCounts {
+        let mut c = StateCounts::default();
+        for u in self.graph.vertices() {
+            if self.states[u].is_black() {
+                c.black += 1;
+            } else {
+                c.non_black += 1;
+            }
+            if self.is_active(u) {
+                c.active += 1;
+            }
+            if self.is_stable_black(u) {
+                c.stable_black += 1;
+            }
+            if !self.is_stable(u) {
+                c.unstable += 1;
+            }
+        }
+        c
+    }
+
+    fn states_per_vertex(&self) -> usize {
+        2
+    }
+
+    fn random_bits_used(&self) -> u64 {
+        self.random_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::{generators, mis_check};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    #[should_panic(expected = "state vector length")]
+    fn mismatched_init_length_panics() {
+        let g = generators::path(3);
+        TwoStateProcess::new(&g, vec![Color::White; 2]);
+    }
+
+    #[test]
+    fn single_vertex_stabilizes_black() {
+        let g = Graph::empty(1);
+        let mut r = rng(0);
+        let mut p = TwoStateProcess::with_init(&g, InitStrategy::AllWhite, &mut r);
+        assert!(!p.is_stabilized()); // white isolated vertex is active
+        let rounds = p.run_to_stabilization(&mut r, 1000).unwrap();
+        assert!(rounds >= 1);
+        assert!(p.color(0).is_black());
+        assert!(p.is_stabilized());
+    }
+
+    #[test]
+    fn already_stable_configuration_needs_no_rounds() {
+        // Path 0-1-2 with only vertex 1 black is an MIS: stable immediately.
+        let g = generators::path(3);
+        let states = vec![Color::White, Color::Black, Color::White];
+        let mut p = TwoStateProcess::new(&g, states);
+        assert!(p.is_stabilized());
+        let mut r = rng(1);
+        assert_eq!(p.run_to_stabilization(&mut r, 10).unwrap(), 0);
+        assert_eq!(p.random_bits_used(), 0);
+    }
+
+    #[test]
+    fn all_black_clique_is_not_stable() {
+        let g = generators::complete(5);
+        let p = TwoStateProcess::new(&g, vec![Color::Black; 5]);
+        assert!(!p.is_stabilized());
+        assert_eq!(p.active_set().len(), 5);
+        assert_eq!(p.stable_black_set().len(), 0);
+        assert_eq!(p.unstable_set().len(), 5);
+    }
+
+    #[test]
+    fn stabilizes_to_mis_on_various_graphs() {
+        let mut r = rng(7);
+        let graphs = vec![
+            generators::complete(32),
+            generators::path(50),
+            generators::cycle(51),
+            generators::star(40),
+            generators::random_tree(100, &mut r),
+            generators::gnp(150, 0.05, &mut r),
+            generators::gnp(100, 0.5, &mut r),
+            generators::disjoint_cliques(5, 8),
+            generators::grid(8, 8),
+            Graph::empty(20),
+        ];
+        for (i, g) in graphs.into_iter().enumerate() {
+            for init in [InitStrategy::AllWhite, InitStrategy::AllBlack, InitStrategy::Random] {
+                let mut p = TwoStateProcess::with_init(&g, init, &mut r);
+                let rounds = p
+                    .run_to_stabilization(&mut r, 100_000)
+                    .unwrap_or_else(|e| panic!("graph {i} with {init:?} did not stabilize: {e}"));
+                assert!(mis_check::is_mis(&g, &p.black_set()), "graph {i}, init {init:?}, after {rounds} rounds");
+                assert!(p.is_stabilized());
+            }
+        }
+    }
+
+    #[test]
+    fn stability_is_monotone() {
+        // Once a vertex is stable it stays stable with the same color.
+        let mut r = rng(11);
+        let g = generators::gnp(80, 0.1, &mut r);
+        let mut p = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+        let mut stable_colors: Vec<Option<Color>> = vec![None; g.n()];
+        for _ in 0..200 {
+            for u in g.vertices() {
+                if let Some(c) = stable_colors[u] {
+                    assert_eq!(p.color(u), c, "stable vertex {u} changed color");
+                    assert!(p.is_stable(u), "vertex {u} lost stability");
+                } else if p.is_stable(u) {
+                    stable_colors[u] = Some(p.color(u));
+                }
+            }
+            if p.is_stabilized() {
+                break;
+            }
+            p.step(&mut r);
+        }
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let mut r = rng(13);
+        let g = generators::gnp(60, 0.1, &mut r);
+        let mut p = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+        for _ in 0..50 {
+            let c = p.counts();
+            assert_eq!(c.black + c.non_black, g.n());
+            assert_eq!(c.black, p.black_set().len());
+            assert_eq!(c.active, p.active_set().len());
+            assert_eq!(c.stable_black, p.stable_black_set().len());
+            assert_eq!(c.unstable, p.unstable_set().len());
+            // I_t is independent and disjoint from the active set.
+            assert!(mis_check::is_independent(&g, &p.stable_black_set()));
+            assert!(p.stable_black_set().is_disjoint(&p.active_set()));
+            if p.is_stabilized() {
+                break;
+            }
+            p.step(&mut r);
+        }
+    }
+
+    #[test]
+    fn random_bits_accounting_matches_active_counts() {
+        let mut r = rng(17);
+        let g = generators::gnp(40, 0.2, &mut r);
+        let mut p = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+        let mut expected = 0u64;
+        for _ in 0..30 {
+            expected += p.counts().active as u64;
+            p.step(&mut r);
+        }
+        assert_eq!(p.random_bits_used(), expected);
+    }
+
+    #[test]
+    fn set_color_keeps_bookkeeping_consistent() {
+        let mut r = rng(19);
+        let g = generators::gnp(30, 0.3, &mut r);
+        let mut p = TwoStateProcess::with_init(&g, InitStrategy::AllWhite, &mut r);
+        p.set_color(0, Color::Black);
+        p.set_color(5, Color::Black);
+        p.set_color(5, Color::Black); // idempotent
+        for u in g.vertices() {
+            let expected = g.neighbors(u).iter().filter(|&&v| p.color(v).is_black()).count();
+            assert_eq!(p.black_neighbor_count(u), expected);
+        }
+        p.set_color(0, Color::White);
+        for u in g.vertices() {
+            let expected = g.neighbors(u).iter().filter(|&&v| p.color(v).is_black()).count();
+            assert_eq!(p.black_neighbor_count(u), expected);
+        }
+    }
+
+    #[test]
+    fn k_active_set_respects_threshold() {
+        let g = generators::complete(6);
+        let p = TwoStateProcess::new(&g, vec![Color::Black; 6]);
+        // Every vertex is active with 5 active neighbors.
+        assert_eq!(p.k_active_set(4).len(), 0);
+        assert_eq!(p.k_active_set(5).len(), 6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::gnp(80, 0.1, &mut rng(23));
+        let run = |seed: u64| {
+            let mut r = rng(seed);
+            let mut p = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+            let rounds = p.run_to_stabilization(&mut r, 100_000).unwrap();
+            (rounds, p.black_set())
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// From arbitrary initial states on random graphs, the process
+        /// stabilizes and the result is an MIS.
+        #[test]
+        fn stabilizes_from_arbitrary_states(seed in 0u64..10_000, n in 1usize..60, p_edge in 0.0f64..1.0) {
+            let mut r = rng(seed);
+            let g = generators::gnp(n, p_edge, &mut r);
+            let init: Vec<Color> =
+                (0..n).map(|_| if rand::Rng::gen_bool(&mut r, 0.5) { Color::Black } else { Color::White }).collect();
+            let mut proc = TwoStateProcess::new(&g, init);
+            proc.run_to_stabilization(&mut r, 200_000).unwrap();
+            prop_assert!(mis_check::is_mis(&g, &proc.black_set()));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+use crate::{Graph, GraphError, VertexId};
+
+/// Incremental builder for [`Graph`].
+///
+/// The builder accepts undirected edges in any order, silently ignores
+/// duplicates, rejects self-loops and out-of-range endpoints, and produces a
+/// CSR [`Graph`] with sorted adjacency lists on [`GraphBuilder::build`].
+///
+/// # Example
+///
+/// ```
+/// use mis_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(2, 1); // duplicate of (1, 2); ignored
+/// let g = b.build();
+/// assert_eq!(g.m(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    adjacency: Vec<Vec<VertexId>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, adjacency: vec![Vec::new(); n] }
+    }
+
+    /// Number of vertices of the graph being built.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either endpoint is `>= n`. Use
+    /// [`GraphBuilder::try_add_edge`] for a fallible version.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.try_add_edge(u, v).expect("invalid edge");
+    }
+
+    /// Adds the undirected edge `{u, v}`, returning an error instead of
+    /// panicking on invalid input.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] if `u == v`, [`GraphError::VertexOutOfRange`]
+    /// if either endpoint is `>= n`.
+    pub fn try_add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+        }
+        self.adjacency[u].push(v);
+        self.adjacency[v].push(u);
+        Ok(())
+    }
+
+    /// Finalizes the builder into an immutable CSR [`Graph`].
+    ///
+    /// Duplicate edges are collapsed here (adjacency lists are sorted and
+    /// deduplicated), so calling `add_edge(u, v)` twice yields a single edge.
+    pub fn build(mut self) -> Graph {
+        let mut m = 0usize;
+        for list in &mut self.adjacency {
+            list.sort_unstable();
+            list.dedup();
+            m += list.len();
+        }
+        debug_assert!(m % 2 == 0, "every undirected edge must appear twice");
+        let m = m / 2;
+
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut adjacency = Vec::with_capacity(2 * m);
+        offsets.push(0);
+        for list in &self.adjacency {
+            adjacency.extend_from_slice(list);
+            offsets.push(adjacency.len());
+        }
+        Graph::from_sorted_adjacency(offsets, adjacency, m)
+    }
+}
+
+impl Extend<(VertexId, VertexId)> for GraphBuilder {
+    fn extend<T: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: T) {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn builder_collapses_duplicates() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(2, 3);
+        b.add_edge(2, 3);
+        let g = b.build();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[3]);
+    }
+
+    #[test]
+    fn try_add_edge_rejects_self_loop_without_mutating() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.try_add_edge(0, 0).is_err());
+        let g = b.build();
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge")]
+    fn add_edge_panics_on_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+    }
+
+    #[test]
+    fn extend_adds_edges() {
+        let mut b = GraphBuilder::new(5);
+        b.extend([(0, 1), (1, 2), (3, 4)]);
+        let g = b.build();
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn empty_builder_builds_edgeless_graph() {
+        let g = GraphBuilder::new(7).build();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 0);
+    }
+
+    proptest! {
+        /// Building from a random edge list always yields sorted, symmetric,
+        /// loop-free adjacency, and the edge count matches the number of
+        /// distinct unordered pairs supplied.
+        #[test]
+        fn builder_invariants(edges in proptest::collection::vec((0usize..20, 0usize..20), 0..200)) {
+            let n = 20;
+            let mut b = GraphBuilder::new(n);
+            let mut distinct = std::collections::HashSet::new();
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v);
+                    distinct.insert((u.min(v), u.max(v)));
+                }
+            }
+            let g = b.build();
+            prop_assert_eq!(g.m(), distinct.len());
+            for u in g.vertices() {
+                let nbrs = g.neighbors(u);
+                // sorted, no duplicates, no self loops
+                prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(!nbrs.contains(&u));
+                // symmetry
+                for &v in nbrs {
+                    prop_assert!(g.neighbors(v).contains(&u));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Connected-component analysis.
+//!
+//! Used by experiments that must reason per component (e.g. the disjoint-
+//! cliques family of Remark 9) and by generators that need to certify
+//! connectivity of their output.
+
+use crate::union_find::UnionFind;
+use crate::{Graph, VertexId};
+
+/// The partition of a graph's vertices into connected components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `component_of[v]` is the index (0-based, in order of discovery by
+    /// smallest contained vertex) of the component containing `v`.
+    component_of: Vec<usize>,
+    /// The vertex lists of each component, each sorted increasingly.
+    members: Vec<Vec<VertexId>>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Index of the component containing `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn component_of(&self, v: VertexId) -> usize {
+        self.component_of[v]
+    }
+
+    /// Returns `true` if `u` and `v` lie in the same component.
+    pub fn same_component(&self, u: VertexId, v: VertexId) -> bool {
+        self.component_of[u] == self.component_of[v]
+    }
+
+    /// The sorted vertex list of component `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.count()`.
+    pub fn members(&self, i: usize) -> &[VertexId] {
+        &self.members[i]
+    }
+
+    /// Iterator over all components, each a sorted slice of vertices.
+    pub fn iter(&self) -> impl Iterator<Item = &[VertexId]> {
+        self.members.iter().map(|v| v.as_slice())
+    }
+
+    /// Size of the largest component (`0` for the empty graph).
+    pub fn largest(&self) -> usize {
+        self.members.iter().map(|c| c.len()).max().unwrap_or(0)
+    }
+}
+
+/// Computes the connected components of `g`.
+///
+/// # Example
+///
+/// ```
+/// use mis_graph::{Graph, components::connected_components};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+/// let cc = connected_components(&g);
+/// assert_eq!(cc.count(), 2);
+/// assert!(cc.same_component(0, 2));
+/// assert!(!cc.same_component(0, 3));
+/// ```
+pub fn connected_components(g: &Graph) -> Components {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    let mut root_to_index = std::collections::HashMap::new();
+    let mut component_of = vec![0usize; g.n()];
+    let mut members: Vec<Vec<VertexId>> = Vec::new();
+    for v in g.vertices() {
+        let root = uf.find(v);
+        let idx = *root_to_index.entry(root).or_insert_with(|| {
+            members.push(Vec::new());
+            members.len() - 1
+        });
+        component_of[v] = idx;
+        members[idx].push(v);
+    }
+    Components { component_of, members }
+}
+
+/// Returns `true` if `g` is connected. The empty graph (0 vertices) counts as
+/// connected; the edgeless graph on `n ≥ 2` vertices does not.
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() == 0 || connected_components(g).count() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 3);
+        assert_eq!(cc.members(cc.component_of(0)), &[0, 1, 2]);
+        assert_eq!(cc.members(cc.component_of(3)), &[3, 4]);
+        assert_eq!(cc.members(cc.component_of(5)), &[5]);
+        assert_eq!(cc.largest(), 3);
+        assert_eq!(cc.iter().count(), 3);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn component_membership_is_a_partition() {
+        let g = Graph::from_edges(8, [(0, 1), (2, 3), (3, 4), (6, 7)]).unwrap();
+        let cc = connected_components(&g);
+        let total: usize = cc.iter().map(|c| c.len()).sum();
+        assert_eq!(total, g.n());
+        for (i, comp) in cc.iter().enumerate() {
+            for &v in comp {
+                assert_eq!(cc.component_of(v), i);
+            }
+        }
+    }
+}

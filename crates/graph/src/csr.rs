@@ -1,0 +1,265 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphBuilder, GraphError, VertexId};
+
+/// An immutable, simple, undirected graph stored in compressed sparse row
+/// (CSR) form.
+///
+/// Vertices are the integers `0..n`. Each undirected edge `{u, v}` is stored
+/// twice (once in each endpoint's adjacency list); adjacency lists are sorted,
+/// which allows `O(log deg)` edge queries via binary search.
+///
+/// `Graph` is cheap to share between threads (`&Graph` is `Send + Sync`) and
+/// all process simulators in the workspace borrow it immutably.
+///
+/// # Example
+///
+/// ```
+/// use mis_graph::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.has_edge(2, 3));
+/// assert!(!g.has_edge(0, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `offsets[u]..offsets[u+1]` is the slice of `adjacency` holding `N(u)`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-vertex-sorted adjacency lists.
+    adjacency: Vec<VertexId>,
+    /// Number of undirected edges.
+    m: usize,
+}
+
+impl Graph {
+    pub(crate) fn from_sorted_adjacency(offsets: Vec<usize>, adjacency: Vec<VertexId>, m: usize) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), adjacency.len());
+        Graph { offsets, adjacency, m }
+    }
+
+    /// Builds a graph on `n` vertices from an iterator of undirected edges.
+    ///
+    /// Duplicate edges are collapsed. The edge order does not matter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n` and
+    /// [`GraphError::SelfLoop`] if an edge of the form `(u, u)` is supplied.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut builder = GraphBuilder::new(n);
+        for (u, v) in edges {
+            builder.try_add_edge(u, v)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Builds the empty graph (no edges) on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph { offsets: vec![0; n + 1], adjacency: Vec::new(), m: 0 }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of vertex `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.n()`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// The sorted neighbor list `N(u)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.n()`.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        &self.adjacency[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Returns `true` if `{u, v}` is an edge. `O(log deg(u))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.n()` or `v >= self.n()`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        assert!(v < self.n(), "vertex {v} out of range");
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertices `0..n`.
+    pub fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.n()
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree Δ of the graph; `0` for the empty / edgeless graph.
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree of the graph; `0` for the edgeless graph.
+    pub fn min_degree(&self) -> usize {
+        self.vertices().map(|u| self.degree(u)).min().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n`; `0.0` for the graph on zero vertices.
+    pub fn average_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            2.0 * self.m as f64 / self.n() as f64
+        }
+    }
+
+    /// Degree sequence indexed by vertex id.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.vertices().map(|u| self.degree(u)).collect()
+    }
+
+    /// Number of common neighbors `|N(u) ∩ N(v)|`, computed by merging the
+    /// two sorted adjacency lists in `O(deg(u) + deg(v))`.
+    pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> usize {
+        let (a, b) = (self.neighbors(u), self.neighbors(v));
+        let (mut i, mut j, mut count) = (0, 0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert!(g.edges().next().is_none());
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn from_edges_basic() {
+        let g = path4();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = Graph::from_edges(3, [(1, 1)]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { vertex: 1 });
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = Graph::from_edges(3, [(0, 3)]).unwrap_err();
+        assert_eq!(err, GraphError::VertexOutOfRange { vertex: 3, n: 3 });
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = path4();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(g.has_edge(u, v), g.has_edge(v, u));
+            }
+        }
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = path4();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = path4();
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 1);
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+        assert_eq!(g.degrees(), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn common_neighbors_counts() {
+        // Triangle 0-1-2 plus vertex 3 adjacent to 0 and 1.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (3, 0), (3, 1)]).unwrap();
+        assert_eq!(g.common_neighbors(0, 1), 2); // 2 and 3
+        assert_eq!(g.common_neighbors(2, 3), 2); // 0 and 1
+        assert_eq!(g.common_neighbors(0, 3), 1); // 1
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = path4();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

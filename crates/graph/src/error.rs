@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or manipulating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id was outside the range `0..n` of the graph being built.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `(u, u)` was supplied; the processes in this crate are
+    /// defined on simple graphs only.
+    SelfLoop {
+        /// The vertex with the attempted self-loop.
+        vertex: usize,
+    },
+    /// A generator was asked for a parameter combination it cannot satisfy,
+    /// e.g. a `d`-regular graph with `n * d` odd.
+    InvalidParameter {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} is out of range for a graph on {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed in a simple graph")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 7, n: 5 };
+        assert!(e.to_string().contains("vertex 7"));
+        assert!(e.to_string().contains("5 vertices"));
+
+        let e = GraphError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains("self-loop"));
+
+        let e = GraphError::InvalidParameter { reason: "n*d must be even".into() };
+        assert!(e.to_string().contains("n*d must be even"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+    }
+}

@@ -1,0 +1,198 @@
+//! Validation of (maximal) independent sets.
+//!
+//! Every experiment in the workspace verifies its output with these
+//! functions: after a process reports stabilization, the set of black
+//! vertices must be an MIS of the input graph (independence + maximality).
+
+use crate::{Graph, VertexId, VertexSet};
+
+/// A witness explaining why a vertex set is *not* a maximal independent set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MisViolation {
+    /// Two adjacent vertices are both in the set.
+    IndependenceViolated {
+        /// First endpoint (in the set).
+        u: VertexId,
+        /// Second endpoint (in the set, adjacent to `u`).
+        v: VertexId,
+    },
+    /// A vertex outside the set has no neighbor in the set, so it could be
+    /// added without breaking independence.
+    MaximalityViolated {
+        /// The vertex that could be added.
+        vertex: VertexId,
+    },
+}
+
+impl std::fmt::Display for MisViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MisViolation::IndependenceViolated { u, v } => {
+                write!(f, "independence violated: adjacent vertices {u} and {v} are both in the set")
+            }
+            MisViolation::MaximalityViolated { vertex } => {
+                write!(f, "maximality violated: vertex {vertex} has no neighbor in the set")
+            }
+        }
+    }
+}
+
+/// Returns `true` if no two vertices of `s` are adjacent in `g`.
+///
+/// # Panics
+///
+/// Panics if `s.universe() != g.n()`.
+pub fn is_independent(g: &Graph, s: &VertexSet) -> bool {
+    check_independent(g, s).is_none()
+}
+
+/// Returns `true` if every vertex outside `s` has a neighbor in `s`.
+///
+/// Note this is *dominance of the complement*, the maximality condition for
+/// independent sets; it does not by itself imply independence.
+///
+/// # Panics
+///
+/// Panics if `s.universe() != g.n()`.
+pub fn is_maximal(g: &Graph, s: &VertexSet) -> bool {
+    check_maximal(g, s).is_none()
+}
+
+/// Returns `true` if `s` is a maximal independent set of `g`.
+///
+/// # Panics
+///
+/// Panics if `s.universe() != g.n()`.
+pub fn is_mis(g: &Graph, s: &VertexSet) -> bool {
+    check_mis(g, s).is_none()
+}
+
+/// Returns the first independence violation found, if any.
+pub fn check_independent(g: &Graph, s: &VertexSet) -> Option<MisViolation> {
+    assert_eq!(s.universe(), g.n(), "vertex set universe must match the graph");
+    for u in s.iter() {
+        for &v in g.neighbors(u) {
+            if v > u && s.contains(v) {
+                return Some(MisViolation::IndependenceViolated { u, v });
+            }
+        }
+    }
+    None
+}
+
+/// Returns the first maximality violation found, if any.
+pub fn check_maximal(g: &Graph, s: &VertexSet) -> Option<MisViolation> {
+    assert_eq!(s.universe(), g.n(), "vertex set universe must match the graph");
+    for u in g.vertices() {
+        if !s.contains(u) && !g.neighbors(u).iter().any(|&v| s.contains(v)) {
+            return Some(MisViolation::MaximalityViolated { vertex: u });
+        }
+    }
+    None
+}
+
+/// Returns the first MIS violation found (independence checked first), if any.
+pub fn check_mis(g: &Graph, s: &VertexSet) -> Option<MisViolation> {
+    check_independent(g, s).or_else(|| check_maximal(g, s))
+}
+
+/// Greedily extends an independent set `s` to a maximal one by scanning
+/// vertices in increasing id order. The input must be independent.
+///
+/// # Panics
+///
+/// Panics if `s` is not independent or its universe does not match `g`.
+pub fn greedy_completion(g: &Graph, s: &VertexSet) -> VertexSet {
+    assert!(is_independent(g, s), "input set must be independent");
+    let mut result = s.clone();
+    for u in g.vertices() {
+        if !result.contains(u) && !g.neighbors(u).iter().any(|&v| result.contains(v)) {
+            result.insert(u);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            b.add_edge(i, (i + 1) % n);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn mis_of_a_cycle() {
+        let g = cycle(6);
+        let good = VertexSet::from_indices(6, [0, 2, 4]);
+        assert!(is_mis(&g, &good));
+
+        let not_independent = VertexSet::from_indices(6, [0, 1, 3]);
+        assert!(!is_independent(&g, &not_independent));
+        assert!(matches!(
+            check_mis(&g, &not_independent),
+            Some(MisViolation::IndependenceViolated { .. })
+        ));
+
+        let not_maximal = VertexSet::from_indices(6, [0]);
+        assert!(is_independent(&g, &not_maximal));
+        assert!(!is_maximal(&g, &not_maximal));
+        assert!(matches!(
+            check_mis(&g, &not_maximal),
+            Some(MisViolation::MaximalityViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_cases() {
+        let g = Graph::empty(4);
+        // In an edgeless graph the only MIS is all vertices.
+        assert!(is_mis(&g, &VertexSet::full(4)));
+        assert!(!is_mis(&g, &VertexSet::from_indices(4, [0, 1, 2])));
+        // Zero-vertex graph: the empty set is an MIS.
+        let g0 = Graph::empty(0);
+        assert!(is_mis(&g0, &VertexSet::new(0)));
+    }
+
+    #[test]
+    fn greedy_completion_produces_mis() {
+        let g = cycle(7);
+        let partial = VertexSet::from_indices(7, [1]);
+        let full = greedy_completion(&g, &partial);
+        assert!(full.contains(1));
+        assert!(is_mis(&g, &full));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be independent")]
+    fn greedy_completion_rejects_dependent_input() {
+        let g = cycle(4);
+        greedy_completion(&g, &VertexSet::from_indices(4, [0, 1]));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = MisViolation::IndependenceViolated { u: 1, v: 2 };
+        assert!(v.to_string().contains("1"));
+        let v = MisViolation::MaximalityViolated { vertex: 5 };
+        assert!(v.to_string().contains("5"));
+    }
+
+    proptest! {
+        /// Greedy completion of the empty set is always an MIS, on random graphs.
+        #[test]
+        fn greedy_completion_is_mis_on_random_graphs(seed in 0u64..500, n in 1usize..40, p in 0.0f64..1.0) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let g = crate::generators::gnp(n, p, &mut rng);
+            let mis = greedy_completion(&g, &VertexSet::new(n));
+            prop_assert!(is_mis(&g, &mis));
+        }
+    }
+}

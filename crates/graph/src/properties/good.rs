@@ -1,0 +1,377 @@
+//! The *(n,p)-good graph* checker of Definition 17.
+//!
+//! Properties (P1)–(P4) quantify over all vertex subsets (or pairs/triples of
+//! subsets), so they cannot be verified exactly in polynomial time; following
+//! the spirit of Lemma 18 ("a `G(n,p)` graph is good w.h.p."), the checker
+//! verifies them over a configurable number of *randomly sampled* subsets, and
+//! verifies (P5) and (P6) exactly. A reported violation is always a genuine
+//! counterexample; a clean report is statistical evidence, matching how the
+//! property is used in the paper (it holds w.h.p. over the graph).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::properties::{has_diameter_at_most_2, max_common_neighbors};
+use crate::{Graph, VertexId, VertexSet};
+
+/// Configuration for the sampled checks of properties (P1)–(P4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GoodGraphConfig {
+    /// Number of random subsets sampled per property.
+    pub samples_per_property: usize,
+    /// The edge probability `p` the graph is checked against (the `p` of
+    /// "(n,p)-good"). Must be in `(0, 1)`.
+    pub p: f64,
+}
+
+impl GoodGraphConfig {
+    /// A reasonable default: 200 sampled subsets per property.
+    pub fn new(p: f64) -> Self {
+        GoodGraphConfig { samples_per_property: 200, p }
+    }
+}
+
+/// Outcome of checking one property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropertyResult {
+    /// Number of sampled (or exhaustive) checks performed.
+    pub checks: usize,
+    /// Number of violations found.
+    pub violations: usize,
+}
+
+impl PropertyResult {
+    /// `true` if no violation was found.
+    pub fn holds(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Aggregate report over properties (P1)–(P6) of Definition 17.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoodGraphReport {
+    /// (P1) induced average degree bound: every sampled `S` has average degree
+    /// of `G[S]` at most `max(8 p |S|, 4 ln n)`.
+    pub p1_induced_average_degree: PropertyResult,
+    /// (P2) expansion of large sets: for sampled `S` with `|S| ≥ 40 ln(n)/p`,
+    /// at most `|S|/2` outside vertices have fewer than `p|S|/2` neighbors in `S`.
+    pub p2_large_set_expansion: PropertyResult,
+    /// (P3) neighborhood domination: for sampled disjoint `S, T, I` with
+    /// `|S| ≥ 2|T|` and `(S ∪ T) ∩ N(I) = ∅`,
+    /// `|N(T) \ N⁺(S ∪ I)| ≤ |N(S) \ N⁺(I)| + 8 ln²(n)/p`.
+    pub p3_neighborhood_domination: PropertyResult,
+    /// (P4) sparse cuts: for sampled disjoint `S, T` with `|S| ≥ |T|` and
+    /// `|T| ≤ ln(n)/p`, `|E(S,T)| ≤ 6 |S| ln n`.
+    pub p4_cut_bound: PropertyResult,
+    /// (P5) common neighbors: no two vertices share more than
+    /// `max(6 n p², 4 ln n)` common neighbors (checked exactly).
+    pub p5_common_neighbors: PropertyResult,
+    /// (P6) diameter: if `p ≥ 2 √(ln(n)/n)` then `diam(G) ≤ 2`
+    /// (checked exactly; vacuously holds for smaller `p`).
+    pub p6_diameter: PropertyResult,
+    /// The maximum common-neighbor count found while checking (P5).
+    pub max_common_neighbors: usize,
+}
+
+impl GoodGraphReport {
+    /// `true` if no property violation was detected.
+    pub fn is_good(&self) -> bool {
+        self.p1_induced_average_degree.holds()
+            && self.p2_large_set_expansion.holds()
+            && self.p3_neighborhood_domination.holds()
+            && self.p4_cut_bound.holds()
+            && self.p5_common_neighbors.holds()
+            && self.p6_diameter.holds()
+    }
+}
+
+fn ln_n(n: usize) -> f64 {
+    (n.max(2) as f64).ln()
+}
+
+fn sample_subset<R: Rng + ?Sized>(pool: &[VertexId], size: usize, rng: &mut R) -> Vec<VertexId> {
+    let size = size.min(pool.len());
+    let mut pool: Vec<VertexId> = pool.to_vec();
+    pool.shuffle(rng);
+    pool.truncate(size);
+    pool
+}
+
+/// Average degree of the subgraph induced by `s` (slice of distinct vertices).
+fn induced_avg_degree(g: &Graph, s: &[VertexId]) -> f64 {
+    if s.is_empty() {
+        return 0.0;
+    }
+    let set = VertexSet::from_indices(g.n(), s.iter().copied());
+    let mut endpoints = 0usize;
+    for &u in s {
+        endpoints += g.neighbors(u).iter().filter(|&&v| set.contains(v)).count();
+    }
+    endpoints as f64 / s.len() as f64
+}
+
+/// Checks whether `g` satisfies the (n,p)-good properties of Definition 17,
+/// sampling random subsets for the universally-quantified properties
+/// (P1)–(P4) and checking (P5)–(P6) exactly.
+///
+/// # Panics
+///
+/// Panics if `config.p` is not in `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use mis_graph::{generators, properties::{check_good, GoodGraphConfig}};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+/// let p = 0.1;
+/// let g = generators::gnp(300, p, &mut rng);
+/// let report = check_good(&g, GoodGraphConfig::new(p), &mut rng);
+/// assert!(report.is_good());
+/// ```
+pub fn check_good<R: Rng + ?Sized>(g: &Graph, config: GoodGraphConfig, rng: &mut R) -> GoodGraphReport {
+    assert!(config.p > 0.0 && config.p < 1.0, "p must be in (0, 1), got {}", config.p);
+    let n = g.n();
+    let p = config.p;
+    let ln = ln_n(n);
+    let samples = config.samples_per_property;
+    let all: Vec<VertexId> = g.vertices().collect();
+
+    // ---- (P1) ----
+    let mut p1 = PropertyResult { checks: 0, violations: 0 };
+    for _ in 0..samples {
+        if n == 0 {
+            break;
+        }
+        let size = rng.gen_range(1..=n);
+        let s = sample_subset(&all, size, rng);
+        let bound = (8.0 * p * s.len() as f64).max(4.0 * ln);
+        p1.checks += 1;
+        if induced_avg_degree(g, &s) > bound + 1e-9 {
+            p1.violations += 1;
+        }
+    }
+
+    // ---- (P2) ----
+    let mut p2 = PropertyResult { checks: 0, violations: 0 };
+    let min_size = (40.0 * ln / p).ceil() as usize;
+    if min_size <= n {
+        for _ in 0..samples {
+            let size = rng.gen_range(min_size..=n);
+            let s = sample_subset(&all, size, rng);
+            let set = VertexSet::from_indices(n, s.iter().copied());
+            let threshold = p * s.len() as f64 / 2.0;
+            let poor = g
+                .vertices()
+                .filter(|&u| !set.contains(u))
+                .filter(|&u| (g.neighbors(u).iter().filter(|&&v| set.contains(v)).count() as f64) < threshold)
+                .count();
+            p2.checks += 1;
+            if poor > s.len() / 2 {
+                p2.violations += 1;
+            }
+        }
+    }
+
+    // ---- (P3) ----
+    let mut p3 = PropertyResult { checks: 0, violations: 0 };
+    for _ in 0..samples {
+        if n < 4 {
+            break;
+        }
+        // Sample a small I, exclude its neighborhood, then split the remainder
+        // into S and T with |S| >= 2|T|.
+        let i_size = rng.gen_range(0..=(n / 8).max(1));
+        let i_vec = sample_subset(&all, i_size, rng);
+        let i_set = VertexSet::from_indices(n, i_vec.iter().copied());
+        let mut n_of_i = VertexSet::new(n);
+        for &u in &i_vec {
+            for &v in g.neighbors(u) {
+                if !i_set.contains(v) {
+                    n_of_i.insert(v);
+                }
+            }
+        }
+        let pool: Vec<VertexId> =
+            g.vertices().filter(|&v| !i_set.contains(v) && !n_of_i.contains(v)).collect();
+        if pool.len() < 3 {
+            continue;
+        }
+        let t_size = rng.gen_range(1..=(pool.len() / 3).max(1));
+        let chosen = sample_subset(&pool, 3 * t_size, rng);
+        let (t_vec, s_vec) = chosen.split_at(t_size.min(chosen.len()));
+        if s_vec.len() < 2 * t_vec.len() || t_vec.is_empty() {
+            continue;
+        }
+        let s_set = VertexSet::from_indices(n, s_vec.iter().copied());
+        let t_set = VertexSet::from_indices(n, t_vec.iter().copied());
+
+        // N(T) \ N+(S ∪ I)
+        let mut lhs = 0usize;
+        let mut counted = VertexSet::new(n);
+        for &t in t_vec {
+            for &v in g.neighbors(t) {
+                if counted.contains(v) || t_set.contains(v) {
+                    continue;
+                }
+                let in_closed_si = s_set.contains(v)
+                    || i_set.contains(v)
+                    || g.neighbors(v).iter().any(|&w| s_set.contains(w) || i_set.contains(w));
+                if !in_closed_si {
+                    counted.insert(v);
+                    lhs += 1;
+                }
+            }
+        }
+        // N(S) \ N+(I)
+        let mut rhs = 0usize;
+        let mut counted = VertexSet::new(n);
+        for &s in s_vec {
+            for &v in g.neighbors(s) {
+                if counted.contains(v) || s_set.contains(v) {
+                    continue;
+                }
+                let in_closed_i = i_set.contains(v) || g.neighbors(v).iter().any(|&w| i_set.contains(w));
+                if !in_closed_i {
+                    counted.insert(v);
+                    rhs += 1;
+                }
+            }
+        }
+        p3.checks += 1;
+        if (lhs as f64) > rhs as f64 + 8.0 * ln * ln / p + 1e-9 {
+            p3.violations += 1;
+        }
+    }
+
+    // ---- (P4) ----
+    let mut p4 = PropertyResult { checks: 0, violations: 0 };
+    let t_max = (ln / p).floor().max(1.0) as usize;
+    for _ in 0..samples {
+        if n < 2 {
+            break;
+        }
+        let t_size = rng.gen_range(1..=t_max.min(n / 2).max(1));
+        let chosen = sample_subset(&all, n.min(t_size + rng.gen_range(t_size..=n.max(t_size + 1))), rng);
+        if chosen.len() < 2 * t_size {
+            continue;
+        }
+        let (t_vec, s_vec) = chosen.split_at(t_size);
+        if s_vec.len() < t_vec.len() {
+            continue;
+        }
+        let s_set = VertexSet::from_indices(n, s_vec.iter().copied());
+        let cut: usize = t_vec
+            .iter()
+            .map(|&t| g.neighbors(t).iter().filter(|&&v| s_set.contains(v)).count())
+            .sum();
+        p4.checks += 1;
+        if (cut as f64) > 6.0 * s_vec.len() as f64 * ln + 1e-9 {
+            p4.violations += 1;
+        }
+    }
+
+    // ---- (P5) exact ----
+    let max_common = max_common_neighbors(g);
+    let p5_bound = (6.0 * n as f64 * p * p).max(4.0 * ln);
+    let p5 = PropertyResult {
+        checks: 1,
+        violations: usize::from(max_common as f64 > p5_bound + 1e-9),
+    };
+
+    // ---- (P6) exact ----
+    let p6_applies = p >= 2.0 * (ln / n.max(1) as f64).sqrt();
+    let p6 = if p6_applies {
+        PropertyResult { checks: 1, violations: usize::from(!has_diameter_at_most_2(g)) }
+    } else {
+        PropertyResult { checks: 0, violations: 0 }
+    };
+
+    GoodGraphReport {
+        p1_induced_average_degree: p1,
+        p2_large_set_expansion: p2,
+        p3_neighborhood_domination: p3,
+        p4_cut_bound: p4,
+        p5_common_neighbors: p5,
+        p6_diameter: p6,
+        max_common_neighbors: max_common,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sparse_gnp_is_good() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let p = 0.05;
+        let g = generators::gnp(400, p, &mut rng);
+        let report = check_good(&g, GoodGraphConfig::new(p), &mut rng);
+        assert!(report.is_good(), "report: {report:?}");
+        assert!(report.p1_induced_average_degree.checks > 0);
+        assert!(report.p4_cut_bound.checks > 0);
+        assert_eq!(report.p5_common_neighbors.checks, 1);
+    }
+
+    #[test]
+    fn dense_gnp_is_good_and_p6_applies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(18);
+        let p = 0.5;
+        let g = generators::gnp(200, p, &mut rng);
+        let report = check_good(&g, GoodGraphConfig::new(p), &mut rng);
+        assert!(report.is_good(), "report: {report:?}");
+        assert_eq!(report.p6_diameter.checks, 1, "P6 must be exercised for dense p");
+    }
+
+    #[test]
+    fn adversarial_graph_violates_p5() {
+        // Complete bipartite K_{2,k}: the two left vertices share k common
+        // neighbors, far above the bound for a claimed tiny p.
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let n = 60;
+        let mut b = crate::GraphBuilder::new(n);
+        for v in 2..n {
+            b.add_edge(0, v);
+            b.add_edge(1, v);
+        }
+        let g = b.build();
+        let report = check_good(&g, GoodGraphConfig::new(0.01), &mut rng);
+        assert!(!report.p5_common_neighbors.holds());
+        assert!(!report.is_good());
+        assert_eq!(report.max_common_neighbors, n - 2);
+    }
+
+    #[test]
+    fn disconnected_dense_claim_violates_p6() {
+        // Two disjoint cliques with p claimed to be large: diameter is infinite.
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        let g = generators::disjoint_cliques(2, 30);
+        let report = check_good(&g, GoodGraphConfig::new(0.9), &mut rng);
+        assert_eq!(report.p6_diameter.checks, 1);
+        assert!(!report.p6_diameter.holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0, 1)")]
+    fn rejects_invalid_p() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        check_good(&Graph::empty(3), GoodGraphConfig::new(0.0), &mut rng);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let p = 0.1;
+        let g = generators::gnp(50, p, &mut rng);
+        let report = check_good(&g, GoodGraphConfig { samples_per_property: 20, p }, &mut rng);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: GoodGraphReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

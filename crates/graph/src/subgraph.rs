@@ -1,0 +1,126 @@
+use crate::{Graph, VertexId, VertexSet};
+
+/// An induced subgraph `G[S]`, materialized as a new [`Graph`] together with
+/// the mapping between original and induced vertex ids.
+///
+/// The analysis of the paper repeatedly reasons about induced subgraphs (the
+/// subgraph on the non-stable vertices `V_t`, the subgraph on the active
+/// vertices `A_t`, …); this type lets experiments materialize those subgraphs
+/// and measure their structural properties (average degree, max degree, …).
+///
+/// # Example
+///
+/// ```
+/// use mis_graph::{Graph, InducedSubgraph, VertexSet};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+/// let s = VertexSet::from_indices(5, [0, 1, 2]);
+/// let sub = InducedSubgraph::new(&g, &s);
+/// assert_eq!(sub.graph().n(), 3);
+/// assert_eq!(sub.graph().m(), 2); // edges (0,1) and (1,2)
+/// assert_eq!(sub.original_id(0), 0);
+/// assert_eq!(sub.induced_id(2), Some(2));
+/// assert_eq!(sub.induced_id(4), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    graph: Graph,
+    /// `original[i]` is the original id of induced vertex `i`.
+    original: Vec<VertexId>,
+    /// `induced[v]` is `Some(i)` iff original vertex `v` is induced vertex `i`.
+    induced: Vec<Option<VertexId>>,
+}
+
+impl InducedSubgraph {
+    /// Materializes the subgraph of `g` induced by the vertex set `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.universe() != g.n()`.
+    pub fn new(g: &Graph, s: &VertexSet) -> Self {
+        assert_eq!(s.universe(), g.n(), "vertex set universe must match the graph");
+        let original: Vec<VertexId> = s.iter().collect();
+        let mut induced = vec![None; g.n()];
+        for (i, &v) in original.iter().enumerate() {
+            induced[v] = Some(i);
+        }
+        let mut builder = crate::GraphBuilder::new(original.len());
+        for (i, &v) in original.iter().enumerate() {
+            for &w in g.neighbors(v) {
+                if let Some(j) = induced[w] {
+                    if i < j {
+                        builder.add_edge(i, j);
+                    }
+                }
+            }
+        }
+        InducedSubgraph { graph: builder.build(), original, induced }
+    }
+
+    /// The materialized subgraph, with vertices renumbered `0..|S|`.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Maps an induced vertex id back to its id in the original graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a vertex of the subgraph.
+    pub fn original_id(&self, i: VertexId) -> VertexId {
+        self.original[i]
+    }
+
+    /// Maps an original vertex id to its induced id, or `None` if the vertex
+    /// is not part of the subgraph.
+    pub fn induced_id(&self, v: VertexId) -> Option<VertexId> {
+        self.induced.get(v).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induced_subgraph_of_a_cycle() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let s = VertexSet::from_indices(6, [0, 2, 3, 5]);
+        let sub = InducedSubgraph::new(&g, &s);
+        // Edges inside {0,2,3,5}: (2,3) and (5,0).
+        assert_eq!(sub.graph().n(), 4);
+        assert_eq!(sub.graph().m(), 2);
+        // Round-trip id mapping.
+        for i in sub.graph().vertices() {
+            assert_eq!(sub.induced_id(sub.original_id(i)), Some(i));
+        }
+        assert_eq!(sub.induced_id(1), None);
+    }
+
+    #[test]
+    fn empty_induced_subgraph() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let sub = InducedSubgraph::new(&g, &VertexSet::new(3));
+        assert_eq!(sub.graph().n(), 0);
+        assert_eq!(sub.graph().m(), 0);
+    }
+
+    #[test]
+    fn full_induced_subgraph_equals_original() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let sub = InducedSubgraph::new(&g, &VertexSet::full(4));
+        assert_eq!(sub.graph(), &g);
+    }
+
+    #[test]
+    fn edge_preservation() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]).unwrap();
+        let s = VertexSet::from_indices(5, [1, 2, 3]);
+        let sub = InducedSubgraph::new(&g, &s);
+        // In the induced graph: vertices {1,2,3} -> {0,1,2}; edges (1,2),(2,3),(1,3) -> 3 edges.
+        assert_eq!(sub.graph().m(), 3);
+        for (a, b) in sub.graph().edges() {
+            assert!(g.has_edge(sub.original_id(a), sub.original_id(b)));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Breadth-first traversal utilities: single-source distances, eccentricity,
+//! and multi-source BFS. These back the diameter computation used by the
+//! good-graph property (P6) and by the logarithmic-switch analysis, which
+//! distinguishes graphs of diameter at most 2.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, VertexId};
+
+/// Distance value reported for vertices unreachable from the source.
+pub const UNREACHABLE: usize = usize::MAX;
+
+/// Single-source BFS distances from `source`.
+///
+/// Returns a vector `dist` with `dist[v]` the hop distance from `source` to
+/// `v`, or [`UNREACHABLE`] if `v` is in a different connected component.
+///
+/// # Panics
+///
+/// Panics if `source >= g.n()`.
+///
+/// # Example
+///
+/// ```
+/// use mis_graph::{Graph, traversal};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+/// let d = traversal::bfs_distances(&g, 0);
+/// assert_eq!(d[2], 2);
+/// assert_eq!(d[3], traversal::UNREACHABLE);
+/// ```
+pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<usize> {
+    assert!(source < g.n(), "source {source} out of range");
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v] == UNREACHABLE {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `source`: the maximum BFS distance to any vertex reachable
+/// from it. Returns `None` if some vertex of the graph is unreachable (the
+/// graph is disconnected), since the eccentricity is infinite in that case.
+pub fn eccentricity(g: &Graph, source: VertexId) -> Option<usize> {
+    let dist = bfs_distances(g, source);
+    let mut ecc = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc)
+}
+
+/// BFS order (vertices in the order they are first discovered) from `source`.
+pub fn bfs_order(g: &Graph, source: VertexId) -> Vec<VertexId> {
+    assert!(source < g.n(), "source {source} out of range");
+    let mut seen = vec![false; g.n()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(eccentricity(&g, 0), Some(4));
+        assert_eq!(eccentricity(&g, 2), Some(2));
+    }
+
+    #[test]
+    fn disconnected_graph_has_unreachable_vertices() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(eccentricity(&g, 0), None);
+    }
+
+    #[test]
+    fn bfs_order_visits_each_reachable_vertex_once() {
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 3), (2, 3), (4, 5)]).unwrap();
+        let order = bfs_order(&g, 0);
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], 0);
+        let set: std::collections::HashSet<_> = order.iter().collect();
+        assert_eq!(set.len(), 4);
+        assert!(!set.contains(&4));
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = Graph::empty(1);
+        assert_eq!(bfs_distances(&g, 0), vec![0]);
+        assert_eq!(eccentricity(&g, 0), Some(0));
+        assert_eq!(bfs_order(&g, 0), vec![0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Disjoint-set (union–find) data structure with union by rank and path
+//! compression, used by the connected-component analysis and by the random
+//! tree / forest generators to avoid creating cycles.
+
+/// Disjoint-set forest over the elements `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use mis_graph::union_find::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(2, 3));
+/// assert!(!uf.union(1, 0)); // already connected
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 2));
+/// assert_eq!(uf.component_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the canonical representative of `x`'s set, compressing paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `x` and `y`.
+    ///
+    /// Returns `true` if the two elements were in different sets (i.e. a merge
+    /// actually happened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element is out of range.
+    pub fn union(&mut self, x: usize, y: usize) -> bool {
+        let (rx, ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        let (hi, lo) = if self.rank[rx] >= self.rank[ry] { (rx, ry) } else { (ry, rx) };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Returns `true` if `x` and `y` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element is out of range.
+    pub fn connected(&mut self, x: usize, y: usize) -> bool {
+        self.find(x) == self.find(y)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.component_count(), 3);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.find(2), 2);
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.is_empty());
+    }
+
+    #[test]
+    fn union_reduces_components() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn empty_union_find() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+
+    proptest! {
+        /// Union–find agrees with a naive label-propagation implementation.
+        #[test]
+        fn matches_naive(unions in proptest::collection::vec((0usize..50, 0usize..50), 0..120)) {
+            let n = 50;
+            let mut uf = UnionFind::new(n);
+            let mut label: Vec<usize> = (0..n).collect();
+            for (x, y) in unions {
+                uf.union(x, y);
+                let (lx, ly) = (label[x], label[y]);
+                if lx != ly {
+                    for l in label.iter_mut() {
+                        if *l == ly { *l = lx; }
+                    }
+                }
+            }
+            for x in 0..n {
+                for y in 0..n {
+                    prop_assert_eq!(uf.connected(x, y), label[x] == label[y]);
+                }
+            }
+            let distinct: std::collections::HashSet<_> = label.iter().copied().collect();
+            prop_assert_eq!(uf.component_count(), distinct.len());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Experiment harness for the `selfstab-mis` workspace.
+//!
+//! This crate turns the processes of `mis-core` (and the baselines of
+//! `mis-baselines`) into reproducible, parallel Monte-Carlo experiments:
+//!
+//! * [`spec`] — declarative experiment specifications: which graph family
+//!   ([`spec::GraphSpec`]), which process ([`spec::ProcessSelector`]), which
+//!   initialization, how many trials, which seed.
+//! * [`runner`] — executes a specification: every trial gets its own
+//!   deterministic RNG stream (derived from the base seed and the trial
+//!   index), trials run in parallel with rayon, and every stabilized trial is
+//!   validated against [`mis_graph::mis_check::is_mis`].
+//! * [`metrics`] — per-trial results and optional per-round traces.
+//! * [`stats`] — summary statistics (mean, quantiles, standard deviation)
+//!   used by the experiment tables.
+//! * [`sweep`] — parameter sweeps producing CSV tables, one row per
+//!   parameter value.
+//! * [`fault`] — transient-fault injection for the self-stabilization
+//!   (recovery) experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use mis_sim::spec::{ExperimentSpec, GraphSpec, ProcessSelector};
+//! use mis_sim::runner::run_experiment;
+//! use mis_core::init::InitStrategy;
+//!
+//! let spec = ExperimentSpec {
+//!     name: "quick-demo".into(),
+//!     graph: GraphSpec::Gnp { n: 100, p: 0.05 },
+//!     process: ProcessSelector::TwoState,
+//!     init: InitStrategy::Random,
+//!     trials: 8,
+//!     max_rounds: 100_000,
+//!     base_seed: 42,
+//!     record_trace: false,
+//! };
+//! let result = run_experiment(&spec);
+//! assert_eq!(result.trials.len(), 8);
+//! assert!(result.all_stabilized());
+//! println!("mean stabilization time: {:.1} rounds", result.rounds_summary().mean);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod metrics;
+pub mod runner;
+pub mod spec;
+pub mod stats;
+pub mod sweep;
+
+pub use metrics::{RoundTrace, TrialResult};
+pub use runner::{run_experiment, ExperimentResult};
+pub use spec::{ExperimentSpec, GraphSpec, ProcessSelector};
+pub use stats::Summary;

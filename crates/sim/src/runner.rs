@@ -1,0 +1,250 @@
+//! Executes experiment specifications: one deterministic RNG stream per
+//! trial, parallel trials, and MIS validation of every outcome.
+
+use mis_baselines::{luby_mis, RandomPriorityMis};
+use mis_core::{Process, ThreeColorProcess, ThreeStateProcess, TwoStateProcess};
+use mis_graph::{mis_check, Graph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{RoundTrace, TrialResult};
+use crate::spec::{ExperimentSpec, ProcessSelector};
+use crate::stats::Summary;
+
+/// All trial results of one experiment plus the specification that produced
+/// them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The specification that was executed.
+    pub spec: ExperimentSpec,
+    /// One result per trial, in trial order.
+    pub trials: Vec<TrialResult>,
+}
+
+impl ExperimentResult {
+    /// `true` if every trial stabilized within its round budget.
+    pub fn all_stabilized(&self) -> bool {
+        self.trials.iter().all(|t| t.stabilized)
+    }
+
+    /// `true` if every stabilized trial produced a valid MIS.
+    pub fn all_valid(&self) -> bool {
+        self.trials.iter().all(|t| !t.stabilized || t.valid_mis)
+    }
+
+    /// Summary of stabilization times (in rounds) over all trials.
+    pub fn rounds_summary(&self) -> Summary {
+        Summary::from_counts(self.trials.iter().map(|t| t.rounds))
+    }
+
+    /// Summary of MIS sizes over all trials.
+    pub fn mis_size_summary(&self) -> Summary {
+        Summary::from_counts(self.trials.iter().map(|t| t.mis_size))
+    }
+
+    /// Summary of random bits used per trial.
+    pub fn random_bits_summary(&self) -> Summary {
+        Summary::from_counts(self.trials.iter().map(|t| t.random_bits as usize))
+    }
+}
+
+/// Runs a single trial of `spec` with the RNG stream derived from
+/// `spec.base_seed + trial`.
+///
+/// The trial re-samples the graph (for random families), runs the selected
+/// process to stabilization or until the round budget is exhausted, validates
+/// the resulting black set, and returns the full [`TrialResult`].
+pub fn run_trial(spec: &ExperimentSpec, trial: usize) -> TrialResult {
+    let seed = spec.base_seed.wrapping_add(trial as u64);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let graph = spec.graph.generate(&mut rng);
+
+    let (rounds, stabilized, mis, random_bits, states_per_vertex, trace) = match spec.process {
+        ProcessSelector::TwoState => {
+            let proc = TwoStateProcess::with_init(&graph, spec.init, &mut rng);
+            drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
+        }
+        ProcessSelector::ThreeState => {
+            let proc = ThreeStateProcess::with_init(&graph, spec.init, &mut rng);
+            drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
+        }
+        ProcessSelector::ThreeColor => {
+            let proc = ThreeColorProcess::with_randomized_switch(&graph, spec.init, &mut rng);
+            drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
+        }
+        ProcessSelector::RandomPriority => {
+            let proc = RandomPriorityMis::random_init(&graph, &mut rng);
+            drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
+        }
+        ProcessSelector::Luby => {
+            let out = luby_mis(&graph, &mut rng);
+            (out.rounds, true, out.mis, out.random_bits, usize::MAX, None)
+        }
+    };
+
+    let valid_mis = stabilized && mis_check::is_mis(&graph, &mis);
+    TrialResult {
+        trial,
+        seed,
+        n: graph.n(),
+        m: graph.m(),
+        rounds,
+        stabilized,
+        valid_mis,
+        mis_size: mis.len(),
+        random_bits,
+        states_per_vertex,
+        trace,
+    }
+}
+
+/// Runs every trial of `spec`, in parallel, and collects the results in trial
+/// order.
+pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    let trials: Vec<TrialResult> =
+        (0..spec.trials).into_par_iter().map(|trial| run_trial(spec, trial)).collect();
+    ExperimentResult { spec: spec.clone(), trials }
+}
+
+/// Drives a [`Process`] to stabilization, optionally recording a per-round
+/// trace, and extracts the measurement tuple shared by all process kinds.
+fn drive<P: Process>(
+    mut proc: P,
+    rng: &mut ChaCha8Rng,
+    max_rounds: usize,
+    record_trace: bool,
+) -> (usize, bool, mis_graph::VertexSet, u64, usize, Option<RoundTrace>) {
+    let mut trace = record_trace.then(RoundTrace::default);
+    if let Some(t) = trace.as_mut() {
+        t.counts.push(proc.counts());
+    }
+    let mut stabilized = proc.is_stabilized();
+    while !stabilized && proc.round() < max_rounds {
+        proc.step(rng);
+        if let Some(t) = trace.as_mut() {
+            t.counts.push(proc.counts());
+        }
+        stabilized = proc.is_stabilized();
+    }
+    (
+        proc.round(),
+        stabilized,
+        proc.black_set(),
+        proc.random_bits_used(),
+        proc.states_per_vertex(),
+        trace,
+    )
+}
+
+/// Convenience wrapper: runs the 2-state process once on an explicit graph
+/// and returns its stabilization time. Used by tests and examples that
+/// already hold a graph.
+///
+/// # Errors
+///
+/// Returns [`mis_core::StabilizationTimeout`] if the process does not
+/// stabilize within `max_rounds`.
+pub fn stabilization_time_two_state(
+    graph: &Graph,
+    init: mis_core::init::InitStrategy,
+    seed: u64,
+    max_rounds: usize,
+) -> Result<usize, mis_core::StabilizationTimeout> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut proc = TwoStateProcess::with_init(graph, init, &mut rng);
+    proc.run_to_stabilization(&mut rng, max_rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GraphSpec;
+    use mis_core::init::InitStrategy;
+
+    fn base_spec(process: ProcessSelector) -> ExperimentSpec {
+        ExperimentSpec {
+            name: "unit".into(),
+            graph: GraphSpec::Gnp { n: 60, p: 0.08 },
+            process,
+            init: InitStrategy::Random,
+            trials: 6,
+            max_rounds: 100_000,
+            base_seed: 11,
+            record_trace: false,
+        }
+    }
+
+    #[test]
+    fn every_process_kind_produces_valid_mis() {
+        for process in [
+            ProcessSelector::TwoState,
+            ProcessSelector::ThreeState,
+            ProcessSelector::ThreeColor,
+            ProcessSelector::Luby,
+            ProcessSelector::RandomPriority,
+        ] {
+            let result = run_experiment(&base_spec(process));
+            assert_eq!(result.trials.len(), 6);
+            assert!(result.all_stabilized(), "{process:?}");
+            assert!(result.all_valid(), "{process:?}");
+            assert!(result.rounds_summary().max >= 1.0 || result.rounds_summary().max == 0.0);
+        }
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let spec = base_spec(ProcessSelector::TwoState);
+        let a = run_experiment(&spec);
+        let b = run_experiment(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_change_outcomes() {
+        let mut spec = base_spec(ProcessSelector::TwoState);
+        let a = run_experiment(&spec);
+        spec.base_seed = 999;
+        let b = run_experiment(&spec);
+        // Stabilization times should differ for at least one trial.
+        let ra: Vec<_> = a.trials.iter().map(|t| t.rounds).collect();
+        let rb: Vec<_> = b.trials.iter().map(|t| t.rounds).collect();
+        assert_ne!(ra, rb);
+    }
+
+    #[test]
+    fn trace_recording_captures_monotone_unstable_counts() {
+        let mut spec = base_spec(ProcessSelector::TwoState);
+        spec.record_trace = true;
+        spec.trials = 2;
+        let result = run_experiment(&spec);
+        for t in &result.trials {
+            let trace = t.trace.as_ref().expect("trace requested");
+            assert_eq!(trace.len(), t.rounds + 1);
+            // |V_t| is non-increasing over time for the 2-state process.
+            let unstable: Vec<_> = trace.counts.iter().map(|c| c.unstable).collect();
+            assert!(unstable.windows(2).all(|w| w[1] <= w[0]), "unstable counts increased: {unstable:?}");
+            assert_eq!(*unstable.last().unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn timeout_is_reported_not_panicked() {
+        let mut spec = base_spec(ProcessSelector::TwoState);
+        spec.graph = GraphSpec::Complete { n: 256 };
+        spec.max_rounds = 1; // far too small
+        spec.trials = 2;
+        let result = run_experiment(&spec);
+        assert!(!result.all_stabilized());
+        assert!(result.all_valid(), "non-stabilized trials must not claim a valid MIS");
+    }
+
+    #[test]
+    fn helper_runs_on_explicit_graph() {
+        let g = mis_graph::generators::complete(16);
+        let rounds =
+            stabilization_time_two_state(&g, InitStrategy::AllBlack, 3, 100_000).unwrap();
+        assert!(rounds >= 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Declarative experiment specifications.
+
+use mis_core::init::InitStrategy;
+use mis_graph::{generators, Graph};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which graph family a trial should generate.
+///
+/// Every variant corresponds to a family analyzed (or used as a hard case) in
+/// the paper; random families are re-sampled per trial so that statements
+/// "w.h.p. over `G(n,p)`" are exercised over both sources of randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GraphSpec {
+    /// Erdős–Rényi `G(n,p)` (Theorems 2, 3).
+    Gnp {
+        /// Number of vertices.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
+    /// Complete graph `K_n` (Theorem 8).
+    Complete {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Disjoint union of `count` cliques of size `size` (Remark 9).
+    DisjointCliques {
+        /// Number of cliques.
+        count: usize,
+        /// Vertices per clique.
+        size: usize,
+    },
+    /// Uniformly random recursive tree (Theorem 11).
+    RandomTree {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Path graph.
+    Path {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Cycle graph.
+    Cycle {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Star graph.
+    Star {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Random `d`-regular graph (Theorem 12's `O(Δ log n)` bound).
+    Regular {
+        /// Number of vertices.
+        n: usize,
+        /// Degree of every vertex.
+        d: usize,
+    },
+    /// 2-dimensional grid.
+    Grid {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Union of random spanning forests — arboricity at most `forests`
+    /// (Theorem 11).
+    ForestUnion {
+        /// Number of vertices.
+        n: usize,
+        /// Number of superimposed random forests.
+        forests: usize,
+    },
+}
+
+impl GraphSpec {
+    /// Generates a graph according to this specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid for the family (e.g. a regular
+    /// graph with `n · d` odd).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        match *self {
+            GraphSpec::Gnp { n, p } => generators::gnp(n, p, rng),
+            GraphSpec::Complete { n } => generators::complete(n),
+            GraphSpec::DisjointCliques { count, size } => generators::disjoint_cliques(count, size),
+            GraphSpec::RandomTree { n } => generators::random_tree(n, rng),
+            GraphSpec::Path { n } => generators::path(n),
+            GraphSpec::Cycle { n } => generators::cycle(n),
+            GraphSpec::Star { n } => generators::star(n),
+            GraphSpec::Regular { n, d } => {
+                generators::regular(n, d, rng).expect("invalid regular graph parameters")
+            }
+            GraphSpec::Grid { rows, cols } => generators::grid(rows, cols),
+            GraphSpec::ForestUnion { n, forests } => generators::forest_union(n, forests, rng),
+        }
+    }
+
+    /// Number of vertices the generated graph will have.
+    pub fn n(&self) -> usize {
+        match *self {
+            GraphSpec::Gnp { n, .. }
+            | GraphSpec::RandomTree { n }
+            | GraphSpec::Path { n }
+            | GraphSpec::Cycle { n }
+            | GraphSpec::Star { n }
+            | GraphSpec::Regular { n, .. }
+            | GraphSpec::ForestUnion { n, .. }
+            | GraphSpec::Complete { n } => n,
+            GraphSpec::DisjointCliques { count, size } => count * size,
+            GraphSpec::Grid { rows, cols } => rows * cols,
+        }
+    }
+
+    /// A short human-readable label for tables and CSV output.
+    pub fn label(&self) -> String {
+        match *self {
+            GraphSpec::Gnp { n, p } => format!("gnp(n={n},p={p})"),
+            GraphSpec::Complete { n } => format!("complete(n={n})"),
+            GraphSpec::DisjointCliques { count, size } => format!("cliques(count={count},size={size})"),
+            GraphSpec::RandomTree { n } => format!("tree(n={n})"),
+            GraphSpec::Path { n } => format!("path(n={n})"),
+            GraphSpec::Cycle { n } => format!("cycle(n={n})"),
+            GraphSpec::Star { n } => format!("star(n={n})"),
+            GraphSpec::Regular { n, d } => format!("regular(n={n},d={d})"),
+            GraphSpec::Grid { rows, cols } => format!("grid({rows}x{cols})"),
+            GraphSpec::ForestUnion { n, forests } => format!("forests(n={n},k={forests})"),
+        }
+    }
+}
+
+/// Which process (or baseline) a trial should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessSelector {
+    /// The 2-state MIS process (Definition 4).
+    TwoState,
+    /// The 3-state MIS process (Definition 5).
+    ThreeState,
+    /// The 3-color MIS process with the randomized logarithmic switch
+    /// (Definition 28, 18 states).
+    ThreeColor,
+    /// Luby's algorithm (baseline; not self-stabilizing).
+    Luby,
+    /// The random-priority synchronous self-stabilizing baseline.
+    RandomPriority,
+}
+
+impl ProcessSelector {
+    /// Short label used in tables and CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProcessSelector::TwoState => "two-state",
+            ProcessSelector::ThreeState => "three-state",
+            ProcessSelector::ThreeColor => "three-color",
+            ProcessSelector::Luby => "luby",
+            ProcessSelector::RandomPriority => "random-priority",
+        }
+    }
+}
+
+/// A full experiment: a graph family, a process, an initialization, and a
+/// trial/seed budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Name used in reports and file names.
+    pub name: String,
+    /// Graph family to sample per trial.
+    pub graph: GraphSpec,
+    /// Process (or baseline) to run.
+    pub process: ProcessSelector,
+    /// Initial-state strategy (ignored by the non-self-stabilizing Luby baseline).
+    pub init: InitStrategy,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Per-trial round budget.
+    pub max_rounds: usize,
+    /// Base seed; trial `i` uses seed `base_seed + i`.
+    pub base_seed: u64,
+    /// Whether to record per-round traces (memory-heavy for large runs).
+    pub record_trace: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn graph_spec_generates_expected_sizes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let specs = [
+            GraphSpec::Gnp { n: 30, p: 0.1 },
+            GraphSpec::Complete { n: 12 },
+            GraphSpec::DisjointCliques { count: 3, size: 4 },
+            GraphSpec::RandomTree { n: 25 },
+            GraphSpec::Path { n: 9 },
+            GraphSpec::Cycle { n: 8 },
+            GraphSpec::Star { n: 7 },
+            GraphSpec::Regular { n: 10, d: 4 },
+            GraphSpec::Grid { rows: 3, cols: 5 },
+            GraphSpec::ForestUnion { n: 20, forests: 2 },
+        ];
+        for spec in specs {
+            let g = spec.generate(&mut rng);
+            assert_eq!(g.n(), spec.n(), "{}", spec.label());
+            assert!(!spec.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> = [
+            ProcessSelector::TwoState,
+            ProcessSelector::ThreeState,
+            ProcessSelector::ThreeColor,
+            ProcessSelector::Luby,
+            ProcessSelector::RandomPriority,
+        ]
+        .iter()
+        .map(|p| p.label())
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = ExperimentSpec {
+            name: "test".into(),
+            graph: GraphSpec::Gnp { n: 10, p: 0.5 },
+            process: ProcessSelector::ThreeColor,
+            init: InitStrategy::Random,
+            trials: 3,
+            max_rounds: 100,
+            base_seed: 1,
+            record_trace: true,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,37 @@
+//! Self-stabilization in action: corrupt a running system and watch it heal.
+//!
+//! The example stabilizes the 2-state process on a random tree, then injects
+//! transient faults of increasing severity (flipping a growing fraction of
+//! the vertex states) and reports how long the system needs to converge back
+//! to a valid MIS — without any coordination, reset, or knowledge that a
+//! fault occurred.
+//!
+//! Run with: `cargo run --release --example fault_recovery`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use selfstab_mis::core::init::InitStrategy;
+use selfstab_mis::graph::generators;
+use selfstab_mis::sim::fault::two_state_recovery;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let n = 2_000;
+    let g = generators::random_tree(n, &mut rng);
+    println!("graph: random tree with {} vertices", g.n());
+    println!("\ncorrupted-fraction  initial-rounds  recovery-rounds  recovered-to-MIS");
+
+    for fraction in [0.01, 0.05, 0.1, 0.25, 0.5, 1.0] {
+        let out = two_state_recovery(&g, InitStrategy::Random, fraction, 1000, 1_000_000);
+        println!(
+            "{:>18} {:>15} {:>16} {:>17}",
+            format!("{:.0}%", fraction * 100.0),
+            out.initial_rounds,
+            out.recovery_rounds,
+            out.recovered_to_mis
+        );
+        assert!(out.recovered_to_mis);
+    }
+
+    println!("\nevery corruption level recovered to a valid MIS — the process is self-stabilizing");
+}

@@ -1,0 +1,49 @@
+//! Scaling study: how the stabilization time of the three processes grows
+//! with `n` on `G(n,p)` random graphs — a small interactive version of
+//! experiments E5/E6.
+//!
+//! Run with: `cargo run --release --example gnp_scaling`
+
+use selfstab_mis::core::init::InitStrategy;
+use selfstab_mis::sim::spec::{ExperimentSpec, GraphSpec, ProcessSelector};
+use selfstab_mis::sim::sweep::{run_sweep, SweepTable};
+
+fn sweep(process: ProcessSelector, sizes: &[usize], trials: usize) -> SweepTable {
+    run_sweep(sizes.iter().map(|&n| {
+        // Edge probability at the "hard" density p = sqrt(ln n / n).
+        let p = ((n as f64).ln() / n as f64).sqrt();
+        (
+            n as f64,
+            ExperimentSpec {
+                name: format!("gnp-scaling-{}-{n}", process.label()),
+                graph: GraphSpec::Gnp { n, p },
+                process,
+                init: InitStrategy::Random,
+                trials,
+                max_rounds: 1_000_000,
+                base_seed: 4242,
+                record_trace: false,
+            },
+        )
+    }))
+}
+
+fn main() {
+    let sizes = [128, 256, 512, 1024];
+    let trials = 16;
+
+    for process in [ProcessSelector::TwoState, ProcessSelector::ThreeState, ProcessSelector::ThreeColor] {
+        let table = sweep(process, &sizes, trials);
+        println!("\n=== {} on G(n, sqrt(ln n / n)) ===", process.label());
+        println!("{}", table.to_pretty());
+        // Rough shape check: the mean rounds should grow far slower than n.
+        let first = table.rows.first().unwrap().rounds.mean.max(1.0);
+        let last = table.rows.last().unwrap().rounds.mean.max(1.0);
+        let n_ratio = *sizes.last().unwrap() as f64 / sizes[0] as f64;
+        println!(
+            "rounds grew by {:.1}x while n grew by {:.0}x — consistent with a polylog bound",
+            last / first,
+            n_ratio
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # selfstab-mis
+//!
+//! A reproduction of *"Distributed Self-Stabilizing MIS with Few States and
+//! Weak Communication"* (George Giakkoupis and Isabella Ziccardi, PODC 2023,
+//! arXiv:2301.05059) as a production-quality Rust workspace.
+//!
+//! This facade crate re-exports the member crates of the workspace so that a
+//! downstream user can depend on a single crate:
+//!
+//! * [`graph`] — static graph substrate, generators, and structural analysis
+//!   (including the *(n,p)-good graph* checker of Definition 17).
+//! * [`core`] — the paper's contribution: the 2-state, 3-state, and 3-color
+//!   MIS processes and the randomized logarithmic switch.
+//! * [`comm`] — weak-communication network models (beeping, synchronous stone
+//!   age) and message-passing adaptations of the processes.
+//! * [`baselines`] — classical and self-stabilizing MIS baselines (Luby,
+//!   greedy, sequential self-stabilizing, Turau-style randomized).
+//! * [`sim`] — experiment harness: trial runner, metrics, statistics, sweeps,
+//!   and transient-fault injection.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use selfstab_mis::graph::generators::gnp;
+//! use selfstab_mis::core::{TwoStateProcess, Process, init::InitStrategy};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(7);
+//! let g = gnp(200, 0.05, &mut rng);
+//! let mut proc = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut rng);
+//! let rounds = proc.run_to_stabilization(&mut rng, 100_000).expect("stabilizes");
+//! assert!(selfstab_mis::graph::mis_check::is_mis(&g, &proc.black_set()));
+//! println!("stabilized after {rounds} rounds");
+//! ```
+
+pub use mis_baselines as baselines;
+pub use mis_comm as comm;
+pub use mis_core as core;
+pub use mis_graph as graph;
+pub use mis_sim as sim;
