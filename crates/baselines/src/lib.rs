@@ -37,4 +37,4 @@ pub mod sequential_selfstab;
 pub use greedy::{greedy_mis, greedy_mis_random_order};
 pub use luby::{luby_mis, LubyOutcome};
 pub use random_priority::{RandomPriorityMis, RandomPriorityOutcome};
-pub use sequential_selfstab::{SequentialSelfStabMis, SequentialScheduler, SequentialOutcome};
+pub use sequential_selfstab::{SequentialOutcome, SequentialScheduler, SequentialSelfStabMis};

@@ -63,9 +63,9 @@ pub fn luby_mis<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> LubyOutcome {
             .vertices()
             .filter(|&u| live[u])
             .filter(|&u| {
-                g.neighbors(u).iter().all(|&v| {
-                    !live[v] || (priority[u], u) > (priority[v], v)
-                })
+                g.neighbors(u)
+                    .iter()
+                    .all(|&v| !live[v] || (priority[u], u) > (priority[v], v))
             })
             .collect();
         for &u in &winners {
@@ -83,7 +83,11 @@ pub fn luby_mis<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> LubyOutcome {
         }
     }
 
-    LubyOutcome { mis: in_mis, rounds, random_bits }
+    LubyOutcome {
+        mis: in_mis,
+        rounds,
+        random_bits,
+    }
 }
 
 #[cfg(test)]

@@ -58,8 +58,17 @@ impl<'g> RandomPriorityMis<'g> {
     ///
     /// Panics if `membership.len() != graph.n()`.
     pub fn new(graph: &'g Graph, membership: Vec<Membership>) -> Self {
-        assert_eq!(membership.len(), graph.n(), "initial membership vector length must equal the number of vertices");
-        RandomPriorityMis { graph, membership, round: 0, random_bits: 0 }
+        assert_eq!(
+            membership.len(),
+            graph.n(),
+            "initial membership vector length must equal the number of vertices"
+        );
+        RandomPriorityMis {
+            graph,
+            membership,
+            round: 0,
+            random_bits: 0,
+        }
     }
 
     /// Creates the algorithm with every vertex initially `Out`.
@@ -71,7 +80,13 @@ impl<'g> RandomPriorityMis<'g> {
     /// (an arbitrary initial configuration, as self-stabilization demands).
     pub fn random_init<R: Rng + ?Sized>(graph: &'g Graph, rng: &mut R) -> Self {
         let membership = (0..graph.n())
-            .map(|_| if rng.gen_bool(0.5) { Membership::In } else { Membership::Out })
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    Membership::In
+                } else {
+                    Membership::Out
+                }
+            })
             .collect();
         Self::new(graph, membership)
     }
@@ -98,7 +113,11 @@ impl<'g> RandomPriorityMis<'g> {
         max_rounds: usize,
     ) -> Result<RandomPriorityOutcome, mis_core::StabilizationTimeout> {
         let rounds = Process::run_to_stabilization(self, rng, max_rounds)?;
-        Ok(RandomPriorityOutcome { mis: self.black_set(), rounds, random_bits: self.random_bits })
+        Ok(RandomPriorityOutcome {
+            mis: self.black_set(),
+            rounds,
+            random_bits: self.random_bits,
+        })
     }
 
     fn is_in(&self, u: VertexId) -> bool {
@@ -131,7 +150,11 @@ impl Process for RandomPriorityMis<'_> {
         let old = self.membership.clone();
         let beats = |u: VertexId, v: VertexId| (priority[u], u) > (priority[v], v);
         for u in self.graph.vertices() {
-            let has_in_neighbor = self.graph.neighbors(u).iter().any(|&v| old[v] == Membership::In);
+            let has_in_neighbor = self
+                .graph
+                .neighbors(u)
+                .iter()
+                .any(|&v| old[v] == Membership::In);
             self.membership[u] = match old[u] {
                 Membership::In => {
                     if self
@@ -180,7 +203,10 @@ impl Process for RandomPriorityMis<'_> {
     }
 
     fn stable_black_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.stable_in(u)))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.stable_in(u)),
+        )
     }
 
     fn unstable_set(&self) -> VertexSet {

@@ -72,8 +72,16 @@ impl<'g> SequentialSelfStabMis<'g> {
     ///
     /// Panics if `states.len() != graph.n()`.
     pub fn new(graph: &'g Graph, states: Vec<Color>) -> Self {
-        assert_eq!(states.len(), graph.n(), "initial state vector length must equal the number of vertices");
-        SequentialSelfStabMis { graph, states, moves_per_vertex: vec![0; graph.n()] }
+        assert_eq!(
+            states.len(),
+            graph.n(),
+            "initial state vector length must equal the number of vertices"
+        );
+        SequentialSelfStabMis {
+            graph,
+            states,
+            moves_per_vertex: vec![0; graph.n()],
+        }
     }
 
     /// Current color of vertex `u`.
@@ -88,7 +96,11 @@ impl<'g> SequentialSelfStabMis<'g> {
     /// `true` if vertex `u` is *privileged* (its guard is enabled): black
     /// with a black neighbor, or white with no black neighbor.
     pub fn is_privileged(&self, u: VertexId) -> bool {
-        let has_black_neighbor = self.graph.neighbors(u).iter().any(|&v| self.states[v].is_black());
+        let has_black_neighbor = self
+            .graph
+            .neighbors(u)
+            .iter()
+            .any(|&v| self.states[v].is_black());
         match self.states[u] {
             Color::Black => has_black_neighbor,
             Color::White => !has_black_neighbor,
@@ -97,7 +109,10 @@ impl<'g> SequentialSelfStabMis<'g> {
 
     /// All currently privileged vertices.
     pub fn privileged_vertices(&self) -> Vec<VertexId> {
-        self.graph.vertices().filter(|&u| self.is_privileged(u)).collect()
+        self.graph
+            .vertices()
+            .filter(|&u| self.is_privileged(u))
+            .collect()
     }
 
     /// Executes one move of vertex `u` (flips its state).
@@ -116,7 +131,11 @@ impl<'g> SequentialSelfStabMis<'g> {
 
     /// Runs the algorithm under the given scheduler until no vertex is
     /// privileged, and returns the outcome.
-    pub fn run<R: Rng + ?Sized>(&mut self, scheduler: SequentialScheduler, rng: &mut R) -> SequentialOutcome {
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        scheduler: SequentialScheduler,
+        rng: &mut R,
+    ) -> SequentialOutcome {
         let mut moves = 0usize;
         loop {
             let privileged = self.privileged_vertices();
@@ -164,11 +183,16 @@ mod tests {
                 SequentialScheduler::LargestId,
                 SequentialScheduler::Random,
             ] {
-                let init: Vec<Color> = mis_core::init::InitStrategy::Random.two_state(g.n(), &mut r);
+                let init: Vec<Color> =
+                    mis_core::init::InitStrategy::Random.two_state(g.n(), &mut r);
                 let mut alg = SequentialSelfStabMis::new(&g, init);
                 let out = alg.run(scheduler, &mut r);
                 assert!(mis_check::is_mis(&g, &out.mis), "{scheduler:?}");
-                assert!(out.max_moves_per_vertex <= 2, "{scheduler:?}: a vertex moved {} times", out.max_moves_per_vertex);
+                assert!(
+                    out.max_moves_per_vertex <= 2,
+                    "{scheduler:?}: a vertex moved {} times",
+                    out.max_moves_per_vertex
+                );
                 assert!(out.moves <= 2 * g.n());
             }
         }

@@ -2,10 +2,10 @@
 //! (supporting the E7 good-graph experiment and all workload generators).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use mis_graph::{generators, properties};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");
@@ -36,15 +36,24 @@ fn bench_properties(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(1500));
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let g = generators::gnp(1000, 0.05, &mut rng);
-    group.bench_function("degeneracy_n1000", |b| b.iter(|| properties::degeneracy(&g)));
-    group.bench_function("max_common_neighbors_n1000", |b| b.iter(|| properties::max_common_neighbors(&g)));
-    group.bench_function("diameter_le_2_n1000", |b| b.iter(|| properties::has_diameter_at_most_2(&g)));
+    group.bench_function("degeneracy_n1000", |b| {
+        b.iter(|| properties::degeneracy(&g))
+    });
+    group.bench_function("max_common_neighbors_n1000", |b| {
+        b.iter(|| properties::max_common_neighbors(&g))
+    });
+    group.bench_function("diameter_le_2_n1000", |b| {
+        b.iter(|| properties::has_diameter_at_most_2(&g))
+    });
     group.bench_function("good_graph_check_n1000", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         b.iter(|| {
             properties::check_good(
                 &g,
-                properties::GoodGraphConfig { samples_per_property: 20, p: 0.05 },
+                properties::GoodGraphConfig {
+                    samples_per_property: 20,
+                    p: 0.05,
+                },
                 &mut rng,
             )
         })

@@ -3,12 +3,12 @@
 //! per-round update implementation called out in DESIGN.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use mis_core::init::InitStrategy;
 use mis_core::{Process, ThreeColorProcess, ThreeStateProcess, TwoStateProcess};
 use mis_graph::generators;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
 
 fn bench_round_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("round_update");
@@ -18,7 +18,10 @@ fn bench_round_update(c: &mut Criterion) {
 
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let graphs = vec![
-        ("gnp_sparse_n2000", generators::gnp(2000, 4.0 / 2000.0, &mut rng)),
+        (
+            "gnp_sparse_n2000",
+            generators::gnp(2000, 4.0 / 2000.0, &mut rng),
+        ),
         ("gnp_dense_n1000", generators::gnp(1000, 0.2, &mut rng)),
         ("tree_n4000", generators::random_tree(4000, &mut rng)),
         ("clique_n500", generators::complete(500)),
@@ -37,7 +40,8 @@ fn bench_round_update(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("three_color", label), g, |b, g| {
             let mut rng = ChaCha8Rng::seed_from_u64(4);
-            let mut proc = ThreeColorProcess::with_randomized_switch(g, InitStrategy::Random, &mut rng);
+            let mut proc =
+                ThreeColorProcess::with_randomized_switch(g, InitStrategy::Random, &mut rng);
             b.iter(|| proc.step(&mut rng));
         });
     }

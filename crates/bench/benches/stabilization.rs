@@ -4,30 +4,33 @@
 //! the E10 comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use mis_baselines::luby_mis;
 use mis_core::init::InitStrategy;
 use mis_core::{Process, ThreeColorProcess, ThreeStateProcess, TwoStateProcess};
 use mis_graph::{generators, Graph};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
 
 fn stabilize_two_state(g: &Graph, seed: u64) -> usize {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut proc = TwoStateProcess::with_init(g, InitStrategy::Random, &mut rng);
-    proc.run_to_stabilization(&mut rng, 10_000_000).expect("stabilizes")
+    proc.run_to_stabilization(&mut rng, 10_000_000)
+        .expect("stabilizes")
 }
 
 fn stabilize_three_state(g: &Graph, seed: u64) -> usize {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut proc = ThreeStateProcess::with_init(g, InitStrategy::Random, &mut rng);
-    proc.run_to_stabilization(&mut rng, 10_000_000).expect("stabilizes")
+    proc.run_to_stabilization(&mut rng, 10_000_000)
+        .expect("stabilizes")
 }
 
 fn stabilize_three_color(g: &Graph, seed: u64) -> usize {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut proc = ThreeColorProcess::with_randomized_switch(g, InitStrategy::Random, &mut rng);
-    proc.run_to_stabilization(&mut rng, 10_000_000).expect("stabilizes")
+    proc.run_to_stabilization(&mut rng, 10_000_000)
+        .expect("stabilizes")
 }
 
 /// E1 / E9 — cliques: 2-state (Θ(log² n)) vs 3-state (O(log n)).

@@ -13,13 +13,22 @@ fn main() {
     let scale = Scale::from_args();
 
     let zeta = ablation_switch_zeta(scale);
-    print_section("A1: 3-color stabilization vs switch probability ζ (paper: ζ = 2⁻⁷)", &ablation_csv(&zeta));
+    print_section(
+        "A1: 3-color stabilization vs switch probability ζ (paper: ζ = 2⁻⁷)",
+        &ablation_csv(&zeta),
+    );
 
     let switch = ablation_switch_implementation(scale);
-    print_section("A2: randomized logarithmic switch vs deterministic oracle switch", &ablation_csv(&switch));
+    print_section(
+        "A2: randomized logarithmic switch vs deterministic oracle switch",
+        &ablation_csv(&switch),
+    );
 
     let init = ablation_init_strategy(scale);
-    print_section("A3: 2-state stabilization time from different initializations (self-stabilization)", &ablation_csv(&init));
+    print_section(
+        "A3: 2-state stabilization time from different initializations (self-stabilization)",
+        &ablation_csv(&init),
+    );
 
     let mut all = zeta;
     all.extend(switch);

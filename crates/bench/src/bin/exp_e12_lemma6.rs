@@ -11,7 +11,10 @@ fn main() {
     let scale = Scale::from_args();
     let rows = e12_lemma6(scale);
     let csv = lemma6_csv(&rows);
-    print_section("E12: Monte-Carlo check of Lemma 6 (empirical probability must dominate 1/(2ek))", &csv);
+    print_section(
+        "E12: Monte-Carlo check of Lemma 6 (empirical probability must dominate 1/(2ek))",
+        &csv,
+    );
     if let Ok(path) = write_results_file("e12_lemma6.csv", &csv) {
         println!("wrote {}", path.display());
     }

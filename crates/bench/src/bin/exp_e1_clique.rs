@@ -9,9 +9,18 @@ use mis_bench::Scale;
 fn main() {
     let scale = Scale::from_args();
     let report = e1_clique(scale);
-    print_section("E1: 2-state process on K_n (Theorem 8: O(log n) expected, Θ(log² n) w.h.p.)", &report.table.to_pretty());
-    println!("fitted (ln n)^e exponent: {:.2}   (paper: between 1 and 2)", report.polylog_exponent);
-    println!("fitted n^e exponent:      {:.2}   (paper: ~0, i.e. not polynomial)", report.power_exponent);
+    print_section(
+        "E1: 2-state process on K_n (Theorem 8: O(log n) expected, Θ(log² n) w.h.p.)",
+        &report.table.to_pretty(),
+    );
+    println!(
+        "fitted (ln n)^e exponent: {:.2}   (paper: between 1 and 2)",
+        report.polylog_exponent
+    );
+    println!(
+        "fitted n^e exponent:      {:.2}   (paper: ~0, i.e. not polynomial)",
+        report.power_exponent
+    );
     if let Ok(path) = write_results_file("e1_clique.csv", &report.table.to_csv()) {
         println!("wrote {}", path.display());
     }
@@ -21,5 +30,8 @@ fn main() {
     for (k, frac) in &tail {
         body.push_str(&format!("{k}   {frac:.4}\n"));
     }
-    print_section("E1 (tail): P[T >= k log n] should decay geometrically in k", &body);
+    print_section(
+        "E1 (tail): P[T >= k log n] should decay geometrically in k",
+        &body,
+    );
 }

@@ -14,8 +14,14 @@ fn main() {
         "E2: 2-state process on sqrt(n) disjoint cliques (Remark 9: Θ(log² n))",
         &report.table.to_pretty(),
     );
-    println!("fitted (ln n)^e exponent: {:.2}   (paper: ~2)", report.polylog_exponent);
-    println!("fitted n^e exponent:      {:.2}   (paper: ~0)", report.power_exponent);
+    println!(
+        "fitted (ln n)^e exponent: {:.2}   (paper: ~2)",
+        report.polylog_exponent
+    );
+    println!(
+        "fitted n^e exponent:      {:.2}   (paper: ~0)",
+        report.power_exponent
+    );
     if let Ok(path) = write_results_file("e2_disjoint_cliques.csv", &report.table.to_csv()) {
         println!("wrote {}", path.display());
     }

@@ -10,9 +10,18 @@ use mis_bench::Scale;
 fn main() {
     let scale = Scale::from_args();
     let report = e3_trees(scale);
-    print_section("E3: 2-state process on random trees (Theorem 11: O(log n))", &report.table.to_pretty());
-    println!("fitted (ln n)^e exponent: {:.2}   (paper: ~1)", report.polylog_exponent);
-    println!("fitted n^e exponent:      {:.2}   (paper: ~0)", report.power_exponent);
+    print_section(
+        "E3: 2-state process on random trees (Theorem 11: O(log n))",
+        &report.table.to_pretty(),
+    );
+    println!(
+        "fitted (ln n)^e exponent: {:.2}   (paper: ~1)",
+        report.polylog_exponent
+    );
+    println!(
+        "fitted n^e exponent:      {:.2}   (paper: ~0)",
+        report.power_exponent
+    );
     if let Ok(path) = write_results_file("e3_trees.csv", &report.table.to_csv()) {
         println!("wrote {}", path.display());
     }

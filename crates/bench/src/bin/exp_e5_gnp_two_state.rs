@@ -14,14 +14,23 @@ fn main() {
         "E5: 2-state process on G(n, p = sqrt(ln n / n)) (Theorem 2: polylog)",
         &report.table.to_pretty(),
     );
-    println!("fitted (ln n)^e exponent: {:.2}   (paper: polylog, small constant exponent)", report.polylog_exponent);
-    println!("fitted n^e exponent:      {:.2}   (paper: ~0)", report.power_exponent);
+    println!(
+        "fitted (ln n)^e exponent: {:.2}   (paper: polylog, small constant exponent)",
+        report.polylog_exponent
+    );
+    println!(
+        "fitted n^e exponent:      {:.2}   (paper: ~0)",
+        report.power_exponent
+    );
     if let Ok(path) = write_results_file("e5_gnp_two_state.csv", &report.table.to_csv()) {
         println!("wrote {}", path.display());
     }
 
     let density = e5_gnp_density_sweep(scale);
-    print_section("E5 (density): 2-state process across densities at fixed n; parameter = p", &density.to_pretty());
+    print_section(
+        "E5 (density): 2-state process across densities at fixed n; parameter = p",
+        &density.to_pretty(),
+    );
     if let Ok(path) = write_results_file("e5_gnp_density.csv", &density.to_csv()) {
         println!("wrote {}", path.display());
     }

@@ -14,14 +14,23 @@ fn main() {
         "E6: 3-color process on G(n, p = n^-1/4) — the regime outside the 2-state analysis (Theorem 3: polylog)",
         &report.table.to_pretty(),
     );
-    println!("fitted (ln n)^e exponent: {:.2}   (paper: polylog, small constant exponent)", report.polylog_exponent);
-    println!("fitted n^e exponent:      {:.2}   (paper: ~0)", report.power_exponent);
+    println!(
+        "fitted (ln n)^e exponent: {:.2}   (paper: polylog, small constant exponent)",
+        report.polylog_exponent
+    );
+    println!(
+        "fitted n^e exponent:      {:.2}   (paper: ~0)",
+        report.power_exponent
+    );
     if let Ok(path) = write_results_file("e6_gnp_three_color.csv", &report.table.to_csv()) {
         println!("wrote {}", path.display());
     }
 
     let cmp = e6_density_comparison(scale);
-    print_section("E6 (comparison): 2-state vs 3-color across densities at fixed n; parameter = p", &cmp.to_pretty());
+    print_section(
+        "E6 (comparison): 2-state vs 3-color across densities at fixed n; parameter = p",
+        &cmp.to_pretty(),
+    );
     if let Ok(path) = write_results_file("e6_density_comparison.csv", &cmp.to_csv()) {
         println!("wrote {}", path.display());
     }

@@ -11,7 +11,10 @@ fn main() {
     let scale = Scale::from_args();
     let rows = e7_good_graphs(scale);
     let csv = good_graph_csv(&rows);
-    print_section("E7: (n,p)-good graph properties of Definition 17 on sampled G(n,p)", &csv);
+    print_section(
+        "E7: (n,p)-good graph properties of Definition 17 on sampled G(n,p)",
+        &csv,
+    );
     if let Ok(path) = write_results_file("e7_good_graphs.csv", &csv) {
         println!("wrote {}", path.display());
     }

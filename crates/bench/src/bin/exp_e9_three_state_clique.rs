@@ -10,10 +10,22 @@ use mis_bench::Scale;
 fn main() {
     let scale = Scale::from_args();
     let (two, three) = e9_three_state_clique(scale);
-    print_section("E9: 2-state process on K_n (Θ(log² n))", &two.table.to_pretty());
-    print_section("E9: 3-state process on K_n (Remark 10: O(log n))", &three.table.to_pretty());
-    println!("2-state fitted (ln n)^e exponent: {:.2}   (paper: ~2)", two.polylog_exponent);
-    println!("3-state fitted (ln n)^e exponent: {:.2}   (paper: ~1)", three.polylog_exponent);
+    print_section(
+        "E9: 2-state process on K_n (Θ(log² n))",
+        &two.table.to_pretty(),
+    );
+    print_section(
+        "E9: 3-state process on K_n (Remark 10: O(log n))",
+        &three.table.to_pretty(),
+    );
+    println!(
+        "2-state fitted (ln n)^e exponent: {:.2}   (paper: ~2)",
+        two.polylog_exponent
+    );
+    println!(
+        "3-state fitted (ln n)^e exponent: {:.2}   (paper: ~1)",
+        three.polylog_exponent
+    );
     if let Ok(path) = write_results_file("e9_two_state_clique.csv", &two.table.to_csv()) {
         println!("wrote {}", path.display());
     }

@@ -28,7 +28,8 @@ pub struct AblationRow {
 
 /// Renders ablation rows as CSV.
 pub fn ablation_csv(rows: &[AblationRow]) -> String {
-    let mut out = String::from("configuration,rounds_mean,rounds_median,rounds_p90,stabilized_fraction\n");
+    let mut out =
+        String::from("configuration,rounds_mean,rounds_median,rounds_p90,stabilized_fraction\n");
     for r in rows {
         out.push_str(&format!(
             "{},{:.1},{:.1},{:.1},{:.3}\n",
@@ -172,7 +173,9 @@ mod tests {
     fn zeta_ablation_shows_larger_zeta_is_faster() {
         let rows = ablation_switch_zeta(Scale::Quick);
         assert_eq!(rows.len(), 3);
-        assert!(rows.iter().all(|r| (r.stabilized_fraction - 1.0).abs() < 1e-9));
+        assert!(rows
+            .iter()
+            .all(|r| (r.stabilized_fraction - 1.0).abs() < 1e-9));
         // zeta = 1/8 waits ~8x less at level 5 than zeta = 1/128, so it must
         // stabilize in fewer rounds on average.
         assert!(
@@ -188,7 +191,11 @@ mod tests {
     fn switch_implementation_ablation_stabilizes_with_both_switches() {
         let rows = ablation_switch_implementation(Scale::Quick);
         assert_eq!(rows.len(), 2);
-        assert!(rows.iter().all(|r| (r.stabilized_fraction - 1.0).abs() < 1e-9), "rows: {rows:?}");
+        assert!(
+            rows.iter()
+                .all(|r| (r.stabilized_fraction - 1.0).abs() < 1e-9),
+            "rows: {rows:?}"
+        );
     }
 
     #[test]
@@ -196,7 +203,11 @@ mod tests {
         let rows = ablation_init_strategy(Scale::Quick);
         assert_eq!(rows.len(), 4);
         for r in &rows {
-            assert!((r.stabilized_fraction - 1.0).abs() < 1e-9, "{}", r.configuration);
+            assert!(
+                (r.stabilized_fraction - 1.0).abs() < 1e-9,
+                "{}",
+                r.configuration
+            );
             assert!(r.rounds.mean >= 1.0);
         }
     }

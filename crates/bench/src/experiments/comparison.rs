@@ -3,8 +3,8 @@
 
 use mis_core::init::InitStrategy;
 use mis_sim::fault::{three_color_recovery, two_state_recovery};
-use mis_sim::spec::{ExperimentSpec, GraphSpec, ProcessSelector};
 use mis_sim::runner::run_experiment;
+use mis_sim::spec::{ExperimentSpec, GraphSpec, ProcessSelector};
 use mis_sim::stats::Summary;
 use serde::{Deserialize, Serialize};
 
@@ -44,7 +44,13 @@ pub fn e10_baselines(scale: Scale) -> Vec<BaselineRow> {
     };
     let trials = scale.trials(32);
     let graphs = vec![
-        ("gnp-sparse".to_string(), GraphSpec::Gnp { n, p: 8.0 / n as f64 }),
+        (
+            "gnp-sparse".to_string(),
+            GraphSpec::Gnp {
+                n,
+                p: 8.0 / n as f64,
+            },
+        ),
         ("tree".to_string(), GraphSpec::RandomTree { n }),
         ("complete".to_string(), GraphSpec::Complete { n: n / 4 }),
     ];
@@ -148,9 +154,16 @@ pub fn e11_fault_recovery(scale: Scale) -> Vec<RecoveryRow> {
         let mut recovery = Vec::new();
         let mut recovered = 0usize;
         for t in 0..trials {
-            let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed + t as u64);
+            let mut rng =
+                <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed + t as u64);
             let g = mis_graph::generators::gnp(n, 8.0 / n as f64, &mut rng);
-            let out = two_state_recovery(&g, InitStrategy::Random, fraction, seed + 100 + t as u64, 1_000_000);
+            let out = two_state_recovery(
+                &g,
+                InitStrategy::Random,
+                fraction,
+                seed + 100 + t as u64,
+                1_000_000,
+            );
             initial.push(out.initial_rounds);
             recovery.push(out.recovery_rounds);
             recovered += usize::from(out.recovered_to_mis);
@@ -169,10 +182,16 @@ pub fn e11_fault_recovery(scale: Scale) -> Vec<RecoveryRow> {
         let mut recovery = Vec::new();
         let mut recovered = 0usize;
         for t in 0..trials {
-            let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed + t as u64);
+            let mut rng =
+                <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed + t as u64);
             let g = mis_graph::generators::gnp(n, 0.2, &mut rng);
-            let out =
-                three_color_recovery(&g, InitStrategy::Random, fraction, seed + 100 + t as u64, 1_000_000);
+            let out = three_color_recovery(
+                &g,
+                InitStrategy::Random,
+                fraction,
+                seed + 100 + t as u64,
+                1_000_000,
+            );
             initial.push(out.initial_rounds);
             recovery.push(out.recovery_rounds);
             recovered += usize::from(out.recovered_to_mis);
@@ -221,8 +240,14 @@ mod tests {
 
         // On the sparse G(n,p), Luby should need no more rounds (on average)
         // than the 2-state process — the "who wins" shape of the comparison.
-        let luby = rows.iter().find(|r| r.graph == "gnp-sparse" && r.algorithm == "luby").unwrap();
-        let two = rows.iter().find(|r| r.graph == "gnp-sparse" && r.algorithm == "two-state").unwrap();
+        let luby = rows
+            .iter()
+            .find(|r| r.graph == "gnp-sparse" && r.algorithm == "luby")
+            .unwrap();
+        let two = rows
+            .iter()
+            .find(|r| r.graph == "gnp-sparse" && r.algorithm == "two-state")
+            .unwrap();
         assert!(luby.rounds.mean <= two.rounds.mean);
         // ...but the 2-state process uses only 2 states per vertex.
         assert_eq!(two.states_per_vertex, 2);
@@ -233,7 +258,11 @@ mod tests {
     fn e11_quick_every_trial_recovers() {
         let rows = e11_fault_recovery(Scale::Quick);
         assert_eq!(rows.len(), 4);
-        assert!(rows.iter().all(|r| (r.recovered_fraction - 1.0).abs() < 1e-9), "rows: {rows:?}");
+        assert!(
+            rows.iter()
+                .all(|r| (r.recovered_fraction - 1.0).abs() < 1e-9),
+            "rows: {rows:?}"
+        );
         let csv = recovery_csv(&rows);
         assert_eq!(csv.lines().count(), 5);
     }

@@ -75,7 +75,10 @@ pub fn e12_lemma6(scale: Scale) -> Vec<Lemma6Row> {
 pub fn lemma6_csv(rows: &[Lemma6Row]) -> String {
     let mut out = String::from("k,empirical,lower_bound,trials\n");
     for r in rows {
-        out.push_str(&format!("{},{:.4},{:.4},{}\n", r.k, r.empirical, r.lower_bound, r.trials));
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{}\n",
+            r.k, r.empirical, r.lower_bound, r.trials
+        ));
     }
     out
 }
@@ -113,7 +116,10 @@ pub fn e13_comm_models(scale: Scale) -> Vec<CommEquivalenceRow> {
     for &seed in &seeds {
         let mut setup = ChaCha8Rng::seed_from_u64(40_000 + seed);
         let graphs = vec![
-            ("gnp-sparse".to_string(), generators::gnp(n, 8.0 / n as f64, &mut setup)),
+            (
+                "gnp-sparse".to_string(),
+                generators::gnp(n, 8.0 / n as f64, &mut setup),
+            ),
             ("gnp-dense".to_string(), generators::gnp(n, 0.3, &mut setup)),
             ("tree".to_string(), generators::random_tree(n, &mut setup)),
         ];
@@ -164,9 +170,8 @@ pub fn e13_comm_models(scale: Scale) -> Vec<CommEquivalenceRow> {
                 &mut direct,
                 &mut net,
                 seed,
-                |a: &ThreeColorProcess<'_, RandomizedLogSwitch<'_>>, b: &StoneAgeThreeColorMis<'_>| {
-                    a.colors() == b.colors()
-                },
+                |a: &ThreeColorProcess<'_, RandomizedLogSwitch<'_>>,
+                 b: &StoneAgeThreeColorMis<'_>| { a.colors() == b.colors() },
             );
             rows.push(CommEquivalenceRow {
                 adaptation: "stoneage-3color".into(),
@@ -242,8 +247,16 @@ mod tests {
         let rows = e13_comm_models(Scale::Quick);
         assert_eq!(rows.len(), 9);
         for r in &rows {
-            assert!(r.traces_identical, "{} on {} diverged", r.adaptation, r.graph);
-            assert!(r.valid_mis, "{} on {} did not reach an MIS", r.adaptation, r.graph);
+            assert!(
+                r.traces_identical,
+                "{} on {} diverged",
+                r.adaptation, r.graph
+            );
+            assert!(
+                r.valid_mis,
+                "{} on {} did not reach an MIS",
+                r.adaptation, r.graph
+            );
         }
         assert_eq!(comm_csv(&rows).lines().count(), 10);
     }

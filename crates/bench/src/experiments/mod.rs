@@ -21,7 +21,7 @@ pub use ablation::{ablation_init_strategy, ablation_switch_implementation, ablat
 pub use comparison::{e10_baselines, e11_fault_recovery};
 pub use lemmas::{e12_lemma6, e13_comm_models};
 pub use stabilization::{
-    e1_clique, e2_disjoint_cliques, e3_trees, e4_max_degree, e5_gnp_two_state,
-    e6_gnp_three_color, e9_three_state_clique, ScalingReport,
+    e1_clique, e2_disjoint_cliques, e3_trees, e4_max_degree, e5_gnp_two_state, e6_gnp_three_color,
+    e9_three_state_clique, ScalingReport,
 };
 pub use structure::{e7_good_graphs, e8_log_switch};

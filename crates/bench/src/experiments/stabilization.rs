@@ -6,9 +6,9 @@
 //! the theorem's claimed bound.
 
 use mis_core::init::InitStrategy;
+use mis_sim::runner::run_experiment;
 use mis_sim::spec::{ExperimentSpec, GraphSpec, ProcessSelector};
 use mis_sim::sweep::{run_sweep, SweepTable};
-use mis_sim::runner::run_experiment;
 
 use crate::fit::{polylog_exponent, power_exponent};
 use crate::Scale;
@@ -36,7 +36,11 @@ impl ScalingReport {
         } else {
             (0.0, 0.0)
         };
-        ScalingReport { table, polylog_exponent: polylog, power_exponent: power }
+        ScalingReport {
+            table,
+            polylog_exponent: polylog,
+            power_exponent: power,
+        }
     }
 }
 
@@ -68,7 +72,16 @@ pub fn e1_clique(scale: Scale) -> ScalingReport {
     let sizes = scale.sizes(&[32, 64, 128], &[64, 128, 256, 512, 1024, 2048]);
     let trials = scale.trials(64);
     let table = run_sweep(sizes.into_iter().map(|n| {
-        (n as f64, spec("e1-clique", GraphSpec::Complete { n }, ProcessSelector::TwoState, trials, 100))
+        (
+            n as f64,
+            spec(
+                "e1-clique",
+                GraphSpec::Complete { n },
+                ProcessSelector::TwoState,
+                trials,
+                100,
+            ),
+        )
     }));
     ScalingReport::from_table(table)
 }
@@ -94,8 +107,11 @@ pub fn e1_clique_tail(scale: Scale) -> Vec<(usize, f64)> {
     (1..=6)
         .map(|k| {
             let threshold = k as f64 * log_n;
-            let exceeded =
-                result.trials.iter().filter(|t| t.rounds as f64 >= threshold).count();
+            let exceeded = result
+                .trials
+                .iter()
+                .filter(|t| t.rounds as f64 >= threshold)
+                .count();
             (k, exceeded as f64 / result.trials.len() as f64)
         })
         .collect()
@@ -112,7 +128,10 @@ pub fn e2_disjoint_cliques(scale: Scale) -> ScalingReport {
             n as f64,
             spec(
                 "e2-disjoint-cliques",
-                GraphSpec::DisjointCliques { count: side, size: side },
+                GraphSpec::DisjointCliques {
+                    count: side,
+                    size: side,
+                },
                 ProcessSelector::TwoState,
                 trials,
                 300,
@@ -128,7 +147,16 @@ pub fn e3_trees(scale: Scale) -> ScalingReport {
     let sizes = scale.sizes(&[64, 128, 256], &[128, 256, 512, 1024, 2048, 4096, 8192]);
     let trials = scale.trials(48);
     let table = run_sweep(sizes.into_iter().map(|n| {
-        (n as f64, spec("e3-trees", GraphSpec::RandomTree { n }, ProcessSelector::TwoState, trials, 400))
+        (
+            n as f64,
+            spec(
+                "e3-trees",
+                GraphSpec::RandomTree { n },
+                ProcessSelector::TwoState,
+                trials,
+                400,
+            ),
+        )
     }));
     ScalingReport::from_table(table)
 }
@@ -148,10 +176,19 @@ pub fn e3_bounded_arboricity_families(scale: Scale) -> SweepTable {
         (3.0, GraphSpec::Star { n }),
         (4.0, GraphSpec::RandomTree { n }),
         (5.0, GraphSpec::ForestUnion { n, forests: 3 }),
-        (6.0, GraphSpec::Grid { rows: (n as f64).sqrt() as usize, cols: (n as f64).sqrt() as usize }),
+        (
+            6.0,
+            GraphSpec::Grid {
+                rows: (n as f64).sqrt() as usize,
+                cols: (n as f64).sqrt() as usize,
+            },
+        ),
     ];
     run_sweep(specs.into_iter().map(|(idx, graph)| {
-        (idx, spec("e3-families", graph, ProcessSelector::TwoState, trials, 450))
+        (
+            idx,
+            spec("e3-families", graph, ProcessSelector::TwoState, trials, 450),
+        )
     }))
 }
 
@@ -167,7 +204,16 @@ pub fn e4_max_degree(scale: Scale) -> ScalingReport {
     let degrees = scale.sizes(&[4, 8, 16], &[4, 8, 16, 32, 64]);
     let trials = scale.trials(48);
     let table = run_sweep(degrees.into_iter().map(|d| {
-        (d as f64, spec("e4-regular", GraphSpec::Regular { n, d }, ProcessSelector::TwoState, trials, 500))
+        (
+            d as f64,
+            spec(
+                "e4-regular",
+                GraphSpec::Regular { n, d },
+                ProcessSelector::TwoState,
+                trials,
+                500,
+            ),
+        )
     }));
     ScalingReport::from_table(table)
 }
@@ -180,7 +226,16 @@ pub fn e5_gnp_two_state(scale: Scale) -> ScalingReport {
     let trials = scale.trials(32);
     let table = run_sweep(sizes.into_iter().map(|n| {
         let p = ((n as f64).ln() / n as f64).sqrt();
-        (n as f64, spec("e5-gnp", GraphSpec::Gnp { n, p }, ProcessSelector::TwoState, trials, 600))
+        (
+            n as f64,
+            spec(
+                "e5-gnp",
+                GraphSpec::Gnp { n, p },
+                ProcessSelector::TwoState,
+                trials,
+                600,
+            ),
+        )
     }));
     ScalingReport::from_table(table)
 }
@@ -199,7 +254,16 @@ pub fn e5_gnp_density_sweep(scale: Scale) -> SweepTable {
         Scale::Full => vec![0.002, 0.01, 0.03, 0.1, 0.25, 0.5, 0.8],
     };
     run_sweep(densities.into_iter().map(|p| {
-        (p, spec("e5-density", GraphSpec::Gnp { n, p }, ProcessSelector::TwoState, trials, 650))
+        (
+            p,
+            spec(
+                "e5-density",
+                GraphSpec::Gnp { n, p },
+                ProcessSelector::TwoState,
+                trials,
+                650,
+            ),
+        )
     }))
 }
 
@@ -211,7 +275,16 @@ pub fn e6_gnp_three_color(scale: Scale) -> ScalingReport {
     let trials = scale.trials(32);
     let table = run_sweep(sizes.into_iter().map(|n| {
         let p = (n as f64).powf(-0.25);
-        (n as f64, spec("e6-gnp-3color", GraphSpec::Gnp { n, p }, ProcessSelector::ThreeColor, trials, 700))
+        (
+            n as f64,
+            spec(
+                "e6-gnp-3color",
+                GraphSpec::Gnp { n, p },
+                ProcessSelector::ThreeColor,
+                trials,
+                700,
+            ),
+        )
     }));
     ScalingReport::from_table(table)
 }
@@ -230,8 +303,26 @@ pub fn e6_density_comparison(scale: Scale) -> SweepTable {
     };
     let mut points = Vec::new();
     for p in densities {
-        points.push((p, spec("e6-cmp-2state", GraphSpec::Gnp { n, p }, ProcessSelector::TwoState, trials, 720)));
-        points.push((p, spec("e6-cmp-3color", GraphSpec::Gnp { n, p }, ProcessSelector::ThreeColor, trials, 730)));
+        points.push((
+            p,
+            spec(
+                "e6-cmp-2state",
+                GraphSpec::Gnp { n, p },
+                ProcessSelector::TwoState,
+                trials,
+                720,
+            ),
+        ));
+        points.push((
+            p,
+            spec(
+                "e6-cmp-3color",
+                GraphSpec::Gnp { n, p },
+                ProcessSelector::ThreeColor,
+                trials,
+                730,
+            ),
+        ));
     }
     run_sweep(points)
 }
@@ -242,12 +333,33 @@ pub fn e9_three_state_clique(scale: Scale) -> (ScalingReport, ScalingReport) {
     let sizes = scale.sizes(&[32, 64, 128], &[64, 128, 256, 512, 1024, 2048]);
     let trials = scale.trials(64);
     let two = run_sweep(sizes.iter().map(|&n| {
-        (n as f64, spec("e9-2state", GraphSpec::Complete { n }, ProcessSelector::TwoState, trials, 800))
+        (
+            n as f64,
+            spec(
+                "e9-2state",
+                GraphSpec::Complete { n },
+                ProcessSelector::TwoState,
+                trials,
+                800,
+            ),
+        )
     }));
     let three = run_sweep(sizes.iter().map(|&n| {
-        (n as f64, spec("e9-3state", GraphSpec::Complete { n }, ProcessSelector::ThreeState, trials, 810))
+        (
+            n as f64,
+            spec(
+                "e9-3state",
+                GraphSpec::Complete { n },
+                ProcessSelector::ThreeState,
+                trials,
+                810,
+            ),
+        )
     }));
-    (ScalingReport::from_table(two), ScalingReport::from_table(three))
+    (
+        ScalingReport::from_table(two),
+        ScalingReport::from_table(three),
+    )
 }
 
 #[cfg(test)]
@@ -258,10 +370,18 @@ mod tests {
     fn e1_quick_runs_and_everything_stabilizes() {
         let report = e1_clique(Scale::Quick);
         assert_eq!(report.table.rows.len(), 3);
-        assert!(report.table.rows.iter().all(|r| r.stabilized_fraction == 1.0));
+        assert!(report
+            .table
+            .rows
+            .iter()
+            .all(|r| r.stabilized_fraction == 1.0));
         // The clique bound is between log n and log² n: the measured power
         // exponent over n must be far from linear.
-        assert!(report.power_exponent < 0.5, "power exponent {}", report.power_exponent);
+        assert!(
+            report.power_exponent < 0.5,
+            "power exponent {}",
+            report.power_exponent
+        );
     }
 
     #[test]
@@ -277,15 +397,27 @@ mod tests {
     #[test]
     fn e3_trees_quick_is_fast_and_logarithmic_shaped() {
         let report = e3_trees(Scale::Quick);
-        assert!(report.table.rows.iter().all(|r| r.stabilized_fraction == 1.0));
-        assert!(report.power_exponent < 0.5, "power exponent {}", report.power_exponent);
+        assert!(report
+            .table
+            .rows
+            .iter()
+            .all(|r| r.stabilized_fraction == 1.0));
+        assert!(
+            report.power_exponent < 0.5,
+            "power exponent {}",
+            report.power_exponent
+        );
     }
 
     #[test]
     fn e4_quick_runs() {
         let report = e4_max_degree(Scale::Quick);
         assert_eq!(report.table.rows.len(), 3);
-        assert!(report.table.rows.iter().all(|r| r.stabilized_fraction == 1.0));
+        assert!(report
+            .table
+            .rows
+            .iter()
+            .all(|r| r.stabilized_fraction == 1.0));
     }
 
     #[test]

@@ -30,10 +30,21 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
     let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
     let intercept = my - slope * mx;
     let ss_tot: f64 = y.iter().map(|v| (v - my).powi(2)).sum();
-    let ss_res: f64 =
-        x.iter().zip(y).map(|(a, b)| (b - (slope * a + intercept)).powi(2)).sum();
-    let r_squared = if ss_tot == 0.0 { 0.0 } else { 1.0 - ss_res / ss_tot };
-    LinearFit { slope, intercept, r_squared }
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| (b - (slope * a + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        0.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
 }
 
 /// Fits `rounds ≈ c · (ln n)^e` by regressing `ln rounds` on `ln ln n` and
@@ -48,7 +59,10 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
 /// Panics if fewer than two points are given or any value is non-positive.
 pub fn polylog_exponent(ns: &[f64], rounds: &[f64]) -> f64 {
     assert!(ns.iter().all(|&n| n > 1.0), "sizes must exceed 1");
-    assert!(rounds.iter().all(|&r| r > 0.0), "round counts must be positive");
+    assert!(
+        rounds.iter().all(|&r| r > 0.0),
+        "round counts must be positive"
+    );
     let x: Vec<f64> = ns.iter().map(|n| n.ln().ln()).collect();
     let y: Vec<f64> = rounds.iter().map(|r| r.ln()).collect();
     linear_fit(&x, &y).slope
@@ -63,7 +77,10 @@ pub fn polylog_exponent(ns: &[f64], rounds: &[f64]) -> f64 {
 /// Panics if fewer than two points are given or any value is non-positive.
 pub fn power_exponent(ns: &[f64], rounds: &[f64]) -> f64 {
     assert!(ns.iter().all(|&n| n > 0.0), "sizes must be positive");
-    assert!(rounds.iter().all(|&r| r > 0.0), "round counts must be positive");
+    assert!(
+        rounds.iter().all(|&r| r > 0.0),
+        "round counts must be positive"
+    );
     let x: Vec<f64> = ns.iter().map(|n| n.ln()).collect();
     let y: Vec<f64> = rounds.iter().map(|r| r.ln()).collect();
     linear_fit(&x, &y).slope

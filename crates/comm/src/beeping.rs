@@ -39,7 +39,11 @@ pub enum BeepAction {
 /// assert_eq!(heard, vec![false, true, false]);
 /// ```
 pub fn beep_round(g: &Graph, beeping: &VertexSet) -> Vec<bool> {
-    assert_eq!(beeping.universe(), g.n(), "beeping set universe must match the graph");
+    assert_eq!(
+        beeping.universe(),
+        g.n(),
+        "beeping set universe must match the graph"
+    );
     let mut heard = vec![false; g.n()];
     for u in beeping.iter() {
         for &v in g.neighbors(u) {
@@ -77,8 +81,17 @@ impl<'g> BeepingTwoStateMis<'g> {
     ///
     /// Panics if `states.len() != graph.n()`.
     pub fn new(graph: &'g Graph, states: Vec<Color>) -> Self {
-        assert_eq!(states.len(), graph.n(), "initial state vector length must equal the number of vertices");
-        BeepingTwoStateMis { graph, states, round: 0, random_bits: 0 }
+        assert_eq!(
+            states.len(),
+            graph.n(),
+            "initial state vector length must equal the number of vertices"
+        );
+        BeepingTwoStateMis {
+            graph,
+            states,
+            round: 0,
+            random_bits: 0,
+        }
     }
 
     /// Creates the beeping network with states drawn from an [`InitStrategy`].
@@ -140,7 +153,11 @@ impl Process for BeepingTwoStateMis<'_> {
         for u in self.graph.vertices() {
             if Self::node_is_active(self.states[u], heard[u]) {
                 self.random_bits += 1;
-                self.states[u] = if rng.gen_bool(0.5) { Color::Black } else { Color::White };
+                self.states[u] = if rng.gen_bool(0.5) {
+                    Color::Black
+                } else {
+                    Color::White
+                };
             }
         }
         self.round += 1;
@@ -148,18 +165,25 @@ impl Process for BeepingTwoStateMis<'_> {
 
     fn is_stabilized(&self) -> bool {
         let heard = self.heard();
-        self.graph.vertices().all(|u| !Self::node_is_active(self.states[u], heard[u]))
+        self.graph
+            .vertices()
+            .all(|u| !Self::node_is_active(self.states[u], heard[u]))
     }
 
     fn black_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.states[u].is_black()))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.states[u].is_black()),
+        )
     }
 
     fn active_set(&self) -> VertexSet {
         let heard = self.heard();
         VertexSet::from_indices(
             self.n(),
-            self.graph.vertices().filter(|&u| Self::node_is_active(self.states[u], heard[u])),
+            self.graph
+                .vertices()
+                .filter(|&u| Self::node_is_active(self.states[u], heard[u])),
         )
     }
 
@@ -167,7 +191,9 @@ impl Process for BeepingTwoStateMis<'_> {
         let heard = self.heard();
         VertexSet::from_indices(
             self.n(),
-            self.graph.vertices().filter(|&u| self.states[u].is_black() && !heard[u]),
+            self.graph
+                .vertices()
+                .filter(|&u| self.states[u].is_black() && !heard[u]),
         )
     }
 
@@ -177,7 +203,11 @@ impl Process for BeepingTwoStateMis<'_> {
             self.n(),
             self.graph.vertices().filter(|&u| {
                 !stable_black.contains(u)
-                    && !self.graph.neighbors(u).iter().any(|&v| stable_black.contains(v))
+                    && !self
+                        .graph
+                        .neighbors(u)
+                        .iter()
+                        .any(|&v| stable_black.contains(v))
             }),
         )
     }
@@ -199,7 +229,11 @@ impl Process for BeepingTwoStateMis<'_> {
                 c.stable_black += 1;
             }
             if !stable_black.contains(u)
-                && !self.graph.neighbors(u).iter().any(|&v| stable_black.contains(v))
+                && !self
+                    .graph
+                    .neighbors(u)
+                    .iter()
+                    .any(|&v| stable_black.contains(v))
             {
                 c.unstable += 1;
             }
@@ -265,7 +299,11 @@ mod tests {
         let mut rng_a = rng(7);
         let mut rng_b = rng(7);
         for round in 0..300 {
-            assert_eq!(direct.states(), beeping.states(), "traces diverged at round {round}");
+            assert_eq!(
+                direct.states(),
+                beeping.states(),
+                "traces diverged at round {round}"
+            );
             assert_eq!(direct.is_stabilized(), beeping.is_stabilized());
             if direct.is_stabilized() {
                 break;

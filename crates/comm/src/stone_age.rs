@@ -34,11 +34,18 @@ use rand::{Rng, RngCore};
 /// assert_eq!(heard[0], vec![false, false]); // endpoint hears only silence
 /// ```
 pub fn stone_age_round(g: &Graph, transmit: &[Option<u8>], alphabet: usize) -> Vec<Vec<bool>> {
-    assert_eq!(transmit.len(), g.n(), "transmission vector length must equal the number of vertices");
+    assert_eq!(
+        transmit.len(),
+        g.n(),
+        "transmission vector length must equal the number of vertices"
+    );
     let mut heard = vec![vec![false; alphabet]; g.n()];
     for u in g.vertices() {
         if let Some(letter) = transmit[u] {
-            assert!((letter as usize) < alphabet, "letter {letter} outside alphabet of size {alphabet}");
+            assert!(
+                (letter as usize) < alphabet,
+                "letter {letter} outside alphabet of size {alphabet}"
+            );
             for &v in g.neighbors(u) {
                 heard[v][letter as usize] = true;
             }
@@ -76,8 +83,17 @@ impl<'g> StoneAgeThreeStateMis<'g> {
     ///
     /// Panics if `states.len() != graph.n()`.
     pub fn new(graph: &'g Graph, states: Vec<ThreeState>) -> Self {
-        assert_eq!(states.len(), graph.n(), "initial state vector length must equal the number of vertices");
-        StoneAgeThreeStateMis { graph, states, round: 0, random_bits: 0 }
+        assert_eq!(
+            states.len(),
+            graph.n(),
+            "initial state vector length must equal the number of vertices"
+        );
+        StoneAgeThreeStateMis {
+            graph,
+            states,
+            round: 0,
+            random_bits: 0,
+        }
     }
 
     /// Creates the network with states drawn from an [`InitStrategy`].
@@ -109,7 +125,11 @@ impl<'g> StoneAgeThreeStateMis<'g> {
     }
 
     fn heard(&self) -> Vec<Vec<bool>> {
-        let transmit: Vec<Option<u8>> = self.graph.vertices().map(|u| self.transmission(u)).collect();
+        let transmit: Vec<Option<u8>> = self
+            .graph
+            .vertices()
+            .map(|u| self.transmission(u))
+            .collect();
         stone_age_round(self.graph, &transmit, THREE_STATE_ALPHABET)
     }
 
@@ -142,7 +162,11 @@ impl Process for StoneAgeThreeStateMis<'_> {
         for u in self.graph.vertices() {
             if Self::node_is_active(self.states[u], &heard[u]) {
                 self.random_bits += 1;
-                self.states[u] = if rng.gen_bool(0.5) { ThreeState::Black1 } else { ThreeState::Black0 };
+                self.states[u] = if rng.gen_bool(0.5) {
+                    ThreeState::Black1
+                } else {
+                    ThreeState::Black0
+                };
             } else if self.states[u] == ThreeState::Black0 {
                 self.states[u] = ThreeState::White;
             }
@@ -154,25 +178,39 @@ impl Process for StoneAgeThreeStateMis<'_> {
         let heard = self.heard();
         self.graph.vertices().all(|u| {
             self.stable_black(&heard, u)
-                || self.graph.neighbors(u).iter().any(|&v| self.stable_black(&heard, v))
+                || self
+                    .graph
+                    .neighbors(u)
+                    .iter()
+                    .any(|&v| self.stable_black(&heard, v))
         })
     }
 
     fn black_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.states[u].is_black()))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.states[u].is_black()),
+        )
     }
 
     fn active_set(&self) -> VertexSet {
         let heard = self.heard();
         VertexSet::from_indices(
             self.n(),
-            self.graph.vertices().filter(|&u| Self::node_is_active(self.states[u], &heard[u])),
+            self.graph
+                .vertices()
+                .filter(|&u| Self::node_is_active(self.states[u], &heard[u])),
         )
     }
 
     fn stable_black_set(&self) -> VertexSet {
         let heard = self.heard();
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.stable_black(&heard, u)))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph
+                .vertices()
+                .filter(|&u| self.stable_black(&heard, u)),
+        )
     }
 
     fn unstable_set(&self) -> VertexSet {
@@ -181,7 +219,11 @@ impl Process for StoneAgeThreeStateMis<'_> {
             self.n(),
             self.graph.vertices().filter(|&u| {
                 !stable_black.contains(u)
-                    && !self.graph.neighbors(u).iter().any(|&v| stable_black.contains(v))
+                    && !self
+                        .graph
+                        .neighbors(u)
+                        .iter()
+                        .any(|&v| stable_black.contains(v))
             }),
         )
     }
@@ -203,7 +245,11 @@ impl Process for StoneAgeThreeStateMis<'_> {
                 c.stable_black += 1;
             }
             if !stable_black.contains(u)
-                && !self.graph.neighbors(u).iter().any(|&v| stable_black.contains(v))
+                && !self
+                    .graph
+                    .neighbors(u)
+                    .iter()
+                    .any(|&v| stable_black.contains(v))
             {
                 c.unstable += 1;
             }
@@ -251,10 +297,25 @@ impl<'g> StoneAgeThreeColorMis<'g> {
     ///
     /// Panics if the vector lengths do not match the graph or a level exceeds 5.
     pub fn new(graph: &'g Graph, colors: Vec<ThreeColor>, levels: Vec<u8>) -> Self {
-        assert_eq!(colors.len(), graph.n(), "initial color vector length must equal the number of vertices");
-        assert_eq!(levels.len(), graph.n(), "initial level vector length must equal the number of vertices");
+        assert_eq!(
+            colors.len(),
+            graph.n(),
+            "initial color vector length must equal the number of vertices"
+        );
+        assert_eq!(
+            levels.len(),
+            graph.n(),
+            "initial level vector length must equal the number of vertices"
+        );
         assert!(levels.iter().all(|&l| l <= 5), "levels must be in 0..=5");
-        StoneAgeThreeColorMis { graph, colors, levels, zeta: DEFAULT_ZETA, round: 0, random_bits: 0 }
+        StoneAgeThreeColorMis {
+            graph,
+            colors,
+            levels,
+            zeta: DEFAULT_ZETA,
+            round: 0,
+            random_bits: 0,
+        }
     }
 
     /// Creates the network with colors and levels drawn from an [`InitStrategy`].
@@ -298,7 +359,11 @@ impl<'g> StoneAgeThreeColorMis<'g> {
     }
 
     fn heard(&self) -> Vec<Vec<bool>> {
-        let transmit: Vec<Option<u8>> = self.graph.vertices().map(|u| self.transmission(u)).collect();
+        let transmit: Vec<Option<u8>> = self
+            .graph
+            .vertices()
+            .map(|u| self.transmission(u))
+            .collect();
         stone_age_round(self.graph, &transmit, THREE_COLOR_ALPHABET)
     }
 
@@ -309,7 +374,10 @@ impl<'g> StoneAgeThreeColorMis<'g> {
 
     /// Maximum level over all letters heard, or `None` if silence.
     fn heard_max_level(heard: &[bool]) -> Option<u8> {
-        (0..18u8).filter(|&l| heard[l as usize]).map(|l| l % 6).max()
+        (0..18u8)
+            .filter(|&l| heard[l as usize])
+            .map(|l| l % 6)
+            .max()
     }
 
     fn node_is_active(color: ThreeColor, heard: &[bool]) -> bool {
@@ -387,25 +455,39 @@ impl Process for StoneAgeThreeColorMis<'_> {
         let heard = self.heard();
         self.graph.vertices().all(|u| {
             self.stable_black(&heard, u)
-                || self.graph.neighbors(u).iter().any(|&v| self.stable_black(&heard, v))
+                || self
+                    .graph
+                    .neighbors(u)
+                    .iter()
+                    .any(|&v| self.stable_black(&heard, v))
         })
     }
 
     fn black_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.colors[u].is_black()))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.colors[u].is_black()),
+        )
     }
 
     fn active_set(&self) -> VertexSet {
         let heard = self.heard();
         VertexSet::from_indices(
             self.n(),
-            self.graph.vertices().filter(|&u| Self::node_is_active(self.colors[u], &heard[u])),
+            self.graph
+                .vertices()
+                .filter(|&u| Self::node_is_active(self.colors[u], &heard[u])),
         )
     }
 
     fn stable_black_set(&self) -> VertexSet {
         let heard = self.heard();
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.stable_black(&heard, u)))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph
+                .vertices()
+                .filter(|&u| self.stable_black(&heard, u)),
+        )
     }
 
     fn unstable_set(&self) -> VertexSet {
@@ -414,7 +496,11 @@ impl Process for StoneAgeThreeColorMis<'_> {
             self.n(),
             self.graph.vertices().filter(|&u| {
                 !stable_black.contains(u)
-                    && !self.graph.neighbors(u).iter().any(|&v| stable_black.contains(v))
+                    && !self
+                        .graph
+                        .neighbors(u)
+                        .iter()
+                        .any(|&v| stable_black.contains(v))
             }),
         )
     }
@@ -436,7 +522,11 @@ impl Process for StoneAgeThreeColorMis<'_> {
                 c.stable_black += 1;
             }
             if !stable_black.contains(u)
-                && !self.graph.neighbors(u).iter().any(|&v| stable_black.contains(v))
+                && !self
+                    .graph
+                    .neighbors(u)
+                    .iter()
+                    .any(|&v| stable_black.contains(v))
             {
                 c.unstable += 1;
             }
@@ -505,7 +595,11 @@ mod tests {
         let mut rng_a = rng(31);
         let mut rng_b = rng(31);
         for round in 0..300 {
-            assert_eq!(direct.states(), net.states(), "traces diverged at round {round}");
+            assert_eq!(
+                direct.states(),
+                net.states(),
+                "traces diverged at round {round}"
+            );
             assert_eq!(direct.is_stabilized(), net.is_stabilized());
             if direct.is_stabilized() {
                 break;
@@ -529,9 +623,17 @@ mod tests {
         let mut rng_a = rng(77);
         let mut rng_b = rng(77);
         for round in 0..400 {
-            assert_eq!(direct.colors(), net.colors(), "color traces diverged at round {round}");
+            assert_eq!(
+                direct.colors(),
+                net.colors(),
+                "color traces diverged at round {round}"
+            );
             for u in g.vertices() {
-                assert_eq!(direct.switch().level(u), net.level(u), "level of {u} diverged at round {round}");
+                assert_eq!(
+                    direct.switch().level(u),
+                    net.level(u),
+                    "level of {u} diverged at round {round}"
+                );
             }
             if direct.is_stabilized() && net.is_stabilized() {
                 break;

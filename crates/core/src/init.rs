@@ -109,7 +109,13 @@ impl InitStrategy {
                 InitStrategy::AllWhite => 0,
                 InitStrategy::AllBlack => 5,
                 InitStrategy::Random => rng.gen_range(0..=5),
-                InitStrategy::Alternating => if u % 2 == 0 { 5 } else { 0 },
+                InitStrategy::Alternating => {
+                    if u % 2 == 0 {
+                        5
+                    } else {
+                        0
+                    }
+                }
             })
             .collect()
     }
@@ -128,14 +134,35 @@ mod tests {
     #[test]
     fn deterministic_strategies() {
         let mut r = rng();
-        assert!(InitStrategy::AllWhite.two_state(5, &mut r).iter().all(|c| *c == Color::White));
-        assert!(InitStrategy::AllBlack.two_state(5, &mut r).iter().all(|c| *c == Color::Black));
+        assert!(InitStrategy::AllWhite
+            .two_state(5, &mut r)
+            .iter()
+            .all(|c| *c == Color::White));
+        assert!(InitStrategy::AllBlack
+            .two_state(5, &mut r)
+            .iter()
+            .all(|c| *c == Color::Black));
         let alt = InitStrategy::Alternating.two_state(4, &mut r);
-        assert_eq!(alt, vec![Color::Black, Color::White, Color::Black, Color::White]);
-        assert!(InitStrategy::AllWhite.three_state(3, &mut r).iter().all(|c| *c == ThreeState::White));
-        assert!(InitStrategy::AllBlack.three_color(3, &mut r).iter().all(|c| *c == ThreeColor::Black));
-        assert_eq!(InitStrategy::AllWhite.switch_levels(3, &mut r), vec![0, 0, 0]);
-        assert_eq!(InitStrategy::AllBlack.switch_levels(3, &mut r), vec![5, 5, 5]);
+        assert_eq!(
+            alt,
+            vec![Color::Black, Color::White, Color::Black, Color::White]
+        );
+        assert!(InitStrategy::AllWhite
+            .three_state(3, &mut r)
+            .iter()
+            .all(|c| *c == ThreeState::White));
+        assert!(InitStrategy::AllBlack
+            .three_color(3, &mut r)
+            .iter()
+            .all(|c| *c == ThreeColor::Black));
+        assert_eq!(
+            InitStrategy::AllWhite.switch_levels(3, &mut r),
+            vec![0, 0, 0]
+        );
+        assert_eq!(
+            InitStrategy::AllBlack.switch_levels(3, &mut r),
+            vec![5, 5, 5]
+        );
     }
 
     #[test]
@@ -146,7 +173,7 @@ mod tests {
         assert!(states.iter().any(|c| !c.is_black()));
         let levels = InitStrategy::Random.switch_levels(500, &mut r);
         assert!(levels.iter().all(|&l| l <= 5));
-        assert!(levels.iter().any(|&l| l == 0) && levels.iter().any(|&l| l == 5));
+        assert!(levels.contains(&0) && levels.contains(&5));
     }
 
     #[test]

@@ -87,10 +87,24 @@ impl<'g> RandomizedLogSwitch<'g> {
     /// Panics if `levels.len() != graph.n()`, any level exceeds 5, or
     /// `zeta` is not in `(0, 1)`.
     pub fn new(graph: &'g Graph, levels: Vec<u8>, zeta: f64) -> Self {
-        assert_eq!(levels.len(), graph.n(), "initial level vector length must equal the number of vertices");
+        assert_eq!(
+            levels.len(),
+            graph.n(),
+            "initial level vector length must equal the number of vertices"
+        );
         assert!(levels.iter().all(|&l| l <= 5), "levels must be in 0..=5");
-        assert!(zeta > 0.0 && zeta < 1.0, "zeta must be in (0, 1), got {zeta}");
-        RandomizedLogSwitch { next: levels.clone(), graph, levels, zeta, round: 0, random_bits: 0 }
+        assert!(
+            zeta > 0.0 && zeta < 1.0,
+            "zeta must be in (0, 1), got {zeta}"
+        );
+        RandomizedLogSwitch {
+            next: levels.clone(),
+            graph,
+            levels,
+            zeta,
+            round: 0,
+            random_bits: 0,
+        }
     }
 
     /// Creates the switch with levels drawn from an [`InitStrategy`].
@@ -203,7 +217,12 @@ impl FixedPeriodSwitch {
     /// Panics if `on_rounds + off_rounds == 0`.
     pub fn new(n: usize, on_rounds: usize, off_rounds: usize) -> Self {
         assert!(on_rounds + off_rounds > 0, "the period must be positive");
-        FixedPeriodSwitch { n, on_rounds, off_rounds, round: 0 }
+        FixedPeriodSwitch {
+            n,
+            on_rounds,
+            off_rounds,
+            round: 0,
+        }
     }
 }
 
@@ -336,7 +355,10 @@ mod tests {
         }
         let (on_runs, off_runs) = run_lengths(&mut sw, 0, 4000, &mut r);
         assert!(!on_runs.is_empty() && !off_runs.is_empty());
-        assert!(on_runs.iter().all(|&l| l <= 3), "on-runs must have length at most b = 3, got {on_runs:?}");
+        assert!(
+            on_runs.iter().all(|&l| l <= 3),
+            "on-runs must have length at most b = 3, got {on_runs:?}"
+        );
         // Skip the first off-run, which may be a partial run started during warm-up.
         let min_off = off_runs.iter().skip(1).copied().min().unwrap_or(usize::MAX);
         assert!(
@@ -378,7 +400,10 @@ mod tests {
             pattern.push(sw.is_on(0));
             sw.step(&mut r);
         }
-        assert_eq!(pattern, vec![true, true, false, false, false, true, true, false, false, false]);
+        assert_eq!(
+            pattern,
+            vec![true, true, false, false, false, true, true, false, false, false]
+        );
         assert_eq!(sw.states_per_vertex(), 5);
         assert_eq!(sw.random_bits_used(), 0);
         assert_eq!(sw.n(), 5);

@@ -19,7 +19,11 @@ pub struct StabilizationTimeout {
 
 impl fmt::Display for StabilizationTimeout {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "process did not stabilize within {} rounds", self.rounds_executed)
+        write!(
+            f,
+            "process did not stabilize within {} rounds",
+            self.rounds_executed
+        )
     }
 }
 
@@ -114,7 +118,9 @@ pub trait Process {
         if self.is_stabilized() {
             Ok(self.round())
         } else {
-            Err(StabilizationTimeout { rounds_executed: self.round() })
+            Err(StabilizationTimeout {
+                rounds_executed: self.round(),
+            })
         }
     }
 }
@@ -125,7 +131,9 @@ mod tests {
 
     #[test]
     fn timeout_error_displays_round_count() {
-        let e = StabilizationTimeout { rounds_executed: 42 };
+        let e = StabilizationTimeout {
+            rounds_executed: 42,
+        };
         assert!(e.to_string().contains("42"));
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<StabilizationTimeout>();
@@ -134,6 +142,9 @@ mod tests {
     #[test]
     fn state_counts_default_is_zero() {
         let c = StateCounts::default();
-        assert_eq!(c.black + c.non_black + c.active + c.stable_black + c.unstable, 0);
+        assert_eq!(
+            c.black + c.non_black + c.active + c.stable_black + c.unstable,
+            0
+        );
     }
 }

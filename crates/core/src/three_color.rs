@@ -97,8 +97,16 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
     /// Panics if `colors.len() != graph.n()` or the switch is defined over a
     /// different number of vertices.
     pub fn new(graph: &'g Graph, colors: Vec<ThreeColor>, switch: S) -> Self {
-        assert_eq!(colors.len(), graph.n(), "initial color vector length must equal the number of vertices");
-        assert_eq!(switch.n(), graph.n(), "switch must be defined over the same vertex set");
+        assert_eq!(
+            colors.len(),
+            graph.n(),
+            "initial color vector length must equal the number of vertices"
+        );
+        assert_eq!(
+            switch.n(),
+            graph.n(),
+            "switch must be defined over the same vertex set"
+        );
         let mut p = ThreeColorProcess {
             black_nbrs: vec![0; graph.n()],
             next: colors.clone(),
@@ -146,7 +154,9 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
     pub fn gray_set(&self) -> VertexSet {
         VertexSet::from_indices(
             self.n(),
-            self.graph.vertices().filter(|&u| self.colors[u] == ThreeColor::Gray),
+            self.graph
+                .vertices()
+                .filter(|&u| self.colors[u] == ThreeColor::Gray),
         )
     }
 
@@ -181,7 +191,12 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
 
     /// `true` if `u` is stable: stable black or adjacent to a stable black vertex.
     pub fn is_stable(&self, u: VertexId) -> bool {
-        self.is_stable_black(u) || self.graph.neighbors(u).iter().any(|&v| self.is_stable_black(v))
+        self.is_stable_black(u)
+            || self
+                .graph
+                .neighbors(u)
+                .iter()
+                .any(|&v| self.is_stable_black(v))
     }
 
     fn recount(&mut self) {
@@ -242,19 +257,31 @@ impl<S: SwitchProcess> Process for ThreeColorProcess<'_, S> {
     }
 
     fn black_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.colors[u].is_black()))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.colors[u].is_black()),
+        )
     }
 
     fn active_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.is_active(u)))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.is_active(u)),
+        )
     }
 
     fn stable_black_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.is_stable_black(u)))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.is_stable_black(u)),
+        )
     }
 
     fn unstable_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| !self.is_stable(u)))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| !self.is_stable(u)),
+        )
     }
 
     fn counts(&self) -> StateCounts {
@@ -337,7 +364,10 @@ mod tests {
         let p = ThreeColorProcess::new(&g, vec![ThreeColor::Gray, ThreeColor::Black], switch);
         assert!(!p.is_active(0));
         assert!(p.is_stable_black(1));
-        assert!(p.is_stable(0), "gray neighbor of a stable black vertex is stable");
+        assert!(
+            p.is_stable(0),
+            "gray neighbor of a stable black vertex is stable"
+        );
         assert!(p.is_stabilized());
     }
 
@@ -345,12 +375,15 @@ mod tests {
     fn black_with_black_neighbor_becomes_black_or_gray_never_white() {
         let g = generators::complete(2);
         let switch = FixedPeriodSwitch::new(2, 1, 1);
-        let mut p =
-            ThreeColorProcess::new(&g, vec![ThreeColor::Black, ThreeColor::Black], switch);
+        let mut p = ThreeColorProcess::new(&g, vec![ThreeColor::Black, ThreeColor::Black], switch);
         let mut r = rng(3);
         p.step(&mut r);
         for u in 0..2 {
-            assert_ne!(p.color(u), ThreeColor::White, "black vertex with black neighbor may not jump to white");
+            assert_ne!(
+                p.color(u),
+                ThreeColor::White,
+                "black vertex with black neighbor may not jump to white"
+            );
         }
     }
 
@@ -368,11 +401,18 @@ mod tests {
             Graph::empty(10),
         ];
         for (i, g) in graphs.into_iter().enumerate() {
-            for init in [InitStrategy::AllWhite, InitStrategy::AllBlack, InitStrategy::Random] {
+            for init in [
+                InitStrategy::AllWhite,
+                InitStrategy::AllBlack,
+                InitStrategy::Random,
+            ] {
                 let mut p = ThreeColorProcess::with_randomized_switch(&g, init, &mut r);
                 p.run_to_stabilization(&mut r, 200_000)
                     .unwrap_or_else(|e| panic!("graph {i} with {init:?}: {e}"));
-                assert!(mis_check::is_mis(&g, &p.black_set()), "graph {i}, init {init:?}");
+                assert!(
+                    mis_check::is_mis(&g, &p.black_set()),
+                    "graph {i}, init {init:?}"
+                );
             }
         }
     }

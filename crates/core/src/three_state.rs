@@ -83,7 +83,11 @@ impl<'g> ThreeStateProcess<'g> {
     ///
     /// Panics if `states.len() != graph.n()`.
     pub fn new(graph: &'g Graph, states: Vec<ThreeState>) -> Self {
-        assert_eq!(states.len(), graph.n(), "initial state vector length must equal the number of vertices");
+        assert_eq!(
+            states.len(),
+            graph.n(),
+            "initial state vector length must equal the number of vertices"
+        );
         let mut p = ThreeStateProcess {
             black_nbrs: vec![0; graph.n()],
             black1_nbrs: vec![0; graph.n()],
@@ -153,7 +157,12 @@ impl<'g> ThreeStateProcess<'g> {
 
     /// `true` if `u` is stable: stable black or adjacent to a stable black vertex.
     pub fn is_stable(&self, u: VertexId) -> bool {
-        self.is_stable_black(u) || self.graph.neighbors(u).iter().any(|&v| self.is_stable_black(v))
+        self.is_stable_black(u)
+            || self
+                .graph
+                .neighbors(u)
+                .iter()
+                .any(|&v| self.is_stable_black(v))
     }
 
     fn recount(&mut self) {
@@ -210,19 +219,31 @@ impl Process for ThreeStateProcess<'_> {
     }
 
     fn black_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.states[u].is_black()))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.states[u].is_black()),
+        )
     }
 
     fn active_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.is_active(u)))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.is_active(u)),
+        )
     }
 
     fn stable_black_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.is_stable_black(u)))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.is_stable_black(u)),
+        )
     }
 
     fn unstable_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| !self.is_stable(u)))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| !self.is_stable(u)),
+        )
     }
 
     fn counts(&self) -> StateCounts {
@@ -300,7 +321,10 @@ mod tests {
                 ThreeState::White => unreachable!("stable black vertex became white"),
             }
         }
-        assert!(seen_black1 && seen_black0, "stable black vertex should alternate");
+        assert!(
+            seen_black1 && seen_black0,
+            "stable black vertex should alternate"
+        );
     }
 
     #[test]
@@ -330,11 +354,18 @@ mod tests {
             generators::disjoint_cliques(4, 9),
         ];
         for (i, g) in graphs.into_iter().enumerate() {
-            for init in [InitStrategy::AllWhite, InitStrategy::AllBlack, InitStrategy::Random] {
+            for init in [
+                InitStrategy::AllWhite,
+                InitStrategy::AllBlack,
+                InitStrategy::Random,
+            ] {
                 let mut p = ThreeStateProcess::with_init(&g, init, &mut r);
                 p.run_to_stabilization(&mut r, 100_000)
                     .unwrap_or_else(|e| panic!("graph {i} with {init:?}: {e}"));
-                assert!(mis_check::is_mis(&g, &p.black_set()), "graph {i}, init {init:?}");
+                assert!(
+                    mis_check::is_mis(&g, &p.black_set()),
+                    "graph {i}, init {init:?}"
+                );
             }
         }
     }
@@ -362,7 +393,10 @@ mod tests {
         let g = generators::complete(4);
         let mut p = ThreeStateProcess::new(&g, vec![ThreeState::White; 4]);
         p.set_state(0, ThreeState::Black1);
-        assert!(!p.is_active(1), "white vertex with a black neighbor is not active");
+        assert!(
+            !p.is_active(1),
+            "white vertex with a black neighbor is not active"
+        );
         p.set_state(0, ThreeState::White);
         assert!(p.is_active(1));
     }

@@ -69,7 +69,11 @@ impl<'g> TwoStateProcess<'g> {
     ///
     /// Panics if `states.len() != graph.n()`.
     pub fn new(graph: &'g Graph, states: Vec<Color>) -> Self {
-        assert_eq!(states.len(), graph.n(), "initial state vector length must equal the number of vertices");
+        assert_eq!(
+            states.len(),
+            graph.n(),
+            "initial state vector length must equal the number of vertices"
+        );
         let mut p = TwoStateProcess {
             black_nbrs: vec![0; graph.n()],
             next: states.clone(),
@@ -142,7 +146,12 @@ impl<'g> TwoStateProcess<'g> {
     /// `true` if vertex `u` is stable: stable black, or adjacent to a stable
     /// black vertex.
     pub fn is_stable(&self, u: VertexId) -> bool {
-        self.is_stable_black(u) || self.graph.neighbors(u).iter().any(|&v| self.is_stable_black(v))
+        self.is_stable_black(u)
+            || self
+                .graph
+                .neighbors(u)
+                .iter()
+                .any(|&v| self.is_stable_black(v))
     }
 
     /// Number of black neighbors of `u`.
@@ -156,7 +165,12 @@ impl<'g> TwoStateProcess<'g> {
         let active = self.active_set();
         let mut out = VertexSet::new(self.n());
         for u in active.iter() {
-            let active_nbrs = self.graph.neighbors(u).iter().filter(|&&v| active.contains(v)).count();
+            let active_nbrs = self
+                .graph
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| active.contains(v))
+                .count();
             if active_nbrs <= k {
                 out.insert(u);
             }
@@ -210,19 +224,31 @@ impl Process for TwoStateProcess<'_> {
     }
 
     fn black_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.states[u].is_black()))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.states[u].is_black()),
+        )
     }
 
     fn active_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.is_active(u)))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.is_active(u)),
+        )
     }
 
     fn stable_black_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| self.is_stable_black(u)))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| self.is_stable_black(u)),
+        )
     }
 
     fn unstable_set(&self) -> VertexSet {
-        VertexSet::from_indices(self.n(), self.graph.vertices().filter(|&u| !self.is_stable(u)))
+        VertexSet::from_indices(
+            self.n(),
+            self.graph.vertices().filter(|&u| !self.is_stable(u)),
+        )
     }
 
     fn counts(&self) -> StateCounts {
@@ -324,12 +350,19 @@ mod tests {
             Graph::empty(20),
         ];
         for (i, g) in graphs.into_iter().enumerate() {
-            for init in [InitStrategy::AllWhite, InitStrategy::AllBlack, InitStrategy::Random] {
+            for init in [
+                InitStrategy::AllWhite,
+                InitStrategy::AllBlack,
+                InitStrategy::Random,
+            ] {
                 let mut p = TwoStateProcess::with_init(&g, init, &mut r);
                 let rounds = p
                     .run_to_stabilization(&mut r, 100_000)
                     .unwrap_or_else(|e| panic!("graph {i} with {init:?} did not stabilize: {e}"));
-                assert!(mis_check::is_mis(&g, &p.black_set()), "graph {i}, init {init:?}, after {rounds} rounds");
+                assert!(
+                    mis_check::is_mis(&g, &p.black_set()),
+                    "graph {i}, init {init:?}, after {rounds} rounds"
+                );
                 assert!(p.is_stabilized());
             }
         }
@@ -402,12 +435,20 @@ mod tests {
         p.set_color(5, Color::Black);
         p.set_color(5, Color::Black); // idempotent
         for u in g.vertices() {
-            let expected = g.neighbors(u).iter().filter(|&&v| p.color(v).is_black()).count();
+            let expected = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| p.color(v).is_black())
+                .count();
             assert_eq!(p.black_neighbor_count(u), expected);
         }
         p.set_color(0, Color::White);
         for u in g.vertices() {
-            let expected = g.neighbors(u).iter().filter(|&&v| p.color(v).is_black()).count();
+            let expected = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| p.color(v).is_black())
+                .count();
             assert_eq!(p.black_neighbor_count(u), expected);
         }
     }

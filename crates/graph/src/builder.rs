@@ -27,7 +27,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` vertices (ids `0..n`).
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, adjacency: vec![Vec::new(); n] }
+        GraphBuilder {
+            n,
+            adjacency: vec![Vec::new(); n],
+        }
     }
 
     /// Number of vertices of the graph being built.
@@ -57,10 +60,16 @@ impl GraphBuilder {
             return Err(GraphError::SelfLoop { vertex: u });
         }
         if u >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
         }
         self.adjacency[u].push(v);
         self.adjacency[v].push(u);

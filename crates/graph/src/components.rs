@@ -87,7 +87,10 @@ pub fn connected_components(g: &Graph) -> Components {
         component_of[v] = idx;
         members[idx].push(v);
     }
-    Components { component_of, members }
+    Components {
+        component_of,
+        members,
+    }
 }
 
 /// Returns `true` if `g` is connected. The empty graph (0 vertices) counts as

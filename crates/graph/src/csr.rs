@@ -35,9 +35,17 @@ pub struct Graph {
 }
 
 impl Graph {
-    pub(crate) fn from_sorted_adjacency(offsets: Vec<usize>, adjacency: Vec<VertexId>, m: usize) -> Self {
+    pub(crate) fn from_sorted_adjacency(
+        offsets: Vec<usize>,
+        adjacency: Vec<VertexId>,
+        m: usize,
+    ) -> Self {
         debug_assert_eq!(*offsets.last().unwrap_or(&0), adjacency.len());
-        Graph { offsets, adjacency, m }
+        Graph {
+            offsets,
+            adjacency,
+            m,
+        }
     }
 
     /// Builds a graph on `n` vertices from an iterator of undirected edges.
@@ -61,7 +69,11 @@ impl Graph {
 
     /// Builds the empty graph (no edges) on `n` vertices.
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1], adjacency: Vec::new(), m: 0 }
+        Graph {
+            offsets: vec![0; n + 1],
+            adjacency: Vec::new(),
+            m: 0,
+        }
     }
 
     /// Number of vertices.
@@ -114,7 +126,11 @@ impl Graph {
     /// Iterator over all undirected edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.vertices().flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 

@@ -30,10 +30,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} is out of range for a graph on {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} is out of range for a graph on {n} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => {
-                write!(f, "self-loop on vertex {vertex} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop on vertex {vertex} is not allowed in a simple graph"
+                )
             }
             GraphError::InvalidParameter { reason } => {
                 write!(f, "invalid generator parameter: {reason}")
@@ -57,7 +63,9 @@ mod tests {
         let e = GraphError::SelfLoop { vertex: 3 };
         assert!(e.to_string().contains("self-loop"));
 
-        let e = GraphError::InvalidParameter { reason: "n*d must be even".into() };
+        let e = GraphError::InvalidParameter {
+            reason: "n*d must be even".into(),
+        };
         assert!(e.to_string().contains("n*d must be even"));
     }
 

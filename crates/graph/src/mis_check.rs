@@ -28,10 +28,16 @@ impl std::fmt::Display for MisViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MisViolation::IndependenceViolated { u, v } => {
-                write!(f, "independence violated: adjacent vertices {u} and {v} are both in the set")
+                write!(
+                    f,
+                    "independence violated: adjacent vertices {u} and {v} are both in the set"
+                )
             }
             MisViolation::MaximalityViolated { vertex } => {
-                write!(f, "maximality violated: vertex {vertex} has no neighbor in the set")
+                write!(
+                    f,
+                    "maximality violated: vertex {vertex} has no neighbor in the set"
+                )
             }
         }
     }
@@ -69,7 +75,11 @@ pub fn is_mis(g: &Graph, s: &VertexSet) -> bool {
 
 /// Returns the first independence violation found, if any.
 pub fn check_independent(g: &Graph, s: &VertexSet) -> Option<MisViolation> {
-    assert_eq!(s.universe(), g.n(), "vertex set universe must match the graph");
+    assert_eq!(
+        s.universe(),
+        g.n(),
+        "vertex set universe must match the graph"
+    );
     for u in s.iter() {
         for &v in g.neighbors(u) {
             if v > u && s.contains(v) {
@@ -82,7 +92,11 @@ pub fn check_independent(g: &Graph, s: &VertexSet) -> Option<MisViolation> {
 
 /// Returns the first maximality violation found, if any.
 pub fn check_maximal(g: &Graph, s: &VertexSet) -> Option<MisViolation> {
-    assert_eq!(s.universe(), g.n(), "vertex set universe must match the graph");
+    assert_eq!(
+        s.universe(),
+        g.n(),
+        "vertex set universe must match the graph"
+    );
     for u in g.vertices() {
         if !s.contains(u) && !g.neighbors(u).iter().any(|&v| s.contains(v)) {
             return Some(MisViolation::MaximalityViolated { vertex: u });

@@ -28,7 +28,10 @@ pub struct GoodGraphConfig {
 impl GoodGraphConfig {
     /// A reasonable default: 200 sampled subsets per property.
     pub fn new(p: f64) -> Self {
-        GoodGraphConfig { samples_per_property: 200, p }
+        GoodGraphConfig {
+            samples_per_property: 200,
+            p,
+        }
     }
 }
 
@@ -131,8 +134,16 @@ fn induced_avg_degree(g: &Graph, s: &[VertexId]) -> f64 {
 /// let report = check_good(&g, GoodGraphConfig::new(p), &mut rng);
 /// assert!(report.is_good());
 /// ```
-pub fn check_good<R: Rng + ?Sized>(g: &Graph, config: GoodGraphConfig, rng: &mut R) -> GoodGraphReport {
-    assert!(config.p > 0.0 && config.p < 1.0, "p must be in (0, 1), got {}", config.p);
+pub fn check_good<R: Rng + ?Sized>(
+    g: &Graph,
+    config: GoodGraphConfig,
+    rng: &mut R,
+) -> GoodGraphReport {
+    assert!(
+        config.p > 0.0 && config.p < 1.0,
+        "p must be in (0, 1), got {}",
+        config.p
+    );
     let n = g.n();
     let p = config.p;
     let ln = ln_n(n);
@@ -140,7 +151,10 @@ pub fn check_good<R: Rng + ?Sized>(g: &Graph, config: GoodGraphConfig, rng: &mut
     let all: Vec<VertexId> = g.vertices().collect();
 
     // ---- (P1) ----
-    let mut p1 = PropertyResult { checks: 0, violations: 0 };
+    let mut p1 = PropertyResult {
+        checks: 0,
+        violations: 0,
+    };
     for _ in 0..samples {
         if n == 0 {
             break;
@@ -155,7 +169,10 @@ pub fn check_good<R: Rng + ?Sized>(g: &Graph, config: GoodGraphConfig, rng: &mut
     }
 
     // ---- (P2) ----
-    let mut p2 = PropertyResult { checks: 0, violations: 0 };
+    let mut p2 = PropertyResult {
+        checks: 0,
+        violations: 0,
+    };
     let min_size = (40.0 * ln / p).ceil() as usize;
     if min_size <= n {
         for _ in 0..samples {
@@ -166,7 +183,9 @@ pub fn check_good<R: Rng + ?Sized>(g: &Graph, config: GoodGraphConfig, rng: &mut
             let poor = g
                 .vertices()
                 .filter(|&u| !set.contains(u))
-                .filter(|&u| (g.neighbors(u).iter().filter(|&&v| set.contains(v)).count() as f64) < threshold)
+                .filter(|&u| {
+                    (g.neighbors(u).iter().filter(|&&v| set.contains(v)).count() as f64) < threshold
+                })
                 .count();
             p2.checks += 1;
             if poor > s.len() / 2 {
@@ -176,7 +195,10 @@ pub fn check_good<R: Rng + ?Sized>(g: &Graph, config: GoodGraphConfig, rng: &mut
     }
 
     // ---- (P3) ----
-    let mut p3 = PropertyResult { checks: 0, violations: 0 };
+    let mut p3 = PropertyResult {
+        checks: 0,
+        violations: 0,
+    };
     for _ in 0..samples {
         if n < 4 {
             break;
@@ -194,8 +216,10 @@ pub fn check_good<R: Rng + ?Sized>(g: &Graph, config: GoodGraphConfig, rng: &mut
                 }
             }
         }
-        let pool: Vec<VertexId> =
-            g.vertices().filter(|&v| !i_set.contains(v) && !n_of_i.contains(v)).collect();
+        let pool: Vec<VertexId> = g
+            .vertices()
+            .filter(|&v| !i_set.contains(v) && !n_of_i.contains(v))
+            .collect();
         if pool.len() < 3 {
             continue;
         }
@@ -218,7 +242,9 @@ pub fn check_good<R: Rng + ?Sized>(g: &Graph, config: GoodGraphConfig, rng: &mut
                 }
                 let in_closed_si = s_set.contains(v)
                     || i_set.contains(v)
-                    || g.neighbors(v).iter().any(|&w| s_set.contains(w) || i_set.contains(w));
+                    || g.neighbors(v)
+                        .iter()
+                        .any(|&w| s_set.contains(w) || i_set.contains(w));
                 if !in_closed_si {
                     counted.insert(v);
                     lhs += 1;
@@ -233,7 +259,8 @@ pub fn check_good<R: Rng + ?Sized>(g: &Graph, config: GoodGraphConfig, rng: &mut
                 if counted.contains(v) || s_set.contains(v) {
                     continue;
                 }
-                let in_closed_i = i_set.contains(v) || g.neighbors(v).iter().any(|&w| i_set.contains(w));
+                let in_closed_i =
+                    i_set.contains(v) || g.neighbors(v).iter().any(|&w| i_set.contains(w));
                 if !in_closed_i {
                     counted.insert(v);
                     rhs += 1;
@@ -247,14 +274,21 @@ pub fn check_good<R: Rng + ?Sized>(g: &Graph, config: GoodGraphConfig, rng: &mut
     }
 
     // ---- (P4) ----
-    let mut p4 = PropertyResult { checks: 0, violations: 0 };
+    let mut p4 = PropertyResult {
+        checks: 0,
+        violations: 0,
+    };
     let t_max = (ln / p).floor().max(1.0) as usize;
     for _ in 0..samples {
         if n < 2 {
             break;
         }
         let t_size = rng.gen_range(1..=t_max.min(n / 2).max(1));
-        let chosen = sample_subset(&all, n.min(t_size + rng.gen_range(t_size..=n.max(t_size + 1))), rng);
+        let chosen = sample_subset(
+            &all,
+            n.min(t_size + rng.gen_range(t_size..=n.max(t_size + 1))),
+            rng,
+        );
         if chosen.len() < 2 * t_size {
             continue;
         }
@@ -265,7 +299,12 @@ pub fn check_good<R: Rng + ?Sized>(g: &Graph, config: GoodGraphConfig, rng: &mut
         let s_set = VertexSet::from_indices(n, s_vec.iter().copied());
         let cut: usize = t_vec
             .iter()
-            .map(|&t| g.neighbors(t).iter().filter(|&&v| s_set.contains(v)).count())
+            .map(|&t| {
+                g.neighbors(t)
+                    .iter()
+                    .filter(|&&v| s_set.contains(v))
+                    .count()
+            })
             .sum();
         p4.checks += 1;
         if (cut as f64) > 6.0 * s_vec.len() as f64 * ln + 1e-9 {
@@ -284,9 +323,15 @@ pub fn check_good<R: Rng + ?Sized>(g: &Graph, config: GoodGraphConfig, rng: &mut
     // ---- (P6) exact ----
     let p6_applies = p >= 2.0 * (ln / n.max(1) as f64).sqrt();
     let p6 = if p6_applies {
-        PropertyResult { checks: 1, violations: usize::from(!has_diameter_at_most_2(g)) }
+        PropertyResult {
+            checks: 1,
+            violations: usize::from(!has_diameter_at_most_2(g)),
+        }
     } else {
-        PropertyResult { checks: 0, violations: 0 }
+        PropertyResult {
+            checks: 0,
+            violations: 0,
+        }
     };
 
     GoodGraphReport {
@@ -326,7 +371,10 @@ mod tests {
         let g = generators::gnp(200, p, &mut rng);
         let report = check_good(&g, GoodGraphConfig::new(p), &mut rng);
         assert!(report.is_good(), "report: {report:?}");
-        assert_eq!(report.p6_diameter.checks, 1, "P6 must be exercised for dense p");
+        assert_eq!(
+            report.p6_diameter.checks, 1,
+            "P6 must be exercised for dense p"
+        );
     }
 
     #[test]
@@ -369,7 +417,14 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         let p = 0.1;
         let g = generators::gnp(50, p, &mut rng);
-        let report = check_good(&g, GoodGraphConfig { samples_per_property: 20, p }, &mut rng);
+        let report = check_good(
+            &g,
+            GoodGraphConfig {
+                samples_per_property: 20,
+                p,
+            },
+            &mut rng,
+        );
         let json = serde_json::to_string(&report).unwrap();
         let back: GoodGraphReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);

@@ -182,7 +182,11 @@ pub fn induced_average_degree(g: &Graph, vertices: &crate::VertexSet) -> f64 {
     }
     let mut internal_edge_endpoints = 0usize;
     for u in vertices.iter() {
-        internal_edge_endpoints += g.neighbors(u).iter().filter(|&&v| vertices.contains(v)).count();
+        internal_edge_endpoints += g
+            .neighbors(u)
+            .iter()
+            .filter(|&&v| vertices.contains(v))
+            .count();
     }
     internal_edge_endpoints as f64 / vertices.len() as f64
 }
@@ -283,8 +287,13 @@ mod tests {
             Graph::empty(3),
         ];
         for g in graphs {
-            let exact = diameter(&g).map_or(false, |d| d <= 2);
-            assert_eq!(has_diameter_at_most_2(&g), exact, "graph with n = {}", g.n());
+            let exact = diameter(&g).is_some_and(|d| d <= 2);
+            assert_eq!(
+                has_diameter_at_most_2(&g),
+                exact,
+                "graph with n = {}",
+                g.n()
+            );
         }
     }
 

@@ -38,7 +38,11 @@ impl InducedSubgraph {
     ///
     /// Panics if `s.universe() != g.n()`.
     pub fn new(g: &Graph, s: &VertexSet) -> Self {
-        assert_eq!(s.universe(), g.n(), "vertex set universe must match the graph");
+        assert_eq!(
+            s.universe(),
+            g.n(),
+            "vertex set universe must match the graph"
+        );
         let original: Vec<VertexId> = s.iter().collect();
         let mut induced = vec![None; g.n()];
         for (i, &v) in original.iter().enumerate() {
@@ -54,7 +58,11 @@ impl InducedSubgraph {
                 }
             }
         }
-        InducedSubgraph { graph: builder.build(), original, induced }
+        InducedSubgraph {
+            graph: builder.build(),
+            original,
+            induced,
+        }
     }
 
     /// The materialized subgraph, with vertices renumbered `0..|S|`.

@@ -27,7 +27,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), rank: vec![0; n], components: n }
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
     }
 
     /// Number of elements.
@@ -73,7 +77,11 @@ impl UnionFind {
         if rx == ry {
             return false;
         }
-        let (hi, lo) = if self.rank[rx] >= self.rank[ry] { (rx, ry) } else { (ry, rx) };
+        let (hi, lo) = if self.rank[rx] >= self.rank[ry] {
+            (rx, ry)
+        } else {
+            (ry, rx)
+        };
         self.parent[lo] = hi;
         if self.rank[hi] == self.rank[lo] {
             self.rank[hi] += 1;

@@ -31,7 +31,11 @@ pub struct VertexSet {
 impl VertexSet {
     /// Creates an empty set over the universe `0..n`.
     pub fn new(n: usize) -> Self {
-        VertexSet { n, words: vec![0; n.div_ceil(64)], len: 0 }
+        VertexSet {
+            n,
+            words: vec![0; n.div_ceil(64)],
+            len: 0,
+        }
     }
 
     /// Creates a full set containing every vertex in `0..n`.
@@ -172,7 +176,10 @@ impl VertexSet {
     /// Panics if the two sets have different universes.
     pub fn is_subset(&self, other: &VertexSet) -> bool {
         assert_eq!(self.n, other.n, "universe mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// In-place union with `other`.

@@ -14,8 +14,8 @@ use mis_core::{
 use mis_graph::Graph;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// A process whose per-vertex state can be corrupted in place, modelling a
@@ -32,7 +32,10 @@ pub trait Corruptible: Process {
 
 /// Picks `ceil(fraction · n)` distinct victim vertices.
 fn victims<R: Rng>(n: usize, fraction: f64, rng: &mut R) -> Vec<usize> {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1], got {fraction}");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1], got {fraction}"
+    );
     let count = (fraction * n as f64).ceil() as usize;
     let mut ids: Vec<usize> = (0..n).collect();
     ids.shuffle(rng);
@@ -43,7 +46,11 @@ fn victims<R: Rng>(n: usize, fraction: f64, rng: &mut R) -> Vec<usize> {
 impl Corruptible for TwoStateProcess<'_> {
     fn corrupt_fraction<R: Rng>(&mut self, fraction: f64, rng: &mut R) {
         for u in victims(self.n(), fraction, rng) {
-            let color = if rng.gen_bool(0.5) { mis_core::Color::Black } else { mis_core::Color::White };
+            let color = if rng.gen_bool(0.5) {
+                mis_core::Color::Black
+            } else {
+                mis_core::Color::White
+            };
             self.set_color(u, color);
         }
     }
@@ -117,16 +124,22 @@ pub fn two_state_recovery(
 ) -> RecoveryOutcome {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut proc = TwoStateProcess::with_init(graph, init, &mut rng);
-    let initial_rounds =
-        proc.run_to_stabilization(&mut rng, max_rounds).expect("initial stabilization failed");
+    let initial_rounds = proc
+        .run_to_stabilization(&mut rng, max_rounds)
+        .expect("initial stabilization failed");
 
     let before: Vec<_> = proc.states().to_vec();
     proc.corrupt_fraction(fraction, &mut rng);
-    let corrupted_vertices =
-        before.iter().zip(proc.states()).filter(|(a, b)| a != b).count();
+    let corrupted_vertices = before
+        .iter()
+        .zip(proc.states())
+        .filter(|(a, b)| a != b)
+        .count();
 
     let start = proc.round();
-    let end = proc.run_to_stabilization(&mut rng, max_rounds).expect("recovery failed");
+    let end = proc
+        .run_to_stabilization(&mut rng, max_rounds)
+        .expect("recovery failed");
     RecoveryOutcome {
         initial_rounds,
         recovery_rounds: end - start,
@@ -150,15 +163,22 @@ pub fn three_color_recovery(
 ) -> RecoveryOutcome {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut proc = ThreeColorProcess::with_randomized_switch(graph, init, &mut rng);
-    let initial_rounds =
-        proc.run_to_stabilization(&mut rng, max_rounds).expect("initial stabilization failed");
+    let initial_rounds = proc
+        .run_to_stabilization(&mut rng, max_rounds)
+        .expect("initial stabilization failed");
 
     let before: Vec<_> = proc.colors().to_vec();
     proc.corrupt_fraction(fraction, &mut rng);
-    let corrupted_vertices = before.iter().zip(proc.colors()).filter(|(a, b)| a != b).count();
+    let corrupted_vertices = before
+        .iter()
+        .zip(proc.colors())
+        .filter(|(a, b)| a != b)
+        .count();
 
     let start = proc.round();
-    let end = proc.run_to_stabilization(&mut rng, max_rounds).expect("recovery failed");
+    let end = proc
+        .run_to_stabilization(&mut rng, max_rounds)
+        .expect("recovery failed");
     RecoveryOutcome {
         initial_rounds,
         recovery_rounds: end - start,

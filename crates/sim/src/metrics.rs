@@ -63,17 +63,25 @@ mod tests {
     use super::*;
 
     fn counts(unstable: usize) -> StateCounts {
-        StateCounts { unstable, ..StateCounts::default() }
+        StateCounts {
+            unstable,
+            ..StateCounts::default()
+        }
     }
 
     #[test]
     fn trace_queries() {
-        let trace = RoundTrace { counts: vec![counts(10), counts(4), counts(0)] };
+        let trace = RoundTrace {
+            counts: vec![counts(10), counts(4), counts(0)],
+        };
         assert_eq!(trace.len(), 3);
         assert!(!trace.is_empty());
         assert_eq!(trace.first_round_with_unstable_at_most(5), Some(1));
         assert_eq!(trace.first_round_with_unstable_at_most(0), Some(2));
-        assert_eq!(RoundTrace::default().first_round_with_unstable_at_most(0), None);
+        assert_eq!(
+            RoundTrace::default().first_round_with_unstable_at_most(0),
+            None
+        );
     }
 
     #[test]
@@ -89,7 +97,9 @@ mod tests {
             mis_size: 4,
             random_bits: 99,
             states_per_vertex: 2,
-            trace: Some(RoundTrace { counts: vec![counts(3)] }),
+            trace: Some(RoundTrace {
+                counts: vec![counts(3)],
+            }),
         };
         let json = serde_json::to_string(&t).unwrap();
         let back: TrialResult = serde_json::from_str(&json).unwrap();

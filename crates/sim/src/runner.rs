@@ -103,9 +103,14 @@ pub fn run_trial(spec: &ExperimentSpec, trial: usize) -> TrialResult {
 /// Runs every trial of `spec`, in parallel, and collects the results in trial
 /// order.
 pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
-    let trials: Vec<TrialResult> =
-        (0..spec.trials).into_par_iter().map(|trial| run_trial(spec, trial)).collect();
-    ExperimentResult { spec: spec.clone(), trials }
+    let trials: Vec<TrialResult> = (0..spec.trials)
+        .into_par_iter()
+        .map(|trial| run_trial(spec, trial))
+        .collect();
+    ExperimentResult {
+        spec: spec.clone(),
+        trials,
+    }
 }
 
 /// Drives a [`Process`] to stabilization, optionally recording a per-round
@@ -115,7 +120,14 @@ fn drive<P: Process>(
     rng: &mut ChaCha8Rng,
     max_rounds: usize,
     record_trace: bool,
-) -> (usize, bool, mis_graph::VertexSet, u64, usize, Option<RoundTrace>) {
+) -> (
+    usize,
+    bool,
+    mis_graph::VertexSet,
+    u64,
+    usize,
+    Option<RoundTrace>,
+) {
     let mut trace = record_trace.then(RoundTrace::default);
     if let Some(t) = trace.as_mut() {
         t.counts.push(proc.counts());
@@ -224,7 +236,10 @@ mod tests {
             assert_eq!(trace.len(), t.rounds + 1);
             // |V_t| is non-increasing over time for the 2-state process.
             let unstable: Vec<_> = trace.counts.iter().map(|c| c.unstable).collect();
-            assert!(unstable.windows(2).all(|w| w[1] <= w[0]), "unstable counts increased: {unstable:?}");
+            assert!(
+                unstable.windows(2).all(|w| w[1] <= w[0]),
+                "unstable counts increased: {unstable:?}"
+            );
             assert_eq!(*unstable.last().unwrap(), 0);
         }
     }
@@ -237,14 +252,16 @@ mod tests {
         spec.trials = 2;
         let result = run_experiment(&spec);
         assert!(!result.all_stabilized());
-        assert!(result.all_valid(), "non-stabilized trials must not claim a valid MIS");
+        assert!(
+            result.all_valid(),
+            "non-stabilized trials must not claim a valid MIS"
+        );
     }
 
     #[test]
     fn helper_runs_on_explicit_graph() {
         let g = mis_graph::generators::complete(16);
-        let rounds =
-            stabilization_time_two_state(&g, InitStrategy::AllBlack, 3, 100_000).unwrap();
+        let rounds = stabilization_time_two_state(&g, InitStrategy::AllBlack, 3, 100_000).unwrap();
         assert!(rounds >= 1);
     }
 }

@@ -120,7 +120,9 @@ impl GraphSpec {
         match *self {
             GraphSpec::Gnp { n, p } => format!("gnp(n={n},p={p})"),
             GraphSpec::Complete { n } => format!("complete(n={n})"),
-            GraphSpec::DisjointCliques { count, size } => format!("cliques(count={count},size={size})"),
+            GraphSpec::DisjointCliques { count, size } => {
+                format!("cliques(count={count},size={size})")
+            }
             GraphSpec::RandomTree { n } => format!("tree(n={n})"),
             GraphSpec::Path { n } => format!("path(n={n})"),
             GraphSpec::Cycle { n } => format!("cycle(n={n})"),

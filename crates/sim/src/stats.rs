@@ -46,7 +46,10 @@ impl Summary {
     ///
     /// Panics if any sample is NaN.
     pub fn from_samples(samples: &[f64]) -> Self {
-        assert!(samples.iter().all(|x| !x.is_nan()), "samples must not contain NaN");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "samples must not contain NaN"
+        );
         let count = samples.len();
         if count == 0 {
             return Summary {

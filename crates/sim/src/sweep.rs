@@ -141,7 +141,11 @@ mod tests {
 
     #[test]
     fn sweep_produces_one_row_per_point() {
-        let table = run_sweep([8usize, 16, 32].into_iter().map(|n| (n as f64, spec_for_n(n))));
+        let table = run_sweep(
+            [8usize, 16, 32]
+                .into_iter()
+                .map(|n| (n as f64, spec_for_n(n))),
+        );
         assert_eq!(table.rows.len(), 3);
         assert!(table.rows.iter().all(|r| r.stabilized_fraction == 1.0));
         assert!(table.rows.iter().all(|r| r.rounds.count == 4));

@@ -32,7 +32,11 @@ fn main() {
     let sizes = [128, 256, 512, 1024];
     let trials = 16;
 
-    for process in [ProcessSelector::TwoState, ProcessSelector::ThreeState, ProcessSelector::ThreeColor] {
+    for process in [
+        ProcessSelector::TwoState,
+        ProcessSelector::ThreeState,
+        ProcessSelector::ThreeColor,
+    ] {
         let table = sweep(process, &sizes, trials);
         println!("\n=== {} on G(n, sqrt(ln n / n)) ===", process.label());
         println!("{}", table.to_pretty());

@@ -16,7 +16,12 @@ fn main() {
     // A sparse Erdős–Rényi graph with average degree ~8.
     let n = 1_000;
     let g = generators::gnp(n, 8.0 / n as f64, &mut rng);
-    println!("graph: n = {}, m = {}, max degree = {}", g.n(), g.m(), g.max_degree());
+    println!(
+        "graph: n = {}, m = {}, max degree = {}",
+        g.n(),
+        g.m(),
+        g.max_degree()
+    );
 
     // Self-stabilization means the initial states can be anything at all.
     let mut process = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut rng);
@@ -41,7 +46,10 @@ fn main() {
     }
 
     let mis = process.black_set();
-    assert!(mis_check::is_mis(&g, &mis), "the stabilized black set must be an MIS");
+    assert!(
+        mis_check::is_mis(&g, &mis),
+        "the stabilized black set must be an MIS"
+    );
     println!(
         "\nstabilized after {} rounds: MIS of size {} ({} random bits used, 2 states per vertex)",
         process.round(),

@@ -56,5 +56,8 @@ fn main() {
             cluster_heads.contains(u) || g.neighbors(u).iter().any(|&v| cluster_heads.contains(v))
         })
         .count();
-    println!("coverage: {covered}/{} sensors are a cluster head or adjacent to one", g.n());
+    println!(
+        "coverage: {covered}/{} sensors are a cluster head or adjacent to one",
+        g.n()
+    );
 }

@@ -1,0 +1,44 @@
+# Local development recipes, kept in lockstep with .github/workflows/ci.yml.
+
+# List recipes.
+default:
+    @just --list
+
+# Release build of every target (libs, 14 exp_* bins, 3 benches, examples, tests).
+build:
+    cargo build --release --workspace --all-targets
+
+# Unit, integration, and doc-tests for the whole workspace.
+test:
+    cargo test -q --workspace
+
+# Formatting and clippy, exactly as CI runs them.
+lint:
+    cargo fmt --check
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Apply formatting and mechanical clippy fixes.
+fix:
+    cargo fmt
+    cargo clippy --workspace --all-targets --fix --allow-dirty -- -D warnings
+
+# Criterion micro-benchmarks.
+bench:
+    cargo bench -p mis-bench
+
+# Run one experiment binary at paper scale: `just exp e1_clique`.
+exp NAME *ARGS:
+    cargo run --release -p mis-bench --bin exp_{{NAME}} -- {{ARGS}}
+
+# Quick smoke run of one experiment: `just smoke e1_clique`.
+smoke NAME:
+    cargo run --release -p mis-bench --bin exp_{{NAME}} -- --quick
+
+# Everything CI enforces, in CI's order.
+ci:
+    cargo fmt --check
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo build --release --workspace --all-targets
+    cargo test -q --workspace
+    cargo run --release -p mis-bench --bin exp_e1_clique -- --quick
+    test -s results/e1_clique.csv

@@ -25,7 +25,10 @@ fn graph_zoo(rng: &mut ChaCha8Rng) -> Vec<(String, Graph)> {
         ("star".into(), generators::star(50)),
         ("tree".into(), generators::random_tree(120, rng)),
         ("grid".into(), generators::grid(9, 9)),
-        ("disjoint-cliques".into(), generators::disjoint_cliques(6, 7)),
+        (
+            "disjoint-cliques".into(),
+            generators::disjoint_cliques(6, 7),
+        ),
         ("gnp-sparse".into(), generators::gnp(150, 0.03, rng)),
         ("gnp-dense".into(), generators::gnp(90, 0.5, rng)),
         ("regular".into(), generators::regular(80, 6, rng).unwrap()),
@@ -38,18 +41,32 @@ fn graph_zoo(rng: &mut ChaCha8Rng) -> Vec<(String, Graph)> {
 fn all_processes_reach_an_mis_on_the_graph_zoo() {
     let mut r = rng(1);
     for (name, g) in graph_zoo(&mut r) {
-        for init in [InitStrategy::AllWhite, InitStrategy::AllBlack, InitStrategy::Random, InitStrategy::Alternating] {
+        for init in [
+            InitStrategy::AllWhite,
+            InitStrategy::AllBlack,
+            InitStrategy::Random,
+            InitStrategy::Alternating,
+        ] {
             let mut p = TwoStateProcess::with_init(&g, init, &mut r);
             p.run_to_stabilization(&mut r, 1_000_000).unwrap();
-            assert!(mis_check::is_mis(&g, &p.black_set()), "two-state on {name} from {init:?}");
+            assert!(
+                mis_check::is_mis(&g, &p.black_set()),
+                "two-state on {name} from {init:?}"
+            );
 
             let mut p = ThreeStateProcess::with_init(&g, init, &mut r);
             p.run_to_stabilization(&mut r, 1_000_000).unwrap();
-            assert!(mis_check::is_mis(&g, &p.black_set()), "three-state on {name} from {init:?}");
+            assert!(
+                mis_check::is_mis(&g, &p.black_set()),
+                "three-state on {name} from {init:?}"
+            );
 
             let mut p = ThreeColorProcess::with_randomized_switch(&g, init, &mut r);
             p.run_to_stabilization(&mut r, 1_000_000).unwrap();
-            assert!(mis_check::is_mis(&g, &p.black_set()), "three-color on {name} from {init:?}");
+            assert!(
+                mis_check::is_mis(&g, &p.black_set()),
+                "three-color on {name} from {init:?}"
+            );
         }
     }
 }
@@ -64,11 +81,17 @@ fn communication_model_adaptations_reach_an_mis_on_the_graph_zoo() {
 
         let mut p = StoneAgeThreeStateMis::with_init(&g, InitStrategy::Random, &mut r);
         p.run_to_stabilization(&mut r, 1_000_000).unwrap();
-        assert!(mis_check::is_mis(&g, &p.black_set()), "stone-age 3-state on {name}");
+        assert!(
+            mis_check::is_mis(&g, &p.black_set()),
+            "stone-age 3-state on {name}"
+        );
 
         let mut p = StoneAgeThreeColorMis::with_init(&g, InitStrategy::Random, &mut r);
         p.run_to_stabilization(&mut r, 1_000_000).unwrap();
-        assert!(mis_check::is_mis(&g, &p.black_set()), "stone-age 3-color on {name}");
+        assert!(
+            mis_check::is_mis(&g, &p.black_set()),
+            "stone-age 3-color on {name}"
+        );
     }
 }
 
@@ -77,7 +100,10 @@ fn baselines_reach_an_mis_on_the_graph_zoo() {
     let mut r = rng(3);
     for (name, g) in graph_zoo(&mut r) {
         assert!(mis_check::is_mis(&g, &greedy_mis(&g)), "greedy on {name}");
-        assert!(mis_check::is_mis(&g, &luby_mis(&g, &mut r).mis), "luby on {name}");
+        assert!(
+            mis_check::is_mis(&g, &luby_mis(&g, &mut r).mis),
+            "luby on {name}"
+        );
         let mut alg = RandomPriorityMis::random_init(&g, &mut r);
         let out = alg.run(&mut r, 1_000_000).unwrap();
         assert!(mis_check::is_mis(&g, &out.mis), "random-priority on {name}");
@@ -112,7 +138,10 @@ fn stable_black_sets_are_monotone_and_final_mis_contains_them() {
     while !p.is_stabilized() {
         p.step(&mut r);
         let current = p.stable_black_set();
-        assert!(previous.is_subset(&current), "I_t must be monotone non-decreasing");
+        assert!(
+            previous.is_subset(&current),
+            "I_t must be monotone non-decreasing"
+        );
         previous = current;
     }
     assert_eq!(previous, p.black_set());

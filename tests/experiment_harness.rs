@@ -43,7 +43,10 @@ fn experiment_results_are_reproducible_and_validated() {
 #[test]
 fn sweep_over_sizes_produces_consistent_table() {
     let table: SweepTable = run_sweep([32usize, 64, 128].into_iter().map(|n| {
-        (n as f64, spec(GraphSpec::RandomTree { n }, ProcessSelector::TwoState))
+        (
+            n as f64,
+            spec(GraphSpec::RandomTree { n }, ProcessSelector::TwoState),
+        )
     }));
     assert_eq!(table.rows.len(), 3);
     for row in &table.rows {
@@ -77,7 +80,10 @@ fn all_process_selectors_run_through_the_harness() {
 
 #[test]
 fn json_round_trip_of_experiment_results() {
-    let result = run_experiment(&spec(GraphSpec::Star { n: 30 }, ProcessSelector::ThreeState));
+    let result = run_experiment(&spec(
+        GraphSpec::Star { n: 30 },
+        ProcessSelector::ThreeState,
+    ));
     let json = serde_json::to_string(&result).unwrap();
     let back: selfstab_mis::sim::runner::ExperimentResult = serde_json::from_str(&json).unwrap();
     assert_eq!(result, back);

@@ -1,0 +1,190 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small slice of the rayon API the workspace uses —
+//! `into_par_iter().map(f).collect()` — with genuine data parallelism:
+//! items are split into one contiguous chunk per available CPU core and
+//! mapped on scoped `std::thread`s, preserving input order in the output.
+//! There is no work stealing; for the workspace's use case (equal-cost
+//! independent simulation trials) static chunking is a good fit.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Glob-importable parallel iterator traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The resulting parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator: a materialized item list plus a mapping pipeline.
+pub trait ParallelIterator: Sized {
+    /// The element type produced by this iterator.
+    type Item: Send;
+
+    /// Runs the pipeline and returns the results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes the pipeline and collects the results.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+/// A materialized source of items (the root of every pipeline).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn run(self) -> Vec<U> {
+        parallel_map(self.base.run(), &self.f)
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<usize>;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    type Iter = ParIter<u64>;
+
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Maps `items` through `f` on scoped threads, one contiguous chunk per
+/// core, and concatenates the chunk results in order.
+fn parallel_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon stand-in worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1_000usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 1_000);
+        for (i, sq) in squares.iter().enumerate() {
+            assert_eq!(*sq, i * i);
+        }
+    }
+
+    #[test]
+    fn runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..256usize)
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let distinct = seen.lock().unwrap().len();
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert!(distinct >= 1 && distinct <= cores.max(1));
+        if cores > 1 {
+            assert!(distinct > 1, "expected work on more than one thread");
+        }
+    }
+
+    #[test]
+    fn empty_and_vec_sources() {
+        let empty: Vec<usize> = (0..0usize).into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let doubled: Vec<i32> = vec![1, 2, 3].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,367 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment of this repository is fully hermetic (no crates.io
+//! access), so this crate re-implements just enough of serde's derive macros
+//! for the types that appear in the workspace: non-generic structs with named
+//! fields, and enums whose variants are unit, tuple, or struct-like. No
+//! `#[serde(...)]` attributes are supported — the workspace does not use any.
+//!
+//! The generated code targets the vendored `serde` crate's value-tree model:
+//! `Serialize::to_value(&self) -> serde::Value` and
+//! `Deserialize::from_value(&serde::Value) -> Result<Self, serde::Error>`,
+//! with the same JSON data layout real serde would produce (structs as
+//! objects, unit variants as strings, data variants as single-key objects).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Struct(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (token-tree walk; no external parser crates are available)
+// ---------------------------------------------------------------------------
+
+fn skip_attributes(iter: &mut TokenIter) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next(); // `#`
+        iter.next(); // the `[...]` group
+    }
+}
+
+fn skip_visibility(iter: &mut TokenIter) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next(); // `(crate)` / `(super)` / ...
+                }
+            }
+        }
+    }
+}
+
+/// Consumes one type, stopping at a top-level `,` (which is also consumed).
+/// Commas inside groups are invisible (groups are single token trees); commas
+/// inside generic arguments are guarded by `<`/`>` depth tracking.
+fn skip_type_to_comma(iter: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    iter.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        iter.next();
+    }
+}
+
+/// Parses the contents of a `{ name: Type, ... }` field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+                }
+                skip_type_to_comma(&mut iter);
+            }
+            None => break,
+            Some(other) => panic!("serde_derive: unexpected token in field list: {other}"),
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-variant `( Type, ... )` payload.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type_to_comma(&mut iter);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let kind = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        iter.next();
+                        VariantKind::Struct(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_tuple_fields(g.stream());
+                        iter.next();
+                        VariantKind::Tuple(arity)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Consume an optional `= discriminant` and the trailing comma.
+                while let Some(tt) = iter.peek() {
+                    if let TokenTree::Punct(p) = tt {
+                        if p.as_char() == ',' {
+                            iter.next();
+                            break;
+                        }
+                    }
+                    iter.next();
+                }
+                variants.push(Variant { name, kind });
+            }
+            None => break,
+            Some(other) => panic!("serde_derive: unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let is_struct = loop {
+        skip_attributes(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break true,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break false,
+            Some(_) => continue, // visibility and other modifiers
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored derive");
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_struct {
+                Item::Struct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                }
+            } else {
+                Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                }
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && is_struct => Item::Struct {
+            name,
+            fields: Vec::new(),
+        },
+        other => panic!("serde_derive: unsupported item body for `{name}`: {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(unused_mut, unused_variables, clippy::all)]\n";
+
+fn push_object_fields(out: &mut String, access_prefix: &str, fields: &[String]) {
+    out.push_str("let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();");
+    for f in fields {
+        out.push_str(&format!(
+            "fields.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({access_prefix}{f})));"
+        ));
+    }
+}
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut body = String::new();
+    push_object_fields(&mut body, "&self.", fields);
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} ::serde::Value::Object(fields) }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        body.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::get_field(value, \"{f}\")?)?,"
+        ));
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         ::std::result::Result::Ok({name} {{ {body} }})\n\
+         }}\n}}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+            )),
+            VariantKind::Struct(fields) => {
+                let bindings = fields.join(", ");
+                let mut inner = String::new();
+                push_object_fields(&mut inner, "", fields);
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {bindings} }} => {{ {inner} \
+                     ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(fields))]) }},"
+                ));
+            }
+            VariantKind::Tuple(arity) => {
+                let bindings: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                let payload = if *arity == 1 {
+                    "::serde::Serialize::to_value(x0)".to_string()
+                } else {
+                    let elems: Vec<String> = bindings
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {payload})]),",
+                    bindings.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => unit_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+            )),
+            VariantKind::Struct(fields) => {
+                let mut body = String::new();
+                for f in fields {
+                    body.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(inner, \"{f}\")?)?,"
+                    ));
+                }
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {body} }}),"
+                ));
+            }
+            VariantKind::Tuple(arity) => {
+                if *arity == 1 {
+                    data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                    ));
+                } else {
+                    let elems: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(::serde::get_index(inner, {i})?)?"))
+                        .collect();
+                    data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({})),",
+                        elems.join(", ")
+                    ));
+                }
+            }
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match value {{\n\
+         ::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown unit variant `{{other}}` of {name}\"))) }},\n\
+         ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+         let (key, inner) = &entries[0];\n\
+         match key.as_str() {{ {data_arms} other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown data variant `{{other}}` of {name}\"))) }}\n\
+         }},\n\
+         _ => ::std::result::Result::Err(::serde::Error::custom(\"expected a string or single-key object for enum {name}\")),\n\
+         }}\n}}\n}}"
+    )
+}
