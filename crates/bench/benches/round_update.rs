@@ -1,6 +1,12 @@
 //! Micro-benchmark: cost of one synchronous round of each process, on the
 //! graph families the paper analyzes. This is the ablation bench for the
 //! per-round update implementation called out in DESIGN.md.
+//!
+//! The `phase_round_cost` group contrasts the incremental frontier engine
+//! against the naive full-scan reference path in the early phase (fresh
+//! random configuration, ~half the vertices active) and the silent late
+//! phase (stabilized configuration, empty frontier) at
+//! `n ∈ {10⁴, 10⁵, 10⁶}` on sparse `G(n, 8/n)`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mis_core::init::InitStrategy;
@@ -48,5 +54,70 @@ fn bench_round_update(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_update);
+/// Early-phase vs late-phase round cost, incremental engine vs full-scan
+/// reference, on sparse `G(n, 8/n)`.
+///
+/// The early-phase benchmarks clone the process inside the timed closure so
+/// every iteration steps the *same* high-activity configuration (the clone
+/// cost is identical for both paths, so the comparison stays fair). The
+/// silent-phase benchmarks need no clone: a stabilized 2-state process stays
+/// stabilized, so stepping it is stationary — this is the steady state whose
+/// cost the frontier engine reduces from `O(n + m)` to `O(1)`.
+fn bench_phase_contrast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_round_cost");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1000));
+
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = generators::gnp(n, 8.0 / n as f64, &mut rng);
+
+        let early = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut rng);
+        group.bench_with_input(BenchmarkId::new("early_fast", n), &early, |b, proc| {
+            let mut r = ChaCha8Rng::seed_from_u64(11);
+            b.iter(|| {
+                let mut p = proc.clone();
+                p.step(&mut r);
+                p.counts().active
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("early_reference", n), &early, |b, proc| {
+            let mut r = ChaCha8Rng::seed_from_u64(11);
+            b.iter(|| {
+                let mut p = proc.clone();
+                p.step_reference(&mut r);
+                p.counts().active
+            });
+        });
+
+        let mut silent = early.clone();
+        silent
+            .run_to_stabilization(&mut rng, 1_000_000)
+            .expect("2-state stabilizes on sparse G(n,p)");
+        group.bench_with_input(BenchmarkId::new("silent_fast", n), &silent, |b, proc| {
+            let mut p = proc.clone();
+            let mut r = ChaCha8Rng::seed_from_u64(13);
+            b.iter(|| {
+                p.step(&mut r);
+                p.round()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("silent_reference", n),
+            &silent,
+            |b, proc| {
+                let mut p = proc.clone();
+                let mut r = ChaCha8Rng::seed_from_u64(13);
+                b.iter(|| {
+                    p.step_reference(&mut r);
+                    p.round()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_update, bench_phase_contrast);
 criterion_main!(benches);

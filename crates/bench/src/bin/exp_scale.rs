@@ -1,0 +1,51 @@
+//! Scale experiment: round throughput of the incremental frontier engine vs
+//! the naive full-scan reference, early phase vs late phase, on sparse
+//! `G(n, 8/n)`.
+//!
+//! Writes the machine-readable report to `results/exp_scale.json` and the
+//! headline evidence file `BENCH_scale.json` at the workspace root.
+//!
+//! Usage: `cargo run --release -p mis-bench --bin exp_scale [-- --quick]`
+
+use mis_bench::experiments::scale::exp_scale;
+use mis_bench::report::{print_section, write_results_file};
+use mis_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = exp_scale(scale);
+    print_section(
+        "SCALE: incremental frontier engine vs full-scan reference, 2-state on G(n, 8/n)",
+        &report.to_pretty(),
+    );
+    println!(
+        "late-phase speedup at n = {}: {:.1}x (fast {:.0} rounds/s vs reference {:.1} rounds/s)",
+        report.rows.last().map_or(0, |r| r.n),
+        report.headline_speedup(),
+        report
+            .rows
+            .last()
+            .map_or(0.0, |r| r.late.fast_rounds_per_sec),
+        report
+            .rows
+            .last()
+            .map_or(0.0, |r| r.late.reference_rounds_per_sec),
+    );
+
+    let json = report.to_json();
+    if let Ok(path) = write_results_file("exp_scale.json", &json) {
+        println!("wrote {}", path.display());
+    }
+    match std::fs::write("BENCH_scale.json", &json) {
+        Ok(()) => println!("wrote BENCH_scale.json"),
+        Err(e) => eprintln!("could not write BENCH_scale.json: {e}"),
+    }
+
+    if report.headline_speedup() < 5.0 {
+        eprintln!(
+            "WARNING: late-phase speedup {:.1}x is below the expected 5x",
+            report.headline_speedup()
+        );
+        std::process::exit(1);
+    }
+}

@@ -60,6 +60,8 @@ pub fn e10_baselines(scale: Scale) -> Vec<BaselineRow> {
         (ProcessSelector::ThreeColor, true),
         (ProcessSelector::RandomPriority, true),
         (ProcessSelector::Luby, false),
+        (ProcessSelector::Greedy, false),
+        (ProcessSelector::SequentialSelfStab, true),
     ];
 
     let mut rows = Vec::new();
@@ -234,9 +236,9 @@ mod tests {
     #[test]
     fn e10_quick_produces_all_rows_and_luby_wins_on_rounds() {
         let rows = e10_baselines(Scale::Quick);
-        assert_eq!(rows.len(), 15);
+        assert_eq!(rows.len(), 21); // 3 graphs x 7 algorithms
         let csv = baselines_csv(&rows);
-        assert_eq!(csv.lines().count(), 16);
+        assert_eq!(csv.lines().count(), 22);
 
         // On the sparse G(n,p), Luby should need no more rounds (on average)
         // than the 2-state process — the "who wins" shape of the comparison.

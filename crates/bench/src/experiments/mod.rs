@@ -10,16 +10,21 @@
 //!   transient-fault recovery (E11).
 //! * [`lemmas`] — direct Monte-Carlo checks of Lemma 6 (E12) and the
 //!   trace-equivalence of the weak-communication adaptations (E13).
+//! * [`scale`] — large-n round-throughput measurement of the incremental
+//!   frontier engine against the naive full-scan reference, early phase vs
+//!   late phase, on sparse `G(n, p)` up to `n = 10⁶`.
 
 pub mod ablation;
 pub mod comparison;
 pub mod lemmas;
+pub mod scale;
 pub mod stabilization;
 pub mod structure;
 
 pub use ablation::{ablation_init_strategy, ablation_switch_implementation, ablation_switch_zeta};
 pub use comparison::{e10_baselines, e11_fault_recovery};
 pub use lemmas::{e12_lemma6, e13_comm_models};
+pub use scale::{exp_scale, scale_measurement, ScaleReport};
 pub use stabilization::{
     e1_clique, e2_disjoint_cliques, e3_trees, e4_max_degree, e5_gnp_two_state, e6_gnp_three_color,
     e9_three_state_clique, ScalingReport,

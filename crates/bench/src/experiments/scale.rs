@@ -1,0 +1,291 @@
+//! Scale experiment (`exp_scale`): activity-proportional round cost of the
+//! incremental frontier engine on large sparse `G(n, p)`.
+//!
+//! The naive round implementation costs `O(n + m)` regardless of how many
+//! vertices are still active, so the long stabilization tail — where only a
+//! few vertices flicker — is as expensive per round as the chaotic first
+//! rounds. The [`FrontierEngine`](mis_core::engine::FrontierEngine) makes
+//! the round cost track the active frontier instead. This experiment
+//! quantifies that: for each `n` it measures round throughput (rounds/sec)
+//! of the fast engine path and the retained naive reference path, in the
+//! **early phase** (the initial configuration, where ~half the vertices are
+//! active and the two paths should be comparable) and in the **late phase**
+//! (active count at most `n / 64`, where the engine should win by orders of
+//! magnitude).
+//!
+//! The headline number — the late-phase speedup at the largest measured `n`
+//! (`10⁶` in full runs, `10⁵` in quick/CI runs) — is recorded alongside the
+//! per-size rows in `BENCH_scale.json` at the workspace root.
+
+use std::time::{Duration, Instant};
+
+use mis_core::init::InitStrategy;
+use mis_core::{Process, TwoStateProcess};
+use mis_graph::generators;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Scale;
+
+/// Throughput of one phase of one run: how many rounds were timed and the
+/// resulting rounds/second for the fast (engine) and reference (full-scan)
+/// step paths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseThroughput {
+    /// Rounds executed through the fast path while timing.
+    pub fast_rounds: usize,
+    /// Fast-path throughput in rounds per second.
+    pub fast_rounds_per_sec: f64,
+    /// Rounds executed through the reference path while timing.
+    pub reference_rounds: usize,
+    /// Reference-path throughput in rounds per second.
+    pub reference_rounds_per_sec: f64,
+    /// `fast_rounds_per_sec / reference_rounds_per_sec`.
+    pub speedup: f64,
+}
+
+/// Measurements of one graph size `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleRow {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of edges of the sampled graph.
+    pub m: usize,
+    /// Rounds the 2-state process needed to stabilize from a random init.
+    pub rounds_to_stabilize: usize,
+    /// Active-vertex count at which the late-phase snapshot was taken.
+    pub late_phase_active: usize,
+    /// Throughput at the initial (high-activity) configuration.
+    pub early: PhaseThroughput,
+    /// Throughput at the late (low-activity) tail.
+    pub late: PhaseThroughput,
+}
+
+/// The full report of the scale experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleReport {
+    /// Average degree `d̄` of the sparse `G(n, d̄/n)` family.
+    pub avg_degree: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// One row per graph size.
+    pub rows: Vec<ScaleRow>,
+}
+
+impl ScaleReport {
+    /// The late-phase speedup at the largest measured `n` (the last row) —
+    /// the experiment's headline number and the CI gate's input.
+    pub fn headline_speedup(&self) -> f64 {
+        self.rows.last().map_or(0.0, |r| r.late.speedup)
+    }
+
+    /// Renders a human-readable fixed-width table.
+    pub fn to_pretty(&self) -> String {
+        let mut out = format!(
+            "{:>9} {:>10} {:>8} {:>8} {:>13} {:>13} {:>13} {:>9}\n",
+            "n", "m", "rounds", "|A|late", "early fast/s", "late fast/s", "late ref/s", "speedup"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>9} {:>10} {:>8} {:>8} {:>13.0} {:>13.0} {:>13.1} {:>8.1}x\n",
+                r.n,
+                r.m,
+                r.rounds_to_stabilize,
+                r.late_phase_active,
+                r.early.fast_rounds_per_sec,
+                r.late.fast_rounds_per_sec,
+                r.late.reference_rounds_per_sec,
+                r.late.speedup,
+            ));
+        }
+        out
+    }
+
+    /// Serializes the report as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (it cannot for this type).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ScaleReport serializes")
+    }
+}
+
+/// Times repeated replays from `snapshot` (process + RNG cloned outside the
+/// timed region) and returns total rounds and wall time. Each replay runs
+/// until stabilization or `max_rounds_per_rep` rounds; if the snapshot is
+/// already stabilized, a replay times `idle_rounds` silent rounds instead
+/// (the engine's steady-state cost).
+fn time_step_path(
+    snapshot: &TwoStateProcess<'_>,
+    rng_snapshot: &ChaCha8Rng,
+    reference: bool,
+    min_time: Duration,
+    max_reps: usize,
+    max_rounds_per_rep: usize,
+) -> (usize, Duration) {
+    let idle_rounds = 10;
+    let mut total_rounds = 0usize;
+    let mut total = Duration::ZERO;
+    let mut reps = 0;
+    while (total < min_time && reps < max_reps) || reps == 0 {
+        let mut proc = snapshot.clone();
+        let mut rng = rng_snapshot.clone();
+        let started = Instant::now();
+        let mut rounds = 0usize;
+        while !proc.is_stabilized() && rounds < max_rounds_per_rep {
+            if reference {
+                proc.step_reference(&mut rng);
+            } else {
+                proc.step(&mut rng);
+            }
+            rounds += 1;
+        }
+        if rounds == 0 {
+            // Already stabilized: time the silent steady state.
+            for _ in 0..idle_rounds {
+                if reference {
+                    proc.step_reference(&mut rng);
+                } else {
+                    proc.step(&mut rng);
+                }
+            }
+            rounds = idle_rounds;
+        }
+        total += started.elapsed();
+        total_rounds += rounds;
+        reps += 1;
+    }
+    (total_rounds, total)
+}
+
+fn throughput(
+    snapshot: &TwoStateProcess<'_>,
+    rng_snapshot: &ChaCha8Rng,
+    min_time: Duration,
+    max_reps: usize,
+    max_rounds_per_rep: usize,
+) -> PhaseThroughput {
+    let (fast_rounds, fast_time) = time_step_path(
+        snapshot,
+        rng_snapshot,
+        false,
+        min_time,
+        max_reps,
+        max_rounds_per_rep,
+    );
+    let (reference_rounds, reference_time) = time_step_path(
+        snapshot,
+        rng_snapshot,
+        true,
+        min_time,
+        max_reps,
+        max_rounds_per_rep,
+    );
+    let fast_rounds_per_sec = fast_rounds as f64 / fast_time.as_secs_f64().max(1e-9);
+    let reference_rounds_per_sec = reference_rounds as f64 / reference_time.as_secs_f64().max(1e-9);
+    PhaseThroughput {
+        fast_rounds,
+        fast_rounds_per_sec,
+        reference_rounds,
+        reference_rounds_per_sec,
+        speedup: fast_rounds_per_sec / reference_rounds_per_sec.max(1e-9),
+    }
+}
+
+/// Runs the scale measurement for the 2-state process on sparse
+/// `G(n, avg_degree/n)` at each size in `ns`.
+///
+/// For each `n`: sample the graph, snapshot the initial (early-phase)
+/// configuration, run the fast path until the active count drops to
+/// `n / 64` (the late-phase entry), snapshot again, then measure fast and
+/// reference round throughput from both snapshots. RNG clones guarantee the
+/// fast and reference replays execute the exact same rounds.
+///
+/// # Panics
+///
+/// Panics if the process fails to stabilize within 1,000,000 rounds (the
+/// 2-state process on sparse `G(n,p)` stabilizes in polylog rounds w.h.p.).
+pub fn scale_measurement(ns: &[usize], avg_degree: f64, seed: u64) -> ScaleReport {
+    let min_time = Duration::from_millis(120);
+    let mut rows = Vec::new();
+    for &n in ns {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ n as u64);
+        let g = generators::gnp(n, avg_degree / n as f64, &mut rng);
+        let proc = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut rng);
+
+        // Early phase: the initial configuration, roughly half the vertices
+        // active. Few rounds per replay — activity decays fast.
+        let early = throughput(&proc, &rng, min_time, 40, 3);
+
+        // Advance (on a clone driven by the same RNG) to the late phase:
+        // active count at most n / 64.
+        let threshold = (n / 64).max(1);
+        let mut late_proc = proc.clone();
+        let mut late_rng = rng.clone();
+        while !late_proc.is_stabilized() && late_proc.counts().active > threshold {
+            late_proc.step(&mut late_rng);
+        }
+        let late_phase_active = late_proc.counts().active;
+        let late = throughput(&late_proc, &late_rng, min_time, 200, 400);
+
+        // Finally drive the late snapshot to stabilization for the round count.
+        let mut finish = late_proc.clone();
+        let mut finish_rng = late_rng.clone();
+        finish
+            .run_to_stabilization(&mut finish_rng, 1_000_000)
+            .expect("2-state process stabilizes on sparse G(n,p)");
+        rows.push(ScaleRow {
+            n,
+            m: g.m(),
+            rounds_to_stabilize: finish.round(),
+            late_phase_active,
+            early,
+            late,
+        });
+    }
+    ScaleReport {
+        avg_degree,
+        seed,
+        rows,
+    }
+}
+
+/// The `exp_scale` experiment at the given [`Scale`]: sparse `G(n, 8/n)` at
+/// `n = 10⁵` (quick) or `n ∈ {10⁴, 10⁵, 10⁶}` (full).
+pub fn exp_scale(scale: Scale) -> ScaleReport {
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[100_000],
+        Scale::Full => &[10_000, 100_000, 1_000_000],
+    };
+    scale_measurement(ns, 8.0, 20_250)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_measurement_produces_sane_rows() {
+        // Tiny sizes keep the (debug-build) test fast; the timing numbers are
+        // not asserted against a threshold here — that's the release-mode
+        // binary's job — only their plumbing.
+        let report = scale_measurement(&[2_000, 4_000], 6.0, 99);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(row.m > 0);
+            assert!(row.rounds_to_stabilize > 0);
+            assert!(row.late_phase_active <= (row.n / 64).max(1));
+            assert!(row.early.fast_rounds_per_sec > 0.0);
+            assert!(row.late.fast_rounds_per_sec > 0.0);
+            assert!(row.late.reference_rounds_per_sec > 0.0);
+            assert!(row.late.speedup > 0.0);
+        }
+        assert_eq!(report.headline_speedup(), report.rows[1].late.speedup);
+        let json = report.to_json();
+        let back: ScaleReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert!(report.to_pretty().lines().count() == 3);
+    }
+}

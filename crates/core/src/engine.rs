@@ -1,0 +1,542 @@
+//! The **incremental active-frontier round engine** shared by the three MIS
+//! processes.
+//!
+//! The naive implementation of a synchronous round rescans all `n` vertices,
+//! rebuilds every black-neighbor count from scratch, and answers
+//! `is_stabilized()` with yet another full scan — `O(n + m)` work per round
+//! even in the long stabilization tail when only a handful of vertices are
+//! still active. The paper's update rules are *local* (a vertex's move
+//! depends only on its own state and its neighborhood), so once a region of
+//! the graph is quiet no work should happen there — the guarantee the
+//! silent-protocol literature formalizes. [`FrontierEngine`] makes the
+//! simulator's cost proportional to activity:
+//!
+//! * **per-vertex black-neighbor counters** are kept in sync by delta
+//!   propagation from the vertices that changed state, never by a full
+//!   recount;
+//! * a **maintained frontier worklist** holds exactly the vertices whose
+//!   update rule may fire next round, so a round touches only the frontier
+//!   and the neighborhoods of vertices that actually changed;
+//! * **cached [`StateCounts`]** (including the unstable-vertex count) make
+//!   [`counts`](FrontierEngine::counts) and
+//!   [`is_stabilized`](FrontierEngine::is_stabilized) `O(1)`.
+//!
+//! # Complexity contract
+//!
+//! Let `A_t` be the set of frontier vertices at round `t`, `C_t ⊆ A_t` the
+//! vertices whose state actually changed, and `S_t` the vertices whose
+//! stable-black status flipped as a consequence. One round driven through the
+//! engine costs
+//!
+//! ```text
+//! O(|A_t| log |A_t|  +  vol(C_t)  +  vol(S_t))
+//! ```
+//!
+//! where `vol(X) = Σ_{u ∈ X} deg(u)` — in particular `O(|A_t| + vol(A_t))`
+//! per round, independent of `n` and `m` — and `is_stabilized()`/`counts()`
+//! are `O(1)`. (The `log` factor comes from keeping the frontier sorted so
+//! random draws happen in ascending vertex order, which keeps the RNG stream
+//! bit-identical to the full-scan reference implementation.)
+//!
+//! # How processes use it
+//!
+//! The engine owns the *state-independent* bookkeeping: the black/non-black
+//! projection, black-neighbor counters, stability tracking, the frontier, and
+//! the cached counts. The process owns its state vector (and any extra
+//! counters, e.g. the `black1` counters of the 3-state process) and describes
+//! its local rule to the engine through a classifier closure
+//! `Fn(VertexId, u32) -> VertexClass` that maps a vertex and its current
+//! black-neighbor count to "is it active?" (will draw a random state) and
+//! "is it pending?" (may change state at all; a superset of active). A round
+//! then is:
+//!
+//! 1. [`begin_round`](FrontierEngine::begin_round) — snapshot the frontier in
+//!    ascending vertex order;
+//! 2. decide every frontier vertex's next state from the *old* state and
+//!    counters, drawing randomness only for active vertices (ascending order
+//!    keeps the stream identical to a full scan);
+//! 3. apply the changed states: [`set_black`](FrontierEngine::set_black) for
+//!    blackness flips (delta-propagates the counters and marks the
+//!    neighborhood dirty), [`mark_dirty`](FrontierEngine::mark_dirty) for
+//!    same-blackness changes;
+//! 4. [`flush`](FrontierEngine::flush) — reclassify the dirty vertices,
+//!    update the cached counts, and repair the frontier.
+
+use mis_graph::{Graph, VertexId, VertexSet};
+
+use crate::process::StateCounts;
+
+/// How a process's local rule classifies one vertex, given its state and its
+/// current black-neighbor count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexClass {
+    /// The vertex will draw a random state in the next round (`u ∈ A_t`).
+    pub active: bool,
+    /// The vertex's update rule may fire in the next round, so it must stay
+    /// on the frontier. Always a superset of `active`; e.g. the 3-state
+    /// process keeps retiring `black0` vertices pending, and the 3-color
+    /// process keeps gray vertices pending while they wait for their switch.
+    pub pending: bool,
+}
+
+/// Bit set in [`FrontierEngine::flags`] when the vertex is active.
+const ACTIVE: u8 = 1 << 0;
+/// Bit: the vertex is stable black (black with no black neighbor).
+const STABLE_BLACK: u8 = 1 << 1;
+/// Bit: the vertex is stable (stable black or adjacent to a stable black).
+const STABLE: u8 = 1 << 2;
+/// Bit: the vertex is pending (logically on the frontier).
+const PENDING: u8 = 1 << 3;
+
+/// Incremental bookkeeping for one process instance: black projection,
+/// delta-maintained neighbor counters, stability tracking, the active
+/// frontier, and cached [`StateCounts`].
+///
+/// See the [module documentation](self) for the round protocol and the
+/// complexity contract.
+#[derive(Debug, Clone)]
+pub struct FrontierEngine {
+    n: usize,
+    /// Blackness projection of the process state (`u ∈ B_t`).
+    black: Vec<bool>,
+    /// `black_nbrs[u]` — number of black neighbors of `u`.
+    black_nbrs: Vec<u32>,
+    /// `stable_black_nbrs[u]` — number of stable-black neighbors of `u`,
+    /// maintained so the unstable count updates by deltas.
+    stable_black_nbrs: Vec<u32>,
+    /// Per-vertex flag bits ([`ACTIVE`] | [`STABLE_BLACK`] | [`STABLE`] |
+    /// [`PENDING`]).
+    flags: Vec<u8>,
+    /// Cached aggregate counts, kept exact at all times.
+    counts: StateCounts,
+    /// The frontier container: every pending vertex is in it; entries whose
+    /// vertex stopped pending are removed lazily by `begin_round`.
+    frontier: Vec<VertexId>,
+    /// `frontier_contains[u]` — `u` has an entry in `frontier` (possibly a
+    /// stale one awaiting compaction). Guards against duplicate entries.
+    frontier_contains: Vec<bool>,
+    /// Worklist of vertices whose flags must be recomputed by `flush`.
+    dirty: Vec<VertexId>,
+    /// `dirty_mark[u]` — `u` is currently queued in `dirty`.
+    dirty_mark: Vec<bool>,
+}
+
+impl FrontierEngine {
+    /// Creates an engine for `n` vertices with every vertex white and no
+    /// bookkeeping established; call [`rebuild`](Self::rebuild) before use.
+    pub fn new(n: usize) -> Self {
+        FrontierEngine {
+            n,
+            black: vec![false; n],
+            black_nbrs: vec![0; n],
+            stable_black_nbrs: vec![0; n],
+            flags: vec![0; n],
+            counts: StateCounts {
+                non_black: n,
+                unstable: n,
+                ..StateCounts::default()
+            },
+            frontier: Vec::new(),
+            frontier_contains: vec![false; n],
+            dirty: Vec::new(),
+            dirty_mark: vec![false; n],
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rebuilds every counter, flag, count, and the frontier from scratch in
+    /// `O(n + m)`.
+    ///
+    /// Used at construction time and by the naive reference step paths; the
+    /// incremental round protocol never needs it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph.n()` differs from the engine's vertex count.
+    pub fn rebuild<B, C>(&mut self, graph: &Graph, black: B, classify: C)
+    where
+        B: Fn(VertexId) -> bool,
+        C: Fn(VertexId, u32) -> VertexClass,
+    {
+        assert_eq!(graph.n(), self.n, "graph size must match the engine");
+        for u in 0..self.n {
+            self.black[u] = black(u);
+        }
+        self.black_nbrs.iter_mut().for_each(|c| *c = 0);
+        for u in 0..self.n {
+            if self.black[u] {
+                for &v in graph.neighbors(u) {
+                    self.black_nbrs[v] += 1;
+                }
+            }
+        }
+        self.stable_black_nbrs.iter_mut().for_each(|c| *c = 0);
+        for u in 0..self.n {
+            if self.black[u] && self.black_nbrs[u] == 0 {
+                for &v in graph.neighbors(u) {
+                    self.stable_black_nbrs[v] += 1;
+                }
+            }
+        }
+        self.counts = StateCounts::default();
+        self.frontier.clear();
+        self.dirty.clear();
+        self.dirty_mark.iter_mut().for_each(|d| *d = false);
+        for u in 0..self.n {
+            let mut f = 0u8;
+            if self.black[u] {
+                self.counts.black += 1;
+            } else {
+                self.counts.non_black += 1;
+            }
+            let stable_black = self.black[u] && self.black_nbrs[u] == 0;
+            if stable_black {
+                f |= STABLE_BLACK;
+                self.counts.stable_black += 1;
+            }
+            if stable_black || self.stable_black_nbrs[u] > 0 {
+                f |= STABLE;
+            } else {
+                self.counts.unstable += 1;
+            }
+            let class = classify(u, self.black_nbrs[u]);
+            debug_assert!(
+                class.pending || !class.active,
+                "active vertices must be pending"
+            );
+            if class.active {
+                f |= ACTIVE;
+                self.counts.active += 1;
+            }
+            if class.pending {
+                f |= PENDING;
+                self.frontier.push(u);
+            }
+            self.frontier_contains[u] = class.pending;
+            self.flags[u] = f;
+        }
+        // Pushing in vertex order leaves the frontier already sorted.
+    }
+
+    /// Compacts the frontier (dropping vertices that stopped pending), sorts
+    /// it in ascending vertex order, and copies it into `out`.
+    ///
+    /// The copy lets the caller iterate the round's worklist while mutating
+    /// the engine; `O(|A_t| log |A_t|)`.
+    pub fn begin_round(&mut self, out: &mut Vec<VertexId>) {
+        debug_assert!(self.dirty.is_empty(), "flush must run before begin_round");
+        let flags = &self.flags;
+        let contains = &mut self.frontier_contains;
+        self.frontier.retain(|&u| {
+            if flags[u] & PENDING != 0 {
+                true
+            } else {
+                contains[u] = false;
+                false
+            }
+        });
+        self.frontier.sort_unstable();
+        out.clear();
+        out.extend_from_slice(&self.frontier);
+    }
+
+    /// Records that vertex `u`'s blackness changed: updates the cached black
+    /// count, delta-propagates the black-neighbor counters of `N(u)`, and
+    /// marks `u` and its neighborhood dirty. `O(deg(u))`.
+    ///
+    /// Calling this with `u`'s current blackness is a no-op apart from
+    /// marking `u` dirty (useful when a state change does not cross the
+    /// black/non-black boundary).
+    pub fn set_black(&mut self, graph: &Graph, u: VertexId, black: bool) {
+        self.mark_dirty(u);
+        if self.black[u] == black {
+            return;
+        }
+        self.black[u] = black;
+        if black {
+            self.counts.black += 1;
+            self.counts.non_black -= 1;
+        } else {
+            self.counts.black -= 1;
+            self.counts.non_black += 1;
+        }
+        for &v in graph.neighbors(u) {
+            if black {
+                self.black_nbrs[v] += 1;
+            } else {
+                self.black_nbrs[v] -= 1;
+            }
+            self.mark_dirty(v);
+        }
+    }
+
+    /// Queues `u` for reclassification by the next [`flush`](Self::flush).
+    /// Needed whenever something the classifier reads changed without a
+    /// blackness flip (e.g. the 3-state process's `black1` counters).
+    #[inline]
+    pub fn mark_dirty(&mut self, u: VertexId) {
+        if !self.dirty_mark[u] {
+            self.dirty_mark[u] = true;
+            self.dirty.push(u);
+        }
+    }
+
+    /// Reclassifies every dirty vertex, updating stability bookkeeping,
+    /// cached counts, and frontier membership by diffing against the stored
+    /// flags. Stable-black flips delta-propagate to the flipping vertex's
+    /// neighborhood (re-queueing it), so the cost is `O(|dirty| + vol(S_t))`
+    /// where `S_t` is the set of vertices whose stable-black status flipped.
+    pub fn flush<C>(&mut self, graph: &Graph, classify: C)
+    where
+        C: Fn(VertexId, u32) -> VertexClass,
+    {
+        let mut head = 0;
+        while head < self.dirty.len() {
+            let u = self.dirty[head];
+            head += 1;
+            self.dirty_mark[u] = false;
+
+            let stable_black = self.black[u] && self.black_nbrs[u] == 0;
+            if stable_black != (self.flags[u] & STABLE_BLACK != 0) {
+                self.flags[u] ^= STABLE_BLACK;
+                if stable_black {
+                    self.counts.stable_black += 1;
+                } else {
+                    self.counts.stable_black -= 1;
+                }
+                for &v in graph.neighbors(u) {
+                    if stable_black {
+                        self.stable_black_nbrs[v] += 1;
+                    } else {
+                        self.stable_black_nbrs[v] -= 1;
+                    }
+                    self.mark_dirty(v);
+                }
+            }
+
+            let stable = stable_black || self.stable_black_nbrs[u] > 0;
+            if stable != (self.flags[u] & STABLE != 0) {
+                self.flags[u] ^= STABLE;
+                if stable {
+                    self.counts.unstable -= 1;
+                } else {
+                    self.counts.unstable += 1;
+                }
+            }
+
+            let class = classify(u, self.black_nbrs[u]);
+            debug_assert!(
+                class.pending || !class.active,
+                "active vertices must be pending"
+            );
+            if class.active != (self.flags[u] & ACTIVE != 0) {
+                self.flags[u] ^= ACTIVE;
+                if class.active {
+                    self.counts.active += 1;
+                } else {
+                    self.counts.active -= 1;
+                }
+            }
+            if class.pending != (self.flags[u] & PENDING != 0) {
+                self.flags[u] ^= PENDING;
+                if class.pending && !self.frontier_contains[u] {
+                    self.frontier_contains[u] = true;
+                    self.frontier.push(u);
+                }
+                // A vertex that stopped pending keeps its (now stale) entry
+                // until the next begin_round compaction.
+            }
+        }
+        self.dirty.clear();
+    }
+
+    /// The cached per-round counts; `O(1)`.
+    #[inline]
+    pub fn counts(&self) -> StateCounts {
+        self.counts
+    }
+
+    /// `true` if every vertex is stable; `O(1)` (reads the cached unstable
+    /// count).
+    #[inline]
+    pub fn is_stabilized(&self) -> bool {
+        self.counts.unstable == 0
+    }
+
+    /// Whether `u` is currently black.
+    #[inline]
+    pub fn is_black(&self, u: VertexId) -> bool {
+        self.black[u]
+    }
+
+    /// Number of black neighbors of `u` (delta-maintained).
+    #[inline]
+    pub fn black_neighbor_count(&self, u: VertexId) -> usize {
+        self.black_nbrs[u] as usize
+    }
+
+    /// Whether `u` is active (cached classification).
+    #[inline]
+    pub fn is_active(&self, u: VertexId) -> bool {
+        self.flags[u] & ACTIVE != 0
+    }
+
+    /// Whether `u` is stable black: black with no black neighbor.
+    #[inline]
+    pub fn is_stable_black(&self, u: VertexId) -> bool {
+        self.flags[u] & STABLE_BLACK != 0
+    }
+
+    /// Whether `u` is stable: stable black or adjacent to a stable black
+    /// vertex.
+    #[inline]
+    pub fn is_stable(&self, u: VertexId) -> bool {
+        self.flags[u] & STABLE != 0
+    }
+
+    /// Whether `u` is on the frontier (its update rule may fire next round).
+    #[inline]
+    pub fn is_pending(&self, u: VertexId) -> bool {
+        self.flags[u] & PENDING != 0
+    }
+
+    /// Number of pending vertices (the logical frontier size).
+    pub fn frontier_len(&self) -> usize {
+        (0..self.n).filter(|&u| self.is_pending(u)).count()
+    }
+
+    /// The current set of black vertices `B_t`.
+    pub fn black_set(&self) -> VertexSet {
+        VertexSet::from_flags(&self.black)
+    }
+
+    /// The current set of active vertices `A_t`.
+    pub fn active_set(&self) -> VertexSet {
+        VertexSet::from_indices(self.n, (0..self.n).filter(|&u| self.is_active(u)))
+    }
+
+    /// The current set of stable black vertices `I_t`.
+    pub fn stable_black_set(&self) -> VertexSet {
+        VertexSet::from_indices(self.n, (0..self.n).filter(|&u| self.is_stable_black(u)))
+    }
+
+    /// The current set of non-stable vertices `V_t`.
+    pub fn unstable_set(&self) -> VertexSet {
+        VertexSet::from_indices(self.n, (0..self.n).filter(|&u| !self.is_stable(u)))
+    }
+
+    /// The current set of pending (frontier) vertices.
+    pub fn pending_set(&self) -> VertexSet {
+        VertexSet::from_indices(self.n, (0..self.n).filter(|&u| self.is_pending(u)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::generators;
+
+    /// Pending iff active iff "black with black neighbor or white with no
+    /// black neighbor" — the 2-state rule, used here as a stand-in local rule.
+    fn two_state_like(black: &[bool]) -> impl Fn(VertexId, u32) -> VertexClass + '_ {
+        move |u, bn| {
+            let active = if black[u] { bn > 0 } else { bn == 0 };
+            VertexClass {
+                active,
+                pending: active,
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_definitions() {
+        let g = generators::path(5);
+        // Colors: B W B B W  -> vertex 0 stable black? nbr 1 white -> yes.
+        let black = vec![true, false, true, true, false];
+        let mut e = FrontierEngine::new(5);
+        e.rebuild(&g, |u| black[u], two_state_like(&black));
+        assert_eq!(e.black_neighbor_count(0), 0);
+        assert_eq!(e.black_neighbor_count(1), 2);
+        assert_eq!(e.black_neighbor_count(2), 1);
+        assert_eq!(e.black_neighbor_count(3), 1);
+        assert_eq!(e.black_neighbor_count(4), 1);
+        assert!(e.is_stable_black(0));
+        assert!(!e.is_stable_black(2) && !e.is_stable_black(3));
+        // 2 and 3 are black with a black neighbor: active; 1 and 4 have black
+        // neighbors: not active; 0 stable black.
+        assert_eq!(e.active_set().to_vec(), vec![2, 3]);
+        let c = e.counts();
+        assert_eq!(c.black, 3);
+        assert_eq!(c.non_black, 2);
+        assert_eq!(c.active, 2);
+        assert_eq!(c.stable_black, 1);
+        // Stable: 0 (stable black) and 1 (adjacent to it). 2, 3, 4 unstable.
+        assert_eq!(c.unstable, 3);
+        assert!(!e.is_stabilized());
+    }
+
+    #[test]
+    fn set_black_delta_matches_rebuild() {
+        let g = generators::grid(4, 4);
+        let mut black = vec![false; 16];
+        let mut e = FrontierEngine::new(16);
+        e.rebuild(&g, |u| black[u], two_state_like(&black));
+        // Flip a few vertices through the delta path.
+        for &(u, b) in &[(0usize, true), (5, true), (5, false), (10, true)] {
+            black[u] = b;
+            e.set_black(&g, u, b);
+            e.flush(&g, two_state_like(&black));
+        }
+        let mut fresh = FrontierEngine::new(16);
+        fresh.rebuild(&g, |u| black[u], two_state_like(&black));
+        for u in 0..16 {
+            assert_eq!(e.black_neighbor_count(u), fresh.black_neighbor_count(u));
+            assert_eq!(e.is_active(u), fresh.is_active(u), "vertex {u}");
+            assert_eq!(e.is_stable(u), fresh.is_stable(u), "vertex {u}");
+            assert_eq!(e.is_pending(u), fresh.is_pending(u), "vertex {u}");
+        }
+        assert_eq!(e.counts(), fresh.counts());
+    }
+
+    #[test]
+    fn begin_round_is_sorted_and_deduplicated() {
+        let g = generators::complete(6);
+        let black = vec![true; 6];
+        let mut e = FrontierEngine::new(6);
+        e.rebuild(&g, |u| black[u], two_state_like(&black));
+        let mut out = Vec::new();
+        e.begin_round(&mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+        // Leaving and re-entering the frontier must not duplicate entries.
+        let mut black2 = black.clone();
+        black2[3] = false; // 3 becomes white with black nbrs: not pending
+        e.set_black(&g, 3, false);
+        e.flush(&g, two_state_like(&black2));
+        black2[3] = true;
+        e.set_black(&g, 3, true);
+        e.flush(&g, two_state_like(&black2));
+        e.begin_round(&mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_consistent() {
+        let g = mis_graph::Graph::empty(0);
+        let mut e = FrontierEngine::new(0);
+        e.rebuild(
+            &g,
+            |_| false,
+            |_, _| VertexClass {
+                active: false,
+                pending: false,
+            },
+        );
+        assert!(e.is_stabilized());
+        assert_eq!(e.counts(), StateCounts::default());
+    }
+}

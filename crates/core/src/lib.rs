@@ -22,6 +22,14 @@
 //! expose the per-round vertex partitions used throughout the paper's
 //! analysis (`B_t`, `A_t`, `I_t`, `V_t`).
 //!
+//! Rounds execute through the shared incremental [`engine`]: per-vertex
+//! black-neighbor counters updated by delta propagation, a maintained
+//! active-frontier worklist, and cached counts, so one round costs
+//! `O(|A_t| + vol(A_t))` instead of `O(n + m)` and the stabilization check is
+//! `O(1)`. Every process also retains a naive `step_reference` full-scan
+//! path that is bit-identical (same states, same RNG stream) and serves as
+//! the oracle for the engine's trace-equality tests.
+//!
 //! # Example
 //!
 //! ```
@@ -40,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod init;
 mod log_switch;
 mod process;
@@ -47,6 +56,7 @@ mod three_color;
 mod three_state;
 mod two_state;
 
+pub use engine::{FrontierEngine, VertexClass};
 pub use log_switch::{FixedPeriodSwitch, RandomizedLogSwitch, SwitchProcess, DEFAULT_ZETA};
 pub use process::{Process, StabilizationTimeout, StateCounts};
 pub use three_color::{ThreeColor, ThreeColorProcess, LOG_SWITCH_A};

@@ -53,7 +53,27 @@ pub struct StateCounts {
 /// is stable, at which point the set of black vertices is a maximal
 /// independent set of the underlying graph and no state changes any more.
 ///
+/// # Per-round complexity contract
+///
+/// The processes of this crate execute rounds through the incremental
+/// [`engine`](crate::engine): [`step`] costs `O(|A_t| + vol(A_t))` — the
+/// number of frontier vertices plus the degree sum of the vertices that
+/// changed — **not** `O(n + m)`, and [`is_stabilized`] and [`counts`] are
+/// `O(1)` reads of cached counters. Once a region of the graph is quiet, no
+/// work happens there; a fully stabilized 2-state instance steps in
+/// (near-)constant time. (The 3-color process's *color* update obeys the
+/// same bound, but its logarithmic-switch sub-process is a phase clock that
+/// advances every vertex every round, so a 3-color step stays `O(n)`; the
+/// 3-state process keeps its stable black vertices alternating by
+/// definition, so its steady state costs `O(|I_t| + vol(I_t))`.) The
+/// set-returning accessors ([`black_set`], [`active_set`], …) materialize a
+/// bitset and remain `O(n)`.
+///
 /// [`step`]: Process::step
+/// [`is_stabilized`]: Process::is_stabilized
+/// [`counts`]: Process::counts
+/// [`black_set`]: Process::black_set
+/// [`active_set`]: Process::active_set
 pub trait Process {
     /// Number of vertices of the underlying graph.
     fn n(&self) -> usize;

@@ -2,6 +2,7 @@ use mis_graph::{Graph, VertexId, VertexSet};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::{FrontierEngine, VertexClass};
 use crate::init::InitStrategy;
 use crate::log_switch::{RandomizedLogSwitch, SwitchProcess, DEFAULT_ZETA};
 use crate::process::{Process, StateCounts};
@@ -32,6 +33,32 @@ impl ThreeColor {
     }
 }
 
+/// The 3-color local rule. Black/white vertices are active (and pending) by
+/// the 2-state rule; gray vertices never draw but stay pending while they
+/// wait for their switch to release them to white.
+fn classify(colors: &[ThreeColor]) -> impl Fn(VertexId, u32) -> VertexClass + '_ {
+    move |u, black_nbrs| match colors[u] {
+        ThreeColor::Black => {
+            let a = black_nbrs > 0;
+            VertexClass {
+                active: a,
+                pending: a,
+            }
+        }
+        ThreeColor::White => {
+            let a = black_nbrs == 0;
+            VertexClass {
+                active: a,
+                pending: a,
+            }
+        }
+        ThreeColor::Gray => VertexClass {
+            active: false,
+            pending: true,
+        },
+    }
+}
+
 /// The **3-color MIS process** of Definition 28: the 2-state process extended
 /// with a gray color and a [`SwitchProcess`] that controls how quickly gray
 /// vertices may return to white (and hence how often a vertex can flip from
@@ -47,6 +74,14 @@ impl ThreeColor {
 /// Instantiated with the [`RandomizedLogSwitch`] (6 states) this gives
 /// 3 × 6 = 18 states per vertex and stabilizes in polylog rounds on `G(n,p)`
 /// for **every** `0 ≤ p ≤ 1` (Theorem 3 / Theorem 32).
+///
+/// The color update runs through the incremental [`FrontierEngine`]
+/// (`O(|A_t| + |Γ_t| + vol(A_t))` per round, `O(1)`
+/// [`is_stabilized`](Process::is_stabilized)); the switch sub-process is a
+/// phase clock that advances every vertex every round, so its `O(n)` step
+/// dominates once the color dynamics are quiet.
+/// [`step_reference`](ThreeColorProcess::step_reference) retains the naive
+/// full-scan color update for differential testing.
 ///
 /// # Example
 ///
@@ -66,12 +101,12 @@ impl ThreeColor {
 pub struct ThreeColorProcess<'g, S> {
     graph: &'g Graph,
     colors: Vec<ThreeColor>,
-    /// Number of black neighbors per vertex.
-    black_nbrs: Vec<u32>,
+    engine: FrontierEngine,
     switch: S,
     round: usize,
     random_bits: u64,
-    next: Vec<ThreeColor>,
+    worklist: Vec<VertexId>,
+    changes: Vec<(VertexId, ThreeColor)>,
 }
 
 impl<'g> ThreeColorProcess<'g, RandomizedLogSwitch<'g>> {
@@ -108,15 +143,16 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
             "switch must be defined over the same vertex set"
         );
         let mut p = ThreeColorProcess {
-            black_nbrs: vec![0; graph.n()],
-            next: colors.clone(),
+            engine: FrontierEngine::new(graph.n()),
             graph,
             colors,
             switch,
             round: 0,
             random_bits: 0,
+            worklist: Vec::new(),
+            changes: Vec::new(),
         };
-        p.recount();
+        p.rebuild_engine();
         p
     }
 
@@ -136,6 +172,12 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         &mut self.switch
     }
 
+    /// Read-only view of the incremental engine bookkeeping, for tests and
+    /// diagnostics.
+    pub fn engine(&self) -> &FrontierEngine {
+        &self.engine
+    }
+
     /// Current color of vertex `u`.
     ///
     /// # Panics
@@ -150,6 +192,11 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         &self.colors
     }
 
+    /// Number of black neighbors of `u` (delta-maintained).
+    pub fn black_neighbor_count(&self, u: VertexId) -> usize {
+        self.engine.black_neighbor_count(u)
+    }
+
     /// The current set of gray vertices `Γ_t`.
     pub fn gray_set(&self) -> VertexSet {
         VertexSet::from_indices(
@@ -160,7 +207,9 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         )
     }
 
-    /// Overwrites the color of one vertex (transient-fault injection).
+    /// Overwrites the color of one vertex (transient-fault injection). The
+    /// neighborhood bookkeeping is delta-updated in `O(deg(u))`; no full
+    /// rebuild happens.
     ///
     /// # Panics
     ///
@@ -170,44 +219,74 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
             return;
         }
         self.colors[u] = color;
-        self.recount();
+        self.engine.set_black(self.graph, u, color.is_black());
+        let colors = &self.colors;
+        self.engine.flush(self.graph, classify(colors));
     }
 
     /// `true` if `u` is active: black with a black neighbor, or white with no
     /// black neighbor. (Gray vertices are never active; they wait for their
     /// switch.)
     pub fn is_active(&self, u: VertexId) -> bool {
-        match self.colors[u] {
-            ThreeColor::Black => self.black_nbrs[u] > 0,
-            ThreeColor::White => self.black_nbrs[u] == 0,
-            ThreeColor::Gray => false,
-        }
+        self.engine.is_active(u)
     }
 
     /// `true` if `u` is stable black (black with no black neighbor).
     pub fn is_stable_black(&self, u: VertexId) -> bool {
-        self.colors[u].is_black() && self.black_nbrs[u] == 0
+        self.engine.is_stable_black(u)
     }
 
     /// `true` if `u` is stable: stable black or adjacent to a stable black vertex.
     pub fn is_stable(&self, u: VertexId) -> bool {
-        self.is_stable_black(u)
-            || self
-                .graph
-                .neighbors(u)
-                .iter()
-                .any(|&v| self.is_stable_black(v))
+        self.engine.is_stable(u)
     }
 
-    fn recount(&mut self) {
-        self.black_nbrs.iter_mut().for_each(|c| *c = 0);
+    /// Executes one synchronous round with the naive full-scan reference
+    /// implementation (`O(n + m)`): identical colors, switch evolution, and
+    /// RNG stream as [`step`](Process::step), retained as the oracle for the
+    /// engine's trace-equality tests.
+    pub fn step_reference(&mut self, rng: &mut dyn RngCore) {
+        let mut black_nbrs = vec![0u32; self.n()];
         for u in self.graph.vertices() {
             if self.colors[u].is_black() {
                 for &v in self.graph.neighbors(u) {
-                    self.black_nbrs[v] += 1;
+                    black_nbrs[v] += 1;
                 }
             }
         }
+        let mut next = self.colors.clone();
+        for u in self.graph.vertices() {
+            next[u] = match self.colors[u] {
+                ThreeColor::Black if black_nbrs[u] > 0 => {
+                    self.random_bits += 1;
+                    if rng.gen_bool(0.5) {
+                        ThreeColor::Black
+                    } else {
+                        ThreeColor::Gray
+                    }
+                }
+                ThreeColor::White if black_nbrs[u] == 0 => {
+                    self.random_bits += 1;
+                    if rng.gen_bool(0.5) {
+                        ThreeColor::Black
+                    } else {
+                        ThreeColor::White
+                    }
+                }
+                ThreeColor::Gray if self.switch.is_on(u) => ThreeColor::White,
+                other => other,
+            };
+        }
+        self.colors = next;
+        self.switch.step(rng);
+        self.rebuild_engine();
+        self.round += 1;
+    }
+
+    fn rebuild_engine(&mut self) {
+        let colors = &self.colors;
+        self.engine
+            .rebuild(self.graph, |u| colors[u].is_black(), classify(colors));
     }
 }
 
@@ -223,86 +302,68 @@ impl<S: SwitchProcess> Process for ThreeColorProcess<'_, S> {
     fn step(&mut self, rng: &mut dyn RngCore) {
         // The color update of round t uses the switch values σ_{t-1} (the
         // switch output of the *previous* round); the two sub-processes then
-        // advance in parallel.
-        for u in self.graph.vertices() {
-            self.next[u] = match self.colors[u] {
-                ThreeColor::Black if self.black_nbrs[u] > 0 => {
+        // advance in parallel. The frontier holds the active vertices plus
+        // every gray vertex (waiting for its switch); draws happen only at
+        // active vertices, in ascending vertex order — the same RNG stream
+        // as the full-scan reference.
+        self.engine.begin_round(&mut self.worklist);
+        self.changes.clear();
+        for &u in &self.worklist {
+            match self.colors[u] {
+                ThreeColor::Black => {
+                    debug_assert!(self.engine.is_active(u));
                     self.random_bits += 1;
-                    if rng.gen_bool(0.5) {
-                        ThreeColor::Black
-                    } else {
-                        ThreeColor::Gray
+                    if !rng.gen_bool(0.5) {
+                        self.changes.push((u, ThreeColor::Gray));
                     }
                 }
-                ThreeColor::White if self.black_nbrs[u] == 0 => {
+                ThreeColor::White => {
+                    debug_assert!(self.engine.is_active(u));
                     self.random_bits += 1;
                     if rng.gen_bool(0.5) {
-                        ThreeColor::Black
-                    } else {
-                        ThreeColor::White
+                        self.changes.push((u, ThreeColor::Black));
                     }
                 }
-                ThreeColor::Gray if self.switch.is_on(u) => ThreeColor::White,
-                other => other,
-            };
+                ThreeColor::Gray => {
+                    if self.switch.is_on(u) {
+                        self.changes.push((u, ThreeColor::White));
+                    }
+                }
+            }
         }
-        std::mem::swap(&mut self.colors, &mut self.next);
+        for &(u, color) in &self.changes {
+            self.colors[u] = color;
+            self.engine.set_black(self.graph, u, color.is_black());
+        }
         self.switch.step(rng);
-        self.recount();
+        let colors = &self.colors;
+        self.engine.flush(self.graph, classify(colors));
         self.round += 1;
     }
 
     fn is_stabilized(&self) -> bool {
-        self.graph.vertices().all(|u| self.is_stable(u))
+        // O(1): the engine caches the unstable count.
+        self.engine.is_stabilized()
     }
 
     fn black_set(&self) -> VertexSet {
-        VertexSet::from_indices(
-            self.n(),
-            self.graph.vertices().filter(|&u| self.colors[u].is_black()),
-        )
+        self.engine.black_set()
     }
 
     fn active_set(&self) -> VertexSet {
-        VertexSet::from_indices(
-            self.n(),
-            self.graph.vertices().filter(|&u| self.is_active(u)),
-        )
+        self.engine.active_set()
     }
 
     fn stable_black_set(&self) -> VertexSet {
-        VertexSet::from_indices(
-            self.n(),
-            self.graph.vertices().filter(|&u| self.is_stable_black(u)),
-        )
+        self.engine.stable_black_set()
     }
 
     fn unstable_set(&self) -> VertexSet {
-        VertexSet::from_indices(
-            self.n(),
-            self.graph.vertices().filter(|&u| !self.is_stable(u)),
-        )
+        self.engine.unstable_set()
     }
 
     fn counts(&self) -> StateCounts {
-        let mut c = StateCounts::default();
-        for u in self.graph.vertices() {
-            if self.colors[u].is_black() {
-                c.black += 1;
-            } else {
-                c.non_black += 1;
-            }
-            if self.is_active(u) {
-                c.active += 1;
-            }
-            if self.is_stable_black(u) {
-                c.stable_black += 1;
-            }
-            if !self.is_stable(u) {
-                c.unstable += 1;
-            }
-        }
-        c
+        self.engine.counts()
     }
 
     fn states_per_vertex(&self) -> usize {
@@ -454,6 +515,24 @@ mod tests {
                 break;
             }
             p.step(&mut r);
+        }
+    }
+
+    #[test]
+    fn fast_step_matches_reference_step() {
+        let g = generators::gnp(60, 0.12, &mut rng(47));
+        let mut r_fast = rng(53);
+        let mut r_ref = rng(53);
+        let mut fast =
+            ThreeColorProcess::with_randomized_switch(&g, InitStrategy::Random, &mut r_fast);
+        let mut reference =
+            ThreeColorProcess::with_randomized_switch(&g, InitStrategy::Random, &mut r_ref);
+        for round in 0..80 {
+            assert_eq!(fast.counts(), reference.counts(), "round {round}");
+            fast.step(&mut r_fast);
+            reference.step_reference(&mut r_ref);
+            assert_eq!(fast.colors(), reference.colors(), "round {round}");
+            assert_eq!(fast.random_bits_used(), reference.random_bits_used());
         }
     }
 

@@ -2,6 +2,7 @@ use mis_graph::{Graph, VertexId, VertexSet};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::{FrontierEngine, VertexClass};
 use crate::init::InitStrategy;
 use crate::process::{Process, StateCounts};
 
@@ -28,6 +29,27 @@ impl ThreeState {
     }
 }
 
+/// The 3-state local rule. Active vertices re-draw from `{black1, black0}`;
+/// a non-active `black0` vertex (one with a `black1` neighbor) retires to
+/// white, so every black vertex is pending. A white vertex is pending iff it
+/// is active (no black neighbor).
+fn classify<'a>(
+    states: &'a [ThreeState],
+    black1_nbrs: &'a [u32],
+) -> impl Fn(VertexId, u32) -> VertexClass + 'a {
+    move |u, black_nbrs| {
+        let (active, pending) = match states[u] {
+            ThreeState::Black1 => (true, true),
+            ThreeState::Black0 => (black1_nbrs[u] == 0, true),
+            ThreeState::White => {
+                let a = black_nbrs == 0;
+                (a, a)
+            }
+        };
+        VertexClass { active, pending }
+    }
+}
+
 /// The **3-state MIS process** of Definition 5.
 ///
 /// Update rule for vertex `u` with previous state `c` and neighbor states
@@ -50,6 +72,14 @@ impl ThreeState {
 /// neighbor is black", which coincides with the paper on every vertex that
 /// has at least one neighbor and makes isolated vertices join the MIS.
 ///
+/// Rounds run through the incremental [`FrontierEngine`]: a
+/// [`step`](Process::step) touches only the frontier (black vertices and
+/// active whites — stable black vertices keep alternating by definition, so
+/// they stay on it) and the neighborhoods of vertices that changed, and
+/// [`is_stabilized`](Process::is_stabilized)/[`counts`](Process::counts) are
+/// `O(1)`. [`step_reference`](ThreeStateProcess::step_reference) retains the
+/// naive full-scan path for differential testing.
+///
 /// # Example
 ///
 /// ```
@@ -67,13 +97,14 @@ impl ThreeState {
 pub struct ThreeStateProcess<'g> {
     graph: &'g Graph,
     states: Vec<ThreeState>,
-    /// Number of black (`black1` or `black0`) neighbors per vertex.
-    black_nbrs: Vec<u32>,
-    /// Number of `black1` neighbors per vertex.
+    /// Number of `black1` neighbors per vertex, delta-maintained alongside
+    /// the engine's black-neighbor counters.
     black1_nbrs: Vec<u32>,
+    engine: FrontierEngine,
     round: usize,
     random_bits: u64,
-    next: Vec<ThreeState>,
+    worklist: Vec<VertexId>,
+    changes: Vec<(VertexId, ThreeState)>,
 }
 
 impl<'g> ThreeStateProcess<'g> {
@@ -89,15 +120,16 @@ impl<'g> ThreeStateProcess<'g> {
             "initial state vector length must equal the number of vertices"
         );
         let mut p = ThreeStateProcess {
-            black_nbrs: vec![0; graph.n()],
             black1_nbrs: vec![0; graph.n()],
-            next: states.clone(),
+            engine: FrontierEngine::new(graph.n()),
             graph,
             states,
             round: 0,
             random_bits: 0,
+            worklist: Vec::new(),
+            changes: Vec::new(),
         };
-        p.recount();
+        p.rebuild_engine();
         p
     }
 
@@ -109,6 +141,12 @@ impl<'g> ThreeStateProcess<'g> {
     /// The underlying graph.
     pub fn graph(&self) -> &'g Graph {
         self.graph
+    }
+
+    /// Read-only view of the incremental engine bookkeeping, for tests and
+    /// diagnostics.
+    pub fn engine(&self) -> &FrontierEngine {
+        &self.engine
     }
 
     /// Current state of vertex `u`.
@@ -125,74 +163,79 @@ impl<'g> ThreeStateProcess<'g> {
         &self.states
     }
 
-    /// Overwrites the state of one vertex (transient-fault injection),
-    /// keeping the neighbor bookkeeping consistent.
+    /// Number of black (`black1` or `black0`) neighbors of `u`.
+    pub fn black_neighbor_count(&self, u: VertexId) -> usize {
+        self.engine.black_neighbor_count(u)
+    }
+
+    /// Number of `black1` neighbors of `u` (delta-maintained).
+    pub fn black1_neighbor_count(&self, u: VertexId) -> usize {
+        self.black1_nbrs[u] as usize
+    }
+
+    /// Overwrites the state of one vertex (transient-fault injection). All
+    /// neighbor bookkeeping is delta-updated in `O(deg(u))`; no full rebuild
+    /// happens.
     ///
     /// # Panics
     ///
     /// Panics if `u` is out of range.
     pub fn set_state(&mut self, u: VertexId, state: ThreeState) {
-        if self.states[u] == state {
+        let old = self.states[u];
+        if old == state {
             return;
         }
         self.states[u] = state;
-        self.recount();
+        self.apply_black1_delta(u, old, state);
+        self.engine.set_black(self.graph, u, state.is_black());
+        let states = &self.states;
+        let black1_nbrs = &self.black1_nbrs;
+        self.engine.flush(self.graph, classify(states, black1_nbrs));
     }
 
     /// Whether `u` will re-randomize its state in the next round.
     pub fn is_active(&self, u: VertexId) -> bool {
-        match self.states[u] {
-            ThreeState::Black1 => true,
-            ThreeState::Black0 => self.black1_nbrs[u] == 0,
-            ThreeState::White => self.black_nbrs[u] == 0,
-        }
+        self.engine.is_active(u)
     }
 
     /// `true` if `u` is stable black: black with no black neighbor. Its state
     /// keeps alternating between `black1` and `black0` but its *blackness*
     /// never changes.
     pub fn is_stable_black(&self, u: VertexId) -> bool {
-        self.states[u].is_black() && self.black_nbrs[u] == 0
+        self.engine.is_stable_black(u)
     }
 
     /// `true` if `u` is stable: stable black or adjacent to a stable black vertex.
     pub fn is_stable(&self, u: VertexId) -> bool {
-        self.is_stable_black(u)
-            || self
-                .graph
-                .neighbors(u)
-                .iter()
-                .any(|&v| self.is_stable_black(v))
+        self.engine.is_stable(u)
     }
 
-    fn recount(&mut self) {
-        self.black_nbrs.iter_mut().for_each(|c| *c = 0);
-        self.black1_nbrs.iter_mut().for_each(|c| *c = 0);
+    /// Executes one synchronous round with the naive full-scan reference
+    /// implementation (`O(n + m)`): identical states and RNG stream as
+    /// [`step`](Process::step), retained as the oracle for the engine's
+    /// trace-equality tests.
+    pub fn step_reference(&mut self, rng: &mut dyn RngCore) {
+        let n = self.n();
+        let mut black_nbrs = vec![0u32; n];
+        let mut black1_nbrs = vec![0u32; n];
         for u in self.graph.vertices() {
             if self.states[u].is_black() {
                 for &v in self.graph.neighbors(u) {
-                    self.black_nbrs[v] += 1;
+                    black_nbrs[v] += 1;
                     if self.states[u] == ThreeState::Black1 {
-                        self.black1_nbrs[v] += 1;
+                        black1_nbrs[v] += 1;
                     }
                 }
             }
         }
-    }
-}
-
-impl Process for ThreeStateProcess<'_> {
-    fn n(&self) -> usize {
-        self.graph.n()
-    }
-
-    fn round(&self) -> usize {
-        self.round
-    }
-
-    fn step(&mut self, rng: &mut dyn RngCore) {
+        let mut next = self.states.clone();
         for u in self.graph.vertices() {
-            self.next[u] = if self.is_active(u) {
+            let active = match self.states[u] {
+                ThreeState::Black1 => true,
+                ThreeState::Black0 => black1_nbrs[u] == 0,
+                ThreeState::White => black_nbrs[u] == 0,
+            };
+            next[u] = if active {
                 self.random_bits += 1;
                 if rng.gen_bool(0.5) {
                     ThreeState::Black1
@@ -206,65 +249,120 @@ impl Process for ThreeStateProcess<'_> {
                 self.states[u]
             };
         }
-        std::mem::swap(&mut self.states, &mut self.next);
-        self.recount();
+        self.states = next;
+        self.rebuild_engine();
+        self.round += 1;
+    }
+
+    /// Delta-updates the `black1` neighbor counters (and the affected
+    /// activity classifications) after `u` changed `old -> new`.
+    fn apply_black1_delta(&mut self, u: VertexId, old: ThreeState, new: ThreeState) {
+        let was_black1 = old == ThreeState::Black1;
+        let is_black1 = new == ThreeState::Black1;
+        if was_black1 == is_black1 {
+            return;
+        }
+        for &v in self.graph.neighbors(u) {
+            if is_black1 {
+                self.black1_nbrs[v] += 1;
+            } else {
+                self.black1_nbrs[v] -= 1;
+            }
+            self.engine.mark_dirty(v);
+        }
+    }
+
+    fn rebuild_engine(&mut self) {
+        self.black1_nbrs.iter_mut().for_each(|c| *c = 0);
+        for u in self.graph.vertices() {
+            if self.states[u] == ThreeState::Black1 {
+                for &v in self.graph.neighbors(u) {
+                    self.black1_nbrs[v] += 1;
+                }
+            }
+        }
+        let states = &self.states;
+        let black1_nbrs = &self.black1_nbrs;
+        self.engine.rebuild(
+            self.graph,
+            |u| states[u].is_black(),
+            classify(states, black1_nbrs),
+        );
+    }
+}
+
+impl Process for ThreeStateProcess<'_> {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        // The frontier holds every vertex whose rule may fire: all black
+        // vertices plus active whites. Only active vertices draw, in
+        // ascending vertex order — the same RNG stream as the full scan.
+        self.engine.begin_round(&mut self.worklist);
+        self.changes.clear();
+        for &u in &self.worklist {
+            if self.engine.is_active(u) {
+                self.random_bits += 1;
+                let new = if rng.gen_bool(0.5) {
+                    ThreeState::Black1
+                } else {
+                    ThreeState::Black0
+                };
+                if new != self.states[u] {
+                    self.changes.push((u, new));
+                }
+            } else {
+                // Pending but not active: black0 with a black1 neighbor
+                // retires to white.
+                debug_assert_eq!(self.states[u], ThreeState::Black0);
+                self.changes.push((u, ThreeState::White));
+            }
+        }
+        for i in 0..self.changes.len() {
+            let (u, state) = self.changes[i];
+            let old = self.states[u];
+            self.states[u] = state;
+            self.apply_black1_delta(u, old, state);
+            self.engine.set_black(self.graph, u, state.is_black());
+        }
+        let states = &self.states;
+        let black1_nbrs = &self.black1_nbrs;
+        self.engine.flush(self.graph, classify(states, black1_nbrs));
         self.round += 1;
     }
 
     fn is_stabilized(&self) -> bool {
         // Stabilized (on the black/non-black projection) iff every vertex is
         // stable: the black set is then an MIS and blackness never changes,
-        // even though stable black vertices keep flipping black1/black0.
-        self.graph.vertices().all(|u| self.is_stable(u))
+        // even though stable black vertices keep flipping black1/black0. The
+        // engine caches the unstable count, so this is O(1).
+        self.engine.is_stabilized()
     }
 
     fn black_set(&self) -> VertexSet {
-        VertexSet::from_indices(
-            self.n(),
-            self.graph.vertices().filter(|&u| self.states[u].is_black()),
-        )
+        self.engine.black_set()
     }
 
     fn active_set(&self) -> VertexSet {
-        VertexSet::from_indices(
-            self.n(),
-            self.graph.vertices().filter(|&u| self.is_active(u)),
-        )
+        self.engine.active_set()
     }
 
     fn stable_black_set(&self) -> VertexSet {
-        VertexSet::from_indices(
-            self.n(),
-            self.graph.vertices().filter(|&u| self.is_stable_black(u)),
-        )
+        self.engine.stable_black_set()
     }
 
     fn unstable_set(&self) -> VertexSet {
-        VertexSet::from_indices(
-            self.n(),
-            self.graph.vertices().filter(|&u| !self.is_stable(u)),
-        )
+        self.engine.unstable_set()
     }
 
     fn counts(&self) -> StateCounts {
-        let mut c = StateCounts::default();
-        for u in self.graph.vertices() {
-            if self.states[u].is_black() {
-                c.black += 1;
-            } else {
-                c.non_black += 1;
-            }
-            if self.is_active(u) {
-                c.active += 1;
-            }
-            if self.is_stable_black(u) {
-                c.stable_black += 1;
-            }
-            if !self.is_stable(u) {
-                c.unstable += 1;
-            }
-        }
-        c
+        self.engine.counts()
     }
 
     fn states_per_vertex(&self) -> usize {
@@ -397,8 +495,26 @@ mod tests {
             !p.is_active(1),
             "white vertex with a black neighbor is not active"
         );
+        assert_eq!(p.black1_neighbor_count(1), 1);
         p.set_state(0, ThreeState::White);
         assert!(p.is_active(1));
+        assert_eq!(p.black1_neighbor_count(1), 0);
+    }
+
+    #[test]
+    fn fast_step_matches_reference_step() {
+        let g = generators::gnp(60, 0.1, &mut rng(41));
+        let mut r_fast = rng(43);
+        let mut r_ref = rng(43);
+        let mut fast = ThreeStateProcess::with_init(&g, InitStrategy::Random, &mut r_fast);
+        let mut reference = ThreeStateProcess::with_init(&g, InitStrategy::Random, &mut r_ref);
+        for round in 0..60 {
+            assert_eq!(fast.counts(), reference.counts(), "round {round}");
+            fast.step(&mut r_fast);
+            reference.step_reference(&mut r_ref);
+            assert_eq!(fast.states(), reference.states(), "round {round}");
+            assert_eq!(fast.random_bits_used(), reference.random_bits_used());
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@ use mis_graph::{Graph, VertexId, VertexSet};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::{FrontierEngine, VertexClass};
 use crate::init::InitStrategy;
 use crate::process::{Process, StateCounts};
 
@@ -22,6 +23,22 @@ impl Color {
     }
 }
 
+/// The 2-state local rule: a vertex is active (and pending — the two coincide
+/// for this process) iff it is black with a black neighbor or white with no
+/// black neighbor.
+fn classify(states: &[Color]) -> impl Fn(VertexId, u32) -> VertexClass + '_ {
+    move |u, black_nbrs| {
+        let active = match states[u] {
+            Color::Black => black_nbrs > 0,
+            Color::White => black_nbrs == 0,
+        };
+        VertexClass {
+            active,
+            pending: active,
+        }
+    }
+}
+
 /// The **2-state MIS process** of Definition 4.
 ///
 /// Each vertex holds a binary state (black/white), initialized arbitrarily.
@@ -35,6 +52,14 @@ impl Color {
 /// The struct also exposes the vertex partitions used in the paper's
 /// analysis: active vertices `A_t`, stable black vertices `I_t`, and
 /// non-stable vertices `V_t` (Section 2.1).
+///
+/// Rounds are executed through the incremental [`FrontierEngine`], so a
+/// [`step`](Process::step) costs `O(|A_t| + vol(A_t))` rather than
+/// `O(n + m)`, and [`is_stabilized`](Process::is_stabilized) and
+/// [`counts`](Process::counts) are `O(1)`; [`step_reference`] retains the
+/// naive full-scan path for differential testing.
+///
+/// [`step_reference`]: TwoStateProcess::step_reference
 ///
 /// # Example
 ///
@@ -54,12 +79,14 @@ impl Color {
 pub struct TwoStateProcess<'g> {
     graph: &'g Graph,
     states: Vec<Color>,
-    /// `black_nbrs[u]` = number of black neighbors of `u`, kept in sync with `states`.
-    black_nbrs: Vec<u32>,
+    /// Incremental counters, frontier, and cached counts.
+    engine: FrontierEngine,
     round: usize,
     random_bits: u64,
-    /// Scratch buffer for the synchronous update.
-    next: Vec<Color>,
+    /// Scratch: the frontier snapshot of the round being executed.
+    worklist: Vec<VertexId>,
+    /// Scratch: the state changes decided in the current round.
+    changes: Vec<(VertexId, Color)>,
 }
 
 impl<'g> TwoStateProcess<'g> {
@@ -75,14 +102,15 @@ impl<'g> TwoStateProcess<'g> {
             "initial state vector length must equal the number of vertices"
         );
         let mut p = TwoStateProcess {
-            black_nbrs: vec![0; graph.n()],
-            next: states.clone(),
+            engine: FrontierEngine::new(graph.n()),
             graph,
             states,
             round: 0,
             random_bits: 0,
+            worklist: Vec::new(),
+            changes: Vec::new(),
         };
-        p.recount_black_neighbors();
+        p.rebuild_engine();
         p
     }
 
@@ -94,6 +122,12 @@ impl<'g> TwoStateProcess<'g> {
     /// The underlying graph.
     pub fn graph(&self) -> &'g Graph {
         self.graph
+    }
+
+    /// Read-only view of the incremental engine bookkeeping (counters,
+    /// frontier, cached counts), for tests and diagnostics.
+    pub fn engine(&self) -> &FrontierEngine {
+        &self.engine
     }
 
     /// Current color of vertex `u`.
@@ -111,52 +145,43 @@ impl<'g> TwoStateProcess<'g> {
     }
 
     /// Overwrites the state of a single vertex, e.g. to model a transient
-    /// fault. Neighborhood bookkeeping is updated accordingly.
+    /// fault. Neighborhood bookkeeping is delta-updated in `O(deg(u))`; no
+    /// full rebuild happens.
     ///
     /// # Panics
     ///
     /// Panics if `u` is out of range.
     pub fn set_color(&mut self, u: VertexId, color: Color) {
-        let old = self.states[u];
-        if old == color {
+        if self.states[u] == color {
             return;
         }
         self.states[u] = color;
-        let delta: i64 = if color.is_black() { 1 } else { -1 };
-        for &v in self.graph.neighbors(u) {
-            self.black_nbrs[v] = (self.black_nbrs[v] as i64 + delta) as u32;
-        }
+        self.engine.set_black(self.graph, u, color.is_black());
+        let states = &self.states;
+        self.engine.flush(self.graph, classify(states));
     }
 
     /// `true` if vertex `u` is active at the end of the current round:
     /// black with a black neighbor, or white with no black neighbor.
     pub fn is_active(&self, u: VertexId) -> bool {
-        match self.states[u] {
-            Color::Black => self.black_nbrs[u] > 0,
-            Color::White => self.black_nbrs[u] == 0,
-        }
+        self.engine.is_active(u)
     }
 
     /// `true` if vertex `u` is *stable black*: black with no black neighbor
     /// (i.e. `u ∈ I_t`).
     pub fn is_stable_black(&self, u: VertexId) -> bool {
-        self.states[u].is_black() && self.black_nbrs[u] == 0
+        self.engine.is_stable_black(u)
     }
 
     /// `true` if vertex `u` is stable: stable black, or adjacent to a stable
     /// black vertex.
     pub fn is_stable(&self, u: VertexId) -> bool {
-        self.is_stable_black(u)
-            || self
-                .graph
-                .neighbors(u)
-                .iter()
-                .any(|&v| self.is_stable_black(v))
+        self.engine.is_stable(u)
     }
 
     /// Number of black neighbors of `u`.
     pub fn black_neighbor_count(&self, u: VertexId) -> usize {
-        self.black_nbrs[u] as usize
+        self.engine.black_neighbor_count(u)
     }
 
     /// The set `A^k_t` of *k-active* vertices: active vertices with at most
@@ -178,15 +203,48 @@ impl<'g> TwoStateProcess<'g> {
         out
     }
 
-    fn recount_black_neighbors(&mut self) {
-        self.black_nbrs.iter_mut().for_each(|c| *c = 0);
+    /// Executes one synchronous round with the naive full-scan reference
+    /// implementation: rescan all vertices, recompute every black-neighbor
+    /// count from scratch, `O(n + m)`.
+    ///
+    /// Semantically identical to [`step`](Process::step) — same states, same
+    /// RNG stream — and retained as the oracle for the engine's
+    /// trace-equality tests.
+    pub fn step_reference(&mut self, rng: &mut dyn RngCore) {
+        // Recount independently of the engine so the reference path does not
+        // rely on the bookkeeping it is meant to check.
+        let mut black_nbrs = vec![0u32; self.n()];
         for u in self.graph.vertices() {
             if self.states[u].is_black() {
                 for &v in self.graph.neighbors(u) {
-                    self.black_nbrs[v] += 1;
+                    black_nbrs[v] += 1;
                 }
             }
         }
+        let mut next = self.states.clone();
+        for u in self.graph.vertices() {
+            let active = match self.states[u] {
+                Color::Black => black_nbrs[u] > 0,
+                Color::White => black_nbrs[u] == 0,
+            };
+            if active {
+                self.random_bits += 1;
+                next[u] = if rng.gen_bool(0.5) {
+                    Color::Black
+                } else {
+                    Color::White
+                };
+            }
+        }
+        self.states = next;
+        self.rebuild_engine();
+        self.round += 1;
+    }
+
+    fn rebuild_engine(&mut self) {
+        let states = &self.states;
+        self.engine
+            .rebuild(self.graph, |u| states[u].is_black(), classify(states));
     }
 }
 
@@ -200,76 +258,57 @@ impl Process for TwoStateProcess<'_> {
     }
 
     fn step(&mut self, rng: &mut dyn RngCore) {
-        for u in self.graph.vertices() {
-            self.next[u] = if self.is_active(u) {
-                self.random_bits += 1;
-                if rng.gen_bool(0.5) {
-                    Color::Black
-                } else {
-                    Color::White
-                }
+        // For the 2-state process the frontier is exactly the active set, so
+        // every worklist vertex re-draws; ascending order keeps the RNG
+        // stream identical to the full-scan reference.
+        self.engine.begin_round(&mut self.worklist);
+        self.changes.clear();
+        for &u in &self.worklist {
+            debug_assert!(self.engine.is_active(u));
+            self.random_bits += 1;
+            let new = if rng.gen_bool(0.5) {
+                Color::Black
             } else {
-                self.states[u]
+                Color::White
             };
+            if new != self.states[u] {
+                self.changes.push((u, new));
+            }
         }
-        std::mem::swap(&mut self.states, &mut self.next);
-        self.recount_black_neighbors();
+        for &(u, color) in &self.changes {
+            self.states[u] = color;
+            self.engine.set_black(self.graph, u, color.is_black());
+        }
+        let states = &self.states;
+        self.engine.flush(self.graph, classify(states));
         self.round += 1;
     }
 
     fn is_stabilized(&self) -> bool {
         // A configuration is stabilized iff no vertex is active, which holds
-        // iff every vertex is stable (Section 2).
-        self.graph.vertices().all(|u| !self.is_active(u))
+        // iff every vertex is stable (Section 2); the engine caches the
+        // unstable count, so this is O(1).
+        self.engine.is_stabilized()
     }
 
     fn black_set(&self) -> VertexSet {
-        VertexSet::from_indices(
-            self.n(),
-            self.graph.vertices().filter(|&u| self.states[u].is_black()),
-        )
+        self.engine.black_set()
     }
 
     fn active_set(&self) -> VertexSet {
-        VertexSet::from_indices(
-            self.n(),
-            self.graph.vertices().filter(|&u| self.is_active(u)),
-        )
+        self.engine.active_set()
     }
 
     fn stable_black_set(&self) -> VertexSet {
-        VertexSet::from_indices(
-            self.n(),
-            self.graph.vertices().filter(|&u| self.is_stable_black(u)),
-        )
+        self.engine.stable_black_set()
     }
 
     fn unstable_set(&self) -> VertexSet {
-        VertexSet::from_indices(
-            self.n(),
-            self.graph.vertices().filter(|&u| !self.is_stable(u)),
-        )
+        self.engine.unstable_set()
     }
 
     fn counts(&self) -> StateCounts {
-        let mut c = StateCounts::default();
-        for u in self.graph.vertices() {
-            if self.states[u].is_black() {
-                c.black += 1;
-            } else {
-                c.non_black += 1;
-            }
-            if self.is_active(u) {
-                c.active += 1;
-            }
-            if self.is_stable_black(u) {
-                c.stable_black += 1;
-            }
-            if !self.is_stable(u) {
-                c.unstable += 1;
-            }
-        }
-        c
+        self.engine.counts()
     }
 
     fn states_per_vertex(&self) -> usize {
@@ -472,6 +511,27 @@ mod tests {
             (rounds, p.black_set())
         };
         assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn fast_step_matches_reference_step() {
+        let g = generators::gnp(70, 0.08, &mut rng(29));
+        let mut r_fast = rng(31);
+        let mut r_ref = rng(31);
+        let mut fast = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r_fast);
+        let mut reference = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r_ref);
+        assert_eq!(fast.states(), reference.states());
+        for round in 0..60 {
+            assert_eq!(fast.counts(), reference.counts(), "round {round}");
+            assert_eq!(fast.is_stabilized(), reference.is_stabilized());
+            if fast.is_stabilized() {
+                break;
+            }
+            fast.step(&mut r_fast);
+            reference.step_reference(&mut r_ref);
+            assert_eq!(fast.states(), reference.states(), "round {round}");
+            assert_eq!(fast.random_bits_used(), reference.random_bits_used());
+        }
     }
 
     proptest! {

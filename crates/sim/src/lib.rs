@@ -52,6 +52,6 @@ pub mod stats;
 pub mod sweep;
 
 pub use metrics::{RoundTrace, TrialResult};
-pub use runner::{run_experiment, ExperimentResult};
+pub use runner::{run_experiment, DriveOutcome, ExperimentResult};
 pub use spec::{ExperimentSpec, GraphSpec, ProcessSelector};
 pub use stats::Summary;

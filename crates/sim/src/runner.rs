@@ -1,9 +1,12 @@
 //! Executes experiment specifications: one deterministic RNG stream per
 //! trial, parallel trials, and MIS validation of every outcome.
 
-use mis_baselines::{luby_mis, RandomPriorityMis};
+use mis_baselines::{
+    greedy_mis_random_order, luby_mis, RandomPriorityMis, SequentialScheduler,
+    SequentialSelfStabMis,
+};
 use mis_core::{Process, ThreeColorProcess, ThreeStateProcess, TwoStateProcess};
-use mis_graph::{mis_check, Graph};
+use mis_graph::{mis_check, Graph, VertexSet};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
@@ -61,7 +64,7 @@ pub fn run_trial(spec: &ExperimentSpec, trial: usize) -> TrialResult {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let graph = spec.graph.generate(&mut rng);
 
-    let (rounds, stabilized, mis, random_bits, states_per_vertex, trace) = match spec.process {
+    let outcome = match spec.process {
         ProcessSelector::TwoState => {
             let proc = TwoStateProcess::with_init(&graph, spec.init, &mut rng);
             drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
@@ -80,23 +83,58 @@ pub fn run_trial(spec: &ExperimentSpec, trial: usize) -> TrialResult {
         }
         ProcessSelector::Luby => {
             let out = luby_mis(&graph, &mut rng);
-            (out.rounds, true, out.mis, out.random_bits, usize::MAX, None)
+            DriveOutcome {
+                rounds: out.rounds,
+                stabilized: true,
+                black_set: out.mis,
+                random_bits: out.random_bits,
+                states_per_vertex: usize::MAX,
+                trace: None,
+            }
+        }
+        ProcessSelector::Greedy => {
+            // One centralized pass in a random scan order; its shuffle
+            // randomness is not metered as per-vertex random bits.
+            let mis = greedy_mis_random_order(&graph, &mut rng);
+            DriveOutcome {
+                rounds: 1,
+                stabilized: true,
+                black_set: mis,
+                random_bits: 0,
+                states_per_vertex: usize::MAX,
+                trace: None,
+            }
+        }
+        ProcessSelector::SequentialSelfStab => {
+            let init = spec.init.two_state(graph.n(), &mut rng);
+            let mut alg = SequentialSelfStabMis::new(&graph, init);
+            let out = alg.run(SequentialScheduler::SmallestId, &mut rng);
+            DriveOutcome {
+                // `rounds` carries the move count: the algorithm's natural
+                // cost measure under a central scheduler (at most 2n).
+                rounds: out.moves,
+                stabilized: true,
+                black_set: out.mis,
+                random_bits: 0,
+                states_per_vertex: 2,
+                trace: None,
+            }
         }
     };
 
-    let valid_mis = stabilized && mis_check::is_mis(&graph, &mis);
+    let valid_mis = outcome.stabilized && mis_check::is_mis(&graph, &outcome.black_set);
     TrialResult {
         trial,
         seed,
         n: graph.n(),
         m: graph.m(),
-        rounds,
-        stabilized,
+        rounds: outcome.rounds,
+        stabilized: outcome.stabilized,
         valid_mis,
-        mis_size: mis.len(),
-        random_bits,
-        states_per_vertex,
-        trace,
+        mis_size: outcome.black_set.len(),
+        random_bits: outcome.random_bits,
+        states_per_vertex: outcome.states_per_vertex,
+        trace: outcome.trace,
     }
 }
 
@@ -113,21 +151,33 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     }
 }
 
+/// What driving one algorithm on one graph produced: the measurements every
+/// process kind (and baseline) reports into a [`TrialResult`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriveOutcome {
+    /// Rounds executed (for the sequential baseline: moves executed).
+    pub rounds: usize,
+    /// Whether the algorithm stabilized/terminated within the round budget.
+    pub stabilized: bool,
+    /// The final black set (the computed MIS when `stabilized`).
+    pub black_set: VertexSet,
+    /// Total random bits consumed.
+    pub random_bits: u64,
+    /// States per vertex of the algorithm (`usize::MAX` for baselines with
+    /// super-constant state).
+    pub states_per_vertex: usize,
+    /// Per-round trace, when requested.
+    pub trace: Option<RoundTrace>,
+}
+
 /// Drives a [`Process`] to stabilization, optionally recording a per-round
-/// trace, and extracts the measurement tuple shared by all process kinds.
+/// trace, and collects the measurements shared by all process kinds.
 fn drive<P: Process>(
     mut proc: P,
     rng: &mut ChaCha8Rng,
     max_rounds: usize,
     record_trace: bool,
-) -> (
-    usize,
-    bool,
-    mis_graph::VertexSet,
-    u64,
-    usize,
-    Option<RoundTrace>,
-) {
+) -> DriveOutcome {
     let mut trace = record_trace.then(RoundTrace::default);
     if let Some(t) = trace.as_mut() {
         t.counts.push(proc.counts());
@@ -140,14 +190,14 @@ fn drive<P: Process>(
         }
         stabilized = proc.is_stabilized();
     }
-    (
-        proc.round(),
+    DriveOutcome {
+        rounds: proc.round(),
         stabilized,
-        proc.black_set(),
-        proc.random_bits_used(),
-        proc.states_per_vertex(),
+        black_set: proc.black_set(),
+        random_bits: proc.random_bits_used(),
+        states_per_vertex: proc.states_per_vertex(),
         trace,
-    )
+    }
 }
 
 /// Convenience wrapper: runs the 2-state process once on an explicit graph
@@ -190,19 +240,66 @@ mod tests {
 
     #[test]
     fn every_process_kind_produces_valid_mis() {
-        for process in [
-            ProcessSelector::TwoState,
-            ProcessSelector::ThreeState,
-            ProcessSelector::ThreeColor,
-            ProcessSelector::Luby,
-            ProcessSelector::RandomPriority,
-        ] {
+        for process in ProcessSelector::all() {
             let result = run_experiment(&base_spec(process));
             assert_eq!(result.trials.len(), 6);
             assert!(result.all_stabilized(), "{process:?}");
             assert!(result.all_valid(), "{process:?}");
             assert!(result.rounds_summary().max >= 1.0 || result.rounds_summary().max == 0.0);
         }
+    }
+
+    #[test]
+    fn sequential_selfstab_respects_move_bound() {
+        let mut spec = base_spec(ProcessSelector::SequentialSelfStab);
+        spec.trials = 4;
+        let result = run_experiment(&spec);
+        assert!(result.all_valid());
+        for t in &result.trials {
+            assert!(
+                t.rounds <= 2 * t.n,
+                "sequential baseline exceeded its 2n move bound: {} moves on n = {}",
+                t.rounds,
+                t.n
+            );
+            assert_eq!(t.random_bits, 0, "smallest-id scheduler is deterministic");
+        }
+    }
+
+    #[test]
+    fn greedy_is_a_single_pass() {
+        let result = run_experiment(&base_spec(ProcessSelector::Greedy));
+        assert!(result.all_valid());
+        for t in &result.trials {
+            assert_eq!(t.rounds, 1);
+            assert_eq!(t.states_per_vertex, usize::MAX);
+        }
+        assert!(result.trials.iter().all(|t| t.mis_size >= 1));
+    }
+
+    /// Large-n scale spec: the incremental engine makes a 50k-vertex sparse
+    /// G(n,p) trial cheap enough for the (debug-build) test suite — the round
+    /// cost tracks the shrinking active frontier instead of n + m.
+    #[test]
+    fn large_n_sparse_trial_is_fast_and_valid() {
+        let n = 50_000;
+        let spec = ExperimentSpec {
+            name: "scale-smoke".into(),
+            graph: GraphSpec::Gnp {
+                n,
+                p: 8.0 / n as f64,
+            },
+            process: ProcessSelector::TwoState,
+            init: InitStrategy::Random,
+            trials: 1,
+            max_rounds: 100_000,
+            base_seed: 77,
+            record_trace: false,
+        };
+        let result = run_experiment(&spec);
+        assert!(result.all_stabilized());
+        assert!(result.all_valid());
+        assert_eq!(result.trials[0].n, n);
     }
 
     #[test]

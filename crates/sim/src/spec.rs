@@ -148,6 +148,15 @@ pub enum ProcessSelector {
     Luby,
     /// The random-priority synchronous self-stabilizing baseline.
     RandomPriority,
+    /// The sequential greedy MIS in a uniformly random scan order (baseline;
+    /// centralized, not self-stabilizing). Reported with `rounds = 1`: the
+    /// whole MIS is built in one centralized pass.
+    Greedy,
+    /// The deterministic sequential self-stabilizing MIS (Shukla et al. /
+    /// Hedetniemi et al.) under the smallest-id central scheduler. Reported
+    /// with `rounds` equal to the number of *moves* (single-vertex state
+    /// changes), its natural cost measure; at most `2n`.
+    SequentialSelfStab,
 }
 
 impl ProcessSelector {
@@ -159,7 +168,23 @@ impl ProcessSelector {
             ProcessSelector::ThreeColor => "three-color",
             ProcessSelector::Luby => "luby",
             ProcessSelector::RandomPriority => "random-priority",
+            ProcessSelector::Greedy => "greedy",
+            ProcessSelector::SequentialSelfStab => "sequential-selfstab",
         }
+    }
+
+    /// All selectors, in a stable order — handy for comparison experiments
+    /// that iterate over every available algorithm.
+    pub fn all() -> [ProcessSelector; 7] {
+        [
+            ProcessSelector::TwoState,
+            ProcessSelector::ThreeState,
+            ProcessSelector::ThreeColor,
+            ProcessSelector::Luby,
+            ProcessSelector::RandomPriority,
+            ProcessSelector::Greedy,
+            ProcessSelector::SequentialSelfStab,
+        ]
     }
 }
 
@@ -215,17 +240,9 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<_> = [
-            ProcessSelector::TwoState,
-            ProcessSelector::ThreeState,
-            ProcessSelector::ThreeColor,
-            ProcessSelector::Luby,
-            ProcessSelector::RandomPriority,
-        ]
-        .iter()
-        .map(|p| p.label())
-        .collect();
-        assert_eq!(labels.len(), 5);
+        let labels: std::collections::HashSet<_> =
+            ProcessSelector::all().iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), ProcessSelector::all().len());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 default:
     @just --list
 
-# Release build of every target (libs, 14 exp_* bins, 3 benches, examples, tests).
+# Release build of every target (libs, 15 exp_* bins, 3 benches, examples, tests).
 build:
     cargo build --release --workspace --all-targets
 
@@ -42,3 +42,5 @@ ci:
     cargo test -q --workspace
     cargo run --release -p mis-bench --bin exp_e1_clique -- --quick
     test -s results/e1_clique.csv
+    cargo run --release -p mis-bench --bin exp_scale -- --quick
+    test -s results/exp_scale.json
