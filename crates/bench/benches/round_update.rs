@@ -10,9 +10,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mis_core::init::InitStrategy;
-use mis_core::{Process, ThreeColorProcess, ThreeStateProcess, TwoStateProcess};
+use mis_core::{
+    CounterRng, ExecutionMode, Process, ThreeColorProcess, ThreeStateProcess, TwoStateProcess,
+};
 use mis_graph::generators;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::time::Duration;
 
@@ -119,5 +121,90 @@ fn bench_phase_contrast(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_update, bench_phase_contrast);
+/// Early-phase round cost of the counter-based parallel engine at
+/// `n = 10⁶` across 1/2/4/8 worker threads (plus the sequential engine as
+/// the baseline entry). Speedups are bounded by the host's cores; the
+/// benchmark shape (clone + one round per iteration, identical for every
+/// entry) keeps the comparison fair either way.
+fn bench_parallel_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_round");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+
+    let n = 1_000_000usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let g = generators::gnp(n, 8.0 / n as f64, &mut rng);
+    let early = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut rng);
+
+    group.bench_with_input(
+        BenchmarkId::new("early_sequential", n),
+        &early,
+        |b, proc| {
+            let mut r = ChaCha8Rng::seed_from_u64(11);
+            b.iter(|| {
+                let mut p = proc.clone();
+                p.step(&mut r);
+                p.counts().active
+            });
+        },
+    );
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new(&format!("early_parallel_t{threads}"), n),
+            &early,
+            |b, proc| {
+                let mut r = ChaCha8Rng::seed_from_u64(11);
+                b.iter(|| {
+                    let mut p = proc.clone();
+                    p.set_execution(ExecutionMode::Parallel { threads }, 13);
+                    p.step(&mut r);
+                    p.counts().active
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Micro-benchmark of the two randomness models: 1M Bernoulli draws from
+/// the sequential ChaCha8 stream vs 1M counter-based Philox draws (the
+/// per-vertex pure function the parallel engine evaluates).
+fn bench_rng_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_models");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+
+    const DRAWS: u64 = 1_000_000;
+    group.bench_function("chacha8_stream_1m_coins", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| {
+            let mut ones = 0u64;
+            for _ in 0..DRAWS {
+                ones += rng.next_u64() & 1;
+            }
+            ones
+        });
+    });
+    group.bench_function("counter_philox_1m_coins", |b| {
+        let rng = CounterRng::new(3);
+        b.iter(|| {
+            let mut ones = 0u64;
+            for v in 0..DRAWS {
+                ones += rng.word(v, 17, 0) & 1;
+            }
+            ones
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_round_update,
+    bench_phase_contrast,
+    bench_parallel_round,
+    bench_rng_models
+);
 criterion_main!(benches);

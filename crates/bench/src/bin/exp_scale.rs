@@ -1,17 +1,52 @@
 //! Scale experiment: round throughput of the incremental frontier engine vs
-//! the naive full-scan reference, early phase vs late phase, on sparse
+//! the naive full-scan reference (early phase vs late phase), plus the
+//! counter-based parallel engine's early-phase thread sweep, on sparse
 //! `G(n, 8/n)`.
 //!
 //! Writes the machine-readable report to `results/exp_scale.json` and the
 //! headline evidence file `BENCH_scale.json` at the workspace root.
 //!
 //! Usage: `cargo run --release -p mis-bench --bin exp_scale [-- --quick]`
+//!
+//! Exit status is non-zero when a gate fails:
+//! * late-phase engine speedup over the reference below 5x;
+//! * any thread-count determinism check failed;
+//! * on hosts with ≥ 2 cores: best parallel early-phase throughput at
+//!   `n = 10⁵` below the sequential engine's (accidental serialization).
 
 use mis_bench::experiments::scale::exp_scale;
 use mis_bench::report::{print_section, write_results_file};
 use mis_bench::Scale;
 
+const HELP: &str = "\
+exp_scale — frontier-engine scale experiment on sparse G(n, 8/n)
+
+USAGE: exp_scale [--quick] [--help]
+
+  --quick   n = 10^5 only (CI smoke); default is n in {10^4, 10^5, 10^6, 10^7}
+  --help    print this help
+
+PHASES AND RANDOMNESS MODELS
+  early/late fast+reference  sequential execution: every coin comes from one
+                             shared ChaCha8 stream drawn in ascending vertex
+                             order (bit-identical to step_reference).
+  early parallel sweep       ExecutionMode::Parallel: counter-based
+                             randomness — each vertex's coin is the pure
+                             function Philox(seed, vertex, round) — measured
+                             at 1/2/4/8 worker threads from the same early
+                             snapshot, plus an in-experiment check that all
+                             thread counts produce bit-identical states.
+
+GATES (non-zero exit)
+  late-phase speedup < 5x; determinism check failure; and, when the host has
+  >= 2 cores, parallel early-phase throughput at n = 10^5 below sequential.
+";
+
 fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return;
+    }
     let scale = Scale::from_args();
     let report = exp_scale(scale);
     print_section(
@@ -19,7 +54,8 @@ fn main() {
         &report.to_pretty(),
     );
     println!(
-        "late-phase speedup at n = {}: {:.1}x (fast {:.0} rounds/s vs reference {:.1} rounds/s)",
+        "host cores: {}; late-phase speedup at n = {}: {:.1}x (fast {:.0} rounds/s vs reference {:.1} rounds/s); best parallel early-phase speedup: {:.2}x",
+        report.threads_available,
         report.rows.last().map_or(0, |r| r.n),
         report.headline_speedup(),
         report
@@ -30,6 +66,7 @@ fn main() {
             .rows
             .last()
             .map_or(0.0, |r| r.late.reference_rounds_per_sec),
+        report.headline_parallel_speedup(),
     );
 
     let json = report.to_json();
@@ -41,11 +78,42 @@ fn main() {
         Err(e) => eprintln!("could not write BENCH_scale.json: {e}"),
     }
 
+    let mut failed = false;
     if report.headline_speedup() < 5.0 {
         eprintln!(
-            "WARNING: late-phase speedup {:.1}x is below the expected 5x",
+            "GATE FAILED: late-phase speedup {:.1}x is below the expected 5x",
             report.headline_speedup()
         );
+        failed = true;
+    }
+    if !report.all_deterministic() {
+        eprintln!("GATE FAILED: thread counts disagreed — the determinism contract is broken");
+        failed = true;
+    }
+    // Anti-serialization gate: with real cores available, the parallel
+    // engine's early phase at n = 10^5 must not be slower than the
+    // sequential engine. On a single-core host this is unmeasurable (thread
+    // overhead with no parallelism), so it degrades to a warning.
+    if let Some(row) = report.row_at(100_000) {
+        let best = row
+            .early_parallel
+            .iter()
+            .map(|p| p.rounds_per_sec)
+            .fold(0.0, f64::max);
+        if best < row.early.fast_rounds_per_sec {
+            let msg = format!(
+                "parallel early phase at n = 10^5 ({best:.0} rounds/s) is below sequential ({:.0} rounds/s)",
+                row.early.fast_rounds_per_sec
+            );
+            if report.threads_available >= 2 {
+                eprintln!("GATE FAILED: {msg}");
+                failed = true;
+            } else {
+                eprintln!("WARNING (single-core host, gate skipped): {msg}");
+            }
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

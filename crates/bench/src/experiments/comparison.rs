@@ -4,7 +4,7 @@
 use mis_core::init::InitStrategy;
 use mis_sim::fault::{three_color_recovery, two_state_recovery};
 use mis_sim::runner::run_experiment;
-use mis_sim::spec::{ExperimentSpec, GraphSpec, ProcessSelector};
+use mis_sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec, ProcessSelector};
 use mis_sim::stats::Summary;
 use serde::{Deserialize, Serialize};
 
@@ -72,6 +72,7 @@ pub fn e10_baselines(scale: Scale) -> Vec<BaselineRow> {
                 graph: *graph,
                 process,
                 init: InitStrategy::Random,
+                execution: ExecutionMode::Sequential,
                 trials,
                 max_rounds: 1_000_000,
                 base_seed: 1000,

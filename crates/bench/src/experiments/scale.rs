@@ -1,5 +1,6 @@
 //! Scale experiment (`exp_scale`): activity-proportional round cost of the
-//! incremental frontier engine on large sparse `G(n, p)`.
+//! incremental frontier engine on large sparse `G(n, p)`, and intra-round
+//! parallel throughput of the counter-based engine.
 //!
 //! The naive round implementation costs `O(n + m)` regardless of how many
 //! vertices are still active, so the long stabilization tail — where only a
@@ -13,20 +14,33 @@
 //! (active count at most `n / 64`, where the engine should win by orders of
 //! magnitude).
 //!
-//! The headline number — the late-phase speedup at the largest measured `n`
-//! (`10⁶` in full runs, `10⁵` in quick/CI runs) — is recorded alongside the
-//! per-size rows in `BENCH_scale.json` at the workspace root.
+//! On top of that it sweeps the **counter-based parallel engine**
+//! ([`ExecutionMode::Parallel`]) over a range of thread counts at the early
+//! phase — the regime where `|A_t| ≈ n` and a sequential-stream round is
+//! serial-bound — recording the rounds/sec trajectory per thread count and
+//! verifying in-experiment that the final states are **bit-identical across
+//! thread counts**. Parallel speedups are bounded by the host's cores
+//! (recorded as `threads_available`); on a single-core host the sweep still
+//! validates determinism but cannot show wall-clock gains.
+//!
+//! The headline numbers — the late-phase speedup and the parallel
+//! early-phase speedup at the largest measured `n` (`10⁷` in full runs,
+//! `10⁵` in quick/CI runs) — are recorded alongside the per-size rows in
+//! `BENCH_scale.json` at the workspace root.
 
 use std::time::{Duration, Instant};
 
 use mis_core::init::InitStrategy;
-use mis_core::{Process, TwoStateProcess};
+use mis_core::{ExecutionMode, Process, TwoStateProcess};
 use mis_graph::generators;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::Scale;
+
+/// Thread counts the parallel early-phase sweep measures.
+pub const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// Throughput of one phase of one run: how many rounds were timed and the
 /// resulting rounds/second for the fast (engine) and reference (full-scan)
@@ -45,8 +59,21 @@ pub struct PhaseThroughput {
     pub speedup: f64,
 }
 
-/// Measurements of one graph size `n`.
+/// Early-phase throughput of the counter-based parallel engine at one
+/// thread count.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreadPoint {
+    /// Worker threads of the intra-round phases.
+    pub threads: usize,
+    /// Rounds per second from the early-phase snapshot.
+    pub rounds_per_sec: f64,
+    /// Relative to the sequential engine's early-phase throughput
+    /// (`early.fast_rounds_per_sec`).
+    pub speedup_vs_sequential: f64,
+}
+
+/// Measurements of one graph size `n`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScaleRow {
     /// Number of vertices.
     pub n: usize,
@@ -60,6 +87,13 @@ pub struct ScaleRow {
     pub early: PhaseThroughput,
     /// Throughput at the late (low-activity) tail.
     pub late: PhaseThroughput,
+    /// Early-phase rounds/sec of the counter-based parallel engine, one
+    /// point per thread count in [`SWEEP_THREADS`].
+    pub early_parallel: Vec<ThreadPoint>,
+    /// Whether all measured thread counts produced bit-identical states,
+    /// black sets, counts, and random-bit tallies after the verification
+    /// run.
+    pub parallel_deterministic: bool,
 }
 
 /// The full report of the scale experiment.
@@ -69,6 +103,9 @@ pub struct ScaleReport {
     pub avg_degree: f64,
     /// Base RNG seed.
     pub seed: u64,
+    /// CPU cores available to this run — the hard ceiling on any parallel
+    /// speedup measured here.
+    pub threads_available: usize,
     /// One row per graph size.
     pub rows: Vec<ScaleRow>,
 }
@@ -80,23 +117,63 @@ impl ScaleReport {
         self.rows.last().map_or(0.0, |r| r.late.speedup)
     }
 
+    /// The best parallel early-phase speedup (over the sequential engine) at
+    /// the largest measured `n`.
+    pub fn headline_parallel_speedup(&self) -> f64 {
+        self.rows.last().map_or(0.0, |r| {
+            r.early_parallel
+                .iter()
+                .map(|p| p.speedup_vs_sequential)
+                .fold(0.0, f64::max)
+        })
+    }
+
+    /// `true` if every row's thread-count determinism verification passed.
+    pub fn all_deterministic(&self) -> bool {
+        self.rows.iter().all(|r| r.parallel_deterministic)
+    }
+
+    /// The row measured at `n`, if any.
+    pub fn row_at(&self, n: usize) -> Option<&ScaleRow> {
+        self.rows.iter().find(|r| r.n == n)
+    }
+
     /// Renders a human-readable fixed-width table.
     pub fn to_pretty(&self) -> String {
         let mut out = format!(
-            "{:>9} {:>10} {:>8} {:>8} {:>13} {:>13} {:>13} {:>9}\n",
-            "n", "m", "rounds", "|A|late", "early fast/s", "late fast/s", "late ref/s", "speedup"
+            "{:>9} {:>10} {:>8} {:>8} {:>13} {:>13} {:>9} {:>22} {:>6}\n",
+            "n",
+            "m",
+            "rounds",
+            "|A|late",
+            "early fast/s",
+            "late fast/s",
+            "late spd",
+            "early par/s (1/2/4/8)",
+            "deter"
         );
         for r in &self.rows {
+            let par = r
+                .early_parallel
+                .iter()
+                .map(|p| format!("{:.0}", p.rounds_per_sec))
+                .collect::<Vec<_>>()
+                .join("/");
             out.push_str(&format!(
-                "{:>9} {:>10} {:>8} {:>8} {:>13.0} {:>13.0} {:>13.1} {:>8.1}x\n",
+                "{:>9} {:>10} {:>8} {:>8} {:>13.0} {:>13.0} {:>8.1}x {:>22} {:>6}\n",
                 r.n,
                 r.m,
                 r.rounds_to_stabilize,
                 r.late_phase_active,
                 r.early.fast_rounds_per_sec,
                 r.late.fast_rounds_per_sec,
-                r.late.reference_rounds_per_sec,
                 r.late.speedup,
+                par,
+                if r.parallel_deterministic {
+                    "ok"
+                } else {
+                    "FAIL"
+                },
             ));
         }
         out
@@ -116,7 +193,9 @@ impl ScaleReport {
 /// timed region) and returns total rounds and wall time. Each replay runs
 /// until stabilization or `max_rounds_per_rep` rounds; if the snapshot is
 /// already stabilized, a replay times `idle_rounds` silent rounds instead
-/// (the engine's steady-state cost).
+/// (the engine's steady-state cost). The snapshot's execution mode is
+/// honored, so a parallel-mode snapshot times the counter-based parallel
+/// path (for which the cloned RNG is ignored).
 fn time_step_path(
     snapshot: &TwoStateProcess<'_>,
     rng_snapshot: &ChaCha8Rng,
@@ -194,14 +273,54 @@ fn throughput(
     }
 }
 
+/// Runs `verify_rounds` counter-based rounds at every sweep thread count
+/// from a clone of `proc` and checks that states, black sets, counts, and
+/// random-bit tallies agree bit for bit.
+fn verify_thread_count_determinism(
+    proc: &TwoStateProcess<'_>,
+    counter_seed: u64,
+    verify_rounds: usize,
+) -> bool {
+    let mut baseline = None;
+    for &threads in &SWEEP_THREADS {
+        let mut replica = proc.clone();
+        replica.set_execution(ExecutionMode::Parallel { threads }, counter_seed);
+        let mut unused = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..verify_rounds {
+            if replica.is_stabilized() {
+                break;
+            }
+            replica.step(&mut unused);
+        }
+        let observation = (
+            replica.states(),
+            replica.black_set(),
+            replica.counts(),
+            replica.random_bits_used(),
+            replica.round(),
+        );
+        match &baseline {
+            None => baseline = Some(observation),
+            Some(expected) => {
+                if &observation != expected {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
 /// Runs the scale measurement for the 2-state process on sparse
 /// `G(n, avg_degree/n)` at each size in `ns`.
 ///
 /// For each `n`: sample the graph, snapshot the initial (early-phase)
 /// configuration, run the fast path until the active count drops to
 /// `n / 64` (the late-phase entry), snapshot again, then measure fast and
-/// reference round throughput from both snapshots. RNG clones guarantee the
-/// fast and reference replays execute the exact same rounds.
+/// reference round throughput from both snapshots, sweep the counter-based
+/// parallel engine over [`SWEEP_THREADS`] from the early snapshot, and
+/// verify thread-count determinism. RNG clones guarantee the fast and
+/// reference replays execute the exact same rounds.
 ///
 /// # Panics
 ///
@@ -209,6 +328,7 @@ fn throughput(
 /// 2-state process on sparse `G(n,p)` stabilizes in polylog rounds w.h.p.).
 pub fn scale_measurement(ns: &[usize], avg_degree: f64, seed: u64) -> ScaleReport {
     let min_time = Duration::from_millis(120);
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows = Vec::new();
     for &n in ns {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ n as u64);
@@ -218,6 +338,30 @@ pub fn scale_measurement(ns: &[usize], avg_degree: f64, seed: u64) -> ScaleRepor
         // Early phase: the initial configuration, roughly half the vertices
         // active. Few rounds per replay — activity decays fast.
         let early = throughput(&proc, &rng, min_time, 40, 3);
+
+        // Counter-based parallel engine from the same early snapshot, one
+        // point per thread count. (Its random trajectory differs from the
+        // sequential stream — counter-based draws — but the workload is the
+        // same high-activity regime.)
+        let counter_seed = seed ^ 0xC0DE ^ n as u64;
+        let early_parallel: Vec<ThreadPoint> = SWEEP_THREADS
+            .iter()
+            .map(|&threads| {
+                let mut snapshot = proc.clone();
+                snapshot.set_execution(ExecutionMode::Parallel { threads }, counter_seed);
+                let (rounds, time) = time_step_path(&snapshot, &rng, false, min_time, 40, 3);
+                let rounds_per_sec = rounds as f64 / time.as_secs_f64().max(1e-9);
+                ThreadPoint {
+                    threads,
+                    rounds_per_sec,
+                    speedup_vs_sequential: rounds_per_sec / early.fast_rounds_per_sec.max(1e-9),
+                }
+            })
+            .collect();
+
+        // Bit-identical states across thread counts, verified on a short
+        // prefix of the parallel run.
+        let parallel_deterministic = verify_thread_count_determinism(&proc, counter_seed, 12);
 
         // Advance (on a clone driven by the same RNG) to the late phase:
         // active count at most n / 64.
@@ -243,21 +387,24 @@ pub fn scale_measurement(ns: &[usize], avg_degree: f64, seed: u64) -> ScaleRepor
             late_phase_active,
             early,
             late,
+            early_parallel,
+            parallel_deterministic,
         });
     }
     ScaleReport {
         avg_degree,
         seed,
+        threads_available,
         rows,
     }
 }
 
 /// The `exp_scale` experiment at the given [`Scale`]: sparse `G(n, 8/n)` at
-/// `n = 10⁵` (quick) or `n ∈ {10⁴, 10⁵, 10⁶}` (full).
+/// `n = 10⁵` (quick) or `n ∈ {10⁴, 10⁵, 10⁶, 10⁷}` (full).
 pub fn exp_scale(scale: Scale) -> ScaleReport {
     let ns: &[usize] = match scale {
         Scale::Quick => &[100_000],
-        Scale::Full => &[10_000, 100_000, 1_000_000],
+        Scale::Full => &[10_000, 100_000, 1_000_000, 10_000_000],
     };
     scale_measurement(ns, 8.0, 20_250)
 }
@@ -273,6 +420,7 @@ mod tests {
         // binary's job — only their plumbing.
         let report = scale_measurement(&[2_000, 4_000], 6.0, 99);
         assert_eq!(report.rows.len(), 2);
+        assert!(report.threads_available >= 1);
         for row in &report.rows {
             assert!(row.m > 0);
             assert!(row.rounds_to_stabilize > 0);
@@ -281,8 +429,22 @@ mod tests {
             assert!(row.late.fast_rounds_per_sec > 0.0);
             assert!(row.late.reference_rounds_per_sec > 0.0);
             assert!(row.late.speedup > 0.0);
+            assert_eq!(row.early_parallel.len(), SWEEP_THREADS.len());
+            for (point, &threads) in row.early_parallel.iter().zip(SWEEP_THREADS.iter()) {
+                assert_eq!(point.threads, threads);
+                assert!(point.rounds_per_sec > 0.0);
+                assert!(point.speedup_vs_sequential > 0.0);
+            }
+            assert!(
+                row.parallel_deterministic,
+                "thread counts must agree bit for bit"
+            );
         }
         assert_eq!(report.headline_speedup(), report.rows[1].late.speedup);
+        assert!(report.headline_parallel_speedup() > 0.0);
+        assert!(report.all_deterministic());
+        assert!(report.row_at(2_000).is_some());
+        assert!(report.row_at(3_000).is_none());
         let json = report.to_json();
         let back: ScaleReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);

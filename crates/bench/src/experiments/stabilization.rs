@@ -7,7 +7,7 @@
 
 use mis_core::init::InitStrategy;
 use mis_sim::runner::run_experiment;
-use mis_sim::spec::{ExperimentSpec, GraphSpec, ProcessSelector};
+use mis_sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec, ProcessSelector};
 use mis_sim::sweep::{run_sweep, SweepTable};
 
 use crate::fit::{polylog_exponent, power_exponent};
@@ -56,6 +56,7 @@ fn spec(
         graph,
         process,
         init: InitStrategy::Random,
+        execution: ExecutionMode::Sequential,
         trials,
         max_rounds: 1_000_000,
         base_seed,

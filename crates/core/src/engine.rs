@@ -36,9 +36,11 @@
 //! per round, independent of `n` and `m` — and `is_stabilized()`/`counts()`
 //! are `O(1)`. (The `log` factor comes from keeping the frontier sorted so
 //! random draws happen in ascending vertex order, which keeps the RNG stream
-//! bit-identical to the full-scan reference implementation.)
+//! bit-identical to the full-scan reference implementation; the parallel
+//! counter-based path skips the sort, because order-independent randomness
+//! makes the draw order irrelevant.)
 //!
-//! # How processes use it
+//! # How processes use it (sequential rounds)
 //!
 //! The engine owns the *state-independent* bookkeeping: the black/non-black
 //! projection, black-neighbor counters, stability tracking, the frontier, and
@@ -61,10 +63,41 @@
 //!    same-blackness changes;
 //! 4. [`flush`](FrontierEngine::flush) — reclassify the dirty vertices,
 //!    update the cached counts, and repair the frontier.
+//!
+//! # Parallel rounds (counter-based randomness)
+//!
+//! When each vertex's randomness is a pure function of
+//! `(seed, vertex, round, draw)` (see [`counter_rng`](crate::counter_rng)),
+//! the draw order stops mattering and a round decomposes into data-parallel
+//! phases separated by joins. All engine storage is atomically typed (see
+//! [`sync`](crate::sync)), so the concurrent phases mutate it through
+//! `&self` without locks; every concurrent write is either a commutative
+//! read-modify-write or a write to a slot owned by exactly one thread, which
+//! is what makes the result **bit-identical for every thread count**:
+//!
+//! 1. [`begin_round_unsorted`](FrontierEngine::begin_round_unsorted) —
+//!    compact the frontier without sorting;
+//! 2. *decide* (parallel over worklist chunks): each thread computes next
+//!    states from old states/counters with counter-based draws, writing its
+//!    chunk's state changes into a thread-local buffer;
+//! 3. *scatter* (parallel over the per-thread change lists):
+//!    [`scatter_black`](FrontierEngine::scatter_black) applies blackness
+//!    flips and neighbor-counter deltas concurrently, deduplicating dirty
+//!    vertices through an atomic test-and-set into per-thread
+//!    [`ScatterSink`]s, then [`commit_scatter`](FrontierEngine::commit_scatter)
+//!    merges the per-thread deltas deterministically;
+//! 4. [`par_flush`](FrontierEngine::par_flush) — a two-pass parallel
+//!    reclassification: pass 1 recomputes stable-black flags and scatters
+//!    their neighbor deltas (the flip set is fully determined by the settled
+//!    counters, so one generation suffices); pass 2 recomputes
+//!    stability/activity/pending flags, accumulates count deltas per thread,
+//!    and repairs the frontier.
 
 use mis_graph::{Graph, VertexId, VertexSet};
 
+use crate::exec::chunk_bounds;
 use crate::process::StateCounts;
+use crate::sync::{AtomicFlagVec, AtomicU32Vec, AtomicU8Vec};
 
 /// How a process's local rule classifies one vertex, given its state and its
 /// current black-neighbor count.
@@ -79,7 +112,7 @@ pub struct VertexClass {
     pub pending: bool,
 }
 
-/// Bit set in [`FrontierEngine::flags`] when the vertex is active.
+/// Bit set in [`FrontierEngine`] flags when the vertex is active.
 const ACTIVE: u8 = 1 << 0;
 /// Bit: the vertex is stable black (black with no black neighbor).
 const STABLE_BLACK: u8 = 1 << 1;
@@ -88,25 +121,36 @@ const STABLE: u8 = 1 << 2;
 /// Bit: the vertex is pending (logically on the frontier).
 const PENDING: u8 = 1 << 3;
 
+/// Per-thread scratch of the concurrent scatter phase: locally collected
+/// dirty vertices and the thread's contribution to the black-count delta.
+/// Merged deterministically by
+/// [`commit_scatter`](FrontierEngine::commit_scatter).
+#[derive(Debug, Default)]
+pub struct ScatterSink {
+    /// Vertices this thread won the dirty-mark race for.
+    dirty: Vec<VertexId>,
+    /// Net change to the number of black vertices from this thread's batch.
+    black_delta: isize,
+}
+
 /// Incremental bookkeeping for one process instance: black projection,
 /// delta-maintained neighbor counters, stability tracking, the active
 /// frontier, and cached [`StateCounts`].
 ///
-/// See the [module documentation](self) for the round protocol and the
-/// complexity contract.
+/// See the [module documentation](self) for the sequential and parallel
+/// round protocols and the complexity contract.
 #[derive(Debug, Clone)]
 pub struct FrontierEngine {
     n: usize,
     /// Blackness projection of the process state (`u ∈ B_t`).
-    black: Vec<bool>,
+    black: AtomicFlagVec,
     /// `black_nbrs[u]` — number of black neighbors of `u`.
-    black_nbrs: Vec<u32>,
+    black_nbrs: AtomicU32Vec,
     /// `stable_black_nbrs[u]` — number of stable-black neighbors of `u`,
     /// maintained so the unstable count updates by deltas.
-    stable_black_nbrs: Vec<u32>,
-    /// Per-vertex flag bits ([`ACTIVE`] | [`STABLE_BLACK`] | [`STABLE`] |
-    /// [`PENDING`]).
-    flags: Vec<u8>,
+    stable_black_nbrs: AtomicU32Vec,
+    /// Per-vertex flag bits (`ACTIVE | STABLE_BLACK | STABLE | PENDING`).
+    flags: AtomicU8Vec,
     /// Cached aggregate counts, kept exact at all times.
     counts: StateCounts,
     /// The frontier container: every pending vertex is in it; entries whose
@@ -114,11 +158,11 @@ pub struct FrontierEngine {
     frontier: Vec<VertexId>,
     /// `frontier_contains[u]` — `u` has an entry in `frontier` (possibly a
     /// stale one awaiting compaction). Guards against duplicate entries.
-    frontier_contains: Vec<bool>,
+    frontier_contains: AtomicFlagVec,
     /// Worklist of vertices whose flags must be recomputed by `flush`.
     dirty: Vec<VertexId>,
     /// `dirty_mark[u]` — `u` is currently queued in `dirty`.
-    dirty_mark: Vec<bool>,
+    dirty_mark: AtomicFlagVec,
 }
 
 impl FrontierEngine {
@@ -127,19 +171,19 @@ impl FrontierEngine {
     pub fn new(n: usize) -> Self {
         FrontierEngine {
             n,
-            black: vec![false; n],
-            black_nbrs: vec![0; n],
-            stable_black_nbrs: vec![0; n],
-            flags: vec![0; n],
+            black: AtomicFlagVec::new(n),
+            black_nbrs: AtomicU32Vec::new(n),
+            stable_black_nbrs: AtomicU32Vec::new(n),
+            flags: AtomicU8Vec::new(n),
             counts: StateCounts {
                 non_black: n,
                 unstable: n,
                 ..StateCounts::default()
             },
             frontier: Vec::new(),
-            frontier_contains: vec![false; n],
+            frontier_contains: AtomicFlagVec::new(n),
             dirty: Vec::new(),
-            dirty_mark: vec![false; n],
+            dirty_mark: AtomicFlagVec::new(n),
         }
     }
 
@@ -153,7 +197,7 @@ impl FrontierEngine {
     /// `O(n + m)`.
     ///
     /// Used at construction time and by the naive reference step paths; the
-    /// incremental round protocol never needs it.
+    /// incremental round protocols never need it.
     ///
     /// # Panics
     ///
@@ -165,46 +209,46 @@ impl FrontierEngine {
     {
         assert_eq!(graph.n(), self.n, "graph size must match the engine");
         for u in 0..self.n {
-            self.black[u] = black(u);
+            self.black.set(u, black(u));
         }
-        self.black_nbrs.iter_mut().for_each(|c| *c = 0);
+        self.black_nbrs.clear_all();
         for u in 0..self.n {
-            if self.black[u] {
+            if self.black.get(u) {
                 for &v in graph.neighbors(u) {
-                    self.black_nbrs[v] += 1;
+                    self.black_nbrs.add(v, 1);
                 }
             }
         }
-        self.stable_black_nbrs.iter_mut().for_each(|c| *c = 0);
+        self.stable_black_nbrs.clear_all();
         for u in 0..self.n {
-            if self.black[u] && self.black_nbrs[u] == 0 {
+            if self.black.get(u) && self.black_nbrs.get(u) == 0 {
                 for &v in graph.neighbors(u) {
-                    self.stable_black_nbrs[v] += 1;
+                    self.stable_black_nbrs.add(v, 1);
                 }
             }
         }
         self.counts = StateCounts::default();
         self.frontier.clear();
         self.dirty.clear();
-        self.dirty_mark.iter_mut().for_each(|d| *d = false);
+        self.dirty_mark.clear_all();
         for u in 0..self.n {
             let mut f = 0u8;
-            if self.black[u] {
+            if self.black.get(u) {
                 self.counts.black += 1;
             } else {
                 self.counts.non_black += 1;
             }
-            let stable_black = self.black[u] && self.black_nbrs[u] == 0;
+            let stable_black = self.black.get(u) && self.black_nbrs.get(u) == 0;
             if stable_black {
                 f |= STABLE_BLACK;
                 self.counts.stable_black += 1;
             }
-            if stable_black || self.stable_black_nbrs[u] > 0 {
+            if stable_black || self.stable_black_nbrs.get(u) > 0 {
                 f |= STABLE;
             } else {
                 self.counts.unstable += 1;
             }
-            let class = classify(u, self.black_nbrs[u]);
+            let class = classify(u, self.black_nbrs.get(u));
             debug_assert!(
                 class.pending || !class.active,
                 "active vertices must be pending"
@@ -217,32 +261,49 @@ impl FrontierEngine {
                 f |= PENDING;
                 self.frontier.push(u);
             }
-            self.frontier_contains[u] = class.pending;
-            self.flags[u] = f;
+            self.frontier_contains.set(u, class.pending);
+            self.flags.set(u, f);
         }
         // Pushing in vertex order leaves the frontier already sorted.
+    }
+
+    /// Compacts the frontier (dropping vertices that stopped pending) and
+    /// copies it into `out`, sorting it in ascending vertex order when
+    /// `sort` is set.
+    fn begin_round_impl(&mut self, out: &mut Vec<VertexId>, sort: bool) {
+        debug_assert!(self.dirty.is_empty(), "flush must run before begin_round");
+        let flags = &self.flags;
+        let contains = &self.frontier_contains;
+        self.frontier.retain(|&u| {
+            if flags.get(u) & PENDING != 0 {
+                true
+            } else {
+                contains.set(u, false);
+                false
+            }
+        });
+        if sort {
+            self.frontier.sort_unstable();
+        }
+        out.clear();
+        out.extend_from_slice(&self.frontier);
     }
 
     /// Compacts the frontier (dropping vertices that stopped pending), sorts
     /// it in ascending vertex order, and copies it into `out`.
     ///
     /// The copy lets the caller iterate the round's worklist while mutating
-    /// the engine; `O(|A_t| log |A_t|)`.
+    /// the engine; `O(|A_t| log |A_t|)`. Sequential rounds need the order so
+    /// the shared RNG stream is drawn in ascending vertex id.
     pub fn begin_round(&mut self, out: &mut Vec<VertexId>) {
-        debug_assert!(self.dirty.is_empty(), "flush must run before begin_round");
-        let flags = &self.flags;
-        let contains = &mut self.frontier_contains;
-        self.frontier.retain(|&u| {
-            if flags[u] & PENDING != 0 {
-                true
-            } else {
-                contains[u] = false;
-                false
-            }
-        });
-        self.frontier.sort_unstable();
-        out.clear();
-        out.extend_from_slice(&self.frontier);
+        self.begin_round_impl(out, true);
+    }
+
+    /// Like [`begin_round`](Self::begin_round) but without the sort:
+    /// `O(|A_t|)`. Correct only when the round's randomness does not depend
+    /// on draw order (the counter-based parallel path).
+    pub fn begin_round_unsorted(&mut self, out: &mut Vec<VertexId>) {
+        self.begin_round_impl(out, false);
     }
 
     /// Records that vertex `u`'s blackness changed: updates the cached black
@@ -254,10 +315,10 @@ impl FrontierEngine {
     /// black/non-black boundary).
     pub fn set_black(&mut self, graph: &Graph, u: VertexId, black: bool) {
         self.mark_dirty(u);
-        if self.black[u] == black {
+        if self.black.get(u) == black {
             return;
         }
-        self.black[u] = black;
+        self.black.set(u, black);
         if black {
             self.counts.black += 1;
             self.counts.non_black -= 1;
@@ -267,9 +328,9 @@ impl FrontierEngine {
         }
         for &v in graph.neighbors(u) {
             if black {
-                self.black_nbrs[v] += 1;
+                self.black_nbrs.add(v, 1);
             } else {
-                self.black_nbrs[v] -= 1;
+                self.black_nbrs.sub(v, 1);
             }
             self.mark_dirty(v);
         }
@@ -280,10 +341,57 @@ impl FrontierEngine {
     /// blackness flip (e.g. the 3-state process's `black1` counters).
     #[inline]
     pub fn mark_dirty(&mut self, u: VertexId) {
-        if !self.dirty_mark[u] {
-            self.dirty_mark[u] = true;
+        if !self.dirty_mark.test_and_set(u) {
             self.dirty.push(u);
         }
+    }
+
+    /// Concurrent counterpart of [`set_black`](Self::set_black), callable
+    /// through `&self` from the parallel scatter phase: each changed vertex
+    /// must be submitted by exactly one thread. Counter updates are
+    /// commutative atomics, dirty vertices are deduplicated through the
+    /// shared mark and collected into the caller's [`ScatterSink`], and the
+    /// black-count delta is accumulated locally; pass the sinks to
+    /// [`commit_scatter`](Self::commit_scatter) afterwards.
+    pub fn scatter_black(&self, graph: &Graph, u: VertexId, black: bool, sink: &mut ScatterSink) {
+        self.mark_dirty_concurrent(u, sink);
+        if self.black.get(u) == black {
+            return;
+        }
+        self.black.set(u, black);
+        sink.black_delta += if black { 1 } else { -1 };
+        for &v in graph.neighbors(u) {
+            if black {
+                self.black_nbrs.add(v, 1);
+            } else {
+                self.black_nbrs.sub(v, 1);
+            }
+            self.mark_dirty_concurrent(v, sink);
+        }
+    }
+
+    /// Concurrent counterpart of [`mark_dirty`](Self::mark_dirty): wins the
+    /// per-vertex mark race at most once across all threads and records the
+    /// vertex in the caller's sink.
+    #[inline]
+    pub fn mark_dirty_concurrent(&self, u: VertexId, sink: &mut ScatterSink) {
+        if !self.dirty_mark.test_and_set(u) {
+            sink.dirty.push(u);
+        }
+    }
+
+    /// Merges the per-thread [`ScatterSink`]s of one scatter phase into the
+    /// engine: applies the black-count delta and queues the collected dirty
+    /// vertices. Deterministic regardless of how the work was partitioned
+    /// (the delta is a sum; the dirty set is mark-deduplicated).
+    pub fn commit_scatter<I: IntoIterator<Item = ScatterSink>>(&mut self, sinks: I) {
+        let mut delta = 0isize;
+        for sink in sinks {
+            delta += sink.black_delta;
+            self.dirty.extend_from_slice(&sink.dirty);
+        }
+        self.counts.black = (self.counts.black as isize + delta) as usize;
+        self.counts.non_black = (self.counts.non_black as isize - delta) as usize;
     }
 
     /// Reclassifies every dirty vertex, updating stability bookkeeping,
@@ -299,11 +407,11 @@ impl FrontierEngine {
         while head < self.dirty.len() {
             let u = self.dirty[head];
             head += 1;
-            self.dirty_mark[u] = false;
+            self.dirty_mark.set(u, false);
 
-            let stable_black = self.black[u] && self.black_nbrs[u] == 0;
-            if stable_black != (self.flags[u] & STABLE_BLACK != 0) {
-                self.flags[u] ^= STABLE_BLACK;
+            let stable_black = self.black.get(u) && self.black_nbrs.get(u) == 0;
+            if stable_black != (self.flags.get(u) & STABLE_BLACK != 0) {
+                self.flags.xor(u, STABLE_BLACK);
                 if stable_black {
                     self.counts.stable_black += 1;
                 } else {
@@ -311,17 +419,17 @@ impl FrontierEngine {
                 }
                 for &v in graph.neighbors(u) {
                     if stable_black {
-                        self.stable_black_nbrs[v] += 1;
+                        self.stable_black_nbrs.add(v, 1);
                     } else {
-                        self.stable_black_nbrs[v] -= 1;
+                        self.stable_black_nbrs.sub(v, 1);
                     }
                     self.mark_dirty(v);
                 }
             }
 
-            let stable = stable_black || self.stable_black_nbrs[u] > 0;
-            if stable != (self.flags[u] & STABLE != 0) {
-                self.flags[u] ^= STABLE;
+            let stable = stable_black || self.stable_black_nbrs.get(u) > 0;
+            if stable != (self.flags.get(u) & STABLE != 0) {
+                self.flags.xor(u, STABLE);
                 if stable {
                     self.counts.unstable -= 1;
                 } else {
@@ -329,23 +437,22 @@ impl FrontierEngine {
                 }
             }
 
-            let class = classify(u, self.black_nbrs[u]);
+            let class = classify(u, self.black_nbrs.get(u));
             debug_assert!(
                 class.pending || !class.active,
                 "active vertices must be pending"
             );
-            if class.active != (self.flags[u] & ACTIVE != 0) {
-                self.flags[u] ^= ACTIVE;
+            if class.active != (self.flags.get(u) & ACTIVE != 0) {
+                self.flags.xor(u, ACTIVE);
                 if class.active {
                     self.counts.active += 1;
                 } else {
                     self.counts.active -= 1;
                 }
             }
-            if class.pending != (self.flags[u] & PENDING != 0) {
-                self.flags[u] ^= PENDING;
-                if class.pending && !self.frontier_contains[u] {
-                    self.frontier_contains[u] = true;
+            if class.pending != (self.flags.get(u) & PENDING != 0) {
+                self.flags.xor(u, PENDING);
+                if class.pending && !self.frontier_contains.test_and_set(u) {
                     self.frontier.push(u);
                 }
                 // A vertex that stopped pending keeps its (now stale) entry
@@ -353,6 +460,187 @@ impl FrontierEngine {
             }
         }
         self.dirty.clear();
+    }
+
+    /// Runs one complete counter-based parallel round over `worklist`: the
+    /// chunked decide phase, the concurrent scatter phase, the deterministic
+    /// commit, and the two-pass [`par_flush`](Self::par_flush). Returns the
+    /// total number of random draws reported by the decide closures.
+    ///
+    /// This is the shared driver behind every process's parallel `step`; it
+    /// keeps the phase ordering and the empty-worklist handling in one
+    /// place. `decide` maps one worklist chunk to its state changes (of the
+    /// process-specific change type `Ch`), writing new states as it goes
+    /// (safe: only the decided vertex's state is written, and nothing reads
+    /// other vertices' states in this phase) and returning its draw count;
+    /// `scatter` applies one change's neighbor deltas through the engine's
+    /// concurrent primitives ([`scatter_black`](Self::scatter_black) /
+    /// [`mark_dirty_concurrent`](Self::mark_dirty_concurrent)) into the
+    /// per-thread sink.
+    ///
+    /// Each phase builds its own (stand-in) thread pool sized to its actual
+    /// chunk count: pool construction is free here — the vendored rayon
+    /// spawns scoped threads per `broadcast` call — and sizing per phase is
+    /// what keeps sub-threshold phases (e.g. the near-empty late
+    /// stabilization tail) on the inline no-spawn path.
+    pub fn par_round<Ch, D, S, C>(
+        &mut self,
+        graph: &Graph,
+        worklist: &[VertexId],
+        threads: usize,
+        decide: D,
+        scatter: S,
+        classify: C,
+    ) -> u64
+    where
+        Ch: Send + Sync,
+        D: Fn(&Self, &[VertexId], &mut Vec<Ch>) -> u64 + Sync,
+        S: Fn(&Self, &Ch, &mut ScatterSink) + Sync,
+        C: Fn(VertexId, u32) -> VertexClass + Sync,
+    {
+        let bounds = chunk_bounds(worklist.len(), threads);
+        let mut draws_total = 0u64;
+        if !bounds.is_empty() {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(bounds.len())
+                .build()
+                .expect("thread pool construction is infallible");
+            let engine = &*self;
+            // Decide phase.
+            let decided: Vec<(Vec<Ch>, u64)> = pool.broadcast(|ctx| {
+                let (lo, hi) = bounds[ctx.index()];
+                let mut changes = Vec::new();
+                let draws = decide(engine, &worklist[lo..hi], &mut changes);
+                (changes, draws)
+            });
+            // Scatter phase.
+            let sinks: Vec<ScatterSink> = pool.broadcast(|ctx| {
+                let mut sink = ScatterSink::default();
+                for change in &decided[ctx.index()].0 {
+                    scatter(engine, change, &mut sink);
+                }
+                sink
+            });
+            draws_total = decided.iter().map(|(_, draws)| *draws).sum();
+            self.commit_scatter(sinks);
+        }
+        self.par_flush(graph, threads, classify);
+        draws_total
+    }
+
+    /// Parallel counterpart of [`flush`](Self::flush): reclassifies the
+    /// dirty set on `threads` threads in two passes.
+    ///
+    /// Pass 1 recomputes the stable-black flag of every dirty vertex and
+    /// scatters the flips' neighbor deltas; one generation suffices because
+    /// a vertex's stable-black status depends only on the (already settled)
+    /// blackness and black-neighbor counters, so only scatter-dirty vertices
+    /// can flip. Pass 2 recomputes the stability/activity/pending flags of
+    /// the dirty set plus the pass-1 targets, accumulating count deltas per
+    /// thread and collecting new frontier entries per thread; both merges
+    /// are order-insensitive sums/unions, so the result is identical for
+    /// every thread count.
+    pub fn par_flush<C>(&mut self, graph: &Graph, threads: usize, classify: C)
+    where
+        C: Fn(VertexId, u32) -> VertexClass + Sync,
+    {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let mut dirty = std::mem::take(&mut self.dirty);
+
+        // Pass 1: stable-black recompute + neighbor-delta scatter.
+        let bounds = chunk_bounds(dirty.len(), threads);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(bounds.len())
+            .build()
+            .expect("thread pool construction is infallible");
+        let black = &self.black;
+        let black_nbrs = &self.black_nbrs;
+        let stable_black_nbrs = &self.stable_black_nbrs;
+        let flags = &self.flags;
+        let dirty_mark = &self.dirty_mark;
+        let dirty_ref = &dirty;
+        let pass1: Vec<(isize, Vec<VertexId>)> = pool.broadcast(|ctx| {
+            let (lo, hi) = bounds[ctx.index()];
+            let mut stable_black_delta = 0isize;
+            let mut wave2 = Vec::new();
+            for &u in &dirty_ref[lo..hi] {
+                let stable_black = black.get(u) && black_nbrs.get(u) == 0;
+                if stable_black != (flags.get(u) & STABLE_BLACK != 0) {
+                    flags.xor(u, STABLE_BLACK);
+                    stable_black_delta += if stable_black { 1 } else { -1 };
+                    for &v in graph.neighbors(u) {
+                        if stable_black {
+                            stable_black_nbrs.add(v, 1);
+                        } else {
+                            stable_black_nbrs.sub(v, 1);
+                        }
+                        if !dirty_mark.test_and_set(v) {
+                            wave2.push(v);
+                        }
+                    }
+                }
+            }
+            (stable_black_delta, wave2)
+        });
+        let mut stable_black_delta = 0isize;
+        for (delta, wave2) in pass1 {
+            stable_black_delta += delta;
+            dirty.extend_from_slice(&wave2);
+        }
+        self.counts.stable_black =
+            (self.counts.stable_black as isize + stable_black_delta) as usize;
+
+        // Pass 2: stability/activity/pending recompute over dirty + wave 2.
+        let bounds = chunk_bounds(dirty.len(), threads);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(bounds.len())
+            .build()
+            .expect("thread pool construction is infallible");
+        let frontier_contains = &self.frontier_contains;
+        let dirty_ref = &dirty;
+        let classify = &classify;
+        let pass2: Vec<(isize, isize, Vec<VertexId>)> = pool.broadcast(|ctx| {
+            let (lo, hi) = bounds[ctx.index()];
+            let mut unstable_delta = 0isize;
+            let mut active_delta = 0isize;
+            let mut frontier_adds = Vec::new();
+            for &u in &dirty_ref[lo..hi] {
+                dirty_mark.set(u, false);
+                let f = flags.get(u);
+                let stable_black = f & STABLE_BLACK != 0;
+                let stable = stable_black || stable_black_nbrs.get(u) > 0;
+                if stable != (f & STABLE != 0) {
+                    flags.xor(u, STABLE);
+                    unstable_delta += if stable { -1 } else { 1 };
+                }
+                let class = classify(u, black_nbrs.get(u));
+                debug_assert!(
+                    class.pending || !class.active,
+                    "active vertices must be pending"
+                );
+                if class.active != (f & ACTIVE != 0) {
+                    flags.xor(u, ACTIVE);
+                    active_delta += if class.active { 1 } else { -1 };
+                }
+                if class.pending != (f & PENDING != 0) {
+                    flags.xor(u, PENDING);
+                    if class.pending && !frontier_contains.test_and_set(u) {
+                        frontier_adds.push(u);
+                    }
+                }
+            }
+            (unstable_delta, active_delta, frontier_adds)
+        });
+        for (unstable_delta, active_delta, frontier_adds) in pass2 {
+            self.counts.unstable = (self.counts.unstable as isize + unstable_delta) as usize;
+            self.counts.active = (self.counts.active as isize + active_delta) as usize;
+            self.frontier.extend_from_slice(&frontier_adds);
+        }
+
+        dirty.clear();
+        self.dirty = dirty;
     }
 
     /// The cached per-round counts; `O(1)`.
@@ -371,38 +659,38 @@ impl FrontierEngine {
     /// Whether `u` is currently black.
     #[inline]
     pub fn is_black(&self, u: VertexId) -> bool {
-        self.black[u]
+        self.black.get(u)
     }
 
     /// Number of black neighbors of `u` (delta-maintained).
     #[inline]
     pub fn black_neighbor_count(&self, u: VertexId) -> usize {
-        self.black_nbrs[u] as usize
+        self.black_nbrs.get(u) as usize
     }
 
     /// Whether `u` is active (cached classification).
     #[inline]
     pub fn is_active(&self, u: VertexId) -> bool {
-        self.flags[u] & ACTIVE != 0
+        self.flags.get(u) & ACTIVE != 0
     }
 
     /// Whether `u` is stable black: black with no black neighbor.
     #[inline]
     pub fn is_stable_black(&self, u: VertexId) -> bool {
-        self.flags[u] & STABLE_BLACK != 0
+        self.flags.get(u) & STABLE_BLACK != 0
     }
 
     /// Whether `u` is stable: stable black or adjacent to a stable black
     /// vertex.
     #[inline]
     pub fn is_stable(&self, u: VertexId) -> bool {
-        self.flags[u] & STABLE != 0
+        self.flags.get(u) & STABLE != 0
     }
 
     /// Whether `u` is on the frontier (its update rule may fire next round).
     #[inline]
     pub fn is_pending(&self, u: VertexId) -> bool {
-        self.flags[u] & PENDING != 0
+        self.flags.get(u) & PENDING != 0
     }
 
     /// Number of pending vertices (the logical frontier size).
@@ -412,7 +700,7 @@ impl FrontierEngine {
 
     /// The current set of black vertices `B_t`.
     pub fn black_set(&self) -> VertexSet {
-        VertexSet::from_flags(&self.black)
+        VertexSet::from_indices(self.n, (0..self.n).filter(|&u| self.black.get(u)))
     }
 
     /// The current set of active vertices `A_t`.
@@ -443,7 +731,7 @@ mod tests {
 
     /// Pending iff active iff "black with black neighbor or white with no
     /// black neighbor" — the 2-state rule, used here as a stand-in local rule.
-    fn two_state_like(black: &[bool]) -> impl Fn(VertexId, u32) -> VertexClass + '_ {
+    fn two_state_like(black: &[bool]) -> impl Fn(VertexId, u32) -> VertexClass + Sync + '_ {
         move |u, bn| {
             let active = if black[u] { bn > 0 } else { bn == 0 };
             VertexClass {
@@ -504,6 +792,56 @@ mod tests {
     }
 
     #[test]
+    fn scatter_and_par_flush_match_sequential_path() {
+        // Apply the same batch of blackness flips through set_black + flush
+        // and through scatter_black + commit_scatter + par_flush (at several
+        // thread counts); all bookkeeping must agree.
+        let g = generators::grid(5, 5);
+        let black = vec![false; 25];
+        let batch: Vec<(VertexId, bool)> = vec![(0, true), (6, true), (12, true), (13, true)];
+
+        let mut sequential = FrontierEngine::new(25);
+        sequential.rebuild(&g, |u| black[u], two_state_like(&black));
+        let mut after = black.clone();
+        for &(u, b) in &batch {
+            after[u] = b;
+        }
+        for &(u, b) in &batch {
+            sequential.set_black(&g, u, b);
+        }
+        sequential.flush(&g, two_state_like(&after));
+
+        for threads in [1usize, 2, 4] {
+            let mut parallel = FrontierEngine::new(25);
+            parallel.rebuild(&g, |u| black[u], two_state_like(&black));
+            let mut sink = ScatterSink::default();
+            for &(u, b) in &batch {
+                parallel.scatter_black(&g, u, b, &mut sink);
+            }
+            parallel.commit_scatter([sink]);
+            parallel.par_flush(&g, threads, two_state_like(&after));
+
+            for u in 0..25 {
+                assert_eq!(
+                    parallel.black_neighbor_count(u),
+                    sequential.black_neighbor_count(u),
+                    "threads {threads}, vertex {u}"
+                );
+                assert_eq!(parallel.is_active(u), sequential.is_active(u));
+                assert_eq!(parallel.is_stable(u), sequential.is_stable(u));
+                assert_eq!(parallel.is_stable_black(u), sequential.is_stable_black(u));
+                assert_eq!(parallel.is_pending(u), sequential.is_pending(u));
+            }
+            assert_eq!(parallel.counts(), sequential.counts(), "threads {threads}");
+            let mut wl_par = Vec::new();
+            let mut wl_seq = Vec::new();
+            parallel.begin_round(&mut wl_par);
+            sequential.begin_round(&mut wl_seq);
+            assert_eq!(wl_par, wl_seq, "threads {threads}");
+        }
+    }
+
+    #[test]
     fn begin_round_is_sorted_and_deduplicated() {
         let g = generators::complete(6);
         let black = vec![true; 6];
@@ -522,6 +860,11 @@ mod tests {
         e.flush(&g, two_state_like(&black2));
         e.begin_round(&mut out);
         assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+        // The unsorted variant returns the same set.
+        let mut unsorted = Vec::new();
+        e.begin_round_unsorted(&mut unsorted);
+        unsorted.sort_unstable();
+        assert_eq!(unsorted, vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -30,6 +30,16 @@
 //! path that is bit-identical (same states, same RNG stream) and serves as
 //! the oracle for the engine's trace-equality tests.
 //!
+//! Each process supports two [`ExecutionMode`]s. The default
+//! `Sequential` mode draws every coin from one shared RNG stream in
+//! ascending vertex order (the `step_reference` contract above). `Parallel`
+//! mode switches to **counter-based per-vertex randomness**
+//! ([`counter_rng`]): each vertex's coin is a pure function of
+//! `(run_seed, vertex, round, draw)`, draw order becomes irrelevant, rounds
+//! run in data-parallel phases, and the results are **bit-identical for
+//! every thread count**. Vertex states are stored bit-packed at 2 bits per
+//! vertex ([`packed`]).
+//!
 //! # Example
 //!
 //! ```
@@ -48,16 +58,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counter_rng;
 pub mod engine;
+pub mod exec;
 pub mod init;
 mod log_switch;
+pub mod packed;
 mod process;
+pub mod sync;
 mod three_color;
 mod three_state;
 mod two_state;
 
-pub use engine::{FrontierEngine, VertexClass};
+pub use counter_rng::CounterRng;
+pub use engine::{FrontierEngine, ScatterSink, VertexClass};
+pub use exec::ExecutionMode;
 pub use log_switch::{FixedPeriodSwitch, RandomizedLogSwitch, SwitchProcess, DEFAULT_ZETA};
+pub use packed::PackedStates;
 pub use process::{Process, StabilizationTimeout, StateCounts};
 pub use three_color::{ThreeColor, ThreeColorProcess, LOG_SWITCH_A};
 pub use three_state::{ThreeState, ThreeStateProcess};

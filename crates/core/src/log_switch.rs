@@ -1,6 +1,8 @@
 use mis_graph::{Graph, VertexId};
 use rand::{Rng, RngCore};
 
+use crate::counter_rng::{CounterRng, DRAW_SWITCH};
+use crate::exec::chunk_bounds;
 use crate::init::InitStrategy;
 
 /// Default value of the switch probability parameter `ζ`.
@@ -26,12 +28,22 @@ pub const DEFAULT_ZETA: f64 = 1.0 / 128.0;
 /// [`RandomizedLogSwitch`] satisfies them w.h.p. (Lemma 27);
 /// [`FixedPeriodSwitch`] is a deterministic oracle used for tests and
 /// ablations.
-pub trait SwitchProcess {
+///
+/// `Sync` is a supertrait so the 3-color process's parallel decide phase
+/// can read `is_on` from multiple threads.
+pub trait SwitchProcess: Sync {
     /// Number of vertices.
     fn n(&self) -> usize;
 
     /// Executes one synchronous round of the switch.
     fn step(&mut self, rng: &mut dyn RngCore);
+
+    /// Executes one synchronous round with counter-based randomness: every
+    /// coin is the pure function `counter(vertex, round, DRAW_SWITCH)` of
+    /// the switch's own round number, so the result is independent of
+    /// evaluation order and `threads`. The level update is data-parallel
+    /// over vertex ranges.
+    fn step_counter(&mut self, counter: &CounterRng, threads: usize);
 
     /// The switch output `σ_t(u)` for the current round: `true` means `on`.
     fn is_on(&self, u: VertexId) -> bool;
@@ -180,6 +192,57 @@ impl SwitchProcess for RandomizedLogSwitch<'_> {
         self.round += 1;
     }
 
+    fn step_counter(&mut self, counter: &CounterRng, threads: usize) {
+        let round = self.round as u64;
+        let zeta = self.zeta;
+        let bounds = chunk_bounds(self.n(), threads);
+        let mut draw_counts = vec![0u64; bounds.len()];
+        {
+            let levels = &self.levels;
+            let graph = self.graph;
+            let counter = *counter;
+            rayon::scope(|s| {
+                let mut next_rest: &mut [u8] = &mut self.next;
+                let mut draws_rest: &mut [u64] = &mut draw_counts;
+                for &(lo, hi) in &bounds {
+                    let (chunk, tail) = next_rest.split_at_mut(hi - lo);
+                    next_rest = tail;
+                    let (draws_slot, draws_tail) = draws_rest.split_at_mut(1);
+                    draws_rest = draws_tail;
+                    s.spawn(move |_| {
+                        let mut draws = 0u64;
+                        for (i, slot) in chunk.iter_mut().enumerate() {
+                            let u = lo + i;
+                            let lvl = levels[u];
+                            let reset = if lvl == 5 {
+                                draws += 7; // ζ = 2⁻⁷ needs at most 7 bits
+                                !counter.gen_bool(zeta, u as u64, round, DRAW_SWITCH)
+                            } else {
+                                false
+                            };
+                            *slot = if reset || lvl == 0 {
+                                5
+                            } else {
+                                let max_nbr = graph
+                                    .neighbors(u)
+                                    .iter()
+                                    .map(|&v| levels[v])
+                                    .max()
+                                    .unwrap_or(0)
+                                    .max(lvl);
+                                max_nbr - 1
+                            };
+                        }
+                        draws_slot[0] = draws;
+                    });
+                }
+            });
+        }
+        self.random_bits += draw_counts.iter().sum::<u64>();
+        std::mem::swap(&mut self.levels, &mut self.next);
+        self.round += 1;
+    }
+
     fn is_on(&self, u: VertexId) -> bool {
         self.levels[u] <= 2
     }
@@ -232,6 +295,11 @@ impl SwitchProcess for FixedPeriodSwitch {
     }
 
     fn step(&mut self, _rng: &mut dyn RngCore) {
+        self.round += 1;
+    }
+
+    fn step_counter(&mut self, _counter: &CounterRng, _threads: usize) {
+        // The oracle switch is deterministic: counter mode is the same step.
         self.round += 1;
     }
 
@@ -389,6 +457,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn counter_step_is_thread_count_invariant() {
+        // n above the parallel-work threshold so the chunking actually
+        // differs between thread counts.
+        let g = generators::path(5000);
+        let mut r = rng(9);
+        let base = RandomizedLogSwitch::with_init(&g, InitStrategy::Random, 0.25, &mut r);
+        let counter = CounterRng::new(5);
+        let mut outputs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut sw = base.clone();
+            for _ in 0..40 {
+                sw.step_counter(&counter, threads);
+            }
+            outputs.push((sw.levels.clone(), sw.random_bits_used(), sw.round()));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+        // Counter rounds keep levels in range.
+        assert!(outputs[0].0.iter().all(|&l| l <= 5));
     }
 
     #[test]

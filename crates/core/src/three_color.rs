@@ -2,9 +2,12 @@ use mis_graph::{Graph, VertexId, VertexSet};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
+use crate::counter_rng::{CounterRng, DRAW_STATE};
 use crate::engine::{FrontierEngine, VertexClass};
+use crate::exec::ExecutionMode;
 use crate::init::InitStrategy;
 use crate::log_switch::{RandomizedLogSwitch, SwitchProcess, DEFAULT_ZETA};
+use crate::packed::PackedStates;
 use crate::process::{Process, StateCounts};
 
 /// The switch parameter `a` used by the paper when instantiating the 3-color
@@ -31,13 +34,34 @@ impl ThreeColor {
     pub fn is_black(self) -> bool {
         matches!(self, ThreeColor::Black)
     }
+
+    /// The 2-bit code used by the packed state storage.
+    #[inline]
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            ThreeColor::White => 0,
+            ThreeColor::Black => 1,
+            ThreeColor::Gray => 2,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    #[inline]
+    pub(crate) fn from_code(code: u8) -> Self {
+        match code {
+            0 => ThreeColor::White,
+            1 => ThreeColor::Black,
+            2 => ThreeColor::Gray,
+            other => unreachable!("invalid 3-color code {other}"),
+        }
+    }
 }
 
 /// The 3-color local rule. Black/white vertices are active (and pending) by
 /// the 2-state rule; gray vertices never draw but stay pending while they
 /// wait for their switch to release them to white.
-fn classify(colors: &[ThreeColor]) -> impl Fn(VertexId, u32) -> VertexClass + '_ {
-    move |u, black_nbrs| match colors[u] {
+fn classify(colors: &PackedStates) -> impl Fn(VertexId, u32) -> VertexClass + Sync + '_ {
+    move |u, black_nbrs| match ThreeColor::from_code(colors.get(u)) {
         ThreeColor::Black => {
             let a = black_nbrs > 0;
             VertexClass {
@@ -75,13 +99,25 @@ fn classify(colors: &[ThreeColor]) -> impl Fn(VertexId, u32) -> VertexClass + '_
 /// 3 × 6 = 18 states per vertex and stabilizes in polylog rounds on `G(n,p)`
 /// for **every** `0 ≤ p ≤ 1` (Theorem 3 / Theorem 32).
 ///
-/// The color update runs through the incremental [`FrontierEngine`]
+/// Colors are stored bit-packed (2 bits per vertex) and the color update
+/// runs through the incremental [`FrontierEngine`]
 /// (`O(|A_t| + |Γ_t| + vol(A_t))` per round, `O(1)`
 /// [`is_stabilized`](Process::is_stabilized)); the switch sub-process is a
 /// phase clock that advances every vertex every round, so its `O(n)` step
-/// dominates once the color dynamics are quiet.
+/// dominates once the color dynamics are quiet (in parallel mode that `O(n)`
+/// is data-parallel too).
 /// [`step_reference`](ThreeColorProcess::step_reference) retains the naive
 /// full-scan color update for differential testing.
+///
+/// # Execution modes
+///
+/// Sequential mode (the default) draws all coins — colors and switch — from
+/// the shared stream in ascending vertex order; after
+/// [`set_execution`](Self::set_execution) with
+/// [`ExecutionMode::Parallel`], both sub-processes use counter-based draws
+/// (`DRAW_STATE` for colors, `DRAW_SWITCH` for the switch), the shared RNG
+/// argument is ignored, and results are bit-identical for every thread
+/// count.
 ///
 /// # Example
 ///
@@ -100,9 +136,11 @@ fn classify(colors: &[ThreeColor]) -> impl Fn(VertexId, u32) -> VertexClass + '_
 #[derive(Debug, Clone)]
 pub struct ThreeColorProcess<'g, S> {
     graph: &'g Graph,
-    colors: Vec<ThreeColor>,
+    colors: PackedStates,
     engine: FrontierEngine,
     switch: S,
+    mode: ExecutionMode,
+    counter: CounterRng,
     round: usize,
     random_bits: u64,
     worklist: Vec<VertexId>,
@@ -145,8 +183,10 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         let mut p = ThreeColorProcess {
             engine: FrontierEngine::new(graph.n()),
             graph,
-            colors,
+            colors: PackedStates::from_codes(colors.into_iter().map(ThreeColor::code)),
             switch,
+            mode: ExecutionMode::Sequential,
+            counter: CounterRng::new(0),
             round: 0,
             random_bits: 0,
             worklist: Vec::new(),
@@ -154,6 +194,19 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         };
         p.rebuild_engine();
         p
+    }
+
+    /// Selects the execution mode for subsequent rounds and (re-)keys the
+    /// counter-based RNG with `run_seed` (shared by the color and switch
+    /// sub-processes, which draw on disjoint draw indices).
+    pub fn set_execution(&mut self, mode: ExecutionMode, run_seed: u64) {
+        self.mode = mode;
+        self.counter = CounterRng::new(run_seed);
+    }
+
+    /// The current execution mode.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.mode
     }
 
     /// The underlying graph.
@@ -184,12 +237,13 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
     ///
     /// Panics if `u` is out of range.
     pub fn color(&self, u: VertexId) -> ThreeColor {
-        self.colors[u]
+        assert!(u < self.n(), "vertex {u} out of range");
+        ThreeColor::from_code(self.colors.get(u))
     }
 
-    /// The full color vector.
-    pub fn colors(&self) -> &[ThreeColor] {
-        &self.colors
+    /// The full color vector, materialized from the packed storage in `O(n)`.
+    pub fn colors(&self) -> Vec<ThreeColor> {
+        self.colors.decode(ThreeColor::from_code)
     }
 
     /// Number of black neighbors of `u` (delta-maintained).
@@ -203,7 +257,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
             self.n(),
             self.graph
                 .vertices()
-                .filter(|&u| self.colors[u] == ThreeColor::Gray),
+                .filter(|&u| self.color(u) == ThreeColor::Gray),
         )
     }
 
@@ -215,10 +269,10 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
     ///
     /// Panics if `u` is out of range.
     pub fn set_color(&mut self, u: VertexId, color: ThreeColor) {
-        if self.colors[u] == color {
+        if self.color(u) == color {
             return;
         }
-        self.colors[u] = color;
+        self.colors.set(u, color.code());
         self.engine.set_black(self.graph, u, color.is_black());
         let colors = &self.colors;
         self.engine.flush(self.graph, classify(colors));
@@ -243,20 +297,20 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
 
     /// Executes one synchronous round with the naive full-scan reference
     /// implementation (`O(n + m)`): identical colors, switch evolution, and
-    /// RNG stream as [`step`](Process::step), retained as the oracle for the
-    /// engine's trace-equality tests.
+    /// RNG stream as a sequential-mode [`step`](Process::step), retained as
+    /// the oracle for the engine's trace-equality tests.
     pub fn step_reference(&mut self, rng: &mut dyn RngCore) {
         let mut black_nbrs = vec![0u32; self.n()];
         for u in self.graph.vertices() {
-            if self.colors[u].is_black() {
+            if ThreeColor::from_code(self.colors.get(u)).is_black() {
                 for &v in self.graph.neighbors(u) {
                     black_nbrs[v] += 1;
                 }
             }
         }
-        let mut next = self.colors.clone();
+        let next = self.colors.clone();
         for u in self.graph.vertices() {
-            next[u] = match self.colors[u] {
+            let new = match ThreeColor::from_code(self.colors.get(u)) {
                 ThreeColor::Black if black_nbrs[u] > 0 => {
                     self.random_bits += 1;
                     if rng.gen_bool(0.5) {
@@ -276,6 +330,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
                 ThreeColor::Gray if self.switch.is_on(u) => ThreeColor::White,
                 other => other,
             };
+            next.set(u, new.code());
         }
         self.colors = next;
         self.switch.step(rng);
@@ -285,21 +340,16 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
 
     fn rebuild_engine(&mut self) {
         let colors = &self.colors;
-        self.engine
-            .rebuild(self.graph, |u| colors[u].is_black(), classify(colors));
-    }
-}
-
-impl<S: SwitchProcess> Process for ThreeColorProcess<'_, S> {
-    fn n(&self) -> usize {
-        self.graph.n()
+        self.engine.rebuild(
+            self.graph,
+            |u| ThreeColor::from_code(colors.get(u)).is_black(),
+            classify(colors),
+        );
     }
 
-    fn round(&self) -> usize {
-        self.round
-    }
-
-    fn step(&mut self, rng: &mut dyn RngCore) {
+    /// One sequential round: ascending-order draws from the shared stream,
+    /// bit-identical to [`step_reference`](Self::step_reference).
+    fn step_sequential(&mut self, rng: &mut dyn RngCore) {
         // The color update of round t uses the switch values σ_{t-1} (the
         // switch output of the *previous* round); the two sub-processes then
         // advance in parallel. The frontier holds the active vertices plus
@@ -309,7 +359,7 @@ impl<S: SwitchProcess> Process for ThreeColorProcess<'_, S> {
         self.engine.begin_round(&mut self.worklist);
         self.changes.clear();
         for &u in &self.worklist {
-            match self.colors[u] {
+            match ThreeColor::from_code(self.colors.get(u)) {
                 ThreeColor::Black => {
                     debug_assert!(self.engine.is_active(u));
                     self.random_bits += 1;
@@ -332,13 +382,87 @@ impl<S: SwitchProcess> Process for ThreeColorProcess<'_, S> {
             }
         }
         for &(u, color) in &self.changes {
-            self.colors[u] = color;
+            self.colors.set(u, color.code());
             self.engine.set_black(self.graph, u, color.is_black());
         }
         self.switch.step(rng);
         let colors = &self.colors;
         self.engine.flush(self.graph, classify(colors));
         self.round += 1;
+    }
+
+    /// One counter-based round on `threads` threads; results are
+    /// bit-identical for every thread count. The phase structure lives in
+    /// [`FrontierEngine::par_round`]; this supplies the 3-color decide
+    /// (black/white vertices draw their coin; gray vertices consult the
+    /// *previous* round's switch output) and scatter. The switch then
+    /// advances with its own counter-based, data-parallel step — after the
+    /// flush, which is equivalent: the color flush never reads switch state
+    /// and the switch never reads engine state.
+    fn step_parallel(&mut self, threads: usize) {
+        self.engine.begin_round_unsorted(&mut self.worklist);
+        let round = self.round as u64;
+        let counter = self.counter;
+        let colors = &self.colors;
+        let switch = &self.switch;
+        let graph = self.graph;
+        let draws = self.engine.par_round(
+            graph,
+            &self.worklist,
+            threads,
+            |engine, chunk, changes: &mut Vec<(VertexId, ThreeColor)>| {
+                let mut draws = 0u64;
+                for &u in chunk {
+                    match ThreeColor::from_code(colors.get(u)) {
+                        ThreeColor::Black => {
+                            debug_assert!(engine.is_active(u));
+                            draws += 1;
+                            if !counter.gen_bool(0.5, u as u64, round, DRAW_STATE) {
+                                colors.set(u, ThreeColor::Gray.code());
+                                changes.push((u, ThreeColor::Gray));
+                            }
+                        }
+                        ThreeColor::White => {
+                            debug_assert!(engine.is_active(u));
+                            draws += 1;
+                            if counter.gen_bool(0.5, u as u64, round, DRAW_STATE) {
+                                colors.set(u, ThreeColor::Black.code());
+                                changes.push((u, ThreeColor::Black));
+                            }
+                        }
+                        ThreeColor::Gray => {
+                            if switch.is_on(u) {
+                                colors.set(u, ThreeColor::White.code());
+                                changes.push((u, ThreeColor::White));
+                            }
+                        }
+                    }
+                }
+                draws
+            },
+            |engine, &(u, color), sink| engine.scatter_black(graph, u, color.is_black(), sink),
+            classify(colors),
+        );
+        self.random_bits += draws;
+        self.switch.step_counter(&self.counter, threads);
+        self.round += 1;
+    }
+}
+
+impl<S: SwitchProcess> Process for ThreeColorProcess<'_, S> {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        match self.mode {
+            ExecutionMode::Sequential => self.step_sequential(rng),
+            ExecutionMode::Parallel { threads } => self.step_parallel(threads.max(1)),
+        }
     }
 
     fn is_stabilized(&self) -> bool {
@@ -476,6 +600,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parallel_mode_stabilizes_and_is_thread_count_invariant() {
+        let g = generators::gnp(90, 0.1, &mut rng(81));
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut r = rng(82);
+            let mut p = ThreeColorProcess::with_randomized_switch(&g, InitStrategy::Random, &mut r);
+            p.set_execution(ExecutionMode::Parallel { threads }, 17);
+            for _ in 0..60 {
+                if p.is_stabilized() {
+                    break;
+                }
+                p.step(&mut r);
+            }
+            outcomes.push((p.colors(), p.black_set(), p.counts(), p.random_bits_used()));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], outcomes[2]);
+        // Parallel mode also reaches a valid MIS.
+        let mut r = rng(83);
+        let mut p = ThreeColorProcess::with_randomized_switch(&g, InitStrategy::AllBlack, &mut r);
+        p.set_execution(ExecutionMode::Parallel { threads: 2 }, 18);
+        p.run_to_stabilization(&mut r, 200_000).unwrap();
+        assert!(mis_check::is_mis(&g, &p.black_set()));
     }
 
     #[test]

@@ -2,9 +2,13 @@ use mis_graph::{Graph, VertexId, VertexSet};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
+use crate::counter_rng::{CounterRng, DRAW_STATE};
 use crate::engine::{FrontierEngine, VertexClass};
+use crate::exec::ExecutionMode;
 use crate::init::InitStrategy;
+use crate::packed::PackedStates;
 use crate::process::{Process, StateCounts};
+use crate::sync::AtomicU32Vec;
 
 /// Vertex state of the 3-state MIS process (Definition 5).
 ///
@@ -27,6 +31,27 @@ impl ThreeState {
     pub fn is_black(self) -> bool {
         matches!(self, ThreeState::Black1 | ThreeState::Black0)
     }
+
+    /// The 2-bit code used by the packed state storage.
+    #[inline]
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            ThreeState::White => 0,
+            ThreeState::Black1 => 1,
+            ThreeState::Black0 => 2,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    #[inline]
+    pub(crate) fn from_code(code: u8) -> Self {
+        match code {
+            0 => ThreeState::White,
+            1 => ThreeState::Black1,
+            2 => ThreeState::Black0,
+            other => unreachable!("invalid 3-state code {other}"),
+        }
+    }
 }
 
 /// The 3-state local rule. Active vertices re-draw from `{black1, black0}`;
@@ -34,13 +59,13 @@ impl ThreeState {
 /// white, so every black vertex is pending. A white vertex is pending iff it
 /// is active (no black neighbor).
 fn classify<'a>(
-    states: &'a [ThreeState],
-    black1_nbrs: &'a [u32],
-) -> impl Fn(VertexId, u32) -> VertexClass + 'a {
+    states: &'a PackedStates,
+    black1_nbrs: &'a AtomicU32Vec,
+) -> impl Fn(VertexId, u32) -> VertexClass + Sync + 'a {
     move |u, black_nbrs| {
-        let (active, pending) = match states[u] {
+        let (active, pending) = match ThreeState::from_code(states.get(u)) {
             ThreeState::Black1 => (true, true),
-            ThreeState::Black0 => (black1_nbrs[u] == 0, true),
+            ThreeState::Black0 => (black1_nbrs.get(u) == 0, true),
             ThreeState::White => {
                 let a = black_nbrs == 0;
                 (a, a)
@@ -72,13 +97,24 @@ fn classify<'a>(
 /// neighbor is black", which coincides with the paper on every vertex that
 /// has at least one neighbor and makes isolated vertices join the MIS.
 ///
-/// Rounds run through the incremental [`FrontierEngine`]: a
-/// [`step`](Process::step) touches only the frontier (black vertices and
-/// active whites — stable black vertices keep alternating by definition, so
-/// they stay on it) and the neighborhoods of vertices that changed, and
+/// States are stored bit-packed (2 bits per vertex) and rounds run through
+/// the incremental [`FrontierEngine`]: a [`step`](Process::step) touches
+/// only the frontier (black vertices and active whites — stable black
+/// vertices keep alternating by definition, so they stay on it) and the
+/// neighborhoods of vertices that changed, and
 /// [`is_stabilized`](Process::is_stabilized)/[`counts`](Process::counts) are
 /// `O(1)`. [`step_reference`](ThreeStateProcess::step_reference) retains the
 /// naive full-scan path for differential testing.
+///
+/// # Execution modes
+///
+/// Sequential mode (the default) draws all coins from the shared stream in
+/// ascending vertex order (bit-identical to the reference); after
+/// [`set_execution`](Self::set_execution) with
+/// [`ExecutionMode::Parallel`], coins are counter-based pure functions of
+/// `(run_seed, vertex, round)`, rounds run in data-parallel phases, the
+/// shared RNG argument is ignored, and results are bit-identical for every
+/// thread count.
 ///
 /// # Example
 ///
@@ -96,11 +132,14 @@ fn classify<'a>(
 #[derive(Debug, Clone)]
 pub struct ThreeStateProcess<'g> {
     graph: &'g Graph,
-    states: Vec<ThreeState>,
+    states: PackedStates,
     /// Number of `black1` neighbors per vertex, delta-maintained alongside
-    /// the engine's black-neighbor counters.
-    black1_nbrs: Vec<u32>,
+    /// the engine's black-neighbor counters (atomically typed so the
+    /// parallel scatter phase can update it concurrently).
+    black1_nbrs: AtomicU32Vec,
     engine: FrontierEngine,
+    mode: ExecutionMode,
+    counter: CounterRng,
     round: usize,
     random_bits: u64,
     worklist: Vec<VertexId>,
@@ -120,10 +159,12 @@ impl<'g> ThreeStateProcess<'g> {
             "initial state vector length must equal the number of vertices"
         );
         let mut p = ThreeStateProcess {
-            black1_nbrs: vec![0; graph.n()],
+            black1_nbrs: AtomicU32Vec::new(graph.n()),
             engine: FrontierEngine::new(graph.n()),
             graph,
-            states,
+            states: PackedStates::from_codes(states.into_iter().map(ThreeState::code)),
+            mode: ExecutionMode::Sequential,
+            counter: CounterRng::new(0),
             round: 0,
             random_bits: 0,
             worklist: Vec::new(),
@@ -136,6 +177,18 @@ impl<'g> ThreeStateProcess<'g> {
     /// Creates the process with states drawn from an [`InitStrategy`].
     pub fn with_init<R: Rng + ?Sized>(graph: &'g Graph, init: InitStrategy, rng: &mut R) -> Self {
         Self::new(graph, init.three_state(graph.n(), rng))
+    }
+
+    /// Selects the execution mode for subsequent rounds and (re-)keys the
+    /// counter-based RNG with `run_seed`.
+    pub fn set_execution(&mut self, mode: ExecutionMode, run_seed: u64) {
+        self.mode = mode;
+        self.counter = CounterRng::new(run_seed);
+    }
+
+    /// The current execution mode.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.mode
     }
 
     /// The underlying graph.
@@ -155,12 +208,13 @@ impl<'g> ThreeStateProcess<'g> {
     ///
     /// Panics if `u` is out of range.
     pub fn state(&self, u: VertexId) -> ThreeState {
-        self.states[u]
+        assert!(u < self.n(), "vertex {u} out of range");
+        ThreeState::from_code(self.states.get(u))
     }
 
-    /// The full state vector.
-    pub fn states(&self) -> &[ThreeState] {
-        &self.states
+    /// The full state vector, materialized from the packed storage in `O(n)`.
+    pub fn states(&self) -> Vec<ThreeState> {
+        self.states.decode(ThreeState::from_code)
     }
 
     /// Number of black (`black1` or `black0`) neighbors of `u`.
@@ -170,7 +224,7 @@ impl<'g> ThreeStateProcess<'g> {
 
     /// Number of `black1` neighbors of `u` (delta-maintained).
     pub fn black1_neighbor_count(&self, u: VertexId) -> usize {
-        self.black1_nbrs[u] as usize
+        self.black1_nbrs.get(u) as usize
     }
 
     /// Overwrites the state of one vertex (transient-fault injection). All
@@ -181,11 +235,11 @@ impl<'g> ThreeStateProcess<'g> {
     ///
     /// Panics if `u` is out of range.
     pub fn set_state(&mut self, u: VertexId, state: ThreeState) {
-        let old = self.states[u];
+        let old = self.state(u);
         if old == state {
             return;
         }
-        self.states[u] = state;
+        self.states.set(u, state.code());
         self.apply_black1_delta(u, old, state);
         self.engine.set_black(self.graph, u, state.is_black());
         let states = &self.states;
@@ -211,43 +265,44 @@ impl<'g> ThreeStateProcess<'g> {
     }
 
     /// Executes one synchronous round with the naive full-scan reference
-    /// implementation (`O(n + m)`): identical states and RNG stream as
-    /// [`step`](Process::step), retained as the oracle for the engine's
-    /// trace-equality tests.
+    /// implementation (`O(n + m)`): identical states and RNG stream as a
+    /// sequential-mode [`step`](Process::step), retained as the oracle for
+    /// the engine's trace-equality tests.
     pub fn step_reference(&mut self, rng: &mut dyn RngCore) {
         let n = self.n();
         let mut black_nbrs = vec![0u32; n];
         let mut black1_nbrs = vec![0u32; n];
         for u in self.graph.vertices() {
-            if self.states[u].is_black() {
+            let s = ThreeState::from_code(self.states.get(u));
+            if s.is_black() {
                 for &v in self.graph.neighbors(u) {
                     black_nbrs[v] += 1;
-                    if self.states[u] == ThreeState::Black1 {
+                    if s == ThreeState::Black1 {
                         black1_nbrs[v] += 1;
                     }
                 }
             }
         }
-        let mut next = self.states.clone();
+        let next = self.states.clone();
         for u in self.graph.vertices() {
-            let active = match self.states[u] {
+            let s = ThreeState::from_code(self.states.get(u));
+            let active = match s {
                 ThreeState::Black1 => true,
                 ThreeState::Black0 => black1_nbrs[u] == 0,
                 ThreeState::White => black_nbrs[u] == 0,
             };
-            next[u] = if active {
+            if active {
                 self.random_bits += 1;
-                if rng.gen_bool(0.5) {
+                let drawn = if rng.gen_bool(0.5) {
                     ThreeState::Black1
                 } else {
                     ThreeState::Black0
-                }
-            } else if self.states[u] == ThreeState::Black0 {
+                };
+                next.set(u, drawn.code());
+            } else if s == ThreeState::Black0 {
                 // black0 with a black1 neighbor retires to white.
-                ThreeState::White
-            } else {
-                self.states[u]
-            };
+                next.set(u, ThreeState::White.code());
+            }
         }
         self.states = next;
         self.rebuild_engine();
@@ -264,20 +319,20 @@ impl<'g> ThreeStateProcess<'g> {
         }
         for &v in self.graph.neighbors(u) {
             if is_black1 {
-                self.black1_nbrs[v] += 1;
+                self.black1_nbrs.add(v, 1);
             } else {
-                self.black1_nbrs[v] -= 1;
+                self.black1_nbrs.sub(v, 1);
             }
             self.engine.mark_dirty(v);
         }
     }
 
     fn rebuild_engine(&mut self) {
-        self.black1_nbrs.iter_mut().for_each(|c| *c = 0);
+        self.black1_nbrs.clear_all();
         for u in self.graph.vertices() {
-            if self.states[u] == ThreeState::Black1 {
+            if ThreeState::from_code(self.states.get(u)) == ThreeState::Black1 {
                 for &v in self.graph.neighbors(u) {
-                    self.black1_nbrs[v] += 1;
+                    self.black1_nbrs.add(v, 1);
                 }
             }
         }
@@ -285,22 +340,14 @@ impl<'g> ThreeStateProcess<'g> {
         let black1_nbrs = &self.black1_nbrs;
         self.engine.rebuild(
             self.graph,
-            |u| states[u].is_black(),
+            |u| ThreeState::from_code(states.get(u)).is_black(),
             classify(states, black1_nbrs),
         );
     }
-}
 
-impl Process for ThreeStateProcess<'_> {
-    fn n(&self) -> usize {
-        self.graph.n()
-    }
-
-    fn round(&self) -> usize {
-        self.round
-    }
-
-    fn step(&mut self, rng: &mut dyn RngCore) {
+    /// One sequential round: ascending-order draws from the shared stream,
+    /// bit-identical to [`step_reference`](Self::step_reference).
+    fn step_sequential(&mut self, rng: &mut dyn RngCore) {
         // The frontier holds every vertex whose rule may fire: all black
         // vertices plus active whites. Only active vertices draw, in
         // ascending vertex order — the same RNG stream as the full scan.
@@ -314,20 +361,20 @@ impl Process for ThreeStateProcess<'_> {
                 } else {
                     ThreeState::Black0
                 };
-                if new != self.states[u] {
+                if new != ThreeState::from_code(self.states.get(u)) {
                     self.changes.push((u, new));
                 }
             } else {
                 // Pending but not active: black0 with a black1 neighbor
                 // retires to white.
-                debug_assert_eq!(self.states[u], ThreeState::Black0);
+                debug_assert_eq!(self.state(u), ThreeState::Black0);
                 self.changes.push((u, ThreeState::White));
             }
         }
         for i in 0..self.changes.len() {
             let (u, state) = self.changes[i];
-            let old = self.states[u];
-            self.states[u] = state;
+            let old = ThreeState::from_code(self.states.get(u));
+            self.states.set(u, state.code());
             self.apply_black1_delta(u, old, state);
             self.engine.set_black(self.graph, u, state.is_black());
         }
@@ -335,6 +382,86 @@ impl Process for ThreeStateProcess<'_> {
         let black1_nbrs = &self.black1_nbrs;
         self.engine.flush(self.graph, classify(states, black1_nbrs));
         self.round += 1;
+    }
+
+    /// One counter-based round on `threads` threads; results are
+    /// bit-identical for every thread count. The phase structure lives in
+    /// [`FrontierEngine::par_round`]; this supplies the 3-state decide
+    /// (active vertices draw, pending-but-not-active black0 vertices retire
+    /// deterministically) and scatter (blackness flips through the engine,
+    /// black1 deltas through the process-owned counters, shared dirty
+    /// marks).
+    fn step_parallel(&mut self, threads: usize) {
+        self.engine.begin_round_unsorted(&mut self.worklist);
+        let round = self.round as u64;
+        let counter = self.counter;
+        let states = &self.states;
+        let black1_nbrs = &self.black1_nbrs;
+        let graph = self.graph;
+        type Change = (VertexId, ThreeState, ThreeState);
+        let draws = self.engine.par_round(
+            graph,
+            &self.worklist,
+            threads,
+            |engine, chunk, changes: &mut Vec<Change>| {
+                let mut draws = 0u64;
+                for &u in chunk {
+                    let old = ThreeState::from_code(states.get(u));
+                    if engine.is_active(u) {
+                        draws += 1;
+                        let new = if counter.gen_bool(0.5, u as u64, round, DRAW_STATE) {
+                            ThreeState::Black1
+                        } else {
+                            ThreeState::Black0
+                        };
+                        if new != old {
+                            states.set(u, new.code());
+                            changes.push((u, old, new));
+                        }
+                    } else {
+                        debug_assert_eq!(old, ThreeState::Black0);
+                        states.set(u, ThreeState::White.code());
+                        changes.push((u, old, ThreeState::White));
+                    }
+                }
+                draws
+            },
+            |engine, &(u, old, new), sink| {
+                let was_black1 = old == ThreeState::Black1;
+                let is_black1 = new == ThreeState::Black1;
+                if was_black1 != is_black1 {
+                    for &v in graph.neighbors(u) {
+                        if is_black1 {
+                            black1_nbrs.add(v, 1);
+                        } else {
+                            black1_nbrs.sub(v, 1);
+                        }
+                        engine.mark_dirty_concurrent(v, sink);
+                    }
+                }
+                engine.scatter_black(graph, u, new.is_black(), sink);
+            },
+            classify(states, black1_nbrs),
+        );
+        self.random_bits += draws;
+        self.round += 1;
+    }
+}
+
+impl Process for ThreeStateProcess<'_> {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        match self.mode {
+            ExecutionMode::Sequential => self.step_sequential(rng),
+            ExecutionMode::Parallel { threads } => self.step_parallel(threads.max(1)),
+        }
     }
 
     fn is_stabilized(&self) -> bool {
@@ -466,6 +593,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parallel_mode_stabilizes_and_is_thread_count_invariant() {
+        let g = generators::gnp(100, 0.08, &mut rng(61));
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut r = rng(62);
+            let mut p = ThreeStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+            p.set_execution(ExecutionMode::Parallel { threads }, 7);
+            for _ in 0..50 {
+                if p.is_stabilized() {
+                    break;
+                }
+                p.step(&mut r);
+            }
+            outcomes.push((p.states(), p.black_set(), p.counts(), p.random_bits_used()));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], outcomes[2]);
+        // And the black projection stabilizes to an MIS eventually.
+        let mut r = rng(63);
+        let mut p = ThreeStateProcess::with_init(&g, InitStrategy::AllBlack, &mut r);
+        p.set_execution(ExecutionMode::Parallel { threads: 3 }, 8);
+        p.run_to_stabilization(&mut r, 100_000).unwrap();
+        assert!(mis_check::is_mis(&g, &p.black_set()));
     }
 
     #[test]

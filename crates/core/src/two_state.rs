@@ -2,8 +2,11 @@ use mis_graph::{Graph, VertexId, VertexSet};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
+use crate::counter_rng::{CounterRng, DRAW_STATE};
 use crate::engine::{FrontierEngine, VertexClass};
+use crate::exec::ExecutionMode;
 use crate::init::InitStrategy;
+use crate::packed::PackedStates;
 use crate::process::{Process, StateCounts};
 
 /// Vertex state of the 2-state MIS process: black indicates (tentative)
@@ -21,14 +24,33 @@ impl Color {
     pub fn is_black(self) -> bool {
         matches!(self, Color::Black)
     }
+
+    /// The 2-bit code used by the packed state storage.
+    #[inline]
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            Color::White => 0,
+            Color::Black => 1,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    #[inline]
+    pub(crate) fn from_code(code: u8) -> Self {
+        match code {
+            0 => Color::White,
+            1 => Color::Black,
+            other => unreachable!("invalid 2-state code {other}"),
+        }
+    }
 }
 
 /// The 2-state local rule: a vertex is active (and pending — the two coincide
 /// for this process) iff it is black with a black neighbor or white with no
 /// black neighbor.
-fn classify(states: &[Color]) -> impl Fn(VertexId, u32) -> VertexClass + '_ {
+fn classify(states: &PackedStates) -> impl Fn(VertexId, u32) -> VertexClass + Sync + '_ {
     move |u, black_nbrs| {
-        let active = match states[u] {
+        let active = match Color::from_code(states.get(u)) {
             Color::Black => black_nbrs > 0,
             Color::White => black_nbrs == 0,
         };
@@ -53,11 +75,24 @@ fn classify(states: &[Color]) -> impl Fn(VertexId, u32) -> VertexClass + '_ {
 /// analysis: active vertices `A_t`, stable black vertices `I_t`, and
 /// non-stable vertices `V_t` (Section 2.1).
 ///
-/// Rounds are executed through the incremental [`FrontierEngine`], so a
-/// [`step`](Process::step) costs `O(|A_t| + vol(A_t))` rather than
-/// `O(n + m)`, and [`is_stabilized`](Process::is_stabilized) and
-/// [`counts`](Process::counts) are `O(1)`; [`step_reference`] retains the
-/// naive full-scan path for differential testing.
+/// States are stored bit-packed (2 bits per vertex, see
+/// [`PackedStates`]), and rounds are executed through the incremental
+/// [`FrontierEngine`], so a [`step`](Process::step) costs
+/// `O(|A_t| + vol(A_t))` rather than `O(n + m)`, and
+/// [`is_stabilized`](Process::is_stabilized) and [`counts`](Process::counts)
+/// are `O(1)`; [`step_reference`] retains the naive full-scan path for
+/// differential testing.
+///
+/// # Execution modes
+///
+/// Under the default [`ExecutionMode::Sequential`], all coins come from the
+/// shared RNG stream passed to `step`, drawn in ascending vertex order —
+/// bit-identical to [`step_reference`]. After
+/// [`set_execution`](Self::set_execution) with
+/// [`ExecutionMode::Parallel`], each vertex's coin is the pure function
+/// `CounterRng(run_seed)(vertex, round, draw)` and the round executes in
+/// data-parallel phases; the shared RNG argument is **ignored** and the
+/// results are bit-identical for every thread count.
 ///
 /// [`step_reference`]: TwoStateProcess::step_reference
 ///
@@ -78,9 +113,11 @@ fn classify(states: &[Color]) -> impl Fn(VertexId, u32) -> VertexClass + '_ {
 #[derive(Debug, Clone)]
 pub struct TwoStateProcess<'g> {
     graph: &'g Graph,
-    states: Vec<Color>,
+    states: PackedStates,
     /// Incremental counters, frontier, and cached counts.
     engine: FrontierEngine,
+    mode: ExecutionMode,
+    counter: CounterRng,
     round: usize,
     random_bits: u64,
     /// Scratch: the frontier snapshot of the round being executed.
@@ -104,7 +141,9 @@ impl<'g> TwoStateProcess<'g> {
         let mut p = TwoStateProcess {
             engine: FrontierEngine::new(graph.n()),
             graph,
-            states,
+            states: PackedStates::from_codes(states.into_iter().map(Color::code)),
+            mode: ExecutionMode::Sequential,
+            counter: CounterRng::new(0),
             round: 0,
             random_bits: 0,
             worklist: Vec::new(),
@@ -117,6 +156,19 @@ impl<'g> TwoStateProcess<'g> {
     /// Creates the process with states drawn from an [`InitStrategy`].
     pub fn with_init<R: Rng + ?Sized>(graph: &'g Graph, init: InitStrategy, rng: &mut R) -> Self {
         Self::new(graph, init.two_state(graph.n(), rng))
+    }
+
+    /// Selects the execution mode for subsequent rounds and (re-)keys the
+    /// counter-based RNG with `run_seed`. See the struct docs for the two
+    /// randomness models.
+    pub fn set_execution(&mut self, mode: ExecutionMode, run_seed: u64) {
+        self.mode = mode;
+        self.counter = CounterRng::new(run_seed);
+    }
+
+    /// The current execution mode.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.mode
     }
 
     /// The underlying graph.
@@ -136,12 +188,14 @@ impl<'g> TwoStateProcess<'g> {
     ///
     /// Panics if `u` is out of range.
     pub fn color(&self, u: VertexId) -> Color {
-        self.states[u]
+        assert!(u < self.n(), "vertex {u} out of range");
+        Color::from_code(self.states.get(u))
     }
 
-    /// The full state vector (indexed by vertex id).
-    pub fn states(&self) -> &[Color] {
-        &self.states
+    /// The full state vector (indexed by vertex id), materialized from the
+    /// packed storage in `O(n)`.
+    pub fn states(&self) -> Vec<Color> {
+        self.states.decode(Color::from_code)
     }
 
     /// Overwrites the state of a single vertex, e.g. to model a transient
@@ -152,10 +206,11 @@ impl<'g> TwoStateProcess<'g> {
     ///
     /// Panics if `u` is out of range.
     pub fn set_color(&mut self, u: VertexId, color: Color) {
-        if self.states[u] == color {
+        assert!(u < self.n(), "vertex {u} out of range");
+        if Color::from_code(self.states.get(u)) == color {
             return;
         }
-        self.states[u] = color;
+        self.states.set(u, color.code());
         self.engine.set_black(self.graph, u, color.is_black());
         let states = &self.states;
         self.engine.flush(self.graph, classify(states));
@@ -207,33 +262,34 @@ impl<'g> TwoStateProcess<'g> {
     /// implementation: rescan all vertices, recompute every black-neighbor
     /// count from scratch, `O(n + m)`.
     ///
-    /// Semantically identical to [`step`](Process::step) — same states, same
-    /// RNG stream — and retained as the oracle for the engine's
-    /// trace-equality tests.
+    /// Semantically identical to a sequential-mode [`step`](Process::step) —
+    /// same states, same RNG stream — and retained as the oracle for the
+    /// engine's trace-equality tests.
     pub fn step_reference(&mut self, rng: &mut dyn RngCore) {
         // Recount independently of the engine so the reference path does not
         // rely on the bookkeeping it is meant to check.
         let mut black_nbrs = vec![0u32; self.n()];
         for u in self.graph.vertices() {
-            if self.states[u].is_black() {
+            if Color::from_code(self.states.get(u)).is_black() {
                 for &v in self.graph.neighbors(u) {
                     black_nbrs[v] += 1;
                 }
             }
         }
-        let mut next = self.states.clone();
+        let next = self.states.clone();
         for u in self.graph.vertices() {
-            let active = match self.states[u] {
+            let active = match Color::from_code(self.states.get(u)) {
                 Color::Black => black_nbrs[u] > 0,
                 Color::White => black_nbrs[u] == 0,
             };
             if active {
                 self.random_bits += 1;
-                next[u] = if rng.gen_bool(0.5) {
+                let color = if rng.gen_bool(0.5) {
                     Color::Black
                 } else {
                     Color::White
                 };
+                next.set(u, color.code());
             }
         }
         self.states = next;
@@ -243,21 +299,16 @@ impl<'g> TwoStateProcess<'g> {
 
     fn rebuild_engine(&mut self) {
         let states = &self.states;
-        self.engine
-            .rebuild(self.graph, |u| states[u].is_black(), classify(states));
-    }
-}
-
-impl Process for TwoStateProcess<'_> {
-    fn n(&self) -> usize {
-        self.graph.n()
+        self.engine.rebuild(
+            self.graph,
+            |u| Color::from_code(states.get(u)).is_black(),
+            classify(states),
+        );
     }
 
-    fn round(&self) -> usize {
-        self.round
-    }
-
-    fn step(&mut self, rng: &mut dyn RngCore) {
+    /// One sequential round: ascending-order draws from the shared stream,
+    /// bit-identical to [`step_reference`](Self::step_reference).
+    fn step_sequential(&mut self, rng: &mut dyn RngCore) {
         // For the 2-state process the frontier is exactly the active set, so
         // every worklist vertex re-draws; ascending order keeps the RNG
         // stream identical to the full-scan reference.
@@ -271,17 +322,73 @@ impl Process for TwoStateProcess<'_> {
             } else {
                 Color::White
             };
-            if new != self.states[u] {
+            if new != Color::from_code(self.states.get(u)) {
                 self.changes.push((u, new));
             }
         }
         for &(u, color) in &self.changes {
-            self.states[u] = color;
+            self.states.set(u, color.code());
             self.engine.set_black(self.graph, u, color.is_black());
         }
         let states = &self.states;
         self.engine.flush(self.graph, classify(states));
         self.round += 1;
+    }
+
+    /// One counter-based round on `threads` threads; results are
+    /// bit-identical for every thread count. The phase structure lives in
+    /// [`FrontierEngine::par_round`]; this only supplies the 2-state decide
+    /// (every worklist vertex is active and draws its own coin) and scatter
+    /// (plain blackness flips).
+    fn step_parallel(&mut self, threads: usize) {
+        self.engine.begin_round_unsorted(&mut self.worklist);
+        let round = self.round as u64;
+        let counter = self.counter;
+        let states = &self.states;
+        let graph = self.graph;
+        let draws = self.engine.par_round(
+            graph,
+            &self.worklist,
+            threads,
+            |engine, chunk, changes: &mut Vec<(VertexId, bool)>| {
+                let mut draws = 0u64;
+                for &u in chunk {
+                    debug_assert!(engine.is_active(u));
+                    draws += 1;
+                    let new = if counter.gen_bool(0.5, u as u64, round, DRAW_STATE) {
+                        Color::Black
+                    } else {
+                        Color::White
+                    };
+                    if new.code() != states.get(u) {
+                        states.set(u, new.code());
+                        changes.push((u, new.is_black()));
+                    }
+                }
+                draws
+            },
+            |engine, &(u, black), sink| engine.scatter_black(graph, u, black, sink),
+            classify(states),
+        );
+        self.random_bits += draws;
+        self.round += 1;
+    }
+}
+
+impl Process for TwoStateProcess<'_> {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        match self.mode {
+            ExecutionMode::Sequential => self.step_sequential(rng),
+            ExecutionMode::Parallel { threads } => self.step_parallel(threads.max(1)),
+        }
     }
 
     fn is_stabilized(&self) -> bool {
@@ -405,6 +512,45 @@ mod tests {
                 assert!(p.is_stabilized());
             }
         }
+    }
+
+    #[test]
+    fn parallel_mode_stabilizes_to_mis() {
+        let mut r = rng(71);
+        let graphs = vec![
+            generators::complete(32),
+            generators::gnp(150, 0.05, &mut r),
+            generators::grid(8, 8),
+            Graph::empty(5),
+        ];
+        for (i, g) in graphs.into_iter().enumerate() {
+            let mut p = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+            p.set_execution(ExecutionMode::Parallel { threads: 3 }, 0xA11CE + i as u64);
+            assert!(p.execution_mode().is_parallel());
+            p.run_to_stabilization(&mut r, 100_000)
+                .unwrap_or_else(|e| panic!("graph {i}: {e}"));
+            assert!(mis_check::is_mis(&g, &p.black_set()), "graph {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_mode_is_thread_count_invariant() {
+        let g = generators::gnp(120, 0.08, &mut rng(77));
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 2, 5] {
+            let mut r = rng(78);
+            let mut p = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+            p.set_execution(ExecutionMode::Parallel { threads }, 99);
+            for _ in 0..40 {
+                if p.is_stabilized() {
+                    break;
+                }
+                p.step(&mut r);
+            }
+            outcomes.push((p.states(), p.black_set(), p.counts(), p.random_bits_used()));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], outcomes[2]);
     }
 
     #[test]

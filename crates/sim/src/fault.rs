@@ -128,11 +128,12 @@ pub fn two_state_recovery(
         .run_to_stabilization(&mut rng, max_rounds)
         .expect("initial stabilization failed");
 
-    let before: Vec<_> = proc.states().to_vec();
+    let before = proc.states();
     proc.corrupt_fraction(fraction, &mut rng);
+    let after = proc.states();
     let corrupted_vertices = before
         .iter()
-        .zip(proc.states())
+        .zip(after.iter())
         .filter(|(a, b)| a != b)
         .count();
 
@@ -167,11 +168,12 @@ pub fn three_color_recovery(
         .run_to_stabilization(&mut rng, max_rounds)
         .expect("initial stabilization failed");
 
-    let before: Vec<_> = proc.colors().to_vec();
+    let before = proc.colors();
     proc.corrupt_fraction(fraction, &mut rng);
+    let after = proc.colors();
     let corrupted_vertices = before
         .iter()
-        .zip(proc.colors())
+        .zip(after.iter())
         .filter(|(a, b)| a != b)
         .count();
 

@@ -21,7 +21,7 @@
 //! # Example
 //!
 //! ```
-//! use mis_sim::spec::{ExperimentSpec, GraphSpec, ProcessSelector};
+//! use mis_sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec, ProcessSelector};
 //! use mis_sim::runner::run_experiment;
 //! use mis_core::init::InitStrategy;
 //!
@@ -30,6 +30,7 @@
 //!     graph: GraphSpec::Gnp { n: 100, p: 0.05 },
 //!     process: ProcessSelector::TwoState,
 //!     init: InitStrategy::Random,
+//!     execution: ExecutionMode::Sequential,
 //!     trials: 8,
 //!     max_rounds: 100_000,
 //!     base_seed: 42,

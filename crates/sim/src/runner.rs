@@ -1,5 +1,15 @@
 //! Executes experiment specifications: one deterministic RNG stream per
 //! trial, parallel trials, and MIS validation of every outcome.
+//!
+//! Two layers of parallelism are available and composable per spec:
+//! independent trials always run on the rayon trial pool
+//! (`run_experiment`), and a spec whose `execution` is
+//! [`ExecutionMode::Parallel`](mis_core::ExecutionMode::Parallel)
+//! additionally runs each *round* of the engine processes in data-parallel
+//! phases with counter-based randomness — the right choice when one trial
+//! is a single huge graph.
+
+use std::sync::Arc;
 
 use mis_baselines::{
     greedy_mis_random_order, luby_mis, RandomPriorityMis, SequentialScheduler,
@@ -15,6 +25,11 @@ use serde::{Deserialize, Serialize};
 use crate::metrics::{RoundTrace, TrialResult};
 use crate::spec::{ExperimentSpec, ProcessSelector};
 use crate::stats::Summary;
+
+/// Salt mixed into the per-trial seed to key the counter-based RNG of
+/// parallel-mode runs (so the counter key is decorrelated from the ChaCha
+/// stream that draws the graph and the initial states).
+const COUNTER_SEED_SALT: u64 = 0x0005_EEDC_0DE0_FC01;
 
 /// All trial results of one experiment plus the specification that produced
 /// them.
@@ -60,29 +75,56 @@ impl ExperimentResult {
 /// process to stabilization or until the round budget is exhausted, validates
 /// the resulting black set, and returns the full [`TrialResult`].
 pub fn run_trial(spec: &ExperimentSpec, trial: usize) -> TrialResult {
+    run_trial_on(spec, trial, None)
+}
+
+/// [`run_trial`] with an optional pre-generated graph.
+///
+/// `shared_graph` is only sound for deterministic graph families
+/// ([`GraphSpec::is_deterministic`](crate::spec::GraphSpec::is_deterministic)):
+/// their generation consumes no randomness, so skipping it leaves the
+/// trial's RNG stream — and therefore every result — unchanged.
+fn run_trial_on(spec: &ExperimentSpec, trial: usize, shared_graph: Option<&Graph>) -> TrialResult {
     let seed = spec.base_seed.wrapping_add(trial as u64);
+    let counter_seed = seed ^ COUNTER_SEED_SALT;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let graph = spec.graph.generate(&mut rng);
+    let generated;
+    let graph = match shared_graph {
+        Some(g) => {
+            debug_assert!(
+                spec.graph.is_deterministic(),
+                "shared graphs require a deterministic family"
+            );
+            g
+        }
+        None => {
+            generated = spec.graph.generate(&mut rng);
+            &generated
+        }
+    };
 
     let outcome = match spec.process {
         ProcessSelector::TwoState => {
-            let proc = TwoStateProcess::with_init(&graph, spec.init, &mut rng);
+            let mut proc = TwoStateProcess::with_init(graph, spec.init, &mut rng);
+            proc.set_execution(spec.execution, counter_seed);
             drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
         }
         ProcessSelector::ThreeState => {
-            let proc = ThreeStateProcess::with_init(&graph, spec.init, &mut rng);
+            let mut proc = ThreeStateProcess::with_init(graph, spec.init, &mut rng);
+            proc.set_execution(spec.execution, counter_seed);
             drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
         }
         ProcessSelector::ThreeColor => {
-            let proc = ThreeColorProcess::with_randomized_switch(&graph, spec.init, &mut rng);
+            let mut proc = ThreeColorProcess::with_randomized_switch(graph, spec.init, &mut rng);
+            proc.set_execution(spec.execution, counter_seed);
             drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
         }
         ProcessSelector::RandomPriority => {
-            let proc = RandomPriorityMis::random_init(&graph, &mut rng);
+            let proc = RandomPriorityMis::random_init(graph, &mut rng);
             drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
         }
         ProcessSelector::Luby => {
-            let out = luby_mis(&graph, &mut rng);
+            let out = luby_mis(graph, &mut rng);
             DriveOutcome {
                 rounds: out.rounds,
                 stabilized: true,
@@ -95,7 +137,7 @@ pub fn run_trial(spec: &ExperimentSpec, trial: usize) -> TrialResult {
         ProcessSelector::Greedy => {
             // One centralized pass in a random scan order; its shuffle
             // randomness is not metered as per-vertex random bits.
-            let mis = greedy_mis_random_order(&graph, &mut rng);
+            let mis = greedy_mis_random_order(graph, &mut rng);
             DriveOutcome {
                 rounds: 1,
                 stabilized: true,
@@ -107,7 +149,7 @@ pub fn run_trial(spec: &ExperimentSpec, trial: usize) -> TrialResult {
         }
         ProcessSelector::SequentialSelfStab => {
             let init = spec.init.two_state(graph.n(), &mut rng);
-            let mut alg = SequentialSelfStabMis::new(&graph, init);
+            let mut alg = SequentialSelfStabMis::new(graph, init);
             let out = alg.run(SequentialScheduler::SmallestId, &mut rng);
             DriveOutcome {
                 // `rounds` carries the move count: the algorithm's natural
@@ -122,7 +164,7 @@ pub fn run_trial(spec: &ExperimentSpec, trial: usize) -> TrialResult {
         }
     };
 
-    let valid_mis = outcome.stabilized && mis_check::is_mis(&graph, &outcome.black_set);
+    let valid_mis = outcome.stabilized && mis_check::is_mis(graph, &outcome.black_set);
     TrialResult {
         trial,
         seed,
@@ -140,10 +182,22 @@ pub fn run_trial(spec: &ExperimentSpec, trial: usize) -> TrialResult {
 
 /// Runs every trial of `spec`, in parallel, and collects the results in trial
 /// order.
+///
+/// For deterministic graph families (complete graphs, paths, cycles, stars,
+/// grids, disjoint cliques) the graph is generated **once** and shared
+/// across all trials behind an [`Arc`], instead of being regenerated per
+/// trial — generation consumes no randomness for those families, so the
+/// per-trial RNG streams (and all results) are unchanged.
 pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    let shared_graph: Option<Arc<Graph>> = spec.graph.is_deterministic().then(|| {
+        // The RNG is unused by deterministic generators; any seed works.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        Arc::new(spec.graph.generate(&mut rng))
+    });
+    let shared_ref = &shared_graph;
     let trials: Vec<TrialResult> = (0..spec.trials)
         .into_par_iter()
-        .map(|trial| run_trial(spec, trial))
+        .map(|trial| run_trial_on(spec, trial, shared_ref.as_deref()))
         .collect();
     ExperimentResult {
         spec: spec.clone(),
@@ -224,6 +278,7 @@ mod tests {
     use super::*;
     use crate::spec::GraphSpec;
     use mis_core::init::InitStrategy;
+    use mis_core::ExecutionMode;
 
     fn base_spec(process: ProcessSelector) -> ExperimentSpec {
         ExperimentSpec {
@@ -231,6 +286,7 @@ mod tests {
             graph: GraphSpec::Gnp { n: 60, p: 0.08 },
             process,
             init: InitStrategy::Random,
+            execution: ExecutionMode::Sequential,
             trials: 6,
             max_rounds: 100_000,
             base_seed: 11,
@@ -291,6 +347,7 @@ mod tests {
             },
             process: ProcessSelector::TwoState,
             init: InitStrategy::Random,
+            execution: ExecutionMode::Sequential,
             trials: 1,
             max_rounds: 100_000,
             base_seed: 77,
@@ -308,6 +365,45 @@ mod tests {
         let a = run_experiment(&spec);
         let b = run_experiment(&spec);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_graph_trials_match_unshared_trials() {
+        // run_experiment shares one Arc<Graph> across trials for the
+        // deterministic complete-graph family; the per-trial path must give
+        // the exact same results.
+        let mut spec = base_spec(ProcessSelector::TwoState);
+        spec.graph = GraphSpec::Complete { n: 48 };
+        spec.trials = 4;
+        let shared = run_experiment(&spec);
+        let unshared: Vec<TrialResult> = (0..spec.trials)
+            .map(|trial| run_trial(&spec, trial))
+            .collect();
+        assert_eq!(shared.trials, unshared);
+    }
+
+    #[test]
+    fn parallel_execution_produces_valid_thread_count_invariant_results() {
+        for process in [
+            ProcessSelector::TwoState,
+            ProcessSelector::ThreeState,
+            ProcessSelector::ThreeColor,
+        ] {
+            let mut spec = base_spec(process);
+            spec.trials = 3;
+            let mut per_thread_results = Vec::new();
+            for threads in [1usize, 4] {
+                spec.execution = ExecutionMode::Parallel { threads };
+                let result = run_experiment(&spec);
+                assert!(result.all_stabilized(), "{process:?}");
+                assert!(result.all_valid(), "{process:?}");
+                per_thread_results.push(result.trials);
+            }
+            assert_eq!(
+                per_thread_results[0], per_thread_results[1],
+                "{process:?}: results must not depend on the thread count"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Declarative experiment specifications.
 
 use mis_core::init::InitStrategy;
+pub use mis_core::ExecutionMode;
 use mis_graph::{generators, Graph};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -76,6 +77,24 @@ pub enum GraphSpec {
 }
 
 impl GraphSpec {
+    /// `true` if the family is deterministic: generation ignores the RNG and
+    /// always yields the same graph, so trials can share one instance (see
+    /// `run_experiment`) instead of regenerating it per trial.
+    pub fn is_deterministic(&self) -> bool {
+        match self {
+            GraphSpec::Complete { .. }
+            | GraphSpec::DisjointCliques { .. }
+            | GraphSpec::Path { .. }
+            | GraphSpec::Cycle { .. }
+            | GraphSpec::Star { .. }
+            | GraphSpec::Grid { .. } => true,
+            GraphSpec::Gnp { .. }
+            | GraphSpec::RandomTree { .. }
+            | GraphSpec::Regular { .. }
+            | GraphSpec::ForestUnion { .. } => false,
+        }
+    }
+
     /// Generates a graph according to this specification.
     ///
     /// # Panics
@@ -200,6 +219,11 @@ pub struct ExperimentSpec {
     pub process: ProcessSelector,
     /// Initial-state strategy (ignored by the non-self-stabilizing Luby baseline).
     pub init: InitStrategy,
+    /// How the engine processes execute rounds: the sequential shared-stream
+    /// model or counter-based intra-round parallelism. Baselines (Luby,
+    /// greedy, random-priority, sequential self-stab) always run
+    /// sequentially and ignore this field.
+    pub execution: ExecutionMode,
     /// Number of independent trials.
     pub trials: usize,
     /// Per-trial round budget.
@@ -247,18 +271,33 @@ mod tests {
 
     #[test]
     fn spec_round_trips_through_json() {
-        let spec = ExperimentSpec {
-            name: "test".into(),
-            graph: GraphSpec::Gnp { n: 10, p: 0.5 },
-            process: ProcessSelector::ThreeColor,
-            init: InitStrategy::Random,
-            trials: 3,
-            max_rounds: 100,
-            base_seed: 1,
-            record_trace: true,
-        };
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
-        assert_eq!(spec, back);
+        for execution in [
+            ExecutionMode::Sequential,
+            ExecutionMode::Parallel { threads: 8 },
+        ] {
+            let spec = ExperimentSpec {
+                name: "test".into(),
+                graph: GraphSpec::Gnp { n: 10, p: 0.5 },
+                process: ProcessSelector::ThreeColor,
+                init: InitStrategy::Random,
+                execution,
+                trials: 3,
+                max_rounds: 100,
+                base_seed: 1,
+                record_trace: true,
+            };
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn deterministic_families_are_flagged() {
+        assert!(GraphSpec::Complete { n: 4 }.is_deterministic());
+        assert!(GraphSpec::Path { n: 4 }.is_deterministic());
+        assert!(GraphSpec::Grid { rows: 2, cols: 2 }.is_deterministic());
+        assert!(!GraphSpec::Gnp { n: 4, p: 0.5 }.is_deterministic());
+        assert!(!GraphSpec::RandomTree { n: 4 }.is_deterministic());
     }
 }

@@ -5,6 +5,7 @@
 //! tables recorded in `EXPERIMENTS.md`.
 
 use mis_core::init::InitStrategy;
+use mis_core::ExecutionMode;
 use serde::{Deserialize, Serialize};
 
 use crate::runner::{run_experiment, ExperimentResult};
@@ -21,6 +22,10 @@ pub struct SweepRow {
     pub graph_label: String,
     /// Label of the process.
     pub process_label: String,
+    /// Execution mode of the engine processes (`sequential` / `parallel`).
+    pub execution_mode: String,
+    /// Worker threads per round (1 in sequential mode).
+    pub threads: usize,
     /// Fraction of trials that stabilized within the budget.
     pub stabilized_fraction: f64,
     /// Summary of stabilization times (rounds).
@@ -42,14 +47,16 @@ impl SweepTable {
     /// Renders the table as CSV (with header), suitable for plotting.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "parameter,graph,process,stabilized_fraction,rounds_mean,rounds_median,rounds_p90,rounds_max,mis_size_mean,random_bits_mean\n",
+            "parameter,graph,process,execution_mode,threads,stabilized_fraction,rounds_mean,rounds_median,rounds_p90,rounds_max,mis_size_mean,random_bits_mean\n",
         );
         for row in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{:.3},{:.2},{:.2},{:.2},{:.0},{:.2},{:.0}\n",
+                "{},{},{},{},{},{:.3},{:.2},{:.2},{:.2},{:.0},{:.2},{:.0}\n",
                 row.parameter,
                 row.graph_label,
                 row.process_label,
+                row.execution_mode,
+                row.threads,
                 row.stabilized_fraction,
                 row.rounds.mean,
                 row.rounds.median,
@@ -91,6 +98,8 @@ pub fn row_from_result(parameter: f64, result: &ExperimentResult) -> SweepRow {
         parameter,
         graph_label: result.spec.graph.label(),
         process_label: result.spec.process.label().to_string(),
+        execution_mode: result.spec.execution.label().to_string(),
+        threads: result.spec.execution.threads(),
         stabilized_fraction: if result.trials.is_empty() {
             0.0
         } else {
@@ -119,6 +128,7 @@ pub fn scale_sweep_specs(
     ns: &[usize],
     avg_degree: f64,
     process: ProcessSelector,
+    execution: ExecutionMode,
     trials: usize,
     base_seed: u64,
 ) -> Vec<(f64, ExperimentSpec)> {
@@ -130,10 +140,11 @@ pub fn scale_sweep_specs(
                 "avg_degree {avg_degree} is invalid for n = {n}"
             );
             let spec = ExperimentSpec {
-                name: format!("scale-{}-n{n}", process.label()),
+                name: format!("scale-{}-{}-n{n}", process.label(), execution.label()),
                 graph: GraphSpec::Gnp { n, p },
                 process,
                 init: InitStrategy::Random,
+                execution,
                 trials,
                 max_rounds: 1_000_000,
                 base_seed,
@@ -175,6 +186,7 @@ mod tests {
             graph: GraphSpec::Complete { n },
             process: ProcessSelector::TwoState,
             init: InitStrategy::Random,
+            execution: ExecutionMode::Sequential,
             trials: 4,
             max_rounds: 100_000,
             base_seed: 5,
@@ -201,6 +213,13 @@ mod tests {
         assert_eq!(csv.lines().count(), 2);
         assert!(csv.starts_with("parameter,"));
         assert!(csv.contains("complete(n=8)"));
+        // The CSV is self-describing about how the rows were executed.
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .contains("execution_mode,threads"));
+        assert!(csv.contains(",sequential,1,"));
         let pretty = table.to_pretty();
         assert_eq!(pretty.lines().count(), 2);
         assert!(pretty.contains("two-state"));
@@ -215,7 +234,14 @@ mod tests {
 
     #[test]
     fn scale_specs_build_sparse_gnp_points() {
-        let points = scale_sweep_specs(&[1_000, 10_000], 8.0, ProcessSelector::TwoState, 2, 9);
+        let points = scale_sweep_specs(
+            &[1_000, 10_000],
+            8.0,
+            ProcessSelector::TwoState,
+            ExecutionMode::Sequential,
+            2,
+            9,
+        );
         assert_eq!(points.len(), 2);
         for (param, spec) in &points {
             match spec.graph {
@@ -228,12 +254,36 @@ mod tests {
         }
     }
 
+    #[test]
+    fn parallel_sweep_rows_record_their_execution() {
+        let points = scale_sweep_specs(
+            &[3_000],
+            4.0,
+            ProcessSelector::TwoState,
+            ExecutionMode::Parallel { threads: 2 },
+            1,
+            33,
+        );
+        let table = run_sweep(points);
+        assert_eq!(table.rows[0].execution_mode, "parallel");
+        assert_eq!(table.rows[0].threads, 2);
+        assert_eq!(table.rows[0].stabilized_fraction, 1.0);
+        assert!(table.to_csv().contains(",parallel,2,"));
+    }
+
     /// Large-n scale sweep end-to-end: a 40k-vertex sparse point runs to a
     /// valid MIS well within the debug-build test budget thanks to the
     /// activity-proportional round engine.
     #[test]
     fn large_n_scale_sweep_runs_quickly() {
-        let points = scale_sweep_specs(&[40_000], 6.0, ProcessSelector::TwoState, 1, 21);
+        let points = scale_sweep_specs(
+            &[40_000],
+            6.0,
+            ProcessSelector::TwoState,
+            ExecutionMode::Sequential,
+            1,
+            21,
+        );
         let table = run_sweep(points);
         assert_eq!(table.rows.len(), 1);
         assert_eq!(table.rows[0].stabilized_fraction, 1.0);

@@ -11,7 +11,7 @@
 
 use mis_core::init::InitStrategy;
 use mis_core::{
-    FrontierEngine, Process, StateCounts, ThreeColor, ThreeColorProcess, ThreeState,
+    ExecutionMode, FrontierEngine, Process, StateCounts, ThreeColor, ThreeColorProcess, ThreeState,
     ThreeStateProcess, TwoStateProcess,
 };
 use mis_graph::{generators, Graph, VertexSet};
@@ -136,7 +136,37 @@ proptest! {
                 0 => proc.step(&mut r),
                 _ => proc.corrupt_fraction(fraction, &mut r),
             }
-            let states = proc.states().to_vec();
+            let states = proc.states();
+            let active = |u: usize| {
+                let bn = g.neighbors(u).iter().filter(|&&v| states[v].is_black()).count();
+                if states[u].is_black() { bn > 0 } else { bn == 0 }
+            };
+            let o = oracle(&g, |u| states[u].is_black(), active, active);
+            let ctx = format!("op {i} ({}), seed {seed}", if kind == 0 { "step" } else { "corrupt" });
+            assert_engine_matches(proc.engine(), &o, &ctx)?;
+        }
+    }
+
+    /// 2-state process in **parallel execution**: the scatter + parallel
+    /// flush phases must leave exactly the same bookkeeping a from-scratch
+    /// recount produces, for a thread count with real chunking.
+    #[test]
+    fn two_state_parallel_engine_consistent_under_interleavings(
+        seed in 0u64..5_000,
+        n in 1usize..50,
+        p_edge in 0.0f64..0.5,
+        ops in proptest::collection::vec((0u8..2, 0.0f64..1.0), 1..12),
+    ) {
+        let g = graph_for(seed, n, p_edge);
+        let mut r = ChaCha8Rng::seed_from_u64(seed ^ 0xdead);
+        let mut proc = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+        proc.set_execution(ExecutionMode::Parallel { threads: 3 }, seed);
+        for (i, &(kind, fraction)) in ops.iter().enumerate() {
+            match kind {
+                0 => proc.step(&mut r),
+                _ => proc.corrupt_fraction(fraction, &mut r),
+            }
+            let states = proc.states();
             let active = |u: usize| {
                 let bn = g.neighbors(u).iter().filter(|&&v| states[v].is_black()).count();
                 if states[u].is_black() { bn > 0 } else { bn == 0 }
@@ -164,7 +194,7 @@ proptest! {
                 0 => proc.step(&mut r),
                 _ => proc.corrupt_fraction(fraction, &mut r),
             }
-            let states = proc.states().to_vec();
+            let states = proc.states();
             let active = |u: usize| match states[u] {
                 ThreeState::Black1 => true,
                 ThreeState::Black0 => {
@@ -191,6 +221,84 @@ proptest! {
         }
     }
 
+    /// 3-state process in parallel execution: same oracle property, with
+    /// the concurrent black1-counter scatter in play.
+    #[test]
+    fn three_state_parallel_engine_consistent_under_interleavings(
+        seed in 0u64..5_000,
+        n in 1usize..50,
+        p_edge in 0.0f64..0.5,
+        ops in proptest::collection::vec((0u8..2, 0.0f64..1.0), 1..12),
+    ) {
+        let g = graph_for(seed, n, p_edge);
+        let mut r = ChaCha8Rng::seed_from_u64(seed ^ 0xbeef);
+        let mut proc = ThreeStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+        proc.set_execution(ExecutionMode::Parallel { threads: 3 }, seed);
+        for (i, &(kind, fraction)) in ops.iter().enumerate() {
+            match kind {
+                0 => proc.step(&mut r),
+                _ => proc.corrupt_fraction(fraction, &mut r),
+            }
+            let states = proc.states();
+            let active = |u: usize| match states[u] {
+                ThreeState::Black1 => true,
+                ThreeState::Black0 => {
+                    !g.neighbors(u).iter().any(|&v| states[v] == ThreeState::Black1)
+                }
+                ThreeState::White => !g.neighbors(u).iter().any(|&v| states[v].is_black()),
+            };
+            let pending = |u: usize| states[u].is_black() || active(u);
+            let o = oracle(&g, |u| states[u].is_black(), active, pending);
+            let ctx = format!("par op {i} ({}), seed {seed}", if kind == 0 { "step" } else { "corrupt" });
+            assert_engine_matches(proc.engine(), &o, &ctx)?;
+            for u in g.vertices() {
+                let expected = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&v| states[v] == ThreeState::Black1)
+                    .count();
+                prop_assert!(
+                    proc.black1_neighbor_count(u) == expected,
+                    "black1 counter of vertex {u} diverged (parallel)"
+                );
+            }
+        }
+    }
+
+    /// 3-color process in parallel execution: same oracle property, with
+    /// the counter-based switch advancing alongside the colors.
+    #[test]
+    fn three_color_parallel_engine_consistent_under_interleavings(
+        seed in 0u64..5_000,
+        n in 1usize..40,
+        p_edge in 0.0f64..0.5,
+        ops in proptest::collection::vec((0u8..2, 0.0f64..1.0), 1..10),
+    ) {
+        let g = graph_for(seed, n, p_edge);
+        let mut r = ChaCha8Rng::seed_from_u64(seed ^ 0xcafe);
+        let mut proc = ThreeColorProcess::with_randomized_switch(&g, InitStrategy::Random, &mut r);
+        proc.set_execution(ExecutionMode::Parallel { threads: 3 }, seed);
+        for (i, &(kind, fraction)) in ops.iter().enumerate() {
+            match kind {
+                0 => proc.step(&mut r),
+                _ => proc.corrupt_fraction(fraction, &mut r),
+            }
+            let colors = proc.colors();
+            let active = |u: usize| {
+                let bn = g.neighbors(u).iter().filter(|&&v| colors[v].is_black()).count();
+                match colors[u] {
+                    ThreeColor::Black => bn > 0,
+                    ThreeColor::White => bn == 0,
+                    ThreeColor::Gray => false,
+                }
+            };
+            let pending = |u: usize| active(u) || colors[u] == ThreeColor::Gray;
+            let o = oracle(&g, |u| colors[u].is_black(), active, pending);
+            let ctx = format!("par op {i} ({}), seed {seed}", if kind == 0 { "step" } else { "corrupt" });
+            assert_engine_matches(proc.engine(), &o, &ctx)?;
+        }
+    }
+
     /// 3-color process (colors + switch levels corrupted): same property;
     /// pending additionally covers gray vertices waiting for their switch.
     #[test]
@@ -208,7 +316,7 @@ proptest! {
                 0 => proc.step(&mut r),
                 _ => proc.corrupt_fraction(fraction, &mut r),
             }
-            let colors = proc.colors().to_vec();
+            let colors = proc.colors();
             let active = |u: usize| {
                 let bn = g.neighbors(u).iter().filter(|&&v| colors[v].is_black()).count();
                 match colors[u] {

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example gnp_scaling`
 
 use selfstab_mis::core::init::InitStrategy;
-use selfstab_mis::sim::spec::{ExperimentSpec, GraphSpec, ProcessSelector};
+use selfstab_mis::sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec, ProcessSelector};
 use selfstab_mis::sim::sweep::{run_sweep, SweepTable};
 
 fn sweep(process: ProcessSelector, sizes: &[usize], trials: usize) -> SweepTable {
@@ -19,6 +19,7 @@ fn sweep(process: ProcessSelector, sizes: &[usize], trials: usize) -> SweepTable
                 graph: GraphSpec::Gnp { n, p },
                 process,
                 init: InitStrategy::Random,
+                execution: ExecutionMode::Sequential,
                 trials,
                 max_rounds: 1_000_000,
                 base_seed: 4242,

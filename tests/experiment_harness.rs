@@ -8,7 +8,7 @@
 
 use selfstab_mis::core::init::InitStrategy;
 use selfstab_mis::sim::runner::run_experiment;
-use selfstab_mis::sim::spec::{ExperimentSpec, GraphSpec, ProcessSelector};
+use selfstab_mis::sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec, ProcessSelector};
 use selfstab_mis::sim::sweep::{row_from_result, run_sweep, SweepTable};
 
 fn spec(graph: GraphSpec, process: ProcessSelector) -> ExperimentSpec {
@@ -17,6 +17,7 @@ fn spec(graph: GraphSpec, process: ProcessSelector) -> ExperimentSpec {
         graph,
         process,
         init: InitStrategy::Random,
+        execution: ExecutionMode::Sequential,
         trials: 5,
         max_rounds: 1_000_000,
         base_seed: 123,
@@ -56,7 +57,9 @@ fn sweep_over_sizes_produces_consistent_table() {
     }
     let csv = table.to_csv();
     assert_eq!(csv.lines().count(), 4);
-    assert!(csv.lines().skip(1).all(|l| l.split(',').count() == 10));
+    // 12 columns including the execution_mode/threads self-description.
+    assert!(csv.lines().all(|l| l.split(',').count() == 12));
+    assert!(csv.lines().skip(1).all(|l| l.contains(",sequential,1,")));
 }
 
 #[test]

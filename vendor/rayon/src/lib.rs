@@ -1,13 +1,147 @@
 //! Offline stand-in for `rayon`.
 //!
-//! Implements the small slice of the rayon API the workspace uses —
-//! `into_par_iter().map(f).collect()` — with genuine data parallelism:
-//! items are split into one contiguous chunk per available CPU core and
-//! mapped on scoped `std::thread`s, preserving input order in the output.
-//! There is no work stealing; for the workspace's use case (equal-cost
-//! independent simulation trials) static chunking is a good fit.
+//! Implements the slice of the rayon API the workspace uses with genuine
+//! data parallelism on scoped `std::thread`s:
+//!
+//! * `into_par_iter().map(f).collect()` — items are split into one
+//!   contiguous chunk per available CPU core and mapped in parallel,
+//!   preserving input order in the output;
+//! * [`ThreadPoolBuilder`]/[`ThreadPool`] with [`broadcast`]
+//!   (`ThreadPool::broadcast`) — run one closure instance per pool thread
+//!   and collect the results in thread-index order, the fork-join primitive
+//!   the intra-round parallel engine of `mis-core` is built on;
+//! * [`scope`] — spawn borrowing closures that all join before `scope`
+//!   returns (used to hand out disjoint `&mut` chunks).
+//!
+//! There is no work stealing and no persistent worker pool; threads are
+//! scoped per call. For the workspace's use cases (equal-cost independent
+//! simulation trials; statically chunked intra-round phases) static
+//! chunking is a good fit.
 
 use std::ops::Range;
+
+/// Builder for a fixed-size [`ThreadPool`], mirroring
+/// `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count (all available cores).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of threads; `0` (the default) means one per
+    /// available core.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. Infallible in this stand-in; the `Result` mirrors
+    /// the real crate's signature.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A fixed-size thread pool. The stand-in keeps no persistent workers;
+/// each [`broadcast`](ThreadPool::broadcast) call spawns scoped threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+/// Context passed to every [`broadcast`](ThreadPool::broadcast) closure
+/// instance, mirroring `rayon::BroadcastContext`.
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastContext {
+    index: usize,
+    num_threads: usize,
+}
+
+impl BroadcastContext {
+    /// Index of this closure instance in `0..num_threads()`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of closure instances the broadcast runs.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+impl ThreadPool {
+    /// Number of threads in the pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one instance of `f` per pool thread and returns the results in
+    /// thread-index order. With a single thread the closure runs inline on
+    /// the caller (no spawn).
+    pub fn broadcast<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(BroadcastContext) -> R + Sync,
+        R: Send,
+    {
+        let num_threads = self.threads.max(1);
+        if num_threads == 1 {
+            return vec![f(BroadcastContext {
+                index: 0,
+                num_threads: 1,
+            })];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..num_threads)
+                .map(|index| {
+                    let f = &f;
+                    scope.spawn(move || f(BroadcastContext { index, num_threads }))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stand-in broadcast worker panicked"))
+                .collect()
+        })
+    }
+}
+
+/// A scope for spawning borrowing tasks, mirroring `rayon::Scope`: every
+/// task spawned in the scope joins before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a fork-join scope: tasks spawned on it may borrow local data and
+/// are all joined before `scope` returns (panics in tasks propagate).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
 
 pub mod prelude {
     //! Glob-importable parallel iterator traits, mirroring `rayon::prelude`.
@@ -178,6 +312,42 @@ mod tests {
         if cores > 1 {
             assert!(distinct > 1, "expected work on more than one thread");
         }
+    }
+
+    #[test]
+    fn broadcast_runs_once_per_thread_in_index_order() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let out = pool.broadcast(|ctx| {
+            assert_eq!(ctx.num_threads(), 4);
+            ctx.index() * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        // Single-threaded pools run inline.
+        let one = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(one.broadcast(|ctx| ctx.index()), vec![0]);
+    }
+
+    #[test]
+    fn scope_joins_all_borrowing_tasks() {
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(16).collect();
+        super::scope(|s| {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (i * 16 + j) as u64;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
     }
 
     #[test]
