@@ -100,6 +100,16 @@ impl<'g> RandomPriorityMis<'g> {
         self.membership[u]
     }
 
+    /// Overwrites the membership of vertex `u` in place, modelling a
+    /// transient fault that corrupts the vertex's memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn set_membership(&mut self, u: VertexId, membership: Membership) {
+        self.membership[u] = membership;
+    }
+
     /// Runs until stabilization (at most `max_rounds` rounds) and returns the
     /// outcome summary.
     ///

@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p mis-bench --bin exp_e13_comm_models [-- --quick]`
 
-use mis_bench::experiments::lemmas::{comm_csv, e13_comm_models};
+use mis_bench::experiments::lemmas::{comm_csv, e13_comm_models, e13_registry_harness};
 use mis_bench::report::{print_section, write_results_file};
 use mis_bench::Scale;
 
@@ -16,6 +16,17 @@ fn main() {
         &csv,
     );
     if let Ok(path) = write_results_file("e13_comm_models.csv", &csv) {
+        println!("wrote {}", path.display());
+    }
+
+    // The same adaptations as first-class registry algorithms, driven
+    // end-to-end by the shared scheduler/observer harness.
+    let table = e13_registry_harness(scale);
+    print_section(
+        "E13b: communication models through the algorithm registry (run_experiment)",
+        &table.to_pretty(),
+    );
+    if let Ok(path) = write_results_file("e13_registry_harness.csv", &table.to_csv()) {
         println!("wrote {}", path.display());
     }
 }

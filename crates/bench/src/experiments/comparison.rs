@@ -77,6 +77,7 @@ pub fn e10_baselines(scale: Scale) -> Vec<BaselineRow> {
                 max_rounds: 1_000_000,
                 base_seed: 1000,
                 record_trace: false,
+                ..ExperimentSpec::default()
             };
             let result = run_experiment(&spec);
             let states = result.trials.first().map_or(0, |t| t.states_per_vertex);

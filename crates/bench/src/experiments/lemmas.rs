@@ -209,6 +209,54 @@ fn co_simulate<A: Process, B: Process>(
     (a.round(), identical)
 }
 
+/// E13 (harness section) — runs the three communication-model adaptations
+/// end-to-end through `run_experiment` via their registry keys
+/// (`beeping-two-state`, `stone-age-three-state`, `stone-age-three-color`),
+/// on a sparse `G(n,p)` and a clique: the same registry/scheduler/observer
+/// code path that drives every other algorithm of the workspace.
+pub fn e13_registry_harness(scale: Scale) -> mis_sim::sweep::SweepTable {
+    use mis_sim::runner::run_experiment;
+    use mis_sim::spec::{ExperimentSpec, GraphSpec};
+    use mis_sim::sweep::row_from_result;
+
+    let n = match scale {
+        Scale::Quick => 60,
+        Scale::Full => 300,
+    };
+    let trials = scale.trials(16);
+    let mut rows = Vec::new();
+    for key in [
+        "beeping-two-state",
+        "stone-age-three-state",
+        "stone-age-three-color",
+    ] {
+        for graph in [
+            GraphSpec::Gnp {
+                n,
+                p: 8.0 / n as f64,
+            },
+            GraphSpec::Complete { n: n / 4 },
+        ] {
+            let spec = ExperimentSpec::builder()
+                .name(format!("e13-{key}"))
+                .graph(graph)
+                .algorithm(key)
+                .init(InitStrategy::Random)
+                .trials(trials)
+                .max_rounds(1_000_000)
+                .base_seed(41_000)
+                .build();
+            let result = run_experiment(&spec);
+            assert!(
+                result.all_stabilized() && result.all_valid(),
+                "{key} failed through the registry harness"
+            );
+            rows.push(row_from_result(graph.n() as f64, &result));
+        }
+    }
+    mis_sim::sweep::SweepTable { rows }
+}
+
 /// Renders the E13 rows as CSV.
 pub fn comm_csv(rows: &[CommEquivalenceRow]) -> String {
     let mut out = String::from("adaptation,graph,rounds,traces_identical,valid_mis\n");

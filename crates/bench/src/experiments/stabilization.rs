@@ -61,6 +61,7 @@ fn spec(
         max_rounds: 1_000_000,
         base_seed,
         record_trace: false,
+        ..ExperimentSpec::default()
     }
 }
 

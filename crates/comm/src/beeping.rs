@@ -123,6 +123,45 @@ impl<'g> BeepingTwoStateMis<'g> {
         }
     }
 
+    /// Overwrites the color of node `u` in place, modelling a transient
+    /// fault that corrupts the node's memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn set_color(&mut self, u: VertexId, color: Color) {
+        self.states[u] = color;
+    }
+
+    /// Executes one beeping round in which only the nodes of `scheduled`
+    /// are activated: the channel round happens as usual (every black node
+    /// beeps), but only scheduled nodes apply the update rule; all others
+    /// keep their color. A full `scheduled` set is exactly a synchronous
+    /// [`step`](Process::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scheduled.universe() != n`.
+    pub fn step_scheduled(&mut self, scheduled: &VertexSet, rng: &mut dyn RngCore) {
+        assert_eq!(
+            scheduled.universe(),
+            self.graph.n(),
+            "scheduled set universe must match the graph"
+        );
+        let heard = self.heard();
+        for u in scheduled.iter() {
+            if Self::node_is_active(self.states[u], heard[u]) {
+                self.random_bits += 1;
+                self.states[u] = if rng.gen_bool(0.5) {
+                    Color::Black
+                } else {
+                    Color::White
+                };
+            }
+        }
+        self.round += 1;
+    }
+
     fn heard(&self) -> Vec<bool> {
         let beeping = VertexSet::from_indices(
             self.graph.n(),

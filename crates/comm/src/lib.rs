@@ -39,5 +39,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapters;
 pub mod beeping;
 pub mod stone_age;
+
+pub use adapters::{
+    register_comm_algorithms, BeepingTwoStateAlgorithm, StoneAgeThreeColorAlgorithm,
+    StoneAgeThreeStateAlgorithm,
+};

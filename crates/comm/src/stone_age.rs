@@ -124,6 +124,48 @@ impl<'g> StoneAgeThreeStateMis<'g> {
         }
     }
 
+    /// Overwrites the state of node `u` in place, modelling a transient
+    /// fault that corrupts the node's memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn set_state(&mut self, u: VertexId, state: ThreeState) {
+        self.states[u] = state;
+    }
+
+    /// Executes one stone-age round in which only the nodes of `scheduled`
+    /// are activated: the channel round happens as usual, but only
+    /// scheduled nodes apply the update rule (re-draw when active, retire
+    /// `black0 → white` under a `black1` neighbor); all others keep their
+    /// state. A full `scheduled` set is exactly a synchronous
+    /// [`step`](Process::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scheduled.universe() != n`.
+    pub fn step_scheduled(&mut self, scheduled: &VertexSet, rng: &mut dyn RngCore) {
+        assert_eq!(
+            scheduled.universe(),
+            self.graph.n(),
+            "scheduled set universe must match the graph"
+        );
+        let heard = self.heard();
+        for u in scheduled.iter() {
+            if Self::node_is_active(self.states[u], &heard[u]) {
+                self.random_bits += 1;
+                self.states[u] = if rng.gen_bool(0.5) {
+                    ThreeState::Black1
+                } else {
+                    ThreeState::Black0
+                };
+            } else if self.states[u] == ThreeState::Black0 {
+                self.states[u] = ThreeState::White;
+            }
+        }
+        self.round += 1;
+    }
+
     fn heard(&self) -> Vec<Vec<bool>> {
         let transmit: Vec<Option<u8>> = self
             .graph
@@ -346,6 +388,18 @@ impl<'g> StoneAgeThreeColorMis<'g> {
     /// The full color vector.
     pub fn colors(&self) -> &[ThreeColor] {
         &self.colors
+    }
+
+    /// Overwrites the color and switch level of node `u` in place, modelling
+    /// a transient fault that corrupts the node's memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range or `level > 5`.
+    pub fn set_node_state(&mut self, u: VertexId, color: ThreeColor, level: u8) {
+        assert!(level <= 5, "levels must be in 0..=5");
+        self.colors[u] = color;
+        self.levels[u] = level;
     }
 
     /// The letter node `u` transmits: its full `(color, level)` state.

@@ -1,0 +1,444 @@
+//! The unified, object-safe [`Algorithm`] interface and the string-keyed
+//! [`Registry`] behind the experiment harness.
+//!
+//! Everything the harness can run — the paper's three processes, the four
+//! baselines, and the weak-communication adaptations — is exposed through
+//! one dyn-compatible trait, so schedulers, observers, fault injection, and
+//! metric collection are written once and algorithms plug in by name:
+//!
+//! * [`Algorithm`] wraps a [`Process`] (or a terminated run) and adds the
+//!   capabilities the harness needs: scheduled (partial-activation) steps,
+//!   in-place fault injection, and capability flags
+//!   ([`supports_parallel`](Algorithm::supports_parallel),
+//!   [`supports_counter_rng`](Algorithm::supports_counter_rng),
+//!   [`communication_model`](Algorithm::communication_model), …).
+//! * [`AlgorithmFactory`] is the `init(graph, init_strategy, rng)` entry
+//!   point: it builds a boxed algorithm instance for one trial from an
+//!   [`AlgorithmConfig`].
+//! * [`Registry`] maps stable string keys (`"two-state"`,
+//!   `"beeping-two-state"`, …) to factories. Crates register their
+//!   algorithms (`mis_core::register_core_algorithms`, and the comm/baseline
+//!   equivalents); the sim crate composes the builtin registry and resolves
+//!   experiment specs through it.
+//!
+//! External algorithms join the harness by implementing the two traits and
+//! registering a factory — no enum needs to grow.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mis_graph::{Graph, VertexId, VertexSet};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::exec::ExecutionMode;
+use crate::init::InitStrategy;
+use crate::process::{Process, StateCounts};
+use crate::scheduler::Activation;
+
+/// The weakest communication model an algorithm's local rule needs.
+///
+/// Used by comparison tables and the `list_algorithms` tool; it does not
+/// change how the simulation executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommunicationModel {
+    /// The rule reads full neighbor states (shared-memory style simulation).
+    FullStateExchange,
+    /// One carrier bit per round: beep or listen, with sender collision
+    /// detection (Cornejo & Kuhn 2010; Afek et al. 2013).
+    Beeping,
+    /// One letter from a constant alphabet per round, detecting only
+    /// "no neighbor sent it" vs "some neighbor sent it"
+    /// (Emek & Wattenhofer 2013).
+    StoneAge,
+    /// Θ(log n)-bit messages per round (Luby-style priorities).
+    MessagePassing,
+    /// Not distributed at all: a centralized or sequential algorithm.
+    Centralized,
+}
+
+impl CommunicationModel {
+    /// Short label for tables and CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CommunicationModel::FullStateExchange => "full-state-exchange",
+            CommunicationModel::Beeping => "beeping",
+            CommunicationModel::StoneAge => "stone-age",
+            CommunicationModel::MessagePassing => "message-passing",
+            CommunicationModel::Centralized => "centralized",
+        }
+    }
+}
+
+impl fmt::Display for CommunicationModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything an [`Algorithm::step`] may use: the trial RNG stream and the
+/// activation chosen by the scheduler for this round.
+pub struct StepCtx<'a> {
+    /// The shared RNG stream of the trial.
+    pub rng: &'a mut dyn RngCore,
+    /// Which vertices the scheduler activated this round.
+    pub activation: &'a Activation,
+}
+
+impl<'a> StepCtx<'a> {
+    /// A context that activates every vertex (the synchronous model).
+    pub fn synchronous(rng: &'a mut dyn RngCore) -> Self {
+        StepCtx {
+            rng,
+            activation: &Activation::All,
+        }
+    }
+}
+
+/// A runnable MIS algorithm instance, bound to one graph for one trial.
+///
+/// This is the object-safe seam between the experiment harness and the
+/// algorithm implementations: the harness only ever holds a
+/// `Box<dyn Algorithm + 'g>`. Most accessors have default implementations
+/// that delegate to the wrapped [`Process`]; adapters override the methods
+/// where they have extra capabilities (scheduled steps, fault injection) and
+/// the capability flags that advertise them.
+pub trait Algorithm {
+    /// The registry key / display name of the algorithm.
+    fn name(&self) -> &'static str;
+
+    /// The weakest communication model the algorithm's rule needs.
+    fn communication_model(&self) -> CommunicationModel;
+
+    /// The wrapped process (read-only).
+    fn process(&self) -> &dyn Process;
+
+    /// The wrapped process (mutable).
+    fn process_mut(&mut self) -> &mut dyn Process;
+
+    /// Number of vertices of the underlying graph.
+    fn n(&self) -> usize {
+        self.process().n()
+    }
+
+    /// Rounds executed so far.
+    fn round(&self) -> usize {
+        self.process().round()
+    }
+
+    /// Executes one round under the activation in `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx.activation` is a subset but the algorithm does not
+    /// support partial activation (see
+    /// [`supports_partial_activation`](Self::supports_partial_activation)).
+    fn step(&mut self, ctx: StepCtx<'_>) {
+        match ctx.activation {
+            Activation::All => self.process_mut().step(ctx.rng),
+            Activation::Subset(_) => panic!(
+                "algorithm '{}' does not support partial activation; \
+                 use the synchronous scheduler",
+                self.name()
+            ),
+        }
+    }
+
+    /// `true` if the black set is an MIS and no state will change again
+    /// (for the 3-state process: no *blackness* will change again).
+    fn is_stabilized(&self) -> bool {
+        self.process().is_stabilized()
+    }
+
+    /// Aggregate counts of the current vertex partition.
+    fn counts(&self) -> StateCounts {
+        self.process().counts()
+    }
+
+    /// The current set of black vertices.
+    fn black_set(&self) -> VertexSet {
+        self.process().black_set()
+    }
+
+    /// States per vertex (the paper's "few states" metric); `usize::MAX`
+    /// for algorithms with super-constant state.
+    fn states_per_vertex(&self) -> usize {
+        self.process().states_per_vertex()
+    }
+
+    /// Total random bits drawn so far.
+    fn random_bits_used(&self) -> u64 {
+        self.process().random_bits_used()
+    }
+
+    /// Overwrites the states of `ceil(fraction · n)` uniformly chosen
+    /// vertices with uniformly random states (a transient fault) and returns
+    /// the number of vertices whose state actually changed.
+    ///
+    /// The default implementation does nothing and returns 0; algorithms
+    /// that can be corrupted override it and set
+    /// [`supports_fault_injection`](Self::supports_fault_injection).
+    fn inject_faults(&mut self, _fraction: f64, _rng: &mut dyn RngCore) -> usize {
+        0
+    }
+
+    /// `true` if rounds can run in intra-round data-parallel phases
+    /// ([`ExecutionMode::Parallel`]).
+    fn supports_parallel(&self) -> bool {
+        false
+    }
+
+    /// `true` if coins can come from the counter-based per-vertex RNG
+    /// (thread-count-invariant parallel trajectories).
+    fn supports_counter_rng(&self) -> bool {
+        false
+    }
+
+    /// `true` if [`step`](Self::step) accepts [`Activation::Subset`].
+    fn supports_partial_activation(&self) -> bool {
+        false
+    }
+
+    /// `true` if [`inject_faults`](Self::inject_faults) actually corrupts
+    /// state.
+    fn supports_fault_injection(&self) -> bool {
+        false
+    }
+
+    /// `true` if per-round [`counts`](Self::counts) traces are meaningful.
+    /// One-shot baselines (greedy, Luby, the sequential self-stabilizing
+    /// algorithm) run to completion inside their factory and report `false`.
+    fn supports_trace(&self) -> bool {
+        true
+    }
+}
+
+/// Per-trial construction parameters handed to an [`AlgorithmFactory`].
+#[derive(Debug, Clone, Copy)]
+pub struct AlgorithmConfig {
+    /// Initial-state strategy (self-stabilizing algorithms accept any).
+    pub init: InitStrategy,
+    /// Sequential shared-stream rounds or counter-based parallel rounds.
+    /// Algorithms that do not support parallel execution ignore this.
+    pub execution: ExecutionMode,
+    /// Seed keying the counter-based RNG of parallel-mode runs.
+    pub counter_seed: u64,
+}
+
+/// Builds [`Algorithm`] instances for one registry key.
+///
+/// `init` is the single entry point the harness calls per trial; it may
+/// consume randomness (initial states, or even a whole run for one-shot
+/// baselines), which is why it receives the trial RNG.
+pub trait AlgorithmFactory: Send + Sync {
+    /// The stable registry key (also used in specs and CSV output).
+    fn key(&self) -> &'static str;
+
+    /// One-line human-readable description for `list_algorithms`.
+    fn description(&self) -> &'static str;
+
+    /// The weakest communication model the algorithm's rule needs.
+    fn communication_model(&self) -> CommunicationModel;
+
+    /// Creates one algorithm instance on `graph` for one trial.
+    fn init<'g>(
+        &self,
+        graph: &'g Graph,
+        config: &AlgorithmConfig,
+        rng: &mut dyn RngCore,
+    ) -> Box<dyn Algorithm + 'g>;
+}
+
+/// A string-keyed collection of [`AlgorithmFactory`]s.
+///
+/// Keys are unique; registering a duplicate panics (it is always a
+/// programming error). Iteration order is the lexicographic key order, so
+/// listings and error messages are deterministic.
+#[derive(Default)]
+pub struct Registry {
+    entries: BTreeMap<&'static str, Box<dyn AlgorithmFactory>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds a factory under its [`key`](AlgorithmFactory::key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered.
+    pub fn register(&mut self, factory: Box<dyn AlgorithmFactory>) {
+        let key = factory.key();
+        assert!(
+            self.entries.insert(key, factory).is_none(),
+            "algorithm key '{key}' registered twice"
+        );
+    }
+
+    /// Looks up a factory by key.
+    pub fn get(&self, key: &str) -> Option<&dyn AlgorithmFactory> {
+        self.entries.get(key).map(|f| f.as_ref())
+    }
+
+    /// `true` if `key` is registered.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// All registered keys, in lexicographic order.
+    pub fn keys(&self) -> Vec<&'static str> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// All registered factories, in key order.
+    pub fn factories(&self) -> impl Iterator<Item = &dyn AlgorithmFactory> {
+        self.entries.values().map(|f| f.as_ref())
+    }
+
+    /// Number of registered algorithms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no algorithm is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("keys", &self.keys())
+            .finish()
+    }
+}
+
+/// Picks `ceil(fraction · n)` distinct fault victims, uniformly at random
+/// (uniform without replacement, via a partial Fisher–Yates shuffle that
+/// costs `O(count)` swaps and draws rather than `O(n)`). Shared by every
+/// [`Algorithm::inject_faults`] implementation so all algorithms corrupt
+/// the same number of vertices for the same fraction.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `[0, 1]`.
+pub fn fault_victims(n: usize, fraction: f64, rng: &mut dyn RngCore) -> Vec<VertexId> {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1], got {fraction}"
+    );
+    let count = ((fraction * n as f64).ceil() as usize).min(n);
+    let mut ids: Vec<VertexId> = (0..n).collect();
+    for i in 0..count {
+        let j = rng.gen_range(i..n);
+        ids.swap(i, j);
+    }
+    ids.truncate(count);
+    ids
+}
+
+/// Draws a uniformly random boolean (one random bit) from a dyn RNG —
+/// convenience for `inject_faults` implementations.
+pub(crate) fn coin(rng: &mut dyn RngCore) -> bool {
+    rng.gen_bool(0.5)
+}
+
+/// Draws a uniformly random value in `{0, 1, 2}` — convenience for
+/// `inject_faults` implementations over 3-valued state spaces.
+pub fn uniform3(rng: &mut dyn RngCore) -> u8 {
+    rng.gen_range(0..3u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    struct DummyFactory(&'static str);
+
+    impl AlgorithmFactory for DummyFactory {
+        fn key(&self) -> &'static str {
+            self.0
+        }
+        fn description(&self) -> &'static str {
+            "dummy"
+        }
+        fn communication_model(&self) -> CommunicationModel {
+            CommunicationModel::Centralized
+        }
+        fn init<'g>(
+            &self,
+            _graph: &'g Graph,
+            _config: &AlgorithmConfig,
+            _rng: &mut dyn RngCore,
+        ) -> Box<dyn Algorithm + 'g> {
+            unimplemented!("never constructed in these tests")
+        }
+    }
+
+    #[test]
+    fn registry_is_sorted_and_queryable() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        r.register(Box::new(DummyFactory("zeta")));
+        r.register(Box::new(DummyFactory("alpha")));
+        assert_eq!(r.keys(), vec!["alpha", "zeta"]);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains("alpha"));
+        assert!(!r.contains("beta"));
+        assert_eq!(r.get("zeta").unwrap().key(), "zeta");
+        assert!(r.get("beta").is_none());
+        assert_eq!(r.factories().count(), 2);
+        assert!(format!("{r:?}").contains("alpha"));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_key_panics() {
+        let mut r = Registry::new();
+        r.register(Box::new(DummyFactory("a")));
+        r.register(Box::new(DummyFactory("a")));
+    }
+
+    #[test]
+    fn fault_victims_counts_and_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(fault_victims(10, 0.0, &mut rng).len(), 0);
+        assert_eq!(fault_victims(10, 1.0, &mut rng).len(), 10);
+        assert_eq!(fault_victims(10, 0.25, &mut rng).len(), 3); // ceil(2.5)
+        let v = fault_victims(5, 0.5, &mut rng);
+        assert!(v.iter().all(|&u| u < 5));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), v.len(), "victims must be distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn fault_victims_rejects_bad_fraction() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        fault_victims(4, -0.1, &mut rng);
+    }
+
+    #[test]
+    fn communication_model_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> = [
+            CommunicationModel::FullStateExchange,
+            CommunicationModel::Beeping,
+            CommunicationModel::StoneAge,
+            CommunicationModel::MessagePassing,
+            CommunicationModel::Centralized,
+        ]
+        .iter()
+        .map(|m| m.label())
+        .collect();
+        assert_eq!(labels.len(), 5);
+        assert_eq!(CommunicationModel::Beeping.to_string(), "beeping");
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! The paper's processes are synchronous *parallel* updates — each vertex
 //! flips its own coins, independently of every other vertex. A single
-//! sequential RNG stream (the [`rand_chacha`] stream the sequential engine
+//! sequential RNG stream (the `rand_chacha` stream the sequential engine
 //! uses) forces an artificial total order on those coin flips: draws must
 //! happen in ascending vertex id or the run is not reproducible, which in
 //! turn serializes the whole round. [`CounterRng`] removes the order

@@ -58,6 +58,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapters;
+pub mod algorithm;
 pub mod counter_rng;
 pub mod engine;
 pub mod exec;
@@ -65,17 +67,26 @@ pub mod init;
 mod log_switch;
 pub mod packed;
 mod process;
+pub mod scheduler;
 pub mod sync;
 mod three_color;
 mod three_state;
 mod two_state;
 
+pub use adapters::{
+    register_core_algorithms, ThreeColorAlgorithm, ThreeStateAlgorithm, TwoStateAlgorithm,
+};
+pub use algorithm::{
+    fault_victims, Algorithm, AlgorithmConfig, AlgorithmFactory, CommunicationModel, Registry,
+    StepCtx,
+};
 pub use counter_rng::CounterRng;
 pub use engine::{FrontierEngine, ScatterSink, VertexClass};
 pub use exec::ExecutionMode;
 pub use log_switch::{FixedPeriodSwitch, RandomizedLogSwitch, SwitchProcess, DEFAULT_ZETA};
 pub use packed::PackedStates;
 pub use process::{Process, StabilizationTimeout, StateCounts};
+pub use scheduler::{Activation, CentralDaemon, RandomSubset, Scheduler, Synchronous};
 pub use three_color::{ThreeColor, ThreeColorProcess, LOG_SWITCH_A};
 pub use three_state::{ThreeState, ThreeStateProcess};
 pub use two_state::{Color, TwoStateProcess};

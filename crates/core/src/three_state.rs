@@ -384,6 +384,53 @@ impl<'g> ThreeStateProcess<'g> {
         self.round += 1;
     }
 
+    /// Executes one round in which only the vertices of `scheduled` are
+    /// activated: a scheduled *active* vertex re-draws from
+    /// `{black1, black0}`, a scheduled non-active `black0` vertex (one with
+    /// a `black1` neighbor) retires to white, and every other vertex keeps
+    /// its state. All decisions are made against the pre-round
+    /// configuration, in ascending vertex order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scheduled.universe() != n`.
+    pub fn step_scheduled(&mut self, scheduled: &VertexSet, rng: &mut dyn RngCore) {
+        assert_eq!(
+            scheduled.universe(),
+            self.n(),
+            "scheduled set universe must match the graph"
+        );
+        self.changes.clear();
+        for u in scheduled.iter() {
+            let old = ThreeState::from_code(self.states.get(u));
+            if self.engine.is_active(u) {
+                self.random_bits += 1;
+                let new = if rng.gen_bool(0.5) {
+                    ThreeState::Black1
+                } else {
+                    ThreeState::Black0
+                };
+                if new != old {
+                    self.changes.push((u, new));
+                }
+            } else if old == ThreeState::Black0 {
+                // black0 with a black1 neighbor retires to white.
+                self.changes.push((u, ThreeState::White));
+            }
+        }
+        for i in 0..self.changes.len() {
+            let (u, state) = self.changes[i];
+            let old = ThreeState::from_code(self.states.get(u));
+            self.states.set(u, state.code());
+            self.apply_black1_delta(u, old, state);
+            self.engine.set_black(self.graph, u, state.is_black());
+        }
+        let states = &self.states;
+        let black1_nbrs = &self.black1_nbrs;
+        self.engine.flush(self.graph, classify(states, black1_nbrs));
+        self.round += 1;
+    }
+
     /// One counter-based round on `threads` threads; results are
     /// bit-identical for every thread count. The phase structure lives in
     /// [`FrontierEngine::par_round`]; this supplies the 3-state decide

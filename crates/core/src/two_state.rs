@@ -335,6 +335,49 @@ impl<'g> TwoStateProcess<'g> {
         self.round += 1;
     }
 
+    /// Executes one round in which only the vertices of `scheduled` are
+    /// activated (a partial-activation round under a non-synchronous
+    /// scheduler): every scheduled *active* vertex re-draws its state
+    /// uniformly at random against the pre-round configuration, all other
+    /// vertices keep their state. Draws happen in ascending vertex order
+    /// from the shared stream; a full `scheduled` set consumes exactly the
+    /// coins of a sequential [`step`](Process::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scheduled.universe() != n`.
+    pub fn step_scheduled(&mut self, scheduled: &VertexSet, rng: &mut dyn RngCore) {
+        assert_eq!(
+            scheduled.universe(),
+            self.n(),
+            "scheduled set universe must match the graph"
+        );
+        // Decide against the pre-round configuration, then apply: the
+        // engine's activity bits are only mutated after every coin is drawn.
+        self.changes.clear();
+        for u in scheduled.iter() {
+            if self.engine.is_active(u) {
+                self.random_bits += 1;
+                let new = if rng.gen_bool(0.5) {
+                    Color::Black
+                } else {
+                    Color::White
+                };
+                if new != Color::from_code(self.states.get(u)) {
+                    self.changes.push((u, new));
+                }
+            }
+        }
+        for i in 0..self.changes.len() {
+            let (u, color) = self.changes[i];
+            self.states.set(u, color.code());
+            self.engine.set_black(self.graph, u, color.is_black());
+        }
+        let states = &self.states;
+        self.engine.flush(self.graph, classify(states));
+        self.round += 1;
+    }
+
     /// One counter-based round on `threads` threads; results are
     /// bit-identical for every thread count. The phase structure lives in
     /// [`FrontierEngine::par_round`]; this only supplies the 2-state decide

@@ -1,0 +1,26 @@
+//! Prints the builtin algorithm registry: one line per algorithm with its
+//! key, communication model, and description.
+//!
+//! Usage: `cargo run -p mis-sim --bin list_algorithms` (or
+//! `just list-algorithms`). CI runs this as a smoke check that every
+//! builtin algorithm registers cleanly.
+
+use mis_sim::builtin_registry;
+
+fn main() {
+    let registry = builtin_registry();
+    println!(
+        "{} registered algorithms\n{:<24} {:<20} description",
+        registry.len(),
+        "key",
+        "communication"
+    );
+    for factory in registry.factories() {
+        println!(
+            "{:<24} {:<20} {}",
+            factory.key(),
+            factory.communication_model().label(),
+            factory.description()
+        );
+    }
+}

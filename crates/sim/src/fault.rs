@@ -12,7 +12,6 @@ use mis_core::{
     TwoStateProcess,
 };
 use mis_graph::Graph;
-use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -30,17 +29,12 @@ pub trait Corruptible: Process {
     fn corrupt_fraction<R: Rng>(&mut self, fraction: f64, rng: &mut R);
 }
 
-/// Picks `ceil(fraction · n)` distinct victim vertices.
+/// Picks `ceil(fraction · n)` distinct victim vertices — the shared sampler
+/// behind every corruption path, so the legacy `Corruptible` experiments and
+/// [`mis_core::Algorithm::inject_faults`] disturb identically many vertices
+/// for the same fraction.
 fn victims<R: Rng>(n: usize, fraction: f64, rng: &mut R) -> Vec<usize> {
-    assert!(
-        (0.0..=1.0).contains(&fraction),
-        "fraction must be in [0, 1], got {fraction}"
-    );
-    let count = (fraction * n as f64).ceil() as usize;
-    let mut ids: Vec<usize> = (0..n).collect();
-    ids.shuffle(rng);
-    ids.truncate(count.min(n));
-    ids
+    mis_core::fault_victims(n, fraction, rng)
 }
 
 impl Corruptible for TwoStateProcess<'_> {

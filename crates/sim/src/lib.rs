@@ -1,41 +1,48 @@
 //! Experiment harness for the `selfstab-mis` workspace.
 //!
-//! This crate turns the processes of `mis-core` (and the baselines of
-//! `mis-baselines`) into reproducible, parallel Monte-Carlo experiments:
+//! This crate turns every algorithm of the workspace — the `mis-core`
+//! processes, the `mis-comm` weak-communication adaptations, and the
+//! `mis-baselines` comparators — into reproducible, parallel Monte-Carlo
+//! experiments:
 //!
-//! * [`spec`] — declarative experiment specifications: which graph family
-//!   ([`spec::GraphSpec`]), which process ([`spec::ProcessSelector`]), which
-//!   initialization, how many trials, which seed.
+//! * [`registry`] — the builtin string-keyed algorithm registry
+//!   ([`registry::builtin_registry`]): ten algorithms behind one object-safe
+//!   [`mis_core::Algorithm`] seam.
+//! * [`spec`] — declarative experiment specifications: which algorithm
+//!   (registry key or legacy [`spec::ProcessSelector`]), which graph family
+//!   ([`spec::GraphSpec`]), which scheduler ([`spec::SchedulerSpec`]), which
+//!   initialization, optional fault injection, how many trials, which seed.
+//!   Build them with [`spec::ExperimentSpec::builder`].
 //! * [`runner`] — executes a specification: every trial gets its own
 //!   deterministic RNG stream (derived from the base seed and the trial
 //!   index), trials run in parallel with rayon, and every stabilized trial is
 //!   validated against [`mis_graph::mis_check::is_mis`].
+//! * [`observer`] — streaming per-round telemetry
+//!   ([`observer::Observer`]): traces, CSV emission, and custom metrics all
+//!   feed off the one drive loop in [`runner::drive_algorithm`].
 //! * [`metrics`] — per-trial results and optional per-round traces.
 //! * [`stats`] — summary statistics (mean, quantiles, standard deviation)
 //!   used by the experiment tables.
 //! * [`sweep`] — parameter sweeps producing CSV tables, one row per
 //!   parameter value.
 //! * [`fault`] — transient-fault injection for the self-stabilization
-//!   (recovery) experiments.
+//!   (recovery) experiments; prefer [`spec::FaultSpec`] plus the unified
+//!   [`mis_core::Algorithm::inject_faults`] for new experiments.
 //!
 //! # Example
 //!
 //! ```
-//! use mis_sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec, ProcessSelector};
+//! use mis_sim::spec::{ExperimentSpec, GraphSpec};
 //! use mis_sim::runner::run_experiment;
-//! use mis_core::init::InitStrategy;
 //!
-//! let spec = ExperimentSpec {
-//!     name: "quick-demo".into(),
-//!     graph: GraphSpec::Gnp { n: 100, p: 0.05 },
-//!     process: ProcessSelector::TwoState,
-//!     init: InitStrategy::Random,
-//!     execution: ExecutionMode::Sequential,
-//!     trials: 8,
-//!     max_rounds: 100_000,
-//!     base_seed: 42,
-//!     record_trace: false,
-//! };
+//! // The beeping-model adaptation, addressed by registry key.
+//! let spec = ExperimentSpec::builder()
+//!     .name("quick-demo")
+//!     .graph(GraphSpec::Gnp { n: 100, p: 0.05 })
+//!     .algorithm("beeping-two-state")
+//!     .trials(8)
+//!     .base_seed(42)
+//!     .build();
 //! let result = run_experiment(&spec);
 //! assert_eq!(result.trials.len(), 8);
 //! assert!(result.all_stabilized());
@@ -47,12 +54,18 @@
 
 pub mod fault;
 pub mod metrics;
+pub mod observer;
+pub mod registry;
 pub mod runner;
 pub mod spec;
 pub mod stats;
 pub mod sweep;
 
 pub use metrics::{RoundTrace, TrialResult};
-pub use runner::{run_experiment, DriveOutcome, ExperimentResult};
-pub use spec::{ExperimentSpec, GraphSpec, ProcessSelector};
+pub use observer::{CsvRoundObserver, EventLogObserver, Observer, TraceObserver};
+pub use registry::{builtin_registry, register_builtin_algorithms};
+pub use runner::{
+    drive_algorithm, run_experiment, run_experiment_with, DriveOutcome, ExperimentResult,
+};
+pub use spec::{ExperimentSpec, FaultSpec, GraphSpec, ProcessSelector, SchedulerSpec};
 pub use stats::Summary;

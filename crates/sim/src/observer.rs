@@ -1,0 +1,248 @@
+//! Streaming observers: per-round telemetry without materializing state.
+//!
+//! The driver ([`drive_algorithm`](crate::runner::drive_algorithm)) pushes
+//! events to any number of [`Observer`]s while a trial runs: one callback
+//! per executed round with the aggregate [`StateCounts`], one when the
+//! algorithm stabilizes, and one per injected fault. Traces
+//! ([`TraceObserver`]), CSV emission ([`CsvRoundObserver`]), and custom
+//! telemetry (e.g. streaming quantiles at `n = 10^7`, where storing a full
+//! trace is not an option) all hang off this one code path instead of
+//! each re-implementing the drive loop.
+//!
+//! When **no** observer is attached the driver skips the per-round
+//! [`counts`](mis_core::Algorithm::counts) calls entirely, so algorithms
+//! whose counts are `O(n + m)` (the communication models) pay nothing for
+//! the API's existence.
+
+use mis_core::StateCounts;
+
+use crate::metrics::RoundTrace;
+
+/// Receives streaming events while a trial is driven.
+///
+/// All methods have empty default implementations; implement only the
+/// events you care about.
+pub trait Observer {
+    /// Called once before the first round (with the initial configuration
+    /// at `round = 0`) and once after every executed round. A fault
+    /// injection re-emits the *current* round with the post-corruption
+    /// counts (immediately after
+    /// [`on_fault_injection`](Self::on_fault_injection)), so recovery
+    /// curves include the unstable spike the fault produced.
+    fn on_round(&mut self, round: usize, counts: &StateCounts) {
+        let _ = (round, counts);
+    }
+
+    /// Called once if the algorithm stabilizes within its round budget.
+    fn on_stabilized(&mut self, round: usize) {
+        let _ = round;
+    }
+
+    /// Called after each fault injection with the number of vertices whose
+    /// state actually changed.
+    fn on_fault_injection(&mut self, round: usize, corrupted: usize) {
+        let _ = (round, corrupted);
+    }
+}
+
+/// Collects the per-round [`StateCounts`] into a [`RoundTrace`] — the
+/// observer behind `record_trace` experiment specs.
+#[derive(Debug, Clone, Default)]
+pub struct TraceObserver {
+    trace: RoundTrace,
+}
+
+impl TraceObserver {
+    /// An empty trace observer.
+    pub fn new() -> Self {
+        TraceObserver::default()
+    }
+
+    /// The collected trace.
+    pub fn into_trace(self) -> RoundTrace {
+        self.trace
+    }
+}
+
+impl Observer for TraceObserver {
+    fn on_round(&mut self, _round: usize, counts: &StateCounts) {
+        self.trace.counts.push(*counts);
+    }
+}
+
+/// One event recorded by [`EventLogObserver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserverEvent {
+    /// A round completed (or the initial configuration was reported).
+    Round {
+        /// Round index.
+        round: usize,
+        /// Number of non-stable vertices `|V_t|` at that round.
+        unstable: usize,
+    },
+    /// The algorithm stabilized.
+    Stabilized {
+        /// Round at which it stabilized.
+        round: usize,
+    },
+    /// A transient fault was injected.
+    FaultInjection {
+        /// Round at which the fault hit.
+        round: usize,
+        /// Vertices whose state actually changed.
+        corrupted: usize,
+    },
+}
+
+/// Records every event in order — useful for tests and for debugging
+/// scheduler/fault interactions.
+#[derive(Debug, Clone, Default)]
+pub struct EventLogObserver {
+    /// The recorded events, in emission order.
+    pub events: Vec<ObserverEvent>,
+}
+
+impl EventLogObserver {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLogObserver::default()
+    }
+
+    /// The round reported by the final `Stabilized` event, if any.
+    pub fn stabilized_at(&self) -> Option<usize> {
+        self.events.iter().rev().find_map(|e| match e {
+            ObserverEvent::Stabilized { round } => Some(*round),
+            _ => None,
+        })
+    }
+
+    /// Total vertices corrupted over all fault injections.
+    pub fn total_corrupted(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                ObserverEvent::FaultInjection { corrupted, .. } => *corrupted,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl Observer for EventLogObserver {
+    fn on_round(&mut self, round: usize, counts: &StateCounts) {
+        self.events.push(ObserverEvent::Round {
+            round,
+            unstable: counts.unstable,
+        });
+    }
+
+    fn on_stabilized(&mut self, round: usize) {
+        self.events.push(ObserverEvent::Stabilized { round });
+    }
+
+    fn on_fault_injection(&mut self, round: usize, corrupted: usize) {
+        self.events
+            .push(ObserverEvent::FaultInjection { round, corrupted });
+    }
+}
+
+/// Streams per-round counts as CSV rows into an in-memory buffer — the
+/// building block the experiment binaries use to dump round-resolved
+/// telemetry without holding a trace.
+#[derive(Debug, Clone)]
+pub struct CsvRoundObserver {
+    buffer: String,
+}
+
+impl CsvRoundObserver {
+    /// A buffer primed with the CSV header.
+    pub fn new() -> Self {
+        CsvRoundObserver {
+            buffer: String::from("round,black,non_black,active,stable_black,unstable\n"),
+        }
+    }
+
+    /// The accumulated CSV (header plus one row per observed round).
+    pub fn csv(&self) -> &str {
+        &self.buffer
+    }
+}
+
+impl Default for CsvRoundObserver {
+    fn default() -> Self {
+        CsvRoundObserver::new()
+    }
+}
+
+impl Observer for CsvRoundObserver {
+    fn on_round(&mut self, round: usize, counts: &StateCounts) {
+        self.buffer.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            round,
+            counts.black,
+            counts.non_black,
+            counts.active,
+            counts.stable_black,
+            counts.unstable
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(unstable: usize) -> StateCounts {
+        StateCounts {
+            unstable,
+            ..StateCounts::default()
+        }
+    }
+
+    #[test]
+    fn trace_observer_collects_rounds() {
+        let mut o = TraceObserver::new();
+        o.on_round(0, &counts(5));
+        o.on_round(1, &counts(2));
+        o.on_stabilized(1); // ignored by the trace
+        let trace = o.into_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.counts[1].unstable, 2);
+    }
+
+    #[test]
+    fn event_log_records_in_order() {
+        let mut o = EventLogObserver::new();
+        o.on_round(0, &counts(4));
+        o.on_fault_injection(3, 2);
+        o.on_stabilized(7);
+        assert_eq!(o.events.len(), 3);
+        assert_eq!(o.stabilized_at(), Some(7));
+        assert_eq!(o.total_corrupted(), 2);
+        assert_eq!(
+            o.events[0],
+            ObserverEvent::Round {
+                round: 0,
+                unstable: 4
+            }
+        );
+    }
+
+    #[test]
+    fn event_log_without_stabilization() {
+        let o = EventLogObserver::new();
+        assert_eq!(o.stabilized_at(), None);
+        assert_eq!(o.total_corrupted(), 0);
+    }
+
+    #[test]
+    fn csv_observer_streams_rows() {
+        let mut o = CsvRoundObserver::new();
+        o.on_round(0, &counts(3));
+        o.on_round(1, &counts(0));
+        let csv = o.csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("round,"));
+        assert!(csv.ends_with("1,0,0,0,0,0\n"));
+    }
+}

@@ -1,6 +1,16 @@
 //! Executes experiment specifications: one deterministic RNG stream per
 //! trial, parallel trials, and MIS validation of every outcome.
 //!
+//! A trial resolves its algorithm through the string-keyed [`Registry`]
+//! (see [`builtin_registry`]), builds the scheduler from the spec, and
+//! hands both to [`drive_algorithm`], which streams per-round events to any
+//! attached [`Observer`]s. Legacy
+//! [`ProcessSelector`](crate::spec::ProcessSelector)-based specs resolve
+//! through the same path and are
+//! bit-identical to the pre-registry harness (same RNG stream, same rounds,
+//! same MIS, same random-bit counts), which the
+//! `tests/legacy_equivalence.rs` regression suite pins down.
+//!
 //! Two layers of parallelism are available and composable per spec:
 //! independent trials always run on the rayon trial pool
 //! (`run_experiment`), and a spec whose `execution` is
@@ -11,19 +21,20 @@
 
 use std::sync::Arc;
 
-use mis_baselines::{
-    greedy_mis_random_order, luby_mis, RandomPriorityMis, SequentialScheduler,
-    SequentialSelfStabMis,
-};
-use mis_core::{Process, ThreeColorProcess, ThreeStateProcess, TwoStateProcess};
+use mis_core::scheduler::Scheduler;
+use mis_core::{Algorithm, AlgorithmConfig, Registry, StepCtx};
 use mis_graph::{mis_check, Graph, VertexSet};
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::{RoundTrace, TrialResult};
-use crate::spec::{ExperimentSpec, ProcessSelector};
+use crate::observer::{Observer, TraceObserver};
+use crate::registry::builtin_registry;
+#[cfg(test)]
+use crate::spec::ProcessSelector;
+use crate::spec::{ExperimentSpec, FaultSpec};
 use crate::stats::Summary;
 
 /// Salt mixed into the per-trial seed to key the counter-based RNG of
@@ -69,22 +80,37 @@ impl ExperimentResult {
 }
 
 /// Runs a single trial of `spec` with the RNG stream derived from
-/// `spec.base_seed + trial`.
+/// `spec.base_seed + trial`, resolving the algorithm in the builtin
+/// registry.
 ///
-/// The trial re-samples the graph (for random families), runs the selected
-/// process to stabilization or until the round budget is exhausted, validates
-/// the resulting black set, and returns the full [`TrialResult`].
+/// The trial re-samples the graph (for random families), drives the
+/// algorithm under the spec's scheduler to stabilization or until the round
+/// budget is exhausted, validates the resulting black set, and returns the
+/// full [`TrialResult`].
+///
+/// # Panics
+///
+/// Panics if the spec names an unknown algorithm, requests a
+/// non-synchronous scheduler for an algorithm without partial-activation
+/// support, or requests fault injection for an algorithm that cannot be
+/// corrupted.
 pub fn run_trial(spec: &ExperimentSpec, trial: usize) -> TrialResult {
-    run_trial_on(spec, trial, None)
+    run_trial_on(builtin_registry(), spec, trial, None)
 }
 
-/// [`run_trial`] with an optional pre-generated graph.
+/// [`run_trial`] with an explicit registry and an optional pre-generated
+/// graph.
 ///
 /// `shared_graph` is only sound for deterministic graph families
 /// ([`GraphSpec::is_deterministic`](crate::spec::GraphSpec::is_deterministic)):
 /// their generation consumes no randomness, so skipping it leaves the
 /// trial's RNG stream — and therefore every result — unchanged.
-fn run_trial_on(spec: &ExperimentSpec, trial: usize, shared_graph: Option<&Graph>) -> TrialResult {
+fn run_trial_on(
+    registry: &Registry,
+    spec: &ExperimentSpec,
+    trial: usize,
+    shared_graph: Option<&Graph>,
+) -> TrialResult {
     let seed = spec.base_seed.wrapping_add(trial as u64);
     let counter_seed = seed ^ COUNTER_SEED_SALT;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -103,66 +129,46 @@ fn run_trial_on(spec: &ExperimentSpec, trial: usize, shared_graph: Option<&Graph
         }
     };
 
-    let outcome = match spec.process {
-        ProcessSelector::TwoState => {
-            let mut proc = TwoStateProcess::with_init(graph, spec.init, &mut rng);
-            proc.set_execution(spec.execution, counter_seed);
-            drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
-        }
-        ProcessSelector::ThreeState => {
-            let mut proc = ThreeStateProcess::with_init(graph, spec.init, &mut rng);
-            proc.set_execution(spec.execution, counter_seed);
-            drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
-        }
-        ProcessSelector::ThreeColor => {
-            let mut proc = ThreeColorProcess::with_randomized_switch(graph, spec.init, &mut rng);
-            proc.set_execution(spec.execution, counter_seed);
-            drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
-        }
-        ProcessSelector::RandomPriority => {
-            let proc = RandomPriorityMis::random_init(graph, &mut rng);
-            drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
-        }
-        ProcessSelector::Luby => {
-            let out = luby_mis(graph, &mut rng);
-            DriveOutcome {
-                rounds: out.rounds,
-                stabilized: true,
-                black_set: out.mis,
-                random_bits: out.random_bits,
-                states_per_vertex: usize::MAX,
-                trace: None,
-            }
-        }
-        ProcessSelector::Greedy => {
-            // One centralized pass in a random scan order; its shuffle
-            // randomness is not metered as per-vertex random bits.
-            let mis = greedy_mis_random_order(graph, &mut rng);
-            DriveOutcome {
-                rounds: 1,
-                stabilized: true,
-                black_set: mis,
-                random_bits: 0,
-                states_per_vertex: usize::MAX,
-                trace: None,
-            }
-        }
-        ProcessSelector::SequentialSelfStab => {
-            let init = spec.init.two_state(graph.n(), &mut rng);
-            let mut alg = SequentialSelfStabMis::new(graph, init);
-            let out = alg.run(SequentialScheduler::SmallestId, &mut rng);
-            DriveOutcome {
-                // `rounds` carries the move count: the algorithm's natural
-                // cost measure under a central scheduler (at most 2n).
-                rounds: out.moves,
-                stabilized: true,
-                black_set: out.mis,
-                random_bits: 0,
-                states_per_vertex: 2,
-                trace: None,
-            }
-        }
+    let key = spec.algorithm_key();
+    let factory = registry.get(key).unwrap_or_else(|| {
+        panic!(
+            "no algorithm '{key}' in the registry (known: {})",
+            registry.keys().join(", ")
+        )
+    });
+    let config = AlgorithmConfig {
+        init: spec.init,
+        execution: spec.execution,
+        counter_seed,
     };
+    let mut alg = factory.init(graph, &config, &mut rng);
+    assert!(
+        spec.scheduler.is_synchronous() || alg.supports_partial_activation(),
+        "algorithm '{key}' does not support the {} scheduler (no partial activation)",
+        spec.scheduler.label()
+    );
+    assert!(
+        spec.fault.is_none() || alg.supports_fault_injection(),
+        "algorithm '{key}' does not support fault injection"
+    );
+
+    let mut scheduler = spec.scheduler.build();
+    let mut trace_observer = (spec.record_trace && alg.supports_trace()).then(TraceObserver::new);
+    let mut outcome = {
+        let mut observers: Vec<&mut dyn Observer> = Vec::new();
+        if let Some(obs) = trace_observer.as_mut() {
+            observers.push(obs);
+        }
+        drive_algorithm(
+            alg.as_mut(),
+            scheduler.as_mut(),
+            &mut rng,
+            spec.max_rounds,
+            spec.fault,
+            &mut observers,
+        )
+    };
+    outcome.trace = trace_observer.map(TraceObserver::into_trace);
 
     let valid_mis = outcome.stabilized && mis_check::is_mis(graph, &outcome.black_set);
     TrialResult {
@@ -181,7 +187,7 @@ fn run_trial_on(spec: &ExperimentSpec, trial: usize, shared_graph: Option<&Graph
 }
 
 /// Runs every trial of `spec`, in parallel, and collects the results in trial
-/// order.
+/// order, resolving algorithms in the builtin registry.
 ///
 /// For deterministic graph families (complete graphs, paths, cycles, stars,
 /// grids, disjoint cliques) the graph is generated **once** and shared
@@ -189,6 +195,12 @@ fn run_trial_on(spec: &ExperimentSpec, trial: usize, shared_graph: Option<&Graph
 /// trial — generation consumes no randomness for those families, so the
 /// per-trial RNG streams (and all results) are unchanged.
 pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    run_experiment_with(builtin_registry(), spec)
+}
+
+/// [`run_experiment`] against an explicit [`Registry`] — the entry point
+/// for external algorithms registered outside this workspace.
+pub fn run_experiment_with(registry: &Registry, spec: &ExperimentSpec) -> ExperimentResult {
     let shared_graph: Option<Arc<Graph>> = spec.graph.is_deterministic().then(|| {
         // The RNG is unused by deterministic generators; any seed works.
         let mut rng = ChaCha8Rng::seed_from_u64(0);
@@ -197,7 +209,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     let shared_ref = &shared_graph;
     let trials: Vec<TrialResult> = (0..spec.trials)
         .into_par_iter()
-        .map(|trial| run_trial_on(spec, trial, shared_ref.as_deref()))
+        .map(|trial| run_trial_on(registry, spec, trial, shared_ref.as_deref()))
         .collect();
     ExperimentResult {
         spec: spec.clone(),
@@ -206,7 +218,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
 }
 
 /// What driving one algorithm on one graph produced: the measurements every
-/// process kind (and baseline) reports into a [`TrialResult`].
+/// algorithm reports into a [`TrialResult`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DriveOutcome {
     /// Rounds executed (for the sequential baseline: moves executed).
@@ -220,37 +232,90 @@ pub struct DriveOutcome {
     /// States per vertex of the algorithm (`usize::MAX` for baselines with
     /// super-constant state).
     pub states_per_vertex: usize,
-    /// Per-round trace, when requested.
+    /// Per-round trace, when requested (filled in by the caller from a
+    /// [`TraceObserver`]; [`drive_algorithm`] itself streams to observers
+    /// instead of accumulating).
     pub trace: Option<RoundTrace>,
 }
 
-/// Drives a [`Process`] to stabilization, optionally recording a per-round
-/// trace, and collects the measurements shared by all process kinds.
-fn drive<P: Process>(
-    mut proc: P,
-    rng: &mut ChaCha8Rng,
+/// Drives an [`Algorithm`] under a [`Scheduler`] until it stabilizes, the
+/// round budget runs out, or both phases of an optional fault-injection
+/// experiment complete, streaming per-round events to `observers`.
+///
+/// The contract mirrors the paper's execution model: before each round the
+/// scheduler picks the activation, the algorithm applies its local rule on
+/// the activated vertices, and observers see the aggregate counts. A
+/// [`FaultSpec`] fires once — at stabilization or at its `at_round`,
+/// whichever comes first — after which the loop continues until
+/// re-stabilization.
+///
+/// When `observers` is empty, per-round [`Algorithm::counts`] calls are
+/// skipped entirely (they are `O(n + m)` for the communication models).
+pub fn drive_algorithm(
+    alg: &mut dyn Algorithm,
+    scheduler: &mut dyn Scheduler,
+    rng: &mut dyn RngCore,
     max_rounds: usize,
-    record_trace: bool,
+    fault: Option<FaultSpec>,
+    observers: &mut [&mut dyn Observer],
 ) -> DriveOutcome {
-    let mut trace = record_trace.then(RoundTrace::default);
-    if let Some(t) = trace.as_mut() {
-        t.counts.push(proc.counts());
-    }
-    let mut stabilized = proc.is_stabilized();
-    while !stabilized && proc.round() < max_rounds {
-        proc.step(rng);
-        if let Some(t) = trace.as_mut() {
-            t.counts.push(proc.counts());
+    let observe = !observers.is_empty();
+    if observe {
+        let counts = alg.counts();
+        for obs in observers.iter_mut() {
+            obs.on_round(alg.round(), &counts);
         }
-        stabilized = proc.is_stabilized();
+    }
+    let mut pending_fault = fault;
+    let mut stabilized = alg.is_stabilized();
+    loop {
+        if let Some(f) = pending_fault {
+            if stabilized || alg.round() >= f.at_round {
+                let corrupted = alg.inject_faults(f.fraction, rng);
+                pending_fault = None;
+                for obs in observers.iter_mut() {
+                    obs.on_fault_injection(alg.round(), corrupted);
+                }
+                if observe {
+                    // Re-emit the current round with the post-corruption
+                    // counts: the unstable spike recovery curves measure.
+                    let counts = alg.counts();
+                    for obs in observers.iter_mut() {
+                        obs.on_round(alg.round(), &counts);
+                    }
+                }
+                stabilized = alg.is_stabilized();
+                continue;
+            }
+        }
+        if stabilized || alg.round() >= max_rounds {
+            break;
+        }
+        let activation = scheduler.next_activation(alg.n(), alg.round(), rng);
+        alg.step(StepCtx {
+            rng,
+            activation: &activation,
+        });
+        if observe {
+            let counts = alg.counts();
+            for obs in observers.iter_mut() {
+                obs.on_round(alg.round(), &counts);
+            }
+        }
+        stabilized = alg.is_stabilized();
+    }
+    if stabilized {
+        for obs in observers.iter_mut() {
+            obs.on_stabilized(alg.round());
+        }
     }
     DriveOutcome {
-        rounds: proc.round(),
+        rounds: alg.round(),
         stabilized,
-        black_set: proc.black_set(),
-        random_bits: proc.random_bits_used(),
-        states_per_vertex: proc.states_per_vertex(),
-        trace,
+        black_set: alg.black_set(),
+        random_bits: alg.random_bits_used(),
+        states_per_vertex: alg.states_per_vertex(),
+        trace: None,
     }
 }
 
@@ -269,14 +334,16 @@ pub fn stabilization_time_two_state(
     max_rounds: usize,
 ) -> Result<usize, mis_core::StabilizationTimeout> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut proc = TwoStateProcess::with_init(graph, init, &mut rng);
+    let mut proc = mis_core::TwoStateProcess::with_init(graph, init, &mut rng);
+    use mis_core::Process;
     proc.run_to_stabilization(&mut rng, max_rounds)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::GraphSpec;
+    use crate::observer::{EventLogObserver, ObserverEvent};
+    use crate::spec::{GraphSpec, SchedulerSpec};
     use mis_core::init::InitStrategy;
     use mis_core::ExecutionMode;
 
@@ -291,6 +358,7 @@ mod tests {
             max_rounds: 100_000,
             base_seed: 11,
             record_trace: false,
+            ..ExperimentSpec::default()
         }
     }
 
@@ -303,6 +371,26 @@ mod tests {
             assert!(result.all_valid(), "{process:?}");
             assert!(result.rounds_summary().max >= 1.0 || result.rounds_summary().max == 0.0);
         }
+    }
+
+    #[test]
+    fn every_registry_algorithm_produces_valid_mis() {
+        for key in builtin_registry().keys() {
+            let mut spec = base_spec(ProcessSelector::TwoState);
+            spec.algorithm = Some(key.to_string());
+            spec.trials = 3;
+            let result = run_experiment(&spec);
+            assert!(result.all_stabilized(), "{key}");
+            assert!(result.all_valid(), "{key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no algorithm 'does-not-exist'")]
+    fn unknown_algorithm_key_panics_with_known_keys() {
+        let mut spec = base_spec(ProcessSelector::TwoState);
+        spec.algorithm = Some("does-not-exist".into());
+        run_trial(&spec, 0);
     }
 
     #[test]
@@ -339,20 +427,14 @@ mod tests {
     #[test]
     fn large_n_sparse_trial_is_fast_and_valid() {
         let n = 50_000;
-        let spec = ExperimentSpec {
-            name: "scale-smoke".into(),
-            graph: GraphSpec::Gnp {
+        let spec = ExperimentSpec::builder()
+            .name("scale-smoke")
+            .graph(GraphSpec::Gnp {
                 n,
                 p: 8.0 / n as f64,
-            },
-            process: ProcessSelector::TwoState,
-            init: InitStrategy::Random,
-            execution: ExecutionMode::Sequential,
-            trials: 1,
-            max_rounds: 100_000,
-            base_seed: 77,
-            record_trace: false,
-        };
+            })
+            .base_seed(77)
+            .build();
         let result = run_experiment(&spec);
         assert!(result.all_stabilized());
         assert!(result.all_valid());
@@ -438,6 +520,27 @@ mod tests {
     }
 
     #[test]
+    fn one_shot_baselines_skip_trace_recording() {
+        // The legacy harness reported `trace: None` for Luby/greedy/
+        // sequential even when a trace was requested; the registry path
+        // preserves that via the supports_trace capability.
+        for process in [
+            ProcessSelector::Luby,
+            ProcessSelector::Greedy,
+            ProcessSelector::SequentialSelfStab,
+        ] {
+            let mut spec = base_spec(process);
+            spec.record_trace = true;
+            spec.trials = 2;
+            let result = run_experiment(&spec);
+            assert!(
+                result.trials.iter().all(|t| t.trace.is_none()),
+                "{process:?}"
+            );
+        }
+    }
+
+    #[test]
     fn timeout_is_reported_not_panicked() {
         let mut spec = base_spec(ProcessSelector::TwoState);
         spec.graph = GraphSpec::Complete { n: 256 };
@@ -449,6 +552,130 @@ mod tests {
             result.all_valid(),
             "non-stabilized trials must not claim a valid MIS"
         );
+    }
+
+    #[test]
+    fn central_daemon_scheduler_stabilizes_two_state() {
+        let spec = ExperimentSpec::builder()
+            .name("daemon")
+            .graph(GraphSpec::Gnp { n: 30, p: 0.15 })
+            .scheduler(SchedulerSpec::CentralDaemon)
+            .trials(3)
+            .max_rounds(1_000_000)
+            .base_seed(5)
+            .build();
+        let result = run_experiment(&spec);
+        assert!(result.all_stabilized());
+        assert!(result.all_valid());
+        // One move per round: stabilization needs (many) more rounds than
+        // the synchronous runs of the same graph family.
+        assert!(result.rounds_summary().mean > 10.0);
+    }
+
+    #[test]
+    fn random_subset_scheduler_stabilizes_engine_and_comm_algorithms() {
+        for key in [
+            "two-state",
+            "three-state",
+            "beeping-two-state",
+            "stone-age-three-state",
+        ] {
+            let spec = ExperimentSpec::builder()
+                .name("subset")
+                .graph(GraphSpec::Gnp { n: 40, p: 0.12 })
+                .algorithm(key)
+                .scheduler(SchedulerSpec::RandomSubset { p: 0.5 })
+                .trials(2)
+                .max_rounds(500_000)
+                .base_seed(23)
+                .build();
+            let result = run_experiment(&spec);
+            assert!(result.all_stabilized(), "{key}");
+            assert!(result.all_valid(), "{key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support the central-daemon scheduler")]
+    fn partial_activation_capability_is_enforced() {
+        let spec = ExperimentSpec::builder()
+            .process(ProcessSelector::Luby)
+            .scheduler(SchedulerSpec::CentralDaemon)
+            .build();
+        run_trial(&spec, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support fault injection")]
+    fn fault_injection_capability_is_enforced() {
+        let spec = ExperimentSpec::builder()
+            .process(ProcessSelector::Greedy)
+            .fault(FaultSpec::after_stabilization(0.5))
+            .build();
+        run_trial(&spec, 0);
+    }
+
+    #[test]
+    fn fault_injection_recovers_and_notifies_observers() {
+        let spec = ExperimentSpec::builder()
+            .name("fault")
+            .graph(GraphSpec::Gnp { n: 80, p: 0.08 })
+            .fault(FaultSpec::after_stabilization(0.5))
+            .trials(3)
+            .base_seed(13)
+            .build();
+        let result = run_experiment(&spec);
+        assert!(result.all_stabilized());
+        assert!(result.all_valid());
+
+        // Re-drive one trial manually with an event log to check the
+        // observer protocol: a fault event, then re-stabilization.
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.base_seed);
+        let graph = spec.graph.generate(&mut rng);
+        let factory = builtin_registry().get(spec.algorithm_key()).unwrap();
+        let config = AlgorithmConfig {
+            init: spec.init,
+            execution: spec.execution,
+            counter_seed: spec.base_seed ^ COUNTER_SEED_SALT,
+        };
+        let mut alg = factory.init(&graph, &config, &mut rng);
+        let mut scheduler = spec.scheduler.build();
+        let mut log = EventLogObserver::new();
+        let outcome = {
+            let mut observers: Vec<&mut dyn Observer> = vec![&mut log];
+            drive_algorithm(
+                alg.as_mut(),
+                scheduler.as_mut(),
+                &mut rng,
+                spec.max_rounds,
+                spec.fault,
+                &mut observers,
+            )
+        };
+        assert!(outcome.stabilized);
+        let fault_at = log
+            .events
+            .iter()
+            .position(|e| matches!(e, ObserverEvent::FaultInjection { .. }))
+            .expect("a fault event");
+        assert_eq!(
+            log.events
+                .iter()
+                .filter(|e| matches!(e, ObserverEvent::FaultInjection { .. }))
+                .count(),
+            1
+        );
+        assert!(log.total_corrupted() > 0);
+        assert!(log.stabilized_at().is_some());
+        // The event right after the injection is the re-emitted current
+        // round with the post-corruption counts: the unstable spike the
+        // recovery curve starts from.
+        match log.events[fault_at + 1] {
+            ObserverEvent::Round { unstable, .. } => {
+                assert!(unstable > 0, "corruption must destabilize some vertex")
+            }
+            other => panic!("expected a post-fault Round event, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! Declarative experiment specifications.
+//!
+//! A spec names an algorithm by registry key (or through the legacy
+//! [`ProcessSelector`] shim), a graph family, a [`SchedulerSpec`], an
+//! optional [`FaultSpec`], and the trial/seed budget. Build specs with
+//! [`ExperimentSpec::builder`]; the struct remains `pub` and serde-stable
+//! for existing code and stored JSON.
 
 use mis_core::init::InitStrategy;
+use mis_core::scheduler::{CentralDaemon, RandomSubset, Scheduler, Synchronous};
 pub use mis_core::ExecutionMode;
 use mis_graph::{generators, Graph};
 use rand::Rng;
@@ -153,7 +160,88 @@ impl GraphSpec {
     }
 }
 
+/// Serializable scheduler choice; builds the [`Scheduler`] that drives each
+/// trial.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum SchedulerSpec {
+    /// Every vertex is activated every round (the paper's model, and the
+    /// default — specs without a `scheduler` field deserialize to this).
+    #[default]
+    Synchronous,
+    /// One uniformly random vertex per activation (central daemon; a
+    /// "round" is one move).
+    CentralDaemon,
+    /// Every vertex independently activated with probability `p` per round.
+    RandomSubset {
+        /// Per-vertex activation probability.
+        p: f64,
+    },
+}
+
+impl SchedulerSpec {
+    /// Builds the scheduler instance for one trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`SchedulerSpec::RandomSubset`] probability is outside
+    /// `[0, 1]`.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerSpec::Synchronous => Box::new(Synchronous),
+            SchedulerSpec::CentralDaemon => Box::new(CentralDaemon),
+            SchedulerSpec::RandomSubset { p } => Box::new(RandomSubset::new(p)),
+        }
+    }
+
+    /// Short label for tables and CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerSpec::Synchronous => "synchronous",
+            SchedulerSpec::CentralDaemon => "central-daemon",
+            SchedulerSpec::RandomSubset { .. } => "random-subset",
+        }
+    }
+
+    /// `true` for the synchronous scheduler.
+    pub fn is_synchronous(&self) -> bool {
+        matches!(self, SchedulerSpec::Synchronous)
+    }
+}
+
+/// A transient fault injected during a trial: once the algorithm has
+/// stabilized — or when round `at_round` is reached, whichever happens
+/// first — the states of `fraction · n` vertices are overwritten with
+/// uniformly random values, and the trial keeps running until the algorithm
+/// re-stabilizes or the round budget runs out.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Latest round at which the fault fires (it fires earlier if the
+    /// algorithm stabilizes first). Use `usize::MAX` for
+    /// "after stabilization only".
+    pub at_round: usize,
+    /// Fraction of vertices to corrupt, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+impl FaultSpec {
+    /// A fault that corrupts `fraction` of the vertices right after the
+    /// algorithm first stabilizes (the standard recovery experiment).
+    pub fn after_stabilization(fraction: f64) -> Self {
+        FaultSpec {
+            at_round: usize::MAX,
+            fraction,
+        }
+    }
+}
+
 /// Which process (or baseline) a trial should run.
+///
+/// This enum predates the string-keyed algorithm registry and is kept as a
+/// thin compatibility shim: each variant maps 1:1 onto a registry key via
+/// [`registry_key`](ProcessSelector::registry_key), and
+/// [`ExperimentSpec::algorithm`] overrides it when set. New code (and new
+/// algorithms, which have no variant here) should address algorithms by
+/// registry key through [`ExperimentSpecBuilder::algorithm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ProcessSelector {
     /// The 2-state MIS process (Definition 4).
@@ -192,6 +280,23 @@ impl ProcessSelector {
         }
     }
 
+    /// The algorithm-registry key this legacy selector maps to.
+    ///
+    /// The keys coincide with [`label`](Self::label); they are the stable
+    /// names under which the factories are registered in
+    /// [`builtin_registry`](crate::registry::builtin_registry).
+    pub fn registry_key(&self) -> &'static str {
+        self.label()
+    }
+
+    /// The selector for a registry key, if the key has a legacy variant.
+    /// Registry-only algorithms (e.g. `"beeping-two-state"`) return `None`.
+    pub fn from_registry_key(key: &str) -> Option<ProcessSelector> {
+        ProcessSelector::all()
+            .into_iter()
+            .find(|p| p.registry_key() == key)
+    }
+
     /// All selectors, in a stable order — handy for comparison experiments
     /// that iterate over every available algorithm.
     pub fn all() -> [ProcessSelector; 7] {
@@ -207,31 +312,262 @@ impl ProcessSelector {
     }
 }
 
-/// A full experiment: a graph family, a process, an initialization, and a
-/// trial/seed budget.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A full experiment: an algorithm, a graph family, a scheduler, an
+/// initialization, and a trial/seed budget.
+///
+/// Prefer [`ExperimentSpec::builder`] for construction; the struct literal
+/// form remains available for the legacy field set.
+///
+/// Serialization is hand-written (the vendored serde derive has no
+/// `#[serde(default)]`): the [`algorithm`](Self::algorithm),
+/// [`scheduler`](Self::scheduler), and [`fault`](Self::fault) fields fall
+/// back to their defaults when absent, so JSON written before the registry
+/// redesign still deserializes unchanged.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentSpec {
     /// Name used in reports and file names.
     pub name: String,
     /// Graph family to sample per trial.
     pub graph: GraphSpec,
-    /// Process (or baseline) to run.
+    /// Legacy process selector; used only when [`algorithm`](Self::algorithm)
+    /// is `None`, in which case it resolves through
+    /// [`registry_key`](ProcessSelector::registry_key).
     pub process: ProcessSelector,
-    /// Initial-state strategy (ignored by the non-self-stabilizing Luby baseline).
+    /// Registry key of the algorithm to run (e.g. `"beeping-two-state"`).
+    /// When set it overrides [`process`](Self::process); `None` (the serde
+    /// default) keeps legacy specs bit-identical.
+    pub algorithm: Option<String>,
+    /// Initial-state strategy (ignored by baselines that choose their own
+    /// starting configuration, like Luby and random-priority).
     pub init: InitStrategy,
     /// How the engine processes execute rounds: the sequential shared-stream
-    /// model or counter-based intra-round parallelism. Baselines (Luby,
-    /// greedy, random-priority, sequential self-stab) always run
-    /// sequentially and ignore this field.
+    /// model or counter-based intra-round parallelism. Algorithms without
+    /// parallel support ignore this field.
     pub execution: ExecutionMode,
+    /// Which vertices each round activates. Defaults to
+    /// [`SchedulerSpec::Synchronous`], the paper's model; anything else
+    /// requires the algorithm to support partial activation.
+    pub scheduler: SchedulerSpec,
+    /// Optional transient fault injected mid-trial (requires the algorithm
+    /// to support fault injection).
+    pub fault: Option<FaultSpec>,
     /// Number of independent trials.
     pub trials: usize,
     /// Per-trial round budget.
     pub max_rounds: usize,
     /// Base seed; trial `i` uses seed `base_seed + i`.
     pub base_seed: u64,
-    /// Whether to record per-round traces (memory-heavy for large runs).
+    /// Whether to record per-round traces (memory-heavy for large runs;
+    /// ignored by one-shot baselines, which have no rounds to trace).
     pub record_trace: bool,
+}
+
+impl Default for ExperimentSpec {
+    /// A small, fast default: the 2-state process on a sparse 100-vertex
+    /// `G(n,p)`, one trial, synchronous scheduler.
+    fn default() -> Self {
+        ExperimentSpec {
+            name: "experiment".into(),
+            graph: GraphSpec::Gnp { n: 100, p: 0.05 },
+            process: ProcessSelector::TwoState,
+            algorithm: None,
+            init: InitStrategy::Random,
+            execution: ExecutionMode::Sequential,
+            scheduler: SchedulerSpec::Synchronous,
+            fault: None,
+            trials: 1,
+            max_rounds: 100_000,
+            base_seed: 0,
+            record_trace: false,
+        }
+    }
+}
+
+impl Serialize for ExperimentSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("name".into(), self.name.to_value()),
+            ("graph".into(), self.graph.to_value()),
+            ("process".into(), self.process.to_value()),
+            ("algorithm".into(), self.algorithm.to_value()),
+            ("init".into(), self.init.to_value()),
+            ("execution".into(), self.execution.to_value()),
+            ("scheduler".into(), self.scheduler.to_value()),
+            ("fault".into(), self.fault.to_value()),
+            ("trials".into(), self.trials.to_value()),
+            ("max_rounds".into(), self.max_rounds.to_value()),
+            ("base_seed".into(), self.base_seed.to_value()),
+            ("record_trace".into(), self.record_trace.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ExperimentSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        // The post-redesign fields (`algorithm`, `scheduler`, `fault`) fall
+        // back to their defaults when absent so that specs serialized before
+        // the registry redesign keep deserializing — the vendored serde
+        // derive has no `#[serde(default)]`, hence the manual impl.
+        fn optional<'a>(value: &'a serde::Value, name: &str) -> Option<&'a serde::Value> {
+            match value {
+                serde::Value::Object(fields) => fields
+                    .iter()
+                    .find(|(key, _)| key == name)
+                    .map(|(_, field)| field),
+                _ => None,
+            }
+        }
+        fn with_default<T: Deserialize + Default>(
+            value: &serde::Value,
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            match optional(value, name) {
+                Some(field) => T::from_value(field),
+                None => Ok(T::default()),
+            }
+        }
+        let algorithm: Option<String> = with_default(value, "algorithm")?;
+        // Registry-first specs may omit the legacy selector entirely — it is
+        // ignored whenever `algorithm` is set. Without either, the spec
+        // names no algorithm at all, so the missing-field error stands.
+        let process = match (optional(value, "process"), &algorithm) {
+            (Some(field), _) => Deserialize::from_value(field)?,
+            (None, Some(_)) => ExperimentSpec::default().process,
+            (None, None) => Deserialize::from_value(serde::get_field(value, "process")?)?,
+        };
+        Ok(ExperimentSpec {
+            name: Deserialize::from_value(serde::get_field(value, "name")?)?,
+            graph: Deserialize::from_value(serde::get_field(value, "graph")?)?,
+            process,
+            algorithm,
+            init: Deserialize::from_value(serde::get_field(value, "init")?)?,
+            execution: Deserialize::from_value(serde::get_field(value, "execution")?)?,
+            scheduler: with_default(value, "scheduler")?,
+            fault: with_default(value, "fault")?,
+            trials: Deserialize::from_value(serde::get_field(value, "trials")?)?,
+            max_rounds: Deserialize::from_value(serde::get_field(value, "max_rounds")?)?,
+            base_seed: Deserialize::from_value(serde::get_field(value, "base_seed")?)?,
+            record_trace: Deserialize::from_value(serde::get_field(value, "record_trace")?)?,
+        })
+    }
+}
+
+impl ExperimentSpec {
+    /// Starts building a spec from the defaults.
+    pub fn builder() -> ExperimentSpecBuilder {
+        ExperimentSpecBuilder::default()
+    }
+
+    /// The registry key this spec resolves to: the explicit
+    /// [`algorithm`](Self::algorithm) override when present, otherwise the
+    /// legacy selector's key.
+    pub fn algorithm_key(&self) -> &str {
+        self.algorithm
+            .as_deref()
+            .unwrap_or_else(|| self.process.registry_key())
+    }
+}
+
+/// Builder for [`ExperimentSpec`]; obtain one via
+/// [`ExperimentSpec::builder`].
+///
+/// ```
+/// use mis_sim::spec::{ExperimentSpec, GraphSpec, SchedulerSpec};
+///
+/// let spec = ExperimentSpec::builder()
+///     .name("beeping-demo")
+///     .graph(GraphSpec::Complete { n: 32 })
+///     .algorithm("beeping-two-state")
+///     .trials(4)
+///     .base_seed(7)
+///     .build();
+/// assert_eq!(spec.algorithm_key(), "beeping-two-state");
+/// assert_eq!(spec.scheduler, SchedulerSpec::Synchronous);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentSpecBuilder {
+    spec: ExperimentSpec,
+}
+
+impl ExperimentSpecBuilder {
+    /// Sets the experiment name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = name.into();
+        self
+    }
+
+    /// Sets the graph family.
+    pub fn graph(mut self, graph: GraphSpec) -> Self {
+        self.spec.graph = graph;
+        self
+    }
+
+    /// Selects the algorithm through the legacy selector (clears any
+    /// registry-key override).
+    pub fn process(mut self, process: ProcessSelector) -> Self {
+        self.spec.process = process;
+        self.spec.algorithm = None;
+        self
+    }
+
+    /// Selects the algorithm by registry key (overrides the selector).
+    pub fn algorithm(mut self, key: impl Into<String>) -> Self {
+        self.spec.algorithm = Some(key.into());
+        self
+    }
+
+    /// Sets the initial-state strategy.
+    pub fn init(mut self, init: InitStrategy) -> Self {
+        self.spec.init = init;
+        self
+    }
+
+    /// Sets the execution mode of the engine processes.
+    pub fn execution(mut self, execution: ExecutionMode) -> Self {
+        self.spec.execution = execution;
+        self
+    }
+
+    /// Sets the activation scheduler.
+    pub fn scheduler(mut self, scheduler: SchedulerSpec) -> Self {
+        self.spec.scheduler = scheduler;
+        self
+    }
+
+    /// Injects a transient fault mid-trial.
+    pub fn fault(mut self, fault: FaultSpec) -> Self {
+        self.spec.fault = Some(fault);
+        self
+    }
+
+    /// Sets the number of independent trials.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.spec.trials = trials;
+        self
+    }
+
+    /// Sets the per-trial round budget.
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.spec.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.spec.base_seed = base_seed;
+        self
+    }
+
+    /// Enables per-round trace recording.
+    pub fn record_trace(mut self, record_trace: bool) -> Self {
+        self.spec.record_trace = record_trace;
+        self
+    }
+
+    /// Finishes the spec.
+    pub fn build(self) -> ExperimentSpec {
+        self.spec
+    }
 }
 
 #[cfg(test)]
@@ -279,8 +615,11 @@ mod tests {
                 name: "test".into(),
                 graph: GraphSpec::Gnp { n: 10, p: 0.5 },
                 process: ProcessSelector::ThreeColor,
+                algorithm: None,
                 init: InitStrategy::Random,
                 execution,
+                scheduler: SchedulerSpec::Synchronous,
+                fault: None,
                 trials: 3,
                 max_rounds: 100,
                 base_seed: 1,
@@ -299,5 +638,119 @@ mod tests {
         assert!(GraphSpec::Grid { rows: 2, cols: 2 }.is_deterministic());
         assert!(!GraphSpec::Gnp { n: 4, p: 0.5 }.is_deterministic());
         assert!(!GraphSpec::RandomTree { n: 4 }.is_deterministic());
+    }
+
+    /// One representative instance per [`GraphSpec`] variant, built through
+    /// an exhaustive `match` (no wildcard arm): adding a variant without
+    /// extending this list is a compile error, which forces the author to
+    /// also classify the variant in `is_deterministic`.
+    fn one_of_each_family() -> Vec<GraphSpec> {
+        // Dispatch on a representative to keep the match exhaustive.
+        fn witness(spec: GraphSpec) -> GraphSpec {
+            match spec {
+                GraphSpec::Gnp { .. }
+                | GraphSpec::Complete { .. }
+                | GraphSpec::DisjointCliques { .. }
+                | GraphSpec::RandomTree { .. }
+                | GraphSpec::Path { .. }
+                | GraphSpec::Cycle { .. }
+                | GraphSpec::Star { .. }
+                | GraphSpec::Regular { .. }
+                | GraphSpec::Grid { .. }
+                | GraphSpec::ForestUnion { .. } => spec,
+            }
+        }
+        vec![
+            witness(GraphSpec::Gnp { n: 24, p: 0.2 }),
+            witness(GraphSpec::Complete { n: 9 }),
+            witness(GraphSpec::DisjointCliques { count: 3, size: 3 }),
+            witness(GraphSpec::RandomTree { n: 16 }),
+            witness(GraphSpec::Path { n: 11 }),
+            witness(GraphSpec::Cycle { n: 12 }),
+            witness(GraphSpec::Star { n: 8 }),
+            witness(GraphSpec::Regular { n: 12, d: 4 }),
+            witness(GraphSpec::Grid { rows: 3, cols: 4 }),
+            witness(GraphSpec::ForestUnion { n: 16, forests: 2 }),
+        ]
+    }
+
+    /// `is_deterministic` must agree with observed generator behavior for
+    /// *every* variant: a family is deterministic iff generating with two
+    /// different RNG streams yields the same graph.
+    #[test]
+    fn is_deterministic_matches_generator_behavior_for_every_family() {
+        for spec in one_of_each_family() {
+            let mut rng_a = ChaCha8Rng::seed_from_u64(1);
+            let mut rng_b = ChaCha8Rng::seed_from_u64(2);
+            let same = spec.generate(&mut rng_a) == spec.generate(&mut rng_b);
+            assert_eq!(
+                spec.is_deterministic(),
+                same,
+                "{}: is_deterministic() = {}, but generating with two seeds {} identical graphs",
+                spec.label(),
+                spec.is_deterministic(),
+                if same { "yields" } else { "does not yield" }
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_spec_builds_and_labels() {
+        assert_eq!(SchedulerSpec::default(), SchedulerSpec::Synchronous);
+        assert!(SchedulerSpec::Synchronous.is_synchronous());
+        assert!(!SchedulerSpec::CentralDaemon.is_synchronous());
+        for (spec, label) in [
+            (SchedulerSpec::Synchronous, "synchronous"),
+            (SchedulerSpec::CentralDaemon, "central-daemon"),
+            (SchedulerSpec::RandomSubset { p: 0.3 }, "random-subset"),
+        ] {
+            assert_eq!(spec.label(), label);
+            assert_eq!(spec.build().label(), label);
+        }
+    }
+
+    #[test]
+    fn builder_produces_defaults_and_overrides() {
+        let default = ExperimentSpec::builder().build();
+        assert_eq!(default, ExperimentSpec::default());
+        assert_eq!(default.algorithm_key(), "two-state");
+
+        let spec = ExperimentSpec::builder()
+            .name("custom")
+            .graph(GraphSpec::Complete { n: 8 })
+            .algorithm("beeping-two-state")
+            .init(InitStrategy::AllBlack)
+            .execution(ExecutionMode::Parallel { threads: 2 })
+            .scheduler(SchedulerSpec::RandomSubset { p: 0.5 })
+            .fault(FaultSpec::after_stabilization(0.25))
+            .trials(9)
+            .max_rounds(500)
+            .base_seed(3)
+            .record_trace(true)
+            .build();
+        assert_eq!(spec.name, "custom");
+        assert_eq!(spec.algorithm_key(), "beeping-two-state");
+        assert_eq!(spec.trials, 9);
+        assert_eq!(spec.fault.unwrap().at_round, usize::MAX);
+        // Selecting a legacy process clears the registry override.
+        let back = ExperimentSpec::builder()
+            .algorithm("beeping-two-state")
+            .process(ProcessSelector::Luby)
+            .build();
+        assert_eq!(back.algorithm_key(), "luby");
+    }
+
+    #[test]
+    fn registry_keys_round_trip_through_selectors() {
+        for selector in ProcessSelector::all() {
+            assert_eq!(
+                ProcessSelector::from_registry_key(selector.registry_key()),
+                Some(selector)
+            );
+        }
+        assert_eq!(
+            ProcessSelector::from_registry_key("beeping-two-state"),
+            None
+        );
     }
 }

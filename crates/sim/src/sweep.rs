@@ -20,7 +20,8 @@ pub struct SweepRow {
     pub parameter: f64,
     /// Label of the graph family at this point.
     pub graph_label: String,
-    /// Label of the process.
+    /// Registry key of the algorithm that ran (identical to the legacy
+    /// selector's label for `ProcessSelector`-based specs).
     pub process_label: String,
     /// Execution mode of the engine processes (`sequential` / `parallel`).
     pub execution_mode: String,
@@ -97,7 +98,7 @@ pub fn row_from_result(parameter: f64, result: &ExperimentResult) -> SweepRow {
     SweepRow {
         parameter,
         graph_label: result.spec.graph.label(),
-        process_label: result.spec.process.label().to_string(),
+        process_label: result.spec.algorithm_key().to_string(),
         execution_mode: result.spec.execution.label().to_string(),
         threads: result.spec.execution.threads(),
         stabilized_fraction: if result.trials.is_empty() {
@@ -149,6 +150,7 @@ pub fn scale_sweep_specs(
                 max_rounds: 1_000_000,
                 base_seed,
                 record_trace: false,
+                ..ExperimentSpec::default()
             };
             (n as f64, spec)
         })
@@ -191,6 +193,7 @@ mod tests {
             max_rounds: 100_000,
             base_seed: 5,
             record_trace: false,
+            ..ExperimentSpec::default()
         }
     }
 

@@ -24,6 +24,7 @@ fn sweep(process: ProcessSelector, sizes: &[usize], trials: usize) -> SweepTable
                 max_rounds: 1_000_000,
                 base_seed: 4242,
                 record_trace: false,
+                ..ExperimentSpec::default()
             },
         )
     }))

@@ -17,6 +17,14 @@ lint:
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
 
+# Rustdoc for the whole workspace, warnings denied (as CI runs it).
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Print the algorithm registry (key, communication model, description).
+list-algorithms:
+    cargo run -p mis-sim --bin list_algorithms
+
 # Apply formatting and mechanical clippy fixes.
 fix:
     cargo fmt
@@ -38,8 +46,10 @@ smoke NAME:
 ci:
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
     cargo build --release --workspace --all-targets
     cargo test -q --workspace
+    cargo run --release -p mis-sim --bin list_algorithms
     cargo run --release -p mis-bench --bin exp_e1_clique -- --quick
     test -s results/e1_clique.csv
     cargo run --release -p mis-bench --bin exp_scale -- --quick

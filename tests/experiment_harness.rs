@@ -22,6 +22,7 @@ fn spec(graph: GraphSpec, process: ProcessSelector) -> ExperimentSpec {
         max_rounds: 1_000_000,
         base_seed: 123,
         record_trace: true,
+        ..ExperimentSpec::default()
     }
 }
 

@@ -6,8 +6,8 @@
 //! * `into_par_iter().map(f).collect()` — items are split into one
 //!   contiguous chunk per available CPU core and mapped in parallel,
 //!   preserving input order in the output;
-//! * [`ThreadPoolBuilder`]/[`ThreadPool`] with [`broadcast`]
-//!   (`ThreadPool::broadcast`) — run one closure instance per pool thread
+//! * [`ThreadPoolBuilder`]/[`ThreadPool`] with
+//!   [`broadcast`](ThreadPool::broadcast) — run one closure instance per pool thread
 //!   and collect the results in thread-index order, the fork-join primitive
 //!   the intra-round parallel engine of `mis-core` is built on;
 //! * [`scope`] — spawn borrowing closures that all join before `scope`
