@@ -367,6 +367,7 @@ mod tests {
         AlgorithmConfig {
             init: InitStrategy::Random,
             execution: ExecutionMode::Sequential,
+            strategy: mis_core::RoundStrategy::Auto,
             counter_seed: 0,
         }
     }

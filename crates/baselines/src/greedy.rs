@@ -40,7 +40,7 @@ fn greedy_mis_in_order(g: &Graph, order: &[usize]) -> VertexSet {
         if !blocked[u] {
             mis.insert(u);
             blocked[u] = true;
-            for &v in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 blocked[v] = true;
             }
         }

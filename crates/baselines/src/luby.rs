@@ -65,7 +65,7 @@ pub fn luby_mis<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> LubyOutcome {
             .filter(|&u| {
                 g.neighbors(u)
                     .iter()
-                    .all(|&v| !live[v] || (priority[u], u) > (priority[v], v))
+                    .all(|v| !live[v] || (priority[u], u) > (priority[v], v))
             })
             .collect();
         for &u in &winners {
@@ -74,7 +74,7 @@ pub fn luby_mis<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> LubyOutcome {
                 live[u] = false;
                 live_count -= 1;
             }
-            for &v in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 if live[v] {
                     live[v] = false;
                     live_count -= 1;

@@ -137,7 +137,7 @@ impl<'g> RandomPriorityMis<'g> {
     /// `u` is dominated if it or a neighbor is a *stable* MIS member, i.e. an
     /// `In` vertex with no `In` neighbor.
     fn stable_in(&self, u: VertexId) -> bool {
-        self.is_in(u) && !self.graph.neighbors(u).iter().any(|&v| self.is_in(v))
+        self.is_in(u) && !self.graph.neighbors(u).iter().any(|v| self.is_in(v))
     }
 }
 
@@ -164,14 +164,14 @@ impl Process for RandomPriorityMis<'_> {
                 .graph
                 .neighbors(u)
                 .iter()
-                .any(|&v| old[v] == Membership::In);
+                .any(|v| old[v] == Membership::In);
             self.membership[u] = match old[u] {
                 Membership::In => {
                     if self
                         .graph
                         .neighbors(u)
                         .iter()
-                        .any(|&v| old[v] == Membership::In && beats(v, u))
+                        .any(|v| old[v] == Membership::In && beats(v, u))
                     {
                         Membership::Out
                     } else {
@@ -184,7 +184,7 @@ impl Process for RandomPriorityMis<'_> {
                             .graph
                             .neighbors(u)
                             .iter()
-                            .all(|&v| old[v] == Membership::In || beats(u, v))
+                            .all(|v| old[v] == Membership::In || beats(u, v))
                     {
                         Membership::In
                     } else {
@@ -197,9 +197,9 @@ impl Process for RandomPriorityMis<'_> {
     }
 
     fn is_stabilized(&self) -> bool {
-        self.graph.vertices().all(|u| {
-            self.stable_in(u) || self.graph.neighbors(u).iter().any(|&v| self.stable_in(v))
-        })
+        self.graph
+            .vertices()
+            .all(|u| self.stable_in(u) || self.graph.neighbors(u).iter().any(|v| self.stable_in(v)))
     }
 
     fn black_set(&self) -> VertexSet {
@@ -223,7 +223,7 @@ impl Process for RandomPriorityMis<'_> {
         VertexSet::from_indices(
             self.n(),
             self.graph.vertices().filter(|&u| {
-                !self.stable_in(u) && !self.graph.neighbors(u).iter().any(|&v| self.stable_in(v))
+                !self.stable_in(u) && !self.graph.neighbors(u).iter().any(|v| self.stable_in(v))
             }),
         )
     }

@@ -100,7 +100,7 @@ impl<'g> SequentialSelfStabMis<'g> {
             .graph
             .neighbors(u)
             .iter()
-            .any(|&v| self.states[v].is_black());
+            .any(|v| self.states[v].is_black());
         match self.states[u] {
             Color::Black => has_black_neighbor,
             Color::White => !has_black_neighbor,

@@ -31,7 +31,7 @@
 use std::time::{Duration, Instant};
 
 use mis_core::init::InitStrategy;
-use mis_core::{ExecutionMode, Process, TwoStateProcess};
+use mis_core::{ExecutionMode, Process, RoundStrategy, TwoStateProcess};
 use mis_graph::generators;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -81,6 +81,11 @@ pub struct ScaleRow {
     pub m: usize,
     /// Rounds the 2-state process needed to stabilize from a random init.
     pub rounds_to_stabilize: usize,
+    /// The first round the `auto` strategy executed sparse after at least
+    /// one dense round (the dense→sparse switch point of this run), if the
+    /// switch happened within the observed prefix. `None` for forced
+    /// strategies or runs that never switched.
+    pub dense_sparse_switch_round: Option<usize>,
     /// Active-vertex count at which the late-phase snapshot was taken.
     pub late_phase_active: usize,
     /// Throughput at the initial (high-activity) configuration.
@@ -103,6 +108,8 @@ pub struct ScaleReport {
     pub avg_degree: f64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Round strategy of the fast path (`auto`, `sparse`, or `dense`).
+    pub strategy: String,
     /// CPU cores available to this run — the hard ceiling on any parallel
     /// speedup measured here.
     pub threads_available: usize,
@@ -141,12 +148,14 @@ impl ScaleReport {
     /// Renders a human-readable fixed-width table.
     pub fn to_pretty(&self) -> String {
         let mut out = format!(
-            "{:>9} {:>10} {:>8} {:>8} {:>13} {:>13} {:>9} {:>22} {:>6}\n",
+            "{:>9} {:>10} {:>8} {:>8} {:>9} {:>13} {:>9} {:>13} {:>9} {:>22} {:>6}\n",
             "n",
             "m",
             "rounds",
             "|A|late",
+            "switch@",
             "early fast/s",
+            "early spd",
             "late fast/s",
             "late spd",
             "early par/s (1/2/4/8)",
@@ -160,12 +169,15 @@ impl ScaleReport {
                 .collect::<Vec<_>>()
                 .join("/");
             out.push_str(&format!(
-                "{:>9} {:>10} {:>8} {:>8} {:>13.0} {:>13.0} {:>8.1}x {:>22} {:>6}\n",
+                "{:>9} {:>10} {:>8} {:>8} {:>9} {:>13.0} {:>8.2}x {:>13.0} {:>8.1}x {:>22} {:>6}\n",
                 r.n,
                 r.m,
                 r.rounds_to_stabilize,
                 r.late_phase_active,
+                r.dense_sparse_switch_round
+                    .map_or("-".to_string(), |round| round.to_string()),
                 r.early.fast_rounds_per_sec,
+                r.early.speedup,
                 r.late.fast_rounds_per_sec,
                 r.late.speedup,
                 par,
@@ -246,24 +258,40 @@ fn throughput(
     max_reps: usize,
     max_rounds_per_rep: usize,
 ) -> PhaseThroughput {
-    let (fast_rounds, fast_time) = time_step_path(
-        snapshot,
-        rng_snapshot,
-        false,
-        min_time,
-        max_reps,
-        max_rounds_per_rep,
-    );
-    let (reference_rounds, reference_time) = time_step_path(
-        snapshot,
-        rng_snapshot,
-        true,
-        min_time,
-        max_reps,
-        max_rounds_per_rep,
-    );
-    let fast_rounds_per_sec = fast_rounds as f64 / fast_time.as_secs_f64().max(1e-9);
-    let reference_rounds_per_sec = reference_rounds as f64 / reference_time.as_secs_f64().max(1e-9);
+    // Interleave several fast/reference measurement passes and score each
+    // path by its best pass. Timing the two paths in one long window each
+    // makes the ratio hostage to transient background load (a spike during
+    // one window skews the speedup by 2x on a busy host); interleaving
+    // exposes both paths to the same conditions and best-of discards the
+    // disturbed passes.
+    let slice = min_time / MEASUREMENT_PASSES;
+    let reps_per_pass = (max_reps / MEASUREMENT_PASSES as usize).max(1);
+    let mut fast_rounds = 0usize;
+    let mut reference_rounds = 0usize;
+    let mut fast_rounds_per_sec = 0.0f64;
+    let mut reference_rounds_per_sec = 0.0f64;
+    for _ in 0..MEASUREMENT_PASSES {
+        let (rounds, rate) = measure_pass(
+            snapshot,
+            rng_snapshot,
+            false,
+            slice,
+            reps_per_pass,
+            max_rounds_per_rep,
+        );
+        fast_rounds += rounds;
+        fast_rounds_per_sec = fast_rounds_per_sec.max(rate);
+        let (rounds, rate) = measure_pass(
+            snapshot,
+            rng_snapshot,
+            true,
+            slice,
+            reps_per_pass,
+            max_rounds_per_rep,
+        );
+        reference_rounds += rounds;
+        reference_rounds_per_sec = reference_rounds_per_sec.max(rate);
+    }
     PhaseThroughput {
         fast_rounds,
         fast_rounds_per_sec,
@@ -271,6 +299,59 @@ fn throughput(
         reference_rounds_per_sec,
         speedup: fast_rounds_per_sec / reference_rounds_per_sec.max(1e-9),
     }
+}
+
+/// Number of interleaved measurement slices per timed path; every rate in
+/// the report is the best slice, so a transient load spike costs one slice,
+/// not the whole measurement.
+const MEASUREMENT_PASSES: u32 = 3;
+
+/// One measurement slice: total rounds and the resulting rounds/second.
+fn measure_pass(
+    snapshot: &TwoStateProcess<'_>,
+    rng_snapshot: &ChaCha8Rng,
+    reference: bool,
+    slice: Duration,
+    max_reps: usize,
+    max_rounds_per_rep: usize,
+) -> (usize, f64) {
+    let (rounds, time) = time_step_path(
+        snapshot,
+        rng_snapshot,
+        reference,
+        slice,
+        max_reps,
+        max_rounds_per_rep,
+    );
+    (rounds, rounds as f64 / time.as_secs_f64().max(1e-9))
+}
+
+/// Best-of-[`MEASUREMENT_PASSES`] throughput of one (non-reference) snapshot
+/// — the same scoring the fast/reference comparison uses, applied to the
+/// parallel thread sweep so its speedup-vs-sequential ratios are not biased
+/// by comparing a single-window rate against a best-of rate.
+fn best_rate(
+    snapshot: &TwoStateProcess<'_>,
+    rng_snapshot: &ChaCha8Rng,
+    min_time: Duration,
+    max_reps: usize,
+    max_rounds_per_rep: usize,
+) -> f64 {
+    let slice = min_time / MEASUREMENT_PASSES;
+    let reps_per_pass = (max_reps / MEASUREMENT_PASSES as usize).max(1);
+    let mut best = 0.0f64;
+    for _ in 0..MEASUREMENT_PASSES {
+        let (_, rate) = measure_pass(
+            snapshot,
+            rng_snapshot,
+            false,
+            slice,
+            reps_per_pass,
+            max_rounds_per_rep,
+        );
+        best = best.max(rate);
+    }
+    best
 }
 
 /// Runs `verify_rounds` counter-based rounds at every sweep thread count
@@ -326,14 +407,24 @@ fn verify_thread_count_determinism(
 ///
 /// Panics if the process fails to stabilize within 1,000,000 rounds (the
 /// 2-state process on sparse `G(n,p)` stabilizes in polylog rounds w.h.p.).
-pub fn scale_measurement(ns: &[usize], avg_degree: f64, seed: u64) -> ScaleReport {
+pub fn scale_measurement(
+    ns: &[usize],
+    avg_degree: f64,
+    seed: u64,
+    strategy: RoundStrategy,
+) -> ScaleReport {
     let min_time = Duration::from_millis(120);
     let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows = Vec::new();
     for &n in ns {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ n as u64);
-        let g = generators::gnp(n, avg_degree / n as f64, &mut rng);
-        let proc = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut rng);
+        // Counter-based parallel generation: graph setup (not rounds)
+        // dominates wall-clock at n = 10^7, and the keyed per-row streams
+        // make the sample independent of the worker-thread count.
+        let g = generators::gnp_counter(n, avg_degree / n as f64, seed ^ n as u64);
+        let mut proc = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut rng);
+        proc.set_strategy(strategy);
+        let proc = proc;
 
         // Early phase: the initial configuration, roughly half the vertices
         // active. Few rounds per replay — activity decays fast.
@@ -349,8 +440,7 @@ pub fn scale_measurement(ns: &[usize], avg_degree: f64, seed: u64) -> ScaleRepor
             .map(|&threads| {
                 let mut snapshot = proc.clone();
                 snapshot.set_execution(ExecutionMode::Parallel { threads }, counter_seed);
-                let (rounds, time) = time_step_path(&snapshot, &rng, false, min_time, 40, 3);
-                let rounds_per_sec = rounds as f64 / time.as_secs_f64().max(1e-9);
+                let rounds_per_sec = best_rate(&snapshot, &rng, min_time, 40, 3);
                 ThreadPoint {
                     threads,
                     rounds_per_sec,
@@ -364,12 +454,20 @@ pub fn scale_measurement(ns: &[usize], avg_degree: f64, seed: u64) -> ScaleRepor
         let parallel_deterministic = verify_thread_count_determinism(&proc, counter_seed, 12);
 
         // Advance (on a clone driven by the same RNG) to the late phase:
-        // active count at most n / 64.
+        // active count at most n / 64. Record where the adaptive strategy
+        // hands over from the dense sweep to the sparse worklist.
         let threshold = (n / 64).max(1);
         let mut late_proc = proc.clone();
         let mut late_rng = rng.clone();
+        let mut dense_sparse_switch_round = None;
+        let mut seen_dense = false;
         while !late_proc.is_stabilized() && late_proc.counts().active > threshold {
             late_proc.step(&mut late_rng);
+            if late_proc.last_round_was_dense() {
+                seen_dense = true;
+            } else if seen_dense && dense_sparse_switch_round.is_none() {
+                dense_sparse_switch_round = Some(late_proc.round());
+            }
         }
         let late_phase_active = late_proc.counts().active;
         let late = throughput(&late_proc, &late_rng, min_time, 200, 400);
@@ -384,6 +482,7 @@ pub fn scale_measurement(ns: &[usize], avg_degree: f64, seed: u64) -> ScaleRepor
             n,
             m: g.m(),
             rounds_to_stabilize: finish.round(),
+            dense_sparse_switch_round,
             late_phase_active,
             early,
             late,
@@ -394,6 +493,7 @@ pub fn scale_measurement(ns: &[usize], avg_degree: f64, seed: u64) -> ScaleRepor
     ScaleReport {
         avg_degree,
         seed,
+        strategy: strategy.label().to_string(),
         threads_available,
         rows,
     }
@@ -401,12 +501,12 @@ pub fn scale_measurement(ns: &[usize], avg_degree: f64, seed: u64) -> ScaleRepor
 
 /// The `exp_scale` experiment at the given [`Scale`]: sparse `G(n, 8/n)` at
 /// `n = 10⁵` (quick) or `n ∈ {10⁴, 10⁵, 10⁶, 10⁷}` (full).
-pub fn exp_scale(scale: Scale) -> ScaleReport {
+pub fn exp_scale(scale: Scale, strategy: RoundStrategy) -> ScaleReport {
     let ns: &[usize] = match scale {
         Scale::Quick => &[100_000],
         Scale::Full => &[10_000, 100_000, 1_000_000, 10_000_000],
     };
-    scale_measurement(ns, 8.0, 20_250)
+    scale_measurement(ns, 8.0, 20_250, strategy)
 }
 
 #[cfg(test)]
@@ -418,9 +518,16 @@ mod tests {
         // Tiny sizes keep the (debug-build) test fast; the timing numbers are
         // not asserted against a threshold here — that's the release-mode
         // binary's job — only their plumbing.
-        let report = scale_measurement(&[2_000, 4_000], 6.0, 99);
+        let report = scale_measurement(&[2_000, 4_000], 6.0, 99, RoundStrategy::Auto);
         assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.strategy, "auto");
         assert!(report.threads_available >= 1);
+        // From a random init the early phase is dense; the adaptive engine
+        // must record the dense -> sparse handover on the way down.
+        assert!(report
+            .rows
+            .iter()
+            .all(|r| r.dense_sparse_switch_round.is_some()));
         for row in &report.rows {
             assert!(row.m > 0);
             assert!(row.rounds_to_stabilize > 0);
@@ -449,5 +556,9 @@ mod tests {
         let back: ScaleReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
         assert!(report.to_pretty().lines().count() == 3);
+        // Forced strategies never report a switch round.
+        let forced = scale_measurement(&[1_000], 6.0, 99, RoundStrategy::Sparse);
+        assert_eq!(forced.strategy, "sparse");
+        assert!(forced.rows[0].dense_sparse_switch_round.is_none());
     }
 }

@@ -321,6 +321,7 @@ mod tests {
         AlgorithmConfig {
             init: InitStrategy::Random,
             execution: ExecutionMode::Sequential,
+            strategy: mis_core::RoundStrategy::Auto,
             counter_seed: 3,
         }
     }

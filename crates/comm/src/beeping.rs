@@ -46,7 +46,7 @@ pub fn beep_round(g: &Graph, beeping: &VertexSet) -> Vec<bool> {
     );
     let mut heard = vec![false; g.n()];
     for u in beeping.iter() {
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             heard[v] = true;
         }
     }
@@ -246,7 +246,7 @@ impl Process for BeepingTwoStateMis<'_> {
                         .graph
                         .neighbors(u)
                         .iter()
-                        .any(|&v| stable_black.contains(v))
+                        .any(|v| stable_black.contains(v))
             }),
         )
     }
@@ -272,7 +272,7 @@ impl Process for BeepingTwoStateMis<'_> {
                     .graph
                     .neighbors(u)
                     .iter()
-                    .any(|&v| stable_black.contains(v))
+                    .any(|v| stable_black.contains(v))
             {
                 c.unstable += 1;
             }

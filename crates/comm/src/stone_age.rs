@@ -46,7 +46,7 @@ pub fn stone_age_round(g: &Graph, transmit: &[Option<u8>], alphabet: usize) -> V
                 (letter as usize) < alphabet,
                 "letter {letter} outside alphabet of size {alphabet}"
             );
-            for &v in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 heard[v][letter as usize] = true;
             }
         }
@@ -224,7 +224,7 @@ impl Process for StoneAgeThreeStateMis<'_> {
                     .graph
                     .neighbors(u)
                     .iter()
-                    .any(|&v| self.stable_black(&heard, v))
+                    .any(|v| self.stable_black(&heard, v))
         })
     }
 
@@ -265,7 +265,7 @@ impl Process for StoneAgeThreeStateMis<'_> {
                         .graph
                         .neighbors(u)
                         .iter()
-                        .any(|&v| stable_black.contains(v))
+                        .any(|v| stable_black.contains(v))
             }),
         )
     }
@@ -291,7 +291,7 @@ impl Process for StoneAgeThreeStateMis<'_> {
                     .graph
                     .neighbors(u)
                     .iter()
-                    .any(|&v| stable_black.contains(v))
+                    .any(|v| stable_black.contains(v))
             {
                 c.unstable += 1;
             }
@@ -513,7 +513,7 @@ impl Process for StoneAgeThreeColorMis<'_> {
                     .graph
                     .neighbors(u)
                     .iter()
-                    .any(|&v| self.stable_black(&heard, v))
+                    .any(|v| self.stable_black(&heard, v))
         })
     }
 
@@ -554,7 +554,7 @@ impl Process for StoneAgeThreeColorMis<'_> {
                         .graph
                         .neighbors(u)
                         .iter()
-                        .any(|&v| stable_black.contains(v))
+                        .any(|v| stable_black.contains(v))
             }),
         )
     }
@@ -580,7 +580,7 @@ impl Process for StoneAgeThreeColorMis<'_> {
                     .graph
                     .neighbors(u)
                     .iter()
-                    .any(|&v| stable_black.contains(v))
+                    .any(|v| stable_black.contains(v))
             {
                 c.unstable += 1;
             }

@@ -277,6 +277,7 @@ impl AlgorithmFactory for TwoStateFactory {
     ) -> Box<dyn Algorithm + 'g> {
         let mut proc = TwoStateProcess::with_init(graph, config.init, rng);
         proc.set_execution(config.execution, config.counter_seed);
+        proc.set_strategy(config.strategy);
         Box::new(TwoStateAlgorithm::new(proc))
     }
 }
@@ -304,6 +305,7 @@ impl AlgorithmFactory for ThreeStateFactory {
     ) -> Box<dyn Algorithm + 'g> {
         let mut proc = ThreeStateProcess::with_init(graph, config.init, rng);
         proc.set_execution(config.execution, config.counter_seed);
+        proc.set_strategy(config.strategy);
         Box::new(ThreeStateAlgorithm::new(proc))
     }
 }
@@ -331,6 +333,7 @@ impl AlgorithmFactory for ThreeColorFactory {
     ) -> Box<dyn Algorithm + 'g> {
         let mut proc = ThreeColorProcess::with_randomized_switch(graph, config.init, rng);
         proc.set_execution(config.execution, config.counter_seed);
+        proc.set_strategy(config.strategy);
         Box::new(ThreeColorAlgorithm::new(proc))
     }
 }
@@ -360,6 +363,7 @@ mod tests {
         AlgorithmConfig {
             init: InitStrategy::Random,
             execution: ExecutionMode::Sequential,
+            strategy: crate::exec::RoundStrategy::Auto,
             counter_seed: 7,
         }
     }

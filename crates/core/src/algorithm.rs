@@ -31,7 +31,7 @@ use mis_graph::{Graph, VertexId, VertexSet};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
-use crate::exec::ExecutionMode;
+use crate::exec::{ExecutionMode, RoundStrategy};
 use crate::init::InitStrategy;
 use crate::process::{Process, StateCounts};
 use crate::scheduler::Activation;
@@ -221,6 +221,10 @@ pub struct AlgorithmConfig {
     /// Sequential shared-stream rounds or counter-based parallel rounds.
     /// Algorithms that do not support parallel execution ignore this.
     pub execution: ExecutionMode,
+    /// How full synchronous rounds traverse the graph (adaptive
+    /// dense/sparse by default); bit-identical across choices. Algorithms
+    /// without a frontier engine ignore this.
+    pub strategy: RoundStrategy,
     /// Seed keying the counter-based RNG of parallel-mode runs.
     pub counter_seed: u64,
 }

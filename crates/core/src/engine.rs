@@ -95,7 +95,7 @@
 
 use mis_graph::{Graph, VertexId, VertexSet};
 
-use crate::exec::chunk_bounds;
+use crate::exec::{chunk_bounds, DENSE_SWITCH_DIVISOR};
 use crate::process::StateCounts;
 use crate::sync::{AtomicFlagVec, AtomicU32Vec, AtomicU8Vec};
 
@@ -125,12 +125,23 @@ const PENDING: u8 = 1 << 3;
 /// dirty vertices and the thread's contribution to the black-count delta.
 /// Merged deterministically by
 /// [`commit_scatter`](FrontierEngine::commit_scatter).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ScatterSink {
     /// Vertices this thread won the dirty-mark race for.
     dirty: Vec<VertexId>,
     /// Net change to the number of black vertices from this thread's batch.
     black_delta: isize,
+}
+
+/// Per-thread result of `par_flush` pass 2: count deltas and new frontier
+/// entries, merged deterministically (sums and order-insensitive unions).
+#[derive(Debug, Default)]
+struct Pass2Part {
+    unstable_delta: isize,
+    active_delta: isize,
+    pending_delta: isize,
+    pending_volume_delta: isize,
+    frontier_adds: Vec<VertexId>,
 }
 
 /// Incremental bookkeeping for one process instance: black projection,
@@ -163,6 +174,14 @@ pub struct FrontierEngine {
     dirty: Vec<VertexId>,
     /// `dirty_mark[u]` — `u` is currently queued in `dirty`.
     dirty_mark: AtomicFlagVec,
+    /// Number of pending vertices (`|F_t|`), kept exact so the dense/sparse
+    /// decision and `frontier_len` are `O(1)`.
+    pending_count: usize,
+    /// `vol(F_t) = Σ_{u pending} deg(u)`, kept exact for the same reason.
+    pending_volume: usize,
+    /// Recycled per-thread scatter sinks: `par_round` reuses their `dirty`
+    /// buffers across rounds instead of reallocating every round.
+    sink_pool: Vec<ScatterSink>,
 }
 
 impl FrontierEngine {
@@ -184,6 +203,9 @@ impl FrontierEngine {
             frontier_contains: AtomicFlagVec::new(n),
             dirty: Vec::new(),
             dirty_mark: AtomicFlagVec::new(n),
+            pending_count: 0,
+            pending_volume: 0,
+            sink_pool: Vec::new(),
         }
     }
 
@@ -211,42 +233,88 @@ impl FrontierEngine {
         for u in 0..self.n {
             self.black.set(u, black(u));
         }
-        self.black_nbrs.clear_all();
-        for u in 0..self.n {
-            if self.black.get(u) {
-                for &v in graph.neighbors(u) {
-                    self.black_nbrs.add(v, 1);
-                }
-            }
-        }
-        self.stable_black_nbrs.clear_all();
-        for u in 0..self.n {
-            if self.black.get(u) && self.black_nbrs.get(u) == 0 {
-                for &v in graph.neighbors(u) {
-                    self.stable_black_nbrs.add(v, 1);
-                }
-            }
-        }
-        self.counts = StateCounts::default();
-        self.frontier.clear();
         self.dirty.clear();
         self.dirty_mark.clear_all();
-        for u in 0..self.n {
+        self.recount(graph, classify);
+    }
+
+    /// Stages the blackness projection of `u` **without** any delta
+    /// bookkeeping. Callable through `&self` (concurrently for distinct
+    /// vertices), so the dense decide sweep can record blackness as it
+    /// writes states.
+    ///
+    /// Valid only inside a dense round: every counter, flag, count, and the
+    /// frontier are stale until the following
+    /// [`recount`](Self::recount)/[`recount_par`](Self::recount_par).
+    #[inline]
+    pub fn stage_black(&self, u: VertexId, black: bool) {
+        self.black.set(u, black);
+    }
+
+    /// The dense path's fused full recount: recomputes every counter, flag,
+    /// cached count, and the frontier from the current blackness projection
+    /// in `O(n + m)` streaming passes (no frontier sort, no dirty-marking,
+    /// no lock-prefixed read-modify-writes).
+    ///
+    /// Requires the blackness projection (`black`) to be current — the dense
+    /// decide sweep maintains it through [`stage_black`](Self::stage_black) —
+    /// and the dirty queue to be empty (every round protocol flushes before
+    /// ending). The frontier comes out sorted (vertices are pushed in
+    /// ascending order).
+    pub fn recount<C>(&mut self, graph: &Graph, classify: C)
+    where
+        C: Fn(VertexId, u32) -> VertexClass,
+    {
+        debug_assert!(self.dirty.is_empty(), "recount requires a flushed engine");
+        assert_eq!(graph.n(), self.n, "graph size must match the engine");
+        let n = self.n;
+        // Pass 1: black-neighbor counters from the blackness projection.
+        self.black_nbrs.clear_all();
+        {
+            let black = &self.black;
+            let black_nbrs = &mut self.black_nbrs;
+            for u in 0..n {
+                if black.get(u) {
+                    for v in graph.neighbors(u).as_compact() {
+                        black_nbrs.add_mut(v.index(), 1);
+                    }
+                }
+            }
+        }
+        // Pass 2: stable-black-neighbor counters.
+        self.stable_black_nbrs.clear_all();
+        {
+            let black = &self.black;
+            let black_nbrs = &self.black_nbrs;
+            let stable_black_nbrs = &mut self.stable_black_nbrs;
+            for u in 0..n {
+                if black.get(u) && black_nbrs.get(u) == 0 {
+                    for v in graph.neighbors(u).as_compact() {
+                        stable_black_nbrs.add_mut(v.index(), 1);
+                    }
+                }
+            }
+        }
+        // Pass 3: flags, cached counts, and the frontier, in one sweep.
+        let mut counts = StateCounts::default();
+        let mut pending_volume = 0usize;
+        self.frontier.clear();
+        for u in 0..n {
             let mut f = 0u8;
             if self.black.get(u) {
-                self.counts.black += 1;
+                counts.black += 1;
             } else {
-                self.counts.non_black += 1;
+                counts.non_black += 1;
             }
             let stable_black = self.black.get(u) && self.black_nbrs.get(u) == 0;
             if stable_black {
                 f |= STABLE_BLACK;
-                self.counts.stable_black += 1;
+                counts.stable_black += 1;
             }
             if stable_black || self.stable_black_nbrs.get(u) > 0 {
                 f |= STABLE;
             } else {
-                self.counts.unstable += 1;
+                counts.unstable += 1;
             }
             let class = classify(u, self.black_nbrs.get(u));
             debug_assert!(
@@ -255,16 +323,173 @@ impl FrontierEngine {
             );
             if class.active {
                 f |= ACTIVE;
-                self.counts.active += 1;
+                counts.active += 1;
             }
             if class.pending {
                 f |= PENDING;
+                pending_volume += graph.degree(u);
                 self.frontier.push(u);
             }
             self.frontier_contains.set(u, class.pending);
             self.flags.set(u, f);
         }
         // Pushing in vertex order leaves the frontier already sorted.
+        self.counts = counts;
+        self.pending_count = self.frontier.len();
+        self.pending_volume = pending_volume;
+    }
+
+    /// Parallel counterpart of [`recount`](Self::recount): the same fused
+    /// full recount chunked over `threads` threads. Counter scatters are
+    /// commutative atomic adds and every flag is written by its chunk's
+    /// owner, so the result is bit-identical for every thread count; the
+    /// frontier is assembled from the per-chunk segments in chunk order and
+    /// therefore comes out sorted, same as the sequential recount.
+    pub fn recount_par<C>(&mut self, graph: &Graph, threads: usize, classify: C)
+    where
+        C: Fn(VertexId, u32) -> VertexClass + Sync,
+    {
+        debug_assert!(self.dirty.is_empty(), "recount requires a flushed engine");
+        assert_eq!(graph.n(), self.n, "graph size must match the engine");
+        let n = self.n;
+        let bounds = chunk_bounds(n, threads);
+        if bounds.len() <= 1 {
+            return self.recount(graph, classify);
+        }
+        self.black_nbrs.clear_all();
+        self.stable_black_nbrs.clear_all();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(bounds.len())
+            .build()
+            .expect("thread pool construction is infallible");
+        let black = &self.black;
+        let black_nbrs = &self.black_nbrs;
+        let stable_black_nbrs = &self.stable_black_nbrs;
+        let flags = &self.flags;
+        let frontier_contains = &self.frontier_contains;
+        let bounds_ref = &bounds;
+        // Pass 1: black-neighbor scatter (commutative atomic adds).
+        pool.broadcast(|ctx| {
+            let (lo, hi) = bounds_ref[ctx.index()];
+            for u in lo..hi {
+                if black.get(u) {
+                    for v in graph.neighbors(u).as_compact() {
+                        black_nbrs.add(v.index(), 1);
+                    }
+                }
+            }
+        });
+        // Pass 2: stable-black scatter (reads pass-1 output, settled at the
+        // join barrier).
+        pool.broadcast(|ctx| {
+            let (lo, hi) = bounds_ref[ctx.index()];
+            for u in lo..hi {
+                if black.get(u) && black_nbrs.get(u) == 0 {
+                    for v in graph.neighbors(u).as_compact() {
+                        stable_black_nbrs.add(v.index(), 1);
+                    }
+                }
+            }
+        });
+        // Pass 3: flags + per-chunk counts and frontier segments.
+        let classify = &classify;
+        let parts: Vec<(StateCounts, usize, Vec<VertexId>)> = pool.broadcast(|ctx| {
+            let (lo, hi) = bounds_ref[ctx.index()];
+            let mut counts = StateCounts::default();
+            let mut pending_volume = 0usize;
+            let mut segment = Vec::new();
+            for u in lo..hi {
+                let mut f = 0u8;
+                if black.get(u) {
+                    counts.black += 1;
+                } else {
+                    counts.non_black += 1;
+                }
+                let stable_black = black.get(u) && black_nbrs.get(u) == 0;
+                if stable_black {
+                    f |= STABLE_BLACK;
+                    counts.stable_black += 1;
+                }
+                if stable_black || stable_black_nbrs.get(u) > 0 {
+                    f |= STABLE;
+                } else {
+                    counts.unstable += 1;
+                }
+                let class = classify(u, black_nbrs.get(u));
+                debug_assert!(
+                    class.pending || !class.active,
+                    "active vertices must be pending"
+                );
+                if class.active {
+                    f |= ACTIVE;
+                    counts.active += 1;
+                }
+                if class.pending {
+                    f |= PENDING;
+                    pending_volume += graph.degree(u);
+                    segment.push(u);
+                }
+                frontier_contains.set(u, class.pending);
+                flags.set(u, f);
+            }
+            (counts, pending_volume, segment)
+        });
+        let mut counts = StateCounts::default();
+        let mut pending_volume = 0usize;
+        self.frontier.clear();
+        for (part_counts, part_volume, segment) in parts {
+            counts.black += part_counts.black;
+            counts.non_black += part_counts.non_black;
+            counts.active += part_counts.active;
+            counts.stable_black += part_counts.stable_black;
+            counts.unstable += part_counts.unstable;
+            pending_volume += part_volume;
+            self.frontier.extend_from_slice(&segment);
+        }
+        self.counts = counts;
+        self.pending_count = self.frontier.len();
+        self.pending_volume = pending_volume;
+    }
+
+    /// `true` when the next round should run the dense full-sweep path:
+    /// `|F_t| + vol(F_t) ≥ (n + 2m) / DENSE_SWITCH_DIVISOR`, evaluated in
+    /// `O(1)` from the maintained frontier size and volume. See
+    /// [`RoundStrategy`](crate::exec::RoundStrategy) for the rationale.
+    #[inline]
+    pub fn prefers_dense(&self, graph: &Graph) -> bool {
+        self.pending_count + self.pending_volume
+            >= (graph.n() + 2 * graph.m()) / DENSE_SWITCH_DIVISOR
+    }
+
+    /// Chunks the dense decide sweep `0..n` over `threads` threads and sums
+    /// the per-chunk draw counts. `decide` receives the engine and its
+    /// vertex range; it reads the cached (pre-round) flags through `&self`
+    /// and writes states/staged blackness for its own vertices only. With
+    /// counter-based draws the partition is invisible in the results, so the
+    /// sweep is bit-identical for every thread count (a single chunk runs
+    /// inline with no spawn).
+    pub fn dense_sweep<D>(&self, threads: usize, decide: D) -> u64
+    where
+        D: Fn(&Self, std::ops::Range<VertexId>) -> u64 + Sync,
+    {
+        let bounds = chunk_bounds(self.n, threads);
+        match bounds.len() {
+            0 => 0,
+            1 => decide(self, bounds[0].0..bounds[0].1),
+            chunks => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(chunks)
+                    .build()
+                    .expect("thread pool construction is infallible");
+                let bounds_ref = &bounds;
+                pool.broadcast(|ctx| {
+                    let (lo, hi) = bounds_ref[ctx.index()];
+                    decide(self, lo..hi)
+                })
+                .into_iter()
+                .sum()
+            }
+        }
     }
 
     /// Compacts the frontier (dropping vertices that stopped pending) and
@@ -326,11 +551,11 @@ impl FrontierEngine {
             self.counts.black -= 1;
             self.counts.non_black += 1;
         }
-        for &v in graph.neighbors(u) {
+        for v in graph.neighbors(u) {
             if black {
-                self.black_nbrs.add(v, 1);
+                self.black_nbrs.add_mut(v, 1);
             } else {
-                self.black_nbrs.sub(v, 1);
+                self.black_nbrs.sub_mut(v, 1);
             }
             self.mark_dirty(v);
         }
@@ -341,7 +566,7 @@ impl FrontierEngine {
     /// blackness flip (e.g. the 3-state process's `black1` counters).
     #[inline]
     pub fn mark_dirty(&mut self, u: VertexId) {
-        if !self.dirty_mark.test_and_set(u) {
+        if !self.dirty_mark.test_and_set_mut(u) {
             self.dirty.push(u);
         }
     }
@@ -360,7 +585,7 @@ impl FrontierEngine {
         }
         self.black.set(u, black);
         sink.black_delta += if black { 1 } else { -1 };
-        for &v in graph.neighbors(u) {
+        for v in graph.neighbors(u) {
             if black {
                 self.black_nbrs.add(v, 1);
             } else {
@@ -386,10 +611,23 @@ impl FrontierEngine {
     /// (the delta is a sum; the dirty set is mark-deduplicated).
     pub fn commit_scatter<I: IntoIterator<Item = ScatterSink>>(&mut self, sinks: I) {
         let mut delta = 0isize;
-        for sink in sinks {
-            delta += sink.black_delta;
-            self.dirty.extend_from_slice(&sink.dirty);
+        for mut sink in sinks {
+            delta += self.drain_sink(&mut sink);
         }
+        self.apply_black_delta(delta);
+    }
+
+    /// Drains one sink's dirty vertices into the engine's queue (keeping the
+    /// sink's buffer capacity, so it can be recycled) and returns its
+    /// black-count delta.
+    fn drain_sink(&mut self, sink: &mut ScatterSink) -> isize {
+        self.dirty.extend_from_slice(&sink.dirty);
+        sink.dirty.clear();
+        std::mem::take(&mut sink.black_delta)
+    }
+
+    /// Applies a net blackness change to the cached counts.
+    fn apply_black_delta(&mut self, delta: isize) {
         self.counts.black = (self.counts.black as isize + delta) as usize;
         self.counts.non_black = (self.counts.non_black as isize - delta) as usize;
     }
@@ -411,17 +649,17 @@ impl FrontierEngine {
 
             let stable_black = self.black.get(u) && self.black_nbrs.get(u) == 0;
             if stable_black != (self.flags.get(u) & STABLE_BLACK != 0) {
-                self.flags.xor(u, STABLE_BLACK);
+                self.flags.xor_mut(u, STABLE_BLACK);
                 if stable_black {
                     self.counts.stable_black += 1;
                 } else {
                     self.counts.stable_black -= 1;
                 }
-                for &v in graph.neighbors(u) {
+                for v in graph.neighbors(u) {
                     if stable_black {
-                        self.stable_black_nbrs.add(v, 1);
+                        self.stable_black_nbrs.add_mut(v, 1);
                     } else {
-                        self.stable_black_nbrs.sub(v, 1);
+                        self.stable_black_nbrs.sub_mut(v, 1);
                     }
                     self.mark_dirty(v);
                 }
@@ -429,7 +667,7 @@ impl FrontierEngine {
 
             let stable = stable_black || self.stable_black_nbrs.get(u) > 0;
             if stable != (self.flags.get(u) & STABLE != 0) {
-                self.flags.xor(u, STABLE);
+                self.flags.xor_mut(u, STABLE);
                 if stable {
                     self.counts.unstable -= 1;
                 } else {
@@ -443,7 +681,7 @@ impl FrontierEngine {
                 "active vertices must be pending"
             );
             if class.active != (self.flags.get(u) & ACTIVE != 0) {
-                self.flags.xor(u, ACTIVE);
+                self.flags.xor_mut(u, ACTIVE);
                 if class.active {
                     self.counts.active += 1;
                 } else {
@@ -451,9 +689,16 @@ impl FrontierEngine {
                 }
             }
             if class.pending != (self.flags.get(u) & PENDING != 0) {
-                self.flags.xor(u, PENDING);
-                if class.pending && !self.frontier_contains.test_and_set(u) {
-                    self.frontier.push(u);
+                self.flags.xor_mut(u, PENDING);
+                if class.pending {
+                    self.pending_count += 1;
+                    self.pending_volume += graph.degree(u);
+                    if !self.frontier_contains.test_and_set_mut(u) {
+                        self.frontier.push(u);
+                    }
+                } else {
+                    self.pending_count -= 1;
+                    self.pending_volume -= graph.degree(u);
                 }
                 // A vertex that stopped pending keeps its (now stale) entry
                 // until the next begin_round compaction.
@@ -505,6 +750,7 @@ impl FrontierEngine {
                 .num_threads(bounds.len())
                 .build()
                 .expect("thread pool construction is infallible");
+            let sink_source = std::sync::Mutex::new(std::mem::take(&mut self.sink_pool));
             let engine = &*self;
             // Decide phase.
             let decided: Vec<(Vec<Ch>, u64)> = pool.broadcast(|ctx| {
@@ -513,16 +759,31 @@ impl FrontierEngine {
                 let draws = decide(engine, &worklist[lo..hi], &mut changes);
                 (changes, draws)
             });
-            // Scatter phase.
+            // Scatter phase. Threads draw their sinks from the engine's
+            // recycled pool (one uncontended lock per thread per round), so
+            // the per-thread dirty buffers keep their capacity across rounds
+            // instead of being reallocated every round.
             let sinks: Vec<ScatterSink> = pool.broadcast(|ctx| {
-                let mut sink = ScatterSink::default();
+                let mut sink = sink_source
+                    .lock()
+                    .expect("sink pool mutex is never poisoned")
+                    .pop()
+                    .unwrap_or_default();
                 for change in &decided[ctx.index()].0 {
                     scatter(engine, change, &mut sink);
                 }
                 sink
             });
             draws_total = decided.iter().map(|(_, draws)| *draws).sum();
-            self.commit_scatter(sinks);
+            self.sink_pool = sink_source
+                .into_inner()
+                .expect("sink pool mutex is never poisoned");
+            let mut delta = 0isize;
+            for mut sink in sinks {
+                delta += self.drain_sink(&mut sink);
+                self.sink_pool.push(sink);
+            }
+            self.apply_black_delta(delta);
         }
         self.par_flush(graph, threads, classify);
         draws_total
@@ -570,7 +831,7 @@ impl FrontierEngine {
                 if stable_black != (flags.get(u) & STABLE_BLACK != 0) {
                     flags.xor(u, STABLE_BLACK);
                     stable_black_delta += if stable_black { 1 } else { -1 };
-                    for &v in graph.neighbors(u) {
+                    for v in graph.neighbors(u) {
                         if stable_black {
                             stable_black_nbrs.add(v, 1);
                         } else {
@@ -601,11 +862,9 @@ impl FrontierEngine {
         let frontier_contains = &self.frontier_contains;
         let dirty_ref = &dirty;
         let classify = &classify;
-        let pass2: Vec<(isize, isize, Vec<VertexId>)> = pool.broadcast(|ctx| {
+        let pass2: Vec<Pass2Part> = pool.broadcast(|ctx| {
             let (lo, hi) = bounds[ctx.index()];
-            let mut unstable_delta = 0isize;
-            let mut active_delta = 0isize;
-            let mut frontier_adds = Vec::new();
+            let mut part = Pass2Part::default();
             for &u in &dirty_ref[lo..hi] {
                 dirty_mark.set(u, false);
                 let f = flags.get(u);
@@ -613,7 +872,7 @@ impl FrontierEngine {
                 let stable = stable_black || stable_black_nbrs.get(u) > 0;
                 if stable != (f & STABLE != 0) {
                     flags.xor(u, STABLE);
-                    unstable_delta += if stable { -1 } else { 1 };
+                    part.unstable_delta += if stable { -1 } else { 1 };
                 }
                 let class = classify(u, black_nbrs.get(u));
                 debug_assert!(
@@ -622,21 +881,32 @@ impl FrontierEngine {
                 );
                 if class.active != (f & ACTIVE != 0) {
                     flags.xor(u, ACTIVE);
-                    active_delta += if class.active { 1 } else { -1 };
+                    part.active_delta += if class.active { 1 } else { -1 };
                 }
                 if class.pending != (f & PENDING != 0) {
                     flags.xor(u, PENDING);
-                    if class.pending && !frontier_contains.test_and_set(u) {
-                        frontier_adds.push(u);
+                    let vol = graph.degree(u) as isize;
+                    if class.pending {
+                        part.pending_delta += 1;
+                        part.pending_volume_delta += vol;
+                        if !frontier_contains.test_and_set(u) {
+                            part.frontier_adds.push(u);
+                        }
+                    } else {
+                        part.pending_delta -= 1;
+                        part.pending_volume_delta -= vol;
                     }
                 }
             }
-            (unstable_delta, active_delta, frontier_adds)
+            part
         });
-        for (unstable_delta, active_delta, frontier_adds) in pass2 {
-            self.counts.unstable = (self.counts.unstable as isize + unstable_delta) as usize;
-            self.counts.active = (self.counts.active as isize + active_delta) as usize;
-            self.frontier.extend_from_slice(&frontier_adds);
+        for part in pass2 {
+            self.counts.unstable = (self.counts.unstable as isize + part.unstable_delta) as usize;
+            self.counts.active = (self.counts.active as isize + part.active_delta) as usize;
+            self.pending_count = (self.pending_count as isize + part.pending_delta) as usize;
+            self.pending_volume =
+                (self.pending_volume as isize + part.pending_volume_delta) as usize;
+            self.frontier.extend_from_slice(&part.frontier_adds);
         }
 
         dirty.clear();
@@ -693,9 +963,18 @@ impl FrontierEngine {
         self.flags.get(u) & PENDING != 0
     }
 
-    /// Number of pending vertices (the logical frontier size).
+    /// Number of pending vertices `|F_t|` (the logical frontier size);
+    /// `O(1)` — maintained alongside the flags.
+    #[inline]
     pub fn frontier_len(&self) -> usize {
-        (0..self.n).filter(|&u| self.is_pending(u)).count()
+        self.pending_count
+    }
+
+    /// `vol(F_t) = Σ_{u pending} deg(u)`, maintained for the `O(1)`
+    /// dense/sparse decision of [`prefers_dense`](Self::prefers_dense).
+    #[inline]
+    pub fn frontier_volume(&self) -> usize {
+        self.pending_volume
     }
 
     /// The current set of black vertices `B_t`.
@@ -789,6 +1068,142 @@ mod tests {
             assert_eq!(e.is_pending(u), fresh.is_pending(u), "vertex {u}");
         }
         assert_eq!(e.counts(), fresh.counts());
+    }
+
+    /// Asserts every piece of engine bookkeeping agrees between two engines.
+    fn assert_engines_agree(a: &FrontierEngine, b: &FrontierEngine, ctx: &str) {
+        assert_eq!(a.n(), b.n(), "{ctx}");
+        for u in 0..a.n() {
+            assert_eq!(a.is_black(u), b.is_black(u), "black, vertex {u}: {ctx}");
+            assert_eq!(
+                a.black_neighbor_count(u),
+                b.black_neighbor_count(u),
+                "black_nbrs, vertex {u}: {ctx}"
+            );
+            assert_eq!(a.is_active(u), b.is_active(u), "active, vertex {u}: {ctx}");
+            assert_eq!(a.is_stable(u), b.is_stable(u), "stable, vertex {u}: {ctx}");
+            assert_eq!(
+                a.is_stable_black(u),
+                b.is_stable_black(u),
+                "stable black, vertex {u}: {ctx}"
+            );
+            assert_eq!(
+                a.is_pending(u),
+                b.is_pending(u),
+                "pending, vertex {u}: {ctx}"
+            );
+        }
+        assert_eq!(a.counts(), b.counts(), "{ctx}");
+        assert_eq!(a.frontier_len(), b.frontier_len(), "{ctx}");
+        assert_eq!(a.frontier_volume(), b.frontier_volume(), "{ctx}");
+    }
+
+    #[test]
+    fn recount_after_staging_matches_rebuild_and_delta_paths() {
+        let g = generators::grid(6, 6);
+        let mut black = vec![false; 36];
+        let mut delta = FrontierEngine::new(36);
+        delta.rebuild(&g, |u| black[u], two_state_like(&black));
+        // Flip through the incremental path...
+        for &(u, b) in &[
+            (0usize, true),
+            (7, true),
+            (14, true),
+            (7, false),
+            (21, true),
+        ] {
+            black[u] = b;
+            delta.set_black(&g, u, b);
+            delta.flush(&g, two_state_like(&black));
+        }
+        // ...and through staging + dense recount.
+        let mut dense = FrontierEngine::new(36);
+        let all_white = [false; 36];
+        dense.rebuild(&g, |_| false, two_state_like(&all_white));
+        for (u, &b) in black.iter().enumerate() {
+            dense.stage_black(u, b);
+        }
+        dense.recount(&g, two_state_like(&black));
+        assert_engines_agree(&delta, &dense, "delta vs staged recount");
+
+        // The O(1) frontier size/volume caches must match a recomputation.
+        let expected_volume: usize = (0..36)
+            .filter(|&u| dense.is_pending(u))
+            .map(|u| g.degree(u))
+            .sum();
+        assert_eq!(dense.frontier_volume(), expected_volume);
+        assert_eq!(
+            dense.frontier_len(),
+            (0..36).filter(|&u| dense.is_pending(u)).count()
+        );
+        // A recount leaves the frontier sorted; begin_round sees it intact.
+        let mut wl_dense = Vec::new();
+        let mut wl_delta = Vec::new();
+        dense.begin_round(&mut wl_dense);
+        delta.begin_round(&mut wl_delta);
+        assert_eq!(wl_dense, wl_delta);
+    }
+
+    #[test]
+    fn recount_par_matches_recount_for_every_thread_count() {
+        // n = 2500 exceeds PAR_WORK_THRESHOLD, so multi-chunk recounts
+        // actually run chunked.
+        let (rows, cols) = (50, 50);
+        let n = rows * cols;
+        let g = generators::grid(rows, cols);
+        let black: Vec<bool> = (0..n).map(|u| u % 3 == 0).collect();
+        let mut sequential = FrontierEngine::new(n);
+        sequential.rebuild(&g, |u| black[u], two_state_like(&black));
+        for threads in [1usize, 2, 4, 7] {
+            let mut parallel = FrontierEngine::new(n);
+            for (u, &b) in black.iter().enumerate() {
+                parallel.stage_black(u, b);
+            }
+            parallel.recount_par(&g, threads, two_state_like(&black));
+            assert_engines_agree(&sequential, &parallel, &format!("threads {threads}"));
+            let mut wl_seq = Vec::new();
+            let mut wl_par = Vec::new();
+            sequential.begin_round(&mut wl_seq);
+            parallel.begin_round(&mut wl_par);
+            assert_eq!(wl_seq, wl_par, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn dense_sweep_covers_every_vertex_once() {
+        let n = 3000; // above PAR_WORK_THRESHOLD: real chunking
+        let e = FrontierEngine::new(n);
+        for threads in [1usize, 2, 5] {
+            let hits = crate::sync::AtomicU32Vec::new(n);
+            let total = e.dense_sweep(threads, |_, range| {
+                let mut local = 0u64;
+                for u in range {
+                    hits.add(u, 1);
+                    local += 1;
+                }
+                local
+            });
+            assert_eq!(total, n as u64, "threads {threads}");
+            for u in 0..n {
+                assert_eq!(hits.get(u), 1, "vertex {u}, threads {threads}");
+            }
+        }
+        assert_eq!(FrontierEngine::new(0).dense_sweep(4, |_, _| 1), 0);
+    }
+
+    #[test]
+    fn prefers_dense_tracks_frontier_mass() {
+        let g = generators::path(64);
+        // Everything black: every vertex pending -> dense.
+        let black = vec![true; 64];
+        let mut e = FrontierEngine::new(64);
+        e.rebuild(&g, |u| black[u], two_state_like(&black));
+        assert!(e.prefers_dense(&g));
+        // A stable MIS configuration: empty frontier -> sparse.
+        let alternating: Vec<bool> = (0..64).map(|u| u % 2 == 0).collect();
+        e.rebuild(&g, |u| alternating[u], two_state_like(&alternating));
+        assert_eq!(e.frontier_len(), 0);
+        assert!(!e.prefers_dense(&g));
     }
 
     #[test]

@@ -59,6 +59,92 @@ impl ExecutionMode {
     }
 }
 
+/// How a full synchronous round traverses the graph: the sparse worklist
+/// path, the dense full-sweep path, or the adaptive (direction-optimizing)
+/// choice between the two.
+///
+/// This is the Beamer-style push–pull idea applied to the round engine: the
+/// sparse path costs `O(|A_t| + vol(A_t))` but pays for frontier
+/// bookkeeping, sorting, and scattered delta updates per touched edge, while
+/// the dense path streams the whole packed state array and recounts every
+/// counter in `O(n + m)` with perfectly predictable memory traffic. When
+/// nearly every vertex is active (the early phase of a self-stabilizing run
+/// from a random configuration) the dense sweep wins; once the frontier
+/// collapses into the silent tail the sparse path wins by orders of
+/// magnitude. [`RoundStrategy::Auto`] compares the frontier size plus its
+/// volume against `(n + 2m) / DENSE_SWITCH_DIVISOR` every round and picks
+/// accordingly.
+///
+/// The choice never changes results: both paths draw the same coins for the
+/// same vertices in the same (ascending) order in sequential execution, and
+/// counter-based draws are order-independent in parallel execution, so
+/// `auto`, forced `sparse`, and forced `dense` are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundStrategy {
+    /// Per-round direction optimization: dense while the frontier is a
+    /// constant fraction of the graph, sparse afterwards. The default.
+    #[default]
+    Auto,
+    /// Always the incremental worklist path (the pre-adaptive behavior).
+    Sparse,
+    /// Always the full-sweep recount path (the reference-style traversal,
+    /// minus its allocations and redundant scans).
+    Dense,
+}
+
+impl RoundStrategy {
+    /// Short lowercase label (`auto` / `sparse` / `dense`), also the JSON
+    /// encoding.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoundStrategy::Auto => "auto",
+            RoundStrategy::Sparse => "sparse",
+            RoundStrategy::Dense => "dense",
+        }
+    }
+
+    /// Parses a label as produced by [`label`](Self::label)
+    /// (case-insensitive).
+    pub fn parse(label: &str) -> Option<RoundStrategy> {
+        match label.to_ascii_lowercase().as_str() {
+            "auto" => Some(RoundStrategy::Auto),
+            "sparse" => Some(RoundStrategy::Sparse),
+            "dense" => Some(RoundStrategy::Dense),
+            _ => None,
+        }
+    }
+}
+
+// Hand-written serde: the spec knob reads `"auto" | "sparse" | "dense"`
+// (lowercase, unlike the derive's variant-name strings).
+impl Serialize for RoundStrategy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for RoundStrategy {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Str(s) => RoundStrategy::parse(s).ok_or_else(|| {
+                serde::Error::custom(format!(
+                    "unknown round strategy '{s}' (expected auto, sparse, or dense)"
+                ))
+            }),
+            _ => Err(serde::Error::custom("expected a round-strategy string")),
+        }
+    }
+}
+
+/// Tuning divisor of the [`RoundStrategy::Auto`] switch: a round runs dense
+/// when `|F_t| + vol(F_t) ≥ (n + 2m) / DENSE_SWITCH_DIVISOR`, where `F_t` is
+/// the pending frontier and `vol` sums degrees. The sparse path costs
+/// several times more per touched edge than the dense sweep's streaming
+/// recount (frontier sort, scattered counter deltas, dirty-queue churn), so
+/// the crossover sits well below `|F_t| ≈ n`; 8 was tuned on the
+/// `exp_scale` G(n, 8/n) family.
+pub const DENSE_SWITCH_DIVISOR: usize = 8;
+
 /// Below this worklist size the parallel phases run on a single chunk
 /// inline: spawning threads for a few hundred vertices costs more than the
 /// work itself, and the late stabilization tail would otherwise pay a
@@ -134,6 +220,29 @@ mod tests {
                 assert!(bounds.len() <= threads.max(1));
             }
         }
+    }
+
+    #[test]
+    fn strategy_labels_parse_and_round_trip() {
+        assert_eq!(RoundStrategy::default(), RoundStrategy::Auto);
+        for strategy in [
+            RoundStrategy::Auto,
+            RoundStrategy::Sparse,
+            RoundStrategy::Dense,
+        ] {
+            assert_eq!(RoundStrategy::parse(strategy.label()), Some(strategy));
+            assert_eq!(
+                RoundStrategy::parse(&strategy.label().to_uppercase()),
+                Some(strategy)
+            );
+            let json = serde_json::to_string(&strategy).unwrap();
+            assert_eq!(json, format!("\"{}\"", strategy.label()));
+            let back: RoundStrategy = serde_json::from_str(&json).unwrap();
+            assert_eq!(strategy, back);
+        }
+        assert_eq!(RoundStrategy::parse("bogus"), None);
+        assert!(serde_json::from_str::<RoundStrategy>("\"bogus\"").is_err());
+        assert!(serde_json::from_str::<RoundStrategy>("3").is_err());
     }
 
     #[test]

@@ -30,6 +30,14 @@
 //! path that is bit-identical (same states, same RNG stream) and serves as
 //! the oracle for the engine's trace-equality tests.
 //!
+//! On top of that, rounds are **direction-optimizing** ([`RoundStrategy`]):
+//! when the frontier is a constant fraction of the graph (the dense early
+//! phase) the engine switches from the sparse worklist path to a flat,
+//! branch-light dense sweep with a fused full recount — faster than both the
+//! sparse path and the naive reference in that regime — and switches back
+//! once the frontier collapses. The adaptive choice is bit-identical to
+//! forcing either path.
+//!
 //! Each process supports two [`ExecutionMode`]s. The default
 //! `Sequential` mode draws every coin from one shared RNG stream in
 //! ascending vertex order (the `step_reference` contract above). `Parallel`
@@ -82,7 +90,7 @@ pub use algorithm::{
 };
 pub use counter_rng::CounterRng;
 pub use engine::{FrontierEngine, ScatterSink, VertexClass};
-pub use exec::ExecutionMode;
+pub use exec::{ExecutionMode, RoundStrategy, DENSE_SWITCH_DIVISOR};
 pub use log_switch::{FixedPeriodSwitch, RandomizedLogSwitch, SwitchProcess, DEFAULT_ZETA};
 pub use packed::PackedStates;
 pub use process::{Process, StabilizationTimeout, StateCounts};

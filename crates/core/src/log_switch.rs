@@ -181,7 +181,7 @@ impl SwitchProcess for RandomizedLogSwitch<'_> {
                     .graph
                     .neighbors(u)
                     .iter()
-                    .map(|&v| self.levels[v])
+                    .map(|v| self.levels[v])
                     .max()
                     .unwrap_or(0)
                     .max(lvl);
@@ -226,7 +226,7 @@ impl SwitchProcess for RandomizedLogSwitch<'_> {
                                 let max_nbr = graph
                                     .neighbors(u)
                                     .iter()
-                                    .map(|&v| levels[v])
+                                    .map(|v| levels[v])
                                     .max()
                                     .unwrap_or(0)
                                     .max(lvl);

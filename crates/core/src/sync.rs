@@ -62,6 +62,20 @@ impl AtomicU32Vec {
         self.data[i].fetch_sub(delta, Ordering::Relaxed);
     }
 
+    /// Adds `delta` to element `i` through `&mut self` — a plain (non
+    /// lock-prefixed) read-modify-write for the exclusive sequential paths,
+    /// where the atomic `fetch_add` would cost a bus lock per edge.
+    #[inline]
+    pub fn add_mut(&mut self, i: usize, delta: u32) {
+        *self.data[i].get_mut() += delta;
+    }
+
+    /// Subtracts `delta` from element `i` through `&mut self` (plain RMW).
+    #[inline]
+    pub fn sub_mut(&mut self, i: usize, delta: u32) {
+        *self.data[i].get_mut() -= delta;
+    }
+
     /// Resets every element to zero.
     pub fn clear_all(&mut self) {
         for slot in &mut self.data {
@@ -126,6 +140,15 @@ impl AtomicFlagVec {
         self.data[i].swap(true, Ordering::Relaxed)
     }
 
+    /// [`test_and_set`](Self::test_and_set) through `&mut self`: a plain
+    /// load + store instead of an atomic swap, for the exclusive sequential
+    /// paths.
+    #[inline]
+    pub fn test_and_set_mut(&mut self, i: usize) -> bool {
+        let slot = self.data[i].get_mut();
+        std::mem::replace(slot, true)
+    }
+
     /// Resets every element to `false`.
     pub fn clear_all(&mut self) {
         for slot in &mut self.data {
@@ -188,6 +211,13 @@ impl AtomicU8Vec {
     pub fn xor(&self, i: usize, mask: u8) {
         self.data[i].fetch_xor(mask, Ordering::Relaxed);
     }
+
+    /// Toggles the bits in `mask` on element `i` through `&mut self` (plain
+    /// RMW, no bus lock) — for the exclusive sequential paths.
+    #[inline]
+    pub fn xor_mut(&mut self, i: usize, mask: u8) {
+        *self.data[i].get_mut() ^= mask;
+    }
 }
 
 impl Clone for AtomicU8Vec {
@@ -215,6 +245,9 @@ mod tests {
         v.add(1, 5);
         v.sub(1, 2);
         assert_eq!(v.get(1), 10);
+        v.add_mut(1, 4);
+        v.sub_mut(1, 1);
+        assert_eq!(v.get(1), 13);
         v.clear_all();
         assert_eq!(v.get(1), 0);
         let w = v.clone();
@@ -223,20 +256,25 @@ mod tests {
 
     #[test]
     fn flag_vec_test_and_set_is_once() {
-        let v = AtomicFlagVec::new(3);
+        let mut v = AtomicFlagVec::new(3);
         assert!(!v.test_and_set(2));
         assert!(v.test_and_set(2));
         assert!(v.get(2));
+        assert!(!v.test_and_set_mut(1));
+        assert!(v.test_and_set_mut(1));
+        v.set(1, false);
         let w = v.clone();
         assert!(w.get(2) && !w.get(0));
     }
 
     #[test]
     fn u8_vec_xor_toggles_bits() {
-        let v = AtomicU8Vec::new(2);
+        let mut v = AtomicU8Vec::new(2);
         v.set(0, 0b0101);
         v.xor(0, 0b0011);
         assert_eq!(v.get(0), 0b0110);
+        v.xor_mut(0, 0b0100);
+        assert_eq!(v.get(0), 0b0010);
     }
 
     #[test]

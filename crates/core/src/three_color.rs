@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::counter_rng::{CounterRng, DRAW_STATE};
 use crate::engine::{FrontierEngine, VertexClass};
-use crate::exec::ExecutionMode;
+use crate::exec::{ExecutionMode, RoundStrategy};
 use crate::init::InitStrategy;
 use crate::log_switch::{RandomizedLogSwitch, SwitchProcess, DEFAULT_ZETA};
 use crate::packed::PackedStates;
@@ -140,6 +140,9 @@ pub struct ThreeColorProcess<'g, S> {
     engine: FrontierEngine,
     switch: S,
     mode: ExecutionMode,
+    strategy: RoundStrategy,
+    /// Whether the most recent full synchronous round ran the dense path.
+    last_round_dense: bool,
     counter: CounterRng,
     round: usize,
     random_bits: u64,
@@ -186,6 +189,8 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
             colors: PackedStates::from_codes(colors.into_iter().map(ThreeColor::code)),
             switch,
             mode: ExecutionMode::Sequential,
+            strategy: RoundStrategy::Auto,
+            last_round_dense: false,
             counter: CounterRng::new(0),
             round: 0,
             random_bits: 0,
@@ -207,6 +212,23 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
     /// The current execution mode.
     pub fn execution_mode(&self) -> ExecutionMode {
         self.mode
+    }
+
+    /// Selects how full synchronous rounds traverse the graph; see
+    /// [`RoundStrategy`]. The choice never changes results.
+    pub fn set_strategy(&mut self, strategy: RoundStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The current round strategy.
+    pub fn strategy(&self) -> RoundStrategy {
+        self.strategy
+    }
+
+    /// `true` if the most recent [`step`](Process::step) ran the dense
+    /// full-sweep path.
+    pub fn last_round_was_dense(&self) -> bool {
+        self.last_round_dense
     }
 
     /// The underlying graph.
@@ -303,7 +325,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         let mut black_nbrs = vec![0u32; self.n()];
         for u in self.graph.vertices() {
             if ThreeColor::from_code(self.colors.get(u)).is_black() {
-                for &v in self.graph.neighbors(u) {
+                for v in self.graph.neighbors(u) {
                     black_nbrs[v] += 1;
                 }
             }
@@ -391,6 +413,103 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         self.round += 1;
     }
 
+    /// One **dense** sequential round: flat sweep deciding from the cached
+    /// activity flags (active black/white vertices draw; gray vertices
+    /// consult the previous round's switch output), then the switch advances
+    /// and the engine recounts in full. Same coins in the same ascending
+    /// order as the sparse path, hence bit-identical.
+    fn step_dense_sequential(&mut self, rng: &mut dyn RngCore) {
+        let n = self.graph.n();
+        let mut draws = 0u64;
+        {
+            let colors = &mut self.colors;
+            let engine = &self.engine;
+            let switch = &self.switch;
+            for u in 0..n {
+                match ThreeColor::from_code(colors.get(u)) {
+                    ThreeColor::Black => {
+                        if engine.is_active(u) {
+                            draws += 1;
+                            if !rng.gen_bool(0.5) {
+                                colors.set_mut(u, ThreeColor::Gray.code());
+                                engine.stage_black(u, false);
+                            }
+                        }
+                    }
+                    ThreeColor::White => {
+                        if engine.is_active(u) {
+                            draws += 1;
+                            if rng.gen_bool(0.5) {
+                                colors.set_mut(u, ThreeColor::Black.code());
+                                engine.stage_black(u, true);
+                            }
+                        }
+                    }
+                    ThreeColor::Gray => {
+                        if switch.is_on(u) {
+                            // Gray behaves like white for its neighbors, so
+                            // the blackness projection is unchanged.
+                            colors.set_mut(u, ThreeColor::White.code());
+                        }
+                    }
+                }
+            }
+        }
+        self.random_bits += draws;
+        self.switch.step(rng);
+        let colors = &self.colors;
+        self.engine.recount(self.graph, classify(colors));
+        self.round += 1;
+    }
+
+    /// One **dense** counter-based round on `threads` threads: chunked
+    /// decide sweep, the switch's data-parallel counter step, and the
+    /// parallel engine recount. Bit-identical for every thread count and to
+    /// the sparse parallel path.
+    fn step_dense_parallel(&mut self, threads: usize) {
+        let round = self.round as u64;
+        let counter = self.counter;
+        let colors = &self.colors;
+        let switch = &self.switch;
+        let draws = self.engine.dense_sweep(threads, |engine, range| {
+            let mut draws = 0u64;
+            for u in range {
+                match ThreeColor::from_code(colors.get(u)) {
+                    ThreeColor::Black => {
+                        if engine.is_active(u) {
+                            draws += 1;
+                            if !counter.gen_bool(0.5, u as u64, round, DRAW_STATE) {
+                                colors.set(u, ThreeColor::Gray.code());
+                                engine.stage_black(u, false);
+                            }
+                        }
+                    }
+                    ThreeColor::White => {
+                        if engine.is_active(u) {
+                            draws += 1;
+                            if counter.gen_bool(0.5, u as u64, round, DRAW_STATE) {
+                                colors.set(u, ThreeColor::Black.code());
+                                engine.stage_black(u, true);
+                            }
+                        }
+                    }
+                    ThreeColor::Gray => {
+                        if switch.is_on(u) {
+                            colors.set(u, ThreeColor::White.code());
+                        }
+                    }
+                }
+            }
+            draws
+        });
+        self.random_bits += draws;
+        self.switch.step_counter(&self.counter, threads);
+        let colors = &self.colors;
+        self.engine
+            .recount_par(self.graph, threads, classify(colors));
+        self.round += 1;
+    }
+
     /// One counter-based round on `threads` threads; results are
     /// bit-identical for every thread count. The phase structure lives in
     /// [`FrontierEngine::par_round`]; this supplies the 3-color decide
@@ -459,9 +578,17 @@ impl<S: SwitchProcess> Process for ThreeColorProcess<'_, S> {
     }
 
     fn step(&mut self, rng: &mut dyn RngCore) {
-        match self.mode {
-            ExecutionMode::Sequential => self.step_sequential(rng),
-            ExecutionMode::Parallel { threads } => self.step_parallel(threads.max(1)),
+        let dense = match self.strategy {
+            RoundStrategy::Sparse => false,
+            RoundStrategy::Dense => true,
+            RoundStrategy::Auto => self.engine.prefers_dense(self.graph),
+        };
+        self.last_round_dense = dense;
+        match (self.mode, dense) {
+            (ExecutionMode::Sequential, false) => self.step_sequential(rng),
+            (ExecutionMode::Sequential, true) => self.step_dense_sequential(rng),
+            (ExecutionMode::Parallel { threads }, false) => self.step_parallel(threads.max(1)),
+            (ExecutionMode::Parallel { threads }, true) => self.step_dense_parallel(threads.max(1)),
         }
     }
 

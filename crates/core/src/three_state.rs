@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::counter_rng::{CounterRng, DRAW_STATE};
 use crate::engine::{FrontierEngine, VertexClass};
-use crate::exec::ExecutionMode;
+use crate::exec::{chunk_bounds, ExecutionMode, RoundStrategy};
 use crate::init::InitStrategy;
 use crate::packed::PackedStates;
 use crate::process::{Process, StateCounts};
@@ -139,6 +139,9 @@ pub struct ThreeStateProcess<'g> {
     black1_nbrs: AtomicU32Vec,
     engine: FrontierEngine,
     mode: ExecutionMode,
+    strategy: RoundStrategy,
+    /// Whether the most recent full synchronous round ran the dense path.
+    last_round_dense: bool,
     counter: CounterRng,
     round: usize,
     random_bits: u64,
@@ -164,6 +167,8 @@ impl<'g> ThreeStateProcess<'g> {
             graph,
             states: PackedStates::from_codes(states.into_iter().map(ThreeState::code)),
             mode: ExecutionMode::Sequential,
+            strategy: RoundStrategy::Auto,
+            last_round_dense: false,
             counter: CounterRng::new(0),
             round: 0,
             random_bits: 0,
@@ -189,6 +194,23 @@ impl<'g> ThreeStateProcess<'g> {
     /// The current execution mode.
     pub fn execution_mode(&self) -> ExecutionMode {
         self.mode
+    }
+
+    /// Selects how full synchronous rounds traverse the graph; see
+    /// [`RoundStrategy`]. The choice never changes results.
+    pub fn set_strategy(&mut self, strategy: RoundStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The current round strategy.
+    pub fn strategy(&self) -> RoundStrategy {
+        self.strategy
+    }
+
+    /// `true` if the most recent [`step`](Process::step) ran the dense
+    /// full-sweep path.
+    pub fn last_round_was_dense(&self) -> bool {
+        self.last_round_dense
     }
 
     /// The underlying graph.
@@ -275,7 +297,7 @@ impl<'g> ThreeStateProcess<'g> {
         for u in self.graph.vertices() {
             let s = ThreeState::from_code(self.states.get(u));
             if s.is_black() {
-                for &v in self.graph.neighbors(u) {
+                for v in self.graph.neighbors(u) {
                     black_nbrs[v] += 1;
                     if s == ThreeState::Black1 {
                         black1_nbrs[v] += 1;
@@ -317,7 +339,7 @@ impl<'g> ThreeStateProcess<'g> {
         if was_black1 == is_black1 {
             return;
         }
-        for &v in self.graph.neighbors(u) {
+        for v in self.graph.neighbors(u) {
             if is_black1 {
                 self.black1_nbrs.add(v, 1);
             } else {
@@ -328,14 +350,7 @@ impl<'g> ThreeStateProcess<'g> {
     }
 
     fn rebuild_engine(&mut self) {
-        self.black1_nbrs.clear_all();
-        for u in self.graph.vertices() {
-            if ThreeState::from_code(self.states.get(u)) == ThreeState::Black1 {
-                for &v in self.graph.neighbors(u) {
-                    self.black1_nbrs.add(v, 1);
-                }
-            }
-        }
+        self.recount_black1();
         let states = &self.states;
         let black1_nbrs = &self.black1_nbrs;
         self.engine.rebuild(
@@ -343,6 +358,127 @@ impl<'g> ThreeStateProcess<'g> {
             |u| ThreeState::from_code(states.get(u)).is_black(),
             classify(states, black1_nbrs),
         );
+    }
+
+    /// Recomputes the `black1` neighbor counters from scratch with plain
+    /// (non-atomic) adds; the process-owned half of a dense recount.
+    fn recount_black1(&mut self) {
+        self.black1_nbrs.clear_all();
+        let states = &self.states;
+        let black1_nbrs = &mut self.black1_nbrs;
+        for u in self.graph.vertices() {
+            if states.get(u) == ThreeState::Black1.code() {
+                for &v in self.graph.neighbors(u).as_compact() {
+                    black1_nbrs.add_mut(v.index(), 1);
+                }
+            }
+        }
+    }
+
+    /// Parallel counterpart of [`recount_black1`](Self::recount_black1):
+    /// chunked commutative atomic adds, bit-identical for every thread
+    /// count.
+    fn recount_black1_par(&mut self, threads: usize) {
+        let n = self.graph.n();
+        let bounds = chunk_bounds(n, threads);
+        if bounds.len() <= 1 {
+            return self.recount_black1();
+        }
+        self.black1_nbrs.clear_all();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(bounds.len())
+            .build()
+            .expect("thread pool construction is infallible");
+        let states = &self.states;
+        let black1_nbrs = &self.black1_nbrs;
+        let graph = self.graph;
+        let bounds_ref = &bounds;
+        pool.broadcast(|ctx| {
+            let (lo, hi) = bounds_ref[ctx.index()];
+            for u in lo..hi {
+                if states.get(u) == ThreeState::Black1.code() {
+                    for &v in graph.neighbors(u).as_compact() {
+                        black1_nbrs.add(v.index(), 1);
+                    }
+                }
+            }
+        });
+    }
+
+    /// One **dense** sequential round: flat sweep deciding from the cached
+    /// activity flags (active vertices draw from `{black1, black0}`,
+    /// non-active `black0` vertices retire to white), then a full recount of
+    /// the `black1` counters and the engine bookkeeping. Same coins in the
+    /// same ascending order as the sparse path, hence bit-identical.
+    fn step_dense_sequential(&mut self, rng: &mut dyn RngCore) {
+        let n = self.graph.n();
+        let mut draws = 0u64;
+        {
+            let states = &mut self.states;
+            let engine = &self.engine;
+            for u in 0..n {
+                if engine.is_active(u) {
+                    draws += 1;
+                    let new = if rng.gen_bool(0.5) {
+                        ThreeState::Black1
+                    } else {
+                        ThreeState::Black0
+                    };
+                    if new.code() != states.get(u) {
+                        states.set_mut(u, new.code());
+                        engine.stage_black(u, true);
+                    }
+                } else if states.get(u) == ThreeState::Black0.code() {
+                    // black0 with a black1 neighbor retires to white.
+                    states.set_mut(u, ThreeState::White.code());
+                    engine.stage_black(u, false);
+                }
+            }
+        }
+        self.random_bits += draws;
+        self.recount_black1();
+        let states = &self.states;
+        let black1_nbrs = &self.black1_nbrs;
+        self.engine
+            .recount(self.graph, classify(states, black1_nbrs));
+        self.round += 1;
+    }
+
+    /// One **dense** counter-based round on `threads` threads: chunked
+    /// decide sweep, parallel `black1` recount, parallel engine recount.
+    /// Bit-identical for every thread count and to the sparse parallel path.
+    fn step_dense_parallel(&mut self, threads: usize) {
+        let round = self.round as u64;
+        let counter = self.counter;
+        let states = &self.states;
+        let draws = self.engine.dense_sweep(threads, |engine, range| {
+            let mut draws = 0u64;
+            for u in range {
+                if engine.is_active(u) {
+                    draws += 1;
+                    let new = if counter.gen_bool(0.5, u as u64, round, DRAW_STATE) {
+                        ThreeState::Black1
+                    } else {
+                        ThreeState::Black0
+                    };
+                    if new.code() != states.get(u) {
+                        states.set(u, new.code());
+                        engine.stage_black(u, true);
+                    }
+                } else if states.get(u) == ThreeState::Black0.code() {
+                    states.set(u, ThreeState::White.code());
+                    engine.stage_black(u, false);
+                }
+            }
+            draws
+        });
+        self.random_bits += draws;
+        self.recount_black1_par(threads);
+        let states = &self.states;
+        let black1_nbrs = &self.black1_nbrs;
+        self.engine
+            .recount_par(self.graph, threads, classify(states, black1_nbrs));
+        self.round += 1;
     }
 
     /// One sequential round: ascending-order draws from the shared stream,
@@ -477,7 +613,7 @@ impl<'g> ThreeStateProcess<'g> {
                 let was_black1 = old == ThreeState::Black1;
                 let is_black1 = new == ThreeState::Black1;
                 if was_black1 != is_black1 {
-                    for &v in graph.neighbors(u) {
+                    for v in graph.neighbors(u) {
                         if is_black1 {
                             black1_nbrs.add(v, 1);
                         } else {
@@ -505,9 +641,17 @@ impl Process for ThreeStateProcess<'_> {
     }
 
     fn step(&mut self, rng: &mut dyn RngCore) {
-        match self.mode {
-            ExecutionMode::Sequential => self.step_sequential(rng),
-            ExecutionMode::Parallel { threads } => self.step_parallel(threads.max(1)),
+        let dense = match self.strategy {
+            RoundStrategy::Sparse => false,
+            RoundStrategy::Dense => true,
+            RoundStrategy::Auto => self.engine.prefers_dense(self.graph),
+        };
+        self.last_round_dense = dense;
+        match (self.mode, dense) {
+            (ExecutionMode::Sequential, false) => self.step_sequential(rng),
+            (ExecutionMode::Sequential, true) => self.step_dense_sequential(rng),
+            (ExecutionMode::Parallel { threads }, false) => self.step_parallel(threads.max(1)),
+            (ExecutionMode::Parallel { threads }, true) => self.step_dense_parallel(threads.max(1)),
         }
     }
 

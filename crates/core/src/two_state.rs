@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::counter_rng::{CounterRng, DRAW_STATE};
 use crate::engine::{FrontierEngine, VertexClass};
-use crate::exec::ExecutionMode;
+use crate::exec::{ExecutionMode, RoundStrategy};
 use crate::init::InitStrategy;
 use crate::packed::PackedStates;
 use crate::process::{Process, StateCounts};
@@ -117,6 +117,9 @@ pub struct TwoStateProcess<'g> {
     /// Incremental counters, frontier, and cached counts.
     engine: FrontierEngine,
     mode: ExecutionMode,
+    strategy: RoundStrategy,
+    /// Whether the most recent full synchronous round ran the dense path.
+    last_round_dense: bool,
     counter: CounterRng,
     round: usize,
     random_bits: u64,
@@ -143,6 +146,8 @@ impl<'g> TwoStateProcess<'g> {
             graph,
             states: PackedStates::from_codes(states.into_iter().map(Color::code)),
             mode: ExecutionMode::Sequential,
+            strategy: RoundStrategy::Auto,
+            last_round_dense: false,
             counter: CounterRng::new(0),
             round: 0,
             random_bits: 0,
@@ -169,6 +174,25 @@ impl<'g> TwoStateProcess<'g> {
     /// The current execution mode.
     pub fn execution_mode(&self) -> ExecutionMode {
         self.mode
+    }
+
+    /// Selects how full synchronous rounds traverse the graph: the adaptive
+    /// dense/sparse choice (default), or one path forced. The choice never
+    /// changes results — see [`RoundStrategy`].
+    pub fn set_strategy(&mut self, strategy: RoundStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The current round strategy.
+    pub fn strategy(&self) -> RoundStrategy {
+        self.strategy
+    }
+
+    /// `true` if the most recent [`step`](Process::step) ran the dense
+    /// full-sweep path (reporting hook for the scale experiment, which
+    /// records the round where `auto` switches dense → sparse).
+    pub fn last_round_was_dense(&self) -> bool {
+        self.last_round_dense
     }
 
     /// The underlying graph.
@@ -249,7 +273,7 @@ impl<'g> TwoStateProcess<'g> {
                 .graph
                 .neighbors(u)
                 .iter()
-                .filter(|&&v| active.contains(v))
+                .filter(|&v| active.contains(v))
                 .count();
             if active_nbrs <= k {
                 out.insert(u);
@@ -271,7 +295,7 @@ impl<'g> TwoStateProcess<'g> {
         let mut black_nbrs = vec![0u32; self.n()];
         for u in self.graph.vertices() {
             if Color::from_code(self.states.get(u)).is_black() {
-                for &v in self.graph.neighbors(u) {
+                for v in self.graph.neighbors(u) {
                     black_nbrs[v] += 1;
                 }
             }
@@ -378,6 +402,72 @@ impl<'g> TwoStateProcess<'g> {
         self.round += 1;
     }
 
+    /// One **dense** sequential round: a flat sweep over the packed state
+    /// array deciding from the cached activity flags (no worklist, no sort,
+    /// no delta scatter), followed by the engine's fused full recount. Same
+    /// coins for the same vertices in the same ascending order as
+    /// [`step_sequential`](Self::step_sequential), hence bit-identical.
+    fn step_dense_sequential(&mut self, rng: &mut dyn RngCore) {
+        let n = self.graph.n();
+        let mut draws = 0u64;
+        {
+            let states = &mut self.states;
+            let engine = &self.engine;
+            for u in 0..n {
+                if engine.is_active(u) {
+                    draws += 1;
+                    let new = if rng.gen_bool(0.5) {
+                        Color::Black
+                    } else {
+                        Color::White
+                    };
+                    if new.code() != states.get(u) {
+                        states.set_mut(u, new.code());
+                        engine.stage_black(u, new.is_black());
+                    }
+                }
+            }
+        }
+        self.random_bits += draws;
+        let states = &self.states;
+        self.engine.recount(self.graph, classify(states));
+        self.round += 1;
+    }
+
+    /// One **dense** counter-based round on `threads` threads: the decide
+    /// sweep is chunked over `0..n` (order-independent counter draws) and
+    /// the recount runs through
+    /// [`recount_par`](FrontierEngine::recount_par); bit-identical for every
+    /// thread count and to the sparse parallel path.
+    fn step_dense_parallel(&mut self, threads: usize) {
+        let round = self.round as u64;
+        let counter = self.counter;
+        let states = &self.states;
+        let draws = self.engine.dense_sweep(threads, |engine, range| {
+            let mut draws = 0u64;
+            for u in range {
+                if engine.is_active(u) {
+                    draws += 1;
+                    let new = if counter.gen_bool(0.5, u as u64, round, DRAW_STATE) {
+                        Color::Black
+                    } else {
+                        Color::White
+                    };
+                    if new.code() != states.get(u) {
+                        states.set(u, new.code());
+                        engine.stage_black(u, new.is_black());
+                    }
+                }
+            }
+            draws
+        });
+        self.random_bits += draws;
+        let states = &self.states;
+        self.engine
+            .recount_par(self.graph, threads, classify(states));
+        self.round += 1;
+    }
+
     /// One counter-based round on `threads` threads; results are
     /// bit-identical for every thread count. The phase structure lives in
     /// [`FrontierEngine::par_round`]; this only supplies the 2-state decide
@@ -428,9 +518,17 @@ impl Process for TwoStateProcess<'_> {
     }
 
     fn step(&mut self, rng: &mut dyn RngCore) {
-        match self.mode {
-            ExecutionMode::Sequential => self.step_sequential(rng),
-            ExecutionMode::Parallel { threads } => self.step_parallel(threads.max(1)),
+        let dense = match self.strategy {
+            RoundStrategy::Sparse => false,
+            RoundStrategy::Dense => true,
+            RoundStrategy::Auto => self.engine.prefers_dense(self.graph),
+        };
+        self.last_round_dense = dense;
+        match (self.mode, dense) {
+            (ExecutionMode::Sequential, false) => self.step_sequential(rng),
+            (ExecutionMode::Sequential, true) => self.step_dense_sequential(rng),
+            (ExecutionMode::Parallel { threads }, false) => self.step_parallel(threads.max(1)),
+            (ExecutionMode::Parallel { threads }, true) => self.step_dense_parallel(threads.max(1)),
         }
     }
 
@@ -666,7 +764,7 @@ mod tests {
             let expected = g
                 .neighbors(u)
                 .iter()
-                .filter(|&&v| p.color(v).is_black())
+                .filter(|&v| p.color(v).is_black())
                 .count();
             assert_eq!(p.black_neighbor_count(u), expected);
         }
@@ -675,7 +773,7 @@ mod tests {
             let expected = g
                 .neighbors(u)
                 .iter()
-                .filter(|&&v| p.color(v).is_black())
+                .filter(|&v| p.color(v).is_black())
                 .count();
             assert_eq!(p.black_neighbor_count(u), expected);
         }
@@ -688,6 +786,85 @@ mod tests {
         // Every vertex is active with 5 active neighbors.
         assert_eq!(p.k_active_set(4).len(), 0);
         assert_eq!(p.k_active_set(5).len(), 6);
+    }
+
+    #[test]
+    fn forced_strategies_are_bit_identical() {
+        // auto, forced sparse, and forced dense must walk the exact same
+        // trajectory (same states, same RNG stream, same counts) — the core
+        // contract of the direction-optimizing engine.
+        let g = generators::gnp(90, 0.1, &mut rng(301));
+        let mut outcomes = Vec::new();
+        for strategy in [
+            RoundStrategy::Auto,
+            RoundStrategy::Sparse,
+            RoundStrategy::Dense,
+        ] {
+            let mut r = rng(302);
+            let mut p = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+            p.set_strategy(strategy);
+            assert_eq!(p.strategy(), strategy);
+            let mut per_round = Vec::new();
+            for _ in 0..40 {
+                if p.is_stabilized() {
+                    break;
+                }
+                p.step(&mut r);
+                per_round.push((p.states(), p.counts(), p.random_bits_used()));
+            }
+            outcomes.push((per_round, p.black_set(), p.round()));
+        }
+        assert_eq!(outcomes[0], outcomes[1], "auto vs sparse");
+        assert_eq!(outcomes[0], outcomes[2], "auto vs dense");
+    }
+
+    #[test]
+    fn auto_switches_dense_to_sparse_as_the_frontier_collapses() {
+        let n = 4000;
+        let g = generators::gnp(n, 8.0 / n as f64, &mut rng(303));
+        let mut r = rng(304);
+        let mut p = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+        // From a random init roughly half the vertices are active: dense.
+        p.step(&mut r);
+        assert!(p.last_round_was_dense(), "early phase should run dense");
+        p.run_to_stabilization(&mut r, 100_000).unwrap();
+        // A silent round on the stabilized configuration: sparse.
+        p.step(&mut r);
+        assert!(!p.last_round_was_dense(), "silent phase should run sparse");
+    }
+
+    #[test]
+    fn parallel_dense_rounds_are_thread_count_invariant() {
+        let g = generators::gnp(150, 0.1, &mut rng(305));
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 3, 6] {
+            let mut r = rng(306);
+            let mut p = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+            p.set_execution(ExecutionMode::Parallel { threads }, 77);
+            p.set_strategy(RoundStrategy::Dense);
+            for _ in 0..25 {
+                if p.is_stabilized() {
+                    break;
+                }
+                p.step(&mut r);
+            }
+            outcomes.push((p.states(), p.black_set(), p.counts(), p.random_bits_used()));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], outcomes[2]);
+        // And the dense parallel trajectory equals the sparse parallel one.
+        let mut r = rng(306);
+        let mut sparse = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+        sparse.set_execution(ExecutionMode::Parallel { threads: 2 }, 77);
+        sparse.set_strategy(RoundStrategy::Sparse);
+        for _ in 0..25 {
+            if sparse.is_stabilized() {
+                break;
+            }
+            sparse.step(&mut r);
+        }
+        assert_eq!(outcomes[0].0, sparse.states());
+        assert_eq!(outcomes[0].3, sparse.random_bits_used());
     }
 
     #[test]

@@ -51,8 +51,8 @@ fn recount(
     black: impl Fn(usize) -> bool,
     active: impl Fn(usize) -> bool,
 ) -> StateCounts {
-    let stable_black = |u: usize| black(u) && g.neighbors(u).iter().all(|&v| !black(v));
-    let stable = |u: usize| stable_black(u) || g.neighbors(u).iter().any(|&v| stable_black(v));
+    let stable_black = |u: usize| black(u) && g.neighbors(u).iter().all(|v| !black(v));
+    let stable = |u: usize| stable_black(u) || g.neighbors(u).iter().any(&stable_black);
     let mut c = StateCounts::default();
     for u in g.vertices() {
         if black(u) {
@@ -138,7 +138,7 @@ fn two_state_trace_equality() {
                                 let bn = g
                                     .neighbors(u)
                                     .iter()
-                                    .filter(|&&v| n.states()[v].is_black())
+                                    .filter(|&v| n.states()[v].is_black())
                                     .count();
                                 if n.states()[u].is_black() {
                                     bn > 0
@@ -195,9 +195,9 @@ fn three_state_trace_equality() {
                             ThreeState::Black0 => !g
                                 .neighbors(u)
                                 .iter()
-                                .any(|&v| n.states()[v] == ThreeState::Black1),
+                                .any(|v| n.states()[v] == ThreeState::Black1),
                             ThreeState::White => {
-                                !g.neighbors(u).iter().any(|&v| n.states()[v].is_black())
+                                !g.neighbors(u).iter().any(|v| n.states()[v].is_black())
                             }
                         },
                     );
@@ -246,7 +246,7 @@ fn three_color_trace_equality() {
                                 let bn = g
                                     .neighbors(u)
                                     .iter()
-                                    .filter(|&&v| n.colors()[v].is_black())
+                                    .filter(|&v| n.colors()[v].is_black())
                                     .count();
                                 match n.colors()[u] {
                                     mis_core::ThreeColor::Black => bn > 0,

@@ -26,7 +26,16 @@ pub struct GraphBuilder {
 
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` vertices (ids `0..n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX`: the CSR stores vertex ids compactly
+    /// as `u32` (see [`crate::CompactId`]).
     pub fn new(n: usize) -> Self {
+        assert!(
+            u32::try_from(n).is_ok(),
+            "the compact CSR supports at most u32::MAX vertices, got {n}"
+        );
         GraphBuilder {
             n,
             adjacency: vec![Vec::new(); n],
@@ -123,8 +132,8 @@ mod tests {
         b.add_edge(2, 3);
         let g = b.build();
         assert_eq!(g.m(), 2);
-        assert_eq!(g.neighbors(0), &[1]);
-        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.neighbors(0).to_vec(), vec![1]);
+        assert_eq!(g.neighbors(2).to_vec(), vec![3]);
     }
 
     #[test]
@@ -175,13 +184,13 @@ mod tests {
             let g = b.build();
             prop_assert_eq!(g.m(), distinct.len());
             for u in g.vertices() {
-                let nbrs = g.neighbors(u);
+                let nbrs = g.neighbors(u).to_vec();
                 // sorted, no duplicates, no self loops
                 prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
                 prop_assert!(!nbrs.contains(&u));
                 // symmetry
-                for &v in nbrs {
-                    prop_assert!(g.neighbors(v).contains(&u));
+                for &v in &nbrs {
+                    prop_assert!(g.neighbors(v).contains(u));
                 }
             }
         }

@@ -70,6 +70,160 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     builder.build()
 }
 
+/// Counter-based parallel `G(n,p)`: the same Erdős–Rényi distribution as
+/// [`gnp`], but keyed on `(seed, row)` instead of a shared sequential RNG
+/// stream, so rows are independent and can be generated **in parallel with
+/// results identical for every thread count** (and identical to the
+/// single-threaded run).
+///
+/// Each row `v` walks its strictly-lower-triangular slots `w < v` with
+/// geometrically distributed skips drawn from a SplitMix64 stream seeded by
+/// `(seed, v)` — the per-vertex-randomness idea the round engine uses,
+/// applied to graph setup (which dominates wall-clock at `n = 10⁷` in the
+/// scale experiment). Rows are partitioned into contiguous, volume-balanced
+/// blocks; block edge lists are concatenated in row order and scattered into
+/// the compact CSR with a counting sort, which leaves every adjacency list
+/// sorted without a per-list sort (row `v` contributes its smaller neighbors
+/// in ascending order before later rows append the larger ones).
+///
+/// Uses all available cores; see [`gnp_counter_threads`] to pin the worker
+/// count. Note the sampled graph differs from [`gnp`]'s for the same seed —
+/// the two draw from different randomness models (same distribution).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or is NaN.
+pub fn gnp_counter(n: usize, p: f64, seed: u64) -> Graph {
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    gnp_counter_threads(n, p, seed, threads)
+}
+
+/// [`gnp_counter`] with an explicit worker-thread count (the result does not
+/// depend on it).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or is NaN.
+pub fn gnp_counter_threads(n: usize, p: f64, seed: u64, threads: usize) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    if n == 0 || p == 0.0 {
+        return Graph::empty(n);
+    }
+    if p >= 1.0 {
+        return complete(n);
+    }
+    let log_q = (1.0 - p).ln();
+    if log_q == 0.0 {
+        // p is so small that 1 - p rounds to 1.0 (p < ~1e-16): the geometric
+        // skip would divide by zero. The expected edge count p·n(n−1)/2 is
+        // indistinguishable from zero at any representable n, so the empty
+        // graph is the distributionally correct sample.
+        return Graph::empty(n);
+    }
+
+    // Volume-balanced contiguous row blocks: the expected work of rows
+    // `0..v` grows like `v²`, so boundaries at `n·sqrt(i/k)` equalize it.
+    let blocks = threads.max(1).min(n);
+    let mut bounds = Vec::with_capacity(blocks);
+    let mut lo = 0usize;
+    for i in 1..=blocks {
+        let hi = if i == blocks {
+            n
+        } else {
+            (((n as f64) * (i as f64 / blocks as f64).sqrt()).round() as usize).clamp(lo, n)
+        };
+        if hi > lo {
+            bounds.push((lo, hi));
+            lo = hi;
+        }
+    }
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(bounds.len().max(1))
+        .build()
+        .expect("thread pool construction is infallible");
+    let bounds_ref = &bounds;
+    // Per-block edge lists, in row order within and across blocks.
+    let block_edges: Vec<Vec<(u32, u32)>> = pool.broadcast(|ctx| {
+        let (lo, hi) = bounds_ref[ctx.index()];
+        let mut edges = Vec::with_capacity((p * triangle(lo, hi)).ceil() as usize + 1);
+        for v in lo.max(1)..hi {
+            let mut state = row_key(seed, v);
+            let mut w: i64 = -1;
+            loop {
+                let r = unit_f64(splitmix64(&mut state));
+                w += 1 + ((1.0 - r).ln() / log_q).floor() as i64;
+                if w >= v as i64 {
+                    break;
+                }
+                edges.push((v as u32, w as u32));
+            }
+        }
+        edges
+    });
+
+    // Counting-sort CSR assembly. Processing edges in generation order keeps
+    // each adjacency list sorted: row v first receives its smaller neighbors
+    // (ascending w), later rows append the larger ones (ascending v).
+    let m: usize = block_edges.iter().map(Vec::len).sum();
+    let arcs = 2 * m;
+    assert!(
+        u32::try_from(arcs).is_ok(),
+        "gnp_counter supports at most 2^31 edges (got m = {m})"
+    );
+    let mut degree = vec![0u32; n];
+    for block in &block_edges {
+        for &(v, w) in block {
+            degree[v as usize] += 1;
+            degree[w as usize] += 1;
+        }
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0u32;
+    offsets.push(0u32);
+    for &d in &degree {
+        acc += d;
+        offsets.push(acc);
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut adjacency = vec![crate::CompactId::new(0); arcs];
+    for block in &block_edges {
+        for &(v, w) in block {
+            adjacency[cursor[v as usize] as usize] = crate::CompactId::new(w as usize);
+            cursor[v as usize] += 1;
+            adjacency[cursor[w as usize] as usize] = crate::CompactId::new(v as usize);
+            cursor[w as usize] += 1;
+        }
+    }
+    Graph::from_compact_parts(offsets, adjacency, m)
+}
+
+/// Expected number of lower-triangular slots in rows `lo..hi`.
+fn triangle(lo: usize, hi: usize) -> f64 {
+    let t = |v: usize| (v as f64) * (v as f64 - 1.0) / 2.0;
+    t(hi) - t(lo)
+}
+
+/// Mixes `(seed, row)` into the initial SplitMix64 state.
+fn row_key(seed: u64, row: usize) -> u64 {
+    (seed ^ (row as u64).wrapping_mul(0xA24B_AED4_963E_E407)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// One SplitMix64 step (Steele–Lea–Flood); a full-period, well-mixed 64-bit
+/// stream — ample for graph sampling.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit word to `[0, 1)` with 53-bit precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// The complete graph `K_n`.
 pub fn complete(n: usize) -> Graph {
     let mut builder = GraphBuilder::new(n);
@@ -476,6 +630,67 @@ mod tests {
     }
 
     #[test]
+    fn gnp_counter_extremes_and_expectation() {
+        assert_eq!(gnp_counter(0, 0.5, 1).n(), 0);
+        assert_eq!(gnp_counter(50, 0.0, 1).m(), 0);
+        assert_eq!(gnp_counter(50, 1.0, 1).m(), 50 * 49 / 2);
+        let (n, p) = (400, 0.05);
+        let g = gnp_counter(n, p, 42);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (g.m() as f64 - expected).abs() < 5.0 * sd,
+            "m = {}, expected ≈ {expected}",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn gnp_counter_is_thread_count_invariant_and_seeded() {
+        for &(n, p) in &[(1usize, 0.5), (2, 0.9), (123, 0.07), (200, 0.3)] {
+            let baseline = gnp_counter_threads(n, p, 7, 1);
+            for threads in [2usize, 3, 8, 64] {
+                assert_eq!(
+                    baseline,
+                    gnp_counter_threads(n, p, 7, threads),
+                    "n={n}, p={p}, threads={threads}"
+                );
+            }
+            assert_eq!(baseline, gnp_counter_threads(n, p, 7, 1));
+        }
+        assert_ne!(gnp_counter(300, 0.1, 1), gnp_counter(300, 0.1, 2));
+    }
+
+    #[test]
+    fn gnp_counter_is_simple_and_sorted() {
+        let g = gnp_counter(250, 0.08, 99);
+        for u in g.vertices() {
+            let nbrs = g.neighbors(u).to_vec();
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "vertex {u}: {nbrs:?}");
+            assert!(!nbrs.contains(&u));
+            for &v in &nbrs {
+                assert!(g.neighbors(v).contains(u), "asymmetric edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0, 1]")]
+    fn gnp_counter_rejects_bad_p() {
+        gnp_counter(10, -0.1, 0);
+    }
+
+    #[test]
+    fn gnp_counter_subnormal_p_yields_the_empty_graph() {
+        // p < ~1e-16 makes (1 - p).ln() == 0.0; the generator must not
+        // divide by zero (garbage edges) and the distribution rounds to the
+        // edgeless graph.
+        let g = gnp_counter(1000, 1e-18, 5);
+        assert_eq!(g.n(), 1000);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
     fn disjoint_cliques_structure() {
         let g = disjoint_cliques(4, 3);
         assert_eq!(g.n(), 12);
@@ -622,7 +837,7 @@ mod tests {
             prop_assert_eq!(g.n(), n);
             prop_assert!(g.m() <= n.saturating_mul(n.saturating_sub(1)) / 2);
             for u in g.vertices() {
-                prop_assert!(!g.neighbors(u).contains(&u));
+                prop_assert!(!g.neighbors(u).contains(u));
             }
         }
 

@@ -56,7 +56,7 @@ pub mod traversal;
 pub mod union_find;
 
 pub use builder::GraphBuilder;
-pub use csr::Graph;
+pub use csr::{CompactId, Graph, NeighborIter, Neighbors};
 pub use error::GraphError;
 pub use subgraph::InducedSubgraph;
 pub use vertex_set::VertexSet;

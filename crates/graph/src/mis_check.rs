@@ -81,7 +81,7 @@ pub fn check_independent(g: &Graph, s: &VertexSet) -> Option<MisViolation> {
         "vertex set universe must match the graph"
     );
     for u in s.iter() {
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             if v > u && s.contains(v) {
                 return Some(MisViolation::IndependenceViolated { u, v });
             }
@@ -98,7 +98,7 @@ pub fn check_maximal(g: &Graph, s: &VertexSet) -> Option<MisViolation> {
         "vertex set universe must match the graph"
     );
     for u in g.vertices() {
-        if !s.contains(u) && !g.neighbors(u).iter().any(|&v| s.contains(v)) {
+        if !s.contains(u) && !g.neighbors(u).iter().any(|v| s.contains(v)) {
             return Some(MisViolation::MaximalityViolated { vertex: u });
         }
     }
@@ -120,7 +120,7 @@ pub fn greedy_completion(g: &Graph, s: &VertexSet) -> VertexSet {
     assert!(is_independent(g, s), "input set must be independent");
     let mut result = s.clone();
     for u in g.vertices() {
-        if !result.contains(u) && !g.neighbors(u).iter().any(|&v| result.contains(v)) {
+        if !result.contains(u) && !g.neighbors(u).iter().any(|v| result.contains(v)) {
             result.insert(u);
         }
     }

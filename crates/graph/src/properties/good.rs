@@ -109,7 +109,7 @@ fn induced_avg_degree(g: &Graph, s: &[VertexId]) -> f64 {
     let set = VertexSet::from_indices(g.n(), s.iter().copied());
     let mut endpoints = 0usize;
     for &u in s {
-        endpoints += g.neighbors(u).iter().filter(|&&v| set.contains(v)).count();
+        endpoints += g.neighbors(u).iter().filter(|&v| set.contains(v)).count();
     }
     endpoints as f64 / s.len() as f64
 }
@@ -184,7 +184,7 @@ pub fn check_good<R: Rng + ?Sized>(
                 .vertices()
                 .filter(|&u| !set.contains(u))
                 .filter(|&u| {
-                    (g.neighbors(u).iter().filter(|&&v| set.contains(v)).count() as f64) < threshold
+                    (g.neighbors(u).iter().filter(|&v| set.contains(v)).count() as f64) < threshold
                 })
                 .count();
             p2.checks += 1;
@@ -210,7 +210,7 @@ pub fn check_good<R: Rng + ?Sized>(
         let i_set = VertexSet::from_indices(n, i_vec.iter().copied());
         let mut n_of_i = VertexSet::new(n);
         for &u in &i_vec {
-            for &v in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 if !i_set.contains(v) {
                     n_of_i.insert(v);
                 }
@@ -236,7 +236,7 @@ pub fn check_good<R: Rng + ?Sized>(
         let mut lhs = 0usize;
         let mut counted = VertexSet::new(n);
         for &t in t_vec {
-            for &v in g.neighbors(t) {
+            for v in g.neighbors(t) {
                 if counted.contains(v) || t_set.contains(v) {
                     continue;
                 }
@@ -244,7 +244,7 @@ pub fn check_good<R: Rng + ?Sized>(
                     || i_set.contains(v)
                     || g.neighbors(v)
                         .iter()
-                        .any(|&w| s_set.contains(w) || i_set.contains(w));
+                        .any(|w| s_set.contains(w) || i_set.contains(w));
                 if !in_closed_si {
                     counted.insert(v);
                     lhs += 1;
@@ -255,12 +255,12 @@ pub fn check_good<R: Rng + ?Sized>(
         let mut rhs = 0usize;
         let mut counted = VertexSet::new(n);
         for &s in s_vec {
-            for &v in g.neighbors(s) {
+            for v in g.neighbors(s) {
                 if counted.contains(v) || s_set.contains(v) {
                     continue;
                 }
                 let in_closed_i =
-                    i_set.contains(v) || g.neighbors(v).iter().any(|&w| i_set.contains(w));
+                    i_set.contains(v) || g.neighbors(v).iter().any(|w| i_set.contains(w));
                 if !in_closed_i {
                     counted.insert(v);
                     rhs += 1;
@@ -299,12 +299,7 @@ pub fn check_good<R: Rng + ?Sized>(
         let s_set = VertexSet::from_indices(n, s_vec.iter().copied());
         let cut: usize = t_vec
             .iter()
-            .map(|&t| {
-                g.neighbors(t)
-                    .iter()
-                    .filter(|&&v| s_set.contains(v))
-                    .count()
-            })
+            .map(|&t| g.neighbors(t).iter().filter(|&v| s_set.contains(v)).count())
             .sum();
         p4.checks += 1;
         if (cut as f64) > 6.0 * s_vec.len() as f64 * ln + 1e-9 {

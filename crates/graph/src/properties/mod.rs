@@ -59,7 +59,7 @@ pub fn degeneracy(g: &Graph) -> usize {
         removed[v] = true;
         processed += 1;
         degeneracy = degeneracy.max(cursor);
-        for &w in g.neighbors(v) {
+        for w in g.neighbors(v) {
             if !removed[w] {
                 degree[w] -= 1;
                 buckets[degree[w]].push(w);
@@ -100,7 +100,7 @@ pub fn core_decomposition(g: &Graph) -> (Vec<VertexId>, Vec<usize>) {
         current = current.max(cursor);
         core[v] = current;
         order.push(v);
-        for &w in g.neighbors(v) {
+        for w in g.neighbors(v) {
             if !removed[w] {
                 degree[w] -= 1;
                 buckets[degree[w]].push(w);
@@ -142,9 +142,9 @@ pub fn has_diameter_at_most_2(g: &Graph) -> bool {
     let mut stamp = vec![usize::MAX; n];
     for u in g.vertices() {
         stamp[u] = u;
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             stamp[v] = u;
-            for &w in g.neighbors(v) {
+            for w in g.neighbors(v) {
                 stamp[w] = u;
             }
         }
@@ -164,7 +164,7 @@ pub fn max_common_neighbors(g: &Graph) -> usize {
     }
     let mut counts = std::collections::HashMap::new();
     for v in g.vertices() {
-        let nbrs = g.neighbors(v);
+        let nbrs = g.neighbors(v).as_compact();
         for i in 0..nbrs.len() {
             for j in (i + 1)..nbrs.len() {
                 *counts.entry((nbrs[i], nbrs[j])).or_insert(0usize) += 1;
@@ -185,7 +185,7 @@ pub fn induced_average_degree(g: &Graph, vertices: &crate::VertexSet) -> f64 {
         internal_edge_endpoints += g
             .neighbors(u)
             .iter()
-            .filter(|&&v| vertices.contains(v))
+            .filter(|&v| vertices.contains(v))
             .count();
     }
     internal_edge_endpoints as f64 / vertices.len() as f64
@@ -203,14 +203,14 @@ pub fn theta_greedy(g: &Graph, u: VertexId, i: usize) -> usize {
     if nbrs.is_empty() || i == 0 {
         return 0;
     }
-    let nbr_set: std::collections::HashSet<VertexId> = nbrs.iter().copied().collect();
+    let nbr_set: std::collections::HashSet<VertexId> = nbrs.iter().collect();
     let mut covered: std::collections::HashSet<VertexId> = std::collections::HashSet::new();
     let mut chosen = 0usize;
     while chosen < i {
         let mut best: Option<(VertexId, usize)> = None;
-        for &s in nbrs {
+        for s in nbrs {
             let gain = std::iter::once(s)
-                .chain(g.neighbors(s).iter().copied())
+                .chain(g.neighbors(s).iter())
                 .filter(|w| nbr_set.contains(w) && !covered.contains(w))
                 .count();
             if best.map_or(true, |(_, g0)| gain > g0) {
@@ -220,7 +220,7 @@ pub fn theta_greedy(g: &Graph, u: VertexId, i: usize) -> usize {
         match best {
             Some((s, gain)) if gain > 0 => {
                 covered.insert(s);
-                for &w in g.neighbors(s) {
+                for w in g.neighbors(s) {
                     if nbr_set.contains(&w) {
                         covered.insert(w);
                     }

@@ -50,7 +50,7 @@ impl InducedSubgraph {
         }
         let mut builder = crate::GraphBuilder::new(original.len());
         for (i, &v) in original.iter().enumerate() {
-            for &w in g.neighbors(v) {
+            for w in g.neighbors(v) {
                 if let Some(j) = induced[w] {
                     if i < j {
                         builder.add_edge(i, j);

@@ -36,7 +36,7 @@ pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<usize> {
     dist[source] = 0;
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             if dist[v] == UNREACHABLE {
                 dist[v] = dist[u] + 1;
                 queue.push_back(v);
@@ -71,7 +71,7 @@ pub fn bfs_order(g: &Graph, source: VertexId) -> Vec<VertexId> {
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         order.push(u);
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             if !seen[v] {
                 seen[v] = true;
                 queue.push_back(v);

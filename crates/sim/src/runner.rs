@@ -139,6 +139,7 @@ fn run_trial_on(
     let config = AlgorithmConfig {
         init: spec.init,
         execution: spec.execution,
+        strategy: spec.strategy,
         counter_seed,
     };
     let mut alg = factory.init(graph, &config, &mut rng);
@@ -636,6 +637,7 @@ mod tests {
         let config = AlgorithmConfig {
             init: spec.init,
             execution: spec.execution,
+            strategy: spec.strategy,
             counter_seed: spec.base_seed ^ COUNTER_SEED_SALT,
         };
         let mut alg = factory.init(&graph, &config, &mut rng);

@@ -8,7 +8,7 @@
 
 use mis_core::init::InitStrategy;
 use mis_core::scheduler::{CentralDaemon, RandomSubset, Scheduler, Synchronous};
-pub use mis_core::ExecutionMode;
+pub use mis_core::{ExecutionMode, RoundStrategy};
 use mis_graph::{generators, Graph};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -344,6 +344,11 @@ pub struct ExperimentSpec {
     /// model or counter-based intra-round parallelism. Algorithms without
     /// parallel support ignore this field.
     pub execution: ExecutionMode,
+    /// How full synchronous rounds traverse the graph: adaptive dense/sparse
+    /// direction optimization (`auto`, the serde default), or one path
+    /// forced (`sparse` / `dense`). Bit-identical across choices; algorithms
+    /// without a frontier engine ignore it.
+    pub strategy: RoundStrategy,
     /// Which vertices each round activates. Defaults to
     /// [`SchedulerSpec::Synchronous`], the paper's model; anything else
     /// requires the algorithm to support partial activation.
@@ -373,6 +378,7 @@ impl Default for ExperimentSpec {
             algorithm: None,
             init: InitStrategy::Random,
             execution: ExecutionMode::Sequential,
+            strategy: RoundStrategy::Auto,
             scheduler: SchedulerSpec::Synchronous,
             fault: None,
             trials: 1,
@@ -392,6 +398,7 @@ impl Serialize for ExperimentSpec {
             ("algorithm".into(), self.algorithm.to_value()),
             ("init".into(), self.init.to_value()),
             ("execution".into(), self.execution.to_value()),
+            ("strategy".into(), self.strategy.to_value()),
             ("scheduler".into(), self.scheduler.to_value()),
             ("fault".into(), self.fault.to_value()),
             ("trials".into(), self.trials.to_value()),
@@ -442,6 +449,7 @@ impl Deserialize for ExperimentSpec {
             algorithm,
             init: Deserialize::from_value(serde::get_field(value, "init")?)?,
             execution: Deserialize::from_value(serde::get_field(value, "execution")?)?,
+            strategy: with_default(value, "strategy")?,
             scheduler: with_default(value, "scheduler")?,
             fault: with_default(value, "fault")?,
             trials: Deserialize::from_value(serde::get_field(value, "trials")?)?,
@@ -525,6 +533,12 @@ impl ExperimentSpecBuilder {
     /// Sets the execution mode of the engine processes.
     pub fn execution(mut self, execution: ExecutionMode) -> Self {
         self.spec.execution = execution;
+        self
+    }
+
+    /// Sets the round strategy (adaptive dense/sparse by default).
+    pub fn strategy(mut self, strategy: RoundStrategy) -> Self {
+        self.spec.strategy = strategy;
         self
     }
 
@@ -618,6 +632,7 @@ mod tests {
                 algorithm: None,
                 init: InitStrategy::Random,
                 execution,
+                strategy: RoundStrategy::Dense,
                 scheduler: SchedulerSpec::Synchronous,
                 fault: None,
                 trials: 3,

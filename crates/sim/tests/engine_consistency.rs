@@ -11,8 +11,8 @@
 
 use mis_core::init::InitStrategy;
 use mis_core::{
-    ExecutionMode, FrontierEngine, Process, StateCounts, ThreeColor, ThreeColorProcess, ThreeState,
-    ThreeStateProcess, TwoStateProcess,
+    ExecutionMode, FrontierEngine, Process, RoundStrategy, StateCounts, ThreeColor,
+    ThreeColorProcess, ThreeState, ThreeStateProcess, TwoStateProcess,
 };
 use mis_graph::{generators, Graph, VertexSet};
 use mis_sim::fault::Corruptible;
@@ -40,11 +40,10 @@ fn oracle(
 ) -> Oracle {
     let n = g.n();
     let black_nbrs: Vec<usize> = (0..n)
-        .map(|u| g.neighbors(u).iter().filter(|&&v| black(v)).count())
+        .map(|u| g.neighbors(u).iter().filter(|&v| black(v)).count())
         .collect();
     let stable_black_pred = |u: usize| black(u) && black_nbrs[u] == 0;
-    let stable =
-        |u: usize| stable_black_pred(u) || g.neighbors(u).iter().any(|&v| stable_black_pred(v));
+    let stable = |u: usize| stable_black_pred(u) || g.neighbors(u).iter().any(&stable_black_pred);
     let active_set = VertexSet::from_indices(n, (0..n).filter(|&u| active(u)));
     let pending_set = VertexSet::from_indices(n, (0..n).filter(|&u| pending(u)));
     let stable_black = VertexSet::from_indices(n, (0..n).filter(|&u| stable_black_pred(u)));
@@ -138,7 +137,7 @@ proptest! {
             }
             let states = proc.states();
             let active = |u: usize| {
-                let bn = g.neighbors(u).iter().filter(|&&v| states[v].is_black()).count();
+                let bn = g.neighbors(u).iter().filter(|&v| states[v].is_black()).count();
                 if states[u].is_black() { bn > 0 } else { bn == 0 }
             };
             let o = oracle(&g, |u| states[u].is_black(), active, active);
@@ -168,11 +167,143 @@ proptest! {
             }
             let states = proc.states();
             let active = |u: usize| {
-                let bn = g.neighbors(u).iter().filter(|&&v| states[v].is_black()).count();
+                let bn = g.neighbors(u).iter().filter(|&v| states[v].is_black()).count();
                 if states[u].is_black() { bn > 0 } else { bn == 0 }
             };
             let o = oracle(&g, |u| states[u].is_black(), active, active);
             let ctx = format!("op {i} ({}), seed {seed}", if kind == 0 { "step" } else { "corrupt" });
+            assert_engine_matches(proc.engine(), &o, &ctx)?;
+        }
+    }
+
+    /// 2-state process with the round strategy **forced to switch every
+    /// round** (dense, sparse, dense, …): the dense full recount and the
+    /// sparse delta path must hand each other perfectly consistent
+    /// bookkeeping in both directions, interleaved with corruption.
+    #[test]
+    fn two_state_engine_consistent_under_forced_strategy_switching(
+        seed in 0u64..5_000,
+        n in 1usize..50,
+        p_edge in 0.0f64..0.5,
+        ops in proptest::collection::vec((0u8..2, 0.0f64..1.0), 1..12),
+    ) {
+        let g = graph_for(seed, n, p_edge);
+        let mut r = ChaCha8Rng::seed_from_u64(seed ^ 0xdead);
+        let mut proc = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+        for (i, &(kind, fraction)) in ops.iter().enumerate() {
+            proc.set_strategy(if i % 2 == 0 {
+                RoundStrategy::Dense
+            } else {
+                RoundStrategy::Sparse
+            });
+            match kind {
+                0 => proc.step(&mut r),
+                _ => proc.corrupt_fraction(fraction, &mut r),
+            }
+            let states = proc.states();
+            let active = |u: usize| {
+                let bn = g.neighbors(u).iter().filter(|&v| states[v].is_black()).count();
+                if states[u].is_black() { bn > 0 } else { bn == 0 }
+            };
+            let o = oracle(&g, |u| states[u].is_black(), active, active);
+            let ctx = format!(
+                "switching op {i} ({}), seed {seed}",
+                if kind == 0 { "step" } else { "corrupt" }
+            );
+            assert_engine_matches(proc.engine(), &o, &ctx)?;
+        }
+    }
+
+    /// 3-state process under forced per-round strategy switching: the
+    /// process-owned black1 counters must survive the dense/sparse handoffs
+    /// too.
+    #[test]
+    fn three_state_engine_consistent_under_forced_strategy_switching(
+        seed in 0u64..5_000,
+        n in 1usize..50,
+        p_edge in 0.0f64..0.5,
+        ops in proptest::collection::vec((0u8..2, 0.0f64..1.0), 1..12),
+    ) {
+        let g = graph_for(seed, n, p_edge);
+        let mut r = ChaCha8Rng::seed_from_u64(seed ^ 0xbeef);
+        let mut proc = ThreeStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+        for (i, &(kind, fraction)) in ops.iter().enumerate() {
+            proc.set_strategy(if i % 2 == 0 {
+                RoundStrategy::Dense
+            } else {
+                RoundStrategy::Sparse
+            });
+            match kind {
+                0 => proc.step(&mut r),
+                _ => proc.corrupt_fraction(fraction, &mut r),
+            }
+            let states = proc.states();
+            let active = |u: usize| match states[u] {
+                ThreeState::Black1 => true,
+                ThreeState::Black0 => {
+                    !g.neighbors(u).iter().any(|v| states[v] == ThreeState::Black1)
+                }
+                ThreeState::White => !g.neighbors(u).iter().any(|v| states[v].is_black()),
+            };
+            let pending = |u: usize| states[u].is_black() || active(u);
+            let o = oracle(&g, |u| states[u].is_black(), active, pending);
+            let ctx = format!(
+                "switching op {i} ({}), seed {seed}",
+                if kind == 0 { "step" } else { "corrupt" }
+            );
+            assert_engine_matches(proc.engine(), &o, &ctx)?;
+            for u in g.vertices() {
+                let expected = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&v| states[v] == ThreeState::Black1)
+                    .count();
+                prop_assert!(
+                    proc.black1_neighbor_count(u) == expected,
+                    "black1 counter of vertex {u} diverged (switching)"
+                );
+            }
+        }
+    }
+
+    /// 3-color process under forced per-round strategy switching (parallel
+    /// execution, so the dense parallel recount is exercised too).
+    #[test]
+    fn three_color_parallel_engine_consistent_under_forced_strategy_switching(
+        seed in 0u64..5_000,
+        n in 1usize..40,
+        p_edge in 0.0f64..0.5,
+        ops in proptest::collection::vec((0u8..2, 0.0f64..1.0), 1..10),
+    ) {
+        let g = graph_for(seed, n, p_edge);
+        let mut r = ChaCha8Rng::seed_from_u64(seed ^ 0xcafe);
+        let mut proc = ThreeColorProcess::with_randomized_switch(&g, InitStrategy::Random, &mut r);
+        proc.set_execution(ExecutionMode::Parallel { threads: 3 }, seed);
+        for (i, &(kind, fraction)) in ops.iter().enumerate() {
+            proc.set_strategy(if i % 2 == 0 {
+                RoundStrategy::Dense
+            } else {
+                RoundStrategy::Sparse
+            });
+            match kind {
+                0 => proc.step(&mut r),
+                _ => proc.corrupt_fraction(fraction, &mut r),
+            }
+            let colors = proc.colors();
+            let active = |u: usize| {
+                let bn = g.neighbors(u).iter().filter(|&v| colors[v].is_black()).count();
+                match colors[u] {
+                    ThreeColor::Black => bn > 0,
+                    ThreeColor::White => bn == 0,
+                    ThreeColor::Gray => false,
+                }
+            };
+            let pending = |u: usize| active(u) || colors[u] == ThreeColor::Gray;
+            let o = oracle(&g, |u| colors[u].is_black(), active, pending);
+            let ctx = format!(
+                "switching par op {i} ({}), seed {seed}",
+                if kind == 0 { "step" } else { "corrupt" }
+            );
             assert_engine_matches(proc.engine(), &o, &ctx)?;
         }
     }
@@ -198,9 +329,9 @@ proptest! {
             let active = |u: usize| match states[u] {
                 ThreeState::Black1 => true,
                 ThreeState::Black0 => {
-                    !g.neighbors(u).iter().any(|&v| states[v] == ThreeState::Black1)
+                    !g.neighbors(u).iter().any(|v| states[v] == ThreeState::Black1)
                 }
-                ThreeState::White => !g.neighbors(u).iter().any(|&v| states[v].is_black()),
+                ThreeState::White => !g.neighbors(u).iter().any(|v| states[v].is_black()),
             };
             let pending = |u: usize| states[u].is_black() || active(u);
             let o = oracle(&g, |u| states[u].is_black(), active, pending);
@@ -211,7 +342,7 @@ proptest! {
                 let expected = g
                     .neighbors(u)
                     .iter()
-                    .filter(|&&v| states[v] == ThreeState::Black1)
+                    .filter(|&v| states[v] == ThreeState::Black1)
                     .count();
                 prop_assert!(
                     proc.black1_neighbor_count(u) == expected,
@@ -243,9 +374,9 @@ proptest! {
             let active = |u: usize| match states[u] {
                 ThreeState::Black1 => true,
                 ThreeState::Black0 => {
-                    !g.neighbors(u).iter().any(|&v| states[v] == ThreeState::Black1)
+                    !g.neighbors(u).iter().any(|v| states[v] == ThreeState::Black1)
                 }
-                ThreeState::White => !g.neighbors(u).iter().any(|&v| states[v].is_black()),
+                ThreeState::White => !g.neighbors(u).iter().any(|v| states[v].is_black()),
             };
             let pending = |u: usize| states[u].is_black() || active(u);
             let o = oracle(&g, |u| states[u].is_black(), active, pending);
@@ -255,7 +386,7 @@ proptest! {
                 let expected = g
                     .neighbors(u)
                     .iter()
-                    .filter(|&&v| states[v] == ThreeState::Black1)
+                    .filter(|&v| states[v] == ThreeState::Black1)
                     .count();
                 prop_assert!(
                     proc.black1_neighbor_count(u) == expected,
@@ -285,7 +416,7 @@ proptest! {
             }
             let colors = proc.colors();
             let active = |u: usize| {
-                let bn = g.neighbors(u).iter().filter(|&&v| colors[v].is_black()).count();
+                let bn = g.neighbors(u).iter().filter(|&v| colors[v].is_black()).count();
                 match colors[u] {
                     ThreeColor::Black => bn > 0,
                     ThreeColor::White => bn == 0,
@@ -318,7 +449,7 @@ proptest! {
             }
             let colors = proc.colors();
             let active = |u: usize| {
-                let bn = g.neighbors(u).iter().filter(|&&v| colors[v].is_black()).count();
+                let bn = g.neighbors(u).iter().filter(|&v| colors[v].is_black()).count();
                 match colors[u] {
                     ThreeColor::Black => bn > 0,
                     ThreeColor::White => bn == 0,

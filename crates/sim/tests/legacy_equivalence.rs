@@ -227,6 +227,7 @@ fn black_sets_are_identical_not_just_equal_sized() {
             &AlgorithmConfig {
                 init: s.init,
                 execution: s.execution,
+                strategy: s.strategy,
                 counter_seed: seed ^ COUNTER_SEED_SALT,
             },
             &mut rng,

@@ -9,7 +9,8 @@ use mis_core::StateCounts;
 use mis_sim::metrics::{RoundTrace, TrialResult};
 use mis_sim::runner::run_experiment;
 use mis_sim::spec::{
-    ExecutionMode, ExperimentSpec, FaultSpec, GraphSpec, ProcessSelector, SchedulerSpec,
+    ExecutionMode, ExperimentSpec, FaultSpec, GraphSpec, ProcessSelector, RoundStrategy,
+    SchedulerSpec,
 };
 
 fn all_graph_specs() -> Vec<GraphSpec> {
@@ -61,6 +62,7 @@ fn experiment_spec_round_trips_across_all_knobs() {
                     algorithm: algorithm.clone(),
                     init: InitStrategy::AllBlack,
                     execution: ExecutionMode::Parallel { threads: 4 },
+                    strategy: RoundStrategy::Sparse,
                     scheduler,
                     fault,
                     trials: 7,
@@ -95,6 +97,7 @@ fn pre_redesign_spec_json_still_deserializes_with_defaults() {
     assert_eq!(spec.algorithm, None);
     assert_eq!(spec.scheduler, SchedulerSpec::Synchronous);
     assert_eq!(spec.fault, None);
+    assert_eq!(spec.strategy, RoundStrategy::Auto);
     assert_eq!(spec.algorithm_key(), "two-state");
     assert_eq!(spec.trials, 5);
 

@@ -53,7 +53,7 @@ fn main() {
     let covered = g
         .vertices()
         .filter(|&u| {
-            cluster_heads.contains(u) || g.neighbors(u).iter().any(|&v| cluster_heads.contains(v))
+            cluster_heads.contains(u) || g.neighbors(u).iter().any(|v| cluster_heads.contains(v))
         })
         .count();
     println!(

@@ -34,6 +34,11 @@ fix:
 bench:
     cargo bench -p mis-bench
 
+# Early-phase dense vs sparse round cost at n = 10^6 (the direction-
+# optimizing engine's crossover group).
+bench-phase:
+    cargo bench -p mis-bench --bench dense_vs_sparse
+
 # Run one experiment binary at paper scale: `just exp e1_clique`.
 exp NAME *ARGS:
     cargo run --release -p mis-bench --bin exp_{{NAME}} -- {{ARGS}}
@@ -52,5 +57,5 @@ ci:
     cargo run --release -p mis-sim --bin list_algorithms
     cargo run --release -p mis-bench --bin exp_e1_clique -- --quick
     test -s results/e1_clique.csv
-    cargo run --release -p mis-bench --bin exp_scale -- --quick
+    cargo run --release -p mis-bench --bin exp_scale -- --quick --strategy auto
     test -s results/exp_scale.json
