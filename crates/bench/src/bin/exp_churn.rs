@@ -1,0 +1,93 @@
+//! Churn experiment: incremental re-stabilization of the live-mutation
+//! engine vs a cold restart after Poisson edge-churn bursts, for the
+//! 2-state, 3-state, and 3-color processes on sparse `G(n, 8/n)`.
+//!
+//! Writes the machine-readable report to `results/exp_churn.json` and the
+//! headline evidence file `BENCH_churn.json` at the workspace root.
+//!
+//! Usage: `cargo run --release -p mis-bench --bin exp_churn [-- --quick]`
+//!
+//! Exit status is non-zero when a gate fails:
+//! * at the gate fraction (1% edge churn), any process whose incremental
+//!   re-stabilization takes at least as many rounds as a cold restart on
+//!   the mutated graph;
+//! * any incremental run that does not end on a valid MIS of its mutated
+//!   graph.
+
+use mis_bench::experiments::churn::exp_churn;
+use mis_bench::report::{print_section, write_results_file};
+use mis_bench::Scale;
+
+const HELP: &str = "\
+exp_churn — live-mutation engine: incremental re-stabilization vs cold restart
+
+USAGE: exp_churn [--quick] [--help]
+
+  --quick  n = 10^5 at the 1% gate fraction only (CI smoke); default is
+           n = 10^6 across a churn-fraction sweep
+  --help   print this help
+
+METHOD
+  For each paper process (two-state, three-state, three-color) and each
+  churn fraction f: stabilize on G(n, 8/n), apply one Poisson edge-churn
+  burst (expected f*m removals + f*m insertions) through apply_mutation,
+  count the rounds to re-stabilize incrementally, then build a fresh
+  process on the mutated graph and count its rounds from scratch.
+
+GATES (non-zero exit)
+  incremental_rounds >= restart_rounds for any process at f = 1%; any
+  incremental run ending on an invalid MIS.
+";
+
+fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return;
+    }
+    let scale = Scale::from_args();
+    let report = exp_churn(scale);
+    print_section(
+        "CHURN: incremental re-stabilization vs cold restart on G(n, 8/n)",
+        &report.to_pretty(),
+    );
+    let gate: Vec<String> = report
+        .gate_rows()
+        .map(|r| {
+            format!(
+                "{}: {} vs {} rounds ({:.1}x)",
+                r.algorithm, r.incremental_rounds, r.restart_rounds, r.round_speedup
+            )
+        })
+        .collect();
+    println!(
+        "incremental vs restart at f = {}: {}",
+        report.gate_fraction,
+        gate.join("; ")
+    );
+
+    let json = report.to_json();
+    if let Ok(path) = write_results_file("exp_churn.json", &json) {
+        println!("wrote {}", path.display());
+    }
+    match std::fs::write("BENCH_churn.json", &json) {
+        Ok(()) => println!("wrote BENCH_churn.json"),
+        Err(e) => eprintln!("could not write BENCH_churn.json: {e}"),
+    }
+
+    let mut failed = false;
+    if !report.gate_passes() {
+        eprintln!(
+            "GATE FAILED: incremental re-stabilization after a {}% edge-churn burst \
+             took no fewer rounds than a cold restart",
+            report.gate_fraction * 100.0
+        );
+        failed = true;
+    }
+    if !report.all_valid() {
+        eprintln!("GATE FAILED: an incremental run ended on an invalid MIS");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

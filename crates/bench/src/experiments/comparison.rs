@@ -4,7 +4,7 @@
 use mis_core::init::InitStrategy;
 use mis_sim::fault::{three_color_recovery, two_state_recovery};
 use mis_sim::runner::run_experiment;
-use mis_sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec, ProcessSelector};
+use mis_sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec};
 use mis_sim::stats::Summary;
 use serde::{Deserialize, Serialize};
 
@@ -55,22 +55,22 @@ pub fn e10_baselines(scale: Scale) -> Vec<BaselineRow> {
         ("complete".to_string(), GraphSpec::Complete { n: n / 4 }),
     ];
     let algorithms = vec![
-        (ProcessSelector::TwoState, true),
-        (ProcessSelector::ThreeState, true),
-        (ProcessSelector::ThreeColor, true),
-        (ProcessSelector::RandomPriority, true),
-        (ProcessSelector::Luby, false),
-        (ProcessSelector::Greedy, false),
-        (ProcessSelector::SequentialSelfStab, true),
+        ("two-state", true),
+        ("three-state", true),
+        ("three-color", true),
+        ("random-priority", true),
+        ("luby", false),
+        ("greedy", false),
+        ("sequential-selfstab", true),
     ];
 
     let mut rows = Vec::new();
     for (graph_label, graph) in &graphs {
-        for &(process, self_stabilizing) in &algorithms {
+        for &(algorithm, self_stabilizing) in &algorithms {
             let spec = ExperimentSpec {
-                name: format!("e10-{}-{}", graph_label, process.label()),
+                name: format!("e10-{graph_label}-{algorithm}"),
                 graph: *graph,
-                process,
+                algorithm: Some(algorithm.to_string()),
                 init: InitStrategy::Random,
                 execution: ExecutionMode::Sequential,
                 trials,
@@ -83,7 +83,7 @@ pub fn e10_baselines(scale: Scale) -> Vec<BaselineRow> {
             let states = result.trials.first().map_or(0, |t| t.states_per_vertex);
             rows.push(BaselineRow {
                 graph: graph_label.clone(),
-                algorithm: process.label().to_string(),
+                algorithm: algorithm.to_string(),
                 self_stabilizing,
                 states_per_vertex: states,
                 rounds: result.rounds_summary(),

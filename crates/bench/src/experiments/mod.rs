@@ -13,8 +13,12 @@
 //! * [`scale`] — large-n round-throughput measurement of the incremental
 //!   frontier engine against the naive full-scan reference, early phase vs
 //!   late phase, on sparse `G(n, p)` up to `n = 10⁶`.
+//! * [`churn`] — dynamic graphs: incremental re-stabilization through the
+//!   live-mutation engine vs a cold restart after edge-churn bursts, for
+//!   all three paper processes.
 
 pub mod ablation;
+pub mod churn;
 pub mod comparison;
 pub mod lemmas;
 pub mod scale;
@@ -22,6 +26,7 @@ pub mod stabilization;
 pub mod structure;
 
 pub use ablation::{ablation_init_strategy, ablation_switch_implementation, ablation_switch_zeta};
+pub use churn::{churn_measurement, exp_churn, ChurnReport};
 pub use comparison::{e10_baselines, e11_fault_recovery};
 pub use lemmas::{e12_lemma6, e13_comm_models};
 pub use scale::{exp_scale, scale_measurement, ScaleReport};

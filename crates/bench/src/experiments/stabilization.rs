@@ -7,7 +7,7 @@
 
 use mis_core::init::InitStrategy;
 use mis_sim::runner::run_experiment;
-use mis_sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec, ProcessSelector};
+use mis_sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec};
 use mis_sim::sweep::{run_sweep, SweepTable};
 
 use crate::fit::{polylog_exponent, power_exponent};
@@ -47,14 +47,14 @@ impl ScalingReport {
 fn spec(
     name: &str,
     graph: GraphSpec,
-    process: ProcessSelector,
+    algorithm: &str,
     trials: usize,
     base_seed: u64,
 ) -> ExperimentSpec {
     ExperimentSpec {
         name: name.to_string(),
         graph,
-        process,
+        algorithm: Some(algorithm.to_string()),
         init: InitStrategy::Random,
         execution: ExecutionMode::Sequential,
         trials,
@@ -79,7 +79,7 @@ pub fn e1_clique(scale: Scale) -> ScalingReport {
             spec(
                 "e1-clique",
                 GraphSpec::Complete { n },
-                ProcessSelector::TwoState,
+                "two-state",
                 trials,
                 100,
             ),
@@ -101,7 +101,7 @@ pub fn e1_clique_tail(scale: Scale) -> Vec<(usize, f64)> {
     let result = run_experiment(&spec(
         "e1-clique-tail",
         GraphSpec::Complete { n },
-        ProcessSelector::TwoState,
+        "two-state",
         trials,
         200,
     ));
@@ -134,7 +134,7 @@ pub fn e2_disjoint_cliques(scale: Scale) -> ScalingReport {
                     count: side,
                     size: side,
                 },
-                ProcessSelector::TwoState,
+                "two-state",
                 trials,
                 300,
             ),
@@ -154,7 +154,7 @@ pub fn e3_trees(scale: Scale) -> ScalingReport {
             spec(
                 "e3-trees",
                 GraphSpec::RandomTree { n },
-                ProcessSelector::TwoState,
+                "two-state",
                 trials,
                 400,
             ),
@@ -186,12 +186,11 @@ pub fn e3_bounded_arboricity_families(scale: Scale) -> SweepTable {
             },
         ),
     ];
-    run_sweep(specs.into_iter().map(|(idx, graph)| {
-        (
-            idx,
-            spec("e3-families", graph, ProcessSelector::TwoState, trials, 450),
-        )
-    }))
+    run_sweep(
+        specs
+            .into_iter()
+            .map(|(idx, graph)| (idx, spec("e3-families", graph, "two-state", trials, 450))),
+    )
 }
 
 /// E4 — Theorem 12: on `d`-regular graphs the stabilization time is
@@ -211,7 +210,7 @@ pub fn e4_max_degree(scale: Scale) -> ScalingReport {
             spec(
                 "e4-regular",
                 GraphSpec::Regular { n, d },
-                ProcessSelector::TwoState,
+                "two-state",
                 trials,
                 500,
             ),
@@ -230,13 +229,7 @@ pub fn e5_gnp_two_state(scale: Scale) -> ScalingReport {
         let p = ((n as f64).ln() / n as f64).sqrt();
         (
             n as f64,
-            spec(
-                "e5-gnp",
-                GraphSpec::Gnp { n, p },
-                ProcessSelector::TwoState,
-                trials,
-                600,
-            ),
+            spec("e5-gnp", GraphSpec::Gnp { n, p }, "two-state", trials, 600),
         )
     }));
     ScalingReport::from_table(table)
@@ -261,7 +254,7 @@ pub fn e5_gnp_density_sweep(scale: Scale) -> SweepTable {
             spec(
                 "e5-density",
                 GraphSpec::Gnp { n, p },
-                ProcessSelector::TwoState,
+                "two-state",
                 trials,
                 650,
             ),
@@ -282,7 +275,7 @@ pub fn e6_gnp_three_color(scale: Scale) -> ScalingReport {
             spec(
                 "e6-gnp-3color",
                 GraphSpec::Gnp { n, p },
-                ProcessSelector::ThreeColor,
+                "three-color",
                 trials,
                 700,
             ),
@@ -310,7 +303,7 @@ pub fn e6_density_comparison(scale: Scale) -> SweepTable {
             spec(
                 "e6-cmp-2state",
                 GraphSpec::Gnp { n, p },
-                ProcessSelector::TwoState,
+                "two-state",
                 trials,
                 720,
             ),
@@ -320,7 +313,7 @@ pub fn e6_density_comparison(scale: Scale) -> SweepTable {
             spec(
                 "e6-cmp-3color",
                 GraphSpec::Gnp { n, p },
-                ProcessSelector::ThreeColor,
+                "three-color",
                 trials,
                 730,
             ),
@@ -340,7 +333,7 @@ pub fn e9_three_state_clique(scale: Scale) -> (ScalingReport, ScalingReport) {
             spec(
                 "e9-2state",
                 GraphSpec::Complete { n },
-                ProcessSelector::TwoState,
+                "two-state",
                 trials,
                 800,
             ),
@@ -352,7 +345,7 @@ pub fn e9_three_state_clique(scale: Scale) -> (ScalingReport, ScalingReport) {
             spec(
                 "e9-3state",
                 GraphSpec::Complete { n },
-                ProcessSelector::ThreeState,
+                "three-state",
                 trials,
                 810,
             ),

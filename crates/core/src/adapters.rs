@@ -6,13 +6,14 @@
 //! (partial-activation) steps where the semantics are well defined, and
 //! in-place transient-fault injection.
 
-use mis_graph::Graph;
+use mis_graph::{CommittedDelta, Graph, GraphDelta};
 use rand::RngCore;
 
 use crate::algorithm::{
     coin, fault_victims, uniform3, Algorithm, AlgorithmConfig, AlgorithmFactory,
     CommunicationModel, Registry, StepCtx,
 };
+use crate::mutation::MutationError;
 use crate::process::Process;
 use crate::scheduler::Activation;
 use crate::three_color::{ThreeColor, ThreeColorProcess};
@@ -85,6 +86,18 @@ impl Algorithm for TwoStateAlgorithm<'_> {
             self.inner.set_color(u, color);
         }
         changed
+    }
+
+    fn apply_mutation(&mut self, delta: &GraphDelta) -> Result<CommittedDelta, MutationError> {
+        self.inner.apply_mutation(delta)
+    }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.inner.graph())
+    }
+
+    fn supports_topology_change(&self) -> bool {
+        true
     }
 
     fn supports_parallel(&self) -> bool {
@@ -160,6 +173,18 @@ impl Algorithm for ThreeStateAlgorithm<'_> {
             self.inner.set_state(u, state);
         }
         changed
+    }
+
+    fn apply_mutation(&mut self, delta: &GraphDelta) -> Result<CommittedDelta, MutationError> {
+        self.inner.apply_mutation(delta)
+    }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.inner.graph())
+    }
+
+    fn supports_topology_change(&self) -> bool {
+        true
     }
 
     fn supports_parallel(&self) -> bool {
@@ -239,6 +264,18 @@ impl Algorithm for ThreeColorAlgorithm<'_> {
             self.inner.switch_mut().set_level(u, level);
         }
         changed
+    }
+
+    fn apply_mutation(&mut self, delta: &GraphDelta) -> Result<CommittedDelta, MutationError> {
+        self.inner.apply_mutation(delta)
+    }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.inner.graph())
+    }
+
+    fn supports_topology_change(&self) -> bool {
+        true
     }
 
     fn supports_parallel(&self) -> bool {

@@ -27,12 +27,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use mis_graph::{Graph, VertexId, VertexSet};
+use mis_graph::{CommittedDelta, Graph, GraphDelta, VertexId, VertexSet};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 use crate::exec::{ExecutionMode, RoundStrategy};
 use crate::init::InitStrategy;
+use crate::mutation::MutationError;
 use crate::process::{Process, StateCounts};
 use crate::scheduler::Activation;
 
@@ -180,6 +181,45 @@ pub trait Algorithm {
     /// [`supports_fault_injection`](Self::supports_fault_injection).
     fn inject_faults(&mut self, _fraction: f64, _rng: &mut dyn RngCore) -> usize {
         0
+    }
+
+    /// Applies a batch of topology mutations (edge insert/delete, vertex
+    /// join/leave) and incrementally re-derives all bookkeeping, so the
+    /// algorithm **re-stabilizes from its current configuration** instead
+    /// of restarting. Returns the normalized [`CommittedDelta`] (net edge
+    /// changes, old/new vertex counts).
+    ///
+    /// The default declines with [`MutationError::Unsupported`] and leaves
+    /// the state untouched; algorithms that can follow topology changes
+    /// override it and set
+    /// [`supports_topology_change`](Self::supports_topology_change). The
+    /// harness consults that flag before scheduling churn.
+    ///
+    /// # Errors
+    ///
+    /// [`MutationError::Unsupported`] if the algorithm (or a sub-process)
+    /// cannot follow topology changes; [`MutationError::Graph`] if the
+    /// delta is invalid against the current graph. Either way the
+    /// algorithm's state is unchanged.
+    fn apply_mutation(&mut self, delta: &GraphDelta) -> Result<CommittedDelta, MutationError> {
+        let _ = delta;
+        Err(MutationError::Unsupported)
+    }
+
+    /// The graph the algorithm is currently running on, if it exposes one —
+    /// after [`apply_mutation`](Self::apply_mutation) this is the *mutated*
+    /// graph, which the harness needs for churn generation and final MIS
+    /// validation. Algorithms without topology-change support may return
+    /// `None` (the harness falls back to the trial's original graph).
+    fn current_graph(&self) -> Option<&Graph> {
+        None
+    }
+
+    /// `true` if [`apply_mutation`](Self::apply_mutation) actually applies
+    /// topology changes (rather than declining with
+    /// [`MutationError::Unsupported`]).
+    fn supports_topology_change(&self) -> bool {
+        false
     }
 
     /// `true` if rounds can run in intra-round data-parallel phases

@@ -531,6 +531,88 @@ impl FrontierEngine {
         self.begin_round_impl(out, false);
     }
 
+    /// Extends the engine to `new_n` vertices — topology growth support.
+    ///
+    /// New slots start neutral: non-black, zero counters, no flags (hence
+    /// counted as non-black and unstable), and queued dirty so the next
+    /// [`flush`](Self::flush) classifies them against the grown graph. Part
+    /// of the incremental mutation protocol: after a topology change, call
+    /// `grow` (if vertices joined), then [`edge_update`](Self::edge_update)
+    /// once per net edge change, then `flush` with the **new** graph — the
+    /// result is bit-identical to a from-scratch rebuild on the new graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_n` is smaller than the current vertex count (vertices
+    /// never disappear; leavers are detached instead).
+    pub fn grow(&mut self, new_n: usize) {
+        assert!(
+            new_n >= self.n,
+            "engine cannot shrink: {} -> {new_n}",
+            self.n
+        );
+        let old_n = self.n;
+        self.black.grow(new_n);
+        self.black_nbrs.grow(new_n);
+        self.stable_black_nbrs.grow(new_n);
+        self.flags.grow(new_n);
+        self.frontier_contains.grow(new_n);
+        self.dirty_mark.grow(new_n);
+        self.n = new_n;
+        self.counts.non_black += new_n - old_n;
+        self.counts.unstable += new_n - old_n;
+        for u in old_n..new_n {
+            self.mark_dirty(u);
+        }
+    }
+
+    /// Records one net topology change — the edge `{u, v}` was `inserted`
+    /// (or removed) — against the **current** flags and blackness: adjusts
+    /// the black-neighbor and stable-black-neighbor counters of both
+    /// endpoints, the pending frontier volume (each endpoint's degree moved
+    /// by one), and queues both endpoints for reclassification. `O(1)`.
+    ///
+    /// Call once per edge of a [`CommittedDelta`](mis_graph::CommittedDelta)
+    /// (after [`grow`](Self::grow) if the batch joined vertices), then
+    /// [`flush`](Self::flush) with the new graph. The flush re-derives the
+    /// stable-black/stability/activity flags from the adjusted counters and
+    /// propagates the flips over the *new* adjacency, which re-establishes
+    /// every engine invariant on the mutated topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v`.
+    pub fn edge_update(&mut self, u: VertexId, v: VertexId, inserted: bool) {
+        assert!(u < self.n, "vertex {u} out of range");
+        assert!(v < self.n, "vertex {v} out of range");
+        assert_ne!(u, v, "self-loops are not representable");
+        for (a, b) in [(u, v), (v, u)] {
+            if self.black.get(b) {
+                if inserted {
+                    self.black_nbrs.add_mut(a, 1);
+                } else {
+                    self.black_nbrs.sub_mut(a, 1);
+                }
+            }
+            if self.flags.get(b) & STABLE_BLACK != 0 {
+                if inserted {
+                    self.stable_black_nbrs.add_mut(a, 1);
+                } else {
+                    self.stable_black_nbrs.sub_mut(a, 1);
+                }
+            }
+            // deg(a) changed by one; keep vol(F_t) exact for pending a.
+            if self.flags.get(a) & PENDING != 0 {
+                if inserted {
+                    self.pending_volume += 1;
+                } else {
+                    self.pending_volume -= 1;
+                }
+            }
+            self.mark_dirty(a);
+        }
+    }
+
     /// Records that vertex `u`'s blackness changed: updates the cached black
     /// count, delta-propagates the black-neighbor counters of `N(u)`, and
     /// marks `u` and its neighborhood dirty. `O(deg(u))`.
@@ -1280,6 +1362,98 @@ mod tests {
         e.begin_round_unsorted(&mut unsorted);
         unsorted.sort_unstable();
         assert_eq!(unsorted, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn grow_and_edge_update_match_rebuild_on_mutated_graph() {
+        use mis_graph::GraphDelta;
+        let g = generators::grid(5, 5);
+        let mut black = vec![false; 25];
+        for &u in &[0usize, 6, 12, 24, 13] {
+            black[u] = true;
+        }
+        let mut e = FrontierEngine::new(25);
+        e.rebuild(&g, |u| black[u], two_state_like(&black));
+
+        // A batch mixing every mutation kind.
+        let mut d = GraphDelta::new();
+        d.remove_edge(0, 1)
+            .add_edge(0, 24)
+            .detach_vertex(12)
+            .add_vertex([3, 7]) // id 25
+            .add_edge(13, 25);
+        let (g2, c) = g.apply_delta(&d).unwrap();
+        assert_eq!(c.new_n, 26);
+
+        // Incremental migration: grow, replay the net diff, flush on the
+        // new graph.
+        black.resize(c.new_n, false);
+        e.grow(c.new_n);
+        for &(u, v) in &c.removed {
+            e.edge_update(u, v, false);
+        }
+        for &(u, v) in &c.inserted {
+            e.edge_update(u, v, true);
+        }
+        e.flush(&g2, two_state_like(&black));
+
+        let mut fresh = FrontierEngine::new(c.new_n);
+        fresh.rebuild(&g2, |u| black[u], two_state_like(&black));
+        assert_engines_agree(&e, &fresh, "incremental migration vs rebuild");
+        let mut wl_inc = Vec::new();
+        let mut wl_fresh = Vec::new();
+        e.begin_round(&mut wl_inc);
+        fresh.begin_round(&mut wl_fresh);
+        assert_eq!(wl_inc, wl_fresh);
+    }
+
+    #[test]
+    fn interleaved_mutations_and_flips_stay_consistent() {
+        // Alternate blackness flips (the step/corrupt path) with edge
+        // mutations (the churn path); after every flush the engine must
+        // agree with a from-scratch rebuild on the current graph.
+        use mis_graph::GraphDelta;
+        let mut g = generators::grid(4, 4);
+        let mut black = vec![false; 16];
+        let mut e = FrontierEngine::new(16);
+        e.rebuild(&g, |u| black[u], two_state_like(&black));
+
+        let script: Vec<(bool, usize, usize)> = vec![
+            (true, 0, 0),   // flip vertex 0 black
+            (false, 0, 5),  // insert {0, 5}
+            (true, 5, 0),   // flip vertex 5 black
+            (false, 5, 10), // insert {5, 10}
+            (true, 0, 0),   // flip vertex 0 white (toggle)
+            (false, 1, 2),  // remove {1, 2} (grid edge)
+            (true, 10, 0),  // flip vertex 10 black
+        ];
+        for (i, &(is_flip, u, v)) in script.iter().enumerate() {
+            if is_flip {
+                black[u] = !black[u];
+                e.set_black(&g, u, black[u]);
+                e.flush(&g, two_state_like(&black));
+            } else {
+                let mut d = GraphDelta::new();
+                if g.has_edge(u, v) {
+                    d.remove_edge(u, v);
+                } else {
+                    d.add_edge(u, v);
+                }
+                let (g2, c) = g.apply_delta(&d).unwrap();
+                e.grow(c.new_n);
+                for &(a, b) in &c.removed {
+                    e.edge_update(a, b, false);
+                }
+                for &(a, b) in &c.inserted {
+                    e.edge_update(a, b, true);
+                }
+                g = g2;
+                e.flush(&g, two_state_like(&black));
+            }
+            let mut fresh = FrontierEngine::new(g.n());
+            fresh.rebuild(&g, |u| black[u], two_state_like(&black));
+            assert_engines_agree(&e, &fresh, &format!("after op {i}"));
+        }
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod engine;
 pub mod exec;
 pub mod init;
 mod log_switch;
+mod mutation;
 pub mod packed;
 mod process;
 pub mod scheduler;
@@ -92,6 +93,7 @@ pub use counter_rng::CounterRng;
 pub use engine::{FrontierEngine, ScatterSink, VertexClass};
 pub use exec::{ExecutionMode, RoundStrategy, DENSE_SWITCH_DIVISOR};
 pub use log_switch::{FixedPeriodSwitch, RandomizedLogSwitch, SwitchProcess, DEFAULT_ZETA};
+pub use mutation::MutationError;
 pub use packed::PackedStates;
 pub use process::{Process, StabilizationTimeout, StateCounts};
 pub use scheduler::{Activation, CentralDaemon, RandomSubset, Scheduler, Synchronous};

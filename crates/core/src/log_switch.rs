@@ -1,9 +1,12 @@
+use std::sync::Arc;
+
 use mis_graph::{Graph, VertexId};
 use rand::{Rng, RngCore};
 
 use crate::counter_rng::{CounterRng, DRAW_SWITCH};
 use crate::exec::chunk_bounds;
 use crate::init::InitStrategy;
+use crate::mutation::{GraphRef, MutationError};
 
 /// Default value of the switch probability parameter `ζ`.
 ///
@@ -53,6 +56,21 @@ pub trait SwitchProcess: Sync {
 
     /// Total random bits drawn so far.
     fn random_bits_used(&self) -> u64;
+
+    /// Rebinds the switch to a mutated graph (same vertex ids, possibly
+    /// more of them — topology mutations never renumber). The parent
+    /// process passes the **same** `Arc` it adopted, so both sub-processes
+    /// share one graph instance. Per-vertex switch state for pre-existing
+    /// vertices must be preserved; joined vertices may start at any valid
+    /// state (the switch is self-stabilizing).
+    ///
+    /// The default declines with [`MutationError::Unsupported`], leaving
+    /// the switch untouched; switches that can follow topology changes
+    /// override it.
+    fn rebind_graph(&mut self, graph: &Arc<Graph>) -> Result<(), MutationError> {
+        let _ = graph;
+        Err(MutationError::Unsupported)
+    }
 }
 
 /// The **randomized logarithmic switch** of Definition 26.
@@ -83,7 +101,7 @@ pub trait SwitchProcess: Sync {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RandomizedLogSwitch<'g> {
-    graph: &'g Graph,
+    graph: GraphRef<'g>,
     levels: Vec<u8>,
     next: Vec<u8>,
     zeta: f64,
@@ -111,7 +129,7 @@ impl<'g> RandomizedLogSwitch<'g> {
         );
         RandomizedLogSwitch {
             next: levels.clone(),
-            graph,
+            graph: GraphRef::Borrowed(graph),
             levels,
             zeta,
             round: 0,
@@ -161,11 +179,11 @@ impl<'g> RandomizedLogSwitch<'g> {
 
 impl SwitchProcess for RandomizedLogSwitch<'_> {
     fn n(&self) -> usize {
-        self.graph.n()
+        self.graph.get().n()
     }
 
     fn step(&mut self, rng: &mut dyn RngCore) {
-        for u in self.graph.vertices() {
+        for u in self.graph.get().vertices() {
             let lvl = self.levels[u];
             let reset = if lvl == 5 {
                 // b = 0 with probability ζ; b = 1 keeps the vertex at level 5.
@@ -179,6 +197,7 @@ impl SwitchProcess for RandomizedLogSwitch<'_> {
             } else {
                 let max_nbr = self
                     .graph
+                    .get()
                     .neighbors(u)
                     .iter()
                     .map(|v| self.levels[v])
@@ -199,7 +218,7 @@ impl SwitchProcess for RandomizedLogSwitch<'_> {
         let mut draw_counts = vec![0u64; bounds.len()];
         {
             let levels = &self.levels;
-            let graph = self.graph;
+            let graph = self.graph.get();
             let counter = *counter;
             rayon::scope(|s| {
                 let mut next_rest: &mut [u8] = &mut self.next;
@@ -253,6 +272,18 @@ impl SwitchProcess for RandomizedLogSwitch<'_> {
 
     fn random_bits_used(&self) -> u64 {
         self.random_bits
+    }
+
+    fn rebind_graph(&mut self, graph: &Arc<Graph>) -> Result<(), MutationError> {
+        // Joined vertices start at level 5 (the waiting level, and the
+        // state a level-0 vertex resets to) — any level in 0..=5 is valid
+        // since the switch is self-stabilizing, but 5 keeps their output
+        // `off` until the clock synchronizes them.
+        let new_n = graph.n();
+        self.levels.resize(new_n, 5);
+        self.next.resize(new_n, 5);
+        self.graph = GraphRef::Owned(Arc::clone(graph));
+        Ok(())
     }
 }
 
@@ -313,6 +344,13 @@ impl SwitchProcess for FixedPeriodSwitch {
 
     fn random_bits_used(&self) -> u64 {
         0
+    }
+
+    fn rebind_graph(&mut self, graph: &Arc<Graph>) -> Result<(), MutationError> {
+        // The oracle switch reads no adjacency; it only tracks the vertex
+        // count (its global clock is unaffected by topology).
+        self.n = graph.n();
+        Ok(())
     }
 }
 

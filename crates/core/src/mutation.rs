@@ -1,0 +1,116 @@
+//! Topology-mutation support types shared by every process: the
+//! [`GraphRef`] ownership seam that lets a process outlive its original
+//! borrowed graph once the topology changes, and the [`MutationError`]
+//! returned by the `apply_mutation` entry points.
+//!
+//! # The ownership problem
+//!
+//! Processes are created on a *borrowed* `&'g Graph` — the zero-cost path
+//! for the overwhelmingly common static-topology runs. A topology mutation
+//! produces a **new** compacted [`Graph`] that nobody else owns, so the
+//! process must take ownership of it. [`GraphRef`] is the two-state enum
+//! that makes the switch-over invisible to the round loops: they only ever
+//! see `&Graph` through [`GraphRef::get`], and `apply_mutation` silently
+//! flips the variant from `Borrowed` to `Owned` at the first mutation.
+//!
+//! The `Owned` variant holds an [`Arc`] so a process and its sub-process
+//! (the 3-color process and its randomized switch) can share one graph
+//! instance: the process builds the new graph once and hands the same `Arc`
+//! to the switch's rebind hook, keeping both views identical by
+//! construction.
+
+use std::fmt;
+use std::sync::Arc;
+
+use mis_graph::{Graph, GraphError};
+
+/// A graph handle that is either borrowed (the static-topology fast path)
+/// or owned through an [`Arc`] (after the first topology mutation).
+///
+/// Round loops access the graph exclusively through [`get`](Self::get),
+/// which borrows only the field holding the `GraphRef` — so the borrow
+/// checker still allows simultaneous `&mut` access to sibling fields
+/// (engine, states), exactly as with the former plain `&'g Graph` field.
+#[derive(Debug, Clone)]
+pub(crate) enum GraphRef<'g> {
+    /// Borrowing the caller's graph; no allocation, no indirection change.
+    Borrowed(&'g Graph),
+    /// Owning a mutated graph produced by `apply_mutation`.
+    Owned(Arc<Graph>),
+}
+
+impl GraphRef<'_> {
+    /// The graph currently in effect.
+    #[inline]
+    pub(crate) fn get(&self) -> &Graph {
+        match self {
+            GraphRef::Borrowed(g) => g,
+            GraphRef::Owned(g) => g,
+        }
+    }
+}
+
+/// Why a topology mutation could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MutationError {
+    /// The algorithm (or one of its sub-processes) does not support
+    /// topology changes; its state is untouched.
+    Unsupported,
+    /// The delta itself was invalid against the current graph (out-of-range
+    /// vertex, self-loop, …); no state was changed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationError::Unsupported => {
+                write!(f, "the algorithm does not support topology changes")
+            }
+            MutationError::Graph(e) => write!(f, "invalid topology delta: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MutationError::Unsupported => None,
+            MutationError::Graph(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for MutationError {
+    fn from(e: GraphError) -> Self {
+        MutationError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::generators;
+
+    #[test]
+    fn graph_ref_get_is_variant_transparent() {
+        let g = generators::path(4);
+        let borrowed = GraphRef::Borrowed(&g);
+        assert_eq!(borrowed.get().n(), 4);
+        let owned = GraphRef::Owned(Arc::new(generators::path(4)));
+        assert_eq!(owned.get().m(), borrowed.get().m());
+        let cloned = owned.clone();
+        assert_eq!(cloned.get().n(), 4);
+    }
+
+    #[test]
+    fn mutation_error_display_and_source() {
+        let e = MutationError::Unsupported;
+        assert!(e.to_string().contains("does not support"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e: MutationError = GraphError::SelfLoop { vertex: 3 }.into();
+        assert!(e.to_string().contains("invalid topology delta"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -128,6 +128,20 @@ impl PackedStates {
     pub fn decode<T>(&self, f: impl Fn(u8) -> T) -> Vec<T> {
         (0..self.n).map(|u| f(self.get(u))).collect()
     }
+
+    /// Extends the vector to `new_n` vertices, all new slots at code 0
+    /// (no-op if already that long) — topology growth support. The unused
+    /// high bits of the last word are already zero, so only whole new words
+    /// need allocating.
+    pub fn grow(&mut self, new_n: usize) {
+        if new_n <= self.n {
+            return;
+        }
+        while self.words.len() < new_n.div_ceil(PER_WORD) {
+            self.words.push(AtomicU64::new(0));
+        }
+        self.n = new_n;
+    }
 }
 
 impl Clone for PackedStates {

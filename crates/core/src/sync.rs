@@ -82,6 +82,14 @@ impl AtomicU32Vec {
             *slot.get_mut() = 0;
         }
     }
+
+    /// Extends the vector with zeros up to length `new_n` (no-op if already
+    /// that long) — topology growth support.
+    pub fn grow(&mut self, new_n: usize) {
+        while self.data.len() < new_n {
+            self.data.push(AtomicU32::new(0));
+        }
+    }
 }
 
 impl Clone for AtomicU32Vec {
@@ -155,6 +163,14 @@ impl AtomicFlagVec {
             *slot.get_mut() = false;
         }
     }
+
+    /// Extends the vector with `false` up to length `new_n` (no-op if
+    /// already that long) — topology growth support.
+    pub fn grow(&mut self, new_n: usize) {
+        while self.data.len() < new_n {
+            self.data.push(AtomicBool::new(false));
+        }
+    }
 }
 
 impl Clone for AtomicFlagVec {
@@ -217,6 +233,14 @@ impl AtomicU8Vec {
     #[inline]
     pub fn xor_mut(&mut self, i: usize, mask: u8) {
         *self.data[i].get_mut() ^= mask;
+    }
+
+    /// Extends the vector with zeros up to length `new_n` (no-op if already
+    /// that long) — topology growth support.
+    pub fn grow(&mut self, new_n: usize) {
+        while self.data.len() < new_n {
+            self.data.push(AtomicU8::new(0));
+        }
     }
 }
 

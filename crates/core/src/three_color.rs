@@ -1,4 +1,6 @@
-use mis_graph::{Graph, VertexId, VertexSet};
+use std::sync::Arc;
+
+use mis_graph::{CommittedDelta, Graph, GraphDelta, VertexId, VertexSet};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
@@ -7,6 +9,7 @@ use crate::engine::{FrontierEngine, VertexClass};
 use crate::exec::{ExecutionMode, RoundStrategy};
 use crate::init::InitStrategy;
 use crate::log_switch::{RandomizedLogSwitch, SwitchProcess, DEFAULT_ZETA};
+use crate::mutation::{GraphRef, MutationError};
 use crate::packed::PackedStates;
 use crate::process::{Process, StateCounts};
 
@@ -135,7 +138,7 @@ fn classify(colors: &PackedStates) -> impl Fn(VertexId, u32) -> VertexClass + Sy
 /// ```
 #[derive(Debug, Clone)]
 pub struct ThreeColorProcess<'g, S> {
-    graph: &'g Graph,
+    graph: GraphRef<'g>,
     colors: PackedStates,
     engine: FrontierEngine,
     switch: S,
@@ -185,7 +188,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         );
         let mut p = ThreeColorProcess {
             engine: FrontierEngine::new(graph.n()),
-            graph,
+            graph: GraphRef::Borrowed(graph),
             colors: PackedStates::from_codes(colors.into_iter().map(ThreeColor::code)),
             switch,
             mode: ExecutionMode::Sequential,
@@ -231,9 +234,43 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         self.last_round_dense
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    /// The underlying graph (the mutated one after
+    /// [`apply_mutation`](Self::apply_mutation)).
+    pub fn graph(&self) -> &Graph {
+        self.graph.get()
+    }
+
+    /// Applies a batch of topology mutations and incrementally re-derives
+    /// the engine bookkeeping, so the process re-stabilizes from the
+    /// current configuration instead of restarting. The mutated graph is
+    /// built **once** and the same `Arc` is handed to the switch's
+    /// [`rebind_graph`](SwitchProcess::rebind_graph), keeping both
+    /// sub-processes on one identical topology. New vertices start white
+    /// with their switch at its waiting state.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MutationError::Unsupported`] (state untouched) if the
+    /// switch implementation cannot follow topology changes, or with
+    /// [`MutationError::Graph`] for an invalid delta.
+    pub fn apply_mutation(&mut self, delta: &GraphDelta) -> Result<CommittedDelta, MutationError> {
+        let (new_graph, committed) = self.graph.get().apply_delta(delta)?;
+        let arc = Arc::new(new_graph);
+        // Rebind the switch first: if it declines, nothing was mutated yet
+        // (`apply_delta` is pure) and the error propagates cleanly.
+        self.switch.rebind_graph(&arc)?;
+        self.colors.grow(committed.new_n);
+        self.engine.grow(committed.new_n);
+        for &(u, v) in &committed.removed {
+            self.engine.edge_update(u, v, false);
+        }
+        for &(u, v) in &committed.inserted {
+            self.engine.edge_update(u, v, true);
+        }
+        self.graph = GraphRef::Owned(arc);
+        let colors = &self.colors;
+        self.engine.flush(self.graph.get(), classify(colors));
+        Ok(committed)
     }
 
     /// The switch sub-process.
@@ -278,6 +315,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         VertexSet::from_indices(
             self.n(),
             self.graph
+                .get()
                 .vertices()
                 .filter(|&u| self.color(u) == ThreeColor::Gray),
         )
@@ -295,9 +333,9 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
             return;
         }
         self.colors.set(u, color.code());
-        self.engine.set_black(self.graph, u, color.is_black());
+        self.engine.set_black(self.graph.get(), u, color.is_black());
         let colors = &self.colors;
-        self.engine.flush(self.graph, classify(colors));
+        self.engine.flush(self.graph.get(), classify(colors));
     }
 
     /// `true` if `u` is active: black with a black neighbor, or white with no
@@ -323,15 +361,15 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
     /// the oracle for the engine's trace-equality tests.
     pub fn step_reference(&mut self, rng: &mut dyn RngCore) {
         let mut black_nbrs = vec![0u32; self.n()];
-        for u in self.graph.vertices() {
+        for u in self.graph.get().vertices() {
             if ThreeColor::from_code(self.colors.get(u)).is_black() {
-                for v in self.graph.neighbors(u) {
+                for v in self.graph.get().neighbors(u) {
                     black_nbrs[v] += 1;
                 }
             }
         }
         let next = self.colors.clone();
-        for u in self.graph.vertices() {
+        for u in self.graph.get().vertices() {
             let new = match ThreeColor::from_code(self.colors.get(u)) {
                 ThreeColor::Black if black_nbrs[u] > 0 => {
                     self.random_bits += 1;
@@ -363,7 +401,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
     fn rebuild_engine(&mut self) {
         let colors = &self.colors;
         self.engine.rebuild(
-            self.graph,
+            self.graph.get(),
             |u| ThreeColor::from_code(colors.get(u)).is_black(),
             classify(colors),
         );
@@ -405,11 +443,11 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         }
         for &(u, color) in &self.changes {
             self.colors.set(u, color.code());
-            self.engine.set_black(self.graph, u, color.is_black());
+            self.engine.set_black(self.graph.get(), u, color.is_black());
         }
         self.switch.step(rng);
         let colors = &self.colors;
-        self.engine.flush(self.graph, classify(colors));
+        self.engine.flush(self.graph.get(), classify(colors));
         self.round += 1;
     }
 
@@ -419,7 +457,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
     /// and the engine recounts in full. Same coins in the same ascending
     /// order as the sparse path, hence bit-identical.
     fn step_dense_sequential(&mut self, rng: &mut dyn RngCore) {
-        let n = self.graph.n();
+        let n = self.graph.get().n();
         let mut draws = 0u64;
         {
             let colors = &mut self.colors;
@@ -458,7 +496,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         self.random_bits += draws;
         self.switch.step(rng);
         let colors = &self.colors;
-        self.engine.recount(self.graph, classify(colors));
+        self.engine.recount(self.graph.get(), classify(colors));
         self.round += 1;
     }
 
@@ -506,7 +544,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         self.switch.step_counter(&self.counter, threads);
         let colors = &self.colors;
         self.engine
-            .recount_par(self.graph, threads, classify(colors));
+            .recount_par(self.graph.get(), threads, classify(colors));
         self.round += 1;
     }
 
@@ -524,7 +562,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         let counter = self.counter;
         let colors = &self.colors;
         let switch = &self.switch;
-        let graph = self.graph;
+        let graph = self.graph.get();
         let draws = self.engine.par_round(
             graph,
             &self.worklist,
@@ -570,7 +608,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
 
 impl<S: SwitchProcess> Process for ThreeColorProcess<'_, S> {
     fn n(&self) -> usize {
-        self.graph.n()
+        self.graph.get().n()
     }
 
     fn round(&self) -> usize {
@@ -581,7 +619,7 @@ impl<S: SwitchProcess> Process for ThreeColorProcess<'_, S> {
         let dense = match self.strategy {
             RoundStrategy::Sparse => false,
             RoundStrategy::Dense => true,
-            RoundStrategy::Auto => self.engine.prefers_dense(self.graph),
+            RoundStrategy::Auto => self.engine.prefers_dense(self.graph.get()),
         };
         self.last_round_dense = dense;
         match (self.mode, dense) {
@@ -637,6 +675,99 @@ mod tests {
 
     fn rng(seed: u64) -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn apply_mutation_matches_fresh_process_on_mutated_graph() {
+        let mut r = rng(403);
+        let g = generators::gnp(40, 0.15, &mut r);
+        let mut p = ThreeColorProcess::with_randomized_switch(&g, InitStrategy::Random, &mut r);
+        for _ in 0..5 {
+            p.step(&mut r);
+        }
+        let (eu, ev) = g.edges().next().expect("dense gnp has an edge");
+        let mut delta = GraphDelta::new();
+        delta
+            .remove_edge(eu, ev)
+            .add_edge(0, g.n() - 1)
+            .add_vertex([0, 1])
+            .detach_vertex(2);
+        let committed = p.apply_mutation(&delta).unwrap();
+        assert_eq!(committed.new_n, g.n() + 1);
+        assert_eq!(p.n(), g.n() + 1);
+        assert_eq!(p.switch().n(), p.n(), "switch follows the graph");
+        assert_eq!(p.color(g.n()), ThreeColor::White, "joined vertex is white");
+        let g2 = p.graph().clone();
+        let levels: Vec<u8> = g2.vertices().map(|u| p.switch().level(u)).collect();
+        let fresh_switch = RandomizedLogSwitch::new(&g2, levels, p.switch().zeta());
+        let fresh = ThreeColorProcess::new(&g2, p.colors(), fresh_switch);
+        assert_eq!(fresh.counts(), p.counts());
+        for u in g2.vertices() {
+            assert_eq!(fresh.is_active(u), p.is_active(u), "active {u}");
+            assert_eq!(fresh.is_stable(u), p.is_stable(u), "stable {u}");
+            assert_eq!(
+                fresh.black_neighbor_count(u),
+                p.black_neighbor_count(u),
+                "black_nbrs {u}"
+            );
+        }
+        p.run_to_stabilization(&mut r, 100_000).unwrap();
+        assert!(mis_check::is_mis(&g2, &p.black_set()));
+    }
+
+    #[test]
+    fn mutation_with_non_rebindable_switch_is_rejected_untouched() {
+        // A switch with no `rebind_graph` override declines topology
+        // changes; the process must report Unsupported without mutating
+        // anything.
+        struct FrozenSwitch(usize);
+        impl SwitchProcess for FrozenSwitch {
+            fn n(&self) -> usize {
+                self.0
+            }
+            fn step(&mut self, _rng: &mut dyn RngCore) {}
+            fn step_counter(&mut self, _counter: &CounterRng, _threads: usize) {}
+            fn is_on(&self, _u: VertexId) -> bool {
+                true
+            }
+            fn states_per_vertex(&self) -> usize {
+                1
+            }
+            fn random_bits_used(&self) -> u64 {
+                0
+            }
+        }
+
+        let g = generators::path(4);
+        let colors = vec![
+            ThreeColor::White,
+            ThreeColor::Black,
+            ThreeColor::Gray,
+            ThreeColor::White,
+        ];
+        let mut p = ThreeColorProcess::new(&g, colors.clone(), FrozenSwitch(4));
+        let before_counts = p.counts();
+        let mut delta = GraphDelta::new();
+        delta.add_vertex([0]);
+        assert_eq!(p.apply_mutation(&delta), Err(MutationError::Unsupported));
+        assert_eq!(p.colors(), colors);
+        assert_eq!(p.counts(), before_counts);
+        assert_eq!(p.n(), 4);
+    }
+
+    #[test]
+    fn invalid_mutation_leaves_state_untouched() {
+        let mut r = rng(7);
+        let g = generators::path(4);
+        let mut p = ThreeColorProcess::with_randomized_switch(&g, InitStrategy::Random, &mut r);
+        let before_colors = p.colors();
+        let before_counts = p.counts();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(1, 1); // self-loop
+        assert!(p.apply_mutation(&delta).is_err());
+        assert_eq!(p.colors(), before_colors);
+        assert_eq!(p.counts(), before_counts);
+        assert_eq!(p.n(), 4);
     }
 
     #[test]

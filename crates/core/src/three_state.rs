@@ -1,4 +1,6 @@
-use mis_graph::{Graph, VertexId, VertexSet};
+use std::sync::Arc;
+
+use mis_graph::{CommittedDelta, Graph, GraphDelta, VertexId, VertexSet};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
@@ -6,6 +8,7 @@ use crate::counter_rng::{CounterRng, DRAW_STATE};
 use crate::engine::{FrontierEngine, VertexClass};
 use crate::exec::{chunk_bounds, ExecutionMode, RoundStrategy};
 use crate::init::InitStrategy;
+use crate::mutation::{GraphRef, MutationError};
 use crate::packed::PackedStates;
 use crate::process::{Process, StateCounts};
 use crate::sync::AtomicU32Vec;
@@ -131,7 +134,7 @@ fn classify<'a>(
 /// ```
 #[derive(Debug, Clone)]
 pub struct ThreeStateProcess<'g> {
-    graph: &'g Graph,
+    graph: GraphRef<'g>,
     states: PackedStates,
     /// Number of `black1` neighbors per vertex, delta-maintained alongside
     /// the engine's black-neighbor counters (atomically typed so the
@@ -164,7 +167,7 @@ impl<'g> ThreeStateProcess<'g> {
         let mut p = ThreeStateProcess {
             black1_nbrs: AtomicU32Vec::new(graph.n()),
             engine: FrontierEngine::new(graph.n()),
-            graph,
+            graph: GraphRef::Borrowed(graph),
             states: PackedStates::from_codes(states.into_iter().map(ThreeState::code)),
             mode: ExecutionMode::Sequential,
             strategy: RoundStrategy::Auto,
@@ -213,9 +216,50 @@ impl<'g> ThreeStateProcess<'g> {
         self.last_round_dense
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    /// The underlying graph (the mutated one after
+    /// [`apply_mutation`](Self::apply_mutation)).
+    pub fn graph(&self) -> &Graph {
+        self.graph.get()
+    }
+
+    /// Applies a batch of topology mutations and incrementally re-derives
+    /// all bookkeeping — the engine's black-neighbor counters *and* the
+    /// process-owned `black1` counters — so the process re-stabilizes from
+    /// the current configuration instead of restarting. New vertices start
+    /// white; the self-stabilizing rule absorbs them. Bit-identical to a
+    /// from-scratch engine rebuild on the new graph with the current states.
+    ///
+    /// On error (an invalid delta) the process state is untouched.
+    pub fn apply_mutation(&mut self, delta: &GraphDelta) -> Result<CommittedDelta, MutationError> {
+        let (new_graph, committed) = self.graph.get().apply_delta(delta)?;
+        self.states.grow(committed.new_n);
+        self.black1_nbrs.grow(committed.new_n);
+        self.engine.grow(committed.new_n);
+        let black1 = ThreeState::Black1.code();
+        for &(u, v) in &committed.removed {
+            self.engine.edge_update(u, v, false);
+            if self.states.get(u) == black1 {
+                self.black1_nbrs.sub_mut(v, 1);
+            }
+            if self.states.get(v) == black1 {
+                self.black1_nbrs.sub_mut(u, 1);
+            }
+        }
+        for &(u, v) in &committed.inserted {
+            self.engine.edge_update(u, v, true);
+            if self.states.get(u) == black1 {
+                self.black1_nbrs.add_mut(v, 1);
+            }
+            if self.states.get(v) == black1 {
+                self.black1_nbrs.add_mut(u, 1);
+            }
+        }
+        self.graph = GraphRef::Owned(Arc::new(new_graph));
+        let states = &self.states;
+        let black1_nbrs = &self.black1_nbrs;
+        self.engine
+            .flush(self.graph.get(), classify(states, black1_nbrs));
+        Ok(committed)
     }
 
     /// Read-only view of the incremental engine bookkeeping, for tests and
@@ -263,10 +307,11 @@ impl<'g> ThreeStateProcess<'g> {
         }
         self.states.set(u, state.code());
         self.apply_black1_delta(u, old, state);
-        self.engine.set_black(self.graph, u, state.is_black());
+        self.engine.set_black(self.graph.get(), u, state.is_black());
         let states = &self.states;
         let black1_nbrs = &self.black1_nbrs;
-        self.engine.flush(self.graph, classify(states, black1_nbrs));
+        self.engine
+            .flush(self.graph.get(), classify(states, black1_nbrs));
     }
 
     /// Whether `u` will re-randomize its state in the next round.
@@ -294,10 +339,10 @@ impl<'g> ThreeStateProcess<'g> {
         let n = self.n();
         let mut black_nbrs = vec![0u32; n];
         let mut black1_nbrs = vec![0u32; n];
-        for u in self.graph.vertices() {
+        for u in self.graph.get().vertices() {
             let s = ThreeState::from_code(self.states.get(u));
             if s.is_black() {
-                for v in self.graph.neighbors(u) {
+                for v in self.graph.get().neighbors(u) {
                     black_nbrs[v] += 1;
                     if s == ThreeState::Black1 {
                         black1_nbrs[v] += 1;
@@ -306,7 +351,7 @@ impl<'g> ThreeStateProcess<'g> {
             }
         }
         let next = self.states.clone();
-        for u in self.graph.vertices() {
+        for u in self.graph.get().vertices() {
             let s = ThreeState::from_code(self.states.get(u));
             let active = match s {
                 ThreeState::Black1 => true,
@@ -339,7 +384,7 @@ impl<'g> ThreeStateProcess<'g> {
         if was_black1 == is_black1 {
             return;
         }
-        for v in self.graph.neighbors(u) {
+        for v in self.graph.get().neighbors(u) {
             if is_black1 {
                 self.black1_nbrs.add(v, 1);
             } else {
@@ -354,7 +399,7 @@ impl<'g> ThreeStateProcess<'g> {
         let states = &self.states;
         let black1_nbrs = &self.black1_nbrs;
         self.engine.rebuild(
-            self.graph,
+            self.graph.get(),
             |u| ThreeState::from_code(states.get(u)).is_black(),
             classify(states, black1_nbrs),
         );
@@ -366,9 +411,9 @@ impl<'g> ThreeStateProcess<'g> {
         self.black1_nbrs.clear_all();
         let states = &self.states;
         let black1_nbrs = &mut self.black1_nbrs;
-        for u in self.graph.vertices() {
+        for u in self.graph.get().vertices() {
             if states.get(u) == ThreeState::Black1.code() {
-                for &v in self.graph.neighbors(u).as_compact() {
+                for &v in self.graph.get().neighbors(u).as_compact() {
                     black1_nbrs.add_mut(v.index(), 1);
                 }
             }
@@ -379,7 +424,7 @@ impl<'g> ThreeStateProcess<'g> {
     /// chunked commutative atomic adds, bit-identical for every thread
     /// count.
     fn recount_black1_par(&mut self, threads: usize) {
-        let n = self.graph.n();
+        let n = self.graph.get().n();
         let bounds = chunk_bounds(n, threads);
         if bounds.len() <= 1 {
             return self.recount_black1();
@@ -391,7 +436,7 @@ impl<'g> ThreeStateProcess<'g> {
             .expect("thread pool construction is infallible");
         let states = &self.states;
         let black1_nbrs = &self.black1_nbrs;
-        let graph = self.graph;
+        let graph = self.graph.get();
         let bounds_ref = &bounds;
         pool.broadcast(|ctx| {
             let (lo, hi) = bounds_ref[ctx.index()];
@@ -411,7 +456,7 @@ impl<'g> ThreeStateProcess<'g> {
     /// the `black1` counters and the engine bookkeeping. Same coins in the
     /// same ascending order as the sparse path, hence bit-identical.
     fn step_dense_sequential(&mut self, rng: &mut dyn RngCore) {
-        let n = self.graph.n();
+        let n = self.graph.get().n();
         let mut draws = 0u64;
         {
             let states = &mut self.states;
@@ -440,7 +485,7 @@ impl<'g> ThreeStateProcess<'g> {
         let states = &self.states;
         let black1_nbrs = &self.black1_nbrs;
         self.engine
-            .recount(self.graph, classify(states, black1_nbrs));
+            .recount(self.graph.get(), classify(states, black1_nbrs));
         self.round += 1;
     }
 
@@ -477,7 +522,7 @@ impl<'g> ThreeStateProcess<'g> {
         let states = &self.states;
         let black1_nbrs = &self.black1_nbrs;
         self.engine
-            .recount_par(self.graph, threads, classify(states, black1_nbrs));
+            .recount_par(self.graph.get(), threads, classify(states, black1_nbrs));
         self.round += 1;
     }
 
@@ -512,11 +557,12 @@ impl<'g> ThreeStateProcess<'g> {
             let old = ThreeState::from_code(self.states.get(u));
             self.states.set(u, state.code());
             self.apply_black1_delta(u, old, state);
-            self.engine.set_black(self.graph, u, state.is_black());
+            self.engine.set_black(self.graph.get(), u, state.is_black());
         }
         let states = &self.states;
         let black1_nbrs = &self.black1_nbrs;
-        self.engine.flush(self.graph, classify(states, black1_nbrs));
+        self.engine
+            .flush(self.graph.get(), classify(states, black1_nbrs));
         self.round += 1;
     }
 
@@ -559,11 +605,12 @@ impl<'g> ThreeStateProcess<'g> {
             let old = ThreeState::from_code(self.states.get(u));
             self.states.set(u, state.code());
             self.apply_black1_delta(u, old, state);
-            self.engine.set_black(self.graph, u, state.is_black());
+            self.engine.set_black(self.graph.get(), u, state.is_black());
         }
         let states = &self.states;
         let black1_nbrs = &self.black1_nbrs;
-        self.engine.flush(self.graph, classify(states, black1_nbrs));
+        self.engine
+            .flush(self.graph.get(), classify(states, black1_nbrs));
         self.round += 1;
     }
 
@@ -580,7 +627,7 @@ impl<'g> ThreeStateProcess<'g> {
         let counter = self.counter;
         let states = &self.states;
         let black1_nbrs = &self.black1_nbrs;
-        let graph = self.graph;
+        let graph = self.graph.get();
         type Change = (VertexId, ThreeState, ThreeState);
         let draws = self.engine.par_round(
             graph,
@@ -633,7 +680,7 @@ impl<'g> ThreeStateProcess<'g> {
 
 impl Process for ThreeStateProcess<'_> {
     fn n(&self) -> usize {
-        self.graph.n()
+        self.graph.get().n()
     }
 
     fn round(&self) -> usize {
@@ -644,7 +691,7 @@ impl Process for ThreeStateProcess<'_> {
         let dense = match self.strategy {
             RoundStrategy::Sparse => false,
             RoundStrategy::Dense => true,
-            RoundStrategy::Auto => self.engine.prefers_dense(self.graph),
+            RoundStrategy::Auto => self.engine.prefers_dense(self.graph.get()),
         };
         self.last_round_dense = dense;
         match (self.mode, dense) {
@@ -702,6 +749,68 @@ mod tests {
 
     fn rng(seed: u64) -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn apply_mutation_matches_fresh_process_on_mutated_graph() {
+        let mut r = rng(402);
+        let g = generators::gnp(40, 0.15, &mut r);
+        let mut p = ThreeStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+        for _ in 0..5 {
+            p.step(&mut r);
+        }
+        let (eu, ev) = g.edges().next().expect("dense gnp has an edge");
+        let mut delta = GraphDelta::new();
+        delta
+            .remove_edge(eu, ev)
+            .add_edge(0, g.n() - 1)
+            .add_vertex([0, 1])
+            .detach_vertex(2);
+        let committed = p.apply_mutation(&delta).unwrap();
+        assert_eq!(committed.new_n, g.n() + 1);
+        assert_eq!(p.n(), g.n() + 1);
+        assert_eq!(p.state(g.n()), ThreeState::White, "joined vertex is white");
+        let g2 = p.graph().clone();
+        let fresh = ThreeStateProcess::new(&g2, p.states());
+        assert_eq!(fresh.counts(), p.counts());
+        for u in g2.vertices() {
+            assert_eq!(fresh.is_active(u), p.is_active(u), "active {u}");
+            assert_eq!(fresh.is_stable(u), p.is_stable(u), "stable {u}");
+            assert_eq!(
+                fresh.black_neighbor_count(u),
+                p.black_neighbor_count(u),
+                "black_nbrs {u}"
+            );
+            assert_eq!(
+                fresh.black1_neighbor_count(u),
+                p.black1_neighbor_count(u),
+                "black1_nbrs {u}"
+            );
+        }
+        p.run_to_stabilization(&mut r, 100_000).unwrap();
+        assert!(mis_check::is_mis(&g2, &p.black_set()));
+    }
+
+    #[test]
+    fn invalid_mutation_leaves_state_untouched() {
+        let g = generators::path(4);
+        let mut p = ThreeStateProcess::new(
+            &g,
+            vec![
+                ThreeState::White,
+                ThreeState::Black1,
+                ThreeState::Black0,
+                ThreeState::White,
+            ],
+        );
+        let before_states = p.states();
+        let before_counts = p.counts();
+        let mut delta = GraphDelta::new();
+        delta.detach_vertex(99); // out of range
+        assert!(p.apply_mutation(&delta).is_err());
+        assert_eq!(p.states(), before_states);
+        assert_eq!(p.counts(), before_counts);
+        assert_eq!(p.n(), 4);
     }
 
     #[test]

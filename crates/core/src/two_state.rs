@@ -1,4 +1,6 @@
-use mis_graph::{Graph, VertexId, VertexSet};
+use std::sync::Arc;
+
+use mis_graph::{CommittedDelta, Graph, GraphDelta, VertexId, VertexSet};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
@@ -6,6 +8,7 @@ use crate::counter_rng::{CounterRng, DRAW_STATE};
 use crate::engine::{FrontierEngine, VertexClass};
 use crate::exec::{ExecutionMode, RoundStrategy};
 use crate::init::InitStrategy;
+use crate::mutation::{GraphRef, MutationError};
 use crate::packed::PackedStates;
 use crate::process::{Process, StateCounts};
 
@@ -112,7 +115,7 @@ fn classify(states: &PackedStates) -> impl Fn(VertexId, u32) -> VertexClass + Sy
 /// ```
 #[derive(Debug, Clone)]
 pub struct TwoStateProcess<'g> {
-    graph: &'g Graph,
+    graph: GraphRef<'g>,
     states: PackedStates,
     /// Incremental counters, frontier, and cached counts.
     engine: FrontierEngine,
@@ -143,7 +146,7 @@ impl<'g> TwoStateProcess<'g> {
         );
         let mut p = TwoStateProcess {
             engine: FrontierEngine::new(graph.n()),
-            graph,
+            graph: GraphRef::Borrowed(graph),
             states: PackedStates::from_codes(states.into_iter().map(Color::code)),
             mode: ExecutionMode::Sequential,
             strategy: RoundStrategy::Auto,
@@ -195,9 +198,38 @@ impl<'g> TwoStateProcess<'g> {
         self.last_round_dense
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    /// The underlying graph (the mutated one after
+    /// [`apply_mutation`](Self::apply_mutation)).
+    pub fn graph(&self) -> &Graph {
+        self.graph.get()
+    }
+
+    /// Applies a batch of topology mutations and incrementally re-derives
+    /// the engine bookkeeping, so the process **re-stabilizes from the
+    /// current configuration** instead of restarting: the delta is compacted
+    /// into a fresh CSR graph, state storage and counters grow to cover
+    /// joined vertices (new vertices start white, the self-stabilizing
+    /// rules absorb them), each net edge change delta-updates the
+    /// black-neighbor counters, and one flush against the new adjacency
+    /// re-classifies every touched vertex. The result is bit-identical to
+    /// rebuilding the engine from scratch on the new graph with the current
+    /// states.
+    ///
+    /// On error (an invalid delta) the process state is untouched.
+    pub fn apply_mutation(&mut self, delta: &GraphDelta) -> Result<CommittedDelta, MutationError> {
+        let (new_graph, committed) = self.graph.get().apply_delta(delta)?;
+        self.states.grow(committed.new_n);
+        self.engine.grow(committed.new_n);
+        for &(u, v) in &committed.removed {
+            self.engine.edge_update(u, v, false);
+        }
+        for &(u, v) in &committed.inserted {
+            self.engine.edge_update(u, v, true);
+        }
+        self.graph = GraphRef::Owned(Arc::new(new_graph));
+        let states = &self.states;
+        self.engine.flush(self.graph.get(), classify(states));
+        Ok(committed)
     }
 
     /// Read-only view of the incremental engine bookkeeping (counters,
@@ -235,9 +267,9 @@ impl<'g> TwoStateProcess<'g> {
             return;
         }
         self.states.set(u, color.code());
-        self.engine.set_black(self.graph, u, color.is_black());
+        self.engine.set_black(self.graph.get(), u, color.is_black());
         let states = &self.states;
-        self.engine.flush(self.graph, classify(states));
+        self.engine.flush(self.graph.get(), classify(states));
     }
 
     /// `true` if vertex `u` is active at the end of the current round:
@@ -271,6 +303,7 @@ impl<'g> TwoStateProcess<'g> {
         for u in active.iter() {
             let active_nbrs = self
                 .graph
+                .get()
                 .neighbors(u)
                 .iter()
                 .filter(|&v| active.contains(v))
@@ -293,15 +326,15 @@ impl<'g> TwoStateProcess<'g> {
         // Recount independently of the engine so the reference path does not
         // rely on the bookkeeping it is meant to check.
         let mut black_nbrs = vec![0u32; self.n()];
-        for u in self.graph.vertices() {
+        for u in self.graph.get().vertices() {
             if Color::from_code(self.states.get(u)).is_black() {
-                for v in self.graph.neighbors(u) {
+                for v in self.graph.get().neighbors(u) {
                     black_nbrs[v] += 1;
                 }
             }
         }
         let next = self.states.clone();
-        for u in self.graph.vertices() {
+        for u in self.graph.get().vertices() {
             let active = match Color::from_code(self.states.get(u)) {
                 Color::Black => black_nbrs[u] > 0,
                 Color::White => black_nbrs[u] == 0,
@@ -324,7 +357,7 @@ impl<'g> TwoStateProcess<'g> {
     fn rebuild_engine(&mut self) {
         let states = &self.states;
         self.engine.rebuild(
-            self.graph,
+            self.graph.get(),
             |u| Color::from_code(states.get(u)).is_black(),
             classify(states),
         );
@@ -352,10 +385,10 @@ impl<'g> TwoStateProcess<'g> {
         }
         for &(u, color) in &self.changes {
             self.states.set(u, color.code());
-            self.engine.set_black(self.graph, u, color.is_black());
+            self.engine.set_black(self.graph.get(), u, color.is_black());
         }
         let states = &self.states;
-        self.engine.flush(self.graph, classify(states));
+        self.engine.flush(self.graph.get(), classify(states));
         self.round += 1;
     }
 
@@ -395,10 +428,10 @@ impl<'g> TwoStateProcess<'g> {
         for i in 0..self.changes.len() {
             let (u, color) = self.changes[i];
             self.states.set(u, color.code());
-            self.engine.set_black(self.graph, u, color.is_black());
+            self.engine.set_black(self.graph.get(), u, color.is_black());
         }
         let states = &self.states;
-        self.engine.flush(self.graph, classify(states));
+        self.engine.flush(self.graph.get(), classify(states));
         self.round += 1;
     }
 
@@ -408,7 +441,7 @@ impl<'g> TwoStateProcess<'g> {
     /// coins for the same vertices in the same ascending order as
     /// [`step_sequential`](Self::step_sequential), hence bit-identical.
     fn step_dense_sequential(&mut self, rng: &mut dyn RngCore) {
-        let n = self.graph.n();
+        let n = self.graph.get().n();
         let mut draws = 0u64;
         {
             let states = &mut self.states;
@@ -430,7 +463,7 @@ impl<'g> TwoStateProcess<'g> {
         }
         self.random_bits += draws;
         let states = &self.states;
-        self.engine.recount(self.graph, classify(states));
+        self.engine.recount(self.graph.get(), classify(states));
         self.round += 1;
     }
 
@@ -464,7 +497,7 @@ impl<'g> TwoStateProcess<'g> {
         self.random_bits += draws;
         let states = &self.states;
         self.engine
-            .recount_par(self.graph, threads, classify(states));
+            .recount_par(self.graph.get(), threads, classify(states));
         self.round += 1;
     }
 
@@ -478,7 +511,7 @@ impl<'g> TwoStateProcess<'g> {
         let round = self.round as u64;
         let counter = self.counter;
         let states = &self.states;
-        let graph = self.graph;
+        let graph = self.graph.get();
         let draws = self.engine.par_round(
             graph,
             &self.worklist,
@@ -510,7 +543,7 @@ impl<'g> TwoStateProcess<'g> {
 
 impl Process for TwoStateProcess<'_> {
     fn n(&self) -> usize {
-        self.graph.n()
+        self.graph.get().n()
     }
 
     fn round(&self) -> usize {
@@ -521,7 +554,7 @@ impl Process for TwoStateProcess<'_> {
         let dense = match self.strategy {
             RoundStrategy::Sparse => false,
             RoundStrategy::Dense => true,
-            RoundStrategy::Auto => self.engine.prefers_dense(self.graph),
+            RoundStrategy::Auto => self.engine.prefers_dense(self.graph.get()),
         };
         self.last_round_dense = dense;
         match (self.mode, dense) {
@@ -777,6 +810,62 @@ mod tests {
                 .count();
             assert_eq!(p.black_neighbor_count(u), expected);
         }
+    }
+
+    #[test]
+    fn apply_mutation_matches_fresh_process_on_mutated_graph() {
+        let mut r = rng(401);
+        let g = generators::gnp(40, 0.15, &mut r);
+        let mut p = TwoStateProcess::with_init(&g, InitStrategy::Random, &mut r);
+        for _ in 0..5 {
+            p.step(&mut r);
+        }
+        let (eu, ev) = g.edges().next().expect("dense gnp has an edge");
+        let mut delta = GraphDelta::new();
+        delta
+            .remove_edge(eu, ev)
+            .add_edge(0, g.n() - 1)
+            .add_vertex([0, 1])
+            .detach_vertex(2);
+        let committed = p.apply_mutation(&delta).unwrap();
+        assert_eq!(committed.old_n, g.n());
+        assert_eq!(committed.new_n, g.n() + 1);
+        assert_eq!(p.n(), g.n() + 1);
+        assert_eq!(p.color(g.n()), Color::White, "joined vertex starts white");
+        // Oracle: a fresh process on the mutated graph with the same states
+        // must have identical bookkeeping.
+        let g2 = p.graph().clone();
+        let fresh = TwoStateProcess::new(&g2, p.states());
+        assert_eq!(fresh.counts(), p.counts());
+        for u in g2.vertices() {
+            assert_eq!(fresh.is_active(u), p.is_active(u), "active {u}");
+            assert_eq!(fresh.is_stable(u), p.is_stable(u), "stable {u}");
+            assert_eq!(
+                fresh.black_neighbor_count(u),
+                p.black_neighbor_count(u),
+                "black_nbrs {u}"
+            );
+        }
+        // And it re-stabilizes (incrementally) to an MIS of the NEW graph.
+        p.run_to_stabilization(&mut r, 100_000).unwrap();
+        assert!(mis_check::is_mis(&g2, &p.black_set()));
+    }
+
+    #[test]
+    fn invalid_mutation_leaves_state_untouched() {
+        let g = generators::path(4);
+        let mut p = TwoStateProcess::new(
+            &g,
+            vec![Color::White, Color::Black, Color::White, Color::White],
+        );
+        let before_states = p.states();
+        let before_counts = p.counts();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(0, 99); // out of range
+        assert!(p.apply_mutation(&delta).is_err());
+        assert_eq!(p.states(), before_states);
+        assert_eq!(p.counts(), before_counts);
+        assert_eq!(p.n(), 4);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 mod builder;
 mod csr;
+mod delta;
 mod error;
 mod subgraph;
 mod vertex_set;
@@ -57,6 +58,7 @@ pub mod union_find;
 
 pub use builder::GraphBuilder;
 pub use csr::{CompactId, Graph, NeighborIter, Neighbors};
+pub use delta::{CommittedDelta, DynamicGraph, GraphDelta, Mutation};
 pub use error::GraphError;
 pub use subgraph::InducedSubgraph;
 pub use vertex_set::VertexSet;

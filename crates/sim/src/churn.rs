@@ -1,0 +1,386 @@
+//! Churn burst generation: turns a [`ChurnScenario`] into a concrete
+//! [`GraphDelta`] against the algorithm's *current* graph.
+//!
+//! The driver ([`drive_algorithm`](crate::runner::drive_algorithm)) calls
+//! [`generate_burst`] with the trial's RNG stream each time a
+//! [`ChurnSpec`](crate::spec::ChurnSpec) fires, then applies the delta
+//! through [`Algorithm::apply_mutation`](mis_core::Algorithm::apply_mutation)
+//! so the process re-stabilizes incrementally from its current
+//! configuration instead of restarting. Burst generation is a pure function
+//! of `(scenario, graph, rng)` — trials stay reproducible under churn.
+
+use mis_graph::{Graph, GraphDelta, VertexId};
+use rand::Rng;
+
+use crate::spec::ChurnScenario;
+
+/// Draws a Poisson(λ) variate.
+///
+/// Knuth's product-of-uniforms method for small `λ`; for large `λ` (where
+/// the product would underflow and cost Θ(λ) uniforms) a normal
+/// approximation `λ + √λ·z` via Box–Muller, clamped at zero. The crossover
+/// at 30 keeps both branches well inside their accuracy ranges.
+fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let v: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let z = (-2.0 * u.ln()).sqrt() * v.cos();
+        return (lambda + lambda.sqrt() * z).round().max(0.0) as usize;
+    }
+    let threshold = (-lambda).exp();
+    let mut product: f64 = 1.0;
+    let mut count = 0usize;
+    loop {
+        product *= rng.gen_range(0.0..1.0f64);
+        if product <= threshold {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+/// Samples one endpoint slot of a uniformly random edge: `prefix` is the
+/// exclusive prefix-sum of degrees (length `n + 1`, last entry `2m`).
+fn random_edge<R: Rng + ?Sized>(
+    graph: &Graph,
+    prefix: &[usize],
+    rng: &mut R,
+) -> (VertexId, VertexId) {
+    let slot = rng.gen_range(0..*prefix.last().unwrap());
+    // First vertex whose range of adjacency slots contains `slot`.
+    let u = match prefix.binary_search(&slot) {
+        Ok(mut i) => {
+            // Skip zero-degree vertices that share the same prefix value.
+            while prefix[i + 1] == slot {
+                i += 1;
+            }
+            i
+        }
+        Err(i) => i - 1,
+    };
+    let v = graph.neighbors(u).as_compact()[slot - prefix[u]].index();
+    (u.min(v), u.max(v))
+}
+
+/// Generates one churn burst against `graph`.
+///
+/// The returned delta is always valid for `graph` (`Graph::apply_delta`
+/// cannot fail on it): removals name existing edges, insertions name
+/// current non-edges, and joins/leaves reference in-range vertices.
+///
+/// # Panics
+///
+/// Panics if a [`ChurnScenario::RegionFailure`] fraction is outside
+/// `[0, 1]`, or if an insertion scenario targets a graph too dense (or too
+/// small) to hold the requested number of new edges.
+pub fn generate_burst<R: Rng + ?Sized>(
+    scenario: ChurnScenario,
+    graph: &Graph,
+    rng: &mut R,
+) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    match scenario {
+        ChurnScenario::EdgeChurn { fraction } => {
+            let lambda = fraction * graph.m() as f64;
+            let remove = poisson(lambda, rng).min(graph.m());
+            let insert = poisson(lambda, rng);
+            edge_churn(graph, remove, insert, rng, &mut delta);
+        }
+        ChurnScenario::JoinLeave { join, leave } => {
+            join_leave(graph, join, leave, rng, &mut delta);
+        }
+        ChurnScenario::RegionFailure { fraction } => {
+            assert!(
+                (0.0..=1.0).contains(&fraction),
+                "region-failure fraction {fraction} outside [0, 1]"
+            );
+            let k = ((fraction * graph.n() as f64).ceil() as usize).min(graph.n());
+            for u in bfs_region(graph, k, rng) {
+                delta.detach_vertex(u);
+            }
+        }
+    }
+    delta
+}
+
+fn edge_churn<R: Rng + ?Sized>(
+    graph: &Graph,
+    remove: usize,
+    insert: usize,
+    rng: &mut R,
+    delta: &mut GraphDelta,
+) {
+    let n = graph.n();
+    if n < 2 {
+        return;
+    }
+    // Removals: uniform random distinct edges, sampled by adjacency slot.
+    if remove > 0 && graph.m() > 0 {
+        let mut prefix = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        prefix.push(0);
+        for u in graph.vertices() {
+            acc += graph.degree(u);
+            prefix.push(acc);
+        }
+        let mut removed = std::collections::HashSet::new();
+        // Rejection sampling over edges; bounded retries keep a burst that
+        // asks for nearly all edges from looping forever.
+        let mut attempts = 0usize;
+        while removed.len() < remove && attempts < 20 * remove + 100 {
+            attempts += 1;
+            let e = random_edge(graph, &prefix, rng);
+            if removed.insert(e) {
+                delta.remove_edge(e.0, e.1);
+            }
+        }
+    }
+    // Insertions: uniform random non-edges (also not inserted twice).
+    let max_new = n * (n - 1) / 2 - graph.m();
+    let insert = insert.min(max_new);
+    let mut inserted = std::collections::HashSet::new();
+    let mut attempts = 0usize;
+    while inserted.len() < insert && attempts < 20 * insert + 100 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || graph.neighbors(u).contains(v) {
+            continue;
+        }
+        let e = (u.min(v), u.max(v));
+        if inserted.insert(e) {
+            delta.add_edge(e.0, e.1);
+        }
+    }
+}
+
+fn join_leave<R: Rng + ?Sized>(
+    graph: &Graph,
+    join: usize,
+    leave: usize,
+    rng: &mut R,
+    delta: &mut GraphDelta,
+) {
+    let n = graph.n();
+    // Arrivals: each new vertex wires to ~average-degree uniformly random
+    // existing vertices (at least one when the graph is non-empty), so the
+    // wave preserves the sparsity regime.
+    let avg_degree = if n == 0 {
+        0
+    } else {
+        ((2 * graph.m()) as f64 / n as f64).round() as usize
+    };
+    let targets_per_join = avg_degree.clamp(usize::from(n > 0), n);
+    for _ in 0..join {
+        let mut targets: Vec<VertexId> = Vec::with_capacity(targets_per_join);
+        // New vertices attach to *pre-existing* vertices only: ids >= n are
+        // other arrivals of this same burst, which keeps the generated ops
+        // independent of arrival order.
+        let mut attempts = 0usize;
+        while targets.len() < targets_per_join && attempts < 20 * targets_per_join + 100 {
+            attempts += 1;
+            let t = rng.gen_range(0..n.max(1));
+            if n > 0 && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        delta.add_vertex(targets);
+    }
+    // Departures: distinct uniformly random existing vertices.
+    let leave = leave.min(n);
+    let mut leaving = std::collections::HashSet::new();
+    while leaving.len() < leave {
+        let u = rng.gen_range(0..n);
+        if leaving.insert(u) {
+            delta.detach_vertex(u);
+        }
+    }
+}
+
+/// Collects a BFS-contiguous region of (up to) `k` vertices starting from a
+/// uniformly random seed; when a component is exhausted before `k` vertices
+/// are found, the BFS restarts from a fresh random unvisited vertex, so the
+/// failure stays as contiguous as the topology allows.
+fn bfs_region<R: Rng + ?Sized>(graph: &Graph, k: usize, rng: &mut R) -> Vec<VertexId> {
+    let n = graph.n();
+    let k = k.min(n);
+    let mut visited = vec![false; n];
+    let mut region = Vec::with_capacity(k);
+    let mut queue = std::collections::VecDeque::new();
+    while region.len() < k {
+        if queue.is_empty() {
+            // Random unvisited restart seed.
+            let mut seed = rng.gen_range(0..n);
+            while visited[seed] {
+                seed = (seed + 1) % n;
+            }
+            visited[seed] = true;
+            queue.push_back(seed);
+        }
+        let u = queue.pop_front().expect("queue refilled above");
+        region.push(u);
+        if region.len() == k {
+            break;
+        }
+        for v in graph.neighbors(u) {
+            if !visited[v] {
+                visited[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    region
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// One representative instance per [`ChurnScenario`] variant, built
+    /// through an exhaustive `match` (no wildcard arm): adding a variant
+    /// without extending this list is a compile error, which forces the
+    /// author to also handle it in `generate_burst`.
+    fn one_of_each_scenario() -> Vec<ChurnScenario> {
+        fn witness(scenario: ChurnScenario) -> ChurnScenario {
+            match scenario {
+                ChurnScenario::EdgeChurn { .. }
+                | ChurnScenario::JoinLeave { .. }
+                | ChurnScenario::RegionFailure { .. } => scenario,
+            }
+        }
+        vec![
+            witness(ChurnScenario::EdgeChurn { fraction: 0.1 }),
+            witness(ChurnScenario::JoinLeave { join: 3, leave: 2 }),
+            witness(ChurnScenario::RegionFailure { fraction: 0.2 }),
+        ]
+    }
+
+    /// Burst generation is a pure function of `(scenario, graph, rng)`:
+    /// the same seed yields the same delta, a different seed a different
+    /// one (for every variant).
+    #[test]
+    fn burst_generation_is_deterministic_for_every_scenario() {
+        let g = generators::gnp(60, 0.1, &mut rng(1));
+        for scenario in one_of_each_scenario() {
+            let a = generate_burst(scenario, &g, &mut rng(7));
+            let b = generate_burst(scenario, &g, &mut rng(7));
+            assert_eq!(a, b, "{}", scenario.label());
+            let c = generate_burst(scenario, &g, &mut rng(8));
+            assert_ne!(a, c, "{}", scenario.label());
+        }
+    }
+
+    /// Every generated burst must apply cleanly to the graph it was
+    /// generated from.
+    #[test]
+    fn bursts_apply_cleanly_for_every_scenario() {
+        let g = generators::gnp(60, 0.1, &mut rng(2));
+        for scenario in one_of_each_scenario() {
+            let delta = generate_burst(scenario, &g, &mut rng(3));
+            let (g2, committed) = g.apply_delta(&delta).unwrap_or_else(|e| {
+                panic!("{}: invalid burst: {e}", scenario.label());
+            });
+            assert_eq!(committed.old_n, g.n());
+            assert_eq!(g2.n(), committed.new_n);
+        }
+    }
+
+    #[test]
+    fn edge_churn_moves_roughly_the_requested_volume() {
+        let g = generators::gnp(200, 0.1, &mut rng(4));
+        let m = g.m() as f64;
+        let mut total_removed = 0usize;
+        let mut total_inserted = 0usize;
+        let rounds = 30;
+        let mut r = rng(5);
+        for _ in 0..rounds {
+            let delta = generate_burst(ChurnScenario::EdgeChurn { fraction: 0.05 }, &g, &mut r);
+            let (_, committed) = g.apply_delta(&delta).unwrap();
+            total_removed += committed.removed.len();
+            total_inserted += committed.inserted.len();
+        }
+        let expect = 0.05 * m * rounds as f64;
+        for (what, total) in [("removed", total_removed), ("inserted", total_inserted)] {
+            assert!(
+                (total as f64) > 0.5 * expect && (total as f64) < 1.5 * expect,
+                "{what} {total} far from expected {expect:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_leave_changes_vertex_population() {
+        let g = generators::gnp(50, 0.1, &mut rng(6));
+        let delta = generate_burst(
+            ChurnScenario::JoinLeave { join: 4, leave: 3 },
+            &g,
+            &mut r9(),
+        );
+        let (g2, committed) = g.apply_delta(&delta).unwrap();
+        assert_eq!(g2.n(), g.n() + 4);
+        assert_eq!(committed.new_n, g.n() + 4);
+        // Arrivals are wired: the new ids have at least one edge each.
+        for u in g.n()..g2.n() {
+            assert!(g2.degree(u) >= 1, "arrival {u} left isolated");
+        }
+    }
+
+    fn r9() -> ChaCha8Rng {
+        rng(9)
+    }
+
+    #[test]
+    fn region_failure_detaches_a_connected_region() {
+        let g = generators::grid(10, 10);
+        let delta = generate_burst(
+            ChurnScenario::RegionFailure { fraction: 0.25 },
+            &g,
+            &mut rng(10),
+        );
+        let (g2, committed) = g.apply_delta(&delta).unwrap();
+        assert_eq!(g2.n(), g.n());
+        // 25 vertices detached: they are isolated afterwards.
+        let isolated = g2.vertices().filter(|&u| g2.degree(u) == 0).count();
+        assert!(
+            isolated >= 25,
+            "only {isolated} isolated after region failure"
+        );
+        assert!(!committed.removed.is_empty());
+        assert!(committed.inserted.is_empty());
+    }
+
+    #[test]
+    fn poisson_sampler_tracks_its_mean() {
+        let mut r = rng(11);
+        for lambda in [0.5, 4.0, 40.0, 400.0] {
+            let samples = 2000;
+            let total: usize = (0..samples).map(|_| poisson(lambda, &mut r)).sum();
+            let mean = total as f64 / samples as f64;
+            assert!(
+                (mean - lambda).abs() < 4.0 * (lambda / samples as f64).sqrt() + 0.1,
+                "poisson({lambda}) sample mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs_do_not_panic() {
+        for n in [0usize, 1, 2] {
+            let g = Graph::empty(n);
+            for scenario in one_of_each_scenario() {
+                let delta = generate_burst(scenario, &g, &mut rng(12));
+                g.apply_delta(&delta).unwrap();
+            }
+        }
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`observer`] — streaming per-round telemetry
 //!   ([`observer::Observer`]): traces, CSV emission, and custom metrics all
 //!   feed off the one drive loop in [`runner::drive_algorithm`].
+//! * [`churn`] — dynamic-graph burst generation for the live-mutation
+//!   experiments: a [`spec::ChurnSpec`] mutates the running algorithm's
+//!   graph through [`mis_core::Algorithm::apply_mutation`] and the trial
+//!   measures incremental re-stabilization.
 //! * [`metrics`] — per-trial results and optional per-round traces.
 //! * [`stats`] — summary statistics (mean, quantiles, standard deviation)
 //!   used by the experiment tables.
@@ -52,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod fault;
 pub mod metrics;
 pub mod observer;
@@ -61,11 +66,14 @@ pub mod spec;
 pub mod stats;
 pub mod sweep;
 
+pub use churn::generate_burst;
 pub use metrics::{RoundTrace, TrialResult};
 pub use observer::{CsvRoundObserver, EventLogObserver, Observer, TraceObserver};
 pub use registry::{builtin_registry, register_builtin_algorithms};
 pub use runner::{
     drive_algorithm, run_experiment, run_experiment_with, DriveOutcome, ExperimentResult,
 };
-pub use spec::{ExperimentSpec, FaultSpec, GraphSpec, ProcessSelector, SchedulerSpec};
+#[allow(deprecated)]
+pub use spec::ProcessSelector;
+pub use spec::{ChurnScenario, ChurnSpec, ExperimentSpec, FaultSpec, GraphSpec, SchedulerSpec};
 pub use stats::Summary;

@@ -15,6 +15,7 @@
 //! the API's existence.
 
 use mis_core::StateCounts;
+use mis_graph::CommittedDelta;
 
 use crate::metrics::RoundTrace;
 
@@ -42,6 +43,15 @@ pub trait Observer {
     /// state actually changed.
     fn on_fault_injection(&mut self, round: usize, corrupted: usize) {
         let _ = (round, corrupted);
+    }
+
+    /// Called after each churn burst is applied to the live graph, with the
+    /// net topology diff the algorithm absorbed. Like a fault injection, a
+    /// topology change re-emits the current round via
+    /// [`on_round`](Self::on_round) right after this callback, so recovery
+    /// curves include the post-mutation unstable spike.
+    fn on_topology_change(&mut self, round: usize, delta: &CommittedDelta) {
+        let _ = (round, delta);
     }
 }
 
@@ -91,6 +101,17 @@ pub enum ObserverEvent {
         round: usize,
         /// Vertices whose state actually changed.
         corrupted: usize,
+    },
+    /// A churn burst mutated the live graph.
+    TopologyChange {
+        /// Round at which the burst hit.
+        round: usize,
+        /// Edges inserted by the burst (net of cancellations).
+        inserted: usize,
+        /// Edges removed by the burst (net of cancellations).
+        removed: usize,
+        /// Vertex count after the burst.
+        new_n: usize,
     },
 }
 
@@ -143,6 +164,15 @@ impl Observer for EventLogObserver {
     fn on_fault_injection(&mut self, round: usize, corrupted: usize) {
         self.events
             .push(ObserverEvent::FaultInjection { round, corrupted });
+    }
+
+    fn on_topology_change(&mut self, round: usize, delta: &CommittedDelta) {
+        self.events.push(ObserverEvent::TopologyChange {
+            round,
+            inserted: delta.inserted.len(),
+            removed: delta.removed.len(),
+            new_n: delta.new_n,
+        });
     }
 }
 
@@ -233,6 +263,27 @@ mod tests {
         let o = EventLogObserver::new();
         assert_eq!(o.stabilized_at(), None);
         assert_eq!(o.total_corrupted(), 0);
+    }
+
+    #[test]
+    fn event_log_records_topology_changes() {
+        let mut o = EventLogObserver::new();
+        let delta = CommittedDelta {
+            old_n: 4,
+            new_n: 5,
+            inserted: vec![(0, 4)],
+            removed: vec![(1, 2), (2, 3)],
+        };
+        o.on_topology_change(6, &delta);
+        assert_eq!(
+            o.events,
+            vec![ObserverEvent::TopologyChange {
+                round: 6,
+                inserted: 1,
+                removed: 2,
+                new_n: 5
+            }]
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub fn builtin_registry() -> &'static Registry {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy ProcessSelector → registry mapping is under test
 mod tests {
     use super::*;
     use crate::spec::ProcessSelector;

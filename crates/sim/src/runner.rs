@@ -29,12 +29,11 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::churn::generate_burst;
 use crate::metrics::{RoundTrace, TrialResult};
 use crate::observer::{Observer, TraceObserver};
 use crate::registry::builtin_registry;
-#[cfg(test)]
-use crate::spec::ProcessSelector;
-use crate::spec::{ExperimentSpec, FaultSpec};
+use crate::spec::{ChurnSpec, ExperimentSpec, FaultSpec};
 use crate::stats::Summary;
 
 /// Salt mixed into the per-trial seed to key the counter-based RNG of
@@ -152,6 +151,10 @@ fn run_trial_on(
         spec.fault.is_none() || alg.supports_fault_injection(),
         "algorithm '{key}' does not support fault injection"
     );
+    assert!(
+        spec.churn.is_none() || alg.supports_topology_change(),
+        "algorithm '{key}' does not support topology changes (churn)"
+    );
 
     let mut scheduler = spec.scheduler.build();
     let mut trace_observer = (spec.record_trace && alg.supports_trace()).then(TraceObserver::new);
@@ -166,17 +169,21 @@ fn run_trial_on(
             &mut rng,
             spec.max_rounds,
             spec.fault,
+            spec.churn,
             &mut observers,
         )
     };
     outcome.trace = trace_observer.map(TraceObserver::into_trace);
 
-    let valid_mis = outcome.stabilized && mis_check::is_mis(graph, &outcome.black_set);
+    // Under churn the algorithm ends on a *mutated* graph: validate (and
+    // report n/m) against the topology it actually stabilized on.
+    let final_graph = alg.current_graph().unwrap_or(graph);
+    let valid_mis = outcome.stabilized && mis_check::is_mis(final_graph, &outcome.black_set);
     TrialResult {
         trial,
         seed,
-        n: graph.n(),
-        m: graph.m(),
+        n: final_graph.n(),
+        m: final_graph.m(),
         rounds: outcome.rounds,
         stabilized: outcome.stabilized,
         valid_mis,
@@ -248,18 +255,34 @@ pub struct DriveOutcome {
 /// the activated vertices, and observers see the aggregate counts. A
 /// [`FaultSpec`] fires once — at stabilization or at its `at_round`,
 /// whichever comes first — after which the loop continues until
-/// re-stabilization.
+/// re-stabilization. A [`ChurnSpec`] fires its first burst the same way,
+/// mutating the live graph through [`Algorithm::apply_mutation`];
+/// subsequent bursts each fire at the next re-stabilization.
 ///
 /// When `observers` is empty, per-round [`Algorithm::counts`] calls are
 /// skipped entirely (they are `O(n + m)` for the communication models).
+///
+/// # Panics
+///
+/// Panics if `churn` is set but the algorithm's
+/// [`supports_topology_change`](mis_core::Algorithm::supports_topology_change)
+/// is `false`, or if a generated burst is rejected by the algorithm (the
+/// burst generator only emits deltas valid for the current graph, so a
+/// rejection indicates a bug, not bad input).
+#[allow(clippy::too_many_arguments)]
 pub fn drive_algorithm(
     alg: &mut dyn Algorithm,
     scheduler: &mut dyn Scheduler,
     rng: &mut dyn RngCore,
     max_rounds: usize,
     fault: Option<FaultSpec>,
+    churn: Option<ChurnSpec>,
     observers: &mut [&mut dyn Observer],
 ) -> DriveOutcome {
+    assert!(
+        churn.is_none() || alg.supports_topology_change(),
+        "churn was scheduled for an algorithm without topology-change support"
+    );
     let observe = !observers.is_empty();
     if observe {
         let counts = alg.counts();
@@ -268,6 +291,9 @@ pub fn drive_algorithm(
         }
     }
     let mut pending_fault = fault;
+    // (spec, remaining bursts, round bound for the *next* burst). Only the
+    // first burst honors `at_round`; later bursts wait for re-stabilization.
+    let mut pending_churn = churn.and_then(|c| (c.bursts > 0).then_some((c, c.bursts, c.at_round)));
     let mut stabilized = alg.is_stabilized();
     loop {
         if let Some(f) = pending_fault {
@@ -280,6 +306,33 @@ pub fn drive_algorithm(
                 if observe {
                     // Re-emit the current round with the post-corruption
                     // counts: the unstable spike recovery curves measure.
+                    let counts = alg.counts();
+                    for obs in observers.iter_mut() {
+                        obs.on_round(alg.round(), &counts);
+                    }
+                }
+                stabilized = alg.is_stabilized();
+                continue;
+            }
+        }
+        if let Some((c, remaining, at_round)) = pending_churn {
+            if stabilized || alg.round() >= at_round {
+                let delta = {
+                    let graph = alg
+                        .current_graph()
+                        .expect("topology-change support implies a current graph");
+                    generate_burst(c.scenario, graph, rng)
+                };
+                let committed = alg
+                    .apply_mutation(&delta)
+                    .expect("generated burst must be valid for the current graph");
+                pending_churn = (remaining > 1).then_some((c, remaining - 1, usize::MAX));
+                for obs in observers.iter_mut() {
+                    obs.on_topology_change(alg.round(), &committed);
+                }
+                if observe {
+                    // Re-emit the current round with the post-mutation
+                    // counts: the unstable spike re-stabilization measures.
                     let counts = alg.counts();
                     for obs in observers.iter_mut() {
                         obs.on_round(alg.round(), &counts);
@@ -344,15 +397,15 @@ pub fn stabilization_time_two_state(
 mod tests {
     use super::*;
     use crate::observer::{EventLogObserver, ObserverEvent};
-    use crate::spec::{GraphSpec, SchedulerSpec};
+    use crate::spec::{ChurnScenario, GraphSpec, SchedulerSpec};
     use mis_core::init::InitStrategy;
     use mis_core::ExecutionMode;
 
-    fn base_spec(process: ProcessSelector) -> ExperimentSpec {
+    fn base_spec(algorithm: &str) -> ExperimentSpec {
         ExperimentSpec {
             name: "unit".into(),
             graph: GraphSpec::Gnp { n: 60, p: 0.08 },
-            process,
+            algorithm: Some(algorithm.into()),
             init: InitStrategy::Random,
             execution: ExecutionMode::Sequential,
             trials: 6,
@@ -363,10 +416,17 @@ mod tests {
         }
     }
 
+    /// The legacy selector shim still resolves every variant through the
+    /// registry.
     #[test]
+    #[allow(deprecated)]
     fn every_process_kind_produces_valid_mis() {
+        use crate::spec::ProcessSelector;
         for process in ProcessSelector::all() {
-            let result = run_experiment(&base_spec(process));
+            let mut spec = base_spec("two-state");
+            spec.algorithm = None;
+            spec.process = process;
+            let result = run_experiment(&spec);
             assert_eq!(result.trials.len(), 6);
             assert!(result.all_stabilized(), "{process:?}");
             assert!(result.all_valid(), "{process:?}");
@@ -377,8 +437,7 @@ mod tests {
     #[test]
     fn every_registry_algorithm_produces_valid_mis() {
         for key in builtin_registry().keys() {
-            let mut spec = base_spec(ProcessSelector::TwoState);
-            spec.algorithm = Some(key.to_string());
+            let mut spec = base_spec(key);
             spec.trials = 3;
             let result = run_experiment(&spec);
             assert!(result.all_stabilized(), "{key}");
@@ -389,14 +448,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "no algorithm 'does-not-exist'")]
     fn unknown_algorithm_key_panics_with_known_keys() {
-        let mut spec = base_spec(ProcessSelector::TwoState);
-        spec.algorithm = Some("does-not-exist".into());
+        let spec = base_spec("does-not-exist");
         run_trial(&spec, 0);
     }
 
     #[test]
     fn sequential_selfstab_respects_move_bound() {
-        let mut spec = base_spec(ProcessSelector::SequentialSelfStab);
+        let mut spec = base_spec("sequential-selfstab");
         spec.trials = 4;
         let result = run_experiment(&spec);
         assert!(result.all_valid());
@@ -413,7 +471,7 @@ mod tests {
 
     #[test]
     fn greedy_is_a_single_pass() {
-        let result = run_experiment(&base_spec(ProcessSelector::Greedy));
+        let result = run_experiment(&base_spec("greedy"));
         assert!(result.all_valid());
         for t in &result.trials {
             assert_eq!(t.rounds, 1);
@@ -444,7 +502,7 @@ mod tests {
 
     #[test]
     fn trials_are_reproducible() {
-        let spec = base_spec(ProcessSelector::TwoState);
+        let spec = base_spec("two-state");
         let a = run_experiment(&spec);
         let b = run_experiment(&spec);
         assert_eq!(a, b);
@@ -455,7 +513,7 @@ mod tests {
         // run_experiment shares one Arc<Graph> across trials for the
         // deterministic complete-graph family; the per-trial path must give
         // the exact same results.
-        let mut spec = base_spec(ProcessSelector::TwoState);
+        let mut spec = base_spec("two-state");
         spec.graph = GraphSpec::Complete { n: 48 };
         spec.trials = 4;
         let shared = run_experiment(&spec);
@@ -467,31 +525,27 @@ mod tests {
 
     #[test]
     fn parallel_execution_produces_valid_thread_count_invariant_results() {
-        for process in [
-            ProcessSelector::TwoState,
-            ProcessSelector::ThreeState,
-            ProcessSelector::ThreeColor,
-        ] {
-            let mut spec = base_spec(process);
+        for key in ["two-state", "three-state", "three-color"] {
+            let mut spec = base_spec(key);
             spec.trials = 3;
             let mut per_thread_results = Vec::new();
             for threads in [1usize, 4] {
                 spec.execution = ExecutionMode::Parallel { threads };
                 let result = run_experiment(&spec);
-                assert!(result.all_stabilized(), "{process:?}");
-                assert!(result.all_valid(), "{process:?}");
+                assert!(result.all_stabilized(), "{key}");
+                assert!(result.all_valid(), "{key}");
                 per_thread_results.push(result.trials);
             }
             assert_eq!(
                 per_thread_results[0], per_thread_results[1],
-                "{process:?}: results must not depend on the thread count"
+                "{key}: results must not depend on the thread count"
             );
         }
     }
 
     #[test]
     fn different_seeds_change_outcomes() {
-        let mut spec = base_spec(ProcessSelector::TwoState);
+        let mut spec = base_spec("two-state");
         let a = run_experiment(&spec);
         spec.base_seed = 999;
         let b = run_experiment(&spec);
@@ -503,7 +557,7 @@ mod tests {
 
     #[test]
     fn trace_recording_captures_monotone_unstable_counts() {
-        let mut spec = base_spec(ProcessSelector::TwoState);
+        let mut spec = base_spec("two-state");
         spec.record_trace = true;
         spec.trials = 2;
         let result = run_experiment(&spec);
@@ -525,25 +579,18 @@ mod tests {
         // The legacy harness reported `trace: None` for Luby/greedy/
         // sequential even when a trace was requested; the registry path
         // preserves that via the supports_trace capability.
-        for process in [
-            ProcessSelector::Luby,
-            ProcessSelector::Greedy,
-            ProcessSelector::SequentialSelfStab,
-        ] {
-            let mut spec = base_spec(process);
+        for key in ["luby", "greedy", "sequential-selfstab"] {
+            let mut spec = base_spec(key);
             spec.record_trace = true;
             spec.trials = 2;
             let result = run_experiment(&spec);
-            assert!(
-                result.trials.iter().all(|t| t.trace.is_none()),
-                "{process:?}"
-            );
+            assert!(result.trials.iter().all(|t| t.trace.is_none()), "{key}");
         }
     }
 
     #[test]
     fn timeout_is_reported_not_panicked() {
-        let mut spec = base_spec(ProcessSelector::TwoState);
+        let mut spec = base_spec("two-state");
         spec.graph = GraphSpec::Complete { n: 256 };
         spec.max_rounds = 1; // far too small
         spec.trials = 2;
@@ -600,7 +647,7 @@ mod tests {
     #[should_panic(expected = "does not support the central-daemon scheduler")]
     fn partial_activation_capability_is_enforced() {
         let spec = ExperimentSpec::builder()
-            .process(ProcessSelector::Luby)
+            .algorithm("luby")
             .scheduler(SchedulerSpec::CentralDaemon)
             .build();
         run_trial(&spec, 0);
@@ -610,8 +657,20 @@ mod tests {
     #[should_panic(expected = "does not support fault injection")]
     fn fault_injection_capability_is_enforced() {
         let spec = ExperimentSpec::builder()
-            .process(ProcessSelector::Greedy)
+            .algorithm("greedy")
             .fault(FaultSpec::after_stabilization(0.5))
+            .build();
+        run_trial(&spec, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support topology changes")]
+    fn topology_change_capability_is_enforced() {
+        let spec = ExperimentSpec::builder()
+            .algorithm("luby")
+            .churn(ChurnSpec::after_stabilization(ChurnScenario::EdgeChurn {
+                fraction: 0.05,
+            }))
             .build();
         run_trial(&spec, 0);
     }
@@ -651,6 +710,7 @@ mod tests {
                 &mut rng,
                 spec.max_rounds,
                 spec.fault,
+                spec.churn,
                 &mut observers,
             )
         };
@@ -678,6 +738,120 @@ mod tests {
             }
             other => panic!("expected a post-fault Round event, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn churn_recovers_to_a_valid_mis_on_the_mutated_graph() {
+        for key in ["two-state", "three-state", "three-color"] {
+            for scenario in [
+                ChurnScenario::EdgeChurn { fraction: 0.05 },
+                ChurnScenario::JoinLeave { join: 6, leave: 4 },
+                ChurnScenario::RegionFailure { fraction: 0.1 },
+            ] {
+                let spec = ExperimentSpec::builder()
+                    .name("churn")
+                    .graph(GraphSpec::Gnp { n: 80, p: 0.08 })
+                    .algorithm(key)
+                    .churn(ChurnSpec::after_stabilization(scenario))
+                    .trials(3)
+                    .base_seed(17)
+                    .build();
+                let result = run_experiment(&spec);
+                assert!(result.all_stabilized(), "{key} / {}", scenario.label());
+                // all_valid checks the MIS against the *mutated* graph
+                // (run_trial_on validates against current_graph()).
+                assert!(result.all_valid(), "{key} / {}", scenario.label());
+                if let ChurnScenario::JoinLeave { join, .. } = scenario {
+                    for t in &result.trials {
+                        assert_eq!(t.n, 80 + join, "reported n must be post-churn");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_notifies_observers_and_compounds_over_bursts() {
+        let spec = ExperimentSpec::builder()
+            .name("churn-bursts")
+            .graph(GraphSpec::Gnp { n: 80, p: 0.08 })
+            .algorithm("two-state")
+            .churn(
+                ChurnSpec::after_stabilization(ChurnScenario::JoinLeave { join: 3, leave: 2 })
+                    .bursts(3),
+            )
+            .trials(1)
+            .base_seed(29)
+            .build();
+        // Run the whole experiment first: every burst must still end in a
+        // valid MIS of the final topology.
+        let result = run_experiment(&spec);
+        assert!(result.all_stabilized());
+        assert!(result.all_valid());
+        assert_eq!(result.trials[0].n, 80 + 3 * 3, "three join waves compound");
+
+        // Re-drive the trial with an event log to check the observer
+        // protocol: three TopologyChange events, then re-stabilization.
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.base_seed);
+        let graph = spec.graph.generate(&mut rng);
+        let factory = builtin_registry().get(spec.algorithm_key()).unwrap();
+        let config = AlgorithmConfig {
+            init: spec.init,
+            execution: spec.execution,
+            strategy: spec.strategy,
+            counter_seed: spec.base_seed ^ COUNTER_SEED_SALT,
+        };
+        let mut alg = factory.init(&graph, &config, &mut rng);
+        let mut scheduler = spec.scheduler.build();
+        let mut log = EventLogObserver::new();
+        let outcome = {
+            let mut observers: Vec<&mut dyn Observer> = vec![&mut log];
+            drive_algorithm(
+                alg.as_mut(),
+                scheduler.as_mut(),
+                &mut rng,
+                spec.max_rounds,
+                spec.fault,
+                spec.churn,
+                &mut observers,
+            )
+        };
+        assert!(outcome.stabilized);
+        let changes: Vec<_> = log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ObserverEvent::TopologyChange { new_n, .. } => Some(*new_n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            changes,
+            vec![83, 86, 89],
+            "one event per burst, compounding"
+        );
+        assert_eq!(alg.current_graph().unwrap().n(), 89);
+        assert!(mis_check::is_mis(
+            alg.current_graph().unwrap(),
+            &outcome.black_set
+        ));
+    }
+
+    #[test]
+    fn churn_trials_are_reproducible() {
+        let spec = ExperimentSpec::builder()
+            .name("churn-repro")
+            .graph(GraphSpec::Gnp { n: 60, p: 0.08 })
+            .algorithm("three-state")
+            .churn(ChurnSpec::after_stabilization(ChurnScenario::EdgeChurn {
+                fraction: 0.1,
+            }))
+            .trials(4)
+            .base_seed(31)
+            .build();
+        let a = run_experiment(&spec);
+        let b = run_experiment(&spec);
+        assert_eq!(a, b);
     }
 
     #[test]

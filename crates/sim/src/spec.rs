@@ -234,6 +234,142 @@ impl FaultSpec {
     }
 }
 
+/// What one churn burst does to the topology. Each variant is a dynamic-graph
+/// scenario the re-stabilization experiments exercise; bursts are generated
+/// by [`churn::generate_burst`](crate::churn::generate_burst) from the
+/// algorithm's *current* graph, so repeated bursts compound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChurnScenario {
+    /// Poisson edge churn: `Poisson(fraction · m)` random existing edges are
+    /// removed and an independently drawn `Poisson(fraction · m)` random
+    /// non-edges are inserted.
+    EdgeChurn {
+        /// Expected fraction of the current edge count that churns, in each
+        /// direction.
+        fraction: f64,
+    },
+    /// A node arrival/departure wave: `join` new vertices arrive (each wired
+    /// to roughly average-degree-many uniformly random existing vertices)
+    /// and `leave` uniformly random existing vertices depart (all their
+    /// edges are detached; ids are never reused).
+    JoinLeave {
+        /// Number of arriving vertices.
+        join: usize,
+        /// Number of departing vertices.
+        leave: usize,
+    },
+    /// A correlated regional failure: a BFS-contiguous region of
+    /// `ceil(fraction · n)` vertices goes silent (every incident edge is
+    /// detached), modeling the loss of a rack or geographic zone rather than
+    /// independent node failures.
+    RegionFailure {
+        /// Fraction of the vertices that fail together, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl ChurnScenario {
+    /// Short label for tables and CSV output.
+    pub fn label(&self) -> String {
+        match *self {
+            ChurnScenario::EdgeChurn { fraction } => format!("edge-churn(f={fraction})"),
+            ChurnScenario::JoinLeave { join, leave } => {
+                format!("join-leave(join={join},leave={leave})")
+            }
+            ChurnScenario::RegionFailure { fraction } => format!("region-failure(f={fraction})"),
+        }
+    }
+}
+
+/// Topology churn injected during a trial: once the algorithm has stabilized
+/// — or when round [`at_round`](Self::at_round) is reached, whichever comes
+/// first — a burst generated from [`scenario`](Self::scenario) mutates the
+/// live graph through [`Algorithm::apply_mutation`](mis_core::Algorithm),
+/// and the trial keeps running until the algorithm re-stabilizes on the
+/// mutated topology. With `bursts > 1`, each subsequent burst fires at the
+/// next re-stabilization.
+///
+/// Requires an algorithm whose
+/// [`supports_topology_change`](mis_core::Algorithm::supports_topology_change)
+/// is `true`; the driver rejects churn specs for the others up front.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSpec {
+    /// What each burst does to the topology.
+    pub scenario: ChurnScenario,
+    /// Latest round at which the first burst fires (it fires earlier if the
+    /// algorithm stabilizes first). `usize::MAX` — the default — means
+    /// "after stabilization only".
+    pub at_round: usize,
+    /// Number of bursts (default 1). Burst `i + 1` fires when the algorithm
+    /// has re-stabilized after burst `i`.
+    pub bursts: usize,
+}
+
+impl ChurnSpec {
+    /// A single burst of `scenario` right after the algorithm first
+    /// stabilizes — the standard re-stabilization experiment.
+    pub fn after_stabilization(scenario: ChurnScenario) -> Self {
+        ChurnSpec {
+            scenario,
+            at_round: usize::MAX,
+            bursts: 1,
+        }
+    }
+
+    /// Sets the round at which the first burst fires at the latest.
+    pub fn at_round(mut self, at_round: usize) -> Self {
+        self.at_round = at_round;
+        self
+    }
+
+    /// Sets the number of bursts.
+    pub fn bursts(mut self, bursts: usize) -> Self {
+        self.bursts = bursts;
+        self
+    }
+}
+
+impl Serialize for ChurnSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("scenario".into(), self.scenario.to_value()),
+            ("at_round".into(), self.at_round.to_value()),
+            ("bursts".into(), self.bursts.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ChurnSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        // Only `scenario` is required: `at_round` and `bursts` fall back to
+        // the `after_stabilization` defaults when absent (the vendored serde
+        // derive has no `#[serde(default)]`, hence the manual impl).
+        fn field<'a>(value: &'a serde::Value, name: &str) -> Option<&'a serde::Value> {
+            match value {
+                serde::Value::Object(fields) => fields
+                    .iter()
+                    .find(|(key, _)| key == name)
+                    .map(|(_, field)| field),
+                _ => None,
+            }
+        }
+        let scenario = Deserialize::from_value(serde::get_field(value, "scenario")?)?;
+        let at_round = match field(value, "at_round") {
+            Some(v) => Deserialize::from_value(v)?,
+            None => usize::MAX,
+        };
+        let bursts = match field(value, "bursts") {
+            Some(v) => Deserialize::from_value(v)?,
+            None => 1,
+        };
+        Ok(ChurnSpec {
+            scenario,
+            at_round,
+            bursts,
+        })
+    }
+}
+
 /// Which process (or baseline) a trial should run.
 ///
 /// This enum predates the string-keyed algorithm registry and is kept as a
@@ -243,6 +379,12 @@ impl FaultSpec {
 /// algorithms, which have no variant here) should address algorithms by
 /// registry key through [`ExperimentSpecBuilder::algorithm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[deprecated(
+    since = "0.1.0",
+    note = "address algorithms by registry key instead: `ExperimentSpec::builder().algorithm(\"two-state\")`; \
+            each variant's key is its `registry_key()` (= `label()`)"
+)]
+#[allow(deprecated)]
 pub enum ProcessSelector {
     /// The 2-state MIS process (Definition 4).
     TwoState,
@@ -266,6 +408,7 @@ pub enum ProcessSelector {
     SequentialSelfStab,
 }
 
+#[allow(deprecated)]
 impl ProcessSelector {
     /// Short label used in tables and CSV output.
     pub fn label(&self) -> &'static str {
@@ -324,6 +467,7 @@ impl ProcessSelector {
 /// back to their defaults when absent, so JSON written before the registry
 /// redesign still deserializes unchanged.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(deprecated)] // the legacy `process` selector field remains supported
 pub struct ExperimentSpec {
     /// Name used in reports and file names.
     pub name: String,
@@ -356,6 +500,10 @@ pub struct ExperimentSpec {
     /// Optional transient fault injected mid-trial (requires the algorithm
     /// to support fault injection).
     pub fault: Option<FaultSpec>,
+    /// Optional topology churn injected mid-trial (requires the algorithm
+    /// to support topology changes). `None` — the serde default — keeps
+    /// pre-churn specs bit-identical.
+    pub churn: Option<ChurnSpec>,
     /// Number of independent trials.
     pub trials: usize,
     /// Per-trial round budget.
@@ -367,6 +515,7 @@ pub struct ExperimentSpec {
     pub record_trace: bool,
 }
 
+#[allow(deprecated)]
 impl Default for ExperimentSpec {
     /// A small, fast default: the 2-state process on a sparse 100-vertex
     /// `G(n,p)`, one trial, synchronous scheduler.
@@ -381,6 +530,7 @@ impl Default for ExperimentSpec {
             strategy: RoundStrategy::Auto,
             scheduler: SchedulerSpec::Synchronous,
             fault: None,
+            churn: None,
             trials: 1,
             max_rounds: 100_000,
             base_seed: 0,
@@ -401,6 +551,7 @@ impl Serialize for ExperimentSpec {
             ("strategy".into(), self.strategy.to_value()),
             ("scheduler".into(), self.scheduler.to_value()),
             ("fault".into(), self.fault.to_value()),
+            ("churn".into(), self.churn.to_value()),
             ("trials".into(), self.trials.to_value()),
             ("max_rounds".into(), self.max_rounds.to_value()),
             ("base_seed".into(), self.base_seed.to_value()),
@@ -452,6 +603,7 @@ impl Deserialize for ExperimentSpec {
             strategy: with_default(value, "strategy")?,
             scheduler: with_default(value, "scheduler")?,
             fault: with_default(value, "fault")?,
+            churn: with_default(value, "churn")?,
             trials: Deserialize::from_value(serde::get_field(value, "trials")?)?,
             max_rounds: Deserialize::from_value(serde::get_field(value, "max_rounds")?)?,
             base_seed: Deserialize::from_value(serde::get_field(value, "base_seed")?)?,
@@ -511,7 +663,9 @@ impl ExperimentSpecBuilder {
     }
 
     /// Selects the algorithm through the legacy selector (clears any
-    /// registry-key override).
+    /// registry-key override). Prefer [`algorithm`](Self::algorithm) with a
+    /// registry key.
+    #[allow(deprecated)]
     pub fn process(mut self, process: ProcessSelector) -> Self {
         self.spec.process = process;
         self.spec.algorithm = None;
@@ -554,6 +708,12 @@ impl ExperimentSpecBuilder {
         self
     }
 
+    /// Injects topology churn mid-trial.
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.spec.churn = Some(churn);
+        self
+    }
+
     /// Sets the number of independent trials.
     pub fn trials(mut self, trials: usize) -> Self {
         self.spec.trials = trials;
@@ -585,6 +745,7 @@ impl ExperimentSpecBuilder {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy ProcessSelector shim is itself under test
 mod tests {
     use super::*;
     use rand::SeedableRng;
@@ -635,6 +796,9 @@ mod tests {
                 strategy: RoundStrategy::Dense,
                 scheduler: SchedulerSpec::Synchronous,
                 fault: None,
+                churn: Some(ChurnSpec::after_stabilization(ChurnScenario::EdgeChurn {
+                    fraction: 0.01,
+                })),
                 trials: 3,
                 max_rounds: 100,
                 base_seed: 1,
@@ -753,6 +917,60 @@ mod tests {
             .process(ProcessSelector::Luby)
             .build();
         assert_eq!(back.algorithm_key(), "luby");
+    }
+
+    #[test]
+    fn churn_spec_fields_default_when_absent() {
+        // A spec written with only the scenario must parse with the
+        // after-stabilization defaults.
+        let json = r#"{"scenario":{"EdgeChurn":{"fraction":0.05}}}"#;
+        let churn: ChurnSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            churn,
+            ChurnSpec::after_stabilization(ChurnScenario::EdgeChurn { fraction: 0.05 })
+        );
+        assert_eq!(churn.at_round, usize::MAX);
+        assert_eq!(churn.bursts, 1);
+    }
+
+    #[test]
+    fn pre_churn_spec_json_still_parses() {
+        // A spec serialized before the churn field existed (no "churn" key)
+        // must deserialize with churn = None.
+        let spec = ExperimentSpec::default();
+        let mut json = serde_json::to_string(&spec).unwrap();
+        let needle = "\"churn\":null,";
+        assert!(json.contains(needle), "serialized form: {json}");
+        json = json.replace(needle, "");
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn churn_spec_builders_compose() {
+        let churn = ChurnSpec::after_stabilization(ChurnScenario::JoinLeave { join: 5, leave: 3 })
+            .at_round(100)
+            .bursts(4);
+        assert_eq!(churn.at_round, 100);
+        assert_eq!(churn.bursts, 4);
+        let spec = ExperimentSpec::builder().churn(churn).build();
+        assert_eq!(spec.churn, Some(churn));
+    }
+
+    #[test]
+    fn churn_scenario_labels_are_distinct_and_round_trip() {
+        let scenarios = [
+            ChurnScenario::EdgeChurn { fraction: 0.01 },
+            ChurnScenario::JoinLeave { join: 2, leave: 2 },
+            ChurnScenario::RegionFailure { fraction: 0.1 },
+        ];
+        let labels: std::collections::HashSet<_> = scenarios.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), scenarios.len());
+        for scenario in scenarios {
+            let json = serde_json::to_string(&scenario).unwrap();
+            let back: ChurnScenario = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, scenario);
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@ use mis_core::ExecutionMode;
 use serde::{Deserialize, Serialize};
 
 use crate::runner::{run_experiment, ExperimentResult};
-use crate::spec::{ExperimentSpec, GraphSpec, ProcessSelector};
+use crate::spec::{ExperimentSpec, GraphSpec};
 use crate::stats::Summary;
 
 /// One row of a sweep table: the parameter value and the summaries of the
@@ -128,7 +128,7 @@ pub fn row_from_result(parameter: f64, result: &ExperimentResult) -> SweepRow {
 pub fn scale_sweep_specs(
     ns: &[usize],
     avg_degree: f64,
-    process: ProcessSelector,
+    algorithm: &str,
     execution: ExecutionMode,
     trials: usize,
     base_seed: u64,
@@ -141,9 +141,9 @@ pub fn scale_sweep_specs(
                 "avg_degree {avg_degree} is invalid for n = {n}"
             );
             let spec = ExperimentSpec {
-                name: format!("scale-{}-{}-n{n}", process.label(), execution.label()),
+                name: format!("scale-{algorithm}-{}-n{n}", execution.label()),
                 graph: GraphSpec::Gnp { n, p },
-                process,
+                algorithm: Some(algorithm.to_string()),
                 init: InitStrategy::Random,
                 execution,
                 trials,
@@ -179,14 +179,14 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{GraphSpec, ProcessSelector};
+    use crate::spec::GraphSpec;
     use mis_core::init::InitStrategy;
 
     fn spec_for_n(n: usize) -> ExperimentSpec {
         ExperimentSpec {
             name: format!("sweep-n-{n}"),
             graph: GraphSpec::Complete { n },
-            process: ProcessSelector::TwoState,
+            algorithm: Some("two-state".into()),
             init: InitStrategy::Random,
             execution: ExecutionMode::Sequential,
             trials: 4,
@@ -240,7 +240,7 @@ mod tests {
         let points = scale_sweep_specs(
             &[1_000, 10_000],
             8.0,
-            ProcessSelector::TwoState,
+            "two-state",
             ExecutionMode::Sequential,
             2,
             9,
@@ -262,7 +262,7 @@ mod tests {
         let points = scale_sweep_specs(
             &[3_000],
             4.0,
-            ProcessSelector::TwoState,
+            "two-state",
             ExecutionMode::Parallel { threads: 2 },
             1,
             33,
@@ -282,7 +282,7 @@ mod tests {
         let points = scale_sweep_specs(
             &[40_000],
             6.0,
-            ProcessSelector::TwoState,
+            "two-state",
             ExecutionMode::Sequential,
             1,
             21,

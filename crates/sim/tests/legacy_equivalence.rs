@@ -10,6 +10,9 @@
 //! If this suite fails, the redesign changed observable behavior of legacy
 //! specs — which it must never do.
 
+// The deprecated ProcessSelector shim *is* the legacy surface under test.
+#![allow(deprecated)]
+
 use mis_baselines::{
     greedy_mis_random_order, luby_mis, RandomPriorityMis, SequentialScheduler,
     SequentialSelfStabMis,

@@ -1,16 +1,19 @@
 //! Serde round-trip coverage for the spec and result types, so experiment
 //! specifications can be stored next to `BENCH_scale.json` (and re-read by
 //! later sessions) without silent drift — including JSON written *before*
-//! the registry redesign, which lacks the `algorithm`, `scheduler`, and
-//! `fault` fields.
+//! the registry redesign, which lacks the `algorithm`, `scheduler`,
+//! `fault`, and `churn` fields.
+
+// The legacy ProcessSelector shim is part of what this file pins down.
+#![allow(deprecated)]
 
 use mis_core::init::InitStrategy;
 use mis_core::StateCounts;
 use mis_sim::metrics::{RoundTrace, TrialResult};
 use mis_sim::runner::run_experiment;
 use mis_sim::spec::{
-    ExecutionMode, ExperimentSpec, FaultSpec, GraphSpec, ProcessSelector, RoundStrategy,
-    SchedulerSpec,
+    ChurnScenario, ChurnSpec, ExecutionMode, ExperimentSpec, FaultSpec, GraphSpec, ProcessSelector,
+    RoundStrategy, SchedulerSpec,
 };
 
 fn all_graph_specs() -> Vec<GraphSpec> {
@@ -45,13 +48,18 @@ fn experiment_spec_round_trips_across_all_knobs() {
             SchedulerSpec::CentralDaemon,
             SchedulerSpec::RandomSubset { p: 0.25 },
         ] {
-            for (algorithm, fault) in [
-                (None, None),
+            for (algorithm, fault, churn) in [
+                (None, None, None),
                 (
                     Some("beeping-two-state".to_string()),
                     Some(FaultSpec {
                         at_round: 64,
                         fraction: 0.5,
+                    }),
+                    Some(ChurnSpec {
+                        scenario: ChurnScenario::JoinLeave { join: 3, leave: 1 },
+                        at_round: 32,
+                        bursts: 2,
                     }),
                 ),
             ] {
@@ -65,6 +73,7 @@ fn experiment_spec_round_trips_across_all_knobs() {
                     strategy: RoundStrategy::Sparse,
                     scheduler,
                     fault,
+                    churn,
                     trials: 7,
                     max_rounds: 123,
                     base_seed: 99,

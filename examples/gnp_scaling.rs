@@ -5,19 +5,19 @@
 //! Run with: `cargo run --release --example gnp_scaling`
 
 use selfstab_mis::core::init::InitStrategy;
-use selfstab_mis::sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec, ProcessSelector};
+use selfstab_mis::sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec};
 use selfstab_mis::sim::sweep::{run_sweep, SweepTable};
 
-fn sweep(process: ProcessSelector, sizes: &[usize], trials: usize) -> SweepTable {
+fn sweep(algorithm: &str, sizes: &[usize], trials: usize) -> SweepTable {
     run_sweep(sizes.iter().map(|&n| {
         // Edge probability at the "hard" density p = sqrt(ln n / n).
         let p = ((n as f64).ln() / n as f64).sqrt();
         (
             n as f64,
             ExperimentSpec {
-                name: format!("gnp-scaling-{}-{n}", process.label()),
+                name: format!("gnp-scaling-{algorithm}-{n}"),
                 graph: GraphSpec::Gnp { n, p },
-                process,
+                algorithm: Some(algorithm.to_string()),
                 init: InitStrategy::Random,
                 execution: ExecutionMode::Sequential,
                 trials,
@@ -34,13 +34,9 @@ fn main() {
     let sizes = [128, 256, 512, 1024];
     let trials = 16;
 
-    for process in [
-        ProcessSelector::TwoState,
-        ProcessSelector::ThreeState,
-        ProcessSelector::ThreeColor,
-    ] {
-        let table = sweep(process, &sizes, trials);
-        println!("\n=== {} on G(n, sqrt(ln n / n)) ===", process.label());
+    for algorithm in ["two-state", "three-state", "three-color"] {
+        let table = sweep(algorithm, &sizes, trials);
+        println!("\n=== {algorithm} on G(n, sqrt(ln n / n)) ===");
         println!("{}", table.to_pretty());
         // Rough shape check: the mean rounds should grow far slower than n.
         let first = table.rows.first().unwrap().rounds.mean.max(1.0);

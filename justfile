@@ -4,7 +4,7 @@
 default:
     @just --list
 
-# Release build of every target (libs, 15 exp_* bins, 3 benches, examples, tests).
+# Release build of every target (libs, 16 exp_* bins, 3 benches, examples, tests).
 build:
     cargo build --release --workspace --all-targets
 
@@ -29,6 +29,11 @@ list-algorithms:
 fix:
     cargo fmt
     cargo clippy --workspace --all-targets --fix --allow-dirty -- -D warnings
+
+# Churn experiment: incremental re-stabilization vs cold restart after
+# edge-churn bursts (full scale: n = 10^6 across a fraction sweep).
+churn *ARGS:
+    cargo run --release -p mis-bench --bin exp_churn -- {{ARGS}}
 
 # Criterion micro-benchmarks.
 bench:
@@ -59,3 +64,5 @@ ci:
     test -s results/e1_clique.csv
     cargo run --release -p mis-bench --bin exp_scale -- --quick --strategy auto
     test -s results/exp_scale.json
+    cargo run --release -p mis-bench --bin exp_churn -- --quick
+    test -s results/exp_churn.json

@@ -8,14 +8,14 @@
 
 use selfstab_mis::core::init::InitStrategy;
 use selfstab_mis::sim::runner::run_experiment;
-use selfstab_mis::sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec, ProcessSelector};
+use selfstab_mis::sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec};
 use selfstab_mis::sim::sweep::{row_from_result, run_sweep, SweepTable};
 
-fn spec(graph: GraphSpec, process: ProcessSelector) -> ExperimentSpec {
+fn spec(graph: GraphSpec, algorithm: &str) -> ExperimentSpec {
     ExperimentSpec {
         name: "integration".into(),
         graph,
-        process,
+        algorithm: Some(algorithm.to_string()),
         init: InitStrategy::Random,
         execution: ExecutionMode::Sequential,
         trials: 5,
@@ -28,7 +28,7 @@ fn spec(graph: GraphSpec, process: ProcessSelector) -> ExperimentSpec {
 
 #[test]
 fn experiment_results_are_reproducible_and_validated() {
-    let s = spec(GraphSpec::Gnp { n: 80, p: 0.08 }, ProcessSelector::TwoState);
+    let s = spec(GraphSpec::Gnp { n: 80, p: 0.08 }, "two-state");
     let a = run_experiment(&s);
     let b = run_experiment(&s);
     assert_eq!(a, b, "same spec must give identical results");
@@ -44,12 +44,11 @@ fn experiment_results_are_reproducible_and_validated() {
 
 #[test]
 fn sweep_over_sizes_produces_consistent_table() {
-    let table: SweepTable = run_sweep([32usize, 64, 128].into_iter().map(|n| {
-        (
-            n as f64,
-            spec(GraphSpec::RandomTree { n }, ProcessSelector::TwoState),
-        )
-    }));
+    let table: SweepTable = run_sweep(
+        [32usize, 64, 128]
+            .into_iter()
+            .map(|n| (n as f64, spec(GraphSpec::RandomTree { n }, "two-state"))),
+    );
     assert_eq!(table.rows.len(), 3);
     for row in &table.rows {
         assert_eq!(row.stabilized_fraction, 1.0);
@@ -64,30 +63,30 @@ fn sweep_over_sizes_produces_consistent_table() {
 }
 
 #[test]
-fn all_process_selectors_run_through_the_harness() {
-    for process in [
-        ProcessSelector::TwoState,
-        ProcessSelector::ThreeState,
-        ProcessSelector::ThreeColor,
-        ProcessSelector::Luby,
-        ProcessSelector::RandomPriority,
+fn representative_registry_keys_run_through_the_harness() {
+    for algorithm in [
+        "two-state",
+        "three-state",
+        "three-color",
+        "luby",
+        "random-priority",
     ] {
-        let result = run_experiment(&spec(GraphSpec::Complete { n: 24 }, process));
-        assert!(result.all_stabilized(), "{process:?}");
-        assert!(result.all_valid(), "{process:?}");
+        let result = run_experiment(&spec(GraphSpec::Complete { n: 24 }, algorithm));
+        assert!(result.all_stabilized(), "{algorithm}");
+        assert!(result.all_valid(), "{algorithm}");
         // On a clique every MIS has size exactly 1.
-        assert!(result.trials.iter().all(|t| t.mis_size == 1), "{process:?}");
+        assert!(
+            result.trials.iter().all(|t| t.mis_size == 1),
+            "{algorithm}"
+        );
         let row = row_from_result(24.0, &result);
-        assert_eq!(row.process_label, process.label());
+        assert_eq!(row.process_label, algorithm);
     }
 }
 
 #[test]
 fn json_round_trip_of_experiment_results() {
-    let result = run_experiment(&spec(
-        GraphSpec::Star { n: 30 },
-        ProcessSelector::ThreeState,
-    ));
+    let result = run_experiment(&spec(GraphSpec::Star { n: 30 }, "three-state"));
     let json = serde_json::to_string(&result).unwrap();
     let back: selfstab_mis::sim::runner::ExperimentResult = serde_json::from_str(&json).unwrap();
     assert_eq!(result, back);
