@@ -25,12 +25,17 @@ use mis_core::RoundStrategy;
 const HELP: &str = "\
 exp_scale — frontier-engine scale experiment on sparse G(n, 8/n)
 
-USAGE: exp_scale [--quick] [--strategy auto|sparse|dense] [--help]
+USAGE: exp_scale [--quick] [--strategy auto|sparse|dense]
+                 [--require-multicore] [--help]
 
   --quick       n = 10^5 only (CI smoke); default is n in {10^4, ..., 10^7}
   --strategy S  round strategy of the fast path (default: auto — the
                 direction-optimizing dense/sparse switch; results are
                 bit-identical across strategies, only throughput changes)
+  --require-multicore
+                hard-fail (instead of warn) when the host has < 2 cores —
+                for CI configs that promise a multi-core runner, so the
+                parallel-vs-sequential gate can never silently skip
   --help        print this help
 
 PHASES AND RANDOMNESS MODELS
@@ -79,6 +84,7 @@ fn main() {
     }
     let scale = Scale::from_args();
     let strategy = parse_strategy();
+    let require_multicore = std::env::args().any(|a| a == "--require-multicore");
     let report = exp_scale(scale, strategy);
     print_section(
         &format!(
@@ -113,6 +119,17 @@ fn main() {
     }
 
     let mut failed = false;
+    // A CI config that passes --require-multicore promises a multi-core
+    // runner; landing on a 1-core host means the parallel gate below would
+    // silently degrade to a warning, so fail loudly instead.
+    if require_multicore && report.threads_available < 2 {
+        eprintln!(
+            "GATE FAILED: --require-multicore was passed but the host reports {} core(s) — \
+             the parallel-vs-sequential gate cannot run",
+            report.threads_available
+        );
+        failed = true;
+    }
     // Late-phase gate: the worklist path must crush the reference in the
     // silent tail. Forcing --strategy dense re-creates the O(n + m) tail by
     // design, so the gate is skipped there (mirroring the early gate's

@@ -77,25 +77,40 @@
 //!
 //! 1. [`begin_round_unsorted`](FrontierEngine::begin_round_unsorted) —
 //!    compact the frontier without sorting;
-//! 2. *decide* (parallel over worklist chunks): each thread computes next
-//!    states from old states/counters with counter-based draws, writing its
-//!    chunk's state changes into a thread-local buffer;
-//! 3. *scatter* (parallel over the per-thread change lists):
-//!    [`scatter_black`](FrontierEngine::scatter_black) applies blackness
-//!    flips and neighbor-counter deltas concurrently, deduplicating dirty
-//!    vertices through an atomic test-and-set into per-thread
-//!    [`ScatterSink`]s, then [`commit_scatter`](FrontierEngine::commit_scatter)
-//!    merges the per-thread deltas deterministically;
-//! 4. [`par_flush`](FrontierEngine::par_flush) — a two-pass parallel
-//!    reclassification: pass 1 recomputes stable-black flags and scatters
-//!    their neighbor deltas (the flip set is fully determined by the settled
-//!    counters, so one generation suffices); pass 2 recomputes
-//!    stability/activity/pending flags, accumulates count deltas per thread,
-//!    and repairs the frontier.
+//! 2. a **fused decide+scatter dispatch** ([`par_round`](FrontierEngine::par_round)):
+//!    workers claim worklist chunks from per-worker work-stealing deques
+//!    ([`rayon::ChunkQueue`]), compute next states from old states/cached
+//!    flags with counter-based draws, and immediately scatter each change's
+//!    neighbor deltas through [`scatter_black`](FrontierEngine::scatter_black)
+//!    into a recycled per-worker [`ScatterSink`]. Fusing is safe because the
+//!    decide step reads only pre-round-cached flags and the decided vertex's
+//!    own state, while the scatter step writes blackness, commutative
+//!    counters, and dirty marks — disjoint from every other vertex's decide
+//!    inputs;
+//! 3. a **fused reclassification dispatch**
+//!    ([`par_flush`](FrontierEngine::par_flush)) with one internal barrier:
+//!    the first half recomputes stable-black flags over stolen dirty chunks
+//!    and scatters the flips' neighbor deltas (collecting the second-wave
+//!    vertices it won the dirty-mark race for); after the barrier the second
+//!    half recomputes stability/activity/pending flags over the dirty
+//!    chunks plus each worker's own second wave, accumulating count deltas
+//!    and frontier additions per worker, merged as order-insensitive sums
+//!    and unions.
+//!
+//! The whole sparse round is therefore **two pool dispatches** (two full
+//! barriers plus one internal barrier), down from the historical four-phase
+//! spawn-per-broadcast structure, and every pass buffer (change lists,
+//! sinks, flush scratch, recount segments) is drawn from a recycled pool so
+//! steady-state rounds allocate nothing. All dispatches run on the
+//! process-wide persistent worker pool ([`rayon::global_pool`]); see that
+//! function's docs for the pool lifecycle. The chunk→worker assignment made
+//! by work stealing is scheduling-dependent, but every merge is commutative
+//! and every random draw is counter-based, so results (states, black sets,
+//! counts, draw tallies) stay **bit-identical for every thread count**.
 
 use mis_graph::{Graph, VertexId, VertexSet};
 
-use crate::exec::{chunk_bounds, DENSE_SWITCH_DIVISOR};
+use crate::exec::{steal_chunk_bounds, DENSE_SWITCH_DIVISOR, PAR_WORK_THRESHOLD};
 use crate::process::StateCounts;
 use crate::sync::{AtomicFlagVec, AtomicU32Vec, AtomicU8Vec};
 
@@ -133,14 +148,24 @@ pub struct ScatterSink {
     black_delta: isize,
 }
 
-/// Per-thread result of `par_flush` pass 2: count deltas and new frontier
-/// entries, merged deterministically (sums and order-insensitive unions).
+/// Per-worker count deltas of one fused `par_flush` dispatch, merged
+/// deterministically (all sums).
 #[derive(Debug, Default)]
-struct Pass2Part {
+struct FlushDeltas {
+    stable_black_delta: isize,
     unstable_delta: isize,
     active_delta: isize,
     pending_delta: isize,
     pending_volume_delta: isize,
+}
+
+/// Recycled per-worker buffers of the fused `par_flush` dispatch: the
+/// second-wave vertices this worker won the dirty-mark race for in the
+/// stable-black half, and the frontier entries it added in the
+/// reclassification half. Pooled so steady-state flushes allocate nothing.
+#[derive(Debug, Default, Clone)]
+struct FlushScratch {
+    wave2: Vec<VertexId>,
     frontier_adds: Vec<VertexId>,
 }
 
@@ -182,6 +207,11 @@ pub struct FrontierEngine {
     /// Recycled per-thread scatter sinks: `par_round` reuses their `dirty`
     /// buffers across rounds instead of reallocating every round.
     sink_pool: Vec<ScatterSink>,
+    /// Recycled per-worker flush buffers (second wave + frontier adds),
+    /// same lifecycle as `sink_pool`.
+    flush_scratch_pool: Vec<FlushScratch>,
+    /// Recycled per-chunk frontier segments of the parallel recount.
+    seg_pool: Vec<Vec<VertexId>>,
 }
 
 impl FrontierEngine {
@@ -206,6 +236,8 @@ impl FrontierEngine {
             pending_count: 0,
             pending_volume: 0,
             sink_pool: Vec::new(),
+            flush_scratch_pool: Vec::new(),
+            seg_pool: Vec::new(),
         }
     }
 
@@ -340,104 +372,141 @@ impl FrontierEngine {
     }
 
     /// Parallel counterpart of [`recount`](Self::recount): the same fused
-    /// full recount chunked over `threads` threads. Counter scatters are
-    /// commutative atomic adds and every flag is written by its chunk's
+    /// full recount, run as **one** dispatch on the persistent pool with two
+    /// internal barriers between the three passes, over volume-balanced
+    /// vertex ranges ([`Graph::balanced_ranges`]). Counter scatters are
+    /// commutative atomic adds and every flag is written by its range's
     /// owner, so the result is bit-identical for every thread count; the
-    /// frontier is assembled from the per-chunk segments in chunk order and
+    /// frontier is assembled from the per-range segments in range order and
     /// therefore comes out sorted, same as the sequential recount.
     pub fn recount_par<C>(&mut self, graph: &Graph, threads: usize, classify: C)
     where
         C: Fn(VertexId, u32) -> VertexClass + Sync,
     {
+        self.recount_par_with(graph, threads, classify, |_| {});
+    }
+
+    /// [`recount_par`](Self::recount_par) with a process hook: `pre` runs
+    /// over every vertex range during the first (counter-scatter) pass, so a
+    /// process can rebuild its own auxiliary counters (e.g. the 3-state
+    /// process's `black1` neighbor counts) in the same dispatch — its
+    /// output is settled before the classification pass reads it, because
+    /// two barriers separate them. `pre` must only scatter commutative
+    /// atomic updates keyed off per-vertex data (never read engine counters
+    /// being rebuilt in the same pass).
+    pub fn recount_par_with<C, P>(&mut self, graph: &Graph, threads: usize, classify: C, pre: P)
+    where
+        C: Fn(VertexId, u32) -> VertexClass + Sync,
+        P: Fn(std::ops::Range<VertexId>) + Sync,
+    {
         debug_assert!(self.dirty.is_empty(), "recount requires a flushed engine");
         assert_eq!(graph.n(), self.n, "graph size must match the engine");
         let n = self.n;
-        let bounds = chunk_bounds(n, threads);
-        if bounds.len() <= 1 {
+        if n < PAR_WORK_THRESHOLD || threads <= 1 {
+            pre(0..n);
+            return self.recount(graph, classify);
+        }
+        let ranges = graph.balanced_ranges(threads);
+        if ranges.len() <= 1 {
+            pre(0..n);
             return self.recount(graph, classify);
         }
         self.black_nbrs.clear_all();
         self.stable_black_nbrs.clear_all();
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(bounds.len())
-            .build()
-            .expect("thread pool construction is infallible");
+        let pool = rayon::global_pool(threads);
+        let seg_source = std::sync::Mutex::new(std::mem::take(&mut self.seg_pool));
         let black = &self.black;
         let black_nbrs = &self.black_nbrs;
         let stable_black_nbrs = &self.stable_black_nbrs;
         let flags = &self.flags;
         let frontier_contains = &self.frontier_contains;
-        let bounds_ref = &bounds;
-        // Pass 1: black-neighbor scatter (commutative atomic adds).
-        pool.broadcast(|ctx| {
-            let (lo, hi) = bounds_ref[ctx.index()];
-            for u in lo..hi {
-                if black.get(u) {
-                    for v in graph.neighbors(u).as_compact() {
-                        black_nbrs.add(v.index(), 1);
-                    }
-                }
-            }
-        });
-        // Pass 2: stable-black scatter (reads pass-1 output, settled at the
-        // join barrier).
-        pool.broadcast(|ctx| {
-            let (lo, hi) = bounds_ref[ctx.index()];
-            for u in lo..hi {
-                if black.get(u) && black_nbrs.get(u) == 0 {
-                    for v in graph.neighbors(u).as_compact() {
-                        stable_black_nbrs.add(v.index(), 1);
-                    }
-                }
-            }
-        });
-        // Pass 3: flags + per-chunk counts and frontier segments.
+        let ranges_ref = &ranges;
         let classify = &classify;
+        let pre = &pre;
+        // One dispatch, three internally-barriered passes. Participants
+        // without a range (the pool can be wider than the range count) skip
+        // the work but still hit every barrier.
         let parts: Vec<(StateCounts, usize, Vec<VertexId>)> = pool.broadcast(|ctx| {
-            let (lo, hi) = bounds_ref[ctx.index()];
+            let range = ranges_ref.get(ctx.index()).copied();
+            // Pass 1: black-neighbor scatter (commutative atomic adds),
+            // fused with the process's auxiliary-counter scatter.
+            if let Some((lo, hi)) = range {
+                for u in lo..hi {
+                    if black.get(u) {
+                        for v in graph.neighbors(u).as_compact() {
+                            black_nbrs.add(v.index(), 1);
+                        }
+                    }
+                }
+                pre(lo..hi);
+            }
+            ctx.barrier();
+            // Pass 2: stable-black scatter (reads pass-1 counters).
+            if let Some((lo, hi)) = range {
+                for u in lo..hi {
+                    if black.get(u) && black_nbrs.get(u) == 0 {
+                        for v in graph.neighbors(u).as_compact() {
+                            stable_black_nbrs.add(v.index(), 1);
+                        }
+                    }
+                }
+            }
+            ctx.barrier();
+            // Pass 3: flags + per-range counts and frontier segments.
             let mut counts = StateCounts::default();
             let mut pending_volume = 0usize;
-            let mut segment = Vec::new();
-            for u in lo..hi {
-                let mut f = 0u8;
-                if black.get(u) {
-                    counts.black += 1;
-                } else {
-                    counts.non_black += 1;
+            let mut segment = seg_source
+                .lock()
+                .expect("segment pool mutex is never poisoned")
+                .pop()
+                .unwrap_or_default();
+            if let Some((lo, hi)) = range {
+                for u in lo..hi {
+                    let mut f = 0u8;
+                    if black.get(u) {
+                        counts.black += 1;
+                    } else {
+                        counts.non_black += 1;
+                    }
+                    let stable_black = black.get(u) && black_nbrs.get(u) == 0;
+                    if stable_black {
+                        f |= STABLE_BLACK;
+                        counts.stable_black += 1;
+                    }
+                    if stable_black || stable_black_nbrs.get(u) > 0 {
+                        f |= STABLE;
+                    } else {
+                        counts.unstable += 1;
+                    }
+                    let class = classify(u, black_nbrs.get(u));
+                    debug_assert!(
+                        class.pending || !class.active,
+                        "active vertices must be pending"
+                    );
+                    if class.active {
+                        f |= ACTIVE;
+                        counts.active += 1;
+                    }
+                    if class.pending {
+                        f |= PENDING;
+                        pending_volume += graph.degree(u);
+                        segment.push(u);
+                    }
+                    frontier_contains.set(u, class.pending);
+                    flags.set(u, f);
                 }
-                let stable_black = black.get(u) && black_nbrs.get(u) == 0;
-                if stable_black {
-                    f |= STABLE_BLACK;
-                    counts.stable_black += 1;
-                }
-                if stable_black || stable_black_nbrs.get(u) > 0 {
-                    f |= STABLE;
-                } else {
-                    counts.unstable += 1;
-                }
-                let class = classify(u, black_nbrs.get(u));
-                debug_assert!(
-                    class.pending || !class.active,
-                    "active vertices must be pending"
-                );
-                if class.active {
-                    f |= ACTIVE;
-                    counts.active += 1;
-                }
-                if class.pending {
-                    f |= PENDING;
-                    pending_volume += graph.degree(u);
-                    segment.push(u);
-                }
-                frontier_contains.set(u, class.pending);
-                flags.set(u, f);
             }
             (counts, pending_volume, segment)
         });
+        self.seg_pool = seg_source
+            .into_inner()
+            .expect("segment pool mutex is never poisoned");
         let mut counts = StateCounts::default();
         let mut pending_volume = 0usize;
         self.frontier.clear();
-        for (part_counts, part_volume, segment) in parts {
+        // Broadcast results come back in participant-index order, i.e.
+        // ascending vertex ranges: concatenation leaves the frontier sorted.
+        for (part_counts, part_volume, mut segment) in parts {
             counts.black += part_counts.black;
             counts.non_black += part_counts.non_black;
             counts.active += part_counts.active;
@@ -445,6 +514,8 @@ impl FrontierEngine {
             counts.unstable += part_counts.unstable;
             pending_volume += part_volume;
             self.frontier.extend_from_slice(&segment);
+            segment.clear();
+            self.seg_pool.push(segment);
         }
         self.counts = counts;
         self.pending_count = self.frontier.len();
@@ -461,35 +532,39 @@ impl FrontierEngine {
             >= (graph.n() + 2 * graph.m()) / DENSE_SWITCH_DIVISOR
     }
 
-    /// Chunks the dense decide sweep `0..n` over `threads` threads and sums
-    /// the per-chunk draw counts. `decide` receives the engine and its
+    /// Runs the dense decide sweep `0..n` as one dispatch on the persistent
+    /// pool over **volume-balanced** vertex ranges
+    /// ([`Graph::balanced_ranges`], weighting each vertex `1 + deg`) and
+    /// sums the per-range draw counts. `decide` receives the engine and its
     /// vertex range; it reads the cached (pre-round) flags through `&self`
     /// and writes states/staged blackness for its own vertices only. With
     /// counter-based draws the partition is invisible in the results, so the
-    /// sweep is bit-identical for every thread count (a single chunk runs
-    /// inline with no spawn).
-    pub fn dense_sweep<D>(&self, threads: usize, decide: D) -> u64
+    /// sweep is bit-identical for every thread count (a single range runs
+    /// inline with no dispatch).
+    pub fn dense_sweep<D>(&self, graph: &Graph, threads: usize, decide: D) -> u64
     where
         D: Fn(&Self, std::ops::Range<VertexId>) -> u64 + Sync,
     {
-        let bounds = chunk_bounds(self.n, threads);
-        match bounds.len() {
-            0 => 0,
-            1 => decide(self, bounds[0].0..bounds[0].1),
-            chunks => {
-                let pool = rayon::ThreadPoolBuilder::new()
-                    .num_threads(chunks)
-                    .build()
-                    .expect("thread pool construction is infallible");
-                let bounds_ref = &bounds;
-                pool.broadcast(|ctx| {
-                    let (lo, hi) = bounds_ref[ctx.index()];
-                    decide(self, lo..hi)
-                })
-                .into_iter()
-                .sum()
-            }
+        assert_eq!(graph.n(), self.n, "graph size must match the engine");
+        if self.n == 0 {
+            return 0;
         }
+        if self.n < PAR_WORK_THRESHOLD || threads <= 1 {
+            return decide(self, 0..self.n);
+        }
+        let ranges = graph.balanced_ranges(threads);
+        if ranges.len() <= 1 {
+            return decide(self, 0..self.n);
+        }
+        let pool = rayon::global_pool(threads);
+        let ranges_ref = &ranges;
+        pool.broadcast(|ctx| {
+            ranges_ref
+                .get(ctx.index())
+                .map_or(0, |&(lo, hi)| decide(self, lo..hi))
+        })
+        .into_iter()
+        .sum()
     }
 
     /// Compacts the frontier (dropping vertices that stopped pending) and
@@ -789,27 +864,39 @@ impl FrontierEngine {
         self.dirty.clear();
     }
 
-    /// Runs one complete counter-based parallel round over `worklist`: the
-    /// chunked decide phase, the concurrent scatter phase, the deterministic
-    /// commit, and the two-pass [`par_flush`](Self::par_flush). Returns the
-    /// total number of random draws reported by the decide closures.
+    /// Runs one complete counter-based parallel round over `worklist`: one
+    /// **fused decide+scatter dispatch** with chunk-granular work stealing,
+    /// the deterministic commit, and the fused
+    /// [`par_flush`](Self::par_flush) dispatch — two pool dispatches per
+    /// round in total. Returns the total number of random draws reported by
+    /// the decide closures.
     ///
     /// This is the shared driver behind every process's parallel `step`; it
     /// keeps the phase ordering and the empty-worklist handling in one
     /// place. `decide` maps one worklist chunk to its state changes (of the
-    /// process-specific change type `Ch`), writing new states as it goes
-    /// (safe: only the decided vertex's state is written, and nothing reads
-    /// other vertices' states in this phase) and returning its draw count;
-    /// `scatter` applies one change's neighbor deltas through the engine's
-    /// concurrent primitives ([`scatter_black`](Self::scatter_black) /
+    /// process-specific change type `Ch`), writing new states as it goes,
+    /// and returns its draw count; `scatter` applies one change's neighbor
+    /// deltas through the engine's concurrent primitives
+    /// ([`scatter_black`](Self::scatter_black) /
     /// [`mark_dirty_concurrent`](Self::mark_dirty_concurrent)) into the
-    /// per-thread sink.
+    /// per-worker sink.
     ///
-    /// Each phase builds its own (stand-in) thread pool sized to its actual
-    /// chunk count: pool construction is free here — the vendored rayon
-    /// spawns scoped threads per `broadcast` call — and sizing per phase is
-    /// what keeps sub-threshold phases (e.g. the near-empty late
-    /// stabilization tail) on the inline no-spawn path.
+    /// **Fusion contract:** each worker scatters a chunk's changes
+    /// immediately after deciding it, while other workers may still be
+    /// deciding. This is sound because `decide` reads only the
+    /// pre-round-cached flags and the decided vertex's own state/counters
+    /// snapshot — never the live blackness or neighbor counters that
+    /// `scatter` mutates — and every vertex is decided by exactly one
+    /// worker. Work is claimed from per-worker stealing deques
+    /// ([`rayon::ChunkQueue`]), so a degree-skewed worklist does not
+    /// serialize the round on whichever worker drew the fattest chunk; the
+    /// chunk→worker mapping varies, but all merges (counter deltas, dirty
+    /// dedup, draw-count sums) are order-insensitive. Sub-threshold
+    /// worklists (e.g. the near-empty late stabilization tail) run inline
+    /// with no dispatch. Change buffers are recycled through the
+    /// caller-owned `change_pool` and sinks through the engine's own pool,
+    /// so steady-state rounds allocate nothing.
+    #[allow(clippy::too_many_arguments)]
     pub fn par_round<Ch, D, S, C>(
         &mut self,
         graph: &Graph,
@@ -818,6 +905,7 @@ impl FrontierEngine {
         decide: D,
         scatter: S,
         classify: C,
+        change_pool: &mut Vec<Vec<Ch>>,
     ) -> u64
     where
         Ch: Send + Sync,
@@ -825,45 +913,66 @@ impl FrontierEngine {
         S: Fn(&Self, &Ch, &mut ScatterSink) + Sync,
         C: Fn(VertexId, u32) -> VertexClass + Sync,
     {
-        let bounds = chunk_bounds(worklist.len(), threads);
+        let bounds = steal_chunk_bounds(worklist.len(), threads);
         let mut draws_total = 0u64;
-        if !bounds.is_empty() {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(bounds.len())
-                .build()
-                .expect("thread pool construction is infallible");
+        if bounds.len() == 1 {
+            // Inline path: no dispatch, same logic.
+            let mut changes = change_pool.pop().unwrap_or_default();
+            let mut sink = self.sink_pool.pop().unwrap_or_default();
+            draws_total = decide(&*self, worklist, &mut changes);
+            for change in &changes {
+                scatter(&*self, change, &mut sink);
+            }
+            let delta = self.drain_sink(&mut sink);
+            self.sink_pool.push(sink);
+            changes.clear();
+            change_pool.push(changes);
+            self.apply_black_delta(delta);
+        } else if !bounds.is_empty() {
+            let pool = rayon::global_pool(threads);
+            let queue = rayon::ChunkQueue::new(bounds.len(), pool.current_num_threads());
             let sink_source = std::sync::Mutex::new(std::mem::take(&mut self.sink_pool));
+            let change_source = std::sync::Mutex::new(std::mem::take(change_pool));
+            let bounds_ref = &bounds;
             let engine = &*self;
-            // Decide phase.
-            let decided: Vec<(Vec<Ch>, u64)> = pool.broadcast(|ctx| {
-                let (lo, hi) = bounds[ctx.index()];
-                let mut changes = Vec::new();
-                let draws = decide(engine, &worklist[lo..hi], &mut changes);
-                (changes, draws)
-            });
-            // Scatter phase. Threads draw their sinks from the engine's
-            // recycled pool (one uncontended lock per thread per round), so
-            // the per-thread dirty buffers keep their capacity across rounds
-            // instead of being reallocated every round.
-            let sinks: Vec<ScatterSink> = pool.broadcast(|ctx| {
+            let parts: Vec<(u64, Vec<Ch>, ScatterSink)> = pool.broadcast(|ctx| {
+                // Buffers come from the recycled pools (one uncontended
+                // lock per worker per round), keeping their capacity across
+                // rounds.
+                let mut changes = change_source
+                    .lock()
+                    .expect("change pool mutex is never poisoned")
+                    .pop()
+                    .unwrap_or_default();
                 let mut sink = sink_source
                     .lock()
                     .expect("sink pool mutex is never poisoned")
                     .pop()
                     .unwrap_or_default();
-                for change in &decided[ctx.index()].0 {
-                    scatter(engine, change, &mut sink);
+                let mut draws = 0u64;
+                while let Some(chunk) = queue.pop(ctx.index()) {
+                    let (lo, hi) = bounds_ref[chunk];
+                    let before = changes.len();
+                    draws += decide(engine, &worklist[lo..hi], &mut changes);
+                    for change in &changes[before..] {
+                        scatter(engine, change, &mut sink);
+                    }
                 }
-                sink
+                (draws, changes, sink)
             });
-            draws_total = decided.iter().map(|(_, draws)| *draws).sum();
             self.sink_pool = sink_source
                 .into_inner()
                 .expect("sink pool mutex is never poisoned");
+            *change_pool = change_source
+                .into_inner()
+                .expect("change pool mutex is never poisoned");
             let mut delta = 0isize;
-            for mut sink in sinks {
+            for (draws, mut changes, mut sink) in parts {
+                draws_total += draws;
                 delta += self.drain_sink(&mut sink);
                 self.sink_pool.push(sink);
+                changes.clear();
+                change_pool.push(changes);
             }
             self.apply_black_delta(delta);
         }
@@ -872,17 +981,22 @@ impl FrontierEngine {
     }
 
     /// Parallel counterpart of [`flush`](Self::flush): reclassifies the
-    /// dirty set on `threads` threads in two passes.
+    /// dirty set as **one** dispatch on the persistent pool, two passes
+    /// separated by an internal barrier.
     ///
-    /// Pass 1 recomputes the stable-black flag of every dirty vertex and
-    /// scatters the flips' neighbor deltas; one generation suffices because
-    /// a vertex's stable-black status depends only on the (already settled)
-    /// blackness and black-neighbor counters, so only scatter-dirty vertices
-    /// can flip. Pass 2 recomputes the stability/activity/pending flags of
-    /// the dirty set plus the pass-1 targets, accumulating count deltas per
-    /// thread and collecting new frontier entries per thread; both merges
-    /// are order-insensitive sums/unions, so the result is identical for
-    /// every thread count.
+    /// Pass 1 recomputes the stable-black flag of every dirty vertex
+    /// (chunks claimed from work-stealing deques) and scatters the flips'
+    /// neighbor deltas; one generation suffices because a vertex's
+    /// stable-black status depends only on the (already settled) blackness
+    /// and black-neighbor counters, so only scatter-dirty vertices can
+    /// flip. Each worker keeps the second-wave vertices it won the
+    /// dirty-mark race for. After the barrier, pass 2 recomputes the
+    /// stability/activity/pending flags of the dirty set (a second round of
+    /// stolen chunks) plus each worker's own second wave, accumulating
+    /// count deltas and frontier additions per worker; all merges are
+    /// order-insensitive sums/unions, so the result is identical for every
+    /// thread count. Sub-threshold dirty sets fall back to the sequential
+    /// [`flush`](Self::flush) (same fixed point, no dispatch).
     pub fn par_flush<C>(&mut self, graph: &Graph, threads: usize, classify: C)
     where
         C: Fn(VertexId, u32) -> VertexClass + Sync,
@@ -890,107 +1004,128 @@ impl FrontierEngine {
         if self.dirty.is_empty() {
             return;
         }
-        let mut dirty = std::mem::take(&mut self.dirty);
-
-        // Pass 1: stable-black recompute + neighbor-delta scatter.
-        let bounds = chunk_bounds(dirty.len(), threads);
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(bounds.len())
-            .build()
-            .expect("thread pool construction is infallible");
+        let bounds = steal_chunk_bounds(self.dirty.len(), threads);
+        if bounds.len() <= 1 {
+            return self.flush(graph, classify);
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        let pool = rayon::global_pool(threads);
+        let workers = pool.current_num_threads();
+        // Independent claim queues for the two passes over the same chunks.
+        let q1 = rayon::ChunkQueue::new(bounds.len(), workers);
+        let q2 = rayon::ChunkQueue::new(bounds.len(), workers);
+        let scratch_source = std::sync::Mutex::new(std::mem::take(&mut self.flush_scratch_pool));
         let black = &self.black;
         let black_nbrs = &self.black_nbrs;
         let stable_black_nbrs = &self.stable_black_nbrs;
         let flags = &self.flags;
         let dirty_mark = &self.dirty_mark;
-        let dirty_ref = &dirty;
-        let pass1: Vec<(isize, Vec<VertexId>)> = pool.broadcast(|ctx| {
-            let (lo, hi) = bounds[ctx.index()];
-            let mut stable_black_delta = 0isize;
-            let mut wave2 = Vec::new();
-            for &u in &dirty_ref[lo..hi] {
-                let stable_black = black.get(u) && black_nbrs.get(u) == 0;
-                if stable_black != (flags.get(u) & STABLE_BLACK != 0) {
-                    flags.xor(u, STABLE_BLACK);
-                    stable_black_delta += if stable_black { 1 } else { -1 };
-                    for v in graph.neighbors(u) {
-                        if stable_black {
-                            stable_black_nbrs.add(v, 1);
-                        } else {
-                            stable_black_nbrs.sub(v, 1);
-                        }
-                        if !dirty_mark.test_and_set(v) {
-                            wave2.push(v);
-                        }
-                    }
-                }
-            }
-            (stable_black_delta, wave2)
-        });
-        let mut stable_black_delta = 0isize;
-        for (delta, wave2) in pass1 {
-            stable_black_delta += delta;
-            dirty.extend_from_slice(&wave2);
-        }
-        self.counts.stable_black =
-            (self.counts.stable_black as isize + stable_black_delta) as usize;
-
-        // Pass 2: stability/activity/pending recompute over dirty + wave 2.
-        let bounds = chunk_bounds(dirty.len(), threads);
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(bounds.len())
-            .build()
-            .expect("thread pool construction is infallible");
         let frontier_contains = &self.frontier_contains;
+        let bounds_ref = &bounds;
         let dirty_ref = &dirty;
         let classify = &classify;
-        let pass2: Vec<Pass2Part> = pool.broadcast(|ctx| {
-            let (lo, hi) = bounds[ctx.index()];
-            let mut part = Pass2Part::default();
-            for &u in &dirty_ref[lo..hi] {
-                dirty_mark.set(u, false);
-                let f = flags.get(u);
-                let stable_black = f & STABLE_BLACK != 0;
-                let stable = stable_black || stable_black_nbrs.get(u) > 0;
-                if stable != (f & STABLE != 0) {
-                    flags.xor(u, STABLE);
-                    part.unstable_delta += if stable { -1 } else { 1 };
-                }
-                let class = classify(u, black_nbrs.get(u));
-                debug_assert!(
-                    class.pending || !class.active,
-                    "active vertices must be pending"
-                );
-                if class.active != (f & ACTIVE != 0) {
-                    flags.xor(u, ACTIVE);
-                    part.active_delta += if class.active { 1 } else { -1 };
-                }
-                if class.pending != (f & PENDING != 0) {
-                    flags.xor(u, PENDING);
-                    let vol = graph.degree(u) as isize;
-                    if class.pending {
-                        part.pending_delta += 1;
-                        part.pending_volume_delta += vol;
-                        if !frontier_contains.test_and_set(u) {
-                            part.frontier_adds.push(u);
+        let parts: Vec<(FlushDeltas, FlushScratch)> = pool.broadcast(|ctx| {
+            let mut scratch = scratch_source
+                .lock()
+                .expect("flush scratch mutex is never poisoned")
+                .pop()
+                .unwrap_or_default();
+            let mut deltas = FlushDeltas::default();
+            // Pass 1: stable-black recompute + neighbor-delta scatter.
+            while let Some(chunk) = q1.pop(ctx.index()) {
+                let (lo, hi) = bounds_ref[chunk];
+                for &u in &dirty_ref[lo..hi] {
+                    let stable_black = black.get(u) && black_nbrs.get(u) == 0;
+                    if stable_black != (flags.get(u) & STABLE_BLACK != 0) {
+                        flags.xor(u, STABLE_BLACK);
+                        deltas.stable_black_delta += if stable_black { 1 } else { -1 };
+                        for v in graph.neighbors(u) {
+                            if stable_black {
+                                stable_black_nbrs.add(v, 1);
+                            } else {
+                                stable_black_nbrs.sub(v, 1);
+                            }
+                            if !dirty_mark.test_and_set(v) {
+                                scratch.wave2.push(v);
+                            }
                         }
-                    } else {
-                        part.pending_delta -= 1;
-                        part.pending_volume_delta -= vol;
                     }
                 }
             }
-            part
+            ctx.barrier();
+            // Pass 2: stability/activity/pending recompute over the dirty
+            // chunks plus this worker's second wave. Wave-2 sets are
+            // disjoint across workers (global dirty-mark dedup) and
+            // disjoint from the original dirty list (its vertices were
+            // already marked), so every vertex is reclassified exactly
+            // once.
+            {
+                let FlushScratch {
+                    wave2,
+                    frontier_adds,
+                } = &mut scratch;
+                let mut reclassify = |u: VertexId| {
+                    dirty_mark.set(u, false);
+                    let f = flags.get(u);
+                    let stable_black = f & STABLE_BLACK != 0;
+                    let stable = stable_black || stable_black_nbrs.get(u) > 0;
+                    if stable != (f & STABLE != 0) {
+                        flags.xor(u, STABLE);
+                        deltas.unstable_delta += if stable { -1 } else { 1 };
+                    }
+                    let class = classify(u, black_nbrs.get(u));
+                    debug_assert!(
+                        class.pending || !class.active,
+                        "active vertices must be pending"
+                    );
+                    if class.active != (f & ACTIVE != 0) {
+                        flags.xor(u, ACTIVE);
+                        deltas.active_delta += if class.active { 1 } else { -1 };
+                    }
+                    if class.pending != (f & PENDING != 0) {
+                        flags.xor(u, PENDING);
+                        let vol = graph.degree(u) as isize;
+                        if class.pending {
+                            deltas.pending_delta += 1;
+                            deltas.pending_volume_delta += vol;
+                            if !frontier_contains.test_and_set(u) {
+                                frontier_adds.push(u);
+                            }
+                        } else {
+                            deltas.pending_delta -= 1;
+                            deltas.pending_volume_delta -= vol;
+                        }
+                    }
+                };
+                while let Some(chunk) = q2.pop(ctx.index()) {
+                    let (lo, hi) = bounds_ref[chunk];
+                    for &u in &dirty_ref[lo..hi] {
+                        reclassify(u);
+                    }
+                }
+                for &u in wave2.iter() {
+                    reclassify(u);
+                }
+            }
+            (deltas, scratch)
         });
-        for part in pass2 {
-            self.counts.unstable = (self.counts.unstable as isize + part.unstable_delta) as usize;
-            self.counts.active = (self.counts.active as isize + part.active_delta) as usize;
-            self.pending_count = (self.pending_count as isize + part.pending_delta) as usize;
+        self.flush_scratch_pool = scratch_source
+            .into_inner()
+            .expect("flush scratch mutex is never poisoned");
+        for (deltas, mut scratch) in parts {
+            self.counts.stable_black =
+                (self.counts.stable_black as isize + deltas.stable_black_delta) as usize;
+            self.counts.unstable = (self.counts.unstable as isize + deltas.unstable_delta) as usize;
+            self.counts.active = (self.counts.active as isize + deltas.active_delta) as usize;
+            self.pending_count = (self.pending_count as isize + deltas.pending_delta) as usize;
             self.pending_volume =
-                (self.pending_volume as isize + part.pending_volume_delta) as usize;
-            self.frontier.extend_from_slice(&part.frontier_adds);
+                (self.pending_volume as isize + deltas.pending_volume_delta) as usize;
+            self.frontier.extend_from_slice(&scratch.frontier_adds);
+            scratch.wave2.clear();
+            scratch.frontier_adds.clear();
+            self.flush_scratch_pool.push(scratch);
         }
-
+        let mut dirty = dirty;
         dirty.clear();
         self.dirty = dirty;
     }
@@ -1254,10 +1389,11 @@ mod tests {
     #[test]
     fn dense_sweep_covers_every_vertex_once() {
         let n = 3000; // above PAR_WORK_THRESHOLD: real chunking
+        let g = generators::path(n);
         let e = FrontierEngine::new(n);
         for threads in [1usize, 2, 5] {
             let hits = crate::sync::AtomicU32Vec::new(n);
-            let total = e.dense_sweep(threads, |_, range| {
+            let total = e.dense_sweep(&g, threads, |_, range| {
                 let mut local = 0u64;
                 for u in range {
                     hits.add(u, 1);
@@ -1270,7 +1406,53 @@ mod tests {
                 assert_eq!(hits.get(u), 1, "vertex {u}, threads {threads}");
             }
         }
-        assert_eq!(FrontierEngine::new(0).dense_sweep(4, |_, _| 1), 0);
+        let empty = mis_graph::Graph::empty(0);
+        assert_eq!(FrontierEngine::new(0).dense_sweep(&empty, 4, |_, _| 1), 0);
+    }
+
+    #[test]
+    fn sparse_round_costs_at_most_two_dispatches() {
+        // The headline contract of the fused round path: one fused
+        // decide+scatter dispatch plus one fused flush dispatch. Uses an
+        // uncommon thread count so the global pool's counters are not
+        // perturbed by other tests running concurrently.
+        let threads = 11;
+        let n = 6000; // above PAR_WORK_THRESHOLD so dispatches actually run
+        let g = generators::grid(60, 100);
+        let black = vec![false; n];
+        let mut e = FrontierEngine::new(n);
+        e.rebuild(&g, |u| black[u], two_state_like(&black));
+        let mut worklist = Vec::new();
+        e.begin_round_unsorted(&mut worklist);
+        assert!(worklist.len() >= crate::exec::PAR_WORK_THRESHOLD);
+        let pool = rayon::global_pool(threads);
+        let before = pool.stats();
+        let mut change_pool: Vec<Vec<(VertexId, bool)>> = Vec::new();
+        // Flip every worklist vertex black: plenty of scatter + flush work.
+        e.par_round(
+            &g,
+            &worklist,
+            threads,
+            |_, chunk, changes| {
+                changes.extend(chunk.iter().map(|&u| (u, true)));
+                chunk.len() as u64
+            },
+            |engine, &(u, b), sink| engine.scatter_black(&g, u, b, sink),
+            |u, bn| {
+                let active = if u % 2 == 0 { bn > 0 } else { bn == 0 };
+                VertexClass {
+                    active,
+                    pending: active,
+                }
+            },
+            &mut change_pool,
+        );
+        let after = pool.stats();
+        assert!(
+            after.dispatches - before.dispatches <= 2,
+            "sparse round used {} dispatches (expected <= 2)",
+            after.dispatches - before.dispatches
+        );
     }
 
     #[test]

@@ -35,12 +35,48 @@ pub enum ExecutionMode {
     },
 }
 
+/// Upper bound on the `threads` knob, enforced by
+/// [`ExecutionMode::validate`]: far above any useful width, low enough to
+/// reject knob typos before they spawn a few million workers.
+pub const MAX_THREADS: usize = 1024;
+
+/// Resolves a `threads` knob value to an actual worker count: `0` means
+/// auto-detect (`std::thread::available_parallelism`), anything else is
+/// taken as-is.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |t| t.get())
+    } else {
+        threads
+    }
+}
+
 impl ExecutionMode {
-    /// Number of worker threads this mode uses (1 for sequential).
+    /// Number of worker threads this mode uses: 1 for sequential; for
+    /// parallel, the knob value with `0` resolved to the number of
+    /// available cores.
     pub fn threads(&self) -> usize {
         match *self {
             ExecutionMode::Sequential => 1,
-            ExecutionMode::Parallel { threads } => threads.max(1),
+            ExecutionMode::Parallel { threads } => resolve_threads(threads),
+        }
+    }
+
+    /// Validates the mode's knobs (spec-parse time check): the thread count
+    /// must not exceed [`MAX_THREADS`]. `0` is valid (auto-detect).
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ExecutionMode::Sequential => Ok(()),
+            ExecutionMode::Parallel { threads } => {
+                if threads > MAX_THREADS {
+                    Err(format!(
+                        "execution.threads = {threads} exceeds the maximum of {MAX_THREADS} \
+                         (use 0 to auto-detect cores)"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
         }
     }
 
@@ -177,6 +213,40 @@ pub(crate) fn chunk_bounds(len: usize, threads: usize) -> Vec<(usize, usize)> {
     bounds
 }
 
+/// Target chunk multiplicity for the work-stealing sparse phases: each
+/// worker's deque starts with about this many chunks, so a worker that drew
+/// light chunks has something to steal from a worker that drew the hubs.
+pub(crate) const STEAL_CHUNKS_PER_THREAD: usize = 4;
+
+/// Minimum chunk size for the work-stealing phases: below this, per-chunk
+/// claim overhead (one CAS) stops being noise.
+pub(crate) const STEAL_MIN_CHUNK: usize = 512;
+
+/// Splits `len` worklist items into `(start, end)` chunks for a
+/// work-stealing phase: about [`STEAL_CHUNKS_PER_THREAD`] chunks per thread,
+/// none smaller than [`STEAL_MIN_CHUNK`], and a single chunk below
+/// [`PAR_WORK_THRESHOLD`] (same inline cutoff as [`chunk_bounds`]).
+pub(crate) fn steal_chunk_bounds(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if len < PAR_WORK_THRESHOLD || threads <= 1 {
+        return vec![(0, len)];
+    }
+    let want = threads * STEAL_CHUNKS_PER_THREAD;
+    let chunks = want.min(len / STEAL_MIN_CHUNK).max(1);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,7 +255,12 @@ mod tests {
     fn mode_helpers() {
         assert_eq!(ExecutionMode::Sequential.threads(), 1);
         assert_eq!(ExecutionMode::Parallel { threads: 4 }.threads(), 4);
-        assert_eq!(ExecutionMode::Parallel { threads: 0 }.threads(), 1);
+        // threads = 0 auto-detects cores (at least one).
+        assert!(ExecutionMode::Parallel { threads: 0 }.threads() >= 1);
+        assert_eq!(
+            ExecutionMode::Parallel { threads: 0 }.threads(),
+            std::thread::available_parallelism().map_or(1, |t| t.get())
+        );
         assert!(!ExecutionMode::Sequential.is_parallel());
         assert!(ExecutionMode::Parallel { threads: 2 }.is_parallel());
         assert_eq!(ExecutionMode::default(), ExecutionMode::Sequential);
@@ -218,6 +293,57 @@ mod tests {
                 assert_eq!(bounds.len(), 1, "small worklists stay on one chunk");
             } else {
                 assert!(bounds.len() <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_absurd_thread_counts() {
+        assert!(ExecutionMode::Sequential.validate().is_ok());
+        assert!(ExecutionMode::Parallel { threads: 0 }.validate().is_ok());
+        assert!(ExecutionMode::Parallel { threads: 8 }.validate().is_ok());
+        assert!(ExecutionMode::Parallel {
+            threads: MAX_THREADS
+        }
+        .validate()
+        .is_ok());
+        let err = ExecutionMode::Parallel {
+            threads: MAX_THREADS + 1,
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("exceeds"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn steal_chunk_bounds_cover_exactly() {
+        for &(len, threads) in &[
+            (0usize, 4usize),
+            (PAR_WORK_THRESHOLD - 1, 8),
+            (PAR_WORK_THRESHOLD, 8),
+            (100_000, 4),
+            (3_000, 2),
+            (1_000_000, 8),
+        ] {
+            let bounds = steal_chunk_bounds(len, threads);
+            if len == 0 {
+                assert!(bounds.is_empty());
+                continue;
+            }
+            assert_eq!(bounds.first().unwrap().0, 0);
+            assert_eq!(bounds.last().unwrap().1, len);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+                assert!(w[0].1 > w[0].0);
+            }
+            if len < PAR_WORK_THRESHOLD {
+                assert_eq!(bounds.len(), 1, "small worklists stay on one chunk");
+            } else {
+                assert!(bounds.len() <= threads * STEAL_CHUNKS_PER_THREAD);
+                // No chunk under the floor unless the whole list is tiny.
+                for &(s, e) in &bounds {
+                    assert!(e - s >= STEAL_MIN_CHUNK.min(len));
+                }
             }
         }
     }

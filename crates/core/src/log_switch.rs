@@ -215,49 +215,65 @@ impl SwitchProcess for RandomizedLogSwitch<'_> {
         let round = self.round as u64;
         let zeta = self.zeta;
         let bounds = chunk_bounds(self.n(), threads);
-        let mut draw_counts = vec![0u64; bounds.len()];
-        {
+        let total_draws = {
             let levels = &self.levels;
             let graph = self.graph.get();
             let counter = *counter;
-            rayon::scope(|s| {
-                let mut next_rest: &mut [u8] = &mut self.next;
-                let mut draws_rest: &mut [u64] = &mut draw_counts;
-                for &(lo, hi) in &bounds {
-                    let (chunk, tail) = next_rest.split_at_mut(hi - lo);
-                    next_rest = tail;
-                    let (draws_slot, draws_tail) = draws_rest.split_at_mut(1);
-                    draws_rest = draws_tail;
-                    s.spawn(move |_| {
-                        let mut draws = 0u64;
-                        for (i, slot) in chunk.iter_mut().enumerate() {
-                            let u = lo + i;
-                            let lvl = levels[u];
-                            let reset = if lvl == 5 {
-                                draws += 7; // ζ = 2⁻⁷ needs at most 7 bits
-                                !counter.gen_bool(zeta, u as u64, round, DRAW_SWITCH)
-                            } else {
-                                false
-                            };
-                            *slot = if reset || lvl == 0 {
-                                5
-                            } else {
-                                let max_nbr = graph
-                                    .neighbors(u)
-                                    .iter()
-                                    .map(|v| levels[v])
-                                    .max()
-                                    .unwrap_or(0)
-                                    .max(lvl);
-                                max_nbr - 1
-                            };
-                        }
-                        draws_slot[0] = draws;
-                    });
+            let advance = |lo: usize, chunk: &mut [u8]| -> u64 {
+                let mut draws = 0u64;
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let u = lo + i;
+                    let lvl = levels[u];
+                    let reset = if lvl == 5 {
+                        draws += 7; // ζ = 2⁻⁷ needs at most 7 bits
+                        !counter.gen_bool(zeta, u as u64, round, DRAW_SWITCH)
+                    } else {
+                        false
+                    };
+                    *slot = if reset || lvl == 0 {
+                        5
+                    } else {
+                        let max_nbr = graph
+                            .neighbors(u)
+                            .iter()
+                            .map(|v| levels[v])
+                            .max()
+                            .unwrap_or(0)
+                            .max(lvl);
+                        max_nbr - 1
+                    };
                 }
-            });
-        }
-        self.random_bits += draw_counts.iter().sum::<u64>();
+                draws
+            };
+            if bounds.len() <= 1 {
+                bounds
+                    .first()
+                    .map_or(0, |&(lo, hi)| advance(lo, &mut self.next[lo..hi]))
+            } else {
+                // Hand each persistent-pool participant its disjoint
+                // `(offset, &mut chunk)` pair through a per-slot mutex —
+                // exclusive writes without `unsafe` under the crate's
+                // `forbid(unsafe_code)`.
+                use std::sync::Mutex;
+                let mut rest: &mut [u8] = &mut self.next;
+                let mut slots = Vec::with_capacity(bounds.len());
+                for &(lo, hi) in &bounds {
+                    let (chunk, tail) = rest.split_at_mut(hi - lo);
+                    rest = tail;
+                    slots.push(Mutex::new(Some((lo, chunk))));
+                }
+                let pool = rayon::global_pool(bounds.len());
+                pool.broadcast(|ctx| {
+                    slots
+                        .get(ctx.index())
+                        .and_then(|s| s.lock().unwrap().take())
+                        .map_or(0u64, |(lo, chunk)| advance(lo, chunk))
+                })
+                .into_iter()
+                .sum()
+            }
+        };
+        self.random_bits += total_draws;
         std::mem::swap(&mut self.levels, &mut self.next);
         self.round += 1;
     }

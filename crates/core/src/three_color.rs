@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::counter_rng::{CounterRng, DRAW_STATE};
 use crate::engine::{FrontierEngine, VertexClass};
-use crate::exec::{ExecutionMode, RoundStrategy};
+use crate::exec::{resolve_threads, ExecutionMode, RoundStrategy};
 use crate::init::InitStrategy;
 use crate::log_switch::{RandomizedLogSwitch, SwitchProcess, DEFAULT_ZETA};
 use crate::mutation::{GraphRef, MutationError};
@@ -151,6 +151,8 @@ pub struct ThreeColorProcess<'g, S> {
     random_bits: u64,
     worklist: Vec<VertexId>,
     changes: Vec<(VertexId, ThreeColor)>,
+    /// Recycled per-chunk change buffers for the parallel round path.
+    change_pool: Vec<Vec<(VertexId, ThreeColor)>>,
 }
 
 impl<'g> ThreeColorProcess<'g, RandomizedLogSwitch<'g>> {
@@ -199,6 +201,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
             random_bits: 0,
             worklist: Vec::new(),
             changes: Vec::new(),
+            change_pool: Vec::new(),
         };
         p.rebuild_engine();
         p
@@ -509,7 +512,8 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         let counter = self.counter;
         let colors = &self.colors;
         let switch = &self.switch;
-        let draws = self.engine.dense_sweep(threads, |engine, range| {
+        let graph = self.graph.get();
+        let draws = self.engine.dense_sweep(graph, threads, |engine, range| {
             let mut draws = 0u64;
             for u in range {
                 match ThreeColor::from_code(colors.get(u)) {
@@ -543,8 +547,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         self.random_bits += draws;
         self.switch.step_counter(&self.counter, threads);
         let colors = &self.colors;
-        self.engine
-            .recount_par(self.graph.get(), threads, classify(colors));
+        self.engine.recount_par(graph, threads, classify(colors));
         self.round += 1;
     }
 
@@ -563,6 +566,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
         let colors = &self.colors;
         let switch = &self.switch;
         let graph = self.graph.get();
+        let change_pool = &mut self.change_pool;
         let draws = self.engine.par_round(
             graph,
             &self.worklist,
@@ -599,6 +603,7 @@ impl<'g, S: SwitchProcess> ThreeColorProcess<'g, S> {
             },
             |engine, &(u, color), sink| engine.scatter_black(graph, u, color.is_black(), sink),
             classify(colors),
+            change_pool,
         );
         self.random_bits += draws;
         self.switch.step_counter(&self.counter, threads);
@@ -625,8 +630,12 @@ impl<S: SwitchProcess> Process for ThreeColorProcess<'_, S> {
         match (self.mode, dense) {
             (ExecutionMode::Sequential, false) => self.step_sequential(rng),
             (ExecutionMode::Sequential, true) => self.step_dense_sequential(rng),
-            (ExecutionMode::Parallel { threads }, false) => self.step_parallel(threads.max(1)),
-            (ExecutionMode::Parallel { threads }, true) => self.step_dense_parallel(threads.max(1)),
+            (ExecutionMode::Parallel { threads }, false) => {
+                self.step_parallel(resolve_threads(threads))
+            }
+            (ExecutionMode::Parallel { threads }, true) => {
+                self.step_dense_parallel(resolve_threads(threads))
+            }
         }
     }
 

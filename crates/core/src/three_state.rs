@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::counter_rng::{CounterRng, DRAW_STATE};
 use crate::engine::{FrontierEngine, VertexClass};
-use crate::exec::{chunk_bounds, ExecutionMode, RoundStrategy};
+use crate::exec::{resolve_threads, ExecutionMode, RoundStrategy};
 use crate::init::InitStrategy;
 use crate::mutation::{GraphRef, MutationError};
 use crate::packed::PackedStates;
@@ -150,6 +150,8 @@ pub struct ThreeStateProcess<'g> {
     random_bits: u64,
     worklist: Vec<VertexId>,
     changes: Vec<(VertexId, ThreeState)>,
+    /// Recycled per-worker change buffers of the parallel round path.
+    change_pool: Vec<Vec<(VertexId, ThreeState, ThreeState)>>,
 }
 
 impl<'g> ThreeStateProcess<'g> {
@@ -177,6 +179,7 @@ impl<'g> ThreeStateProcess<'g> {
             random_bits: 0,
             worklist: Vec::new(),
             changes: Vec::new(),
+            change_pool: Vec::new(),
         };
         p.rebuild_engine();
         p
@@ -420,36 +423,6 @@ impl<'g> ThreeStateProcess<'g> {
         }
     }
 
-    /// Parallel counterpart of [`recount_black1`](Self::recount_black1):
-    /// chunked commutative atomic adds, bit-identical for every thread
-    /// count.
-    fn recount_black1_par(&mut self, threads: usize) {
-        let n = self.graph.get().n();
-        let bounds = chunk_bounds(n, threads);
-        if bounds.len() <= 1 {
-            return self.recount_black1();
-        }
-        self.black1_nbrs.clear_all();
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(bounds.len())
-            .build()
-            .expect("thread pool construction is infallible");
-        let states = &self.states;
-        let black1_nbrs = &self.black1_nbrs;
-        let graph = self.graph.get();
-        let bounds_ref = &bounds;
-        pool.broadcast(|ctx| {
-            let (lo, hi) = bounds_ref[ctx.index()];
-            for u in lo..hi {
-                if states.get(u) == ThreeState::Black1.code() {
-                    for &v in graph.neighbors(u).as_compact() {
-                        black1_nbrs.add(v.index(), 1);
-                    }
-                }
-            }
-        });
-    }
-
     /// One **dense** sequential round: flat sweep deciding from the cached
     /// activity flags (active vertices draw from `{black1, black0}`,
     /// non-active `black0` vertices retire to white), then a full recount of
@@ -489,14 +462,18 @@ impl<'g> ThreeStateProcess<'g> {
         self.round += 1;
     }
 
-    /// One **dense** counter-based round on `threads` threads: chunked
-    /// decide sweep, parallel `black1` recount, parallel engine recount.
-    /// Bit-identical for every thread count and to the sparse parallel path.
+    /// One **dense** counter-based round on `threads` threads: a
+    /// volume-balanced decide sweep dispatch, then a single fused recount
+    /// dispatch whose first pass also rebuilds the `black1` counters (the
+    /// process hook of [`FrontierEngine::recount_par_with`]) — two pool
+    /// dispatches per dense round. Bit-identical for every thread count and
+    /// to the sparse parallel path.
     fn step_dense_parallel(&mut self, threads: usize) {
         let round = self.round as u64;
         let counter = self.counter;
         let states = &self.states;
-        let draws = self.engine.dense_sweep(threads, |engine, range| {
+        let graph = self.graph.get();
+        let draws = self.engine.dense_sweep(graph, threads, |engine, range| {
             let mut draws = 0u64;
             for u in range {
                 if engine.is_active(u) {
@@ -518,11 +495,22 @@ impl<'g> ThreeStateProcess<'g> {
             draws
         });
         self.random_bits += draws;
-        self.recount_black1_par(threads);
+        self.black1_nbrs.clear_all();
         let states = &self.states;
         let black1_nbrs = &self.black1_nbrs;
         self.engine
-            .recount_par(self.graph.get(), threads, classify(states, black1_nbrs));
+            .recount_par_with(graph, threads, classify(states, black1_nbrs), |range| {
+                // Process hook, fused into the recount's scatter pass:
+                // rebuild the black1 neighbor counters (commutative atomic
+                // adds keyed off the already-settled states).
+                for u in range {
+                    if states.get(u) == ThreeState::Black1.code() {
+                        for &v in graph.neighbors(u).as_compact() {
+                            black1_nbrs.add(v.index(), 1);
+                        }
+                    }
+                }
+            });
         self.round += 1;
     }
 
@@ -629,6 +617,7 @@ impl<'g> ThreeStateProcess<'g> {
         let black1_nbrs = &self.black1_nbrs;
         let graph = self.graph.get();
         type Change = (VertexId, ThreeState, ThreeState);
+        let change_pool = &mut self.change_pool;
         let draws = self.engine.par_round(
             graph,
             &self.worklist,
@@ -672,6 +661,7 @@ impl<'g> ThreeStateProcess<'g> {
                 engine.scatter_black(graph, u, new.is_black(), sink);
             },
             classify(states, black1_nbrs),
+            change_pool,
         );
         self.random_bits += draws;
         self.round += 1;
@@ -697,8 +687,12 @@ impl Process for ThreeStateProcess<'_> {
         match (self.mode, dense) {
             (ExecutionMode::Sequential, false) => self.step_sequential(rng),
             (ExecutionMode::Sequential, true) => self.step_dense_sequential(rng),
-            (ExecutionMode::Parallel { threads }, false) => self.step_parallel(threads.max(1)),
-            (ExecutionMode::Parallel { threads }, true) => self.step_dense_parallel(threads.max(1)),
+            (ExecutionMode::Parallel { threads }, false) => {
+                self.step_parallel(resolve_threads(threads))
+            }
+            (ExecutionMode::Parallel { threads }, true) => {
+                self.step_dense_parallel(resolve_threads(threads))
+            }
         }
     }
 

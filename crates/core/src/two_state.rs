@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::counter_rng::{CounterRng, DRAW_STATE};
 use crate::engine::{FrontierEngine, VertexClass};
-use crate::exec::{ExecutionMode, RoundStrategy};
+use crate::exec::{resolve_threads, ExecutionMode, RoundStrategy};
 use crate::init::InitStrategy;
 use crate::mutation::{GraphRef, MutationError};
 use crate::packed::PackedStates;
@@ -130,6 +130,8 @@ pub struct TwoStateProcess<'g> {
     worklist: Vec<VertexId>,
     /// Scratch: the state changes decided in the current round.
     changes: Vec<(VertexId, Color)>,
+    /// Recycled per-chunk change buffers for the parallel round path.
+    change_pool: Vec<Vec<(VertexId, bool)>>,
 }
 
 impl<'g> TwoStateProcess<'g> {
@@ -156,6 +158,7 @@ impl<'g> TwoStateProcess<'g> {
             random_bits: 0,
             worklist: Vec::new(),
             changes: Vec::new(),
+            change_pool: Vec::new(),
         };
         p.rebuild_engine();
         p
@@ -476,7 +479,8 @@ impl<'g> TwoStateProcess<'g> {
         let round = self.round as u64;
         let counter = self.counter;
         let states = &self.states;
-        let draws = self.engine.dense_sweep(threads, |engine, range| {
+        let graph = self.graph.get();
+        let draws = self.engine.dense_sweep(graph, threads, |engine, range| {
             let mut draws = 0u64;
             for u in range {
                 if engine.is_active(u) {
@@ -496,8 +500,7 @@ impl<'g> TwoStateProcess<'g> {
         });
         self.random_bits += draws;
         let states = &self.states;
-        self.engine
-            .recount_par(self.graph.get(), threads, classify(states));
+        self.engine.recount_par(graph, threads, classify(states));
         self.round += 1;
     }
 
@@ -512,6 +515,7 @@ impl<'g> TwoStateProcess<'g> {
         let counter = self.counter;
         let states = &self.states;
         let graph = self.graph.get();
+        let change_pool = &mut self.change_pool;
         let draws = self.engine.par_round(
             graph,
             &self.worklist,
@@ -535,6 +539,7 @@ impl<'g> TwoStateProcess<'g> {
             },
             |engine, &(u, black), sink| engine.scatter_black(graph, u, black, sink),
             classify(states),
+            change_pool,
         );
         self.random_bits += draws;
         self.round += 1;
@@ -560,8 +565,12 @@ impl Process for TwoStateProcess<'_> {
         match (self.mode, dense) {
             (ExecutionMode::Sequential, false) => self.step_sequential(rng),
             (ExecutionMode::Sequential, true) => self.step_dense_sequential(rng),
-            (ExecutionMode::Parallel { threads }, false) => self.step_parallel(threads.max(1)),
-            (ExecutionMode::Parallel { threads }, true) => self.step_dense_parallel(threads.max(1)),
+            (ExecutionMode::Parallel { threads }, false) => {
+                self.step_parallel(resolve_threads(threads))
+            }
+            (ExecutionMode::Parallel { threads }, true) => {
+                self.step_dense_parallel(resolve_threads(threads))
+            }
         }
     }
 

@@ -378,6 +378,49 @@ impl Graph {
         self.vertices().map(|u| self.degree(u)).collect()
     }
 
+    /// Splits `0..n` into up to `parts` contiguous vertex ranges of
+    /// near-equal **volume** (each vertex weighted `1 + deg(u)`), so a
+    /// full-sweep phase chunked this way balances actual work instead of
+    /// vertex counts — on degree-skewed graphs, count-balanced chunks
+    /// serialize the sweep on whichever chunk drew the hubs.
+    ///
+    /// The split points are found by binary search on the CSR offsets
+    /// (`weight(0..u) = offsets[u] + u`), so the whole computation is
+    /// `O(parts · log n)`. Empty trailing ranges are dropped; the returned
+    /// ranges are non-empty, in order, and cover `0..n` exactly (an empty
+    /// vec for the empty graph).
+    pub fn balanced_ranges(&self, parts: usize) -> Vec<(usize, usize)> {
+        let n = self.n();
+        let parts = parts.max(1);
+        if n == 0 {
+            return Vec::new();
+        }
+        let weight = |u: usize| self.offsets.get(u) + u;
+        let total = weight(n);
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for p in 1..=parts {
+            if start >= n {
+                break;
+            }
+            let target = total * p / parts;
+            // Smallest end > start with weight(0..end) >= target.
+            let (mut lo, mut hi) = (start + 1, n);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if weight(mid) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let end = if p == parts { n } else { lo };
+            ranges.push((start, end));
+            start = end;
+        }
+        ranges
+    }
+
     /// Number of common neighbors `|N(u) ∩ N(v)|`, computed by merging the
     /// two sorted adjacency lists in `O(deg(u) + deg(v))`.
     pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> usize {
@@ -524,6 +567,32 @@ mod tests {
         assert_eq!(g.min_degree(), 1);
         assert!((g.average_degree() - 1.5).abs() < 1e-12);
         assert_eq!(g.degrees(), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn balanced_ranges_cover_and_balance_volume() {
+        // A star graph is maximally skewed: vertex 0 has degree n-1.
+        let n = 101;
+        let star = Graph::from_edges(n, (1..n).map(|v| (0, v))).unwrap();
+        for parts in [1, 2, 3, 4, 8, 200] {
+            let ranges = star.balanced_ranges(parts);
+            assert!(!ranges.is_empty() && ranges.len() <= parts);
+            // Coverage: contiguous, in order, exactly 0..n.
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+                assert!(w[0].0 < w[0].1);
+            }
+        }
+        // Volume balance: with 2 parts, the hub chunk must stay small in
+        // vertex count (the hub alone carries ~half the total volume).
+        let two = star.balanced_ranges(2);
+        assert!(two[0].1 - two[0].0 < n / 3, "hub chunk too wide: {two:?}");
+        // Degenerate cases.
+        assert!(Graph::empty(0).balanced_ranges(4).is_empty());
+        assert_eq!(Graph::empty(3).balanced_ranges(8).len(), 3);
+        assert_eq!(path4().balanced_ranges(1), vec![(0, 4)]);
     }
 
     #[test]

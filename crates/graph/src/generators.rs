@@ -138,10 +138,9 @@ pub fn gnp_counter_threads(n: usize, p: f64, seed: u64, threads: usize) -> Graph
         }
     }
 
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(bounds.len().max(1))
-        .build()
-        .expect("thread pool construction is infallible");
+    // The persistent process-wide pool for this width: generation shares
+    // workers with the round engine instead of spawning its own.
+    let pool = rayon::global_pool(bounds.len().max(1));
     let bounds_ref = &bounds;
     // Per-block edge lists, in row order within and across blocks.
     let block_edges: Vec<Vec<(u32, u32)>> = pool.broadcast(|ctx| {

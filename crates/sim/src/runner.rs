@@ -209,6 +209,11 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
 /// [`run_experiment`] against an explicit [`Registry`] — the entry point
 /// for external algorithms registered outside this workspace.
 pub fn run_experiment_with(registry: &Registry, spec: &ExperimentSpec) -> ExperimentResult {
+    if let mis_core::ExecutionMode::Parallel { threads } = spec.execution {
+        // Spawn (or fetch) the persistent worker pool before the trial loop
+        // so the first timed round doesn't pay thread-creation cost.
+        rayon::global_pool(mis_core::exec::resolve_threads(threads));
+    }
     let shared_graph: Option<Arc<Graph>> = spec.graph.is_deterministic().then(|| {
         // The RNG is unused by deterministic generators; any seed works.
         let mut rng = ChaCha8Rng::seed_from_u64(0);

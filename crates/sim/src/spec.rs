@@ -599,7 +599,12 @@ impl Deserialize for ExperimentSpec {
             process,
             algorithm,
             init: Deserialize::from_value(serde::get_field(value, "init")?)?,
-            execution: Deserialize::from_value(serde::get_field(value, "execution")?)?,
+            execution: {
+                let execution: ExecutionMode =
+                    Deserialize::from_value(serde::get_field(value, "execution")?)?;
+                execution.validate().map_err(serde::Error::custom)?;
+                execution
+            },
             strategy: with_default(value, "strategy")?,
             scheduler: with_default(value, "scheduler")?,
             fault: with_default(value, "fault")?,
@@ -808,6 +813,26 @@ mod tests {
             let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
             assert_eq!(spec, back);
         }
+    }
+
+    #[test]
+    fn absurd_thread_counts_are_rejected_at_parse_time() {
+        let spec = ExperimentSpec {
+            execution: ExecutionMode::Parallel { threads: 8 },
+            ..ExperimentSpec::default()
+        };
+        let json = serde_json::to_string(&spec)
+            .unwrap()
+            .replace("\"threads\":8", "\"threads\":1000000");
+        let err = serde_json::from_str::<ExperimentSpec>(&json).unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds"),
+            "unexpected message: {err}"
+        );
+        // `threads: 0` is the documented auto-detect knob, not an error.
+        let auto = json.replace("\"threads\":1000000", "\"threads\":0");
+        let back: ExperimentSpec = serde_json::from_str(&auto).unwrap();
+        assert_eq!(back.execution, ExecutionMode::Parallel { threads: 0 });
     }
 
     #[test]

@@ -2,14 +2,20 @@
 //! counter-based randomness (`ExecutionMode::Parallel`), the number of
 //! worker threads must not influence any observable result. For all three
 //! processes, `Parallel{1}`, `Parallel{2}`, and `Parallel{8}` are driven
-//! through **arbitrary interleavings of rounds and fault injections**
+//! through **arbitrary interleavings of rounds, fault injections**
 //! (`corrupt_fraction`, the out-of-band mutation path of experiment E11)
-//! and must produce identical state vectors, black sets, and
-//! [`StateCounts`] after every single operation.
+//! **and churn bursts** (`generate_burst` + `apply_mutation`, the live
+//! re-stabilization path of `exp_churn`) and must produce identical state
+//! vectors, black sets, and [`StateCounts`] after every single operation.
 //!
 //! Thread count only changes how the round's phases are chunked; since every
 //! vertex's randomness is a pure function of `(seed, vertex, round, draw)`
 //! and all merges are commutative, the partition must be unobservable.
+//!
+//! All parallel rounds here dispatch onto the **persistent worker pool**
+//! (`rayon::global_pool`); interleaving rounds with graph mutations also
+//! proves the pool is safely reused across topology changes — workers hold
+//! no per-graph state between dispatches.
 
 use mis_core::init::InitStrategy;
 use mis_core::{
@@ -17,6 +23,8 @@ use mis_core::{
 };
 use mis_graph::{generators, Graph, VertexSet};
 use mis_sim::fault::Corruptible;
+use mis_sim::generate_burst;
+use mis_sim::spec::ChurnScenario;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -89,7 +97,7 @@ proptest! {
         seed in 0u64..5_000,
         n in 1usize..60,
         p_edge in 0.0f64..0.4,
-        ops in proptest::collection::vec((0u8..2, 0.0f64..1.0), 1..10),
+        ops in proptest::collection::vec((0u8..3, 0.0f64..1.0), 1..10),
     ) {
         let g = graph_for(seed, n, p_edge);
         check_thread_invariance(
@@ -112,7 +120,12 @@ proptest! {
                     let mut unused = ChaCha8Rng::seed_from_u64(0);
                     p.step(&mut unused);
                 }
-                _ => p.corrupt_fraction(fraction, fault_rng),
+                1 => p.corrupt_fraction(fraction, fault_rng),
+                _ => {
+                    let scenario = ChurnScenario::EdgeChurn { fraction: fraction * 0.3 };
+                    let delta = generate_burst(scenario, p.graph(), fault_rng);
+                    p.apply_mutation(&delta).expect("burst is valid for the current graph");
+                }
             },
         )?;
     }
@@ -124,7 +137,7 @@ proptest! {
         seed in 0u64..5_000,
         n in 1usize..60,
         p_edge in 0.0f64..0.4,
-        ops in proptest::collection::vec((0u8..2, 0.0f64..1.0), 1..10),
+        ops in proptest::collection::vec((0u8..3, 0.0f64..1.0), 1..10),
     ) {
         let g = graph_for(seed, n, p_edge);
         check_thread_invariance(
@@ -147,7 +160,12 @@ proptest! {
                     let mut unused = ChaCha8Rng::seed_from_u64(0);
                     p.step(&mut unused);
                 }
-                _ => p.corrupt_fraction(fraction, fault_rng),
+                1 => p.corrupt_fraction(fraction, fault_rng),
+                _ => {
+                    let scenario = ChurnScenario::EdgeChurn { fraction: fraction * 0.3 };
+                    let delta = generate_burst(scenario, p.graph(), fault_rng);
+                    p.apply_mutation(&delta).expect("burst is valid for the current graph");
+                }
             },
         )?;
     }
@@ -159,7 +177,7 @@ proptest! {
         seed in 0u64..5_000,
         n in 1usize..50,
         p_edge in 0.0f64..0.4,
-        ops in proptest::collection::vec((0u8..2, 0.0f64..1.0), 1..8),
+        ops in proptest::collection::vec((0u8..3, 0.0f64..1.0), 1..8),
     ) {
         let g = graph_for(seed, n, p_edge);
         check_thread_invariance(
@@ -183,7 +201,12 @@ proptest! {
                     let mut unused = ChaCha8Rng::seed_from_u64(0);
                     p.step(&mut unused);
                 }
-                _ => p.corrupt_fraction(fraction, fault_rng),
+                1 => p.corrupt_fraction(fraction, fault_rng),
+                _ => {
+                    let scenario = ChurnScenario::EdgeChurn { fraction: fraction * 0.3 };
+                    let delta = generate_burst(scenario, p.graph(), fault_rng);
+                    p.apply_mutation(&delta).expect("burst is valid for the current graph");
+                }
             },
         )?;
     }
@@ -192,7 +215,10 @@ proptest! {
 /// Beyond proptest's small sizes: one larger sparse instance crosses the
 /// parallel-work threshold so the chunked (multi-thread) code paths really
 /// run, and the final stabilized configurations must still agree bit for
-/// bit across thread counts.
+/// bit across thread counts. A churn burst is applied after the first
+/// stabilization and the process re-stabilized — the same persistent pool
+/// serves the dispatches on both sides of the mutation (the `exp_churn`
+/// execution shape).
 #[test]
 fn large_instance_runs_identically_across_thread_counts() {
     let g = graph_for(99, 20_000, 6.0 / 20_000.0);
@@ -205,7 +231,25 @@ fn large_instance_runs_identically_across_thread_counts() {
             .run_to_stabilization(&mut r, 100_000)
             .expect("2-state stabilizes on sparse G(n,p)");
         assert!(mis_graph::mis_check::is_mis(&g, &p.black_set()));
-        finals.push((rounds, p.black_set(), p.counts(), p.random_bits_used()));
+        let mut burst_rng = ChaCha8Rng::seed_from_u64(5678);
+        let delta = generate_burst(
+            ChurnScenario::EdgeChurn { fraction: 0.05 },
+            p.graph(),
+            &mut burst_rng,
+        );
+        p.apply_mutation(&delta)
+            .expect("burst is valid for the current graph");
+        let rounds2 = p
+            .run_to_stabilization(&mut r, 100_000)
+            .expect("2-state re-stabilizes after the churn burst");
+        assert!(mis_graph::mis_check::is_mis(p.graph(), &p.black_set()));
+        finals.push((
+            rounds,
+            rounds2,
+            p.black_set(),
+            p.counts(),
+            p.random_bits_used(),
+        ));
     }
     assert_eq!(finals[0], finals[1]);
     assert_eq!(finals[0], finals[2]);

@@ -44,6 +44,11 @@ bench:
 bench-phase:
     cargo bench -p mis-bench --bench dense_vs_sparse
 
+# Persistent-pool dispatch overhead vs spawn-per-broadcast, plus the
+# ≤2-dispatches-per-round budget assertion.
+bench-pool:
+    cargo bench -p mis-bench --bench pool_overhead
+
 # Run one experiment binary at paper scale: `just exp e1_clique`.
 exp NAME *ARGS:
     cargo run --release -p mis-bench --bin exp_{{NAME}} -- {{ARGS}}

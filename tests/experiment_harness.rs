@@ -75,10 +75,7 @@ fn representative_registry_keys_run_through_the_harness() {
         assert!(result.all_stabilized(), "{algorithm}");
         assert!(result.all_valid(), "{algorithm}");
         // On a clique every MIS has size exactly 1.
-        assert!(
-            result.trials.iter().all(|t| t.mis_size == 1),
-            "{algorithm}"
-        );
+        assert!(result.trials.iter().all(|t| t.mis_size == 1), "{algorithm}");
         let row = row_from_result(24.0, &result);
         assert_eq!(row.process_label, algorithm);
     }

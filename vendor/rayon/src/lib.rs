@@ -1,24 +1,70 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` built around a **persistent worker pool**.
 //!
-//! Implements the slice of the rayon API the workspace uses with genuine
-//! data parallelism on scoped `std::thread`s:
+//! Implements the slice of the rayon API the workspace uses, keeping the
+//! rayon-shaped surface but replacing the old spawn-per-call scoped threads
+//! with workers that live for the lifetime of their [`ThreadPool`]:
 //!
-//! * `into_par_iter().map(f).collect()` — items are split into one
-//!   contiguous chunk per available CPU core and mapped in parallel,
-//!   preserving input order in the output;
 //! * [`ThreadPoolBuilder`]/[`ThreadPool`] with
-//!   [`broadcast`](ThreadPool::broadcast) — run one closure instance per pool thread
-//!   and collect the results in thread-index order, the fork-join primitive
-//!   the intra-round parallel engine of `mis-core` is built on;
+//!   [`broadcast`](ThreadPool::broadcast) — run one closure instance per pool
+//!   thread and collect the results in thread-index order. Workers are
+//!   spawned **once** when the pool is built and parked between dispatches
+//!   (brief spin, then yield, then a condvar wait), so a dispatch costs a
+//!   generation-counter publish and a wakeup instead of `threads` OS thread
+//!   spawns. The caller participates as index 0, so an `N`-thread pool keeps
+//!   `N - 1` workers.
+//! * [`global_pool`] — the process-wide pool registry (one pool per distinct
+//!   thread count, created on first use, alive for the rest of the process).
+//!   This is how the round engine shares a single pool across engines,
+//!   processes, and rounds.
+//! * [`BroadcastContext::barrier`] — a sense-reversing (generation-counter)
+//!   barrier over the participants of the current dispatch, so multi-phase
+//!   round work can fuse into a single dispatch with internal barriers
+//!   instead of paying one full dispatch per phase.
+//! * [`ChunkQueue`] — chunk-granular work stealing: per-worker deques packed
+//!   into one atomic word each; owners pop from the front, thieves steal the
+//!   upper half from the back, so degree-skewed chunks don't serialize a
+//!   phase on the worker that drew the fattest chunk.
 //! * [`scope`] — spawn borrowing closures that all join before `scope`
-//!   returns (used to hand out disjoint `&mut` chunks).
+//!   returns (scoped threads; used for coarse one-shot forks).
+//! * `into_par_iter().map(f).collect()` — items are split into one
+//!   contiguous chunk per available CPU core and mapped on scoped threads,
+//!   preserving input order (used for trial-level parallelism, where each
+//!   task is long-lived and spawn cost is noise).
 //!
-//! There is no work stealing and no persistent worker pool; threads are
-//! scoped per call. For the workspace's use cases (equal-cost independent
-//! simulation trials; statically chunked intra-round phases) static
-//! chunking is a good fit.
+//! # Determinism
+//!
+//! Nothing here introduces observable nondeterminism for the workloads the
+//! engine runs: `broadcast` returns results in participant-index order, and
+//! the engine's use of [`ChunkQueue`] only varies *which worker* processes a
+//! chunk — with counter-based randomness and commutative merges, that
+//! mapping is invisible in the results.
 
+use std::cell::UnsafeCell;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+
+/// Spin iterations before a waiter starts yielding its timeslice.
+const SPIN_ROUNDS: u32 = 128;
+/// Yield iterations before a parked waiter falls back to its condvar. Yields
+/// matter on oversubscribed hosts (more pool threads than cores): a pure
+/// spin would burn the preempted owner's quantum.
+const YIELD_ROUNDS: u32 = 128;
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked (the
+/// pool's own state is kept consistent by the dispatch protocol, not by the
+/// critical sections).
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Builder for a fixed-size [`ThreadPool`], mirroring
 /// `rayon::ThreadPoolBuilder`.
@@ -40,36 +86,161 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool. Infallible in this stand-in; the `Result` mirrors
-    /// the real crate's signature.
+    /// Builds the pool, spawning its persistent workers. Infallible in this
+    /// stand-in; the `Result` mirrors the real crate's signature.
     pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
         let threads = if self.num_threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            available_cores()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { threads })
+        Ok(ThreadPool::with_threads(threads))
     }
 }
 
-/// A fixed-size thread pool. The stand-in keeps no persistent workers;
-/// each [`broadcast`](ThreadPool::broadcast) call spawns scoped threads.
+/// The type-erased job slot: a pointer to the dispatching call's stack-held
+/// harness plus the monomorphized entry point that reconstitutes it.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    run: unsafe fn(*const (), usize),
+}
+
+unsafe fn noop_job(_data: *const (), _index: usize) {}
+
+/// State shared between the pool handle and its workers.
+///
+/// The dispatch protocol: the (unique, `dispatch_lock`-holding) caller
+/// writes `job`, stores the worker count into `remaining`, and bumps
+/// `generation` with `Release`; workers spot the new generation with
+/// `Acquire` (spin → yield → condvar), run the job, and decrement
+/// `remaining` with `AcqRel` — the caller's `Acquire` wait on `remaining`
+/// therefore observes every worker's writes. The job pointer stays valid
+/// because the caller does not return (or unwind past the harness) until
+/// `remaining` hits zero.
+struct PoolShared {
+    job: UnsafeCell<Job>,
+    generation: AtomicU64,
+    remaining: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Set when any participant panics inside a dispatch; checked by
+    /// [`BroadcastContext::barrier`] waiters so a panicking participant
+    /// cannot deadlock the others, and surfaced by `broadcast` as a panic on
+    /// the caller.
+    panicked: AtomicBool,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+// SAFETY: the raw job pointer is only dereferenced between a dispatch's
+// generation bump and its completion join, during which the pointee (on the
+// dispatching caller's stack) is alive; the closure behind it is `Sync` and
+// its results are `Send` (enforced by `broadcast`'s bounds).
+unsafe impl Send for PoolShared {}
+unsafe impl Sync for PoolShared {}
+
+fn worker_loop(shared: Arc<PoolShared>, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for the next dispatch generation: spin, then yield, then park
+        // on the condvar (re-checking under the lock to avoid lost wakeups).
+        let mut spins = 0u32;
+        let job = loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let generation = shared.generation.load(Ordering::Acquire);
+            if generation != seen {
+                seen = generation;
+                break unsafe { *shared.job.get() };
+            }
+            spins += 1;
+            if spins < SPIN_ROUNDS {
+                std::hint::spin_loop();
+            } else if spins < SPIN_ROUNDS + YIELD_ROUNDS {
+                std::thread::yield_now();
+            } else {
+                let guard = lock_ignore_poison(&shared.sleep);
+                if shared.generation.load(Ordering::Acquire) == seen
+                    && !shared.shutdown.load(Ordering::Acquire)
+                {
+                    drop(shared.wake.wait(guard).unwrap_or_else(|e| e.into_inner()));
+                }
+                spins = 0;
+            }
+        };
+        // Contain panics so the dispatch always completes: the flag turns a
+        // worker assertion failure into a caller-side panic instead of a
+        // hang.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.data, index) }));
+        if outcome.is_err() {
+            shared.panicked.store(true, Ordering::SeqCst);
+        }
+        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = lock_ignore_poison(&shared.done_lock);
+            shared.done.notify_one();
+        }
+    }
+}
+
+/// Sense-reversing barrier over one dispatch's participants: the last
+/// arriver resets the arrival counter and bumps the barrier generation;
+/// everyone else waits for the generation to move. `AcqRel` on the arrival
+/// counter plus `Release`/`Acquire` on the generation gives every
+/// participant's pre-barrier writes happens-before every post-barrier read.
 #[derive(Debug)]
-pub struct ThreadPool {
-    threads: usize,
+struct BarrierState {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    participants: usize,
+}
+
+impl BarrierState {
+    fn new(participants: usize) -> Self {
+        BarrierState {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            participants,
+        }
+    }
+
+    fn wait(&self, poison: &AtomicBool) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == generation {
+            spins += 1;
+            if spins < SPIN_ROUNDS {
+                std::hint::spin_loop();
+            } else {
+                if poison.load(Ordering::SeqCst) {
+                    panic!("a broadcast participant panicked before the barrier");
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
 }
 
 /// Context passed to every [`broadcast`](ThreadPool::broadcast) closure
-/// instance, mirroring `rayon::BroadcastContext`.
+/// instance, mirroring `rayon::BroadcastContext` plus the dispatch-local
+/// [`barrier`](Self::barrier).
 #[derive(Debug, Clone, Copy)]
-pub struct BroadcastContext {
+pub struct BroadcastContext<'a> {
     index: usize,
     num_threads: usize,
+    barrier: Option<&'a BarrierState>,
+    poison: Option<&'a AtomicBool>,
+    barrier_stat: Option<&'a AtomicU64>,
 }
 
-impl BroadcastContext {
+impl BroadcastContext<'_> {
     /// Index of this closure instance in `0..num_threads()`.
     pub fn index(&self) -> usize {
         self.index
@@ -79,41 +250,408 @@ impl BroadcastContext {
     pub fn num_threads(&self) -> usize {
         self.num_threads
     }
+
+    /// Waits until **every** participant of this dispatch has called
+    /// `barrier()` the same number of times: a sense-reversing barrier that
+    /// lets one dispatch hold several internally synchronized phases. All
+    /// pre-barrier writes of all participants happen-before all post-barrier
+    /// reads. On a single-participant dispatch this is free.
+    ///
+    /// Every participant must reach every barrier (skip the *work*, not the
+    /// barrier, when a participant has no chunk).
+    pub fn barrier(&self) {
+        if self.index == 0 {
+            if let Some(stat) = self.barrier_stat {
+                stat.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let (Some(barrier), Some(poison)) = (self.barrier, self.poison) {
+            barrier.wait(poison);
+        }
+    }
+}
+
+/// Cumulative dispatch statistics of one [`ThreadPool`]; see
+/// [`ThreadPool::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Number of `broadcast` calls (inline single-thread dispatches
+    /// included).
+    pub dispatches: u64,
+    /// Number of explicit [`BroadcastContext::barrier`] rendezvous (each
+    /// dispatch additionally ends in one implicit completion join).
+    pub barriers: u64,
+}
+
+/// A fixed-size thread pool with persistent, parked workers.
+///
+/// Workers are spawned once in [`ThreadPoolBuilder::build`] and join only
+/// when the pool is dropped; between dispatches they wait on a spin/yield/
+/// condvar ladder. Concurrent `broadcast` calls from different threads are
+/// serialized by an internal dispatch lock (each caller participates in its
+/// own dispatch as index 0).
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes dispatches: exactly one job may be in flight per pool.
+    dispatch_lock: Mutex<()>,
+    dispatches: AtomicU64,
+    barriers: AtomicU64,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ThreadPool {
+    fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            job: UnsafeCell::new(Job {
+                data: std::ptr::null(),
+                run: noop_job,
+            }),
+            generation: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mis-pool-{threads}-{index}"))
+                    .spawn(move || worker_loop(shared, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            threads,
+            workers,
+            dispatch_lock: Mutex::new(()),
+            dispatches: AtomicU64::new(0),
+            barriers: AtomicU64::new(0),
+        }
+    }
+
     /// Number of threads in the pool.
     pub fn current_num_threads(&self) -> usize {
         self.threads
     }
 
+    /// Cumulative dispatch/barrier counters, for instrumentation and the
+    /// per-round phase-count assertions.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs one instance of `f` per pool thread and returns the results in
-    /// thread-index order. With a single thread the closure runs inline on
-    /// the caller (no spawn).
+    /// thread-index order. The caller runs instance 0 itself; the parked
+    /// workers run the rest. With a single thread the closure runs inline
+    /// (no synchronization at all).
     pub fn broadcast<F, R>(&self, f: F) -> Vec<R>
     where
-        F: Fn(BroadcastContext) -> R + Sync,
+        F: Fn(BroadcastContext<'_>) -> R + Sync,
         R: Send,
     {
-        let num_threads = self.threads.max(1);
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        let num_threads = self.threads;
         if num_threads == 1 {
             return vec![f(BroadcastContext {
                 index: 0,
                 num_threads: 1,
+                barrier: None,
+                poison: None,
+                barrier_stat: Some(&self.barriers),
             })];
         }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..num_threads)
-                .map(|index| {
-                    let f = &f;
-                    scope.spawn(move || f(BroadcastContext { index, num_threads }))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rayon stand-in broadcast worker panicked"))
-                .collect()
-        })
+
+        struct ResultSlot<R>(UnsafeCell<Option<R>>);
+        // SAFETY: each participant writes exactly its own slot; the
+        // completion join orders the writes before the caller's reads.
+        unsafe impl<R: Send> Sync for ResultSlot<R> {}
+
+        struct Harness<'a, F, R> {
+            f: &'a F,
+            results: &'a [ResultSlot<R>],
+            num_threads: usize,
+            barrier: &'a BarrierState,
+            poison: &'a AtomicBool,
+            barrier_stat: &'a AtomicU64,
+        }
+
+        unsafe fn run_erased<F, R>(data: *const (), index: usize)
+        where
+            F: Fn(BroadcastContext<'_>) -> R + Sync,
+            R: Send,
+        {
+            let harness = unsafe { &*(data as *const Harness<'_, F, R>) };
+            let out = (harness.f)(BroadcastContext {
+                index,
+                num_threads: harness.num_threads,
+                barrier: Some(harness.barrier),
+                poison: Some(harness.poison),
+                barrier_stat: Some(harness.barrier_stat),
+            });
+            unsafe { *harness.results[index].0.get() = Some(out) };
+        }
+
+        let barrier = BarrierState::new(num_threads);
+        let results: Vec<ResultSlot<R>> = (0..num_threads)
+            .map(|_| ResultSlot(UnsafeCell::new(None)))
+            .collect();
+        let harness = Harness {
+            f: &f,
+            results: &results,
+            num_threads,
+            barrier: &barrier,
+            poison: &self.shared.panicked,
+            barrier_stat: &self.barriers,
+        };
+        let data = &harness as *const Harness<'_, F, R> as *const ();
+
+        let dispatch_guard = lock_ignore_poison(&self.dispatch_lock);
+        let shared = &self.shared;
+        shared.remaining.store(num_threads - 1, Ordering::Relaxed);
+        unsafe {
+            *shared.job.get() = Job {
+                data,
+                run: run_erased::<F, R>,
+            };
+        }
+        shared.generation.fetch_add(1, Ordering::Release);
+        // Lock-then-notify: a worker is either parked (gets the notify) or
+        // still checking the generation (sees the new value under the lock).
+        drop(lock_ignore_poison(&shared.sleep));
+        shared.wake.notify_all();
+
+        // The caller is participant 0. Contain its panics until the workers
+        // are done — the harness must outlive every access.
+        let caller_outcome =
+            catch_unwind(AssertUnwindSafe(|| unsafe { run_erased::<F, R>(data, 0) }));
+        if caller_outcome.is_err() {
+            shared.panicked.store(true, Ordering::SeqCst);
+        }
+
+        // Completion join: spin, then yield, then park.
+        let mut spins = 0u32;
+        while shared.remaining.load(Ordering::Acquire) != 0 {
+            spins += 1;
+            if spins < SPIN_ROUNDS {
+                std::hint::spin_loop();
+            } else if spins < SPIN_ROUNDS + YIELD_ROUNDS {
+                std::thread::yield_now();
+            } else {
+                let guard = lock_ignore_poison(&shared.done_lock);
+                if shared.remaining.load(Ordering::Acquire) != 0 {
+                    drop(shared.done.wait(guard).unwrap_or_else(|e| e.into_inner()));
+                }
+                spins = 0;
+            }
+        }
+        let worker_panicked = shared.panicked.swap(false, Ordering::SeqCst);
+        drop(dispatch_guard);
+
+        match caller_outcome {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) => {
+                if worker_panicked {
+                    panic!("a thread-pool worker panicked during broadcast");
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.0
+                    .into_inner()
+                    .expect("every broadcast participant writes its slot")
+            })
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        drop(lock_ignore_poison(&self.shared.sleep));
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The process-wide pool registry: one persistent pool per distinct thread
+/// count.
+static POOLS: OnceLock<Mutex<Vec<Arc<ThreadPool>>>> = OnceLock::new();
+
+/// Returns the process-wide persistent pool with exactly `threads` logical
+/// threads (`0` means one per available core).
+///
+/// # Pool lifecycle
+///
+/// The pool (and its `threads - 1` parked workers) is created on the first
+/// request for that thread count and then lives for the rest of the
+/// process — callers share it via `Arc`, successive rounds and successive
+/// engines reuse the same workers, and nothing is respawned per dispatch.
+/// Concurrent broadcasts (e.g. from parallel simulation trials) serialize on
+/// the pool's dispatch lock. A 1-thread "pool" has no workers and runs
+/// broadcasts inline.
+pub fn global_pool(threads: usize) -> Arc<ThreadPool> {
+    let threads = if threads == 0 {
+        available_cores()
+    } else {
+        threads
+    };
+    let mut pools = lock_ignore_poison(POOLS.get_or_init(|| Mutex::new(Vec::new())));
+    if let Some(pool) = pools.iter().find(|p| p.current_num_threads() == threads) {
+        return Arc::clone(pool);
+    }
+    let pool = Arc::new(ThreadPool::with_threads(threads));
+    pools.push(Arc::clone(&pool));
+    pool
+}
+
+const CHUNK_QUEUE_EMPTY_HI: u64 = u32::MAX as u64;
+
+fn pack_range(lo: u64, hi: u64) -> u64 {
+    (lo << 32) | hi
+}
+
+fn unpack_range(packed: u64) -> (u64, u64) {
+    (packed >> 32, packed & CHUNK_QUEUE_EMPTY_HI)
+}
+
+enum Steal {
+    Got(u64, u64),
+    Retry,
+    Empty,
+}
+
+/// Chunk-granular work-stealing deques: worker `w` owns a contiguous range
+/// of chunk indices packed `(lo, hi)` into one atomic word. Owners pop
+/// single chunks from the front (CAS `lo += 1`); a worker whose own deque is
+/// empty steals the **upper half** of a victim's range from the back and
+/// installs the remainder as its new deque. Every chunk is claimed exactly
+/// once; the mapping of chunks to workers is scheduling-dependent, which is
+/// invisible to counter-based randomness and commutative merges.
+///
+/// `pop` returns `None` after a full victim scan finds every deque empty;
+/// chunks that are mid-transfer at that instant are finished by the worker
+/// that claimed them (slight tail underutilization, never lost work).
+#[derive(Debug)]
+pub struct ChunkQueue {
+    ranges: Vec<AtomicU64>,
+}
+
+impl ChunkQueue {
+    /// Deals `chunks` chunk indices out to `workers` deques in contiguous
+    /// even spans.
+    pub fn new(chunks: usize, workers: usize) -> Self {
+        assert!(
+            chunks < u32::MAX as usize,
+            "chunk count must fit in 32 bits"
+        );
+        let workers = workers.max(1);
+        let base = chunks / workers;
+        let extra = chunks % workers;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start = 0u64;
+        for w in 0..workers {
+            let size = (base + usize::from(w < extra)) as u64;
+            ranges.push(AtomicU64::new(pack_range(start, start + size)));
+            start += size;
+        }
+        ChunkQueue { ranges }
+    }
+
+    /// Claims the next chunk for `worker`: its own deque's front, else a
+    /// steal. `None` once all deques are empty.
+    pub fn pop(&self, worker: usize) -> Option<usize> {
+        if let Some(chunk) = self.pop_front(worker) {
+            return Some(chunk);
+        }
+        let k = self.ranges.len();
+        loop {
+            let mut contended = false;
+            for offset in 1..k {
+                let victim = (worker + offset) % k;
+                match self.steal_back(victim) {
+                    Steal::Got(lo, hi) => {
+                        if hi > lo + 1 {
+                            // Keep the rest as our new deque. A plain store
+                            // is safe: only the owner publishes into its own
+                            // slot and thieves skip empty slots, so no
+                            // concurrent CAS can succeed against the stale
+                            // empty value.
+                            self.ranges[worker].store(pack_range(lo + 1, hi), Ordering::Release);
+                        }
+                        return Some(lo as usize);
+                    }
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !contended {
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn pop_front(&self, worker: usize) -> Option<usize> {
+        let slot = &self.ranges[worker];
+        let mut current = slot.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack_range(current);
+            if lo >= hi {
+                return None;
+            }
+            match slot.compare_exchange_weak(
+                current,
+                pack_range(lo + 1, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(lo as usize),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    fn steal_back(&self, victim: usize) -> Steal {
+        let slot = &self.ranges[victim];
+        let current = slot.load(Ordering::Acquire);
+        let (lo, hi) = unpack_range(current);
+        if lo >= hi {
+            return Steal::Empty;
+        }
+        let len = hi - lo;
+        let take = len - len / 2;
+        let mid = hi - take;
+        match slot.compare_exchange(
+            current,
+            pack_range(lo, mid),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Steal::Got(mid, hi),
+            Err(_) => Steal::Retry,
+        }
     }
 }
 
@@ -247,17 +785,16 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 }
 
 /// Maps `items` through `f` on scoped threads, one contiguous chunk per
-/// core, and concatenates the chunk results in order.
+/// core, and concatenates the chunk results in order. Scoped spawns are fine
+/// here: the pipeline is used for coarse, long-lived tasks (whole simulation
+/// trials), where spawn cost is noise.
 fn parallel_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
+    let threads = available_cores().min(items.len().max(1));
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -283,6 +820,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -305,9 +843,7 @@ mod tests {
             })
             .collect();
         let distinct = seen.lock().unwrap().len();
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let cores = super::available_cores();
         assert!(distinct >= 1 && distinct <= cores.max(1));
         if cores > 1 {
             assert!(distinct > 1, "expected work on more than one thread");
@@ -332,6 +868,114 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(one.broadcast(|ctx| ctx.index()), vec![0]);
+    }
+
+    #[test]
+    fn pool_workers_persist_across_dispatches() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let ids = Mutex::new(HashSet::new());
+        for _ in 0..50 {
+            pool.broadcast(|ctx| {
+                if ctx.index() != 0 {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                }
+            });
+        }
+        // 50 dispatches reuse the same 2 workers: persistent, not respawned.
+        assert_eq!(ids.lock().unwrap().len(), 2);
+        assert_eq!(pool.stats().dispatches, 50);
+    }
+
+    #[test]
+    fn barrier_orders_phases_within_one_dispatch() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let phase1 = AtomicUsize::new(0);
+        let out = pool.broadcast(|ctx| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier, every participant's increment is visible.
+            let seen = phase1.load(Ordering::SeqCst);
+            ctx.barrier();
+            seen
+        });
+        assert_eq!(out, vec![4, 4, 4, 4]);
+        assert_eq!(pool.stats().barriers, 2);
+        assert_eq!(pool.stats().dispatches, 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(|ctx| {
+                if ctx.index() == 1 {
+                    panic!("worker boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool stays usable after a contained panic.
+        let out = pool.broadcast(|ctx| ctx.index());
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_persistent() {
+        let a = super::global_pool(3);
+        let b = super::global_pool(3);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(a.current_num_threads(), 3);
+        let zero = super::global_pool(0);
+        assert_eq!(zero.current_num_threads(), super::available_cores());
+    }
+
+    #[test]
+    fn chunk_queue_claims_every_chunk_exactly_once() {
+        for &(chunks, workers) in &[(1usize, 1usize), (5, 2), (64, 4), (3, 8), (100, 3)] {
+            let queue = super::ChunkQueue::new(chunks, workers);
+            let claimed: Vec<AtomicUsize> = (0..chunks).map(|_| AtomicUsize::new(0)).collect();
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    let queue = &queue;
+                    let claimed = &claimed;
+                    s.spawn(move || {
+                        while let Some(c) = queue.pop(w) {
+                            claimed[c].fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            for (c, slot) in claimed.iter().enumerate() {
+                assert_eq!(
+                    slot.load(Ordering::SeqCst),
+                    1,
+                    "chunk {c} ({chunks} chunks, {workers} workers)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_queue_steals_from_a_loaded_victim() {
+        // Worker 1 starts empty: everything it claims is stolen from 0.
+        let queue = super::ChunkQueue::new(8, 2);
+        let mut got = Vec::new();
+        while let Some(c) = queue.pop(1) {
+            got.push(c);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]
