@@ -1,0 +1,100 @@
+//! Byzantine experiment: containment of adversarial vertices by the
+//! 2-state, 3-state, and 3-color processes on sparse `G(n, 8/n)`, across
+//! all four adversary strategies and random vs hub-targeted placement.
+//!
+//! Writes the machine-readable report to `results/exp_byzantine.json` and
+//! the headline evidence file `BENCH_byzantine.json` at the workspace root.
+//!
+//! Usage: `cargo run --release -p mis-bench --bin exp_byzantine [-- --quick]`
+//!
+//! Exit status is non-zero when a gate fails:
+//! * at the gate fraction (1% Byzantine vertices, random placement), any
+//!   (process, strategy) pair that does not reach confirmed containment
+//!   within the round budget;
+//! * any trial whose final black set is not a valid MIS outside the
+//!   radius-2 zone of the Byzantine set.
+
+use mis_bench::experiments::byzantine::exp_byzantine;
+use mis_bench::report::{print_section, write_results_file};
+use mis_bench::Scale;
+
+const HELP: &str = "\
+exp_byzantine — Byzantine adversaries: containment within radius 2
+
+USAGE: exp_byzantine [--quick] [--help]
+
+  --quick  n = 10^5, random placement at the 1% gate fraction only (CI
+           smoke); default is n = 10^6 across f in {0.1%, 1%, 5%} plus a
+           hub-targeted placement at 1%
+  --help   print this help
+
+METHOD
+  For each paper process (two-state, three-state, three-color), each
+  adversary strategy (frozen, flipper, oscillator, spoofer), and each
+  Byzantine fraction f: place ceil(f*n) adversarial vertices on G(n, 8/n),
+  apply the adversary's override every round after the honest step, and
+  drive until every unstable vertex lies within graph distance 2 of the
+  Byzantine set for 3 consecutive rounds. Record the rounds to confirmed
+  containment and the residual unstable fraction, then validate the final
+  configuration as a MIS outside the radius-2 zone.
+
+GATES (non-zero exit)
+  any (process, strategy) pair uncontained at f = 1% random placement;
+  any trial ending on an invalid MIS outside its Byzantine zone.
+";
+
+fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return;
+    }
+    let scale = Scale::from_args();
+    let report = exp_byzantine(scale);
+    print_section(
+        "BYZANTINE: adversarial containment within radius 2 on G(n, 8/n)",
+        &report.to_pretty(),
+    );
+    let gate: Vec<String> = report
+        .gate_rows()
+        .map(|r| {
+            format!(
+                "{}/{}: contained in {} rounds, residual {:.2e}",
+                r.algorithm, r.strategy, r.rounds_to_containment, r.residual_fraction
+            )
+        })
+        .collect();
+    println!(
+        "containment at f = {} (random placement): {}",
+        report.gate_fraction,
+        gate.join("; ")
+    );
+
+    let json = report.to_json();
+    if let Ok(path) = write_results_file("exp_byzantine.json", &json) {
+        println!("wrote {}", path.display());
+    }
+    match std::fs::write("BENCH_byzantine.json", &json) {
+        Ok(()) => println!("wrote BENCH_byzantine.json"),
+        Err(e) => eprintln!("could not write BENCH_byzantine.json: {e}"),
+    }
+
+    let mut failed = false;
+    if !report.gate_passes() {
+        eprintln!(
+            "GATE FAILED: a (process, strategy) pair did not contain a {}% Byzantine \
+             placement within the round budget",
+            report.gate_fraction * 100.0
+        );
+        failed = true;
+    }
+    if !report.all_valid() {
+        eprintln!(
+            "GATE FAILED: a trial ended uncontained or on an invalid MIS outside its \
+             Byzantine zone"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -16,8 +16,12 @@
 //! * [`churn`] — dynamic graphs: incremental re-stabilization through the
 //!   live-mutation engine vs a cold restart after edge-churn bursts, for
 //!   all three paper processes.
+//! * [`byzantine`] — adversarial robustness: containment of Byzantine
+//!   vertices (frozen/flipper/oscillator/spoofer adversaries) within the
+//!   2-neighborhood of the Byzantine set, for all three paper processes.
 
 pub mod ablation;
+pub mod byzantine;
 pub mod churn;
 pub mod comparison;
 pub mod lemmas;
@@ -26,6 +30,7 @@ pub mod stabilization;
 pub mod structure;
 
 pub use ablation::{ablation_init_strategy, ablation_switch_implementation, ablation_switch_zeta};
+pub use byzantine::{byzantine_measurement, exp_byzantine, ByzantineReport};
 pub use churn::{churn_measurement, exp_churn, ChurnReport};
 pub use comparison::{e10_baselines, e11_fault_recovery};
 pub use lemmas::{e12_lemma6, e13_comm_models};

@@ -7,7 +7,7 @@ use mis_core::algorithm::{
     Registry, StepCtx,
 };
 use mis_core::{Activation, Color, Process, ThreeColor, ThreeState};
-use mis_graph::Graph;
+use mis_graph::{Graph, VertexId};
 use rand::{Rng, RngCore};
 
 use crate::beeping::BeepingTwoStateMis;
@@ -63,8 +63,13 @@ impl Algorithm for BeepingTwoStateAlgorithm<'_> {
     }
 
     fn inject_faults(&mut self, fraction: f64, rng: &mut dyn RngCore) -> usize {
+        let victims = fault_victims(self.inner.n(), fraction, rng);
+        self.inject_faults_targeted(&victims, rng)
+    }
+
+    fn inject_faults_targeted(&mut self, victims: &[VertexId], rng: &mut dyn RngCore) -> usize {
         let mut changed = 0;
-        for u in fault_victims(self.inner.n(), fraction, rng) {
+        for &u in victims {
             let color = if rng.gen_bool(0.5) {
                 Color::Black
             } else {
@@ -78,11 +83,26 @@ impl Algorithm for BeepingTwoStateAlgorithm<'_> {
         changed
     }
 
+    fn set_byzantine_state(&mut self, u: VertexId, black: bool) -> bool {
+        let color = if black { Color::Black } else { Color::White };
+        let changed = self.inner.color(u) != color;
+        self.inner.set_color(u, color);
+        changed
+    }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.inner.graph())
+    }
+
     fn supports_partial_activation(&self) -> bool {
         true
     }
 
     fn supports_fault_injection(&self) -> bool {
+        true
+    }
+
+    fn supports_byzantine(&self) -> bool {
         true
     }
 }
@@ -130,8 +150,13 @@ impl Algorithm for StoneAgeThreeStateAlgorithm<'_> {
     }
 
     fn inject_faults(&mut self, fraction: f64, rng: &mut dyn RngCore) -> usize {
+        let victims = fault_victims(self.inner.n(), fraction, rng);
+        self.inject_faults_targeted(&victims, rng)
+    }
+
+    fn inject_faults_targeted(&mut self, victims: &[VertexId], rng: &mut dyn RngCore) -> usize {
         let mut changed = 0;
-        for u in fault_victims(self.inner.n(), fraction, rng) {
+        for &u in victims {
             let state = match uniform3(rng) {
                 0 => ThreeState::Black1,
                 1 => ThreeState::Black0,
@@ -145,11 +170,32 @@ impl Algorithm for StoneAgeThreeStateAlgorithm<'_> {
         changed
     }
 
+    fn set_byzantine_state(&mut self, u: VertexId, black: bool) -> bool {
+        // Black1 is the asserting black letter, mirroring the direct
+        // 3-state adapter.
+        let state = if black {
+            ThreeState::Black1
+        } else {
+            ThreeState::White
+        };
+        let changed = self.inner.state(u) != state;
+        self.inner.set_state(u, state);
+        changed
+    }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.inner.graph())
+    }
+
     fn supports_partial_activation(&self) -> bool {
         true
     }
 
     fn supports_fault_injection(&self) -> bool {
+        true
+    }
+
+    fn supports_byzantine(&self) -> bool {
         true
     }
 }
@@ -194,8 +240,13 @@ impl Algorithm for StoneAgeThreeColorAlgorithm<'_> {
     }
 
     fn inject_faults(&mut self, fraction: f64, rng: &mut dyn RngCore) -> usize {
+        let victims = fault_victims(self.inner.n(), fraction, rng);
+        self.inject_faults_targeted(&victims, rng)
+    }
+
+    fn inject_faults_targeted(&mut self, victims: &[VertexId], rng: &mut dyn RngCore) -> usize {
         let mut changed = 0;
-        for u in fault_victims(self.inner.n(), fraction, rng) {
+        for &u in victims {
             let color = match uniform3(rng) {
                 0 => ThreeColor::Black,
                 1 => ThreeColor::Gray,
@@ -210,7 +261,28 @@ impl Algorithm for StoneAgeThreeColorAlgorithm<'_> {
         changed
     }
 
+    fn set_byzantine_state(&mut self, u: VertexId, black: bool) -> bool {
+        // Only the displayed color is overridden; the node's switch level
+        // keeps ticking, as in the direct 3-color adapter.
+        let color = if black {
+            ThreeColor::Black
+        } else {
+            ThreeColor::White
+        };
+        let changed = self.inner.color(u) != color;
+        self.inner.set_node_state(u, color, self.inner.level(u));
+        changed
+    }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.inner.graph())
+    }
+
     fn supports_fault_injection(&self) -> bool {
+        true
+    }
+
+    fn supports_byzantine(&self) -> bool {
         true
     }
 }

@@ -113,6 +113,11 @@ impl<'g> BeepingTwoStateMis<'g> {
         &self.states
     }
 
+    /// The communication graph the network runs on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
     /// The action node `u` takes in the next round: black nodes beep, white
     /// nodes listen.
     pub fn action(&self, u: VertexId) -> BeepAction {

@@ -115,6 +115,11 @@ impl<'g> StoneAgeThreeStateMis<'g> {
         &self.states
     }
 
+    /// The communication graph the network runs on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
     /// The letter node `u` transmits in the next round (`None` = silence).
     pub fn transmission(&self, u: VertexId) -> Option<u8> {
         match self.states[u] {
@@ -388,6 +393,11 @@ impl<'g> StoneAgeThreeColorMis<'g> {
     /// The full color vector.
     pub fn colors(&self) -> &[ThreeColor] {
         &self.colors
+    }
+
+    /// The communication graph the network runs on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
     }
 
     /// Overwrites the color and switch level of node `u` in place, modelling

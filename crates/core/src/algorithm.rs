@@ -179,8 +179,41 @@ pub trait Algorithm {
     /// The default implementation does nothing and returns 0; algorithms
     /// that can be corrupted override it and set
     /// [`supports_fault_injection`](Self::supports_fault_injection).
+    /// Overriders are expected to delegate to
+    /// [`inject_faults_targeted`](Self::inject_faults_targeted) on a
+    /// [`fault_victims`] sample, so random-count and targeted faults share
+    /// one corruption recipe (and one RNG-stream shape).
     fn inject_faults(&mut self, _fraction: f64, _rng: &mut dyn RngCore) -> usize {
         0
+    }
+
+    /// Overwrites the states of exactly the given `victims` with uniformly
+    /// random states (a *targeted* transient fault) and returns the number
+    /// of vertices whose state actually changed.
+    ///
+    /// The default implementation does nothing and returns 0; algorithms
+    /// that can be corrupted override it together with
+    /// [`inject_faults`](Self::inject_faults) under the same
+    /// [`supports_fault_injection`](Self::supports_fault_injection) flag.
+    fn inject_faults_targeted(&mut self, _victims: &[VertexId], _rng: &mut dyn RngCore) -> usize {
+        0
+    }
+
+    /// Forces vertex `u`'s protocol-visible state to black (or white),
+    /// delta-repairing any incremental bookkeeping (frontier membership,
+    /// black/black1 neighbor counters) exactly like the
+    /// [`apply_mutation`](Self::apply_mutation) state-carryover path.
+    /// Returns whether the state actually changed.
+    ///
+    /// This is the seam [`crate::byzantine::ByzantineOverlay`] drives after
+    /// every round; richer per-algorithm state (the 3-color switch level,
+    /// stone-age letters) is deliberately left untouched so the adversary
+    /// controls exactly the blackness neighbors observe. The default does
+    /// nothing and returns `false`; algorithms that support adversarial
+    /// overrides implement it and set
+    /// [`supports_byzantine`](Self::supports_byzantine).
+    fn set_byzantine_state(&mut self, _u: VertexId, _black: bool) -> bool {
+        false
     }
 
     /// Applies a batch of topology mutations (edge insert/delete, vertex
@@ -242,6 +275,13 @@ pub trait Algorithm {
     /// `true` if [`inject_faults`](Self::inject_faults) actually corrupts
     /// state.
     fn supports_fault_injection(&self) -> bool {
+        false
+    }
+
+    /// `true` if [`set_byzantine_state`](Self::set_byzantine_state)
+    /// actually overrides state (so the harness may attach a
+    /// [`crate::byzantine::ByzantineOverlay`]).
+    fn supports_byzantine(&self) -> bool {
         false
     }
 
@@ -376,6 +416,15 @@ pub fn fault_victims(n: usize, fraction: f64, rng: &mut dyn RngCore) -> Vec<Vert
         "fraction must be in [0, 1], got {fraction}"
     );
     let count = ((fraction * n as f64).ceil() as usize).min(n);
+    victim_sample(n, count, rng)
+}
+
+/// Picks `min(count, n)` distinct vertices uniformly at random, via the
+/// same partial Fisher–Yates shuffle as [`fault_victims`] (which delegates
+/// here). Shared selection plumbing for count-based fault specs and
+/// Byzantine vertex placement.
+pub fn victim_sample(n: usize, count: usize, rng: &mut dyn RngCore) -> Vec<VertexId> {
+    let count = count.min(n);
     let mut ids: Vec<VertexId> = (0..n).collect();
     for i in 0..count {
         let j = rng.gen_range(i..n);
@@ -461,6 +510,33 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), v.len(), "victims must be distinct");
+    }
+
+    #[test]
+    fn victim_sample_counts_and_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(victim_sample(10, 0, &mut rng).is_empty());
+        assert_eq!(victim_sample(10, 25, &mut rng).len(), 10, "count clamps");
+        assert!(victim_sample(0, 5, &mut rng).is_empty());
+        let v = victim_sample(20, 7, &mut rng);
+        assert_eq!(v.len(), 7);
+        assert!(v.iter().all(|&u| u < 20));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), v.len(), "sample must be distinct");
+    }
+
+    #[test]
+    fn fault_victims_delegates_to_victim_sample() {
+        // Same seed, same count => identical RNG stream and selection.
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        let mut b = ChaCha8Rng::seed_from_u64(11);
+        assert_eq!(
+            fault_victims(40, 0.25, &mut a),
+            victim_sample(40, 10, &mut b)
+        );
+        assert_eq!(a.next_u64(), b.next_u64(), "streams must stay aligned");
     }
 
     #[test]

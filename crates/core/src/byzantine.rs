@@ -1,0 +1,374 @@
+//! **Byzantine adversaries**: vertices that never obey the protocol.
+//!
+//! Self-stabilization recovers from *transient* faults — arbitrary but
+//! one-shot state corruption. The stronger adversary of
+//! Cohen–Pirot–Pilard ("Self-stabilization and Byzantine tolerance for
+//! maximal independent set") controls a fixed set `B` of vertices
+//! *permanently*: in every round, after the honest vertices move, the
+//! adversary rewrites the states of `B` however it likes. No algorithm can
+//! stabilize `B` or its immediate surroundings, but their result is that
+//! the MIS processes still stabilize **outside the 2-neighborhood of
+//! `B`** — the containment-radius guarantee this module lets the harness
+//! measure and the checker ([`mis_graph::mis_check::is_mis_outside`])
+//! validate.
+//!
+//! The design mirrors the transient-fault seam:
+//!
+//! * [`Adversary`] decides, per `(vertex, round)`, which state an
+//!   adversarial vertex displays. Implementations are **pure functions**
+//!   of their coordinates (randomized strategies go through
+//!   [`CounterRng`] on the dedicated [`DRAW_BYZANTINE`] axis), so a
+//!   Byzantine run stays bit-identical across thread counts and never
+//!   consumes the trial's sequential RNG stream.
+//! * [`ByzantineOverlay`] applies an adversary to any registry
+//!   [`Algorithm`] through the new
+//!   [`set_byzantine_state`](Algorithm::set_byzantine_state) hook — the
+//!   same packed-state override + engine delta-repair discipline that
+//!   `inject_faults` and `apply_mutation` use — so every algorithm,
+//!   including the comm-model adaptations, runs under attack without
+//!   per-algorithm forks.
+//!
+//! The four built-in strategies ([`ByzantineStrategy`]) cover the
+//! qualitatively different attack shapes: a dead node ([`Frozen`]), white
+//! noise ([`Flipper`]), a resonant destabilizer ([`Oscillator`]), and a
+//! counter-stressing liar ([`Spoofer`]).
+
+use std::fmt;
+
+use mis_graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+use crate::algorithm::Algorithm;
+use crate::counter_rng::{CounterRng, DRAW_BYZANTINE};
+
+/// A Byzantine adversary: decides the state each adversarial vertex
+/// displays in each round.
+///
+/// Implementations must be pure functions of `(vertex, round)` (plus the
+/// seed baked in at construction): the overlay may re-evaluate any
+/// coordinate at any time, and determinism across thread counts depends on
+/// it. Randomness goes through [`CounterRng`] on the [`DRAW_BYZANTINE`]
+/// axis, never through the trial's sequential stream.
+pub trait Adversary: Send + Sync {
+    /// The strategy's display name.
+    fn name(&self) -> &'static str;
+
+    /// Whether `vertex` displays **black** to its neighbors in `round`.
+    fn displays_black(&self, vertex: VertexId, round: usize) -> bool;
+
+    /// The state the vertex "really" holds, when the strategy
+    /// distinguishes it from the displayed one (spoofing). When the two
+    /// differ the overlay writes the internal state first and the
+    /// displayed state second, forcing a state transition — and the
+    /// corresponding counter delta-repair — every single round.
+    fn internal_black(&self, vertex: VertexId, round: usize) -> bool {
+        self.displays_black(vertex, round)
+    }
+}
+
+/// Stuck forever in one arbitrary (per-vertex pseudo-random) state — the
+/// crashed-node end of the Byzantine spectrum.
+#[derive(Debug, Clone, Copy)]
+pub struct Frozen {
+    rng: CounterRng,
+}
+
+impl Frozen {
+    /// A frozen adversary whose per-vertex stuck states are keyed by
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        Frozen {
+            rng: CounterRng::new(seed),
+        }
+    }
+}
+
+impl Adversary for Frozen {
+    fn name(&self) -> &'static str {
+        "frozen"
+    }
+
+    fn displays_black(&self, vertex: VertexId, _round: usize) -> bool {
+        self.rng.coin(vertex as u64, 0, DRAW_BYZANTINE)
+    }
+}
+
+/// Re-randomizes every round: an independent fair coin per
+/// `(vertex, round)` via the counter RNG, so the attack is bit-identical
+/// across thread counts.
+#[derive(Debug, Clone, Copy)]
+pub struct Flipper {
+    rng: CounterRng,
+}
+
+impl Flipper {
+    /// A flipper adversary keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Flipper {
+            rng: CounterRng::new(seed),
+        }
+    }
+}
+
+impl Adversary for Flipper {
+    fn name(&self) -> &'static str {
+        "flipper"
+    }
+
+    fn displays_black(&self, vertex: VertexId, round: usize) -> bool {
+        self.rng.coin(vertex as u64, round as u64, DRAW_BYZANTINE)
+    }
+}
+
+/// Alternates black/white deterministically every round — the
+/// maximally-destabilizing periodic attack: neighbors that committed to
+/// white because the Byzantine vertex was black see it turn white one
+/// round later, and vice versa.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Oscillator;
+
+impl Adversary for Oscillator {
+    fn name(&self) -> &'static str {
+        "oscillator"
+    }
+
+    fn displays_black(&self, _vertex: VertexId, round: usize) -> bool {
+        round % 2 == 0
+    }
+}
+
+/// Reports **black** to its neighbors while internally holding **white**:
+/// the overlay writes white-then-black every round, so the engine's
+/// black/black1 neighbor counters absorb a full down-then-up delta-repair
+/// per round per spoofing vertex — the counter-stress attack.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Spoofer;
+
+impl Adversary for Spoofer {
+    fn name(&self) -> &'static str {
+        "spoofer"
+    }
+
+    fn displays_black(&self, _vertex: VertexId, _round: usize) -> bool {
+        true
+    }
+
+    fn internal_black(&self, _vertex: VertexId, _round: usize) -> bool {
+        false
+    }
+}
+
+/// The built-in adversary strategies, as a spec-friendly enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ByzantineStrategy {
+    /// [`Frozen`]: stuck in one arbitrary state forever.
+    Frozen,
+    /// [`Flipper`]: fresh counter-RNG coin every round.
+    Flipper,
+    /// [`Oscillator`]: alternates black/white each round.
+    Oscillator,
+    /// [`Spoofer`]: displays black, internally white.
+    Spoofer,
+}
+
+impl ByzantineStrategy {
+    /// Every built-in strategy, for campaign sweeps.
+    pub fn all() -> [ByzantineStrategy; 4] {
+        [
+            ByzantineStrategy::Frozen,
+            ByzantineStrategy::Flipper,
+            ByzantineStrategy::Oscillator,
+            ByzantineStrategy::Spoofer,
+        ]
+    }
+
+    /// Short label for tables and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ByzantineStrategy::Frozen => "frozen",
+            ByzantineStrategy::Flipper => "flipper",
+            ByzantineStrategy::Oscillator => "oscillator",
+            ByzantineStrategy::Spoofer => "spoofer",
+        }
+    }
+
+    /// Builds the adversary, keying any randomized strategy by `seed`.
+    pub fn build(self, seed: u64) -> Box<dyn Adversary> {
+        match self {
+            ByzantineStrategy::Frozen => Box::new(Frozen::new(seed)),
+            ByzantineStrategy::Flipper => Box::new(Flipper::new(seed)),
+            ByzantineStrategy::Oscillator => Box::new(Oscillator),
+            ByzantineStrategy::Spoofer => Box::new(Spoofer),
+        }
+    }
+}
+
+impl fmt::Display for ByzantineStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Binds an [`Adversary`] to a fixed set of vertices and applies it to a
+/// running [`Algorithm`].
+///
+/// The harness calls [`apply`](ByzantineOverlay::apply) once before the
+/// first round and again after every step, re-overriding the adversarial
+/// vertices' states through
+/// [`Algorithm::set_byzantine_state`] — which delta-repairs the frontier
+/// engine's black/black1 counters exactly like `apply_mutation`'s
+/// state-carryover path, so the honest vertices' incremental bookkeeping
+/// stays exact under attack.
+pub struct ByzantineOverlay {
+    adversary: Box<dyn Adversary>,
+    strategy: ByzantineStrategy,
+    vertices: Vec<VertexId>,
+}
+
+impl ByzantineOverlay {
+    /// An overlay running `strategy` (keyed by `seed`) on `vertices`.
+    ///
+    /// Vertices are sorted and deduplicated so the override order — and
+    /// hence the sequential-mode RNG-free trajectory — is canonical.
+    pub fn new(strategy: ByzantineStrategy, mut vertices: Vec<VertexId>, seed: u64) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        ByzantineOverlay {
+            adversary: strategy.build(seed),
+            strategy,
+            vertices,
+        }
+    }
+
+    /// The adversarial vertex set, sorted and deduplicated.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// The strategy this overlay runs.
+    pub fn strategy(&self) -> ByzantineStrategy {
+        self.strategy
+    }
+
+    /// `true` if no vertex is adversarial (the overlay is then a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Re-overrides every adversarial vertex's state for the algorithm's
+    /// current round; returns how many override writes actually changed a
+    /// state.
+    ///
+    /// Vertices that no longer exist (the population shrank under churn)
+    /// are skipped: a departed Byzantine vertex simply stops attacking.
+    pub fn apply(&self, alg: &mut dyn Algorithm) -> usize {
+        let round = alg.round();
+        let n = alg.n();
+        let mut changed = 0;
+        for &u in &self.vertices {
+            if u >= n {
+                continue;
+            }
+            let displayed = self.adversary.displays_black(u, round);
+            let internal = self.adversary.internal_black(u, round);
+            if internal != displayed && alg.set_byzantine_state(u, internal) {
+                changed += 1;
+            }
+            if alg.set_byzantine_state(u, displayed) {
+                changed += 1;
+            }
+        }
+        changed
+    }
+}
+
+impl fmt::Debug for ByzantineOverlay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ByzantineOverlay")
+            .field("strategy", &self.strategy)
+            .field("vertices", &self.vertices)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_are_pure_functions_of_coordinates() {
+        for strategy in ByzantineStrategy::all() {
+            let a = strategy.build(9);
+            let b = strategy.build(9);
+            for u in 0..64 {
+                for t in 0..8 {
+                    assert_eq!(
+                        a.displays_black(u, t),
+                        b.displays_black(u, t),
+                        "{strategy} not reproducible at ({u}, {t})"
+                    );
+                    assert_eq!(
+                        a.internal_black(u, t),
+                        b.internal_black(u, t),
+                        "{strategy} internal not reproducible at ({u}, {t})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_never_moves_flipper_does() {
+        let frozen = Frozen::new(3);
+        let flipper = Flipper::new(3);
+        let mut flips = 0;
+        for u in 0..32 {
+            let f0 = frozen.displays_black(u, 0);
+            for t in 1..50 {
+                assert_eq!(frozen.displays_black(u, t), f0, "frozen moved");
+                if flipper.displays_black(u, t) != flipper.displays_black(u, t - 1) {
+                    flips += 1;
+                }
+            }
+        }
+        assert!(flips > 200, "flipper barely flips ({flips} transitions)");
+    }
+
+    #[test]
+    fn oscillator_alternates_and_spoofer_lies() {
+        let osc = Oscillator;
+        assert!(osc.displays_black(5, 0));
+        assert!(!osc.displays_black(5, 1));
+        assert!(osc.displays_black(5, 2));
+        assert_eq!(osc.internal_black(5, 0), osc.displays_black(5, 0));
+        let spoof = Spoofer;
+        for t in 0..4 {
+            assert!(spoof.displays_black(0, t));
+            assert!(!spoof.internal_black(0, t));
+        }
+    }
+
+    #[test]
+    fn strategy_labels_and_serde_roundtrip() {
+        for s in ByzantineStrategy::all() {
+            assert_eq!(s.build(0).name(), s.label());
+            let json = serde_json::to_string(&s).unwrap();
+            let back: ByzantineStrategy = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, s);
+        }
+        let labels: std::collections::HashSet<_> =
+            ByzantineStrategy::all().iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn overlay_sorts_dedupes_and_reports_emptiness() {
+        let o = ByzantineOverlay::new(ByzantineStrategy::Oscillator, vec![4, 1, 4, 2], 0);
+        assert_eq!(o.vertices(), &[1, 2, 4]);
+        assert_eq!(o.strategy(), ByzantineStrategy::Oscillator);
+        assert!(!o.is_empty());
+        assert!(ByzantineOverlay::new(ByzantineStrategy::Frozen, vec![], 0).is_empty());
+        let dbg = format!("{o:?}");
+        assert!(dbg.contains("Oscillator"));
+    }
+}

@@ -33,6 +33,10 @@ use rand::RngCore;
 pub const DRAW_STATE: u64 = 0;
 /// Draw index used by the randomized logarithmic switch sub-process.
 pub const DRAW_SWITCH: u64 = 1;
+/// Draw index used by Byzantine adversary strategies ([`crate::byzantine`]):
+/// adversarial overrides must not perturb the protocol's own draw axes, or a
+/// Byzantine run would change the honest vertices' coins.
+pub const DRAW_BYZANTINE: u64 = 2;
 
 /// Philox multiplication constant (`PHILOX_M2x64_0`).
 const PHILOX_M: u64 = 0xD2B7_4407_B1CE_6E93;

@@ -68,6 +68,7 @@
 
 pub mod adapters;
 pub mod algorithm;
+pub mod byzantine;
 pub mod counter_rng;
 pub mod engine;
 pub mod exec;
@@ -86,9 +87,10 @@ pub use adapters::{
     register_core_algorithms, ThreeColorAlgorithm, ThreeStateAlgorithm, TwoStateAlgorithm,
 };
 pub use algorithm::{
-    fault_victims, Algorithm, AlgorithmConfig, AlgorithmFactory, CommunicationModel, Registry,
-    StepCtx,
+    fault_victims, victim_sample, Algorithm, AlgorithmConfig, AlgorithmFactory, CommunicationModel,
+    Registry, StepCtx,
 };
+pub use byzantine::{Adversary, ByzantineOverlay, ByzantineStrategy};
 pub use counter_rng::CounterRng;
 pub use engine::{FrontierEngine, ScatterSink, VertexClass};
 pub use exec::{ExecutionMode, RoundStrategy, DENSE_SWITCH_DIVISOR};

@@ -4,6 +4,7 @@
 //! functions: after a process reports stabilization, the set of black
 //! vertices must be an MIS of the input graph (independence + maximality).
 
+use crate::traversal::{multi_source_bfs_distances, UNREACHABLE};
 use crate::{Graph, VertexId, VertexSet};
 
 /// A witness explaining why a vertex set is *not* a maximal independent set.
@@ -110,6 +111,73 @@ pub fn check_mis(g: &Graph, s: &VertexSet) -> Option<MisViolation> {
     check_independent(g, s).or_else(|| check_maximal(g, s))
 }
 
+/// Returns `true` if `s` is a maximal independent set of `g` **outside the
+/// `radius`-neighborhood of `excluded`** — the Byzantine containment
+/// property of Cohen–Pirot–Pilard (their guarantee is `radius = 2`).
+///
+/// See [`check_mis_outside`] for the exact semantics and a violation
+/// witness.
+///
+/// # Panics
+///
+/// Panics if `s.universe() != g.n()` or any excluded vertex is out of range.
+pub fn is_mis_outside(g: &Graph, s: &VertexSet, excluded: &[VertexId], radius: usize) -> bool {
+    check_mis_outside(g, s, excluded, radius).is_none()
+}
+
+/// Returns the first violation of the containment-aware MIS property, if
+/// any.
+///
+/// The *exclusion zone* is the set of vertices at BFS distance at most
+/// `radius` from some vertex of `excluded`. On the remainder:
+///
+/// * **independence** — no edge with *both* endpoints outside the zone has
+///   both endpoints in `s` (edges into the zone are the adversary's
+///   business and are not judged);
+/// * **maximality** — every outside vertex not in `s` has some neighbor in
+///   `s`. The witnessing neighbor *may* lie inside the zone: a vertex
+///   dominated by a (currently black) zone vertex has no grounds to join
+///   the set, exactly as in the containment analysis.
+///
+/// With an empty `excluded` set this is precisely [`check_mis`].
+///
+/// # Panics
+///
+/// Panics if `s.universe() != g.n()` or any excluded vertex is out of range.
+pub fn check_mis_outside(
+    g: &Graph,
+    s: &VertexSet,
+    excluded: &[VertexId],
+    radius: usize,
+) -> Option<MisViolation> {
+    assert_eq!(
+        s.universe(),
+        g.n(),
+        "vertex set universe must match the graph"
+    );
+    if excluded.is_empty() {
+        return check_mis(g, s);
+    }
+    let dist = multi_source_bfs_distances(g, excluded.iter().copied());
+    let outside = |u: VertexId| dist[u] == UNREACHABLE || dist[u] > radius;
+    for u in s.iter() {
+        if !outside(u) {
+            continue;
+        }
+        for v in g.neighbors(u) {
+            if v > u && outside(v) && s.contains(v) {
+                return Some(MisViolation::IndependenceViolated { u, v });
+            }
+        }
+    }
+    for u in g.vertices() {
+        if outside(u) && !s.contains(u) && !g.neighbors(u).iter().any(|v| s.contains(v)) {
+            return Some(MisViolation::MaximalityViolated { vertex: u });
+        }
+    }
+    None
+}
+
 /// Greedily extends an independent set `s` to a maximal one by scanning
 /// vertices in increasing id order. The input must be independent.
 ///
@@ -173,6 +241,57 @@ mod tests {
         // Zero-vertex graph: the empty set is an MIS.
         let g0 = Graph::empty(0);
         assert!(is_mis(&g0, &VertexSet::new(0)));
+    }
+
+    #[test]
+    fn outside_check_excludes_the_radius_ball() {
+        // Path 0-1-2-3-4-5-6 with Byzantine vertex 0.
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]).unwrap();
+        // {3, 4} violates independence, but only outside N^2({0}) = {0,1,2}.
+        let bad = VertexSet::from_indices(7, [3, 4, 6]);
+        assert!(!is_mis_outside(&g, &bad, &[0], 2));
+        assert!(matches!(
+            check_mis_outside(&g, &bad, &[0], 2),
+            Some(MisViolation::IndependenceViolated { u: 3, v: 4 })
+        ));
+        // Widening the radius to absorb vertex 3 hides that edge but vertex
+        // 6 (outside, white, black neighbor 5? no — 5 is white) fails
+        // maximality... {4, 6} with radius 3: zone = {0,1,2,3}; outside
+        // {4,5,6}: 4 black, 5 dominated, 6 black, independent. Valid.
+        let ok = VertexSet::from_indices(7, [4, 6]);
+        assert!(is_mis_outside(&g, &ok, &[0], 3));
+        // But at radius 2, vertex 3 is outside, white, and its only black
+        // neighbor is 4 — still dominated, so {4, 6} is valid there too.
+        assert!(is_mis_outside(&g, &ok, &[0], 2));
+        // An outside vertex with no black neighbor at all is a violation.
+        let hole = VertexSet::from_indices(7, [4]);
+        assert!(matches!(
+            check_mis_outside(&g, &hole, &[0], 2),
+            Some(MisViolation::MaximalityViolated { vertex: 6 })
+        ));
+    }
+
+    #[test]
+    fn outside_check_accepts_zone_domination() {
+        // Star: center 0 Byzantine and black, leaves 1..=4 white. Leaves
+        // are dominated by the zone vertex, so maximality holds outside.
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let s = VertexSet::from_indices(5, [0]);
+        assert!(is_mis_outside(&g, &s, &[0], 0));
+        // Empty excluded set degrades to the plain MIS check.
+        assert_eq!(is_mis_outside(&g, &s, &[], 0), is_mis(&g, &s));
+        // Unreachable components are always judged.
+        let g2 = Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert!(
+            !is_mis_outside(&g2, &VertexSet::from_indices(3, [0]), &[0], 9),
+            "isolated vertex 2 must still be required in the set"
+        );
+        assert!(is_mis_outside(
+            &g2,
+            &VertexSet::from_indices(3, [2]),
+            &[0],
+            1
+        ));
     }
 
     #[test]

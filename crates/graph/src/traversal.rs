@@ -46,6 +46,51 @@ pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<usize> {
     dist
 }
 
+/// Multi-source BFS distances: `dist[v]` is the hop distance from `v` to the
+/// *nearest* vertex of `sources`, or [`UNREACHABLE`] if no source reaches it.
+/// With an empty source set every vertex is unreachable.
+///
+/// This is the distance-to-the-Byzantine-set map behind the containment
+/// metrics: level 0 is the adversarial set `B` itself, level `r` its exact
+/// r-th neighborhood shell.
+///
+/// # Panics
+///
+/// Panics if any source is `>= g.n()`.
+///
+/// # Example
+///
+/// ```
+/// use mis_graph::{Graph, traversal};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let d = traversal::multi_source_bfs_distances(&g, [0, 3]);
+/// assert_eq!(d, vec![0, 1, 1, 0, traversal::UNREACHABLE]);
+/// ```
+pub fn multi_source_bfs_distances(
+    g: &Graph,
+    sources: impl IntoIterator<Item = VertexId>,
+) -> Vec<usize> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    for s in sources {
+        assert!(s < g.n(), "source {s} out of range");
+        if dist[s] == UNREACHABLE {
+            dist[s] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for v in g.neighbors(u) {
+            if dist[v] == UNREACHABLE {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
 /// Eccentricity of `source`: the maximum BFS distance to any vertex reachable
 /// from it. Returns `None` if some vertex of the graph is unreachable (the
 /// graph is disconnected), since the eccentricity is infinite in that case.
@@ -112,6 +157,28 @@ mod tests {
         let set: std::collections::HashSet<_> = order.iter().collect();
         assert_eq!(set.len(), 4);
         assert!(!set.contains(&4));
+    }
+
+    #[test]
+    fn multi_source_distances_take_the_nearest_source() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (5, 6)]).unwrap();
+        let d = multi_source_bfs_distances(&g, [0, 4]);
+        assert_eq!(d[..5], [0, 1, 2, 1, 0]);
+        assert_eq!(d[5], UNREACHABLE);
+        // Duplicated sources are harmless; empty sources reach nothing.
+        assert_eq!(multi_source_bfs_distances(&g, [2, 2]), bfs_distances(&g, 2));
+        assert_eq!(
+            multi_source_bfs_distances(&g, []),
+            vec![UNREACHABLE; 7],
+            "no sources, no reachability"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn multi_source_rejects_bad_source() {
+        let g = Graph::empty(2);
+        multi_source_bfs_distances(&g, [2]);
     }
 
     #[test]

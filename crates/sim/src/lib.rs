@@ -24,6 +24,13 @@
 //!   experiments: a [`spec::ChurnSpec`] mutates the running algorithm's
 //!   graph through [`mis_core::Algorithm::apply_mutation`] and the trial
 //!   measures incremental re-stabilization.
+//! * Byzantine campaigns — a [`spec::ByzantineSpec`] hands the selected
+//!   vertices ([`spec::VictimSelection`]) to an adversary
+//!   ([`mis_core::ByzantineStrategy`]) for the whole trial; the driver
+//!   terminates on *containment* (all instability within
+//!   [`runner::CONTAINMENT_RADIUS`] of the Byzantine set) and validates
+//!   with [`mis_graph::mis_check::is_mis_outside`], streaming per-round
+//!   [`observer::ByzantineRoundMetrics`] to observers.
 //! * [`metrics`] — per-trial results and optional per-round traces.
 //! * [`stats`] — summary statistics (mean, quantiles, standard deviation)
 //!   used by the experiment tables.
@@ -68,12 +75,18 @@ pub mod sweep;
 
 pub use churn::generate_burst;
 pub use metrics::{RoundTrace, TrialResult};
-pub use observer::{CsvRoundObserver, EventLogObserver, Observer, TraceObserver};
+pub use observer::{
+    ByzantineRoundMetrics, CsvRoundObserver, EventLogObserver, Observer, TraceObserver,
+};
 pub use registry::{builtin_registry, register_builtin_algorithms};
 pub use runner::{
     drive_algorithm, run_experiment, run_experiment_with, DriveOutcome, ExperimentResult,
+    CONTAINMENT_CONFIRM_ROUNDS, CONTAINMENT_RADIUS,
 };
 #[allow(deprecated)]
 pub use spec::ProcessSelector;
-pub use spec::{ChurnScenario, ChurnSpec, ExperimentSpec, FaultSpec, GraphSpec, SchedulerSpec};
+pub use spec::{
+    ByzantineSpec, ChurnScenario, ChurnSpec, ExperimentSpec, FaultSpec, GraphSpec, SchedulerSpec,
+    VictimSelection,
+};
 pub use stats::Summary;

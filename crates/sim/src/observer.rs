@@ -19,6 +19,32 @@ use mis_graph::CommittedDelta;
 
 use crate::metrics::RoundTrace;
 
+/// Per-round containment telemetry streamed while a trial runs under a
+/// Byzantine adversary (see
+/// [`ByzantineSpec`](crate::spec::ByzantineSpec)).
+///
+/// The distance histogram locates the damage: entry `d` of
+/// [`unstable_by_distance`](Self::unstable_by_distance) counts the unstable
+/// vertices at BFS distance `d` from the Byzantine set (entry 0 is the
+/// adversarial vertices themselves). A contained configuration has all its
+/// mass at distance at most
+/// [`CONTAINMENT_RADIUS`](crate::runner::CONTAINMENT_RADIUS).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ByzantineRoundMetrics {
+    /// Vertices whose protocol-visible state the adversary actually flipped
+    /// this round.
+    pub overridden: usize,
+    /// Unstable-vertex counts indexed by BFS distance to the Byzantine set;
+    /// trailing zeros are trimmed (an empty vector means no unstable vertex
+    /// is reachable from the adversary).
+    pub unstable_by_distance: Vec<usize>,
+    /// Unstable vertices in components the adversary cannot reach.
+    pub unstable_unreachable: usize,
+    /// Whether every unstable vertex lies within the containment radius of
+    /// the Byzantine set.
+    pub contained: bool,
+}
+
 /// Receives streaming events while a trial is driven.
 ///
 /// All methods have empty default implementations; implement only the
@@ -52,6 +78,15 @@ pub trait Observer {
     /// curves include the post-mutation unstable spike.
     fn on_topology_change(&mut self, round: usize, delta: &CommittedDelta) {
         let _ = (round, delta);
+    }
+
+    /// Called after each round executed under a Byzantine adversary, with
+    /// the adversarial overrides applied and the containment verdict for
+    /// the resulting configuration. Emitted *before* the round's
+    /// [`on_round`](Self::on_round), so the counts that follow already
+    /// include the overrides.
+    fn on_byzantine_round(&mut self, round: usize, metrics: &ByzantineRoundMetrics) {
+        let _ = (round, metrics);
     }
 }
 
@@ -113,6 +148,16 @@ pub enum ObserverEvent {
         /// Vertex count after the burst.
         new_n: usize,
     },
+    /// A round executed under a Byzantine adversary (the histogram detail
+    /// of [`ByzantineRoundMetrics`] is summarized to keep events `Copy`).
+    ByzantineRound {
+        /// Round index.
+        round: usize,
+        /// Vertices the adversary actually flipped this round.
+        overridden: usize,
+        /// Whether every unstable vertex was within the containment radius.
+        contained: bool,
+    },
 }
 
 /// Records every event in order — useful for tests and for debugging
@@ -147,6 +192,18 @@ impl EventLogObserver {
             })
             .sum()
     }
+
+    /// The first round whose Byzantine verdict was "contained", if any.
+    pub fn first_contained_at(&self) -> Option<usize> {
+        self.events.iter().find_map(|e| match e {
+            ObserverEvent::ByzantineRound {
+                round,
+                contained: true,
+                ..
+            } => Some(*round),
+            _ => None,
+        })
+    }
 }
 
 impl Observer for EventLogObserver {
@@ -172,6 +229,14 @@ impl Observer for EventLogObserver {
             inserted: delta.inserted.len(),
             removed: delta.removed.len(),
             new_n: delta.new_n,
+        });
+    }
+
+    fn on_byzantine_round(&mut self, round: usize, metrics: &ByzantineRoundMetrics) {
+        self.events.push(ObserverEvent::ByzantineRound {
+            round,
+            overridden: metrics.overridden,
+            contained: metrics.contained,
         });
     }
 }
@@ -283,6 +348,38 @@ mod tests {
                 removed: 2,
                 new_n: 5
             }]
+        );
+    }
+
+    #[test]
+    fn event_log_records_byzantine_rounds() {
+        let mut o = EventLogObserver::new();
+        o.on_byzantine_round(
+            2,
+            &ByzantineRoundMetrics {
+                overridden: 1,
+                unstable_by_distance: vec![1, 4, 2, 3],
+                unstable_unreachable: 0,
+                contained: false,
+            },
+        );
+        o.on_byzantine_round(
+            3,
+            &ByzantineRoundMetrics {
+                overridden: 1,
+                unstable_by_distance: vec![1, 2],
+                unstable_unreachable: 0,
+                contained: true,
+            },
+        );
+        assert_eq!(o.first_contained_at(), Some(3));
+        assert_eq!(
+            o.events[0],
+            ObserverEvent::ByzantineRound {
+                round: 2,
+                overridden: 1,
+                contained: false
+            }
         );
     }
 

@@ -44,10 +44,8 @@ pub fn builtin_registry() -> &'static Registry {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy ProcessSelector → registry mapping is under test
 mod tests {
     use super::*;
-    use crate::spec::ProcessSelector;
 
     #[test]
     fn builtin_registry_has_all_ten_algorithms() {
@@ -67,18 +65,6 @@ mod tests {
         ] {
             assert!(r.contains(key), "missing builtin algorithm '{key}'");
             assert!(!r.get(key).unwrap().description().is_empty());
-        }
-    }
-
-    #[test]
-    fn every_legacy_selector_resolves_in_the_registry() {
-        let r = builtin_registry();
-        for selector in ProcessSelector::all() {
-            assert!(
-                r.contains(selector.registry_key()),
-                "selector {selector:?} maps to unknown key '{}'",
-                selector.registry_key()
-            );
         }
     }
 }

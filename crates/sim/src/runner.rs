@@ -22,7 +22,8 @@
 use std::sync::Arc;
 
 use mis_core::scheduler::Scheduler;
-use mis_core::{Algorithm, AlgorithmConfig, Registry, StepCtx};
+use mis_core::{Algorithm, AlgorithmConfig, ByzantineOverlay, Registry, StepCtx};
+use mis_graph::traversal::{multi_source_bfs_distances, UNREACHABLE};
 use mis_graph::{mis_check, Graph, VertexSet};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -31,7 +32,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::churn::generate_burst;
 use crate::metrics::{RoundTrace, TrialResult};
-use crate::observer::{Observer, TraceObserver};
+use crate::observer::{ByzantineRoundMetrics, Observer, TraceObserver};
 use crate::registry::builtin_registry;
 use crate::spec::{ChurnSpec, ExperimentSpec, FaultSpec};
 use crate::stats::Summary;
@@ -40,6 +41,123 @@ use crate::stats::Summary;
 /// parallel-mode runs (so the counter key is decorrelated from the ChaCha
 /// stream that draws the graph and the initial states).
 const COUNTER_SEED_SALT: u64 = 0x0005_EEDC_0DE0_FC01;
+
+/// BFS radius around the Byzantine set within which instability is the
+/// adversary's prerogative: a trial under a [`ByzantineOverlay`] terminates
+/// once every unstable vertex lies inside this ball — the containment
+/// guarantee of Cohen–Pirot–Pilard (stabilization outside `N²(B)`).
+pub const CONTAINMENT_RADIUS: usize = 2;
+
+/// Consecutive rounds a configuration must stay contained before the driver
+/// declares containment and stops. Containment can be transient — an
+/// oscillating adversary pushes instability waves across the zone boundary —
+/// so a single contained snapshot is not proof the exterior has settled.
+pub const CONTAINMENT_CONFIRM_ROUNDS: usize = 3;
+
+/// Per-trial containment bookkeeping for a Byzantine run: the BFS levels
+/// from the Byzantine set (cached per topology; refreshed after churn) and
+/// the consecutive-contained-round counter.
+struct ContainmentTracker<'a> {
+    overlay: &'a ByzantineOverlay,
+    /// BFS distance of each vertex to the nearest Byzantine vertex.
+    dist: Vec<usize>,
+    /// Number of vertices at distance at most [`CONTAINMENT_RADIUS`].
+    zone_size: usize,
+    /// Consecutive rounds the configuration has stayed contained.
+    streak: usize,
+}
+
+impl<'a> ContainmentTracker<'a> {
+    fn new(overlay: &'a ByzantineOverlay, graph: &Graph) -> Self {
+        let mut tracker = ContainmentTracker {
+            overlay,
+            dist: Vec::new(),
+            zone_size: 0,
+            streak: 0,
+        };
+        tracker.refresh(graph);
+        tracker
+    }
+
+    /// Recomputes the cached BFS levels against `graph` — called once up
+    /// front and again after every topology mutation. Byzantine vertices
+    /// that have departed the graph (churn) are dropped as sources.
+    fn refresh(&mut self, graph: &Graph) {
+        let sources = self
+            .overlay
+            .vertices()
+            .iter()
+            .copied()
+            .filter(|&u| u < graph.n());
+        self.dist = multi_source_bfs_distances(graph, sources);
+        self.zone_size = self
+            .dist
+            .iter()
+            .filter(|&&d| d <= CONTAINMENT_RADIUS)
+            .count();
+        self.streak = 0;
+    }
+
+    /// External disturbances (faults, churn) invalidate any running streak.
+    fn reset_streak(&mut self) {
+        self.streak = 0;
+    }
+
+    /// Applies the adversarial overrides for the current round, judges
+    /// containment, streams the verdict to `observers`, and returns `true`
+    /// once containment has held for [`CONTAINMENT_CONFIRM_ROUNDS`]
+    /// consecutive rounds.
+    fn round(&mut self, alg: &mut dyn Algorithm, observers: &mut [&mut dyn Observer]) -> bool {
+        let overridden = self.overlay.apply(alg);
+        // O(1) precheck: more unstable vertices than the zone can hold
+        // proves some of them are outside it, without touching the set.
+        let contained = alg.counts().unstable <= self.zone_size
+            && alg
+                .process()
+                .unstable_set()
+                .iter()
+                .all(|u| self.dist[u] <= CONTAINMENT_RADIUS);
+        if !observers.is_empty() {
+            let metrics = self.metrics(alg, overridden, contained);
+            for obs in observers.iter_mut() {
+                obs.on_byzantine_round(alg.round(), &metrics);
+            }
+        }
+        if contained {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        self.streak >= CONTAINMENT_CONFIRM_ROUNDS
+    }
+
+    /// The full distance histogram of the unstable set — only materialized
+    /// when observers are attached.
+    fn metrics(
+        &self,
+        alg: &dyn Algorithm,
+        overridden: usize,
+        contained: bool,
+    ) -> ByzantineRoundMetrics {
+        let mut metrics = ByzantineRoundMetrics {
+            overridden,
+            contained,
+            ..ByzantineRoundMetrics::default()
+        };
+        for u in alg.process().unstable_set().iter() {
+            let d = self.dist[u];
+            if d == UNREACHABLE {
+                metrics.unstable_unreachable += 1;
+            } else {
+                if metrics.unstable_by_distance.len() <= d {
+                    metrics.unstable_by_distance.resize(d + 1, 0);
+                }
+                metrics.unstable_by_distance[d] += 1;
+            }
+        }
+        metrics
+    }
+}
 
 /// All trial results of one experiment plus the specification that produced
 /// them.
@@ -91,8 +209,9 @@ impl ExperimentResult {
 ///
 /// Panics if the spec names an unknown algorithm, requests a
 /// non-synchronous scheduler for an algorithm without partial-activation
-/// support, or requests fault injection for an algorithm that cannot be
-/// corrupted.
+/// support, requests fault injection for an algorithm that cannot be
+/// corrupted, or attaches a Byzantine adversary to an algorithm without
+/// Byzantine-override support.
 pub fn run_trial(spec: &ExperimentSpec, trial: usize) -> TrialResult {
     run_trial_on(builtin_registry(), spec, trial, None)
 }
@@ -155,6 +274,19 @@ fn run_trial_on(
         spec.churn.is_none() || alg.supports_topology_change(),
         "algorithm '{key}' does not support topology changes (churn)"
     );
+    assert!(
+        spec.byzantine.is_none() || alg.supports_byzantine(),
+        "algorithm '{key}' does not support Byzantine overrides"
+    );
+
+    // The adversary is keyed by its own seed (offset per trial), never by
+    // the trial's sequential RNG stream: attaching or removing a Byzantine
+    // spec must not shift any honest coin flip.
+    let overlay = spec.byzantine.as_ref().map(|b| {
+        let byz_seed = b.seed.wrapping_add(trial as u64);
+        let victims = b.selection.resolve(graph, byz_seed);
+        ByzantineOverlay::new(b.strategy, victims, byz_seed)
+    });
 
     let mut scheduler = spec.scheduler.build();
     let mut trace_observer = (spec.record_trace && alg.supports_trace()).then(TraceObserver::new);
@@ -168,17 +300,29 @@ fn run_trial_on(
             scheduler.as_mut(),
             &mut rng,
             spec.max_rounds,
-            spec.fault,
+            spec.fault.clone(),
             spec.churn,
+            overlay.as_ref(),
             &mut observers,
         )
     };
     outcome.trace = trace_observer.map(TraceObserver::into_trace);
 
     // Under churn the algorithm ends on a *mutated* graph: validate (and
-    // report n/m) against the topology it actually stabilized on.
+    // report n/m) against the topology it actually stabilized on. Under a
+    // Byzantine adversary the MIS property is only owed outside the
+    // containment radius of the Byzantine set.
     let final_graph = alg.current_graph().unwrap_or(graph);
-    let valid_mis = outcome.stabilized && mis_check::is_mis(final_graph, &outcome.black_set);
+    let valid_mis = outcome.stabilized
+        && match overlay.as_ref() {
+            Some(overlay) => mis_check::is_mis_outside(
+                final_graph,
+                &outcome.black_set,
+                overlay.vertices(),
+                CONTAINMENT_RADIUS,
+            ),
+            None => mis_check::is_mis(final_graph, &outcome.black_set),
+        };
     TrialResult {
         trial,
         seed,
@@ -259,10 +403,21 @@ pub struct DriveOutcome {
 /// scheduler picks the activation, the algorithm applies its local rule on
 /// the activated vertices, and observers see the aggregate counts. A
 /// [`FaultSpec`] fires once — at stabilization or at its `at_round`,
-/// whichever comes first — after which the loop continues until
+/// whichever comes first — corrupting either its explicit `victims` or a
+/// random `fraction`-sample, after which the loop continues until
 /// re-stabilization. A [`ChurnSpec`] fires its first burst the same way,
 /// mutating the live graph through [`Algorithm::apply_mutation`];
 /// subsequent bursts each fire at the next re-stabilization.
+///
+/// A [`ByzantineOverlay`] re-applies its adversarial overrides after every
+/// round (and immediately after faults and churn bursts), so the selected
+/// vertices never obey the protocol. Global stabilization is then generally
+/// impossible, and the driver instead terminates on **containment**: once
+/// every unstable vertex has been inside the [`CONTAINMENT_RADIUS`]-ball of
+/// the Byzantine set for [`CONTAINMENT_CONFIRM_ROUNDS`] consecutive rounds,
+/// the outcome reports `stabilized = true` (and [`Observer::on_stabilized`]
+/// fires). `max_rounds` remains the hard budget for adversaries that keep
+/// the exterior churning indefinitely.
 ///
 /// When `observers` is empty, per-round [`Algorithm::counts`] calls are
 /// skipped entirely (they are `O(n + m)` for the communication models).
@@ -271,7 +426,9 @@ pub struct DriveOutcome {
 ///
 /// Panics if `churn` is set but the algorithm's
 /// [`supports_topology_change`](mis_core::Algorithm::supports_topology_change)
-/// is `false`, or if a generated burst is rejected by the algorithm (the
+/// is `false`; if `byzantine` is set but
+/// [`supports_byzantine`](mis_core::Algorithm::supports_byzantine) is
+/// `false`; or if a generated burst is rejected by the algorithm (the
 /// burst generator only emits deltas valid for the current graph, so a
 /// rejection indicates a bug, not bad input).
 #[allow(clippy::too_many_arguments)]
@@ -282,13 +439,34 @@ pub fn drive_algorithm(
     max_rounds: usize,
     fault: Option<FaultSpec>,
     churn: Option<ChurnSpec>,
+    byzantine: Option<&ByzantineOverlay>,
     observers: &mut [&mut dyn Observer],
 ) -> DriveOutcome {
     assert!(
         churn.is_none() || alg.supports_topology_change(),
         "churn was scheduled for an algorithm without topology-change support"
     );
+    assert!(
+        byzantine.is_none() || alg.supports_byzantine(),
+        "a Byzantine overlay was attached to an algorithm without Byzantine support"
+    );
     let observe = !observers.is_empty();
+    // An adversary controlling no vertices is no adversary: run (and
+    // terminate) exactly like a Byzantine-free trial.
+    let mut tracker = byzantine
+        .filter(|overlay| !overlay.is_empty())
+        .map(|overlay| {
+            let graph = alg
+                .current_graph()
+                .expect("byzantine support implies a current graph");
+            ContainmentTracker::new(overlay, graph)
+        });
+    // The adversary owns its vertices from round 0: apply the overrides
+    // before the initial configuration is observed or judged.
+    let mut contained = match tracker.as_mut() {
+        Some(t) => t.round(alg, observers),
+        None => false,
+    };
     if observe {
         let counts = alg.counts();
         for obs in observers.iter_mut() {
@@ -301,27 +479,52 @@ pub fn drive_algorithm(
     let mut pending_churn = churn.and_then(|c| (c.bursts > 0).then_some((c, c.bursts, c.at_round)));
     let mut stabilized = alg.is_stabilized();
     loop {
-        if let Some(f) = pending_fault {
-            if stabilized || alg.round() >= f.at_round {
-                let corrupted = alg.inject_faults(f.fraction, rng);
-                pending_fault = None;
-                for obs in observers.iter_mut() {
-                    obs.on_fault_injection(alg.round(), corrupted);
-                }
-                if observe {
-                    // Re-emit the current round with the post-corruption
-                    // counts: the unstable spike recovery curves measure.
-                    let counts = alg.counts();
-                    for obs in observers.iter_mut() {
-                        obs.on_round(alg.round(), &counts);
-                    }
-                }
-                stabilized = alg.is_stabilized();
-                continue;
+        // Under an adversary, *confirmed containment* is the only
+        // convergence signal (it releases pending faults/churn and ends the
+        // trial): a momentarily-stable snapshot is not durable — the
+        // adversary re-destabilizes it next round — and global stability,
+        // where reached, implies containment and confirms within
+        // CONTAINMENT_CONFIRM_ROUNDS rounds anyway.
+        let converged = if tracker.is_some() {
+            contained
+        } else {
+            stabilized
+        };
+        let fire_fault = pending_fault
+            .as_ref()
+            .is_some_and(|f| converged || alg.round() >= f.at_round);
+        if fire_fault {
+            let f = pending_fault.take().expect("checked above");
+            let corrupted = if f.victims.is_empty() {
+                alg.inject_faults(f.fraction, rng)
+            } else {
+                alg.inject_faults_targeted(&f.victims, rng)
+            };
+            for obs in observers.iter_mut() {
+                obs.on_fault_injection(alg.round(), corrupted);
             }
+            // The corruption may have scrambled adversarial vertices:
+            // re-assert the overrides and void any containment streak.
+            contained = match tracker.as_mut() {
+                Some(t) => {
+                    t.reset_streak();
+                    t.round(alg, observers)
+                }
+                None => false,
+            };
+            if observe {
+                // Re-emit the current round with the post-corruption
+                // counts: the unstable spike recovery curves measure.
+                let counts = alg.counts();
+                for obs in observers.iter_mut() {
+                    obs.on_round(alg.round(), &counts);
+                }
+            }
+            stabilized = alg.is_stabilized();
+            continue;
         }
         if let Some((c, remaining, at_round)) = pending_churn {
-            if stabilized || alg.round() >= at_round {
+            if converged || alg.round() >= at_round {
                 let delta = {
                     let graph = alg
                         .current_graph()
@@ -335,6 +538,18 @@ pub fn drive_algorithm(
                 for obs in observers.iter_mut() {
                     obs.on_topology_change(alg.round(), &committed);
                 }
+                // The mutation invalidated the cached BFS levels (and the
+                // state carryover may have touched adversarial vertices).
+                contained = match tracker.as_mut() {
+                    Some(t) => {
+                        t.refresh(
+                            alg.current_graph()
+                                .expect("topology-change support implies a current graph"),
+                        );
+                        t.round(alg, observers)
+                    }
+                    None => false,
+                };
                 if observe {
                     // Re-emit the current round with the post-mutation
                     // counts: the unstable spike re-stabilization measures.
@@ -347,7 +562,7 @@ pub fn drive_algorithm(
                 continue;
             }
         }
-        if stabilized || alg.round() >= max_rounds {
+        if converged || alg.round() >= max_rounds {
             break;
         }
         let activation = scheduler.next_activation(alg.n(), alg.round(), rng);
@@ -355,6 +570,9 @@ pub fn drive_algorithm(
             rng,
             activation: &activation,
         });
+        if let Some(t) = tracker.as_mut() {
+            contained = t.round(alg, observers);
+        }
         if observe {
             let counts = alg.counts();
             for obs in observers.iter_mut() {
@@ -363,14 +581,19 @@ pub fn drive_algorithm(
         }
         stabilized = alg.is_stabilized();
     }
-    if stabilized {
+    let converged = if tracker.is_some() {
+        contained
+    } else {
+        stabilized
+    };
+    if converged {
         for obs in observers.iter_mut() {
             obs.on_stabilized(alg.round());
         }
     }
     DriveOutcome {
         rounds: alg.round(),
-        stabilized,
+        stabilized: converged,
         black_set: alg.black_set(),
         random_bits: alg.random_bits_used(),
         states_per_vertex: alg.states_per_vertex(),
@@ -418,24 +641,6 @@ mod tests {
             base_seed: 11,
             record_trace: false,
             ..ExperimentSpec::default()
-        }
-    }
-
-    /// The legacy selector shim still resolves every variant through the
-    /// registry.
-    #[test]
-    #[allow(deprecated)]
-    fn every_process_kind_produces_valid_mis() {
-        use crate::spec::ProcessSelector;
-        for process in ProcessSelector::all() {
-            let mut spec = base_spec("two-state");
-            spec.algorithm = None;
-            spec.process = process;
-            let result = run_experiment(&spec);
-            assert_eq!(result.trials.len(), 6);
-            assert!(result.all_stabilized(), "{process:?}");
-            assert!(result.all_valid(), "{process:?}");
-            assert!(result.rounds_summary().max >= 1.0 || result.rounds_summary().max == 0.0);
         }
     }
 
@@ -714,8 +919,9 @@ mod tests {
                 scheduler.as_mut(),
                 &mut rng,
                 spec.max_rounds,
-                spec.fault,
+                spec.fault.clone(),
                 spec.churn,
+                None,
                 &mut observers,
             )
         };
@@ -816,8 +1022,9 @@ mod tests {
                 scheduler.as_mut(),
                 &mut rng,
                 spec.max_rounds,
-                spec.fault,
+                spec.fault.clone(),
                 spec.churn,
+                None,
                 &mut observers,
             )
         };
@@ -864,5 +1071,209 @@ mod tests {
         let g = mis_graph::generators::complete(16);
         let rounds = stabilization_time_two_state(&g, InitStrategy::AllBlack, 3, 100_000).unwrap();
         assert!(rounds >= 1);
+    }
+
+    #[test]
+    fn byzantine_trials_contain_every_strategy_and_process() {
+        use crate::spec::{ByzantineSpec, VictimSelection};
+        use mis_core::ByzantineStrategy;
+        for key in ["two-state", "three-state", "three-color"] {
+            for strategy in ByzantineStrategy::all() {
+                let spec = ExperimentSpec::builder()
+                    .name("byzantine")
+                    .graph(GraphSpec::Gnp { n: 80, p: 0.08 })
+                    .algorithm(key)
+                    .byzantine(
+                        ByzantineSpec::new(strategy, VictimSelection::Random { count: 2 }).seed(5),
+                    )
+                    .trials(3)
+                    .max_rounds(200_000)
+                    .base_seed(19)
+                    .build();
+                let result = run_experiment(&spec);
+                // `stabilized` here means contained (or fully stabilized);
+                // `valid_mis` is the is_mis_outside check at radius 2.
+                assert!(result.all_stabilized(), "{key} / {strategy}");
+                assert!(result.all_valid(), "{key} / {strategy}");
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_trials_are_reproducible() {
+        use crate::spec::{ByzantineSpec, VictimSelection};
+        use mis_core::ByzantineStrategy;
+        let spec = ExperimentSpec::builder()
+            .name("byzantine-repro")
+            .graph(GraphSpec::Gnp { n: 60, p: 0.1 })
+            .algorithm("three-state")
+            .byzantine(ByzantineSpec::new(
+                ByzantineStrategy::Flipper,
+                VictimSelection::HighDegree { count: 2 },
+            ))
+            .trials(4)
+            .base_seed(43)
+            .build();
+        let a = run_experiment(&spec);
+        let b = run_experiment(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn byzantine_spec_does_not_shift_honest_rng_streams() {
+        // The adversary is keyed by its own seed, so attaching it must not
+        // change which coins the honest vertices draw: a trial with an
+        // *empty* selection is bit-identical to a byzantine-free trial.
+        use crate::spec::{ByzantineSpec, VictimSelection};
+        use mis_core::ByzantineStrategy;
+        let mut spec = base_spec("two-state");
+        spec.trials = 3;
+        let plain = run_experiment(&spec);
+        spec.byzantine = Some(ByzantineSpec::new(
+            ByzantineStrategy::Oscillator,
+            VictimSelection::Targeted { ids: vec![] },
+        ));
+        let with_empty_adversary = run_experiment(&spec);
+        assert_eq!(plain.trials, with_empty_adversary.trials);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support Byzantine overrides")]
+    fn byzantine_capability_is_enforced() {
+        use crate::spec::{ByzantineSpec, VictimSelection};
+        use mis_core::ByzantineStrategy;
+        let spec = ExperimentSpec::builder()
+            .algorithm("luby")
+            .byzantine(ByzantineSpec::new(
+                ByzantineStrategy::Frozen,
+                VictimSelection::default(),
+            ))
+            .build();
+        run_trial(&spec, 0);
+    }
+
+    #[test]
+    fn byzantine_observer_protocol_reports_containment() {
+        use mis_core::{ByzantineOverlay, ByzantineStrategy};
+        let spec = ExperimentSpec::builder()
+            .name("byzantine-observer")
+            .graph(GraphSpec::Gnp { n: 80, p: 0.08 })
+            .algorithm("two-state")
+            .base_seed(59)
+            .build();
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.base_seed);
+        let graph = spec.graph.generate(&mut rng);
+        let factory = builtin_registry().get(spec.algorithm_key()).unwrap();
+        let config = AlgorithmConfig {
+            init: spec.init,
+            execution: spec.execution,
+            strategy: spec.strategy,
+            counter_seed: spec.base_seed ^ COUNTER_SEED_SALT,
+        };
+        let mut alg = factory.init(&graph, &config, &mut rng);
+        let overlay = ByzantineOverlay::new(ByzantineStrategy::Oscillator, vec![0, 1], 7);
+        let mut scheduler = spec.scheduler.build();
+        let mut log = EventLogObserver::new();
+        let outcome = {
+            let mut observers: Vec<&mut dyn Observer> = vec![&mut log];
+            drive_algorithm(
+                alg.as_mut(),
+                scheduler.as_mut(),
+                &mut rng,
+                spec.max_rounds,
+                None,
+                None,
+                Some(&overlay),
+                &mut observers,
+            )
+        };
+        assert!(outcome.stabilized, "containment must terminate the trial");
+        // One ByzantineRound verdict per executed round (including round 0).
+        let verdicts: Vec<bool> = log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ObserverEvent::ByzantineRound { contained, .. } => Some(*contained),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(verdicts.len(), outcome.rounds + 1);
+        assert!(
+            verdicts
+                .iter()
+                .rev()
+                .take(CONTAINMENT_CONFIRM_ROUNDS)
+                .all(|&c| c),
+            "the trial must end on a confirmed containment streak: {verdicts:?}"
+        );
+        assert!(log.first_contained_at().is_some());
+        assert_eq!(log.stabilized_at(), Some(outcome.rounds));
+        // The oscillator flips its vertices every round, so the exterior is
+        // contained but the zone never goes quiet: the final set is an MIS
+        // outside radius 2 of {0, 1}.
+        assert!(mis_check::is_mis_outside(
+            &graph,
+            &outcome.black_set,
+            overlay.vertices(),
+            CONTAINMENT_RADIUS
+        ));
+    }
+
+    #[test]
+    fn targeted_faults_corrupt_exactly_the_victims() {
+        let victims = vec![3, 11, 27];
+        let spec = ExperimentSpec::builder()
+            .name("targeted-fault")
+            .graph(GraphSpec::Gnp { n: 60, p: 0.1 })
+            .algorithm("two-state")
+            .fault(FaultSpec::targeted(victims.clone()))
+            .trials(2)
+            .base_seed(37)
+            .build();
+        let result = run_experiment(&spec);
+        assert!(result.all_stabilized());
+        assert!(result.all_valid());
+
+        // Re-drive one trial with an event log: the injection must report
+        // at most |victims| changed vertices and still recover.
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.base_seed);
+        let graph = spec.graph.generate(&mut rng);
+        let factory = builtin_registry().get(spec.algorithm_key()).unwrap();
+        let config = AlgorithmConfig {
+            init: spec.init,
+            execution: spec.execution,
+            strategy: spec.strategy,
+            counter_seed: spec.base_seed ^ COUNTER_SEED_SALT,
+        };
+        let mut alg = factory.init(&graph, &config, &mut rng);
+        let mut scheduler = spec.scheduler.build();
+        let mut log = EventLogObserver::new();
+        let outcome = {
+            let mut observers: Vec<&mut dyn Observer> = vec![&mut log];
+            drive_algorithm(
+                alg.as_mut(),
+                scheduler.as_mut(),
+                &mut rng,
+                spec.max_rounds,
+                spec.fault.clone(),
+                None,
+                None,
+                &mut observers,
+            )
+        };
+        assert!(outcome.stabilized);
+        let corrupted = log.total_corrupted();
+        assert!(
+            corrupted <= victims.len(),
+            "targeted fault touched {corrupted} > {} vertices",
+            victims.len()
+        );
+        assert_eq!(
+            log.events
+                .iter()
+                .filter(|e| matches!(e, ObserverEvent::FaultInjection { .. }))
+                .count(),
+            1
+        );
     }
 }

@@ -8,9 +8,11 @@
 
 use mis_core::init::InitStrategy;
 use mis_core::scheduler::{CentralDaemon, RandomSubset, Scheduler, Synchronous};
-pub use mis_core::{ExecutionMode, RoundStrategy};
-use mis_graph::{generators, Graph};
-use rand::Rng;
+use mis_core::victim_sample;
+pub use mis_core::{ByzantineStrategy, ExecutionMode, RoundStrategy};
+use mis_graph::{generators, Graph, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Which graph family a trial should generate.
@@ -210,17 +212,27 @@ impl SchedulerSpec {
 
 /// A transient fault injected during a trial: once the algorithm has
 /// stabilized — or when round `at_round` is reached, whichever happens
-/// first — the states of `fraction · n` vertices are overwritten with
-/// uniformly random values, and the trial keeps running until the algorithm
-/// re-stabilizes or the round budget runs out.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// first — vertex states are overwritten with uniformly random values, and
+/// the trial keeps running until the algorithm re-stabilizes or the round
+/// budget runs out.
+///
+/// Victims are either `fraction · n` uniformly random vertices (the
+/// default) or, when [`victims`](Self::victims) is non-empty, exactly the
+/// listed vertices — the targeted-fault mode sharing its selection plumbing
+/// with [`ByzantineSpec`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultSpec {
     /// Latest round at which the fault fires (it fires earlier if the
     /// algorithm stabilizes first). Use `usize::MAX` for
     /// "after stabilization only".
     pub at_round: usize,
-    /// Fraction of vertices to corrupt, in `[0, 1]`.
+    /// Fraction of vertices to corrupt, in `[0, 1]`. Ignored when
+    /// [`victims`](Self::victims) is non-empty.
     pub fraction: f64,
+    /// Explicit victim list (targeted faults). Empty — the serde default,
+    /// so pre-existing JSON parses unchanged — means "pick
+    /// `ceil(fraction · n)` victims uniformly at random".
+    pub victims: Vec<VertexId>,
 }
 
 impl FaultSpec {
@@ -230,7 +242,60 @@ impl FaultSpec {
         FaultSpec {
             at_round: usize::MAX,
             fraction,
+            victims: Vec::new(),
         }
+    }
+
+    /// A targeted fault that corrupts exactly `victims` right after the
+    /// algorithm first stabilizes.
+    pub fn targeted(victims: Vec<VertexId>) -> Self {
+        FaultSpec {
+            at_round: usize::MAX,
+            fraction: 0.0,
+            victims,
+        }
+    }
+
+    /// Sets the round at which the fault fires at the latest.
+    pub fn at_round(mut self, at_round: usize) -> Self {
+        self.at_round = at_round;
+        self
+    }
+}
+
+impl Serialize for FaultSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("at_round".into(), self.at_round.to_value()),
+            ("fraction".into(), self.fraction.to_value()),
+            ("victims".into(), self.victims.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FaultSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        // `victims` defaults to empty (random-count mode) so fault specs
+        // serialized before targeted faults existed keep parsing — the
+        // vendored serde derive has no `#[serde(default)]`.
+        fn field<'a>(value: &'a serde::Value, name: &str) -> Option<&'a serde::Value> {
+            match value {
+                serde::Value::Object(fields) => fields
+                    .iter()
+                    .find(|(key, _)| key == name)
+                    .map(|(_, field)| field),
+                _ => None,
+            }
+        }
+        let victims = match field(value, "victims") {
+            Some(v) => Deserialize::from_value(v)?,
+            None => Vec::new(),
+        };
+        Ok(FaultSpec {
+            at_round: Deserialize::from_value(serde::get_field(value, "at_round")?)?,
+            fraction: Deserialize::from_value(serde::get_field(value, "fraction")?)?,
+            victims,
+        })
     }
 }
 
@@ -370,6 +435,167 @@ impl Deserialize for ChurnSpec {
     }
 }
 
+/// How a fault/adversary campaign picks its victim vertices.
+///
+/// Shared between [`ByzantineSpec`] (which vertices are adversarial) and
+/// targeted [`FaultSpec`]s built from a selection; all modes resolve to a
+/// sorted, deduplicated id list via [`resolve`](Self::resolve).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VictimSelection {
+    /// `count` uniformly random vertices, drawn without replacement through
+    /// the same partial Fisher–Yates plumbing as random-fraction faults
+    /// ([`mis_core::victim_sample`]).
+    Random {
+        /// Number of victims.
+        count: usize,
+    },
+    /// Exactly these vertex ids.
+    Targeted {
+        /// The victim ids (out-of-range ids are rejected at resolve time).
+        ids: Vec<VertexId>,
+    },
+    /// The `count` highest-degree vertices — the hub-targeted placement
+    /// that maximizes the blast radius of an adversary. Ties break toward
+    /// smaller ids, so the selection is deterministic.
+    HighDegree {
+        /// Number of hubs.
+        count: usize,
+    },
+}
+
+impl Default for VictimSelection {
+    /// One uniformly random victim.
+    fn default() -> Self {
+        VictimSelection::Random { count: 1 }
+    }
+}
+
+impl VictimSelection {
+    /// Short label for tables and JSON output.
+    pub fn label(&self) -> String {
+        match self {
+            VictimSelection::Random { count } => format!("random(count={count})"),
+            VictimSelection::Targeted { ids } => format!("targeted(|ids|={})", ids.len()),
+            VictimSelection::HighDegree { count } => format!("high-degree(count={count})"),
+        }
+    }
+
+    /// Resolves the selection against a concrete graph into a sorted,
+    /// deduplicated victim list. Random selection is keyed by `seed` only
+    /// (not by any trial RNG stream), so the same `(selection, graph, seed)`
+    /// always yields the same victims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a targeted id is out of range for the graph.
+    pub fn resolve(&self, graph: &Graph, seed: u64) -> Vec<VertexId> {
+        let mut victims = match self {
+            VictimSelection::Random { count } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                victim_sample(graph.n(), *count, &mut rng)
+            }
+            VictimSelection::Targeted { ids } => {
+                for &u in ids {
+                    assert!(
+                        u < graph.n(),
+                        "targeted victim {u} out of range for a graph of {} vertices",
+                        graph.n()
+                    );
+                }
+                ids.clone()
+            }
+            VictimSelection::HighDegree { count } => {
+                let mut by_degree: Vec<VertexId> = (0..graph.n()).collect();
+                by_degree.sort_by_key(|&u| (std::cmp::Reverse(graph.degree(u)), u));
+                by_degree.truncate((*count).min(graph.n()));
+                by_degree
+            }
+        };
+        victims.sort_unstable();
+        victims.dedup();
+        victims
+    }
+}
+
+/// A Byzantine adversary attached to a trial: the selected vertices stop
+/// obeying the protocol entirely and instead follow
+/// [`strategy`](Self::strategy) every round, from round 0 until the end of
+/// the trial (see [`mis_core::byzantine`]).
+///
+/// Requires an algorithm whose
+/// [`supports_byzantine`](mis_core::Algorithm::supports_byzantine) is
+/// `true`; the driver rejects the spec for the others up front. Trials
+/// terminate on *containment* (stabilization outside the 2-neighborhood of
+/// the Byzantine set) instead of global stabilization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByzantineSpec {
+    /// Which adversary the selected vertices run.
+    pub strategy: ByzantineStrategy,
+    /// Which vertices are adversarial. Defaults to one random vertex.
+    pub selection: VictimSelection,
+    /// Seed keying both the victim selection and any strategy randomness;
+    /// trial `i` uses `seed + i`, so trials see independent adversaries.
+    /// Defaults to 0.
+    pub seed: u64,
+}
+
+impl ByzantineSpec {
+    /// An adversary running `strategy` on the vertices of `selection`.
+    pub fn new(strategy: ByzantineStrategy, selection: VictimSelection) -> Self {
+        ByzantineSpec {
+            strategy,
+            selection,
+            seed: 0,
+        }
+    }
+
+    /// Sets the selection/strategy seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Serialize for ByzantineSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("strategy".into(), self.strategy.to_value()),
+            ("selection".into(), self.selection.to_value()),
+            ("seed".into(), self.seed.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ByzantineSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        // Only `strategy` is required; `selection` and `seed` fall back to
+        // their defaults (the vendored serde derive has no
+        // `#[serde(default)]`, hence the manual impl).
+        fn field<'a>(value: &'a serde::Value, name: &str) -> Option<&'a serde::Value> {
+            match value {
+                serde::Value::Object(fields) => fields
+                    .iter()
+                    .find(|(key, _)| key == name)
+                    .map(|(_, field)| field),
+                _ => None,
+            }
+        }
+        let selection = match field(value, "selection") {
+            Some(v) => Deserialize::from_value(v)?,
+            None => VictimSelection::default(),
+        };
+        let seed = match field(value, "seed") {
+            Some(v) => Deserialize::from_value(v)?,
+            None => 0,
+        };
+        Ok(ByzantineSpec {
+            strategy: Deserialize::from_value(serde::get_field(value, "strategy")?)?,
+            selection,
+            seed,
+        })
+    }
+}
+
 /// Which process (or baseline) a trial should run.
 ///
 /// This enum predates the string-keyed algorithm registry and is kept as a
@@ -504,6 +730,10 @@ pub struct ExperimentSpec {
     /// to support topology changes). `None` — the serde default — keeps
     /// pre-churn specs bit-identical.
     pub churn: Option<ChurnSpec>,
+    /// Optional Byzantine adversary active for the whole trial (requires
+    /// the algorithm to support Byzantine overrides). `None` — the serde
+    /// default — keeps pre-Byzantine specs bit-identical.
+    pub byzantine: Option<ByzantineSpec>,
     /// Number of independent trials.
     pub trials: usize,
     /// Per-trial round budget.
@@ -531,6 +761,7 @@ impl Default for ExperimentSpec {
             scheduler: SchedulerSpec::Synchronous,
             fault: None,
             churn: None,
+            byzantine: None,
             trials: 1,
             max_rounds: 100_000,
             base_seed: 0,
@@ -552,6 +783,7 @@ impl Serialize for ExperimentSpec {
             ("scheduler".into(), self.scheduler.to_value()),
             ("fault".into(), self.fault.to_value()),
             ("churn".into(), self.churn.to_value()),
+            ("byzantine".into(), self.byzantine.to_value()),
             ("trials".into(), self.trials.to_value()),
             ("max_rounds".into(), self.max_rounds.to_value()),
             ("base_seed".into(), self.base_seed.to_value()),
@@ -609,6 +841,7 @@ impl Deserialize for ExperimentSpec {
             scheduler: with_default(value, "scheduler")?,
             fault: with_default(value, "fault")?,
             churn: with_default(value, "churn")?,
+            byzantine: with_default(value, "byzantine")?,
             trials: Deserialize::from_value(serde::get_field(value, "trials")?)?,
             max_rounds: Deserialize::from_value(serde::get_field(value, "max_rounds")?)?,
             base_seed: Deserialize::from_value(serde::get_field(value, "base_seed")?)?,
@@ -719,6 +952,12 @@ impl ExperimentSpecBuilder {
         self
     }
 
+    /// Attaches a Byzantine adversary to every trial.
+    pub fn byzantine(mut self, byzantine: ByzantineSpec) -> Self {
+        self.spec.byzantine = Some(byzantine);
+        self
+    }
+
     /// Sets the number of independent trials.
     pub fn trials(mut self, trials: usize) -> Self {
         self.spec.trials = trials;
@@ -804,6 +1043,10 @@ mod tests {
                 churn: Some(ChurnSpec::after_stabilization(ChurnScenario::EdgeChurn {
                     fraction: 0.01,
                 })),
+                byzantine: Some(ByzantineSpec::new(
+                    ByzantineStrategy::Flipper,
+                    VictimSelection::HighDegree { count: 3 },
+                )),
                 trials: 3,
                 max_rounds: 100,
                 base_seed: 1,
@@ -956,6 +1199,102 @@ mod tests {
         );
         assert_eq!(churn.at_round, usize::MAX);
         assert_eq!(churn.bursts, 1);
+    }
+
+    #[test]
+    fn byzantine_spec_fields_default_when_absent() {
+        // A spec written with only the strategy must parse with the
+        // one-random-victim / seed-0 defaults.
+        let json = r#"{"strategy":"Oscillator"}"#;
+        let byz: ByzantineSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(byz.strategy, ByzantineStrategy::Oscillator);
+        assert_eq!(byz.selection, VictimSelection::Random { count: 1 });
+        assert_eq!(byz.seed, 0);
+        // Full round trip.
+        let full = ByzantineSpec::new(
+            ByzantineStrategy::Spoofer,
+            VictimSelection::Targeted { ids: vec![3, 1] },
+        )
+        .seed(42);
+        let back: ByzantineSpec =
+            serde_json::from_str(&serde_json::to_string(&full).unwrap()).unwrap();
+        assert_eq!(back, full);
+    }
+
+    #[test]
+    fn fault_spec_victims_default_when_absent() {
+        // A fault spec serialized before targeted victims existed must
+        // parse in random-count mode.
+        let json = r#"{"at_round":50,"fraction":0.25}"#;
+        let fault: FaultSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(fault.at_round, 50);
+        assert_eq!(fault.fraction, 0.25);
+        assert!(fault.victims.is_empty());
+        let targeted = FaultSpec::targeted(vec![5, 9]).at_round(12);
+        let back: FaultSpec =
+            serde_json::from_str(&serde_json::to_string(&targeted).unwrap()).unwrap();
+        assert_eq!(back, targeted);
+    }
+
+    #[test]
+    fn victim_selection_resolves_deterministically() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::gnp(50, 0.1, &mut rng);
+        let random = VictimSelection::Random { count: 5 };
+        let a = random.resolve(&g, 7);
+        assert_eq!(a, random.resolve(&g, 7), "same seed, same victims");
+        assert_ne!(a, random.resolve(&g, 8), "seed must matter");
+        assert_eq!(a.len(), 5);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+
+        let targeted = VictimSelection::Targeted {
+            ids: vec![9, 2, 9, 4],
+        };
+        assert_eq!(targeted.resolve(&g, 0), vec![2, 4, 9]);
+
+        let hubs = VictimSelection::HighDegree { count: 3 }.resolve(&g, 0);
+        assert_eq!(hubs.len(), 3);
+        let min_hub_degree = hubs.iter().map(|&u| g.degree(u)).min().unwrap();
+        for u in g.vertices() {
+            if !hubs.contains(&u) {
+                assert!(
+                    g.degree(u) <= min_hub_degree,
+                    "vertex {u} out-degrees a selected hub"
+                );
+            }
+        }
+        // Labels are distinct and serde round-trips.
+        for sel in [
+            random,
+            targeted,
+            VictimSelection::HighDegree { count: 3 },
+            VictimSelection::default(),
+        ] {
+            let back: VictimSelection =
+                serde_json::from_str(&serde_json::to_string(&sel).unwrap()).unwrap();
+            assert_eq!(back, sel);
+            assert!(!sel.label().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn targeted_selection_rejects_out_of_range_ids() {
+        let g = generators::complete(4);
+        VictimSelection::Targeted { ids: vec![4] }.resolve(&g, 0);
+    }
+
+    #[test]
+    fn pre_byzantine_spec_json_still_parses() {
+        // A spec serialized before the byzantine field existed (no
+        // "byzantine" key) must deserialize with byzantine = None.
+        let spec = ExperimentSpec::default();
+        let mut json = serde_json::to_string(&spec).unwrap();
+        let needle = "\"byzantine\":null,";
+        assert!(json.contains(needle), "serialized form: {json}");
+        json = json.replace(needle, "");
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]

@@ -12,8 +12,8 @@ use mis_core::StateCounts;
 use mis_sim::metrics::{RoundTrace, TrialResult};
 use mis_sim::runner::run_experiment;
 use mis_sim::spec::{
-    ChurnScenario, ChurnSpec, ExecutionMode, ExperimentSpec, FaultSpec, GraphSpec, ProcessSelector,
-    RoundStrategy, SchedulerSpec,
+    ByzantineSpec, ByzantineStrategy, ChurnScenario, ChurnSpec, ExecutionMode, ExperimentSpec,
+    FaultSpec, GraphSpec, ProcessSelector, RoundStrategy, SchedulerSpec, VictimSelection,
 };
 
 fn all_graph_specs() -> Vec<GraphSpec> {
@@ -48,19 +48,27 @@ fn experiment_spec_round_trips_across_all_knobs() {
             SchedulerSpec::CentralDaemon,
             SchedulerSpec::RandomSubset { p: 0.25 },
         ] {
-            for (algorithm, fault, churn) in [
-                (None, None, None),
+            for (algorithm, fault, churn, byzantine) in [
+                (None, None, None, None),
                 (
                     Some("beeping-two-state".to_string()),
                     Some(FaultSpec {
                         at_round: 64,
                         fraction: 0.5,
+                        victims: vec![1, 5],
                     }),
                     Some(ChurnSpec {
                         scenario: ChurnScenario::JoinLeave { join: 3, leave: 1 },
                         at_round: 32,
                         bursts: 2,
                     }),
+                    Some(
+                        ByzantineSpec::new(
+                            ByzantineStrategy::Spoofer,
+                            VictimSelection::Random { count: 2 },
+                        )
+                        .seed(17),
+                    ),
                 ),
             ] {
                 let spec = ExperimentSpec {
@@ -72,8 +80,9 @@ fn experiment_spec_round_trips_across_all_knobs() {
                     execution: ExecutionMode::Parallel { threads: 4 },
                     strategy: RoundStrategy::Sparse,
                     scheduler,
-                    fault,
+                    fault: fault.clone(),
                     churn,
+                    byzantine: byzantine.clone(),
                     trials: 7,
                     max_rounds: 123,
                     base_seed: 99,
@@ -106,6 +115,7 @@ fn pre_redesign_spec_json_still_deserializes_with_defaults() {
     assert_eq!(spec.algorithm, None);
     assert_eq!(spec.scheduler, SchedulerSpec::Synchronous);
     assert_eq!(spec.fault, None);
+    assert_eq!(spec.byzantine, None);
     assert_eq!(spec.strategy, RoundStrategy::Auto);
     assert_eq!(spec.algorithm_key(), "two-state");
     assert_eq!(spec.trials, 5);

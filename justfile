@@ -4,7 +4,7 @@
 default:
     @just --list
 
-# Release build of every target (libs, 16 exp_* bins, 3 benches, examples, tests).
+# Release build of every target (libs, 17 exp_* bins, 3 benches, examples, tests).
 build:
     cargo build --release --workspace --all-targets
 
@@ -34,6 +34,11 @@ fix:
 # edge-churn bursts (full scale: n = 10^6 across a fraction sweep).
 churn *ARGS:
     cargo run --release -p mis-bench --bin exp_churn -- {{ARGS}}
+
+# Byzantine experiment: adversarial containment within radius 2 of the
+# Byzantine set (full scale: n = 10^6, fraction sweep + hub placement).
+byzantine *ARGS:
+    cargo run --release -p mis-bench --bin exp_byzantine -- {{ARGS}}
 
 # Criterion micro-benchmarks.
 bench:
@@ -71,3 +76,5 @@ ci:
     test -s results/exp_scale.json
     cargo run --release -p mis-bench --bin exp_churn -- --quick
     test -s results/exp_churn.json
+    cargo run --release -p mis-bench --bin exp_byzantine -- --quick
+    test -s results/exp_byzantine.json
