@@ -70,7 +70,7 @@ pub fn e10_baselines(scale: Scale) -> Vec<BaselineRow> {
             let spec = ExperimentSpec {
                 name: format!("e10-{graph_label}-{algorithm}"),
                 graph: *graph,
-                algorithm: Some(algorithm.to_string()),
+                algorithm: algorithm.to_string(),
                 init: InitStrategy::Random,
                 execution: ExecutionMode::Sequential,
                 trials,

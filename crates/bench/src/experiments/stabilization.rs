@@ -54,7 +54,7 @@ fn spec(
     ExperimentSpec {
         name: name.to_string(),
         graph,
-        algorithm: Some(algorithm.to_string()),
+        algorithm: algorithm.to_string(),
         init: InitStrategy::Random,
         execution: ExecutionMode::Sequential,
         trials,

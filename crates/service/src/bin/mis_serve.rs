@@ -1,0 +1,124 @@
+//! `mis-serve` — the graph-service daemon.
+//!
+//! Binds the HTTP API, then parks until SIGTERM/SIGINT or
+//! `POST /v1/admin/shutdown`, and exits through the graceful drain path
+//! (queued jobs cancelled, running jobs finished, pool joined).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mis_service::{Service, ServiceConfig};
+
+const HELP: &str = "mis-serve - serve self-stabilizing MIS over HTTP
+
+USAGE:
+    mis-serve [--addr HOST:PORT] [--workers N]
+
+OPTIONS:
+    --addr HOST:PORT   Bind address (default 127.0.0.1:7878)
+    --workers N        Job worker threads, 0 = available parallelism (default 0)
+    --help             Show this help
+
+ENDPOINTS (see README 'Graph service' for the full table):
+    POST /v1/graphs            upload or generate a graph
+    POST /v1/jobs              run a registry algorithm on a graph
+    GET  /v1/jobs/:id          poll job status
+    GET  /v1/jobs/:id/events   live NDJSON event stream
+    PATCH /v1/graphs/:id/edges live topology mutation
+    GET  /v1/metrics           per-endpoint counters + job gauges
+
+The daemon drains gracefully on SIGTERM, SIGINT, or POST /v1/admin/shutdown.
+";
+
+/// Minimal signal hook on std only: the libc `signal` entry point, linked
+/// directly. The handler just stores into an atomic the main loop polls —
+/// the only async-signal-safe thing to do anyway.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn handle(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, handle);
+            signal(SIGINT, handle);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+fn parse_args() -> Result<Option<ServiceConfig>, String> {
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--addr" => {
+                config.addr = args.next().ok_or("--addr needs a HOST:PORT value")?;
+            }
+            "--workers" => {
+                let value = args.next().ok_or("--workers needs a value")?;
+                config.workers = value
+                    .parse()
+                    .map_err(|_| format!("invalid --workers value '{value}'"))?;
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(Some(config))
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(Some(config)) => config,
+        Ok(None) => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    sig::install();
+    let service = match Service::start(&config) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("error: failed to bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("mis-serve listening on http://{}", service.local_addr());
+
+    while !sig::requested() && !service.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("mis-serve draining...");
+    service.shutdown();
+    println!("mis-serve stopped");
+    ExitCode::SUCCESS
+}

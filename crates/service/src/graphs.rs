@@ -1,0 +1,207 @@
+//! The named-graph registry: `Arc`-shared graphs with versioned live
+//! mutation.
+//!
+//! Each entry holds the current topology behind an `RwLock<Arc<Graph>>`;
+//! readers (job workers, listing handlers) take cheap `Arc` snapshots, and a
+//! `PATCH` swaps in a freshly compacted graph under the write lock while
+//! bumping the entry's version — running jobs keep their snapshot and
+//! receive the same delta through their mailbox instead.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use mis_graph::{CommittedDelta, Graph, GraphDelta, GraphError};
+
+use crate::api::GraphInfo;
+
+/// One registered graph.
+pub struct GraphEntry {
+    /// Registry id.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// Human-readable source label.
+    pub source: String,
+    /// `(current graph, version)`; version starts at 1 and bumps per patch.
+    state: RwLock<(Arc<Graph>, u64)>,
+}
+
+impl GraphEntry {
+    /// A cheap snapshot of the current topology and its version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned (a handler panicked).
+    pub fn snapshot(&self) -> (Arc<Graph>, u64) {
+        let state = self.state.read().expect("graph entry lock poisoned");
+        (Arc::clone(&state.0), state.1)
+    }
+
+    /// The entry as an API [`GraphInfo`].
+    pub fn info(&self) -> GraphInfo {
+        let (graph, version) = self.snapshot();
+        GraphInfo {
+            id: self.id,
+            name: self.name.clone(),
+            n: graph.n(),
+            m: graph.m(),
+            version,
+            source: self.source.clone(),
+        }
+    }
+}
+
+/// The registry: insertion-ordered map from id to [`GraphEntry`].
+#[derive(Default)]
+pub struct GraphRegistry {
+    entries: RwLock<BTreeMap<u64, Arc<GraphEntry>>>,
+    next_id: AtomicU64,
+}
+
+impl GraphRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        GraphRegistry::default()
+    }
+
+    /// Registers a graph and returns its entry (id assigned here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    pub fn insert(&self, name: String, source: String, graph: Graph) -> Arc<GraphEntry> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = Arc::new(GraphEntry {
+            id,
+            name,
+            source,
+            state: RwLock::new((Arc::new(graph), 1)),
+        });
+        self.entries
+            .write()
+            .expect("graph registry lock poisoned")
+            .insert(id, Arc::clone(&entry));
+        entry
+    }
+
+    /// Looks up an entry by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    pub fn get(&self, id: u64) -> Option<Arc<GraphEntry>> {
+        self.entries
+            .read()
+            .expect("graph registry lock poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Removes an entry by id; running jobs keep their `Arc` snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    pub fn remove(&self, id: u64) -> Option<Arc<GraphEntry>> {
+        self.entries
+            .write()
+            .expect("graph registry lock poisoned")
+            .remove(&id)
+    }
+
+    /// All entries, in id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    pub fn list(&self) -> Vec<Arc<GraphEntry>> {
+        self.entries
+            .read()
+            .expect("graph registry lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Applies `delta` to the stored graph of `id`, swapping in the mutated
+    /// topology and bumping the version. Returns the normalized commit and
+    /// the new version.
+    ///
+    /// # Errors
+    ///
+    /// `Ok(Err(_))` carries a [`GraphError`] for invalid deltas (the stored
+    /// graph is unchanged); the outer `None` means the id is unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry lock was poisoned.
+    pub fn apply_delta(
+        &self,
+        id: u64,
+        delta: &GraphDelta,
+    ) -> Option<Result<(CommittedDelta, u64), GraphError>> {
+        let entry = self.get(id)?;
+        let mut state = entry.state.write().expect("graph entry lock poisoned");
+        match state.0.apply_delta(delta) {
+            Ok((graph, committed)) => {
+                state.0 = Arc::new(graph);
+                state.1 += 1;
+                Some(Ok((committed, state.1)))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn insert_get_list_remove() {
+        let reg = GraphRegistry::new();
+        let a = reg.insert("a".into(), "upload".into(), path3());
+        let b = reg.insert("b".into(), "upload".into(), path3());
+        assert_eq!((a.id, b.id), (1, 2));
+        assert_eq!(reg.get(1).unwrap().name, "a");
+        assert_eq!(reg.list().len(), 2);
+        let info = a.info();
+        assert_eq!((info.n, info.m, info.version), (3, 2, 1));
+        assert!(reg.remove(1).is_some());
+        assert!(reg.get(1).is_none());
+        assert!(reg.remove(1).is_none());
+    }
+
+    #[test]
+    fn apply_delta_swaps_and_bumps_version() {
+        let reg = GraphRegistry::new();
+        let entry = reg.insert("a".into(), "upload".into(), path3());
+        let (snap_before, v1) = entry.snapshot();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(0, 2);
+        let (committed, v2) = reg.apply_delta(entry.id, &delta).unwrap().unwrap();
+        assert_eq!(committed.inserted, vec![(0, 2)]);
+        assert_eq!((v1, v2), (1, 2));
+        // Old snapshots are untouched; new snapshots see the mutation.
+        assert!(!snap_before.has_edge(0, 2));
+        let (snap_after, _) = entry.snapshot();
+        assert!(snap_after.has_edge(0, 2));
+    }
+
+    #[test]
+    fn invalid_delta_leaves_graph_unchanged() {
+        let reg = GraphRegistry::new();
+        let entry = reg.insert("a".into(), "upload".into(), path3());
+        let mut delta = GraphDelta::new();
+        delta.add_edge(0, 99);
+        assert!(reg.apply_delta(entry.id, &delta).unwrap().is_err());
+        let (snap, version) = entry.snapshot();
+        assert_eq!((snap.n(), version), (3, 1));
+        assert!(reg.apply_delta(999, &delta).is_none());
+    }
+}

@@ -1,0 +1,781 @@
+//! Asynchronous job store: a bounded worker pool executing registry
+//! algorithms over `Arc`-shared graph snapshots, with per-job cancellation,
+//! live mutation mailboxes, and NDJSON event streams.
+//!
+//! Lifecycle: `Queued → Running → {Completed, Cancelled, Failed}`. A worker
+//! snapshots the target graph, instantiates the requested algorithm, and
+//! drives rounds; between rounds it drains the job's mutation mailbox (fed
+//! by `PATCH /v1/graphs/:id/edges`) through `Algorithm::apply_mutation`, so
+//! topology changes re-stabilize incrementally instead of restarting the
+//! run. Shutdown ([`JobStore::drain`]) stops intake, cancels everything
+//! still queued, lets running jobs finish, and joins the pool.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mis_core::{AlgorithmConfig, StepCtx};
+use mis_graph::{mis_check, GraphDelta};
+use mis_sim::builtin_registry;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::api::{JobGauges, JobInfo, JobOutcome, JobRequest, JobStatus};
+use crate::graphs::GraphEntry;
+
+/// Salt decorrelating the counter-RNG key from the trial seed; a frozen copy
+/// of the (private) constant in `mis_sim::runner`, kept bit-identical so a
+/// service job and a `run_trial` with the same seed share coin streams.
+const COUNTER_SEED_SALT: u64 = 0x0005_EEDC_0DE0_FC01;
+
+/// Cap on buffered event lines per job; one `truncated` marker is appended
+/// when a job would exceed it.
+const MAX_EVENT_LINES: usize = 100_000;
+
+/// Poll interval of idle event streams and lingering stabilized jobs.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+// ---------------------------------------------------------------------------
+// Event buffer + NDJSON streaming
+// ---------------------------------------------------------------------------
+
+/// Append-only buffer of NDJSON event lines, closed exactly once when the
+/// job reaches a terminal state. Streams replay the prefix they have not
+/// sent yet and end when the buffer is closed and drained.
+pub struct EventBuffer {
+    lines: Mutex<Vec<String>>,
+    closed: AtomicBool,
+}
+
+impl EventBuffer {
+    fn new() -> Arc<EventBuffer> {
+        Arc::new(EventBuffer {
+            lines: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    /// Appends one event line (newline added here).
+    fn push(&self, line: String) {
+        let mut lines = self.lines.lock().expect("event buffer lock poisoned");
+        match lines.len().cmp(&MAX_EVENT_LINES) {
+            std::cmp::Ordering::Less => lines.push(line + "\n"),
+            std::cmp::Ordering::Equal => lines.push("{\"event\":\"truncated\"}\n".to_string()),
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// Number of buffered lines so far (for tests and gauges).
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("event buffer lock poisoned").len()
+    }
+
+    /// `true` when no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A chunked-transfer source streaming the buffer live: each chunk is the
+/// batch of lines appended since the previous chunk; the stream ends once
+/// the buffer is closed and fully replayed.
+pub fn ndjson_stream(buffer: Arc<EventBuffer>) -> warp::ChunkFn {
+    let mut cursor = 0usize;
+    Box::new(move || loop {
+        {
+            let lines = buffer.lines.lock().expect("event buffer lock poisoned");
+            if cursor < lines.len() {
+                let batch = lines[cursor..].concat();
+                cursor = lines.len();
+                return Some(batch.into_bytes());
+            }
+            if buffer.closed.load(Ordering::SeqCst) {
+                return None;
+            }
+        }
+        thread::sleep(POLL_INTERVAL);
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+struct JobState {
+    status: JobStatus,
+    outcome: Option<JobOutcome>,
+    error: Option<String>,
+    mis: Option<Vec<usize>>,
+}
+
+/// One submitted job.
+pub struct Job {
+    /// Job id.
+    pub id: u64,
+    /// The graph registry entry the job runs on.
+    pub entry: Arc<GraphEntry>,
+    /// The submitted request.
+    pub request: JobRequest,
+    state: Mutex<JobState>,
+    cancel: AtomicBool,
+    mailbox: Mutex<VecDeque<GraphDelta>>,
+    events: Arc<EventBuffer>,
+    /// Graph version the worker snapshotted (0 until the job starts); the
+    /// `PATCH` handler only forwards deltas to jobs whose snapshot predates
+    /// the patched version, so a delta is never applied twice.
+    snapshot_version: AtomicU64,
+    /// Whether the instantiated algorithm can follow topology changes
+    /// (unknown until the worker instantiates it).
+    topology_capable: Mutex<Option<bool>>,
+    /// The store's draining flag: a stabilized job stops lingering the
+    /// moment shutdown starts, so resident jobs can never wedge the drain.
+    drain_flag: Arc<AtomicBool>,
+}
+
+impl Job {
+    /// Current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        self.state.lock().expect("job lock poisoned").status
+    }
+
+    /// The job as an API [`JobInfo`].
+    pub fn info(&self) -> JobInfo {
+        let state = self.state.lock().expect("job lock poisoned");
+        JobInfo {
+            id: self.id,
+            graph: self.entry.id,
+            algorithm: self.request.algorithm.clone(),
+            status: state.status,
+            outcome: state.outcome.clone(),
+            error: state.error.clone(),
+        }
+    }
+
+    /// The final MIS (vertex ids), present once the job completed.
+    pub fn mis(&self) -> Option<Vec<usize>> {
+        self.state.lock().expect("job lock poisoned").mis.clone()
+    }
+
+    /// The job's event buffer, for streaming.
+    pub fn events(&self) -> Arc<EventBuffer> {
+        Arc::clone(&self.events)
+    }
+
+    /// Requests cancellation. Queued jobs become `Cancelled` immediately;
+    /// running jobs observe the flag at the next round boundary. Returns
+    /// `false` if the job was already terminal.
+    pub fn cancel(&self) -> bool {
+        let mut state = self.state.lock().expect("job lock poisoned");
+        match state.status {
+            JobStatus::Queued => {
+                state.status = JobStatus::Cancelled;
+                self.cancel.store(true, Ordering::SeqCst);
+                self.events.push("{\"event\":\"cancelled\"}".to_string());
+                self.events.close();
+                true
+            }
+            JobStatus::Running => {
+                self.cancel.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Enqueues a live topology delta if this job can still consume it:
+    /// not terminal, algorithm not known to lack topology support, and the
+    /// job's graph snapshot (if taken) predates `patched_version`. Returns
+    /// `Some(true)` if enqueued, `Some(false)` if the algorithm cannot
+    /// follow topology changes, `None` if the job no longer needs it.
+    pub fn push_delta(&self, delta: &GraphDelta, patched_version: u64) -> Option<bool> {
+        if self.status().is_terminal() {
+            return None;
+        }
+        if *self.topology_capable.lock().expect("job lock poisoned") == Some(false) {
+            return Some(false);
+        }
+        let snapshot = self.snapshot_version.load(Ordering::SeqCst);
+        if snapshot == 0 || snapshot >= patched_version {
+            // Not started yet (will snapshot the patched graph) or already
+            // snapshotted it: the delta is baked into the job's graph.
+            return None;
+        }
+        self.mailbox
+            .lock()
+            .expect("job lock poisoned")
+            .push_back(delta.clone());
+        Some(true)
+    }
+
+    fn take_mail(&self) -> Vec<GraphDelta> {
+        self.mailbox
+            .lock()
+            .expect("job lock poisoned")
+            .drain(..)
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// The job store: id-ordered map of jobs plus a FIFO queue drained by a
+/// persistent worker pool.
+pub struct JobStore {
+    jobs: RwLock<BTreeMap<u64, Arc<Job>>>,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+    next_id: AtomicU64,
+    draining: Arc<AtomicBool>,
+    submitted: AtomicU64,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl JobStore {
+    /// Starts a store with `workers` worker threads (0 = available
+    /// parallelism).
+    pub fn start(workers: usize) -> Arc<JobStore> {
+        let workers = if workers == 0 {
+            thread::available_parallelism().map_or(4, |p| p.get())
+        } else {
+            workers
+        };
+        let store = Arc::new(JobStore {
+            jobs: RwLock::new(BTreeMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            draining: Arc::new(AtomicBool::new(false)),
+            submitted: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let store = Arc::clone(&store);
+            handles.push(thread::spawn(move || store.worker_loop()));
+        }
+        *store.workers.lock().expect("worker list lock poisoned") = handles;
+        store
+    }
+
+    /// Accepts a job for `entry`, or refuses while draining.
+    ///
+    /// # Errors
+    ///
+    /// A static message when the store is shutting down or the algorithm is
+    /// unknown.
+    pub fn submit(
+        self: &Arc<Self>,
+        entry: Arc<GraphEntry>,
+        request: JobRequest,
+    ) -> Result<Arc<Job>, &'static str> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err("service is draining; not accepting jobs");
+        }
+        if !builtin_registry().contains(&request.algorithm) {
+            return Err("unknown algorithm key");
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let job = Arc::new(Job {
+            id,
+            entry,
+            request,
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                outcome: None,
+                error: None,
+                mis: None,
+            }),
+            cancel: AtomicBool::new(false),
+            mailbox: Mutex::new(VecDeque::new()),
+            events: EventBuffer::new(),
+            snapshot_version: AtomicU64::new(0),
+            topology_capable: Mutex::new(None),
+            drain_flag: Arc::clone(&self.draining),
+        });
+        self.jobs
+            .write()
+            .expect("job map lock poisoned")
+            .insert(id, Arc::clone(&job));
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue
+            .lock()
+            .expect("job queue lock poisoned")
+            .push_back(Arc::clone(&job));
+        self.available.notify_one();
+        Ok(job)
+    }
+
+    /// Looks up a job by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs
+            .read()
+            .expect("job map lock poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// All jobs, in id order.
+    pub fn list(&self) -> Vec<Arc<Job>> {
+        self.jobs
+            .read()
+            .expect("job map lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// All non-terminal jobs targeting graph `graph_id`.
+    pub fn jobs_on_graph(&self, graph_id: u64) -> Vec<Arc<Job>> {
+        self.list()
+            .into_iter()
+            .filter(|j| j.entry.id == graph_id && !j.status().is_terminal())
+            .collect()
+    }
+
+    /// Aggregate job gauges for `GET /v1/metrics`.
+    pub fn gauges(&self) -> JobGauges {
+        let mut gauges = JobGauges {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            ..JobGauges::default()
+        };
+        for job in self.list() {
+            match job.status() {
+                JobStatus::Queued => gauges.queued += 1,
+                JobStatus::Running => gauges.running += 1,
+                JobStatus::Completed => gauges.completed += 1,
+                JobStatus::Cancelled => gauges.cancelled += 1,
+                JobStatus::Failed => gauges.failed += 1,
+            }
+        }
+        gauges
+    }
+
+    /// `true` once [`drain`](Self::drain) was called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Stops intake, cancels everything still queued, lets running jobs
+    /// finish, and joins the worker pool. Idempotent.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        // Cancel the backlog so no worker picks up new work.
+        loop {
+            let job = self
+                .queue
+                .lock()
+                .expect("job queue lock poisoned")
+                .pop_front();
+            match job {
+                Some(job) => {
+                    job.cancel();
+                }
+                None => break,
+            }
+        }
+        self.available.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker list lock poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("job queue lock poisoned");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break Some(job);
+                    }
+                    if self.draining.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    let (q, _) = self
+                        .available
+                        .wait_timeout(queue, Duration::from_millis(200))
+                        .expect("job queue lock poisoned");
+                    queue = q;
+                }
+            };
+            let Some(job) = job else { return };
+            if self.draining.load(Ordering::SeqCst) {
+                job.cancel();
+                continue;
+            }
+            execute(&job);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Transitions the job to `Running` (unless already cancelled) and runs it,
+/// converting panics into `Failed`.
+fn execute(job: &Arc<Job>) {
+    {
+        let mut state = job.state.lock().expect("job lock poisoned");
+        if state.status != JobStatus::Queued {
+            return; // cancelled while queued
+        }
+        state.status = JobStatus::Running;
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| run_job(job)));
+    let mut state = job.state.lock().expect("job lock poisoned");
+    match result {
+        Ok(Ok(RunEnd::Completed { outcome, mis })) => {
+            job.events.push(format!(
+                "{{\"event\":\"done\",\"status\":\"completed\",\"rounds\":{},\"stabilized\":{},\"valid_mis\":{}}}",
+                outcome.rounds, outcome.stabilized, outcome.valid_mis
+            ));
+            state.status = JobStatus::Completed;
+            state.outcome = Some(outcome);
+            state.mis = Some(mis);
+        }
+        Ok(Ok(RunEnd::Cancelled)) => {
+            job.events
+                .push("{\"event\":\"done\",\"status\":\"cancelled\"}".to_string());
+            state.status = JobStatus::Cancelled;
+        }
+        Ok(Err(message)) => {
+            job.events.push(format!(
+                "{{\"event\":\"done\",\"status\":\"failed\",\"error\":{}}}",
+                json_string(&message)
+            ));
+            state.status = JobStatus::Failed;
+            state.error = Some(message);
+        }
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            job.events.push(format!(
+                "{{\"event\":\"done\",\"status\":\"failed\",\"error\":{}}}",
+                json_string(&message)
+            ));
+            state.status = JobStatus::Failed;
+            state.error = Some(message);
+        }
+    }
+    job.events.close();
+}
+
+enum RunEnd {
+    Completed {
+        outcome: JobOutcome,
+        mis: Vec<usize>,
+    },
+    Cancelled,
+}
+
+/// Minimal JSON string escaping for event lines.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn run_job(job: &Arc<Job>) -> Result<RunEnd, String> {
+    let request = &job.request;
+    let factory = builtin_registry()
+        .get(&request.algorithm)
+        .ok_or_else(|| format!("unknown algorithm '{}'", request.algorithm))?;
+
+    let (graph, version) = job.entry.snapshot();
+    job.snapshot_version.store(version, Ordering::SeqCst);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(request.seed);
+    let config = AlgorithmConfig {
+        init: request.init,
+        execution: request.execution,
+        strategy: request.strategy,
+        counter_seed: request.seed ^ COUNTER_SEED_SALT,
+    };
+    let start = Instant::now();
+    let mut algorithm = factory.init(&graph, &config, &mut rng);
+    *job.topology_capable.lock().expect("job lock poisoned") =
+        Some(algorithm.supports_topology_change());
+
+    if !request.scheduler.is_synchronous() && !algorithm.supports_partial_activation() {
+        return Err(format!(
+            "algorithm '{}' does not support the {} scheduler",
+            request.algorithm,
+            request.scheduler.label()
+        ));
+    }
+    let mut scheduler = request.scheduler.build();
+    let trace = request.record_trace && algorithm.supports_trace();
+    let linger = Duration::from_micros(job.request.linger_micros);
+    let mut mutations_applied = 0usize;
+    let mut stable_since: Option<Instant> = None;
+
+    loop {
+        if job.cancel.load(Ordering::SeqCst) {
+            return Ok(RunEnd::Cancelled);
+        }
+        let mut mutated = false;
+        for delta in job.take_mail() {
+            match algorithm.apply_mutation(&delta) {
+                Ok(committed) => {
+                    mutations_applied += 1;
+                    mutated = true;
+                    job.events.push(format!(
+                        "{{\"event\":\"topology\",\"round\":{},\"inserted\":{},\"removed\":{},\"new_n\":{}}}",
+                        algorithm.round(),
+                        committed.inserted.len(),
+                        committed.removed.len(),
+                        committed.new_n
+                    ));
+                }
+                Err(e) => {
+                    job.events.push(format!(
+                        "{{\"event\":\"mutation_rejected\",\"round\":{},\"error\":{}}}",
+                        algorithm.round(),
+                        json_string(&e.to_string())
+                    ));
+                }
+            }
+        }
+        if mutated {
+            stable_since = None;
+        }
+        if algorithm.is_stabilized() {
+            let since = *stable_since.get_or_insert_with(Instant::now);
+            if since.elapsed() >= linger || job.drain_flag.load(Ordering::SeqCst) {
+                break;
+            }
+            thread::sleep(POLL_INTERVAL.min(linger));
+            continue;
+        }
+        stable_since = None;
+        if algorithm.round() >= request.max_rounds {
+            break;
+        }
+        let activation = scheduler.next_activation(algorithm.n(), algorithm.round(), &mut rng);
+        algorithm.step(StepCtx {
+            rng: &mut rng,
+            activation: &activation,
+        });
+        if trace {
+            let counts = algorithm.counts();
+            job.events.push(format!(
+                "{{\"event\":\"round\",\"round\":{},\"black\":{},\"active\":{},\"unstable\":{}}}",
+                algorithm.round(),
+                counts.black,
+                counts.active,
+                counts.unstable
+            ));
+        }
+        if request.round_delay_micros > 0 {
+            thread::sleep(Duration::from_micros(request.round_delay_micros));
+        }
+    }
+
+    let black = algorithm.black_set();
+    let final_graph = algorithm.current_graph().unwrap_or(&graph);
+    let outcome = JobOutcome {
+        rounds: algorithm.round(),
+        stabilized: algorithm.is_stabilized(),
+        valid_mis: mis_check::is_mis(final_graph, &black),
+        mis_size: black.len(),
+        n: final_graph.n(),
+        m: final_graph.m(),
+        random_bits: algorithm.random_bits_used(),
+        states_per_vertex: algorithm.states_per_vertex(),
+        mutations_applied,
+        wall_micros: start.elapsed().as_micros() as u64,
+    };
+    let mis = black.iter().collect();
+    Ok(RunEnd::Completed { outcome, mis })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::GraphRegistry;
+    use mis_graph::Graph;
+
+    fn wait_terminal(job: &Arc<Job>) -> JobStatus {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !job.status().is_terminal() {
+            assert!(Instant::now() < deadline, "job {} hung", job.id);
+            thread::sleep(Duration::from_millis(2));
+        }
+        job.status()
+    }
+
+    fn registry_with_path(n: usize) -> (GraphRegistry, Arc<GraphEntry>) {
+        let registry = GraphRegistry::new();
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let entry = registry.insert(
+            "path".into(),
+            "upload".into(),
+            Graph::from_edges(n, edges).unwrap(),
+        );
+        (registry, entry)
+    }
+
+    #[test]
+    fn jobs_complete_with_valid_mis() {
+        let (_registry, entry) = registry_with_path(50);
+        let store = JobStore::start(2);
+        let job = store
+            .submit(Arc::clone(&entry), JobRequest::new(entry.id, "two-state"))
+            .unwrap();
+        assert_eq!(wait_terminal(&job), JobStatus::Completed);
+        let info = job.info();
+        let outcome = info.outcome.unwrap();
+        assert!(outcome.stabilized && outcome.valid_mis);
+        assert_eq!(outcome.mutations_applied, 0);
+        assert_eq!(job.mis().unwrap().len(), outcome.mis_size);
+        store.drain();
+    }
+
+    #[test]
+    fn unknown_algorithm_is_rejected_at_submit() {
+        let (_registry, entry) = registry_with_path(4);
+        let store = JobStore::start(1);
+        assert!(store
+            .submit(Arc::clone(&entry), JobRequest::new(entry.id, "nope"))
+            .is_err());
+        store.drain();
+    }
+
+    #[test]
+    fn unsupported_scheduler_fails_the_job() {
+        let (_registry, entry) = registry_with_path(6);
+        let store = JobStore::start(1);
+        let mut request = JobRequest::new(entry.id, "luby");
+        request.scheduler = mis_sim::spec::SchedulerSpec::RandomSubset { p: 0.5 };
+        let job = store.submit(Arc::clone(&entry), request).unwrap();
+        assert_eq!(wait_terminal(&job), JobStatus::Failed);
+        assert!(job.info().error.unwrap().contains("scheduler"));
+        store.drain();
+    }
+
+    #[test]
+    fn cancelling_a_lingering_job_stops_it() {
+        let (_registry, entry) = registry_with_path(20);
+        let store = JobStore::start(1);
+        let mut request = JobRequest::new(entry.id, "two-state");
+        request.linger_micros = 60_000_000; // would linger for a minute
+        let job = store.submit(Arc::clone(&entry), request).unwrap();
+        // Wait until it is resident (stabilized but lingering).
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(job.status(), JobStatus::Running);
+        assert!(job.cancel());
+        assert_eq!(wait_terminal(&job), JobStatus::Cancelled);
+        assert!(!job.cancel(), "cancel is idempotent on terminal jobs");
+        store.drain();
+    }
+
+    #[test]
+    fn live_delta_reaches_a_lingering_job_and_restabilizes() {
+        let (registry, entry) = registry_with_path(30);
+        let store = JobStore::start(1);
+        let mut request = JobRequest::new(entry.id, "two-state");
+        request.linger_micros = 30_000_000;
+        let job = store.submit(Arc::clone(&entry), request).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(job.status(), JobStatus::Running);
+
+        // Patch the registry graph, then forward the delta like the handler.
+        let mut delta = GraphDelta::new();
+        delta.add_vertex([0, 2, 4]);
+        delta.remove_edge(0, 1);
+        let (_committed, version) = registry.apply_delta(entry.id, &delta).unwrap().unwrap();
+        assert_eq!(job.push_delta(&delta, version), Some(true));
+
+        // Give it time to apply + re-stabilize, then cancel the linger.
+        thread::sleep(Duration::from_millis(100));
+        job.cancel();
+        assert_eq!(wait_terminal(&job), JobStatus::Cancelled);
+        store.drain();
+    }
+
+    #[test]
+    fn drain_cancels_queued_jobs_and_joins() {
+        let (_registry, entry) = registry_with_path(10);
+        let store = JobStore::start(1);
+        // A lingering job occupies the single worker, so the rest stay
+        // queued until drain.
+        let mut slow = JobRequest::new(entry.id, "two-state");
+        slow.linger_micros = 60_000_000;
+        let running = store.submit(Arc::clone(&entry), slow).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(running.status(), JobStatus::Running);
+        let queued: Vec<_> = (0..4)
+            .map(|_| {
+                store
+                    .submit(Arc::clone(&entry), JobRequest::new(entry.id, "greedy"))
+                    .unwrap()
+            })
+            .collect();
+        store.drain();
+        assert!(store.is_draining());
+        // Drain breaks the linger: the resident job completes rather than
+        // wedging shutdown for the rest of its linger window.
+        assert_eq!(running.status(), JobStatus::Completed);
+        for job in queued {
+            assert_eq!(job.status(), JobStatus::Cancelled);
+        }
+        assert!(store
+            .submit(Arc::clone(&entry), JobRequest::new(entry.id, "greedy"))
+            .is_err());
+        let gauges = store.gauges();
+        assert_eq!(gauges.submitted, 5);
+        assert_eq!(gauges.queued + gauges.running, 0);
+    }
+
+    #[test]
+    fn event_stream_replays_and_terminates() {
+        let (_registry, entry) = registry_with_path(12);
+        let store = JobStore::start(1);
+        let mut request = JobRequest::new(entry.id, "three-state");
+        request.record_trace = true;
+        let job = store.submit(Arc::clone(&entry), request).unwrap();
+        assert_eq!(wait_terminal(&job), JobStatus::Completed);
+        let mut stream = ndjson_stream(job.events());
+        let mut text = String::new();
+        while let Some(chunk) = stream() {
+            text.push_str(std::str::from_utf8(&chunk).unwrap());
+        }
+        assert!(text.contains("\"event\":\"round\""));
+        assert!(text
+            .lines()
+            .last()
+            .unwrap()
+            .contains("\"status\":\"completed\""));
+        store.drain();
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

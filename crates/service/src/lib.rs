@@ -1,0 +1,37 @@
+//! Graph-service daemon: the workspace's self-stabilizing MIS engine served
+//! over HTTP.
+//!
+//! A [`Service`] hosts a registry of named graphs ([`graphs::GraphRegistry`])
+//! and an asynchronous job store ([`jobs::JobStore`]) behind a small HTTP/1.1
+//! API (vendored `warp` stand-in):
+//!
+//! | Endpoint | Purpose |
+//! |---|---|
+//! | `POST /v1/graphs` | upload edges or generate via `GraphSpec` |
+//! | `GET /v1/graphs` · `GET/DELETE /v1/graphs/:id` | inspect / remove graphs |
+//! | `PATCH /v1/graphs/:id/edges` | apply a `GraphDelta`, live-mutating running jobs |
+//! | `GET /v1/algorithms` | the 10 registry algorithms with capability flags |
+//! | `POST /v1/jobs` · `GET /v1/jobs` · `GET/DELETE /v1/jobs/:id` | submit / poll / cancel jobs |
+//! | `GET /v1/jobs/:id/events` | live NDJSON trace stream (chunked) |
+//! | `GET /v1/jobs/:id/mis` | NDJSON download of the final MIS |
+//! | `GET /v1/metrics` | per-endpoint request/latency/in-flight counters |
+//! | `GET /v1/healthz` · `POST /v1/admin/shutdown` | liveness / remote drain |
+//!
+//! Jobs run any of the registry algorithms on a persistent worker pool; a
+//! `PATCH` against a graph is forwarded into the mailbox of every running job
+//! on that graph, which applies it through `Algorithm::apply_mutation` and
+//! re-stabilizes incrementally — the paper's core claim, exercised as a live
+//! service. Shutdown (SIGTERM, `DELETE`d jobs, or the admin endpoint) drains
+//! in-flight jobs so the pool is never left wedged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod graphs;
+pub mod jobs;
+pub mod metrics;
+mod routes;
+mod service;
+
+pub use service::{Service, ServiceConfig};

@@ -1,0 +1,135 @@
+//! Per-endpoint request metrics, collected through the router's
+//! [`warp::Middleware`] hook.
+//!
+//! Slots are pre-sized from the router's route table at startup, so the hot
+//! path is a linear scan over ~a dozen entries plus a few relaxed atomic
+//! updates — no locking on the request path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::api::EndpointMetrics;
+
+struct Slot {
+    route: String,
+    method: warp::Method,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    in_flight: AtomicU64,
+    latency_sum: AtomicU64,
+    latency_max: AtomicU64,
+}
+
+impl Slot {
+    fn new(route: String, method: warp::Method) -> Slot {
+        Slot {
+            route,
+            method,
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            latency_sum: AtomicU64::new(0),
+            latency_max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Request counters for every registered route plus one `(unmatched)` slot.
+pub struct ServiceMetrics {
+    slots: Vec<Slot>,
+}
+
+impl ServiceMetrics {
+    /// Builds one slot per `(method, pattern)` pair plus the unmatched slot.
+    pub fn for_routes(routes: &[(warp::Method, String)]) -> ServiceMetrics {
+        let mut slots: Vec<Slot> = routes
+            .iter()
+            .map(|(method, pattern)| Slot::new(pattern.clone(), *method))
+            .collect();
+        slots.push(Slot::new(warp::UNMATCHED.to_string(), warp::Method::Get));
+        ServiceMetrics { slots }
+    }
+
+    fn slot(&self, pattern: &str, method: warp::Method) -> &Slot {
+        self.slots
+            .iter()
+            .find(|s| s.route == pattern && (s.method == method || pattern == warp::UNMATCHED))
+            .unwrap_or_else(|| self.slots.last().expect("unmatched slot always exists"))
+    }
+
+    /// Snapshot of all endpoint counters, in registration order.
+    pub fn report(&self) -> Vec<EndpointMetrics> {
+        self.slots
+            .iter()
+            .map(|slot| EndpointMetrics {
+                route: slot.route.clone(),
+                method: slot.method.as_str().to_string(),
+                requests: slot.requests.load(Ordering::Relaxed),
+                errors: slot.errors.load(Ordering::Relaxed),
+                in_flight: slot.in_flight.load(Ordering::Relaxed),
+                latency_sum_micros: slot.latency_sum.load(Ordering::Relaxed),
+                latency_max_micros: slot.latency_max.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+impl warp::Middleware for ServiceMetrics {
+    fn on_request(&self, pattern: &str, method: warp::Method) {
+        let slot = self.slot(pattern, method);
+        slot.requests.fetch_add(1, Ordering::Relaxed);
+        slot.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_response(&self, pattern: &str, method: warp::Method, status: u16, elapsed_micros: u64) {
+        let slot = self.slot(pattern, method);
+        slot.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if status >= 400 {
+            slot.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.latency_sum
+            .fetch_add(elapsed_micros, Ordering::Relaxed);
+        slot.latency_max
+            .fetch_max(elapsed_micros, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp::{Method, Middleware};
+
+    #[test]
+    fn counters_accumulate_per_endpoint() {
+        let metrics = ServiceMetrics::for_routes(&[
+            (Method::Get, "/v1/jobs".to_string()),
+            (Method::Post, "/v1/jobs".to_string()),
+        ]);
+        metrics.on_request("/v1/jobs", Method::Get);
+        metrics.on_response("/v1/jobs", Method::Get, 200, 120);
+        metrics.on_request("/v1/jobs", Method::Post);
+        metrics.on_response("/v1/jobs", Method::Post, 503, 40);
+        metrics.on_request(warp::UNMATCHED, Method::Delete);
+        metrics.on_response(warp::UNMATCHED, Method::Delete, 404, 5);
+
+        let report = metrics.report();
+        assert_eq!(report.len(), 3);
+        let get = &report[0];
+        assert_eq!((get.requests, get.errors, get.in_flight), (1, 0, 0));
+        assert_eq!(get.latency_sum_micros, 120);
+        assert_eq!(get.latency_max_micros, 120);
+        let post = &report[1];
+        assert_eq!((post.requests, post.errors), (1, 1));
+        let unmatched = &report[2];
+        assert_eq!(unmatched.route, warp::UNMATCHED);
+        assert_eq!(unmatched.requests, 1);
+    }
+
+    #[test]
+    fn in_flight_tracks_open_requests() {
+        let metrics = ServiceMetrics::for_routes(&[(Method::Get, "/v1/metrics".to_string())]);
+        metrics.on_request("/v1/metrics", Method::Get);
+        assert_eq!(metrics.report()[0].in_flight, 1);
+        metrics.on_response("/v1/metrics", Method::Get, 200, 1);
+        assert_eq!(metrics.report()[0].in_flight, 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! HTTP route handlers wiring the registry, job store, and metrics into a
+//! `warp` router.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use mis_core::AlgorithmConfig;
+use mis_graph::Graph;
+use mis_sim::builtin_registry;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use warp::{PathParams, Request, Response, Router};
+
+use crate::api::{
+    AlgorithmInfo, CreateGraphRequest, ErrorBody, JobRequest, MetricsReport, PatchEdgesRequest,
+    PatchResponse,
+};
+use crate::jobs::ndjson_stream;
+use crate::service::AppState;
+
+fn json<T: Serialize>(status: u16, value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(status, body),
+        Err(e) => error(500, format!("serialization failed: {e}")),
+    }
+}
+
+fn error(status: u16, message: impl Into<String>) -> Response {
+    let body = ErrorBody {
+        error: message.into(),
+    };
+    Response::json(
+        status,
+        serde_json::to_string(&body).unwrap_or_else(|_| "{\"error\":\"error\"}".to_string()),
+    )
+}
+
+fn parse_body<T: Deserialize>(request: &Request) -> Result<T, Response> {
+    let text = request
+        .text()
+        .map_err(|_| error(400, "request body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| error(400, format!("invalid request body: {e}")))
+}
+
+fn graph_id(params: &PathParams) -> Result<u64, Response> {
+    params.id("id").ok_or_else(|| error(400, "invalid id"))
+}
+
+/// Capability metadata for every registry algorithm, derived by probing one
+/// tiny instance per factory (the flags live on instances, not factories).
+pub fn algorithm_catalog() -> Vec<AlgorithmInfo> {
+    let probe_graph = Graph::from_edges(2, [(0, 1)]).expect("probe graph");
+    let config = AlgorithmConfig {
+        init: mis_core::init::InitStrategy::Random,
+        execution: mis_core::ExecutionMode::Sequential,
+        strategy: mis_core::RoundStrategy::Auto,
+        counter_seed: 0,
+    };
+    builtin_registry()
+        .factories()
+        .map(|factory| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+            let instance = factory.init(&probe_graph, &config, &mut rng);
+            AlgorithmInfo {
+                key: factory.key().to_string(),
+                description: factory.description().to_string(),
+                communication_model: factory.communication_model().label().to_string(),
+                supports_topology_change: instance.supports_topology_change(),
+                supports_parallel: instance.supports_parallel(),
+                supports_partial_activation: instance.supports_partial_activation(),
+                supports_trace: instance.supports_trace(),
+            }
+        })
+        .collect()
+}
+
+/// Builds the full route table over `state` (middleware is attached by the
+/// caller once metrics exist).
+pub fn build(state: &Arc<AppState>) -> Router {
+    let mut router = Router::new();
+
+    // --- graphs -----------------------------------------------------------
+    let s = Arc::clone(state);
+    router = router.post("/v1/graphs", move |req, _| {
+        let body: CreateGraphRequest = match parse_body(req) {
+            Ok(body) => body,
+            Err(resp) => return resp,
+        };
+        let graph = match body.source.materialize(body.seed) {
+            Ok(graph) => graph,
+            Err(e) => return error(400, format!("invalid graph: {e}")),
+        };
+        let name = body.name.unwrap_or_else(|| body.source.label());
+        let entry = s.graphs.insert(name, body.source.label(), graph);
+        json(201, &entry.info())
+    });
+
+    let s = Arc::clone(state);
+    router = router.get("/v1/graphs", move |_, _| {
+        let infos: Vec<_> = s.graphs.list().iter().map(|e| e.info()).collect();
+        json(200, &infos)
+    });
+
+    let s = Arc::clone(state);
+    router = router.get("/v1/graphs/:id", move |_, params| {
+        let id = match graph_id(params) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        match s.graphs.get(id) {
+            Some(entry) => json(200, &entry.info()),
+            None => error(404, format!("no graph {id}")),
+        }
+    });
+
+    let s = Arc::clone(state);
+    router = router.delete("/v1/graphs/:id", move |_, params| {
+        let id = match graph_id(params) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        match s.graphs.remove(id) {
+            Some(_) => Response::new(204),
+            None => error(404, format!("no graph {id}")),
+        }
+    });
+
+    let s = Arc::clone(state);
+    router = router.patch("/v1/graphs/:id/edges", move |req, params| {
+        let id = match graph_id(params) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        let body: PatchEdgesRequest = match parse_body(req) {
+            Ok(body) => body,
+            Err(resp) => return resp,
+        };
+        if body.is_empty() {
+            return error(400, "empty patch: nothing to apply");
+        }
+        let delta = body.delta();
+        let (committed, version) = match s.graphs.apply_delta(id, &delta) {
+            None => return error(404, format!("no graph {id}")),
+            Some(Err(e)) => return error(400, format!("invalid delta: {e}")),
+            Some(Ok(applied)) => applied,
+        };
+        // Forward the delta to every live job on this graph whose snapshot
+        // predates the patch; jobs whose algorithm cannot follow topology
+        // changes are counted as skipped.
+        let mut notified = 0;
+        let mut skipped = 0;
+        for job in s.jobs.jobs_on_graph(id) {
+            match job.push_delta(&delta, version) {
+                Some(true) => notified += 1,
+                Some(false) => skipped += 1,
+                None => {}
+            }
+        }
+        json(
+            200,
+            &PatchResponse {
+                graph: id,
+                version,
+                old_n: committed.old_n,
+                new_n: committed.new_n,
+                inserted: committed.inserted.len(),
+                removed: committed.removed.len(),
+                jobs_notified: notified,
+                jobs_skipped: skipped,
+            },
+        )
+    });
+
+    // --- algorithms -------------------------------------------------------
+    router = router.get("/v1/algorithms", move |_, _| {
+        json(200, &algorithm_catalog())
+    });
+
+    // --- jobs -------------------------------------------------------------
+    let s = Arc::clone(state);
+    router = router.post("/v1/jobs", move |req, _| {
+        let body: JobRequest = match parse_body(req) {
+            Ok(body) => body,
+            Err(resp) => return resp,
+        };
+        let Some(entry) = s.graphs.get(body.graph) else {
+            return error(404, format!("no graph {}", body.graph));
+        };
+        if !builtin_registry().contains(&body.algorithm) {
+            return error(
+                400,
+                format!(
+                    "unknown algorithm '{}'; see GET /v1/algorithms",
+                    body.algorithm
+                ),
+            );
+        }
+        match s.jobs.submit(entry, body) {
+            Ok(job) => json(202, &job.info()),
+            Err(message) if message.contains("draining") => error(503, message),
+            Err(message) => error(400, message),
+        }
+    });
+
+    let s = Arc::clone(state);
+    router = router.get("/v1/jobs", move |_, _| {
+        let infos: Vec<_> = s.jobs.list().iter().map(|j| j.info()).collect();
+        json(200, &infos)
+    });
+
+    let s = Arc::clone(state);
+    router = router.get("/v1/jobs/:id", move |_, params| {
+        let id = match graph_id(params) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        match s.jobs.get(id) {
+            Some(job) => json(200, &job.info()),
+            None => error(404, format!("no job {id}")),
+        }
+    });
+
+    let s = Arc::clone(state);
+    router = router.delete("/v1/jobs/:id", move |_, params| {
+        let id = match graph_id(params) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        match s.jobs.get(id) {
+            Some(job) => {
+                job.cancel();
+                json(202, &job.info())
+            }
+            None => error(404, format!("no job {id}")),
+        }
+    });
+
+    let s = Arc::clone(state);
+    router = router.get("/v1/jobs/:id/events", move |_, params| {
+        let id = match graph_id(params) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        match s.jobs.get(id) {
+            Some(job) => Response::stream(200, "application/x-ndjson", ndjson_stream(job.events())),
+            None => error(404, format!("no job {id}")),
+        }
+    });
+
+    let s = Arc::clone(state);
+    router = router.get("/v1/jobs/:id/mis", move |_, params| {
+        let id = match graph_id(params) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        let Some(job) = s.jobs.get(id) else {
+            return error(404, format!("no job {id}"));
+        };
+        let Some(mis) = job.mis() else {
+            return error(
+                409,
+                format!("job {id} has no result yet (status {:?})", job.status()),
+            );
+        };
+        // Stream the vertex ids as NDJSON, one chunk per id block.
+        let mut blocks = mis
+            .chunks(4096)
+            .map(|block| {
+                block
+                    .iter()
+                    .map(|v| format!("{v}\n"))
+                    .collect::<String>()
+                    .into_bytes()
+            })
+            .collect::<Vec<_>>()
+            .into_iter();
+        Response::stream(200, "application/x-ndjson", Box::new(move || blocks.next()))
+    });
+
+    // --- metrics & admin --------------------------------------------------
+    let s = Arc::clone(state);
+    router = router.get("/v1/metrics", move |_, _| {
+        let report = MetricsReport {
+            uptime_micros: s.started.elapsed().as_micros() as u64,
+            endpoints: s.metrics().map(|m| m.report()).unwrap_or_default(),
+            jobs: s.jobs.gauges(),
+        };
+        json(200, &report)
+    });
+
+    router = router.get("/v1/healthz", move |_, _| {
+        Response::json(200, "{\"status\":\"ok\"}")
+    });
+
+    let s = Arc::clone(state);
+    router = router.post("/v1/admin/shutdown", move |_, _| {
+        s.shutdown_requested.store(true, Ordering::SeqCst);
+        Response::json(202, "{\"status\":\"shutdown requested\"}")
+    });
+
+    router
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_the_whole_registry() {
+        let catalog = algorithm_catalog();
+        assert_eq!(catalog.len(), builtin_registry().len());
+        let two_state = catalog.iter().find(|a| a.key == "two-state").unwrap();
+        assert!(two_state.supports_topology_change);
+        assert!(two_state.supports_trace);
+        let greedy = catalog.iter().find(|a| a.key == "greedy").unwrap();
+        assert!(!greedy.supports_trace);
+    }
+}

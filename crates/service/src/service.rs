@@ -1,0 +1,106 @@
+//! Service assembly: state, router, server, and lifecycle.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::graphs::GraphRegistry;
+use crate::jobs::JobStore;
+use crate::metrics::ServiceMetrics;
+use crate::routes;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral test port).
+    pub addr: String,
+    /// Worker threads in the job pool (0 = available parallelism).
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 0,
+        }
+    }
+}
+
+/// Shared state behind every route handler.
+pub struct AppState {
+    /// Named-graph registry.
+    pub graphs: GraphRegistry,
+    /// Job store + worker pool.
+    pub jobs: Arc<JobStore>,
+    /// Service start time (for uptime reporting).
+    pub started: Instant,
+    /// Set by `POST /v1/admin/shutdown`; the daemon binary polls it.
+    pub shutdown_requested: AtomicBool,
+    metrics: OnceLock<Arc<ServiceMetrics>>,
+}
+
+impl AppState {
+    /// The endpoint metrics collector (set once the router is built).
+    pub fn metrics(&self) -> Option<&Arc<ServiceMetrics>> {
+        self.metrics.get()
+    }
+}
+
+/// A running graph-service daemon.
+pub struct Service {
+    state: Arc<AppState>,
+    server: warp::Server,
+}
+
+impl Service {
+    /// Starts the worker pool, builds the router + metrics, and binds the
+    /// HTTP server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener bind failures.
+    pub fn start(config: &ServiceConfig) -> io::Result<Service> {
+        let state = Arc::new(AppState {
+            graphs: GraphRegistry::new(),
+            jobs: JobStore::start(config.workers),
+            started: Instant::now(),
+            shutdown_requested: AtomicBool::new(false),
+            metrics: OnceLock::new(),
+        });
+        let router = routes::build(&state);
+        let metrics = Arc::new(ServiceMetrics::for_routes(&router.patterns()));
+        assert!(
+            state.metrics.set(Arc::clone(&metrics)).is_ok(),
+            "metrics initialized twice"
+        );
+        let router = router.with_middleware(metrics);
+        let server = warp::serve(router).bind(config.addr.as_str())?;
+        Ok(Service { state, server })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The shared state (graphs, jobs, metrics).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// `true` once a client called `POST /v1/admin/shutdown`.
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: drain the job pool (stop intake, cancel queued,
+    /// finish running), then stop the HTTP server (event streams end once
+    /// their jobs are terminal, so no connection can wedge this).
+    pub fn shutdown(self) {
+        self.state.jobs.drain();
+        self.server.shutdown();
+    }
+}

@@ -9,7 +9,7 @@
 //!   ([`registry::builtin_registry`]): ten algorithms behind one object-safe
 //!   [`mis_core::Algorithm`] seam.
 //! * [`spec`] — declarative experiment specifications: which algorithm
-//!   (registry key or legacy [`spec::ProcessSelector`]), which graph family
+//!   (by registry key), which graph family
 //!   ([`spec::GraphSpec`]), which scheduler ([`spec::SchedulerSpec`]), which
 //!   initialization, optional fault injection, how many trials, which seed.
 //!   Build them with [`spec::ExperimentSpec::builder`].
@@ -83,8 +83,6 @@ pub use runner::{
     drive_algorithm, run_experiment, run_experiment_with, DriveOutcome, ExperimentResult,
     CONTAINMENT_CONFIRM_ROUNDS, CONTAINMENT_RADIUS,
 };
-#[allow(deprecated)]
-pub use spec::ProcessSelector;
 pub use spec::{
     ByzantineSpec, ChurnScenario, ChurnSpec, ExperimentSpec, FaultSpec, GraphSpec, SchedulerSpec,
     VictimSelection,

@@ -4,12 +4,11 @@
 //! A trial resolves its algorithm through the string-keyed [`Registry`]
 //! (see [`builtin_registry`]), builds the scheduler from the spec, and
 //! hands both to [`drive_algorithm`], which streams per-round events to any
-//! attached [`Observer`]s. Legacy
-//! [`ProcessSelector`](crate::spec::ProcessSelector)-based specs resolve
-//! through the same path and are
-//! bit-identical to the pre-registry harness (same RNG stream, same rounds,
-//! same MIS, same random-bit counts), which the
-//! `tests/legacy_equivalence.rs` regression suite pins down.
+//! attached [`Observer`]s. Specs written before the registry redesign
+//! resolve through the same path and are bit-identical to the pre-registry
+//! harness (same RNG stream, same rounds, same MIS, same random-bit
+//! counts), which the `tests/legacy_equivalence.rs` regression suite pins
+//! down.
 //!
 //! Two layers of parallelism are available and composable per spec:
 //! independent trials always run on the rayon trial pool
@@ -633,7 +632,7 @@ mod tests {
         ExperimentSpec {
             name: "unit".into(),
             graph: GraphSpec::Gnp { n: 60, p: 0.08 },
-            algorithm: Some(algorithm.into()),
+            algorithm: algorithm.into(),
             init: InitStrategy::Random,
             execution: ExecutionMode::Sequential,
             trials: 6,

@@ -1,10 +1,11 @@
 //! Declarative experiment specifications.
 //!
-//! A spec names an algorithm by registry key (or through the legacy
-//! [`ProcessSelector`] shim), a graph family, a [`SchedulerSpec`], an
-//! optional [`FaultSpec`], and the trial/seed budget. Build specs with
-//! [`ExperimentSpec::builder`]; the struct remains `pub` and serde-stable
-//! for existing code and stored JSON.
+//! A spec names an algorithm by registry key, a graph family, a
+//! [`SchedulerSpec`], an optional [`FaultSpec`], and the trial/seed budget.
+//! Build specs with [`ExperimentSpec::builder`]; the struct remains `pub`
+//! and serde-stable for existing code and stored JSON (legacy JSON naming
+//! an algorithm through the retired `ProcessSelector` enum's `process`
+//! field still deserializes — the variant name maps onto its registry key).
 
 use mis_core::init::InitStrategy;
 use mis_core::scheduler::{CentralDaemon, RandomSubset, Scheduler, Synchronous};
@@ -596,89 +597,20 @@ impl Deserialize for ByzantineSpec {
     }
 }
 
-/// Which process (or baseline) a trial should run.
-///
-/// This enum predates the string-keyed algorithm registry and is kept as a
-/// thin compatibility shim: each variant maps 1:1 onto a registry key via
-/// [`registry_key`](ProcessSelector::registry_key), and
-/// [`ExperimentSpec::algorithm`] overrides it when set. New code (and new
-/// algorithms, which have no variant here) should address algorithms by
-/// registry key through [`ExperimentSpecBuilder::algorithm`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[deprecated(
-    since = "0.1.0",
-    note = "address algorithms by registry key instead: `ExperimentSpec::builder().algorithm(\"two-state\")`; \
-            each variant's key is its `registry_key()` (= `label()`)"
-)]
-#[allow(deprecated)]
-pub enum ProcessSelector {
-    /// The 2-state MIS process (Definition 4).
-    TwoState,
-    /// The 3-state MIS process (Definition 5).
-    ThreeState,
-    /// The 3-color MIS process with the randomized logarithmic switch
-    /// (Definition 28, 18 states).
-    ThreeColor,
-    /// Luby's algorithm (baseline; not self-stabilizing).
-    Luby,
-    /// The random-priority synchronous self-stabilizing baseline.
-    RandomPriority,
-    /// The sequential greedy MIS in a uniformly random scan order (baseline;
-    /// centralized, not self-stabilizing). Reported with `rounds = 1`: the
-    /// whole MIS is built in one centralized pass.
-    Greedy,
-    /// The deterministic sequential self-stabilizing MIS (Shukla et al. /
-    /// Hedetniemi et al.) under the smallest-id central scheduler. Reported
-    /// with `rounds` equal to the number of *moves* (single-vertex state
-    /// changes), its natural cost measure; at most `2n`.
-    SequentialSelfStab,
-}
-
-#[allow(deprecated)]
-impl ProcessSelector {
-    /// Short label used in tables and CSV output.
-    pub fn label(&self) -> &'static str {
-        match self {
-            ProcessSelector::TwoState => "two-state",
-            ProcessSelector::ThreeState => "three-state",
-            ProcessSelector::ThreeColor => "three-color",
-            ProcessSelector::Luby => "luby",
-            ProcessSelector::RandomPriority => "random-priority",
-            ProcessSelector::Greedy => "greedy",
-            ProcessSelector::SequentialSelfStab => "sequential-selfstab",
-        }
-    }
-
-    /// The algorithm-registry key this legacy selector maps to.
-    ///
-    /// The keys coincide with [`label`](Self::label); they are the stable
-    /// names under which the factories are registered in
-    /// [`builtin_registry`](crate::registry::builtin_registry).
-    pub fn registry_key(&self) -> &'static str {
-        self.label()
-    }
-
-    /// The selector for a registry key, if the key has a legacy variant.
-    /// Registry-only algorithms (e.g. `"beeping-two-state"`) return `None`.
-    pub fn from_registry_key(key: &str) -> Option<ProcessSelector> {
-        ProcessSelector::all()
-            .into_iter()
-            .find(|p| p.registry_key() == key)
-    }
-
-    /// All selectors, in a stable order — handy for comparison experiments
-    /// that iterate over every available algorithm.
-    pub fn all() -> [ProcessSelector; 7] {
-        [
-            ProcessSelector::TwoState,
-            ProcessSelector::ThreeState,
-            ProcessSelector::ThreeColor,
-            ProcessSelector::Luby,
-            ProcessSelector::RandomPriority,
-            ProcessSelector::Greedy,
-            ProcessSelector::SequentialSelfStab,
-        ]
-    }
+/// Maps a variant name of the retired `ProcessSelector` enum onto the
+/// registry key it always resolved to, so JSON written before the enum was
+/// removed (`"process": "TwoState"`) keeps deserializing unchanged.
+fn legacy_process_registry_key(variant: &str) -> Option<&'static str> {
+    Some(match variant {
+        "TwoState" => "two-state",
+        "ThreeState" => "three-state",
+        "ThreeColor" => "three-color",
+        "Luby" => "luby",
+        "RandomPriority" => "random-priority",
+        "Greedy" => "greedy",
+        "SequentialSelfStab" => "sequential-selfstab",
+        _ => return None,
+    })
 }
 
 /// A full experiment: an algorithm, a graph family, a scheduler, an
@@ -688,25 +620,22 @@ impl ProcessSelector {
 /// form remains available for the legacy field set.
 ///
 /// Serialization is hand-written (the vendored serde derive has no
-/// `#[serde(default)]`): the [`algorithm`](Self::algorithm),
-/// [`scheduler`](Self::scheduler), and [`fault`](Self::fault) fields fall
-/// back to their defaults when absent, so JSON written before the registry
-/// redesign still deserializes unchanged.
+/// `#[serde(default)]`): the [`scheduler`](Self::scheduler),
+/// [`fault`](Self::fault), and related post-redesign fields fall back to
+/// their defaults when absent, and a legacy `process` field (the retired
+/// `ProcessSelector` enum, serialized as its variant name) still resolves
+/// to the matching [`algorithm`](Self::algorithm) registry key — so JSON
+/// written before the registry redesign deserializes unchanged.
 #[derive(Debug, Clone, PartialEq)]
-#[allow(deprecated)] // the legacy `process` selector field remains supported
 pub struct ExperimentSpec {
     /// Name used in reports and file names.
     pub name: String,
     /// Graph family to sample per trial.
     pub graph: GraphSpec,
-    /// Legacy process selector; used only when [`algorithm`](Self::algorithm)
-    /// is `None`, in which case it resolves through
-    /// [`registry_key`](ProcessSelector::registry_key).
-    pub process: ProcessSelector,
-    /// Registry key of the algorithm to run (e.g. `"beeping-two-state"`).
-    /// When set it overrides [`process`](Self::process); `None` (the serde
-    /// default) keeps legacy specs bit-identical.
-    pub algorithm: Option<String>,
+    /// Registry key of the algorithm to run (e.g. `"two-state"`,
+    /// `"beeping-two-state"`); the stable names under which factories are
+    /// registered in [`builtin_registry`](crate::registry::builtin_registry).
+    pub algorithm: String,
     /// Initial-state strategy (ignored by baselines that choose their own
     /// starting configuration, like Luby and random-priority).
     pub init: InitStrategy,
@@ -745,7 +674,6 @@ pub struct ExperimentSpec {
     pub record_trace: bool,
 }
 
-#[allow(deprecated)]
 impl Default for ExperimentSpec {
     /// A small, fast default: the 2-state process on a sparse 100-vertex
     /// `G(n,p)`, one trial, synchronous scheduler.
@@ -753,8 +681,7 @@ impl Default for ExperimentSpec {
         ExperimentSpec {
             name: "experiment".into(),
             graph: GraphSpec::Gnp { n: 100, p: 0.05 },
-            process: ProcessSelector::TwoState,
-            algorithm: None,
+            algorithm: "two-state".into(),
             init: InitStrategy::Random,
             execution: ExecutionMode::Sequential,
             strategy: RoundStrategy::Auto,
@@ -775,7 +702,6 @@ impl Serialize for ExperimentSpec {
         serde::Value::Object(vec![
             ("name".into(), self.name.to_value()),
             ("graph".into(), self.graph.to_value()),
-            ("process".into(), self.process.to_value()),
             ("algorithm".into(), self.algorithm.to_value()),
             ("init".into(), self.init.to_value()),
             ("execution".into(), self.execution.to_value()),
@@ -816,19 +742,35 @@ impl Deserialize for ExperimentSpec {
                 None => Ok(T::default()),
             }
         }
-        let algorithm: Option<String> = with_default(value, "algorithm")?;
-        // Registry-first specs may omit the legacy selector entirely — it is
-        // ignored whenever `algorithm` is set. Without either, the spec
-        // names no algorithm at all, so the missing-field error stands.
-        let process = match (optional(value, "process"), &algorithm) {
-            (Some(field), _) => Deserialize::from_value(field)?,
-            (None, Some(_)) => ExperimentSpec::default().process,
-            (None, None) => Deserialize::from_value(serde::get_field(value, "process")?)?,
+        // Registry-first specs carry the key in `algorithm`; specs written
+        // while the retired `ProcessSelector` enum existed carry a
+        // `process` variant name instead (possibly next to an explicit
+        // `"algorithm": null`). The explicit key wins; the variant name
+        // maps onto its registry key; with neither the spec names no
+        // algorithm at all.
+        let algorithm: String = match optional(value, "algorithm") {
+            Some(field) if !matches!(field, serde::Value::Null) => Deserialize::from_value(field)?,
+            _ => match optional(value, "process") {
+                Some(field) => {
+                    let variant: String = Deserialize::from_value(field)?;
+                    legacy_process_registry_key(&variant)
+                        .ok_or_else(|| {
+                            serde::Error::custom(format!(
+                                "unknown legacy process selector '{variant}'"
+                            ))
+                        })?
+                        .to_string()
+                }
+                None => {
+                    return Err(serde::Error::custom(
+                        "spec names no algorithm (missing field `algorithm`)",
+                    ))
+                }
+            },
         };
         Ok(ExperimentSpec {
             name: Deserialize::from_value(serde::get_field(value, "name")?)?,
             graph: Deserialize::from_value(serde::get_field(value, "graph")?)?,
-            process,
             algorithm,
             init: Deserialize::from_value(serde::get_field(value, "init")?)?,
             execution: {
@@ -856,13 +798,11 @@ impl ExperimentSpec {
         ExperimentSpecBuilder::default()
     }
 
-    /// The registry key this spec resolves to: the explicit
-    /// [`algorithm`](Self::algorithm) override when present, otherwise the
-    /// legacy selector's key.
+    /// The registry key this spec resolves to — a convenience alias for
+    /// [`algorithm`](Self::algorithm) kept for the many call sites written
+    /// while the key was still computed from a legacy selector.
     pub fn algorithm_key(&self) -> &str {
-        self.algorithm
-            .as_deref()
-            .unwrap_or_else(|| self.process.registry_key())
+        &self.algorithm
     }
 }
 
@@ -900,19 +840,9 @@ impl ExperimentSpecBuilder {
         self
     }
 
-    /// Selects the algorithm through the legacy selector (clears any
-    /// registry-key override). Prefer [`algorithm`](Self::algorithm) with a
-    /// registry key.
-    #[allow(deprecated)]
-    pub fn process(mut self, process: ProcessSelector) -> Self {
-        self.spec.process = process;
-        self.spec.algorithm = None;
-        self
-    }
-
-    /// Selects the algorithm by registry key (overrides the selector).
+    /// Selects the algorithm by registry key.
     pub fn algorithm(mut self, key: impl Into<String>) -> Self {
-        self.spec.algorithm = Some(key.into());
+        self.spec.algorithm = key.into();
         self
     }
 
@@ -989,7 +919,6 @@ impl ExperimentSpecBuilder {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy ProcessSelector shim is itself under test
 mod tests {
     use super::*;
     use rand::SeedableRng;
@@ -1018,10 +947,22 @@ mod tests {
     }
 
     #[test]
-    fn labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            ProcessSelector::all().iter().map(|p| p.label()).collect();
-        assert_eq!(labels.len(), ProcessSelector::all().len());
+    fn legacy_process_variant_names_map_onto_distinct_registry_keys() {
+        let variants = [
+            "TwoState",
+            "ThreeState",
+            "ThreeColor",
+            "Luby",
+            "RandomPriority",
+            "Greedy",
+            "SequentialSelfStab",
+        ];
+        let keys: std::collections::HashSet<_> = variants
+            .iter()
+            .map(|v| legacy_process_registry_key(v).expect(v))
+            .collect();
+        assert_eq!(keys.len(), variants.len());
+        assert_eq!(legacy_process_registry_key("BeepingTwoState"), None);
     }
 
     #[test]
@@ -1033,8 +974,7 @@ mod tests {
             let spec = ExperimentSpec {
                 name: "test".into(),
                 graph: GraphSpec::Gnp { n: 10, p: 0.5 },
-                process: ProcessSelector::ThreeColor,
-                algorithm: None,
+                algorithm: "three-color".into(),
                 init: InitStrategy::Random,
                 execution,
                 strategy: RoundStrategy::Dense,
@@ -1179,10 +1119,10 @@ mod tests {
         assert_eq!(spec.algorithm_key(), "beeping-two-state");
         assert_eq!(spec.trials, 9);
         assert_eq!(spec.fault.unwrap().at_round, usize::MAX);
-        // Selecting a legacy process clears the registry override.
+        // The last key set wins.
         let back = ExperimentSpec::builder()
             .algorithm("beeping-two-state")
-            .process(ProcessSelector::Luby)
+            .algorithm("luby")
             .build();
         assert_eq!(back.algorithm_key(), "luby");
     }
@@ -1338,16 +1278,27 @@ mod tests {
     }
 
     #[test]
-    fn registry_keys_round_trip_through_selectors() {
-        for selector in ProcessSelector::all() {
-            assert_eq!(
-                ProcessSelector::from_registry_key(selector.registry_key()),
-                Some(selector)
-            );
-        }
-        assert_eq!(
-            ProcessSelector::from_registry_key("beeping-two-state"),
-            None
+    fn legacy_process_field_resolves_and_explicit_algorithm_wins() {
+        let legacy = r#"{
+            "name": "legacy", "graph": {"Complete": {"n": 8}},
+            "process": "ThreeColor", "init": "Random",
+            "execution": "Sequential", "trials": 1, "max_rounds": 10,
+            "base_seed": 0, "record_trace": false
+        }"#;
+        let spec: ExperimentSpec = serde_json::from_str(legacy).unwrap();
+        assert_eq!(spec.algorithm, "three-color");
+
+        let both = legacy.replace(
+            "\"process\": \"ThreeColor\",",
+            "\"process\": \"ThreeColor\", \"algorithm\": \"beeping-two-state\",",
         );
+        let spec: ExperimentSpec = serde_json::from_str(&both).unwrap();
+        assert_eq!(spec.algorithm, "beeping-two-state");
+
+        let unknown = legacy.replace("ThreeColor", "FourState");
+        assert!(serde_json::from_str::<ExperimentSpec>(&unknown).is_err());
+
+        let neither = legacy.replace("\"process\": \"ThreeColor\",", "");
+        assert!(serde_json::from_str::<ExperimentSpec>(&neither).is_err());
     }
 }

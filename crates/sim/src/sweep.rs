@@ -20,8 +20,7 @@ pub struct SweepRow {
     pub parameter: f64,
     /// Label of the graph family at this point.
     pub graph_label: String,
-    /// Registry key of the algorithm that ran (identical to the legacy
-    /// selector's label for `ProcessSelector`-based specs).
+    /// Registry key of the algorithm that ran.
     pub process_label: String,
     /// Execution mode of the engine processes (`sequential` / `parallel`).
     pub execution_mode: String,
@@ -143,7 +142,7 @@ pub fn scale_sweep_specs(
             let spec = ExperimentSpec {
                 name: format!("scale-{algorithm}-{}-n{n}", execution.label()),
                 graph: GraphSpec::Gnp { n, p },
-                algorithm: Some(algorithm.to_string()),
+                algorithm: algorithm.to_string(),
                 init: InitStrategy::Random,
                 execution,
                 trials,
@@ -186,7 +185,7 @@ mod tests {
         ExperimentSpec {
             name: format!("sweep-n-{n}"),
             graph: GraphSpec::Complete { n },
-            algorithm: Some("two-state".into()),
+            algorithm: "two-state".into(),
             init: InitStrategy::Random,
             execution: ExecutionMode::Sequential,
             trials: 4,

@@ -1,17 +1,14 @@
 //! Trace-equivalence regression suite for the registry redesign.
 //!
-//! The pre-redesign `run_trial` dispatched over a hard-wired
-//! `ProcessSelector` match under a fixed synchronous scheduler. This file
+//! The pre-redesign `run_trial` dispatched over a hard-wired match on the
+//! seven original algorithms under a fixed synchronous scheduler. This file
 //! freezes that implementation verbatim (modulo the removed `DriveOutcome`
-//! plumbing) and asserts that, for every legacy selector and a fixed seed,
+//! plumbing) and asserts that, for every legacy algorithm and a fixed seed,
 //! the registry path produces **bit-identical** trials: same rounds to
 //! stabilization, same MIS, same random-bit counts, same traces.
 //!
 //! If this suite fails, the redesign changed observable behavior of legacy
 //! specs — which it must never do.
-
-// The deprecated ProcessSelector shim *is* the legacy surface under test.
-#![allow(deprecated)]
 
 use mis_baselines::{
     greedy_mis_random_order, luby_mis, RandomPriorityMis, SequentialScheduler,
@@ -22,12 +19,24 @@ use mis_core::{Process, ThreeColorProcess, ThreeStateProcess, TwoStateProcess};
 use mis_graph::VertexSet;
 use mis_sim::metrics::RoundTrace;
 use mis_sim::runner::run_trial;
-use mis_sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec, ProcessSelector};
+use mis_sim::spec::{ExecutionMode, ExperimentSpec, GraphSpec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// The counter-RNG salt of the runner, frozen at its pre-redesign value.
 const COUNTER_SEED_SALT: u64 = 0x0005_EEDC_0DE0_FC01;
+
+/// The registry keys of the seven algorithms the pre-redesign `run_trial`
+/// dispatched over, in its original match order.
+const LEGACY_KEYS: [&str; 7] = [
+    "two-state",
+    "three-state",
+    "three-color",
+    "random-priority",
+    "luby",
+    "greedy",
+    "sequential-selfstab",
+];
 
 /// What the legacy path measured for one trial.
 #[derive(Debug, PartialEq, Eq)]
@@ -77,27 +86,27 @@ fn legacy_run_trial(spec: &ExperimentSpec, trial: usize) -> LegacyTrial {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let graph = spec.graph.generate(&mut rng);
 
-    match spec.process {
-        ProcessSelector::TwoState => {
+    match spec.algorithm.as_str() {
+        "two-state" => {
             let mut proc = TwoStateProcess::with_init(&graph, spec.init, &mut rng);
             proc.set_execution(spec.execution, counter_seed);
             legacy_drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
         }
-        ProcessSelector::ThreeState => {
+        "three-state" => {
             let mut proc = ThreeStateProcess::with_init(&graph, spec.init, &mut rng);
             proc.set_execution(spec.execution, counter_seed);
             legacy_drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
         }
-        ProcessSelector::ThreeColor => {
+        "three-color" => {
             let mut proc = ThreeColorProcess::with_randomized_switch(&graph, spec.init, &mut rng);
             proc.set_execution(spec.execution, counter_seed);
             legacy_drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
         }
-        ProcessSelector::RandomPriority => {
+        "random-priority" => {
             let proc = RandomPriorityMis::random_init(&graph, &mut rng);
             legacy_drive(proc, &mut rng, spec.max_rounds, spec.record_trace)
         }
-        ProcessSelector::Luby => {
+        "luby" => {
             let out = luby_mis(&graph, &mut rng);
             LegacyTrial {
                 rounds: out.rounds,
@@ -108,7 +117,7 @@ fn legacy_run_trial(spec: &ExperimentSpec, trial: usize) -> LegacyTrial {
                 trace: None,
             }
         }
-        ProcessSelector::Greedy => {
+        "greedy" => {
             let mis = greedy_mis_random_order(&graph, &mut rng);
             LegacyTrial {
                 rounds: 1,
@@ -119,7 +128,7 @@ fn legacy_run_trial(spec: &ExperimentSpec, trial: usize) -> LegacyTrial {
                 trace: None,
             }
         }
-        ProcessSelector::SequentialSelfStab => {
+        "sequential-selfstab" => {
             let init = spec.init.two_state(graph.n(), &mut rng);
             let mut alg = SequentialSelfStabMis::new(&graph, init);
             let out = alg.run(SequentialScheduler::SmallestId, &mut rng);
@@ -132,14 +141,15 @@ fn legacy_run_trial(spec: &ExperimentSpec, trial: usize) -> LegacyTrial {
                 trace: None,
             }
         }
+        other => panic!("no legacy driver for algorithm '{other}'"),
     }
 }
 
-fn spec(process: ProcessSelector, graph: GraphSpec, record_trace: bool) -> ExperimentSpec {
+fn spec(algorithm: &str, graph: GraphSpec, record_trace: bool) -> ExperimentSpec {
     ExperimentSpec {
-        name: format!("legacy-equivalence-{}", process.label()),
+        name: format!("legacy-equivalence-{algorithm}"),
         graph,
-        process,
+        algorithm: algorithm.to_string(),
         init: InitStrategy::Random,
         execution: ExecutionMode::Sequential,
         trials: 3,
@@ -177,48 +187,44 @@ fn assert_equivalent(spec: &ExperimentSpec) {
 }
 
 #[test]
-fn all_seven_legacy_selectors_are_bit_identical_on_gnp() {
-    for process in ProcessSelector::all() {
-        assert_equivalent(&spec(process, GraphSpec::Gnp { n: 70, p: 0.1 }, false));
+fn all_seven_legacy_algorithms_are_bit_identical_on_gnp() {
+    for key in LEGACY_KEYS {
+        assert_equivalent(&spec(key, GraphSpec::Gnp { n: 70, p: 0.1 }, false));
     }
 }
 
 #[test]
-fn all_seven_legacy_selectors_are_bit_identical_on_complete() {
-    for process in ProcessSelector::all() {
-        assert_equivalent(&spec(process, GraphSpec::Complete { n: 40 }, false));
+fn all_seven_legacy_algorithms_are_bit_identical_on_complete() {
+    for key in LEGACY_KEYS {
+        assert_equivalent(&spec(key, GraphSpec::Complete { n: 40 }, false));
     }
 }
 
 #[test]
 fn traces_are_bit_identical_where_the_legacy_path_recorded_them() {
-    for process in ProcessSelector::all() {
-        assert_equivalent(&spec(process, GraphSpec::Gnp { n: 50, p: 0.12 }, true));
+    for key in LEGACY_KEYS {
+        assert_equivalent(&spec(key, GraphSpec::Gnp { n: 50, p: 0.12 }, true));
     }
 }
 
 #[test]
 fn parallel_execution_stays_bit_identical() {
-    for process in [
-        ProcessSelector::TwoState,
-        ProcessSelector::ThreeState,
-        ProcessSelector::ThreeColor,
-    ] {
-        let mut s = spec(process, GraphSpec::Gnp { n: 60, p: 0.08 }, false);
+    for key in ["two-state", "three-state", "three-color"] {
+        let mut s = spec(key, GraphSpec::Gnp { n: 60, p: 0.08 }, false);
         s.execution = ExecutionMode::Parallel { threads: 3 };
         assert_equivalent(&s);
     }
 }
 
 /// The black set itself (not just its size) must match: re-derive it from a
-/// dedicated registry run against the legacy set, for every selector.
+/// dedicated registry run against the legacy set, for every algorithm.
 #[test]
 fn black_sets_are_identical_not_just_equal_sized() {
     use mis_core::AlgorithmConfig;
     use mis_sim::builtin_registry;
 
-    for process in ProcessSelector::all() {
-        let s = spec(process, GraphSpec::Gnp { n: 60, p: 0.1 }, false);
+    for key in LEGACY_KEYS {
+        let s = spec(key, GraphSpec::Gnp { n: 60, p: 0.1 }, false);
         let legacy = legacy_run_trial(&s, 0);
 
         let seed = s.base_seed;

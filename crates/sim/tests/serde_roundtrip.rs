@@ -2,10 +2,8 @@
 //! specifications can be stored next to `BENCH_scale.json` (and re-read by
 //! later sessions) without silent drift — including JSON written *before*
 //! the registry redesign, which lacks the `algorithm`, `scheduler`,
-//! `fault`, and `churn` fields.
-
-// The legacy ProcessSelector shim is part of what this file pins down.
-#![allow(deprecated)]
+//! `fault`, and `churn` fields and names its algorithm through the retired
+//! `ProcessSelector` enum's `process` field.
 
 use mis_core::init::InitStrategy;
 use mis_core::StateCounts;
@@ -13,7 +11,7 @@ use mis_sim::metrics::{RoundTrace, TrialResult};
 use mis_sim::runner::run_experiment;
 use mis_sim::spec::{
     ByzantineSpec, ByzantineStrategy, ChurnScenario, ChurnSpec, ExecutionMode, ExperimentSpec,
-    FaultSpec, GraphSpec, ProcessSelector, RoundStrategy, SchedulerSpec, VictimSelection,
+    FaultSpec, GraphSpec, RoundStrategy, SchedulerSpec, VictimSelection,
 };
 
 fn all_graph_specs() -> Vec<GraphSpec> {
@@ -49,9 +47,9 @@ fn experiment_spec_round_trips_across_all_knobs() {
             SchedulerSpec::RandomSubset { p: 0.25 },
         ] {
             for (algorithm, fault, churn, byzantine) in [
-                (None, None, None, None),
+                ("three-state".to_string(), None, None, None),
                 (
-                    Some("beeping-two-state".to_string()),
+                    "beeping-two-state".to_string(),
                     Some(FaultSpec {
                         at_round: 64,
                         fraction: 0.5,
@@ -74,7 +72,6 @@ fn experiment_spec_round_trips_across_all_knobs() {
                 let spec = ExperimentSpec {
                     name: "roundtrip".into(),
                     graph,
-                    process: ProcessSelector::ThreeState,
                     algorithm: algorithm.clone(),
                     init: InitStrategy::AllBlack,
                     execution: ExecutionMode::Parallel { threads: 4 },
@@ -112,7 +109,7 @@ fn pre_redesign_spec_json_still_deserializes_with_defaults() {
         "record_trace": false
     }"#;
     let spec: ExperimentSpec = serde_json::from_str(legacy_json).unwrap();
-    assert_eq!(spec.algorithm, None);
+    assert_eq!(spec.algorithm, "two-state");
     assert_eq!(spec.scheduler, SchedulerSpec::Synchronous);
     assert_eq!(spec.fault, None);
     assert_eq!(spec.byzantine, None);
@@ -129,7 +126,7 @@ fn pre_redesign_spec_json_still_deserializes_with_defaults() {
 #[test]
 fn registry_first_spec_json_parses_without_the_legacy_process_field() {
     // Specs written in the redesign's primary style name only a registry
-    // key; the legacy selector is ignored in that case and may be absent.
+    // key; the legacy `process` field is long retired and may be absent.
     let json = r#"{
         "name": "registry-first",
         "graph": {"Complete": {"n": 16}},

@@ -17,7 +17,7 @@ fn sweep(algorithm: &str, sizes: &[usize], trials: usize) -> SweepTable {
             ExperimentSpec {
                 name: format!("gnp-scaling-{algorithm}-{n}"),
                 graph: GraphSpec::Gnp { n, p },
-                algorithm: Some(algorithm.to_string()),
+                algorithm: algorithm.to_string(),
                 init: InitStrategy::Random,
                 execution: ExecutionMode::Sequential,
                 trials,

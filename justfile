@@ -40,6 +40,15 @@ churn *ARGS:
 byzantine *ARGS:
     cargo run --release -p mis-bench --bin exp_byzantine -- {{ARGS}}
 
+# Graph-service daemon on 127.0.0.1:7878 (override: `just serve --addr ...`).
+serve *ARGS:
+    cargo run --release -p mis-service --bin mis-serve -- {{ARGS}}
+
+# Service load generator: thousands of concurrent jobs against an
+# in-process daemon; writes results/svc_load.json and BENCH_service.json.
+load *ARGS:
+    cargo run --release -p mis-bench --bin svc_load -- {{ARGS}}
+
 # Criterion micro-benchmarks.
 bench:
     cargo bench -p mis-bench
@@ -78,3 +87,5 @@ ci:
     test -s results/exp_churn.json
     cargo run --release -p mis-bench --bin exp_byzantine -- --quick
     test -s results/exp_byzantine.json
+    cargo run --release -p mis-bench --bin svc_load -- --quick
+    test -s results/svc_load.json

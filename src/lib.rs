@@ -17,6 +17,9 @@
 //!   greedy, sequential self-stabilizing, Turau-style randomized).
 //! * [`sim`] — experiment harness: trial runner, metrics, statistics, sweeps,
 //!   and transient-fault injection.
+//! * [`service`] — graph-service daemon: the registry's algorithms behind an
+//!   HTTP API with named graphs, polled jobs, streaming results, and live
+//!   topology mutation of running jobs.
 //!
 //! ## Quickstart
 //!
@@ -38,4 +41,5 @@ pub use mis_baselines as baselines;
 pub use mis_comm as comm;
 pub use mis_core as core;
 pub use mis_graph as graph;
+pub use mis_service as service;
 pub use mis_sim as sim;

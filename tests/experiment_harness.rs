@@ -15,7 +15,7 @@ fn spec(graph: GraphSpec, algorithm: &str) -> ExperimentSpec {
     ExperimentSpec {
         name: "integration".into(),
         graph,
-        algorithm: Some(algorithm.to_string()),
+        algorithm: algorithm.to_string(),
         init: InitStrategy::Random,
         execution: ExecutionMode::Sequential,
         trials: 5,

@@ -1,0 +1,173 @@
+//! Minimal blocking HTTP/1.1 client with keep-alive and one reconnect
+//! retry — enough for the CI smoke gate and the load generator.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use crate::wire::{read_response, write_request};
+use crate::Method;
+
+/// A response received by [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Full body (chunked bodies are reassembled).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`std::str::Utf8Error`] for non-UTF-8 bodies.
+    pub fn text(&self) -> Result<&str, std::str::Utf8Error> {
+        std::str::from_utf8(&self.body)
+    }
+}
+
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// A blocking keep-alive client pinned to one server address.
+pub struct Client {
+    addr: String,
+    conn: Option<Connection>,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `"127.0.0.1:7878"`). No connection is made
+    /// until the first request.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            conn: None,
+        }
+    }
+
+    fn connect(&mut self) -> io::Result<&mut Connection> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            let write_half = stream.try_clone()?;
+            self.conn = Some(Connection {
+                reader: BufReader::new(stream),
+                writer: BufWriter::new(write_half),
+            });
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    fn try_once(
+        &mut self,
+        method: Method,
+        path: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let addr = self.addr.clone();
+        let conn = self.connect()?;
+        write_request(&mut conn.writer, method, path, &addr, content_type, body)?;
+        conn.writer.flush()?;
+        let wire = read_response(&mut conn.reader)?;
+        let close = wire
+            .headers
+            .iter()
+            .any(|(k, v)| k == "connection" && v.eq_ignore_ascii_case("close"));
+        if close {
+            self.conn = None;
+        }
+        Ok(ClientResponse {
+            status: wire.status,
+            headers: wire.headers,
+            body: wire.body,
+        })
+    }
+
+    /// Sends a request, reconnecting once if the kept-alive connection was
+    /// closed by the server in the meantime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/IO failures after the reconnect retry.
+    pub fn request(
+        &mut self,
+        method: Method,
+        path: &str,
+        content_type: Option<&str>,
+        body: Vec<u8>,
+    ) -> io::Result<ClientResponse> {
+        let had_conn = self.conn.is_some();
+        match self.try_once(method, path, content_type, &body) {
+            Ok(resp) => Ok(resp),
+            Err(_) if had_conn => {
+                self.conn = None;
+                self.try_once(method, path, content_type, &body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request(Method::Get, path, None, Vec::new())
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn post_json(&mut self, path: &str, json: impl Into<String>) -> io::Result<ClientResponse> {
+        self.request(
+            Method::Post,
+            path,
+            Some("application/json"),
+            json.into().into_bytes(),
+        )
+    }
+
+    /// `PATCH path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn patch_json(
+        &mut self,
+        path: &str,
+        json: impl Into<String>,
+    ) -> io::Result<ClientResponse> {
+        self.request(
+            Method::Patch,
+            path,
+            Some("application/json"),
+            json.into().into_bytes(),
+        )
+    }
+
+    /// `DELETE path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn delete(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request(Method::Delete, path, None, Vec::new())
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline stand-in for the `warp` web framework.
+//!
+//! The build environment has no crates.io access, so — like the other
+//! `vendor/` crates — this is an API-shaped miniature, not the real thing:
+//! enough HTTP/1.1 to host the workspace's graph-service daemon and to load
+//! it from tests and benchmarks, implemented entirely on `std`:
+//!
+//! * [`Router`] — method + path-pattern routing (`/v1/jobs/:id`) to plain
+//!   `Fn(&Request, &PathParams) -> Response` handlers, with an optional
+//!   [`Middleware`] hook (per-endpoint metrics) around every dispatch.
+//! * [`serve`] / [`Server`] — a threaded HTTP/1.1 server on a std
+//!   [`TcpListener`](std::net::TcpListener): one thread per connection,
+//!   keep-alive, bounded request heads/bodies, and cooperative graceful
+//!   shutdown (read timeouts double as shutdown polls, so no connection
+//!   thread ever blocks past [`Server::shutdown`]).
+//! * [`Body::Stream`] — pull-based chunked transfer encoding, the transport
+//!   behind the daemon's live NDJSON trace streaming.
+//! * [`Client`] — a minimal blocking keep-alive client (the "vendored
+//!   client" used by the CI smoke gate and the load generator).
+//!
+//! Differences from real warp are deliberate and documented here rather
+//! than papered over: there is no `Filter` combinator algebra (the gral-style
+//! services this repo mirrors use warp filters only as method/path/body
+//! plumbing, which [`Router`] covers), no TLS, no async — requests are
+//! served by blocking threads, which is exactly right for a daemon whose
+//! jobs run on a worker pool anyway.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod router;
+mod server;
+mod wire;
+
+pub use client::{Client, ClientResponse};
+pub use router::{Middleware, PathParams, Router, UNMATCHED};
+pub use server::{serve, Server, ServerBuilder};
+
+use std::fmt;
+
+/// HTTP request methods the router dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// `PUT`
+    Put,
+    /// `PATCH`
+    Patch,
+    /// `DELETE`
+    Delete,
+    /// `HEAD`
+    Head,
+    /// `OPTIONS`
+    Options,
+}
+
+impl Method {
+    /// Parses the uppercase wire form (`"GET"`, `"POST"`, …).
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "PATCH" => Some(Method::Patch),
+            "DELETE" => Some(Method::Delete),
+            "HEAD" => Some(Method::Head),
+            "OPTIONS" => Some(Method::Options),
+            _ => None,
+        }
+    }
+
+    /// The uppercase wire form.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Patch => "PATCH",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+            Method::Options => "OPTIONS",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Percent-decoded path, without the query string.
+    pub path: String,
+    /// Percent-decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of query parameter `name`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`std::str::Utf8Error`] for non-UTF-8 bodies.
+    pub fn text(&self) -> Result<&str, std::str::Utf8Error> {
+        std::str::from_utf8(&self.body)
+    }
+}
+
+/// Pull-based chunk source for streaming response bodies: called repeatedly
+/// until it returns `None`; each `Some` becomes one chunk on the wire. The
+/// callback may block briefly (e.g. waiting for a running job to emit more
+/// trace lines).
+pub type ChunkFn = Box<dyn FnMut() -> Option<Vec<u8>> + Send>;
+
+/// A response body: fixed bytes (sent with `Content-Length`) or a pull-based
+/// stream (sent with `Transfer-Encoding: chunked`).
+pub enum Body {
+    /// In-memory body.
+    Bytes(Vec<u8>),
+    /// Streamed body; see [`ChunkFn`].
+    Stream(ChunkFn),
+}
+
+impl fmt::Debug for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Body::Bytes(b) => f.debug_tuple("Bytes").field(&b.len()).finish(),
+            Body::Stream(_) => f.write_str("Stream(..)"),
+        }
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code (e.g. 200).
+    pub status: u16,
+    /// Extra headers (`Content-Length` / `Transfer-Encoding` / `Connection`
+    /// are added by the writer; do not set them here).
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Body,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Body::Bytes(Vec::new()),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status)
+            .header("content-type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// An `application/json` response (the body must already be JSON).
+    pub fn json(status: u16, json: impl Into<String>) -> Response {
+        Response::new(status)
+            .header("content-type", "application/json")
+            .with_body(json.into().into_bytes())
+    }
+
+    /// A chunked streaming response with the given content type.
+    pub fn stream(status: u16, content_type: &str, chunks: ChunkFn) -> Response {
+        Response {
+            status,
+            headers: vec![("content-type".into(), content_type.into())],
+            body: Body::Stream(chunks),
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_ascii_lowercase(), value.into()));
+        self
+    }
+
+    /// Replaces the body (builder style).
+    pub fn with_body(mut self, body: Vec<u8>) -> Response {
+        self.body = Body::Bytes(body);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_round_trips() {
+        for m in [
+            Method::Get,
+            Method::Post,
+            Method::Put,
+            Method::Patch,
+            Method::Delete,
+            Method::Head,
+            Method::Options,
+        ] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+            assert_eq!(format!("{m}"), m.as_str());
+        }
+        assert_eq!(Method::parse("BREW"), None);
+    }
+
+    #[test]
+    fn request_accessors() {
+        let req = Request {
+            method: Method::Get,
+            path: "/v1/jobs".into(),
+            query: vec![("limit".into(), "5".into())],
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: b"{}".to_vec(),
+        };
+        assert_eq!(req.header("Content-Type"), Some("application/json"));
+        assert_eq!(req.header("x-missing"), None);
+        assert_eq!(req.query_param("limit"), Some("5"));
+        assert_eq!(req.query_param("offset"), None);
+        assert_eq!(req.text().unwrap(), "{}");
+    }
+
+    #[test]
+    fn response_builders() {
+        let r = Response::json(201, "{\"ok\":true}").header("x-extra", "1");
+        assert_eq!(r.status, 201);
+        assert_eq!(r.headers.len(), 2);
+        match &r.body {
+            Body::Bytes(b) => assert_eq!(b, b"{\"ok\":true}"),
+            Body::Stream(_) => panic!("expected bytes"),
+        }
+        let s = Response::stream(200, "application/x-ndjson", Box::new(|| None));
+        assert!(matches!(s.body, Body::Stream(_)));
+        assert!(format!("{:?}", s.body).contains("Stream"));
+    }
+}

@@ -1,0 +1,307 @@
+//! Method + path-pattern routing.
+//!
+//! Patterns are `/`-separated with `:name` parameter segments, e.g.
+//! `/v1/jobs/:id`. Dispatch distinguishes "no pattern matched the path"
+//! (404) from "a pattern matched but not with this method" (405), and runs
+//! every request through an optional [`Middleware`] — the hook the service
+//! uses for per-endpoint metrics.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::{Method, Request, Response};
+
+/// Label reported to [`Middleware`] for requests no pattern matched.
+pub const UNMATCHED: &str = "(unmatched)";
+
+/// Captured `:name` path parameters for one dispatch.
+#[derive(Debug, Default)]
+pub struct PathParams {
+    params: Vec<(String, String)>,
+}
+
+impl PathParams {
+    /// The raw value captured for `name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value captured for `name`, parsed as a `u64` id.
+    pub fn id(&self, name: &str) -> Option<u64> {
+        self.get(name)?.parse().ok()
+    }
+}
+
+/// Observes every dispatch; implemented by the service metrics layer.
+pub trait Middleware: Send + Sync {
+    /// Called before the handler runs. `pattern` is the matched route
+    /// pattern (or [`UNMATCHED`]).
+    fn on_request(&self, pattern: &str, method: Method);
+    /// Called after the handler returns with the response status and
+    /// handler wall time.
+    fn on_response(&self, pattern: &str, method: Method, status: u16, elapsed_micros: u64);
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+type Handler = Box<dyn Fn(&Request, &PathParams) -> Response + Send + Sync>;
+
+struct Route {
+    method: Method,
+    pattern: String,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Segment> {
+    pattern
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| match s.strip_prefix(':') {
+            Some(name) => Segment::Param(name.to_string()),
+            None => Segment::Literal(s.to_string()),
+        })
+        .collect()
+}
+
+fn match_path(segments: &[Segment], path: &str) -> Option<PathParams> {
+    let parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    if parts.len() != segments.len() {
+        return None;
+    }
+    let mut params = PathParams::default();
+    for (segment, part) in segments.iter().zip(&parts) {
+        match segment {
+            Segment::Literal(lit) if lit == part => {}
+            Segment::Literal(_) => return None,
+            Segment::Param(name) => params.params.push((name.clone(), (*part).to_string())),
+        }
+    }
+    Some(params)
+}
+
+/// A table of routes with a middleware hook.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+    middleware: Option<Arc<dyn Middleware>>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Registers a handler for `method` + `pattern` (builder style).
+    pub fn route(
+        mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.routes.push(Route {
+            method,
+            pattern: pattern.to_string(),
+            segments: parse_pattern(pattern),
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// Registers a `GET` handler.
+    pub fn get(
+        self,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.route(Method::Get, pattern, handler)
+    }
+
+    /// Registers a `POST` handler.
+    pub fn post(
+        self,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.route(Method::Post, pattern, handler)
+    }
+
+    /// Registers a `PATCH` handler.
+    pub fn patch(
+        self,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.route(Method::Patch, pattern, handler)
+    }
+
+    /// Registers a `DELETE` handler.
+    pub fn delete(
+        self,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.route(Method::Delete, pattern, handler)
+    }
+
+    /// Installs the middleware observed around every dispatch.
+    pub fn with_middleware(mut self, middleware: Arc<dyn Middleware>) -> Router {
+        self.middleware = Some(middleware);
+        self
+    }
+
+    /// All registered `(method, pattern)` pairs, for metrics pre-sizing.
+    pub fn patterns(&self) -> Vec<(Method, String)> {
+        self.routes
+            .iter()
+            .map(|r| (r.method, r.pattern.clone()))
+            .collect()
+    }
+
+    /// Dispatches a request: 404 when no pattern matches the path, 405 when
+    /// a pattern matches but not with this method.
+    pub fn dispatch(&self, request: &Request) -> Response {
+        let mut path_matched = false;
+        for route in &self.routes {
+            if let Some(params) = match_path(&route.segments, &request.path) {
+                if route.method != request.method {
+                    path_matched = true;
+                    continue;
+                }
+                return self.observed(&route.pattern, request, |req| (route.handler)(req, &params));
+            }
+        }
+        let status = if path_matched { 405 } else { 404 };
+        self.observed(UNMATCHED, request, |_| {
+            Response::json(status, format!("{{\"error\":\"{status}\"}}"))
+        })
+    }
+
+    fn observed(
+        &self,
+        pattern: &str,
+        request: &Request,
+        run: impl FnOnce(&Request) -> Response,
+    ) -> Response {
+        match &self.middleware {
+            Some(mw) => {
+                mw.on_request(pattern, request.method);
+                let start = Instant::now();
+                let response = run(request);
+                mw.on_response(
+                    pattern,
+                    request.method,
+                    response.status,
+                    start.elapsed().as_micros() as u64,
+                );
+                response
+            }
+            None => run(request),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn req(method: Method, path: &str) -> Request {
+        Request {
+            method,
+            path: path.to_string(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn router() -> Router {
+        Router::new()
+            .get("/v1/jobs", |_, _| Response::text(200, "list"))
+            .post("/v1/jobs", |_, _| Response::text(202, "submitted"))
+            .get("/v1/jobs/:id", |_, p| {
+                Response::text(200, format!("job {}", p.id("id").unwrap()))
+            })
+            .delete("/v1/jobs/:id", |_, _| Response::new(204))
+            .patch("/v1/graphs/:id/edges", |_, p| {
+                Response::text(200, format!("patch {}", p.get("id").unwrap()))
+            })
+    }
+
+    fn body_text(r: Response) -> String {
+        match r.body {
+            crate::Body::Bytes(b) => String::from_utf8(b).unwrap(),
+            crate::Body::Stream(_) => panic!("expected bytes"),
+        }
+    }
+
+    #[test]
+    fn literal_and_param_routes_dispatch() {
+        let r = router();
+        assert_eq!(body_text(r.dispatch(&req(Method::Get, "/v1/jobs"))), "list");
+        assert_eq!(
+            body_text(r.dispatch(&req(Method::Get, "/v1/jobs/42"))),
+            "job 42"
+        );
+        assert_eq!(
+            body_text(r.dispatch(&req(Method::Patch, "/v1/graphs/7/edges"))),
+            "patch 7"
+        );
+    }
+
+    #[test]
+    fn not_found_vs_method_not_allowed() {
+        let r = router();
+        assert_eq!(r.dispatch(&req(Method::Get, "/nope")).status, 404);
+        assert_eq!(r.dispatch(&req(Method::Patch, "/v1/jobs")).status, 405);
+        assert_eq!(r.dispatch(&req(Method::Post, "/v1/jobs/1")).status, 405);
+        // Trailing slash is equivalent (empty segments are skipped).
+        assert_eq!(r.dispatch(&req(Method::Get, "/v1/jobs/")).status, 200);
+    }
+
+    #[test]
+    fn middleware_sees_every_dispatch() {
+        struct Count {
+            requests: AtomicU64,
+            latency_calls: AtomicU64,
+            unmatched: AtomicU64,
+        }
+        impl Middleware for Count {
+            fn on_request(&self, pattern: &str, _method: Method) {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                if pattern == UNMATCHED {
+                    self.unmatched.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            fn on_response(&self, _p: &str, _m: Method, _s: u16, _elapsed: u64) {
+                self.latency_calls.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let counter = Arc::new(Count {
+            requests: AtomicU64::new(0),
+            latency_calls: AtomicU64::new(0),
+            unmatched: AtomicU64::new(0),
+        });
+        let r = router().with_middleware(counter.clone());
+        r.dispatch(&req(Method::Get, "/v1/jobs"));
+        r.dispatch(&req(Method::Get, "/missing"));
+        assert_eq!(counter.requests.load(Ordering::Relaxed), 2);
+        assert_eq!(counter.latency_calls.load(Ordering::Relaxed), 2);
+        assert_eq!(counter.unmatched.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn patterns_lists_routes() {
+        let patterns = router().patterns();
+        assert_eq!(patterns.len(), 5);
+        assert!(patterns.contains(&(Method::Patch, "/v1/graphs/:id/edges".to_string())));
+    }
+}

@@ -1,0 +1,286 @@
+//! Threaded HTTP/1.1 server with cooperative graceful shutdown.
+//!
+//! One detached thread per connection; connections use a short read timeout
+//! so a thread parked on a keep-alive read re-checks the shutdown flag every
+//! tick instead of blocking forever. [`Server::shutdown`] stops accepting,
+//! then waits (bounded) for live connection threads to drain.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::wire::{read_request, write_response, ReadOutcome};
+use crate::{Response, Router};
+
+/// How often blocked reads and the accept loop re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Upper bound on waiting for in-flight connections during shutdown.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Starts building a server around `router`. Call
+/// [`bind`](ServerBuilder::bind) to start listening.
+pub fn serve(router: Router) -> ServerBuilder {
+    ServerBuilder { router }
+}
+
+/// Intermediate builder returned by [`serve`].
+pub struct ServerBuilder {
+    router: Router,
+}
+
+impl ServerBuilder {
+    /// Binds the listener and starts the accept loop. Bind to port 0 for an
+    /// ephemeral port (see [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener bind/configuration failures.
+    pub fn bind(self, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(AtomicUsize::new(0));
+        let router = Arc::new(self.router);
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let live = Arc::clone(&live);
+            thread::spawn(move || accept_loop(listener, router, shutdown, live))
+        };
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            live,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// A running server; dropping it also shuts it down.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    live: Arc<AtomicUsize>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, unblocks idle keep-alive connections, and waits
+    /// (bounded) for in-flight requests to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        while self.live.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Decrements the live-connection gauge even if the connection panics.
+struct LiveGuard(Arc<AtomicUsize>);
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    router: Arc<Router>,
+    shutdown: Arc<AtomicBool>,
+    live: Arc<AtomicUsize>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                live.fetch_add(1, Ordering::SeqCst);
+                let guard = LiveGuard(Arc::clone(&live));
+                let router = Arc::clone(&router);
+                let shutdown = Arc::clone(&shutdown);
+                thread::spawn(move || {
+                    let _guard = guard;
+                    handle_connection(stream, &router, &shutdown);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, router: &Router, shutdown: &AtomicBool) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let abort = || shutdown.load(Ordering::SeqCst);
+
+    loop {
+        let outcome = match read_request(&mut reader, &abort) {
+            Ok(outcome) => outcome,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let resp = Response::json(400, format!("{{\"error\":{:?}}}", e.to_string()));
+                let _ = write_response(&mut writer, resp, false);
+                return;
+            }
+            Err(_) => return,
+        };
+        let request = match outcome {
+            ReadOutcome::Request(request) => request,
+            ReadOutcome::Closed | ReadOutcome::Aborted => return,
+        };
+        let wants_close = request
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let keep_alive = !wants_close && !shutdown.load(Ordering::SeqCst);
+        let response = router.dispatch(&request);
+        if write_response(&mut writer, response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Client, Method};
+    use std::sync::atomic::AtomicU64;
+
+    fn test_server() -> Server {
+        let router = Router::new()
+            .get("/ping", |_, _| Response::text(200, "pong"))
+            .post("/echo", |req, _| {
+                Response::json(200, req.text().unwrap_or("").to_string())
+            })
+            .get("/items/:id", |_, p| {
+                Response::text(200, format!("item-{}", p.id("id").unwrap()))
+            })
+            .get("/stream", |_, _| {
+                let mut remaining = 3;
+                Response::stream(
+                    200,
+                    "application/x-ndjson",
+                    Box::new(move || {
+                        if remaining == 0 {
+                            None
+                        } else {
+                            remaining -= 1;
+                            Some(format!("{{\"n\":{remaining}}}\n").into_bytes())
+                        }
+                    }),
+                )
+            });
+        serve(router).bind("127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn serves_keep_alive_requests() {
+        let server = test_server();
+        let mut client = Client::new(server.local_addr().to_string());
+        for _ in 0..3 {
+            let resp = client.get("/ping").unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.text().unwrap(), "pong");
+        }
+        let resp = client.post_json("/echo", "{\"x\":1}").unwrap();
+        assert_eq!(resp.text().unwrap(), "{\"x\":1}");
+        let resp = client.get("/items/9").unwrap();
+        assert_eq!(resp.text().unwrap(), "item-9");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_chunked_streams() {
+        let server = test_server();
+        let mut client = Client::new(server.local_addr().to_string());
+        let resp = client.get("/stream").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text().unwrap(), "{\"n\":2}\n{\"n\":1}\n{\"n\":0}\n");
+        // The connection stays usable after a chunked response.
+        assert_eq!(client.get("/ping").unwrap().status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unmatched_routes_get_404_and_405() {
+        let server = test_server();
+        let mut client = Client::new(server.local_addr().to_string());
+        assert_eq!(client.get("/missing").unwrap().status, 404);
+        assert_eq!(
+            client
+                .request(Method::Post, "/ping", None, Vec::new())
+                .unwrap()
+                .status,
+            405
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = test_server();
+        let addr = server.local_addr().to_string();
+        let hits = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                let hits = Arc::clone(&hits);
+                thread::spawn(move || {
+                    let mut client = Client::new(addr);
+                    for _ in 0..20 {
+                        assert_eq!(client.get("/ping").unwrap().status, 200);
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 160);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_idle_connections() {
+        let server = test_server();
+        let mut client = Client::new(server.local_addr().to_string());
+        assert_eq!(client.get("/ping").unwrap().status, 200);
+        // The client connection is now idle in keep-alive; shutdown must not
+        // hang waiting for it.
+        let start = Instant::now();
+        server.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

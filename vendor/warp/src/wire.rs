@@ -1,0 +1,505 @@
+//! HTTP/1.1 wire format: request parsing and response writing, shared by the
+//! server and the client.
+//!
+//! Reads cooperate with graceful shutdown: sockets carry a read timeout, and
+//! every timeout consults an `abort` callback before retrying, so a
+//! connection thread parked on a keep-alive read unblocks within one timeout
+//! tick of shutdown being requested.
+
+use std::io::{self, BufRead, Read, Write};
+
+use crate::{Body, Method, Request, Response};
+
+/// Upper bound on the request line plus headers.
+pub(crate) const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Upper bound on a request body (graph uploads can be large, but a body
+/// beyond this is a client error, not a workload).
+pub(crate) const MAX_BODY_BYTES: usize = 1 << 30;
+
+/// What reading one request from a connection produced.
+pub(crate) enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection between requests (clean keep-alive
+    /// end).
+    Closed,
+    /// The abort callback asked us to stop (server shutdown).
+    Aborted,
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one `\n`-terminated line, retrying on read timeouts until `abort`
+/// says otherwise. Returns `None` on clean EOF before any byte of the line.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    abort: &dyn Fn() -> bool,
+    budget: &mut usize,
+) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(_) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                if buf.last() != Some(&b'\n') {
+                    return Err(invalid("connection closed mid-line"));
+                }
+                if buf.len() > *budget {
+                    return Err(invalid("request head too large"));
+                }
+                *budget -= buf.len();
+                while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+                    buf.pop();
+                }
+                return String::from_utf8(buf)
+                    .map(Some)
+                    .map_err(|_| invalid("non-UTF-8 request head"));
+            }
+            Err(e) if is_timeout(&e) => {
+                if abort() {
+                    return Err(io::Error::new(io::ErrorKind::Interrupted, "aborted"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reads exactly `len` bytes, retrying on read timeouts until `abort` says
+/// otherwise.
+fn read_exact_abortable<R: Read>(
+    reader: &mut R,
+    len: usize,
+    abort: &dyn Fn() -> bool,
+) -> io::Result<Vec<u8>> {
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(invalid("connection closed mid-body")),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if abort() {
+                    return Err(io::Error::new(io::ErrorKind::Interrupted, "aborted"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(body)
+}
+
+/// Decodes `%XX` escapes and `+` (in query position) in-place.
+fn percent_decode(s: &str, plus_is_space: bool) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a request target into a decoded path and decoded query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let pairs = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k, true), percent_decode(v, true)),
+            None => (percent_decode(kv, true), String::new()),
+        })
+        .collect();
+    (percent_decode(path, false), pairs)
+}
+
+/// Parses one request off the connection. See [`ReadOutcome`].
+pub(crate) fn read_request<R: BufRead>(
+    reader: &mut R,
+    abort: &dyn Fn() -> bool,
+) -> io::Result<ReadOutcome> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = match read_line(reader, abort, &mut budget) {
+        Ok(Some(line)) => line,
+        Ok(None) => return Ok(ReadOutcome::Closed),
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(ReadOutcome::Aborted),
+        Err(e) => return Err(e),
+    };
+
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or_else(|| invalid("unsupported method"))?;
+    let target = parts.next().ok_or_else(|| invalid("missing target"))?;
+    let version = parts.next().ok_or_else(|| invalid("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported HTTP version"));
+    }
+    let (path, query) = parse_target(target);
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader, abort, &mut budget) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Err(invalid("connection closed mid-headers")),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(ReadOutcome::Aborted),
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| invalid("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| invalid("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(invalid("request body too large"));
+    }
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(invalid("chunked request bodies are not supported"));
+    }
+    let body = if content_length > 0 {
+        match read_exact_abortable(reader, content_length, abort) {
+            Ok(body) => body,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(ReadOutcome::Aborted),
+            Err(e) => return Err(e),
+        }
+    } else {
+        Vec::new()
+    };
+
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Canonical reason phrase for the status codes the stand-in emits.
+pub(crate) fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a full response, chunk-encoding streamed bodies. The stream is
+/// pulled until exhaustion; a client that hangs up mid-stream surfaces as a
+/// write error, which the caller treats as end-of-connection.
+pub(crate) fn write_response<W: Write>(
+    writer: &mut W,
+    response: Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let Response {
+        status,
+        headers,
+        body,
+    } = response;
+    let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
+    for (name, value) in &headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(if keep_alive {
+        "connection: keep-alive\r\n"
+    } else {
+        "connection: close\r\n"
+    });
+    match body {
+        Body::Bytes(bytes) => {
+            head.push_str(&format!("content-length: {}\r\n\r\n", bytes.len()));
+            writer.write_all(head.as_bytes())?;
+            writer.write_all(&bytes)?;
+        }
+        Body::Stream(mut chunks) => {
+            head.push_str("transfer-encoding: chunked\r\n\r\n");
+            writer.write_all(head.as_bytes())?;
+            while let Some(chunk) = chunks() {
+                if chunk.is_empty() {
+                    continue; // an empty chunk would terminate the stream
+                }
+                writer.write_all(format!("{:x}\r\n", chunk.len()).as_bytes())?;
+                writer.write_all(&chunk)?;
+                writer.write_all(b"\r\n")?;
+            }
+            writer.write_all(b"0\r\n\r\n")?;
+        }
+    }
+    writer.flush()
+}
+
+/// Writes a client request with an optional body.
+pub(crate) fn write_request<W: Write>(
+    writer: &mut W,
+    method: Method,
+    path: &str,
+    host: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: {host}\r\n");
+    if let Some(ct) = content_type {
+        head.push_str(&format!("content-type: {ct}\r\n"));
+    }
+    head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// A response as the client sees it.
+pub(crate) struct WireResponse {
+    pub(crate) status: u16,
+    pub(crate) headers: Vec<(String, String)>,
+    pub(crate) body: Vec<u8>,
+}
+
+/// Reads a full response (fixed-length or chunked body). Blocks until the
+/// body is complete, retrying on read timeouts (`abort` = never, for
+/// clients).
+pub(crate) fn read_response<R: BufRead>(reader: &mut R) -> io::Result<WireResponse> {
+    let abort = || false;
+    let mut budget = MAX_HEAD_BYTES;
+    let status_line = read_line(reader, &abort, &mut budget)?
+        .ok_or_else(|| invalid("connection closed before status line"))?;
+    let mut parts = status_line.split_ascii_whitespace();
+    let version = parts.next().ok_or_else(|| invalid("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported HTTP version"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("bad status code"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &abort, &mut budget)?
+            .ok_or_else(|| invalid("connection closed mid-headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| invalid("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        let mut body = Vec::new();
+        loop {
+            let size_line = read_line(reader, &abort, &mut budget.max(1024))?
+                .ok_or_else(|| invalid("connection closed mid-chunks"))?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| invalid("bad chunk size"))?;
+            if size == 0 {
+                // Trailing CRLF after the terminal chunk.
+                let _ = read_line(reader, &abort, &mut 1024)?;
+                break;
+            }
+            if body.len() + size > MAX_BODY_BYTES {
+                return Err(invalid("response body too large"));
+            }
+            body.extend_from_slice(&read_exact_abortable(reader, size, &abort)?);
+            // Chunk payload is followed by CRLF.
+            let _ = read_exact_abortable(reader, 2, &abort)?;
+        }
+        body
+    } else {
+        let len = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| {
+                v.parse::<usize>()
+                    .map_err(|_| invalid("bad content-length"))
+            })
+            .transpose()?
+            .unwrap_or(0);
+        if len > MAX_BODY_BYTES {
+            return Err(invalid("response body too large"));
+        }
+        read_exact_abortable(reader, len, &abort)?
+    };
+
+    Ok(WireResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Cursor};
+
+    fn parse(raw: &[u8]) -> io::Result<ReadOutcome> {
+        let mut reader = BufReader::new(Cursor::new(raw.to_vec()));
+        read_request(&mut reader, &|| false)
+    }
+
+    #[test]
+    fn parses_a_full_request() {
+        let raw = b"POST /v1/jobs?limit=2&q=a%20b HTTP/1.1\r\ncontent-type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        match parse(raw).unwrap() {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.method, Method::Post);
+                assert_eq!(req.path, "/v1/jobs");
+                assert_eq!(req.query_param("limit"), Some("2"));
+                assert_eq!(req.query_param("q"), Some("a b"));
+                assert_eq!(req.header("content-type"), Some("application/json"));
+                assert_eq!(req.body, b"{}");
+            }
+            _ => panic!("expected a request"),
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_an_error() {
+        assert!(matches!(parse(b"").unwrap(), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(b"BREW /pot HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse(b"GET /x SMTP\r\n\r\n").is_err());
+        assert!(parse(b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n").is_err());
+        assert!(parse(b"GET /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_heads() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(format!("x-big: {}\r\n\r\n", "y".repeat(MAX_HEAD_BYTES)).as_bytes());
+        assert!(parse(&raw).is_err());
+    }
+
+    #[test]
+    fn fixed_response_round_trips() {
+        let mut out = Vec::new();
+        write_response(&mut out, Response::json(200, "{\"a\":1}"), true).unwrap();
+        let mut reader = BufReader::new(Cursor::new(out));
+        let resp = read_response(&mut reader).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"a\":1}");
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(k, v)| k == "connection" && v == "keep-alive"));
+    }
+
+    #[test]
+    fn chunked_response_round_trips() {
+        let chunks = vec![b"line one\n".to_vec(), Vec::new(), b"line two\n".to_vec()];
+        let mut iter = chunks.into_iter();
+        let body: crate::ChunkFn = Box::new(move || iter.next());
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            Response::stream(200, "application/x-ndjson", body),
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.contains("transfer-encoding: chunked"));
+        let mut reader = BufReader::new(Cursor::new(out));
+        let resp = read_response(&mut reader).unwrap();
+        assert_eq!(resp.body, b"line one\nline two\n");
+    }
+
+    #[test]
+    fn client_request_writes_wire_form() {
+        let mut out = Vec::new();
+        write_request(
+            &mut out,
+            Method::Patch,
+            "/v1/graphs/3/edges",
+            "127.0.0.1:80",
+            Some("application/json"),
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("PATCH /v1/graphs/3/edges HTTP/1.1\r\n"));
+        assert!(text.contains("content-length: 2"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%2Fb%zz", false), "a/b%zz");
+        let (path, query) = parse_target("/x%20y?k=v+w&flag");
+        assert_eq!(path, "/x y");
+        assert_eq!(
+            query,
+            vec![("k".into(), "v w".into()), ("flag".into(), String::new())]
+        );
+    }
+}
