@@ -38,9 +38,15 @@ METHOD
   containment and the residual unstable fraction, then validate the final
   configuration as a MIS outside the radius-2 zone.
 
+  A combined scenario then rides an *adaptive* adversary on a JoinLeave
+  churn schedule (ByzantineSpec with victim re-sampling + ChurnSpec in one
+  ExperimentSpec): victims isolated by a burst are re-sampled onto fresh
+  vertices, and containment must be re-confirmed after every burst.
+
 GATES (non-zero exit)
   any (process, strategy) pair uncontained at f = 1% random placement;
-  any trial ending on an invalid MIS outside its Byzantine zone.
+  any trial ending on an invalid MIS outside its Byzantine zone;
+  any adaptive-adversary-under-churn trial uncontained or invalid.
 ";
 
 fn main() {
@@ -69,6 +75,11 @@ fn main() {
         gate.join("; ")
     );
 
+    print_section(
+        "BYZANTINE x CHURN: adaptive adversary under JoinLeave bursts",
+        &report.churn_to_pretty(),
+    );
+
     let json = report.to_json();
     if let Ok(path) = write_results_file("exp_byzantine.json", &json) {
         println!("wrote {}", path.display());
@@ -91,6 +102,13 @@ fn main() {
         eprintln!(
             "GATE FAILED: a trial ended uncontained or on an invalid MIS outside its \
              Byzantine zone"
+        );
+        failed = true;
+    }
+    if !report.churn_gate_passes() {
+        eprintln!(
+            "GATE FAILED: an adaptive-adversary-under-churn trial did not re-contain \
+             its (re-sampled) Byzantine set or ended on an invalid MIS outside it"
         );
         failed = true;
     }

@@ -184,6 +184,8 @@ fn main() {
     let service = Service::start(&ServiceConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 0,
+        queue_capacity: total_jobs as usize + 1,
+        ..ServiceConfig::default()
     })
     .expect("bind loopback");
     let addr = service.local_addr().to_string();

@@ -34,7 +34,10 @@ use mis_core::{
 };
 use mis_graph::{generators, mis_check};
 use mis_sim::spec::{SchedulerSpec, VictimSelection};
-use mis_sim::{builtin_registry, drive_algorithm, EventLogObserver, Observer, CONTAINMENT_RADIUS};
+use mis_sim::{
+    builtin_registry, drive_algorithm, run_experiment, ByzantineSpec, ChurnScenario, ChurnSpec,
+    EventLogObserver, ExperimentSpec, GraphSpec, Observer, CONTAINMENT_RADIUS,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -86,6 +89,29 @@ pub struct ByzantineRow {
     pub valid_outside: bool,
 }
 
+/// One combined Byzantine-under-churn measurement: an *adaptive* adversary
+/// (victims isolated by churn are re-sampled onto fresh vertices) riding a
+/// `JoinLeave` churn schedule, driven through the spec-level pipeline
+/// (`ByzantineSpec` + `ChurnSpec` in one `ExperimentSpec`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ByzantineChurnRow {
+    /// Registry key of the process.
+    pub algorithm: String,
+    /// Adversary strategy label.
+    pub strategy: String,
+    /// Vertices of the graph.
+    pub n: usize,
+    /// Trials driven.
+    pub trials: usize,
+    /// Trials that reached confirmed containment after every churn burst.
+    pub contained: usize,
+    /// Trials whose final black set was a valid MIS outside the zone of
+    /// the *final* (post-re-sampling) Byzantine set.
+    pub valid: usize,
+    /// Mean rounds to termination across trials.
+    pub mean_rounds: f64,
+}
+
 /// The full report of the Byzantine experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ByzantineReport {
@@ -99,6 +125,8 @@ pub struct ByzantineReport {
     pub containment_radius: usize,
     /// One row per (process, strategy, placement, fraction).
     pub rows: Vec<ByzantineRow>,
+    /// One row per (process, strategy): adaptive adversary × churn.
+    pub churn_rows: Vec<ByzantineChurnRow>,
 }
 
 impl ByzantineReport {
@@ -127,6 +155,31 @@ impl ByzantineReport {
     /// Byzantine zone.
     pub fn all_valid(&self) -> bool {
         self.rows.iter().all(|r| r.contained && r.valid_outside)
+    }
+
+    /// `true` if every Byzantine-under-churn trial re-contained the
+    /// (re-sampled) adversary and ended on a valid MIS outside its zone.
+    pub fn churn_gate_passes(&self) -> bool {
+        !self.churn_rows.is_empty()
+            && self
+                .churn_rows
+                .iter()
+                .all(|r| r.contained == r.trials && r.valid == r.trials)
+    }
+
+    /// Renders the Byzantine-under-churn rows as a fixed-width table.
+    pub fn churn_to_pretty(&self) -> String {
+        let mut out = format!(
+            "{:>12} {:>10} {:>9} {:>7} {:>10} {:>6} {:>12}\n",
+            "process", "strategy", "n", "trials", "contained", "valid", "mean-rounds"
+        );
+        for r in &self.churn_rows {
+            out.push_str(&format!(
+                "{:>12} {:>10} {:>9} {:>7} {:>10} {:>6} {:>12.1}\n",
+                r.algorithm, r.strategy, r.n, r.trials, r.contained, r.valid, r.mean_rounds,
+            ));
+        }
+        out
     }
 
     /// Renders a human-readable fixed-width table.
@@ -263,7 +316,7 @@ pub fn byzantine_measurement(
                 let valid_outside = mis_check::is_mis_outside(
                     final_graph,
                     &outcome.black_set,
-                    overlay.vertices(),
+                    &overlay.vertices(),
                     CONTAINMENT_RADIUS,
                 );
                 rows.push(ByzantineRow {
@@ -290,7 +343,64 @@ pub fn byzantine_measurement(
         gate_fraction: GATE_FRACTION,
         containment_radius: CONTAINMENT_RADIUS,
         rows,
+        churn_rows: Vec::new(),
     }
+}
+
+/// The combined scenario: an adaptive adversary at the gate fraction rides
+/// a `JoinLeave` churn schedule, all through the spec-level pipeline —
+/// `ByzantineSpec` (with victim re-sampling) and `ChurnSpec` in one
+/// `ExperimentSpec`. Each burst detaches 2% of the vertices; victims that
+/// depart are re-sampled onto fresh ones before containment is re-judged,
+/// so the adversary never wastes budget on ghosts.
+///
+/// # Panics
+///
+/// Panics if the registry is missing an engine process (a bug).
+pub fn byzantine_churn_measurement(n: usize, trials: usize, seed: u64) -> Vec<ByzantineChurnRow> {
+    let join = (n / 100).max(1);
+    let leave = (n / 50).max(2);
+    let mut rows = Vec::new();
+    for key in ENGINE_PROCESSES {
+        for strategy in ByzantineStrategy::all() {
+            let count = ((GATE_FRACTION * n as f64).ceil() as usize).max(1);
+            let spec = ExperimentSpec::builder()
+                .name(format!("byzantine-churn-{key}-{}", strategy.label()))
+                .graph(GraphSpec::Gnp {
+                    n,
+                    p: 8.0 / n as f64,
+                })
+                .algorithm(key)
+                .byzantine(
+                    ByzantineSpec::new(strategy, VictimSelection::Random { count })
+                        .seed(seed ^ 0xb12a)
+                        .resample(true),
+                )
+                .churn(
+                    ChurnSpec::after_stabilization(ChurnScenario::JoinLeave { join, leave })
+                        .bursts(2),
+                )
+                .trials(trials)
+                .max_rounds(MAX_ROUNDS)
+                .base_seed(seed ^ key.len() as u64)
+                .build();
+            let result = run_experiment(&spec);
+            let contained = result.trials.iter().filter(|t| t.stabilized).count();
+            let valid = result.trials.iter().filter(|t| t.valid_mis).count();
+            let mean_rounds = result.trials.iter().map(|t| t.rounds as f64).sum::<f64>()
+                / result.trials.len().max(1) as f64;
+            rows.push(ByzantineChurnRow {
+                algorithm: key.to_string(),
+                strategy: strategy.label().to_string(),
+                n,
+                trials: result.trials.len(),
+                contained,
+                valid,
+                mean_rounds,
+            });
+        }
+    }
+    rows
 }
 
 /// The `exp_byzantine` experiment at the given [`Scale`]: sparse
@@ -302,7 +412,13 @@ pub fn exp_byzantine(scale: Scale) -> ByzantineReport {
         Scale::Quick => (100_000, &[GATE_FRACTION], &[]),
         Scale::Full => (1_000_000, &[0.001, GATE_FRACTION, 0.05], &[GATE_FRACTION]),
     };
-    byzantine_measurement(n, 8.0, random_fractions, hub_fractions, 20_260)
+    let mut report = byzantine_measurement(n, 8.0, random_fractions, hub_fractions, 20_260);
+    let (churn_n, churn_trials) = match scale {
+        Scale::Quick => (20_000, 2),
+        Scale::Full => (100_000, 4),
+    };
+    report.churn_rows = byzantine_churn_measurement(churn_n, churn_trials, 20_260);
+    report
 }
 
 #[cfg(test)]
@@ -334,6 +450,40 @@ mod tests {
         let back: ByzantineReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
         assert_eq!(report.to_pretty().lines().count(), report.rows.len() + 1);
+    }
+
+    #[test]
+    fn byzantine_churn_measurement_contains_adaptive_adversaries() {
+        let rows = byzantine_churn_measurement(2_000, 1, 99);
+        // 3 processes x 4 strategies.
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert_eq!(r.trials, 1);
+            assert_eq!(
+                r.contained, r.trials,
+                "{}/{} failed to re-contain",
+                r.algorithm, r.strategy
+            );
+            assert_eq!(
+                r.valid, r.trials,
+                "{}/{} ended on an invalid MIS",
+                r.algorithm, r.strategy
+            );
+            assert!(r.mean_rounds > 0.0);
+        }
+        let report = ByzantineReport {
+            avg_degree: 8.0,
+            seed: 99,
+            gate_fraction: GATE_FRACTION,
+            containment_radius: CONTAINMENT_RADIUS,
+            rows: Vec::new(),
+            churn_rows: rows,
+        };
+        assert!(report.churn_gate_passes());
+        assert_eq!(
+            report.churn_to_pretty().lines().count(),
+            report.churn_rows.len() + 1
+        );
     }
 
     #[test]

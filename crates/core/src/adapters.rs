@@ -649,7 +649,7 @@ mod tests {
                     alg.step(StepCtx::synchronous(&mut stream));
                     overlay.apply(alg.as_mut());
                     let black = alg.black_set();
-                    for &u in overlay.vertices() {
+                    for u in overlay.vertices() {
                         assert_eq!(
                             black.contains(u),
                             strategy.build(99).displays_black(u, alg.round()),

@@ -34,8 +34,10 @@
 //! counter-stressing liar ([`Spoofer`]).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock};
 
-use mis_graph::VertexId;
+use mis_graph::{Graph, VertexId};
 use serde::{Deserialize, Serialize};
 
 use crate::algorithm::Algorithm;
@@ -222,7 +224,17 @@ impl fmt::Display for ByzantineStrategy {
 pub struct ByzantineOverlay {
     adversary: Box<dyn Adversary>,
     strategy: ByzantineStrategy,
-    vertices: Vec<VertexId>,
+    /// Interior mutability so the set can be
+    /// [re-sampled](ByzantineOverlay::resample_departed) under churn while
+    /// the containment tracker holds a shared borrow of the overlay.
+    vertices: RwLock<Vec<VertexId>>,
+    /// Whether the adversary replaces victims that churn isolates.
+    resample: bool,
+    /// Draws replacement victims on the [`DRAW_BYZANTINE`] axis, keyed by
+    /// the construction seed — never by the trial's sequential stream.
+    rng: CounterRng,
+    /// Monotone draw counter, so successive re-samples are independent.
+    resample_nonce: AtomicU64,
 }
 
 impl ByzantineOverlay {
@@ -236,13 +248,29 @@ impl ByzantineOverlay {
         ByzantineOverlay {
             adversary: strategy.build(seed),
             strategy,
-            vertices,
+            vertices: RwLock::new(vertices),
+            resample: false,
+            rng: CounterRng::new(seed ^ 0xB12A_97A1_5EED_0001),
+            resample_nonce: AtomicU64::new(0),
         }
     }
 
+    /// Enables [victim re-sampling](ByzantineOverlay::resample_departed):
+    /// when churn isolates an adversarial vertex, the adversary moves to a
+    /// fresh victim instead of wasting its budget on a ghost.
+    pub fn with_resample(mut self, resample: bool) -> Self {
+        self.resample = resample;
+        self
+    }
+
+    /// Whether this overlay re-samples departed victims.
+    pub fn resamples(&self) -> bool {
+        self.resample
+    }
+
     /// The adversarial vertex set, sorted and deduplicated.
-    pub fn vertices(&self) -> &[VertexId] {
-        &self.vertices
+    pub fn vertices(&self) -> Vec<VertexId> {
+        self.read_vertices().clone()
     }
 
     /// The strategy this overlay runs.
@@ -252,7 +280,11 @@ impl ByzantineOverlay {
 
     /// `true` if no vertex is adversarial (the overlay is then a no-op).
     pub fn is_empty(&self) -> bool {
-        self.vertices.is_empty()
+        self.read_vertices().is_empty()
+    }
+
+    fn read_vertices(&self) -> std::sync::RwLockReadGuard<'_, Vec<VertexId>> {
+        self.vertices.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Re-overrides every adversarial vertex's state for the algorithm's
@@ -265,7 +297,7 @@ impl ByzantineOverlay {
         let round = alg.round();
         let n = alg.n();
         let mut changed = 0;
-        for &u in &self.vertices {
+        for &u in self.read_vertices().iter() {
             if u >= n {
                 continue;
             }
@@ -280,13 +312,61 @@ impl ByzantineOverlay {
         }
         changed
     }
+
+    /// Replaces every victim that `graph` shows as departed — out of range
+    /// or fully detached (churn models leaving as detachment, so degree 0
+    /// is departure) — with a fresh draw from the attached, non-adversarial
+    /// population. Returns the number of victims moved. No-op unless
+    /// [`with_resample`](ByzantineOverlay::with_resample) enabled it.
+    ///
+    /// Draws go through the counter RNG on the [`DRAW_BYZANTINE`] axis with
+    /// a monotone nonce: the trajectory is a pure function of the
+    /// construction seed and the sequence of calls, so trials stay
+    /// reproducible and the honest RNG streams never shift.
+    pub fn resample_departed(&self, graph: &Graph) -> usize {
+        if !self.resample {
+            return 0;
+        }
+        let n = graph.n();
+        let mut vertices = self
+            .vertices
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let departed: Vec<VertexId> = vertices
+            .iter()
+            .copied()
+            .filter(|&u| u >= n || graph.degree(u) == 0)
+            .collect();
+        if departed.is_empty() {
+            return 0;
+        }
+        vertices.retain(|u| !departed.contains(u));
+        let mut moved = 0;
+        for _ in &departed {
+            let candidates: Vec<VertexId> = (0..n)
+                .filter(|&u| graph.degree(u) > 0 && !vertices.contains(&u))
+                .collect();
+            let Some(&pick) = candidates.get({
+                let nonce = self.resample_nonce.fetch_add(1, Ordering::SeqCst);
+                (self.rng.word(nonce, 0, DRAW_BYZANTINE) % candidates.len().max(1) as u64) as usize
+            }) else {
+                break; // population exhausted: the adversary shrinks
+            };
+            vertices.push(pick);
+            moved += 1;
+        }
+        vertices.sort_unstable();
+        vertices.dedup();
+        moved
+    }
 }
 
 impl fmt::Debug for ByzantineOverlay {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ByzantineOverlay")
             .field("strategy", &self.strategy)
-            .field("vertices", &self.vertices)
+            .field("vertices", &*self.read_vertices())
+            .field("resample", &self.resample)
             .finish()
     }
 }
@@ -364,11 +444,58 @@ mod tests {
     #[test]
     fn overlay_sorts_dedupes_and_reports_emptiness() {
         let o = ByzantineOverlay::new(ByzantineStrategy::Oscillator, vec![4, 1, 4, 2], 0);
-        assert_eq!(o.vertices(), &[1, 2, 4]);
+        assert_eq!(o.vertices(), vec![1, 2, 4]);
         assert_eq!(o.strategy(), ByzantineStrategy::Oscillator);
         assert!(!o.is_empty());
         assert!(ByzantineOverlay::new(ByzantineStrategy::Frozen, vec![], 0).is_empty());
         let dbg = format!("{o:?}");
         assert!(dbg.contains("Oscillator"));
+    }
+
+    #[test]
+    fn resample_replaces_departed_victims_deterministically() {
+        // Path 0-1-2-3-4 plus isolated vertex 5: victims {1, 5} where 5 is
+        // already departed (degree 0).
+        let graph = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+
+        // Without opting in, resampling is a no-op.
+        let inert = ByzantineOverlay::new(ByzantineStrategy::Frozen, vec![1, 5], 9);
+        assert_eq!(inert.resample_departed(&graph), 0);
+        assert_eq!(inert.vertices(), vec![1, 5]);
+
+        let adaptive =
+            ByzantineOverlay::new(ByzantineStrategy::Frozen, vec![1, 5], 9).with_resample(true);
+        assert!(adaptive.resamples());
+        let moved = adaptive.resample_departed(&graph);
+        assert_eq!(moved, 1);
+        let after = adaptive.vertices();
+        assert_eq!(after.len(), 2);
+        assert!(after.contains(&1), "attached victim 1 must survive");
+        assert!(!after.contains(&5), "isolated victim 5 must be replaced");
+        for &u in &after {
+            assert!(graph.degree(u) > 0, "replacement {u} must be attached");
+        }
+
+        // Same seed + same call sequence => same trajectory.
+        let replay =
+            ByzantineOverlay::new(ByzantineStrategy::Frozen, vec![1, 5], 9).with_resample(true);
+        replay.resample_departed(&graph);
+        assert_eq!(replay.vertices(), after);
+
+        // Nothing departed => nothing moves.
+        assert_eq!(adaptive.resample_departed(&graph), 0);
+        assert_eq!(adaptive.vertices(), after);
+    }
+
+    #[test]
+    fn resample_shrinks_when_population_is_exhausted() {
+        // Two attached vertices, both adversarial; the third victim is out
+        // of range. No honest attached candidate exists, so the adversary
+        // loses the departed victim outright.
+        let graph = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let o =
+            ByzantineOverlay::new(ByzantineStrategy::Spoofer, vec![0, 1, 7], 3).with_resample(true);
+        assert_eq!(o.resample_departed(&graph), 0);
+        assert_eq!(o.vertices(), vec![0, 1]);
     }
 }

@@ -362,6 +362,11 @@ pub enum JobStatus {
     Cancelled,
     /// The worker failed (bad scheduler/algorithm combination, panic).
     Failed,
+    /// The job was running when the service crashed; journal replay marked
+    /// it terminal without a result. Re-runnable via
+    /// `POST /v1/jobs/:id/retry`, which resubmits the stored request as a
+    /// fresh job.
+    Interrupted,
 }
 
 impl JobStatus {
@@ -369,7 +374,10 @@ impl JobStatus {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            JobStatus::Completed | JobStatus::Cancelled | JobStatus::Failed
+            JobStatus::Completed
+                | JobStatus::Cancelled
+                | JobStatus::Failed
+                | JobStatus::Interrupted
         )
     }
 }
@@ -474,6 +482,8 @@ pub struct JobGauges {
     pub cancelled: u64,
     /// Terminal: failed.
     pub failed: u64,
+    /// Terminal: interrupted by a crash (recovered from the journal).
+    pub interrupted: u64,
 }
 
 /// `GET /v1/metrics` response.
@@ -492,6 +502,94 @@ pub struct MetricsReport {
 pub struct ErrorBody {
     /// Human-readable description.
     pub error: String,
+}
+
+/// Typed request-path error: status code, message, and an optional
+/// `Retry-After` hint for shed-load responses. Handlers build these instead
+/// of ad-hoc `(status, string)` pairs so degradation semantics (429 vs 503
+/// vs 500) stay consistent across routes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiError {
+    /// HTTP status to answer with.
+    pub status: u16,
+    /// Human-readable description (becomes [`ErrorBody::error`]).
+    pub message: String,
+    /// Seconds the client should wait before retrying (emitted as a
+    /// `Retry-After` header on 429/503 responses).
+    pub retry_after: Option<u64>,
+}
+
+impl ApiError {
+    /// 400 Bad Request.
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// 404 Not Found.
+    pub fn not_found(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 404,
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// 409 Conflict.
+    pub fn conflict(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 409,
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// 429 Too Many Requests with a `Retry-After` hint — the bounded job
+    /// queue is full and the client should back off.
+    pub fn too_many_requests(message: impl Into<String>, retry_after: u64) -> ApiError {
+        ApiError {
+            status: 429,
+            message: message.into(),
+            retry_after: Some(retry_after),
+        }
+    }
+
+    /// 500 Internal Server Error — a request-path invariant broke (I/O
+    /// failure, unrecoverable poisoned state); the process stays up.
+    pub fn internal(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 500,
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+
+    /// 503 Service Unavailable with a `Retry-After` hint — the service is
+    /// draining or persistence is unavailable.
+    pub fn unavailable(message: impl Into<String>, retry_after: u64) -> ApiError {
+        ApiError {
+            status: 503,
+            message: message.into(),
+            retry_after: Some(retry_after),
+        }
+    }
+
+    /// Renders the error as a JSON HTTP response (with `Retry-After` when
+    /// set).
+    pub fn into_response(self) -> warp::Response {
+        let body = ErrorBody {
+            error: self.message,
+        };
+        let json = serde_json::to_string(&body).unwrap_or_else(|_| "{\"error\":\"error\"}".into());
+        let mut response = warp::Response::json(self.status, json);
+        if let Some(secs) = self.retry_after {
+            response = response.header("retry-after", &secs.to_string());
+        }
+        response
+    }
 }
 
 #[cfg(test)]
@@ -664,6 +762,7 @@ mod tests {
                 completed: 7,
                 cancelled: 1,
                 failed: 0,
+                interrupted: 0,
             },
         });
         round_trip(&ErrorBody {
@@ -675,6 +774,7 @@ mod tests {
             JobStatus::Completed,
             JobStatus::Cancelled,
             JobStatus::Failed,
+            JobStatus::Interrupted,
         ] {
             round_trip(&status);
             assert_eq!(

@@ -12,12 +12,17 @@ use mis_service::{Service, ServiceConfig};
 const HELP: &str = "mis-serve - serve self-stabilizing MIS over HTTP
 
 USAGE:
-    mis-serve [--addr HOST:PORT] [--workers N]
+    mis-serve [--addr HOST:PORT] [--workers N] [--data-dir DIR] [--queue-capacity N]
 
 OPTIONS:
-    --addr HOST:PORT   Bind address (default 127.0.0.1:7878)
-    --workers N        Job worker threads, 0 = available parallelism (default 0)
-    --help             Show this help
+    --addr HOST:PORT     Bind address (default 127.0.0.1:7878)
+    --workers N          Job worker threads, 0 = available parallelism (default 0)
+    --data-dir DIR       Durability root: journal + snapshots live here and
+                         acknowledged graphs/jobs survive crashes (default:
+                         in-memory only)
+    --queue-capacity N   Bound on the job queue; beyond it submissions are
+                         shed with 429 (default 256)
+    --help               Show this help
 
 ENDPOINTS (see README 'Graph service' for the full table):
     POST /v1/graphs            upload or generate a graph
@@ -85,6 +90,16 @@ fn parse_args() -> Result<Option<ServiceConfig>, String> {
                     .parse()
                     .map_err(|_| format!("invalid --workers value '{value}'"))?;
             }
+            "--data-dir" => {
+                let value = args.next().ok_or("--data-dir needs a directory path")?;
+                config.data_dir = Some(value.into());
+            }
+            "--queue-capacity" => {
+                let value = args.next().ok_or("--queue-capacity needs a value")?;
+                config.queue_capacity = value
+                    .parse()
+                    .map_err(|_| format!("invalid --queue-capacity value '{value}'"))?;
+            }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
     }
@@ -113,6 +128,21 @@ fn main() -> ExitCode {
         }
     };
     println!("mis-serve listening on http://{}", service.local_addr());
+    let recovery = &service.state().recovery;
+    if config.data_dir.is_some() {
+        println!(
+            "mis-serve recovered {} graph(s), {} job(s) ({} re-queued, {} interrupted){}",
+            recovery.graphs,
+            recovery.jobs,
+            recovery.requeued,
+            recovery.interrupted,
+            if recovery.torn_tail {
+                "; truncated a torn journal tail"
+            } else {
+                ""
+            }
+        );
+    }
 
     while !sig::requested() && !service.shutdown_requested() {
         std::thread::sleep(Duration::from_millis(100));

@@ -14,6 +14,7 @@ use std::sync::{Arc, RwLock};
 use mis_graph::{CommittedDelta, Graph, GraphDelta, GraphError};
 
 use crate::api::GraphInfo;
+use crate::sync;
 
 /// One registered graph.
 pub struct GraphEntry {
@@ -28,14 +29,24 @@ pub struct GraphEntry {
 }
 
 impl GraphEntry {
-    /// A cheap snapshot of the current topology and its version.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the registry lock was poisoned (a handler panicked).
+    /// A cheap snapshot of the current topology and its version. Recovers
+    /// from lock poisoning: the state is a single `(Arc, u64)` pair swapped
+    /// atomically under the guard, so it is consistent even after a panic.
     pub fn snapshot(&self) -> (Arc<Graph>, u64) {
-        let state = self.state.read().expect("graph entry lock poisoned");
+        let state = sync::read(&self.state);
         (Arc::clone(&state.0), state.1)
+    }
+
+    /// A free-standing entry registered nowhere — a placeholder for
+    /// journal-recovered jobs whose graph was deleted before the crash, so
+    /// their `JobInfo` still reports the original graph id.
+    pub fn detached(id: u64, name: String, source: String, graph: Graph) -> Arc<GraphEntry> {
+        Arc::new(GraphEntry {
+            id,
+            name,
+            source,
+            state: RwLock::new((Arc::new(graph), 1)),
+        })
     }
 
     /// The entry as an API [`GraphInfo`].
@@ -66,62 +77,57 @@ impl GraphRegistry {
     }
 
     /// Registers a graph and returns its entry (id assigned here).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the registry lock was poisoned.
     pub fn insert(&self, name: String, source: String, graph: Graph) -> Arc<GraphEntry> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.insert_entry(id, name, source, graph, 1)
+    }
+
+    /// Re-registers a graph under a fixed id and version — the journal
+    /// replay path. Advances the id counter past `id` so fresh inserts never
+    /// collide with recovered entries.
+    pub fn restore(
+        &self,
+        id: u64,
+        name: String,
+        source: String,
+        graph: Graph,
+        version: u64,
+    ) -> Arc<GraphEntry> {
+        self.next_id.fetch_max(id, Ordering::Relaxed);
+        self.insert_entry(id, name, source, graph, version)
+    }
+
+    fn insert_entry(
+        &self,
+        id: u64,
+        name: String,
+        source: String,
+        graph: Graph,
+        version: u64,
+    ) -> Arc<GraphEntry> {
         let entry = Arc::new(GraphEntry {
             id,
             name,
             source,
-            state: RwLock::new((Arc::new(graph), 1)),
+            state: RwLock::new((Arc::new(graph), version)),
         });
-        self.entries
-            .write()
-            .expect("graph registry lock poisoned")
-            .insert(id, Arc::clone(&entry));
+        sync::write(&self.entries).insert(id, Arc::clone(&entry));
         entry
     }
 
     /// Looks up an entry by id.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the registry lock was poisoned.
     pub fn get(&self, id: u64) -> Option<Arc<GraphEntry>> {
-        self.entries
-            .read()
-            .expect("graph registry lock poisoned")
-            .get(&id)
-            .cloned()
+        sync::read(&self.entries).get(&id).cloned()
     }
 
     /// Removes an entry by id; running jobs keep their `Arc` snapshots.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the registry lock was poisoned.
     pub fn remove(&self, id: u64) -> Option<Arc<GraphEntry>> {
-        self.entries
-            .write()
-            .expect("graph registry lock poisoned")
-            .remove(&id)
+        sync::write(&self.entries).remove(&id)
     }
 
     /// All entries, in id order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the registry lock was poisoned.
     pub fn list(&self) -> Vec<Arc<GraphEntry>> {
-        self.entries
-            .read()
-            .expect("graph registry lock poisoned")
-            .values()
-            .cloned()
-            .collect()
+        sync::read(&self.entries).values().cloned().collect()
     }
 
     /// Applies `delta` to the stored graph of `id`, swapping in the mutated
@@ -132,17 +138,13 @@ impl GraphRegistry {
     ///
     /// `Ok(Err(_))` carries a [`GraphError`] for invalid deltas (the stored
     /// graph is unchanged); the outer `None` means the id is unknown.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the entry lock was poisoned.
     pub fn apply_delta(
         &self,
         id: u64,
         delta: &GraphDelta,
     ) -> Option<Result<(CommittedDelta, u64), GraphError>> {
         let entry = self.get(id)?;
-        let mut state = entry.state.write().expect("graph entry lock poisoned");
+        let mut state = sync::write(&entry.state);
         match state.0.apply_delta(delta) {
             Ok((graph, committed)) => {
                 state.0 = Arc::new(graph);
@@ -175,6 +177,17 @@ mod tests {
         assert!(reg.remove(1).is_some());
         assert!(reg.get(1).is_none());
         assert!(reg.remove(1).is_none());
+    }
+
+    #[test]
+    fn restore_preserves_ids_and_versions() {
+        let reg = GraphRegistry::new();
+        reg.restore(7, "r".into(), "journal".into(), path3(), 4);
+        let info = reg.get(7).unwrap().info();
+        assert_eq!((info.id, info.version), (7, 4));
+        // Fresh inserts continue past restored ids.
+        let fresh = reg.insert("f".into(), "upload".into(), path3());
+        assert_eq!(fresh.id, 8);
     }
 
     #[test]

@@ -1,19 +1,26 @@
 //! Asynchronous job store: a bounded worker pool executing registry
 //! algorithms over `Arc`-shared graph snapshots, with per-job cancellation,
-//! live mutation mailboxes, and NDJSON event streams.
+//! live mutation mailboxes, NDJSON event streams, and write-ahead
+//! journaling of every lifecycle transition.
 //!
-//! Lifecycle: `Queued → Running → {Completed, Cancelled, Failed}`. A worker
-//! snapshots the target graph, instantiates the requested algorithm, and
-//! drives rounds; between rounds it drains the job's mutation mailbox (fed
-//! by `PATCH /v1/graphs/:id/edges`) through `Algorithm::apply_mutation`, so
-//! topology changes re-stabilize incrementally instead of restarting the
-//! run. Shutdown ([`JobStore::drain`]) stops intake, cancels everything
-//! still queued, lets running jobs finish, and joins the pool.
+//! Lifecycle: `Queued → Running → {Completed, Cancelled, Failed}` (plus
+//! `Interrupted`, assigned only by journal replay to jobs that were running
+//! at a crash). A worker snapshots the target graph, instantiates the
+//! requested algorithm, and drives rounds; between rounds it drains the
+//! job's mutation mailbox (fed by `PATCH /v1/graphs/:id/edges`) through
+//! `Algorithm::apply_mutation`, so topology changes re-stabilize
+//! incrementally instead of restarting the run. Admission is bounded: the
+//! FIFO queue has a fixed capacity and [`JobStore::submit`] sheds load with
+//! a typed error once it fills. Shutdown ([`JobStore::drain`]) stops
+//! intake, cancels everything still queued, lets running jobs finish, and
+//! joins the pool; [`JobStore::abandon`] is the crash-simulation variant
+//! that walks away without joining.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -25,6 +32,8 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::api::{JobGauges, JobInfo, JobOutcome, JobRequest, JobStatus};
 use crate::graphs::GraphEntry;
+use crate::journal::{Journal, Record, RecoveredJob};
+use crate::sync;
 
 /// Salt decorrelating the counter-RNG key from the trial seed; a frozen copy
 /// of the (private) constant in `mis_sim::runner`, kept bit-identical so a
@@ -37,6 +46,9 @@ const MAX_EVENT_LINES: usize = 100_000;
 
 /// Poll interval of idle event streams and lingering stabilized jobs.
 const POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Default bound on the submission queue (jobs waiting for a worker).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
 
 // ---------------------------------------------------------------------------
 // Event buffer + NDJSON streaming
@@ -60,7 +72,7 @@ impl EventBuffer {
 
     /// Appends one event line (newline added here).
     fn push(&self, line: String) {
-        let mut lines = self.lines.lock().expect("event buffer lock poisoned");
+        let mut lines = sync::lock(&self.lines);
         match lines.len().cmp(&MAX_EVENT_LINES) {
             std::cmp::Ordering::Less => lines.push(line + "\n"),
             std::cmp::Ordering::Equal => lines.push("{\"event\":\"truncated\"}\n".to_string()),
@@ -74,7 +86,7 @@ impl EventBuffer {
 
     /// Number of buffered lines so far (for tests and gauges).
     pub fn len(&self) -> usize {
-        self.lines.lock().expect("event buffer lock poisoned").len()
+        sync::lock(&self.lines).len()
     }
 
     /// `true` when no event has been recorded.
@@ -90,7 +102,7 @@ pub fn ndjson_stream(buffer: Arc<EventBuffer>) -> warp::ChunkFn {
     let mut cursor = 0usize;
     Box::new(move || loop {
         {
-            let lines = buffer.lines.lock().expect("event buffer lock poisoned");
+            let lines = sync::lock(&buffer.lines);
             if cursor < lines.len() {
                 let batch = lines[cursor..].concat();
                 cursor = lines.len();
@@ -137,17 +149,21 @@ pub struct Job {
     /// The store's draining flag: a stabilized job stops lingering the
     /// moment shutdown starts, so resident jobs can never wedge the drain.
     drain_flag: Arc<AtomicBool>,
+    /// Shared journal, when the store persists. Worker-side appends are
+    /// best-effort: a sealed journal (crash in progress) drops them, and
+    /// replay marks the job `Interrupted` instead.
+    journal: Option<Arc<Journal>>,
 }
 
 impl Job {
     /// Current lifecycle state.
     pub fn status(&self) -> JobStatus {
-        self.state.lock().expect("job lock poisoned").status
+        sync::lock(&self.state).status
     }
 
     /// The job as an API [`JobInfo`].
     pub fn info(&self) -> JobInfo {
-        let state = self.state.lock().expect("job lock poisoned");
+        let state = sync::lock(&self.state);
         JobInfo {
             id: self.id,
             graph: self.entry.id,
@@ -160,7 +176,7 @@ impl Job {
 
     /// The final MIS (vertex ids), present once the job completed.
     pub fn mis(&self) -> Option<Vec<usize>> {
-        self.state.lock().expect("job lock poisoned").mis.clone()
+        sync::lock(&self.state).mis.clone()
     }
 
     /// The job's event buffer, for streaming.
@@ -168,17 +184,36 @@ impl Job {
         Arc::clone(&self.events)
     }
 
+    fn journal_append(&self, record: &Record) {
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(record);
+        }
+    }
+
+    fn finish_record(&self, state: &JobState) -> Record {
+        Record::JobFinished {
+            id: self.id,
+            status: state.status,
+            outcome: state.outcome.clone(),
+            error: state.error.clone(),
+            mis: state.mis.clone(),
+        }
+    }
+
     /// Requests cancellation. Queued jobs become `Cancelled` immediately;
     /// running jobs observe the flag at the next round boundary. Returns
     /// `false` if the job was already terminal.
     pub fn cancel(&self) -> bool {
-        let mut state = self.state.lock().expect("job lock poisoned");
+        let mut state = sync::lock(&self.state);
         match state.status {
             JobStatus::Queued => {
                 state.status = JobStatus::Cancelled;
                 self.cancel.store(true, Ordering::SeqCst);
                 self.events.push("{\"event\":\"cancelled\"}".to_string());
                 self.events.close();
+                let record = self.finish_record(&state);
+                drop(state);
+                self.journal_append(&record);
                 true
             }
             JobStatus::Running => {
@@ -198,7 +233,7 @@ impl Job {
         if self.status().is_terminal() {
             return None;
         }
-        if *self.topology_capable.lock().expect("job lock poisoned") == Some(false) {
+        if *sync::lock(&self.topology_capable) == Some(false) {
             return Some(false);
         }
         let snapshot = self.snapshot_version.load(Ordering::SeqCst);
@@ -207,19 +242,12 @@ impl Job {
             // snapshotted it: the delta is baked into the job's graph.
             return None;
         }
-        self.mailbox
-            .lock()
-            .expect("job lock poisoned")
-            .push_back(delta.clone());
+        sync::lock(&self.mailbox).push_back(delta.clone());
         Some(true)
     }
 
     fn take_mail(&self) -> Vec<GraphDelta> {
-        self.mailbox
-            .lock()
-            .expect("job lock poisoned")
-            .drain(..)
-            .collect()
+        sync::lock(&self.mailbox).drain(..).collect()
     }
 }
 
@@ -227,64 +255,104 @@ impl Job {
 // The store
 // ---------------------------------------------------------------------------
 
-/// The job store: id-ordered map of jobs plus a FIFO queue drained by a
-/// persistent worker pool.
+/// Why [`JobStore::submit`] refused a job. Each variant maps to a distinct
+/// HTTP degradation mode in the routes layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// Shutdown started; the service answers 503 with `Retry-After`.
+    Draining,
+    /// The bounded queue is full; the service sheds load with 429.
+    QueueFull {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// The algorithm key is not in the registry (a 400).
+    UnknownAlgorithm(String),
+    /// The journal refused the submission record — the job was NOT
+    /// accepted and must not be acknowledged (a 503).
+    Persistence(String),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Draining => write!(f, "service is draining; not accepting jobs"),
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "job queue is full (capacity {capacity}); retry later")
+            }
+            SubmitError::UnknownAlgorithm(key) => write!(f, "unknown algorithm key '{key}'"),
+            SubmitError::Persistence(e) => write!(f, "could not journal the job: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The job store: id-ordered map of jobs plus a bounded FIFO queue drained
+/// by a persistent worker pool.
 pub struct JobStore {
     jobs: RwLock<BTreeMap<u64, Arc<Job>>>,
     queue: Mutex<VecDeque<Arc<Job>>>,
+    capacity: usize,
     available: Condvar,
     next_id: AtomicU64,
     draining: Arc<AtomicBool>,
     submitted: AtomicU64,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    journal: Option<Arc<Journal>>,
+    /// Submission is the one path that journals BEFORE the effect is
+    /// visible (a job must be durable before anyone can observe it).
+    /// Each submit holds a read guard across append-to-insert; a snapshot
+    /// capture takes the write side as a barrier so it can never observe
+    /// a journal seq whose job has not reached the map yet — trimming the
+    /// journal at that seq would silently drop an acknowledged job.
+    submit_gate: RwLock<()>,
 }
 
 impl JobStore {
     /// Starts a store with `workers` worker threads (0 = available
-    /// parallelism).
-    pub fn start(workers: usize) -> Arc<JobStore> {
+    /// parallelism), a queue bounded at `capacity` (0 =
+    /// [`DEFAULT_QUEUE_CAPACITY`]), and an optional journal that every
+    /// lifecycle transition is appended to.
+    pub fn start(workers: usize, capacity: usize, journal: Option<Arc<Journal>>) -> Arc<JobStore> {
         let workers = if workers == 0 {
             thread::available_parallelism().map_or(4, |p| p.get())
         } else {
             workers
         };
+        let capacity = if capacity == 0 {
+            DEFAULT_QUEUE_CAPACITY
+        } else {
+            capacity
+        };
         let store = Arc::new(JobStore {
             jobs: RwLock::new(BTreeMap::new()),
             queue: Mutex::new(VecDeque::new()),
+            capacity,
             available: Condvar::new(),
             next_id: AtomicU64::new(0),
             draining: Arc::new(AtomicBool::new(false)),
             submitted: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
+            journal,
+            submit_gate: RwLock::new(()),
         });
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let store = Arc::clone(&store);
             handles.push(thread::spawn(move || store.worker_loop()));
         }
-        *store.workers.lock().expect("worker list lock poisoned") = handles;
+        *sync::lock(&store.workers) = handles;
         store
     }
 
-    /// Accepts a job for `entry`, or refuses while draining.
-    ///
-    /// # Errors
-    ///
-    /// A static message when the store is shutting down or the algorithm is
-    /// unknown.
-    pub fn submit(
-        self: &Arc<Self>,
-        entry: Arc<GraphEntry>,
-        request: JobRequest,
-    ) -> Result<Arc<Job>, &'static str> {
-        if self.draining.load(Ordering::SeqCst) {
-            return Err("service is draining; not accepting jobs");
-        }
-        if !builtin_registry().contains(&request.algorithm) {
-            return Err("unknown algorithm key");
-        }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        let job = Arc::new(Job {
+    /// The configured queue bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn new_job(&self, id: u64, entry: Arc<GraphEntry>, request: JobRequest) -> Arc<Job> {
+        Arc::new(Job {
             id,
             entry,
             request,
@@ -300,37 +368,131 @@ impl JobStore {
             snapshot_version: AtomicU64::new(0),
             topology_capable: Mutex::new(None),
             drain_flag: Arc::clone(&self.draining),
-        });
-        self.jobs
-            .write()
-            .expect("job map lock poisoned")
-            .insert(id, Arc::clone(&job));
+            journal: self.journal.clone(),
+        })
+    }
+
+    /// Accepts a job for `entry`, or refuses with a typed [`SubmitError`].
+    /// The submission record is journaled (and fsynced) *before* the job
+    /// becomes visible, so an acknowledged 202 can never be lost: a crash
+    /// after this returns re-queues the job on replay.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] — draining, queue full (load shed), unknown
+    /// algorithm, or persistence failure. The queue bound is checked before
+    /// the id is assigned; under concurrent submits it is a soft bound
+    /// (momentary overshoot by the number of racing requests).
+    pub fn submit(
+        self: &Arc<Self>,
+        entry: Arc<GraphEntry>,
+        request: JobRequest,
+    ) -> Result<Arc<Job>, SubmitError> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(SubmitError::Draining);
+        }
+        if !builtin_registry().contains(&request.algorithm) {
+            return Err(SubmitError::UnknownAlgorithm(request.algorithm.clone()));
+        }
+        if sync::lock(&self.queue).len() >= self.capacity {
+            return Err(SubmitError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        // Hold the gate from the durable append until the job is visible
+        // in the map; see `submit_gate`.
+        let _in_flight = sync::read(&self.submit_gate);
+        if let Some(journal) = &self.journal {
+            journal
+                .append(&Record::JobSubmitted {
+                    id,
+                    request: request.clone(),
+                })
+                .map_err(|e| SubmitError::Persistence(e.to_string()))?;
+        }
+        let job = self.new_job(id, entry, request);
+        sync::write(&self.jobs).insert(id, Arc::clone(&job));
         self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.queue
-            .lock()
-            .expect("job queue lock poisoned")
-            .push_back(Arc::clone(&job));
+        sync::lock(&self.queue).push_back(Arc::clone(&job));
         self.available.notify_one();
         Ok(job)
     }
 
+    /// Waits until no submission is between its journal append and its map
+    /// insert. Called by snapshot capture after reading the journal seq it
+    /// intends to cover, so every covered `JobSubmitted` record has its job
+    /// visible in [`list`](JobStore::list).
+    pub fn submit_barrier(&self) {
+        drop(sync::write(&self.submit_gate));
+    }
+
+    /// Rehydrates a journal-recovered job. Terminal jobs (including
+    /// `Interrupted`) are installed as-is; `Queued` jobs re-enter the run
+    /// queue — unless their graph no longer exists (`entry` is `None`), in
+    /// which case they fail immediately. `entry` may be a
+    /// [`GraphEntry::detached`] placeholder for terminal jobs whose graph
+    /// was deleted.
+    pub fn restore(
+        self: &Arc<Self>,
+        recovered: RecoveredJob,
+        entry: Option<Arc<GraphEntry>>,
+    ) -> Arc<Job> {
+        self.next_id.fetch_max(recovered.id, Ordering::Relaxed);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let placeholder = |graph_id: u64| {
+            GraphEntry::detached(
+                graph_id,
+                format!("deleted-graph-{graph_id}"),
+                "deleted".to_string(),
+                mis_graph::Graph::empty(0),
+            )
+        };
+        let graph_missing = entry.is_none();
+        let entry = entry.unwrap_or_else(|| placeholder(recovered.request.graph));
+        let job = self.new_job(recovered.id, entry, recovered.request);
+        {
+            let mut state = sync::lock(&job.state);
+            state.status = recovered.status;
+            state.outcome = recovered.outcome;
+            state.error = recovered.error;
+            state.mis = recovered.mis;
+            if state.status == JobStatus::Queued && graph_missing {
+                state.status = JobStatus::Failed;
+                state.error = Some(format!(
+                    "graph {} was deleted before the crash; the job cannot be re-run",
+                    job.request.graph
+                ));
+                let record = job.finish_record(&state);
+                drop(state);
+                job.journal_append(&record);
+            } else if state.status.is_terminal() {
+                job.events.push(format!(
+                    "{{\"event\":\"recovered\",\"status\":{}}}",
+                    json_string(&format!("{:?}", state.status).to_lowercase())
+                ));
+            }
+        }
+        let status = job.status();
+        if status.is_terminal() {
+            job.events.close();
+        }
+        sync::write(&self.jobs).insert(job.id, Arc::clone(&job));
+        if status == JobStatus::Queued {
+            sync::lock(&self.queue).push_back(Arc::clone(&job));
+            self.available.notify_one();
+        }
+        job
+    }
+
     /// Looks up a job by id.
     pub fn get(&self, id: u64) -> Option<Arc<Job>> {
-        self.jobs
-            .read()
-            .expect("job map lock poisoned")
-            .get(&id)
-            .cloned()
+        sync::read(&self.jobs).get(&id).cloned()
     }
 
     /// All jobs, in id order.
     pub fn list(&self) -> Vec<Arc<Job>> {
-        self.jobs
-            .read()
-            .expect("job map lock poisoned")
-            .values()
-            .cloned()
-            .collect()
+        sync::read(&self.jobs).values().cloned().collect()
     }
 
     /// All non-terminal jobs targeting graph `graph_id`.
@@ -354,6 +516,7 @@ impl JobStore {
                 JobStatus::Completed => gauges.completed += 1,
                 JobStatus::Cancelled => gauges.cancelled += 1,
                 JobStatus::Failed => gauges.failed += 1,
+                JobStatus::Interrupted => gauges.interrupted += 1,
             }
         }
         gauges
@@ -370,11 +533,7 @@ impl JobStore {
         self.draining.store(true, Ordering::SeqCst);
         // Cancel the backlog so no worker picks up new work.
         loop {
-            let job = self
-                .queue
-                .lock()
-                .expect("job queue lock poisoned")
-                .pop_front();
+            let job = sync::lock(&self.queue).pop_front();
             match job {
                 Some(job) => {
                     job.cancel();
@@ -383,16 +542,35 @@ impl JobStore {
             }
         }
         self.available.notify_all();
-        let handles = std::mem::take(&mut *self.workers.lock().expect("worker list lock poisoned"));
+        let handles = std::mem::take(&mut *sync::lock(&self.workers));
         for handle in handles {
             let _ = handle.join();
         }
     }
 
+    /// Crash simulation: stops intake and flags every non-terminal job for
+    /// cancellation, but does NOT wait for workers — the pool threads are
+    /// detached mid-flight, exactly as a process kill would leave them.
+    /// The journal must be [sealed](Journal::seal) *before* calling this so
+    /// stale workers cannot append into files a successor now owns.
+    pub fn abandon(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        sync::lock(&self.queue).clear();
+        for job in self.list() {
+            if !job.status().is_terminal() {
+                job.cancel.store(true, Ordering::SeqCst);
+            }
+        }
+        self.available.notify_all();
+        // Drop the handles without joining: the threads wind down on their
+        // own, and their journal appends bounce off the seal.
+        drop(std::mem::take(&mut *sync::lock(&self.workers)));
+    }
+
     fn worker_loop(self: Arc<Self>) {
         loop {
             let job = {
-                let mut queue = self.queue.lock().expect("job queue lock poisoned");
+                let mut queue = sync::lock(&self.queue);
                 loop {
                     if let Some(job) = queue.pop_front() {
                         break Some(job);
@@ -403,7 +581,7 @@ impl JobStore {
                     let (q, _) = self
                         .available
                         .wait_timeout(queue, Duration::from_millis(200))
-                        .expect("job queue lock poisoned");
+                        .unwrap_or_else(PoisonError::into_inner);
                     queue = q;
                 }
             };
@@ -425,14 +603,15 @@ impl JobStore {
 /// converting panics into `Failed`.
 fn execute(job: &Arc<Job>) {
     {
-        let mut state = job.state.lock().expect("job lock poisoned");
+        let mut state = sync::lock(&job.state);
         if state.status != JobStatus::Queued {
             return; // cancelled while queued
         }
         state.status = JobStatus::Running;
     }
+    job.journal_append(&Record::JobStarted { id: job.id });
     let result = catch_unwind(AssertUnwindSafe(|| run_job(job)));
-    let mut state = job.state.lock().expect("job lock poisoned");
+    let mut state = sync::lock(&job.state);
     match result {
         Ok(Ok(RunEnd::Completed { outcome, mis })) => {
             job.events.push(format!(
@@ -470,6 +649,9 @@ fn execute(job: &Arc<Job>) {
             state.error = Some(message);
         }
     }
+    let record = job.finish_record(&state);
+    drop(state);
+    job.journal_append(&record);
     job.events.close();
 }
 
@@ -518,8 +700,7 @@ fn run_job(job: &Arc<Job>) -> Result<RunEnd, String> {
     };
     let start = Instant::now();
     let mut algorithm = factory.init(&graph, &config, &mut rng);
-    *job.topology_capable.lock().expect("job lock poisoned") =
-        Some(algorithm.supports_topology_change());
+    *sync::lock(&job.topology_capable) = Some(algorithm.supports_topology_change());
 
     if !request.scheduler.is_synchronous() && !algorithm.supports_partial_activation() {
         return Err(format!(
@@ -643,7 +824,7 @@ mod tests {
     #[test]
     fn jobs_complete_with_valid_mis() {
         let (_registry, entry) = registry_with_path(50);
-        let store = JobStore::start(2);
+        let store = JobStore::start(2, 0, None);
         let job = store
             .submit(Arc::clone(&entry), JobRequest::new(entry.id, "two-state"))
             .unwrap();
@@ -659,17 +840,40 @@ mod tests {
     #[test]
     fn unknown_algorithm_is_rejected_at_submit() {
         let (_registry, entry) = registry_with_path(4);
-        let store = JobStore::start(1);
-        assert!(store
-            .submit(Arc::clone(&entry), JobRequest::new(entry.id, "nope"))
-            .is_err());
+        let store = JobStore::start(1, 0, None);
+        assert!(matches!(
+            store.submit(Arc::clone(&entry), JobRequest::new(entry.id, "nope")),
+            Err(SubmitError::UnknownAlgorithm(_))
+        ));
+        store.drain();
+    }
+
+    #[test]
+    fn full_queue_sheds_load_with_a_typed_error() {
+        let (_registry, entry) = registry_with_path(10);
+        let store = JobStore::start(1, 2, None);
+        // Occupy the single worker with a lingering job, then fill the queue.
+        let mut slow = JobRequest::new(entry.id, "two-state");
+        slow.linger_micros = 60_000_000;
+        let running = store.submit(Arc::clone(&entry), slow).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(running.status(), JobStatus::Running);
+        for _ in 0..2 {
+            store
+                .submit(Arc::clone(&entry), JobRequest::new(entry.id, "greedy"))
+                .unwrap();
+        }
+        assert!(matches!(
+            store.submit(Arc::clone(&entry), JobRequest::new(entry.id, "greedy")),
+            Err(SubmitError::QueueFull { capacity: 2 })
+        ));
         store.drain();
     }
 
     #[test]
     fn unsupported_scheduler_fails_the_job() {
         let (_registry, entry) = registry_with_path(6);
-        let store = JobStore::start(1);
+        let store = JobStore::start(1, 0, None);
         let mut request = JobRequest::new(entry.id, "luby");
         request.scheduler = mis_sim::spec::SchedulerSpec::RandomSubset { p: 0.5 };
         let job = store.submit(Arc::clone(&entry), request).unwrap();
@@ -681,7 +885,7 @@ mod tests {
     #[test]
     fn cancelling_a_lingering_job_stops_it() {
         let (_registry, entry) = registry_with_path(20);
-        let store = JobStore::start(1);
+        let store = JobStore::start(1, 0, None);
         let mut request = JobRequest::new(entry.id, "two-state");
         request.linger_micros = 60_000_000; // would linger for a minute
         let job = store.submit(Arc::clone(&entry), request).unwrap();
@@ -697,7 +901,7 @@ mod tests {
     #[test]
     fn live_delta_reaches_a_lingering_job_and_restabilizes() {
         let (registry, entry) = registry_with_path(30);
-        let store = JobStore::start(1);
+        let store = JobStore::start(1, 0, None);
         let mut request = JobRequest::new(entry.id, "two-state");
         request.linger_micros = 30_000_000;
         let job = store.submit(Arc::clone(&entry), request).unwrap();
@@ -721,7 +925,7 @@ mod tests {
     #[test]
     fn drain_cancels_queued_jobs_and_joins() {
         let (_registry, entry) = registry_with_path(10);
-        let store = JobStore::start(1);
+        let store = JobStore::start(1, 0, None);
         // A lingering job occupies the single worker, so the rest stay
         // queued until drain.
         let mut slow = JobRequest::new(entry.id, "two-state");
@@ -744,18 +948,95 @@ mod tests {
         for job in queued {
             assert_eq!(job.status(), JobStatus::Cancelled);
         }
-        assert!(store
-            .submit(Arc::clone(&entry), JobRequest::new(entry.id, "greedy"))
-            .is_err());
+        assert!(matches!(
+            store.submit(Arc::clone(&entry), JobRequest::new(entry.id, "greedy")),
+            Err(SubmitError::Draining)
+        ));
         let gauges = store.gauges();
         assert_eq!(gauges.submitted, 5);
         assert_eq!(gauges.queued + gauges.running, 0);
     }
 
     #[test]
+    fn restore_rehydrates_terminal_and_queued_jobs() {
+        let (_registry, entry) = registry_with_path(12);
+        let store = JobStore::start(1, 0, None);
+        // A terminal interrupted job: installed as-is, never re-run.
+        let interrupted = store.restore(
+            RecoveredJob {
+                id: 5,
+                request: JobRequest::new(entry.id, "two-state"),
+                status: JobStatus::Interrupted,
+                outcome: None,
+                error: Some("interrupted".into()),
+                mis: None,
+            },
+            Some(Arc::clone(&entry)),
+        );
+        assert_eq!(interrupted.status(), JobStatus::Interrupted);
+        // A queued job with a live graph: re-runs to completion.
+        let requeued = store.restore(
+            RecoveredJob {
+                id: 6,
+                request: JobRequest::new(entry.id, "greedy"),
+                status: JobStatus::Queued,
+                outcome: None,
+                error: None,
+                mis: None,
+            },
+            Some(Arc::clone(&entry)),
+        );
+        assert_eq!(wait_terminal(&requeued), JobStatus::Completed);
+        // A queued job whose graph is gone: fails instead of hanging.
+        let orphan = store.restore(
+            RecoveredJob {
+                id: 7,
+                request: JobRequest::new(99, "greedy"),
+                status: JobStatus::Queued,
+                outcome: None,
+                error: None,
+                mis: None,
+            },
+            None,
+        );
+        assert_eq!(orphan.status(), JobStatus::Failed);
+        assert!(orphan.info().error.unwrap().contains("deleted"));
+        // Ids continue past restored ones; the interrupted job still counts.
+        let fresh = store
+            .submit(Arc::clone(&entry), JobRequest::new(entry.id, "greedy"))
+            .unwrap();
+        assert_eq!(fresh.id, 8);
+        let gauges = store.gauges();
+        assert_eq!(gauges.interrupted, 1);
+        assert_eq!(gauges.failed, 1);
+        store.drain();
+    }
+
+    #[test]
+    fn abandon_detaches_without_joining() {
+        let (_registry, entry) = registry_with_path(10);
+        let store = JobStore::start(1, 0, None);
+        let mut slow = JobRequest::new(entry.id, "two-state");
+        slow.linger_micros = 60_000_000;
+        let running = store.submit(Arc::clone(&entry), slow).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(running.status(), JobStatus::Running);
+        let start = Instant::now();
+        store.abandon();
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "abandon must not block on workers"
+        );
+        assert!(matches!(
+            store.submit(Arc::clone(&entry), JobRequest::new(entry.id, "greedy")),
+            Err(SubmitError::Draining)
+        ));
+    }
+
+    #[test]
     fn event_stream_replays_and_terminates() {
         let (_registry, entry) = registry_with_path(12);
-        let store = JobStore::start(1);
+        let store = JobStore::start(1, 0, None);
         let mut request = JobRequest::new(entry.id, "three-state");
         request.record_trace = true;
         let job = store.submit(Arc::clone(&entry), request).unwrap();

@@ -30,8 +30,10 @@
 pub mod api;
 pub mod graphs;
 pub mod jobs;
+pub mod journal;
 pub mod metrics;
 mod routes;
 mod service;
+mod sync;
 
-pub use service::{Service, ServiceConfig};
+pub use service::{AppState, RecoverySummary, Service, ServiceConfig};

@@ -12,11 +12,17 @@ use serde::{Deserialize, Serialize};
 use warp::{PathParams, Request, Response, Router};
 
 use crate::api::{
-    AlgorithmInfo, CreateGraphRequest, ErrorBody, JobRequest, MetricsReport, PatchEdgesRequest,
-    PatchResponse,
+    AlgorithmInfo, ApiError, CreateGraphRequest, JobRequest, JobStatus, MetricsReport,
+    PatchEdgesRequest, PatchResponse,
 };
-use crate::jobs::ndjson_stream;
+use crate::jobs::{ndjson_stream, SubmitError};
+use crate::journal::Record;
 use crate::service::AppState;
+
+/// `Retry-After` seconds suggested on shed-load (429) responses.
+const RETRY_AFTER_SHED: u64 = 1;
+/// `Retry-After` seconds suggested on unavailable (503) responses.
+const RETRY_AFTER_UNAVAILABLE: u64 = 5;
 
 fn json<T: Serialize>(status: u16, value: &T) -> Response {
     match serde_json::to_string(value) {
@@ -26,13 +32,44 @@ fn json<T: Serialize>(status: u16, value: &T) -> Response {
 }
 
 fn error(status: u16, message: impl Into<String>) -> Response {
-    let body = ErrorBody {
-        error: message.into(),
-    };
-    Response::json(
+    ApiError {
         status,
-        serde_json::to_string(&body).unwrap_or_else(|_| "{\"error\":\"error\"}".to_string()),
-    )
+        message: message.into(),
+        retry_after: None,
+    }
+    .into_response()
+}
+
+fn submit_error(e: SubmitError) -> Response {
+    match e {
+        SubmitError::Draining => {
+            ApiError::unavailable(e.to_string(), RETRY_AFTER_UNAVAILABLE).into_response()
+        }
+        SubmitError::QueueFull { .. } => {
+            ApiError::too_many_requests(e.to_string(), RETRY_AFTER_SHED).into_response()
+        }
+        SubmitError::UnknownAlgorithm(_) => {
+            ApiError::bad_request(format!("{e}; see GET /v1/algorithms")).into_response()
+        }
+        SubmitError::Persistence(_) => {
+            ApiError::unavailable(e.to_string(), RETRY_AFTER_UNAVAILABLE).into_response()
+        }
+    }
+}
+
+/// Journals `record` (fsyncing it) strictly before the caller acknowledges
+/// the mutation; `Err` is the 503 the handler must answer with instead.
+fn journal_ack(state: &AppState, record: Record) -> Result<(), Response> {
+    match &state.journal {
+        Some(journal) => journal.append(&record).map(|_| ()).map_err(|e| {
+            ApiError::unavailable(
+                format!("persistence unavailable: {e}"),
+                RETRY_AFTER_UNAVAILABLE,
+            )
+            .into_response()
+        }),
+        None => Ok(()),
+    }
 }
 
 fn parse_body<T: Deserialize>(request: &Request) -> Result<T, Response> {
@@ -90,8 +127,19 @@ pub fn build(state: &Arc<AppState>) -> Router {
             Ok(graph) => graph,
             Err(e) => return error(400, format!("invalid graph: {e}")),
         };
-        let name = body.name.unwrap_or_else(|| body.source.label());
+        let name = body.name.clone().unwrap_or_else(|| body.source.label());
         let entry = s.graphs.insert(name, body.source.label(), graph);
+        let record = Record::GraphCreated {
+            id: entry.id,
+            name: entry.name.clone(),
+            create: body,
+        };
+        if let Err(resp) = journal_ack(&s, record) {
+            // Never acknowledge what the journal did not take.
+            s.graphs.remove(entry.id);
+            return resp;
+        }
+        s.maybe_snapshot();
         json(201, &entry.info())
     });
 
@@ -120,7 +168,13 @@ pub fn build(state: &Arc<AppState>) -> Router {
             Err(resp) => return resp,
         };
         match s.graphs.remove(id) {
-            Some(_) => Response::new(204),
+            Some(_) => {
+                if let Err(resp) = journal_ack(&s, Record::GraphDeleted { id }) {
+                    return resp;
+                }
+                s.maybe_snapshot();
+                Response::new(204)
+            }
             None => error(404, format!("no graph {id}")),
         }
     });
@@ -144,6 +198,15 @@ pub fn build(state: &Arc<AppState>) -> Router {
             Some(Err(e)) => return error(400, format!("invalid delta: {e}")),
             Some(Ok(applied)) => applied,
         };
+        let record = Record::GraphPatched {
+            id,
+            version,
+            patch: body,
+        };
+        if let Err(resp) = journal_ack(&s, record) {
+            return resp;
+        }
+        s.maybe_snapshot();
         // Forward the delta to every live job on this graph whose snapshot
         // predates the patch; jobs whose algorithm cannot follow topology
         // changes are counted as skipped.
@@ -186,19 +249,44 @@ pub fn build(state: &Arc<AppState>) -> Router {
         let Some(entry) = s.graphs.get(body.graph) else {
             return error(404, format!("no graph {}", body.graph));
         };
-        if !builtin_registry().contains(&body.algorithm) {
-            return error(
-                400,
-                format!(
-                    "unknown algorithm '{}'; see GET /v1/algorithms",
-                    body.algorithm
-                ),
-            );
-        }
+        // The store journals + fsyncs the submission before the job becomes
+        // visible, so this 202 is durable.
         match s.jobs.submit(entry, body) {
-            Ok(job) => json(202, &job.info()),
-            Err(message) if message.contains("draining") => error(503, message),
-            Err(message) => error(400, message),
+            Ok(job) => {
+                s.maybe_snapshot();
+                json(202, &job.info())
+            }
+            Err(e) => submit_error(e),
+        }
+    });
+
+    let s = Arc::clone(state);
+    router = router.post("/v1/jobs/:id/retry", move |_, params| {
+        let id = match graph_id(params) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        let Some(job) = s.jobs.get(id) else {
+            return error(404, format!("no job {id}"));
+        };
+        if job.status() != JobStatus::Interrupted {
+            return ApiError::conflict(format!(
+                "job {id} is {:?}, not Interrupted; only interrupted jobs can be retried",
+                job.status()
+            ))
+            .into_response();
+        }
+        let request = job.request.clone();
+        let Some(entry) = s.graphs.get(request.graph) else {
+            return ApiError::conflict(format!(
+                "graph {} of interrupted job {id} no longer exists",
+                request.graph
+            ))
+            .into_response();
+        };
+        match s.jobs.submit(entry, request) {
+            Ok(fresh) => json(202, &fresh.info()),
+            Err(e) => submit_error(e),
         }
     });
 

@@ -1,13 +1,15 @@
-//! Service assembly: state, router, server, and lifecycle.
+//! Service assembly: state, router, server, persistence, and lifecycle.
 
 use std::io;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use crate::graphs::GraphRegistry;
 use crate::jobs::JobStore;
+use crate::journal::{Journal, SnapshotDoc, SnapshotGraph, SnapshotJob};
 use crate::metrics::ServiceMetrics;
 use crate::routes;
 
@@ -18,6 +20,13 @@ pub struct ServiceConfig {
     pub addr: String,
     /// Worker threads in the job pool (0 = available parallelism).
     pub workers: usize,
+    /// Durability root: when set, a write-ahead journal + snapshots live
+    /// here and every acknowledged mutation survives a crash. `None` runs
+    /// fully in-memory (the pre-durability behavior).
+    pub data_dir: Option<PathBuf>,
+    /// Bound on the job submission queue (0 = default). Submissions beyond
+    /// it are shed with 429.
+    pub queue_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -25,8 +34,25 @@ impl Default for ServiceConfig {
         ServiceConfig {
             addr: "127.0.0.1:7878".to_string(),
             workers: 0,
+            data_dir: None,
+            queue_capacity: 0,
         }
     }
+}
+
+/// What journal replay restored at startup.
+#[derive(Debug, Clone, Default)]
+pub struct RecoverySummary {
+    /// Graphs re-registered at their last committed version.
+    pub graphs: usize,
+    /// Jobs rehydrated (all statuses).
+    pub jobs: usize,
+    /// Acknowledged-but-unstarted jobs put back on the queue.
+    pub requeued: usize,
+    /// Jobs that were running at the crash, now terminal `Interrupted`.
+    pub interrupted: usize,
+    /// Whether a torn journal tail was found and truncated.
+    pub torn_tail: bool,
 }
 
 /// Shared state behind every route handler.
@@ -35,6 +61,10 @@ pub struct AppState {
     pub graphs: GraphRegistry,
     /// Job store + worker pool.
     pub jobs: Arc<JobStore>,
+    /// Write-ahead journal, when the service persists.
+    pub journal: Option<Arc<Journal>>,
+    /// What replay restored when this incarnation started.
+    pub recovery: RecoverySummary,
     /// Service start time (for uptime reporting).
     pub started: Instant,
     /// Set by `POST /v1/admin/shutdown`; the daemon binary polls it.
@@ -47,6 +77,81 @@ impl AppState {
     pub fn metrics(&self) -> Option<&Arc<ServiceMetrics>> {
         self.metrics.get()
     }
+
+    /// The full current state as a snapshot document.
+    ///
+    /// The sequence number is read BEFORE the state: anything journaled
+    /// after it simply stays in the journal when this document is
+    /// installed, and replaying those records over the (possibly newer)
+    /// captured state is idempotent. The submit barrier closes the one
+    /// path where a covered record's effect could still be invisible.
+    pub fn snapshot_doc(&self) -> SnapshotDoc {
+        let last_seq = self.journal.as_ref().map_or(0, |j| j.current_seq());
+        self.jobs.submit_barrier();
+        let graphs = self
+            .graphs
+            .list()
+            .into_iter()
+            .map(|entry| {
+                let (graph, version) = entry.snapshot();
+                SnapshotGraph {
+                    id: entry.id,
+                    name: entry.name.clone(),
+                    source: entry.source.clone(),
+                    n: graph.n(),
+                    edges: graph.edges().collect(),
+                    version,
+                }
+            })
+            .collect();
+        let jobs = self
+            .jobs
+            .list()
+            .into_iter()
+            .map(|job| {
+                let info = job.info();
+                SnapshotJob {
+                    id: job.id,
+                    request: job.request.clone(),
+                    status: info.status,
+                    outcome: info.outcome,
+                    error: info.error,
+                    mis: job.mis(),
+                }
+            })
+            .collect();
+        SnapshotDoc {
+            last_seq,
+            graphs,
+            jobs,
+        }
+    }
+
+    /// Writes a snapshot and truncates the journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the journal stays intact on error.
+    pub fn install_snapshot(&self) -> io::Result<()> {
+        match &self.journal {
+            Some(journal) => journal.install_snapshot(&self.snapshot_doc()),
+            None => Ok(()),
+        }
+    }
+
+    /// Best-effort snapshot once enough journal records accumulated; called
+    /// by handlers after successful mutations so steady-state load rotates
+    /// the journal without an external trigger.
+    pub fn maybe_snapshot(&self) {
+        if let Some(journal) = &self.journal {
+            // Claim the build so only one request thread pays for the
+            // state capture; everyone else carries on serving.
+            if journal.try_begin_snapshot() {
+                let _ = self.install_snapshot();
+                journal.finish_snapshot();
+            }
+        }
+    }
 }
 
 /// A running graph-service daemon.
@@ -57,15 +162,46 @@ pub struct Service {
 
 impl Service {
     /// Starts the worker pool, builds the router + metrics, and binds the
-    /// HTTP server.
+    /// HTTP server. With [`ServiceConfig::data_dir`] set, the journal in
+    /// that directory is replayed first: graphs come back at their last
+    /// committed version, acknowledged-but-unfinished jobs re-queue, and
+    /// jobs that were running at the crash surface as `Interrupted`.
     ///
     /// # Errors
     ///
-    /// Propagates listener bind failures.
+    /// Propagates listener bind failures and journal open failures.
     pub fn start(config: &ServiceConfig) -> io::Result<Service> {
+        let (journal, recovered) = match &config.data_dir {
+            Some(dir) => {
+                let (journal, recovery) = Journal::open(dir)?;
+                (Some(Arc::new(journal)), Some(recovery))
+            }
+            None => (None, None),
+        };
+
+        let graphs = GraphRegistry::new();
+        let jobs = JobStore::start(config.workers, config.queue_capacity, journal.clone());
+        let mut summary = RecoverySummary::default();
+        if let Some(recovery) = recovered {
+            summary.graphs = recovery.graphs.len();
+            summary.jobs = recovery.jobs.len();
+            summary.requeued = recovery.requeued().count();
+            summary.interrupted = recovery.interrupted().count();
+            summary.torn_tail = recovery.torn_tail;
+            for g in recovery.graphs {
+                graphs.restore(g.id, g.name, g.source, g.graph, g.version);
+            }
+            for job in recovery.jobs {
+                let entry = graphs.get(job.request.graph);
+                jobs.restore(job, entry);
+            }
+        }
+
         let state = Arc::new(AppState {
-            graphs: GraphRegistry::new(),
-            jobs: JobStore::start(config.workers),
+            graphs,
+            jobs,
+            journal,
+            recovery: summary,
             started: Instant::now(),
             shutdown_requested: AtomicBool::new(false),
             metrics: OnceLock::new(),
@@ -97,10 +233,25 @@ impl Service {
     }
 
     /// Graceful shutdown: drain the job pool (stop intake, cancel queued,
-    /// finish running), then stop the HTTP server (event streams end once
-    /// their jobs are terminal, so no connection can wedge this).
+    /// finish running), snapshot the final state, then stop the HTTP server
+    /// (event streams end once their jobs are terminal, so no connection
+    /// can wedge this).
     pub fn shutdown(self) {
         self.state.jobs.drain();
+        let _ = self.state.install_snapshot();
         self.server.shutdown();
+    }
+
+    /// Simulated hard crash, for fault injection: seal the journal (stale
+    /// worker appends bounce), walk away from the pool without draining,
+    /// and tear the listener down without waiting for in-flight requests.
+    /// The data directory is left exactly as a process kill would leave it;
+    /// a successor [`Service::start`] on the same directory recovers.
+    pub fn crash(self) {
+        if let Some(journal) = &self.state.journal {
+            journal.seal();
+        }
+        self.state.jobs.abandon();
+        self.server.abort();
     }
 }

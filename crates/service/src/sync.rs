@@ -1,0 +1,29 @@
+//! Poison-tolerant lock acquisition.
+//!
+//! A poisoned `std` lock only means "a thread panicked while holding the
+//! guard" — it says nothing about the data unless a critical section can be
+//! interrupted mid-invariant. Every critical section in this crate either
+//! performs a single atomic assignment (swapping an `Arc`, bumping a
+//! version, overwriting a status struct) or maintains a map/queue whose
+//! invariants hold between statements, so the guarded state is consistent
+//! even when the flag is set. Recovering with [`PoisonError::into_inner`]
+//! therefore degrades a handler panic to a 500 on that request instead of
+//! cascading `expect` panics through every later request that touches the
+//! same lock.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a mutex, recovering from poisoning.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks an `RwLock`, recovering from poisoning.
+pub(crate) fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks an `RwLock`, recovering from poisoning.
+pub(crate) fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}

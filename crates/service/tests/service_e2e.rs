@@ -18,6 +18,7 @@ fn start_service() -> (Service, Client) {
     let service = Service::start(&ServiceConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
+        ..ServiceConfig::default()
     })
     .expect("bind loopback");
     let client = Client::new(service.local_addr().to_string());
@@ -384,6 +385,111 @@ fn metrics_count_requests_and_jobs() {
     assert_eq!(report.jobs.completed, 1);
 
     service.shutdown();
+}
+
+#[test]
+fn crash_recovery_restores_graphs_and_jobs() {
+    let dir = std::env::temp_dir().join(format!("mis-e2e-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        data_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+
+    let service = Service::start(&config).expect("bind loopback");
+    let mut client = Client::new(service.local_addr().to_string());
+    let graph = create_gnp(&mut client, 80, 0.05, 11);
+    // Two committed patches -> version 3, n 82.
+    for _ in 0..2 {
+        let resp = client
+            .patch_json(
+                &format!("/v1/graphs/{}/edges", graph.id),
+                "{\"add_vertices\": 1}",
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    // A job that completes before the crash.
+    let resp = client
+        .post_json(
+            "/v1/jobs",
+            format!("{{\"graph\": {}, \"algorithm\": \"greedy\"}}", graph.id),
+        )
+        .unwrap();
+    let done: JobInfo = parse(&resp);
+    wait_terminal(&mut client, done.id);
+    // A resident job occupying the single worker at the instant of the
+    // crash. The linger is long enough to still be running when we crash,
+    // but short enough that the post-recovery retry (which re-runs the
+    // identical request, linger included) completes within the poll budget.
+    let resp = client
+        .post_json(
+            "/v1/jobs",
+            format!(
+                "{{\"graph\": {}, \"algorithm\": \"two-state\", \"linger_micros\": 10000000}}",
+                graph.id
+            ),
+        )
+        .unwrap();
+    let resident: JobInfo = parse(&resp);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while poll_job(&mut client, resident.id).status != JobStatus::Running {
+        assert!(Instant::now() < deadline);
+        thread::sleep(Duration::from_millis(2));
+    }
+    // ...and two acknowledged jobs stuck in the queue behind it.
+    let mut queued = Vec::new();
+    for _ in 0..2 {
+        let resp = client
+            .post_json(
+                "/v1/jobs",
+                format!("{{\"graph\": {}, \"algorithm\": \"luby\"}}", graph.id),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 202);
+        queued.push(parse::<JobInfo>(&resp).id);
+    }
+
+    service.crash();
+
+    // A successor on the same data dir recovers everything acknowledged.
+    let service = Service::start(&config).expect("rebind after crash");
+    let mut client = Client::new(service.local_addr().to_string());
+    let info: GraphInfo = parse(&client.get(&format!("/v1/graphs/{}", graph.id)).unwrap());
+    assert_eq!((info.id, info.version, info.n), (graph.id, 3, 82));
+    let done_after = poll_job(&mut client, done.id);
+    assert_eq!(done_after.status, JobStatus::Completed);
+    assert!(done_after.outcome.unwrap().valid_mis);
+    let interrupted = poll_job(&mut client, resident.id);
+    assert_eq!(
+        interrupted.status,
+        JobStatus::Interrupted,
+        "{interrupted:?}"
+    );
+    for id in queued {
+        let info = wait_terminal(&mut client, id);
+        assert_eq!(info.status, JobStatus::Completed, "{info:?}");
+        assert!(info.outcome.unwrap().valid_mis);
+    }
+    // The interrupted job re-runs through the retry endpoint.
+    let resp = client
+        .post_json(&format!("/v1/jobs/{}/retry", resident.id), "{}")
+        .unwrap();
+    assert_eq!(resp.status, 202, "{:?}", resp.text());
+    let fresh: JobInfo = parse(&resp);
+    let rerun = wait_terminal(&mut client, fresh.id);
+    assert_eq!(rerun.status, JobStatus::Completed);
+    assert!(rerun.outcome.unwrap().valid_mis);
+    // Retry is only for interrupted jobs.
+    let resp = client
+        .post_json(&format!("/v1/jobs/{}/retry", done.id), "{}")
+        .unwrap();
+    assert_eq!(resp.status, 409);
+
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -85,8 +85,7 @@ impl<'a> ContainmentTracker<'a> {
         let sources = self
             .overlay
             .vertices()
-            .iter()
-            .copied()
+            .into_iter()
             .filter(|&u| u < graph.n());
         self.dist = multi_source_bfs_distances(graph, sources);
         self.zone_size = self
@@ -284,7 +283,7 @@ fn run_trial_on(
     let overlay = spec.byzantine.as_ref().map(|b| {
         let byz_seed = b.seed.wrapping_add(trial as u64);
         let victims = b.selection.resolve(graph, byz_seed);
-        ByzantineOverlay::new(b.strategy, victims, byz_seed)
+        ByzantineOverlay::new(b.strategy, victims, byz_seed).with_resample(b.resample)
     });
 
     let mut scheduler = spec.scheduler.build();
@@ -317,7 +316,7 @@ fn run_trial_on(
             Some(overlay) => mis_check::is_mis_outside(
                 final_graph,
                 &outcome.black_set,
-                overlay.vertices(),
+                &overlay.vertices(),
                 CONTAINMENT_RADIUS,
             ),
             None => mis_check::is_mis(final_graph, &outcome.black_set),
@@ -541,10 +540,16 @@ pub fn drive_algorithm(
                 // state carryover may have touched adversarial vertices).
                 contained = match tracker.as_mut() {
                     Some(t) => {
-                        t.refresh(
-                            alg.current_graph()
-                                .expect("topology-change support implies a current graph"),
-                        );
+                        let graph = alg
+                            .current_graph()
+                            .expect("topology-change support implies a current graph");
+                        // An adaptive adversary abandons victims churn just
+                        // isolated and compromises fresh ones before the
+                        // containment zone is re-derived.
+                        if byzantine.is_some_and(|o| o.resamples()) {
+                            t.overlay.resample_departed(graph);
+                        }
+                        t.refresh(graph);
                         t.round(alg, observers)
                     }
                     None => false,
@@ -1213,9 +1218,50 @@ mod tests {
         assert!(mis_check::is_mis_outside(
             &graph,
             &outcome.black_set,
-            overlay.vertices(),
+            &overlay.vertices(),
             CONTAINMENT_RADIUS
         ));
+    }
+
+    #[test]
+    fn byzantine_with_churn_resamples_victims_and_stays_valid() {
+        use crate::spec::{ByzantineSpec, ChurnSpec, VictimSelection};
+        use mis_core::ByzantineStrategy;
+        // JoinLeave detaches uniformly random vertices, so across trials
+        // some adversarial vertices depart; with `resample(true)` the
+        // adversary moves to fresh victims and the containment-aware MIS
+        // check (which reads the *final* victim set) must still hold.
+        let spec = ExperimentSpec::builder()
+            .name("byzantine-churn")
+            .graph(GraphSpec::Gnp { n: 80, p: 0.08 })
+            .algorithm("two-state")
+            .byzantine(
+                ByzantineSpec::new(
+                    ByzantineStrategy::Oscillator,
+                    VictimSelection::Random { count: 4 },
+                )
+                .seed(13)
+                .resample(true),
+            )
+            .churn(
+                ChurnSpec::after_stabilization(ChurnScenario::JoinLeave { join: 4, leave: 24 })
+                    .bursts(2),
+            )
+            .trials(4)
+            .base_seed(23)
+            .build();
+        let result = run_experiment(&spec);
+        assert!(result.all_stabilized(), "containment must terminate");
+        assert!(result.all_valid(), "MIS-outside must hold per trial");
+
+        // Byte-for-byte reproducibility with an adaptive adversary: the
+        // re-sampling draws are keyed by the spec seed, not wall clock.
+        let again = run_experiment(&spec);
+        for (a, b) in result.trials.iter().zip(again.trials.iter()) {
+            assert_eq!(a.rounds, b.rounds, "trial {} diverged", a.trial);
+            assert_eq!(a.mis_size, b.mis_size, "trial {} diverged", a.trial);
+            assert_eq!(a.random_bits, b.random_bits, "trial {} diverged", a.trial);
+        }
     }
 
     #[test]

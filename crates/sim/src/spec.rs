@@ -538,6 +538,10 @@ pub struct ByzantineSpec {
     /// trial `i` uses `seed + i`, so trials see independent adversaries.
     /// Defaults to 0.
     pub seed: u64,
+    /// Under churn, whether the adversary replaces victims that leave the
+    /// graph with fresh ones (an *adaptive* adversary). Without churn this
+    /// has no effect. Defaults to `false`.
+    pub resample: bool,
 }
 
 impl ByzantineSpec {
@@ -547,12 +551,20 @@ impl ByzantineSpec {
             strategy,
             selection,
             seed: 0,
+            resample: false,
         }
     }
 
     /// Sets the selection/strategy seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Makes the adversary adaptive under churn: departed victims are
+    /// replaced by fresh draws from the surviving population.
+    pub fn resample(mut self, resample: bool) -> Self {
+        self.resample = resample;
         self
     }
 }
@@ -563,6 +575,7 @@ impl Serialize for ByzantineSpec {
             ("strategy".into(), self.strategy.to_value()),
             ("selection".into(), self.selection.to_value()),
             ("seed".into(), self.seed.to_value()),
+            ("resample".into(), self.resample.to_value()),
         ])
     }
 }
@@ -589,10 +602,15 @@ impl Deserialize for ByzantineSpec {
             Some(v) => Deserialize::from_value(v)?,
             None => 0,
         };
+        let resample = match field(value, "resample") {
+            Some(v) => Deserialize::from_value(v)?,
+            None => false,
+        };
         Ok(ByzantineSpec {
             strategy: Deserialize::from_value(serde::get_field(value, "strategy")?)?,
             selection,
             seed,
+            resample,
         })
     }
 }

@@ -170,11 +170,95 @@ fn check_process(
         mis_check::is_mis_outside(
             final_graph,
             &outcome.black_set,
-            overlay.vertices(),
+            &overlay.vertices(),
             CONTAINMENT_RADIUS
         ),
         "MIS-outside violated for {key}, strategy {strategy}, seed {seed}"
     );
+    Ok(())
+}
+
+/// Drives an adaptive (re-sampling) overlay through an interleaving of
+/// churn bursts and override sweeps on a single instance, with a twin
+/// overlay replaying the same calls, and checks that
+///
+/// 1. re-sampling is **deterministic**: the twin ends with the identical
+///    victim set (the draws are a pure function of the construction seed
+///    and call sequence);
+/// 2. after every re-sample the victim set is **well-formed**: sorted,
+///    deduplicated, in range, every victim attached (departed victims are
+///    replaced or dropped, never kept), and never larger than before.
+///
+/// (The trial stream is untouched by construction: draws go through the
+/// overlay's own counter RNG, never the honest `rng` passed here.)
+fn check_resample(
+    key: &str,
+    seed: u64,
+    n: usize,
+    p_edge: f64,
+    strategy_idx: usize,
+    byz: &[usize],
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    let g = graph_for(seed, n, p_edge);
+    let strategy = ByzantineStrategy::all()[strategy_idx % 4];
+    let victims: Vec<usize> = byz.iter().map(|&v| v % g.n()).collect();
+    let overlay =
+        ByzantineOverlay::new(strategy, victims.clone(), seed ^ 0xb12a).with_resample(true);
+    let twin = ByzantineOverlay::new(strategy, victims, seed ^ 0xb12a).with_resample(true);
+
+    let factory = builtin_registry().get(key).expect("engine key");
+    let config = AlgorithmConfig {
+        init: InitStrategy::Random,
+        execution: ExecutionMode::Parallel { threads: 2 },
+        strategy: RoundStrategy::Auto,
+        counter_seed: seed ^ 0xc0de,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xd1ce);
+    let mut alg = factory.init(&g, &config, &mut rng);
+
+    for (i, &(kind, fraction, a, b)) in ops.iter().enumerate() {
+        match kind {
+            0 | 1 => alg.step(StepCtx::synchronous(&mut rng)),
+            2 => {
+                alg.inject_faults(fraction, &mut rng);
+            }
+            3 => {
+                overlay.apply(alg.as_mut());
+            }
+            _ => {
+                let delta = {
+                    let scenario = scenario_for(kind, fraction, a, b);
+                    let graph = alg.current_graph().expect("engine exposes its graph");
+                    generate_burst(scenario, graph, &mut rng)
+                };
+                alg.apply_mutation(&delta)
+                    .expect("generated burst is valid");
+                let graph = alg.current_graph().expect("engine exposes its graph");
+                let before = overlay.vertices().len();
+                overlay.resample_departed(graph);
+                twin.resample_departed(graph);
+
+                let after = overlay.vertices();
+                let ctx = format!("op {i} (kind {kind}), seed {seed}, {key}");
+                prop_assert!(after.len() <= before, "victim set grew: {ctx}");
+                let mut sorted = after.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert!(after == sorted, "set not canonical: {ctx}");
+                for &u in &after {
+                    prop_assert!(
+                        u < graph.n() && graph.degree(u) > 0,
+                        "victim {u} departed but survived re-sampling: {ctx}"
+                    );
+                }
+                prop_assert!(
+                    after == twin.vertices(),
+                    "re-sampling diverged from the twin replay: {ctx}"
+                );
+            }
+        }
+    }
     Ok(())
 }
 
@@ -215,5 +299,17 @@ proptest! {
         ops in ops_strategy(),
     ) {
         check_process("three-color", seed, n, p_edge, strategy_idx, &byz, &ops)?;
+    }
+
+    #[test]
+    fn adaptive_overlays_resample_deterministically_under_churn(
+        seed in 0u64..5_000,
+        n in 1usize..32,
+        p_edge in 0.0f64..0.4,
+        strategy_idx in 0usize..4,
+        byz in proptest::collection::vec(0usize..64, 0..4),
+        ops in ops_strategy(),
+    ) {
+        check_resample("two-state", seed, n, p_edge, strategy_idx, &byz, &ops)?;
     }
 }

@@ -169,12 +169,14 @@ fn emit_pretty(value: &Value, out: &mut String, indent: usize) -> Result<(), Err
 // ---------------------------------------------------------------------------
 
 struct Parser<'a> {
+    src: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
 
 fn parse(s: &str) -> Result<Value, Error> {
     let mut p = Parser {
+        src: s,
         bytes: s.as_bytes(),
         pos: 0,
     };
@@ -321,11 +323,18 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so this is safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::custom("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    // Consume one multi-byte UTF-8 scalar. The input is a
+                    // &str and the cursor only ever advances by whole
+                    // scalars, so `pos` is always a char boundary; slicing
+                    // here is an O(1) boundary check, not a revalidation of
+                    // the tail (which would make parsing quadratic in the
+                    // document size).
+                    let c = self.src[self.pos..].chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -429,6 +438,43 @@ mod tests {
         assert!(from_str::<Value>("{").is_err());
         assert!(from_str::<Value>("[1,]").is_err());
         assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn parses_raw_multibyte_scalars_in_strings() {
+        let v: Value = from_str("\"héllo wörld 😀 ascii tail\"").unwrap();
+        assert_eq!(v, Value::Str("héllo wörld 😀 ascii tail".into()));
+        let text = to_string(&Value::Str("π≈3.14159".into())).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, Value::Str("π≈3.14159".into()));
+    }
+
+    #[test]
+    fn parsing_large_documents_is_linear_in_input_size() {
+        // Regression guard: string characters were once consumed by
+        // revalidating the whole remaining input as UTF-8, making parse
+        // time quadratic in document size (a multi-MB snapshot took
+        // minutes). A ~2 MB document must parse in seconds, not minutes.
+        let row = "{\"id\": 123456, \"status\": \"finished\", \"note\": \"résumé\"}";
+        let doc = format!(
+            "[{}]",
+            std::iter::repeat_n(row, 40_000)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        assert!(doc.len() > 2_000_000);
+        let t0 = std::time::Instant::now();
+        let v: Value = from_str(&doc).unwrap();
+        let elapsed = t0.elapsed();
+        match v {
+            Value::Array(xs) => assert_eq!(xs.len(), 40_000),
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(
+            elapsed.as_secs() < 20,
+            "quadratic parse regression: {elapsed:?} for {} bytes",
+            doc.len()
+        );
     }
 
     #[test]

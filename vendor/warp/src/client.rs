@@ -1,11 +1,66 @@
 //! Minimal blocking HTTP/1.1 client with keep-alive and one reconnect
-//! retry — enough for the CI smoke gate and the load generator.
+//! retry — enough for the CI smoke gate and the load generator. An optional
+//! [`RetryPolicy`] upgrades it to exponential backoff with decorrelated
+//! jitter and a bounded retry budget for fault-injection workloads.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use crate::wire::{read_response, write_request};
 use crate::Method;
+
+/// Retry behaviour for [`Client::with_retry`].
+///
+/// Sleeps between attempts follow the "decorrelated jitter" scheme: each
+/// sleep is drawn uniformly from `[base, prev * 3]`, clamped to `cap`, so
+/// concurrent clients retrying after the same outage spread out instead of
+/// stampeding in lockstep.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retry budget: how many times a failed request may be retried (the
+    /// first attempt is not counted).
+    pub budget: u32,
+    /// Lower bound (and first-attempt base) for the backoff sleep.
+    pub base: Duration,
+    /// Upper clamp on any single backoff sleep.
+    pub cap: Duration,
+    /// Also retry responses with status 429/503 (honouring `Retry-After`
+    /// when present). IO errors are always retried.
+    pub retry_on_status: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            budget: 5,
+            base: Duration::from_millis(20),
+            cap: Duration::from_secs(2),
+            retry_on_status: false,
+        }
+    }
+}
+
+/// Tiny xorshift64* generator for jitter — not statistical quality, just
+/// decorrelation between concurrent clients (no external RNG dependency).
+fn jitter_step(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn decorrelated_sleep(policy: &RetryPolicy, prev: Duration, state: &mut u64) -> Duration {
+    let lo = policy.base.as_millis() as u64;
+    let hi = (prev.as_millis() as u64).saturating_mul(3).max(lo + 1);
+    let span = hi - lo;
+    let pick = lo + jitter_step(state) % span.max(1);
+    Duration::from_millis(pick).min(policy.cap)
+}
 
 /// A response received by [`Client`].
 #[derive(Debug, Clone)]
@@ -47,16 +102,39 @@ struct Connection {
 pub struct Client {
     addr: String,
     conn: Option<Connection>,
+    retry: Option<RetryPolicy>,
+    jitter_state: u64,
 }
 
 impl Client {
     /// A client for `addr` (e.g. `"127.0.0.1:7878"`). No connection is made
     /// until the first request.
     pub fn new(addr: impl Into<String>) -> Client {
+        let addr = addr.into();
+        let mut hasher = DefaultHasher::new();
+        addr.hash(&mut hasher);
+        let jitter_state = hasher.finish() | 1;
         Client {
-            addr: addr.into(),
+            addr,
             conn: None,
+            retry: None,
+            jitter_state,
         }
+    }
+
+    /// A client that retries failed requests under `policy` instead of the
+    /// default single reconnect attempt.
+    pub fn with_retry(addr: impl Into<String>, policy: RetryPolicy) -> Client {
+        let mut client = Client::new(addr);
+        client.retry = Some(policy);
+        client
+    }
+
+    /// Points the client at a new server address, dropping any kept-alive
+    /// connection (used when a restarted server comes back elsewhere).
+    pub fn set_addr(&mut self, addr: impl Into<String>) {
+        self.addr = addr.into();
+        self.conn = None;
     }
 
     fn connect(&mut self) -> io::Result<&mut Connection> {
@@ -97,12 +175,15 @@ impl Client {
         })
     }
 
-    /// Sends a request, reconnecting once if the kept-alive connection was
-    /// closed by the server in the meantime.
+    /// Sends a request. Without a [`RetryPolicy`] this reconnects once if
+    /// the kept-alive connection was closed by the server in the meantime;
+    /// with one ([`Client::with_retry`]) it retries IO failures — and
+    /// optionally 429/503 responses — with decorrelated-jitter backoff
+    /// until the retry budget runs out.
     ///
     /// # Errors
     ///
-    /// Propagates connect/IO failures after the reconnect retry.
+    /// Propagates connect/IO failures once the retry budget is exhausted.
     pub fn request(
         &mut self,
         method: Method,
@@ -110,14 +191,48 @@ impl Client {
         content_type: Option<&str>,
         body: Vec<u8>,
     ) -> io::Result<ClientResponse> {
-        let had_conn = self.conn.is_some();
-        match self.try_once(method, path, content_type, &body) {
-            Ok(resp) => Ok(resp),
-            Err(_) if had_conn => {
-                self.conn = None;
-                self.try_once(method, path, content_type, &body)
+        let Some(policy) = self.retry else {
+            let had_conn = self.conn.is_some();
+            return match self.try_once(method, path, content_type, &body) {
+                Ok(resp) => Ok(resp),
+                Err(_) if had_conn => {
+                    self.conn = None;
+                    self.try_once(method, path, content_type, &body)
+                }
+                Err(e) => Err(e),
+            };
+        };
+
+        let mut sleep = policy.base;
+        let mut remaining = policy.budget;
+        loop {
+            let outcome = self.try_once(method, path, content_type, &body);
+            match outcome {
+                Ok(resp) => {
+                    let shed = policy.retry_on_status && matches!(resp.status, 429 | 503);
+                    if !shed || remaining == 0 {
+                        return Ok(resp);
+                    }
+                    // Honour an explicit Retry-After (seconds) when the
+                    // server sheds load, otherwise back off with jitter.
+                    let hint = resp
+                        .header("retry-after")
+                        .and_then(|v| v.trim().parse::<u64>().ok())
+                        .map(Duration::from_secs);
+                    sleep = hint.unwrap_or_else(|| {
+                        decorrelated_sleep(&policy, sleep, &mut self.jitter_state)
+                    });
+                }
+                Err(e) => {
+                    self.conn = None;
+                    if remaining == 0 {
+                        return Err(e);
+                    }
+                    sleep = decorrelated_sleep(&policy, sleep, &mut self.jitter_state);
+                }
             }
-            Err(e) => Err(e),
+            remaining -= 1;
+            std::thread::sleep(sleep.min(policy.cap));
         }
     }
 

@@ -33,9 +33,10 @@ mod router;
 mod server;
 mod wire;
 
-pub use client::{Client, ClientResponse};
+pub use client::{Client, ClientResponse, RetryPolicy};
 pub use router::{Middleware, PathParams, Router, UNMATCHED};
-pub use server::{serve, Server, ServerBuilder};
+pub use server::{serve, Server, ServerBuilder, ServerConfig};
+pub use wire::{error_status, parse_request_bytes, Limits};
 
 use std::fmt;
 

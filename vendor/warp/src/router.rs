@@ -6,6 +6,7 @@
 //! every request through an optional [`Middleware`] — the hook the service
 //! uses for per-endpoint metrics.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -194,7 +195,7 @@ impl Router {
             Some(mw) => {
                 mw.on_request(pattern, request.method);
                 let start = Instant::now();
-                let response = run(request);
+                let response = contained(request, run);
                 mw.on_response(
                     pattern,
                     request.method,
@@ -203,7 +204,25 @@ impl Router {
                 );
                 response
             }
-            None => run(request),
+            None => contained(request, run),
+        }
+    }
+}
+
+/// Runs a handler with panic containment: a panicking handler becomes a 500
+/// response instead of unwinding (and silently killing) the connection
+/// thread, so the peer always gets an answer and keep-alive siblings on
+/// other connections are unaffected.
+fn contained(request: &Request, run: impl FnOnce(&Request) -> Response) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| run(request))) {
+        Ok(response) => response,
+        Err(panic) => {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "handler panicked".to_string());
+            Response::json(500, format!("{{\"error\":{:?}}}", detail))
         }
     }
 }
@@ -239,7 +258,15 @@ mod tests {
     fn body_text(r: Response) -> String {
         match r.body {
             crate::Body::Bytes(b) => String::from_utf8(b).unwrap(),
-            crate::Body::Stream(_) => panic!("expected bytes"),
+            // Drain streamed bodies instead of panicking: assertion failures
+            // should come from the comparison, not from the helper.
+            crate::Body::Stream(mut chunks) => {
+                let mut all = Vec::new();
+                while let Some(chunk) = chunks() {
+                    all.extend_from_slice(&chunk);
+                }
+                String::from_utf8(all).unwrap()
+            }
         }
     }
 
@@ -303,5 +330,34 @@ mod tests {
         let patterns = router().patterns();
         assert_eq!(patterns.len(), 5);
         assert!(patterns.contains(&(Method::Patch, "/v1/graphs/:id/edges".to_string())));
+    }
+
+    #[test]
+    fn panicking_handler_becomes_a_500() {
+        let r = Router::new()
+            .get("/boom", |_, _| -> Response { panic!("handler exploded") })
+            .get("/ok", |_, _| Response::text(200, "fine"));
+        let resp = r.dispatch(&req(Method::Get, "/boom"));
+        assert_eq!(resp.status, 500);
+        assert!(body_text(resp).contains("handler exploded"));
+        // The router stays usable after containing a panic.
+        assert_eq!(r.dispatch(&req(Method::Get, "/ok")).status, 200);
+    }
+
+    #[test]
+    fn middleware_records_contained_panics_as_500() {
+        struct LastStatus(AtomicU64);
+        impl Middleware for LastStatus {
+            fn on_request(&self, _p: &str, _m: Method) {}
+            fn on_response(&self, _p: &str, _m: Method, status: u16, _elapsed: u64) {
+                self.0.store(status as u64, Ordering::Relaxed);
+            }
+        }
+        let last = Arc::new(LastStatus(AtomicU64::new(0)));
+        let r = Router::new()
+            .get("/boom", |_, _| -> Response { panic!("nope") })
+            .with_middleware(last.clone());
+        r.dispatch(&req(Method::Get, "/boom"));
+        assert_eq!(last.0.load(Ordering::Relaxed), 500);
     }
 }

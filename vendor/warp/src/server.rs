@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crate::wire::{read_request, write_response, ReadOutcome};
+use crate::wire::{error_status, read_request, write_response, Limits, ReadOutcome};
 use crate::{Response, Router};
 
 /// How often blocked reads and the accept loop re-check the shutdown flag.
@@ -21,18 +21,48 @@ const POLL_INTERVAL: Duration = Duration::from_millis(50);
 /// Upper bound on waiting for in-flight connections during shutdown.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
 
+/// Per-connection robustness knobs: parsing limits, the slow-client
+/// eviction deadline (see [`Limits`]), and a socket write timeout so a
+/// stalled reader cannot wedge a connection thread mid-response.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Request parsing limits and slow-client deadline.
+    pub limits: Limits,
+    /// Socket write timeout for responses; `None` blocks indefinitely.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            limits: Limits::default(),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
 /// Starts building a server around `router`. Call
 /// [`bind`](ServerBuilder::bind) to start listening.
 pub fn serve(router: Router) -> ServerBuilder {
-    ServerBuilder { router }
+    ServerBuilder {
+        router,
+        config: ServerConfig::default(),
+    }
 }
 
 /// Intermediate builder returned by [`serve`].
 pub struct ServerBuilder {
     router: Router,
+    config: ServerConfig,
 }
 
 impl ServerBuilder {
+    /// Overrides the default [`ServerConfig`].
+    pub fn config(mut self, config: ServerConfig) -> ServerBuilder {
+        self.config = config;
+        self
+    }
+
     /// Binds the listener and starts the accept loop. Bind to port 0 for an
     /// ephemeral port (see [`Server::local_addr`]).
     ///
@@ -46,11 +76,12 @@ impl ServerBuilder {
         let shutdown = Arc::new(AtomicBool::new(false));
         let live = Arc::new(AtomicUsize::new(0));
         let router = Arc::new(self.router);
+        let config = self.config;
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let live = Arc::clone(&live);
-            thread::spawn(move || accept_loop(listener, router, shutdown, live))
+            thread::spawn(move || accept_loop(listener, router, shutdown, live, config))
         };
 
         Ok(Server {
@@ -58,6 +89,7 @@ impl ServerBuilder {
             shutdown,
             live,
             accept: Some(accept),
+            skip_drain: false,
         })
     }
 }
@@ -68,6 +100,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     live: Arc<AtomicUsize>,
     accept: Option<thread::JoinHandle<()>>,
+    skip_drain: bool,
 }
 
 impl Server {
@@ -82,10 +115,23 @@ impl Server {
         self.shutdown_inner();
     }
 
+    /// Hard stop: stops accepting and returns without draining in-flight
+    /// connections — they notice the shutdown flag within one poll tick and
+    /// die with their requests unanswered. This models a process crash for
+    /// fault-injection tests; prefer [`shutdown`](Server::shutdown) for a
+    /// clean exit.
+    pub fn abort(mut self) {
+        self.skip_drain = true;
+        self.shutdown_inner();
+    }
+
     fn shutdown_inner(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        if self.skip_drain {
+            return;
         }
         let deadline = Instant::now() + DRAIN_DEADLINE;
         while self.live.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
@@ -114,6 +160,7 @@ fn accept_loop(
     router: Arc<Router>,
     shutdown: Arc<AtomicBool>,
     live: Arc<AtomicUsize>,
+    config: ServerConfig,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -124,7 +171,7 @@ fn accept_loop(
                 let shutdown = Arc::clone(&shutdown);
                 thread::spawn(move || {
                     let _guard = guard;
-                    handle_connection(stream, &router, &shutdown);
+                    handle_connection(stream, &router, &shutdown, &config);
                 });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -135,10 +182,16 @@ fn accept_loop(
     }
 }
 
-fn handle_connection(stream: TcpStream, router: &Router, shutdown: &AtomicBool) {
+fn handle_connection(
+    stream: TcpStream,
+    router: &Router,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
+    let _ = stream.set_write_timeout(config.write_timeout);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -147,10 +200,16 @@ fn handle_connection(stream: TcpStream, router: &Router, shutdown: &AtomicBool) 
     let abort = || shutdown.load(Ordering::SeqCst);
 
     loop {
-        let outcome = match read_request(&mut reader, &abort) {
+        let outcome = match read_request(&mut reader, &abort, &config.limits) {
             Ok(outcome) => outcome,
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let resp = Response::json(400, format!("{{\"error\":{:?}}}", e.to_string()));
+            Err(e)
+                if e.kind() == io::ErrorKind::InvalidData
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Malformed, over-limit, or too-slow input: answer with the
+                // matching status (400 / 413 / 408) and evict the peer.
+                let status = error_status(&e);
+                let resp = Response::json(status, format!("{{\"error\":{:?}}}", e.to_string()));
                 let _ = write_response(&mut writer, resp, false);
                 return;
             }
@@ -270,6 +329,70 @@ mod tests {
         }
         assert_eq!(hits.load(Ordering::Relaxed), 160);
         server.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_get_classified_statuses() {
+        use std::io::{Read as _, Write as _};
+        let server = test_server();
+        let addr = server.local_addr();
+
+        let mut garbage = TcpStream::connect(addr).unwrap();
+        garbage.write_all(b"NOT-HTTP nonsense\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        let _ = garbage.read_to_string(&mut reply);
+        assert!(reply.starts_with("HTTP/1.1 400"), "got: {reply}");
+
+        let mut oversized = TcpStream::connect(addr).unwrap();
+        oversized.write_all(b"GET /ping HTTP/1.1\r\n").unwrap();
+        let big = format!("x-big: {}\r\n\r\n", "y".repeat(crate::wire::MAX_HEAD_BYTES));
+        oversized.write_all(big.as_bytes()).unwrap();
+        let mut reply = String::new();
+        let _ = oversized.read_to_string(&mut reply);
+        assert!(reply.starts_with("HTTP/1.1 413"), "got: {reply}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_clients_are_evicted_with_408() {
+        use std::io::{Read as _, Write as _};
+        let router = Router::new().get("/ping", |_, _| Response::text(200, "pong"));
+        let config = ServerConfig {
+            limits: crate::wire::Limits {
+                request_deadline: Some(Duration::from_millis(300)),
+                ..crate::wire::Limits::default()
+            },
+            ..ServerConfig::default()
+        };
+        let server = serve(router).config(config).bind("127.0.0.1:0").unwrap();
+
+        let mut slow = TcpStream::connect(server.local_addr()).unwrap();
+        // Trickle a request head one fragment at a time, slower than the
+        // deadline allows.
+        let start = Instant::now();
+        for fragment in ["GET /pi", "ng HT", "TP/1.1\r", "\n", "x-slow: 1\r"] {
+            let _ = slow.write_all(fragment.as_bytes());
+            thread::sleep(Duration::from_millis(150));
+        }
+        let mut reply = String::new();
+        let _ = slow.read_to_string(&mut reply);
+        assert!(
+            reply.starts_with("HTTP/1.1 408") || reply.is_empty(),
+            "got: {reply}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(5));
+        server.shutdown();
+    }
+
+    #[test]
+    fn abort_returns_without_draining() {
+        let server = test_server();
+        let mut client = Client::new(server.local_addr().to_string());
+        assert_eq!(client.get("/ping").unwrap().status, 200);
+        let start = Instant::now();
+        server.abort();
+        assert!(start.elapsed() < Duration::from_secs(2));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! connection thread parked on a keep-alive read unblocks within one timeout
 //! tick of shutdown being requested.
 
+use std::error::Error;
+use std::fmt;
 use std::io::{self, BufRead, Read, Write};
+use std::time::{Duration, Instant};
 
 use crate::{Body, Method, Request, Response};
 
@@ -17,7 +20,113 @@ pub(crate) const MAX_HEAD_BYTES: usize = 64 * 1024;
 /// beyond this is a client error, not a workload).
 pub(crate) const MAX_BODY_BYTES: usize = 1 << 30;
 
+/// Default bound on how long a single request may take to arrive once its
+/// first byte has been read (slowloris eviction). Idle keep-alive waits are
+/// not counted.
+pub(crate) const DEFAULT_REQUEST_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Parsing limits applied to an incoming request.
+///
+/// `request_deadline` bounds the wall-clock time between the first byte of a
+/// request arriving and the full head + body being read; a connection that
+/// trickles bytes slower than that is evicted with a 408.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Upper bound on the request line plus headers, in bytes (maps to 413).
+    pub max_head_bytes: usize,
+    /// Upper bound on the declared request body, in bytes (maps to 413).
+    pub max_body_bytes: usize,
+    /// Slow-client eviction deadline; `None` disables it (maps to 408).
+    pub request_deadline: Option<Duration>,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_head_bytes: MAX_HEAD_BYTES,
+            max_body_bytes: MAX_BODY_BYTES,
+            request_deadline: Some(DEFAULT_REQUEST_DEADLINE),
+        }
+    }
+}
+
+/// Error payload carrying the HTTP status a wire failure should map to, so
+/// the server can distinguish 413 (limit exceeded) and 408 (slow client)
+/// from plain 400 parse errors.
+#[derive(Debug)]
+struct WireError {
+    status: u16,
+    msg: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl Error for WireError {}
+
+/// Maps a wire-level error to the HTTP status the server should answer with
+/// before closing the connection: 413 for exceeded limits, 408 for a
+/// slow-client eviction, 400 for any other malformed input.
+pub fn error_status(e: &io::Error) -> u16 {
+    if let Some(wire) = e
+        .get_ref()
+        .and_then(|inner| inner.downcast_ref::<WireError>())
+    {
+        return wire.status;
+    }
+    match e.kind() {
+        io::ErrorKind::TimedOut => 408,
+        _ => 400,
+    }
+}
+
+/// Tracks when the current request started arriving, for slow-client
+/// eviction. The clock only starts on the first byte, so idle keep-alive
+/// connections are never evicted.
+struct RequestClock {
+    deadline: Option<Duration>,
+    started: Option<Instant>,
+}
+
+impl RequestClock {
+    fn new(deadline: Option<Duration>) -> RequestClock {
+        RequestClock {
+            deadline,
+            started: None,
+        }
+    }
+
+    fn idle() -> RequestClock {
+        RequestClock::new(None)
+    }
+
+    fn note_progress(&mut self) {
+        if self.deadline.is_some() && self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    fn check(&self) -> io::Result<()> {
+        if let (Some(deadline), Some(started)) = (self.deadline, self.started) {
+            if started.elapsed() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    WireError {
+                        status: 408,
+                        msg: "request timed out (slow client)".to_string(),
+                    },
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// What reading one request from a connection produced.
+#[derive(Debug)]
 pub(crate) enum ReadOutcome {
     /// A complete request.
     Request(Request),
@@ -29,7 +138,23 @@ pub(crate) enum ReadOutcome {
 }
 
 fn invalid(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        WireError {
+            status: 400,
+            msg: msg.to_string(),
+        },
+    )
+}
+
+fn too_large(msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        WireError {
+            status: 413,
+            msg: msg.to_string(),
+        },
+    )
 }
 
 fn is_timeout(e: &io::Error) -> bool {
@@ -41,40 +166,57 @@ fn is_timeout(e: &io::Error) -> bool {
 
 /// Reads one `\n`-terminated line, retrying on read timeouts until `abort`
 /// says otherwise. Returns `None` on clean EOF before any byte of the line.
+///
+/// Works over `fill_buf`/`consume` rather than `read_until` so the head
+/// budget and the slow-client clock are checked between socket reads — a
+/// peer trickling one byte per timeout tick cannot buffer an unbounded line
+/// or hold the connection past its deadline.
 fn read_line<R: BufRead>(
     reader: &mut R,
     abort: &dyn Fn() -> bool,
     budget: &mut usize,
+    clock: &mut RequestClock,
 ) -> io::Result<Option<String>> {
     let mut buf = Vec::new();
     loop {
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(_) => {
-                if buf.is_empty() {
-                    return Ok(None);
-                }
-                if buf.last() != Some(&b'\n') {
-                    return Err(invalid("connection closed mid-line"));
-                }
-                if buf.len() > *budget {
-                    return Err(invalid("request head too large"));
-                }
-                *budget -= buf.len();
-                while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
-                    buf.pop();
-                }
-                return String::from_utf8(buf)
-                    .map(Some)
-                    .map_err(|_| invalid("non-UTF-8 request head"));
-            }
+        let available = match reader.fill_buf() {
+            Ok(chunk) => chunk,
             Err(e) if is_timeout(&e) => {
                 if abort() {
                     return Err(io::Error::new(io::ErrorKind::Interrupted, "aborted"));
                 }
+                clock.check()?;
+                continue;
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(invalid("connection closed mid-line"));
         }
+        let (consumed, complete) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (available.len(), false),
+        };
+        buf.extend_from_slice(&available[..consumed]);
+        reader.consume(consumed);
+        clock.note_progress();
+        if buf.len() > *budget {
+            return Err(too_large("request head too large"));
+        }
+        if complete {
+            *budget -= buf.len();
+            while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+                buf.pop();
+            }
+            return String::from_utf8(buf)
+                .map(Some)
+                .map_err(|_| invalid("non-UTF-8 request head"));
+        }
+        clock.check()?;
     }
 }
 
@@ -84,17 +226,23 @@ fn read_exact_abortable<R: Read>(
     reader: &mut R,
     len: usize,
     abort: &dyn Fn() -> bool,
+    clock: &mut RequestClock,
 ) -> io::Result<Vec<u8>> {
     let mut body = vec![0u8; len];
     let mut filled = 0;
     while filled < len {
         match reader.read(&mut body[filled..]) {
             Ok(0) => return Err(invalid("connection closed mid-body")),
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                clock.note_progress();
+                clock.check()?;
+            }
             Err(e) if is_timeout(&e) => {
                 if abort() {
                     return Err(io::Error::new(io::ErrorKind::Interrupted, "aborted"));
                 }
+                clock.check()?;
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
@@ -157,9 +305,11 @@ fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
 pub(crate) fn read_request<R: BufRead>(
     reader: &mut R,
     abort: &dyn Fn() -> bool,
+    limits: &Limits,
 ) -> io::Result<ReadOutcome> {
-    let mut budget = MAX_HEAD_BYTES;
-    let request_line = match read_line(reader, abort, &mut budget) {
+    let mut budget = limits.max_head_bytes;
+    let mut clock = RequestClock::new(limits.request_deadline);
+    let request_line = match read_line(reader, abort, &mut budget, &mut clock) {
         Ok(Some(line)) => line,
         Ok(None) => return Ok(ReadOutcome::Closed),
         Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(ReadOutcome::Aborted),
@@ -180,7 +330,7 @@ pub(crate) fn read_request<R: BufRead>(
 
     let mut headers = Vec::new();
     loop {
-        let line = match read_line(reader, abort, &mut budget) {
+        let line = match read_line(reader, abort, &mut budget, &mut clock) {
             Ok(Some(line)) => line,
             Ok(None) => return Err(invalid("connection closed mid-headers")),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(ReadOutcome::Aborted),
@@ -204,14 +354,14 @@ pub(crate) fn read_request<R: BufRead>(
         })
         .transpose()?
         .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(invalid("request body too large"));
+    if content_length > limits.max_body_bytes {
+        return Err(too_large("request body too large"));
     }
     if headers.iter().any(|(k, _)| k == "transfer-encoding") {
         return Err(invalid("chunked request bodies are not supported"));
     }
     let body = if content_length > 0 {
-        match read_exact_abortable(reader, content_length, abort) {
+        match read_exact_abortable(reader, content_length, abort, &mut clock) {
             Ok(body) => body,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(ReadOutcome::Aborted),
             Err(e) => return Err(e),
@@ -239,8 +389,11 @@ pub(crate) fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
+        413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -324,7 +477,8 @@ pub(crate) struct WireResponse {
 pub(crate) fn read_response<R: BufRead>(reader: &mut R) -> io::Result<WireResponse> {
     let abort = || false;
     let mut budget = MAX_HEAD_BYTES;
-    let status_line = read_line(reader, &abort, &mut budget)?
+    let mut clock = RequestClock::idle();
+    let status_line = read_line(reader, &abort, &mut budget, &mut clock)?
         .ok_or_else(|| invalid("connection closed before status line"))?;
     let mut parts = status_line.split_ascii_whitespace();
     let version = parts.next().ok_or_else(|| invalid("missing version"))?;
@@ -338,7 +492,7 @@ pub(crate) fn read_response<R: BufRead>(reader: &mut R) -> io::Result<WireRespon
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(reader, &abort, &mut budget)?
+        let line = read_line(reader, &abort, &mut budget, &mut clock)?
             .ok_or_else(|| invalid("connection closed mid-headers"))?;
         if line.is_empty() {
             break;
@@ -355,21 +509,21 @@ pub(crate) fn read_response<R: BufRead>(reader: &mut R) -> io::Result<WireRespon
     let body = if chunked {
         let mut body = Vec::new();
         loop {
-            let size_line = read_line(reader, &abort, &mut budget.max(1024))?
+            let size_line = read_line(reader, &abort, &mut budget.max(1024), &mut clock)?
                 .ok_or_else(|| invalid("connection closed mid-chunks"))?;
             let size = usize::from_str_radix(size_line.trim(), 16)
                 .map_err(|_| invalid("bad chunk size"))?;
             if size == 0 {
                 // Trailing CRLF after the terminal chunk.
-                let _ = read_line(reader, &abort, &mut 1024)?;
+                let _ = read_line(reader, &abort, &mut 1024, &mut clock)?;
                 break;
             }
             if body.len() + size > MAX_BODY_BYTES {
                 return Err(invalid("response body too large"));
             }
-            body.extend_from_slice(&read_exact_abortable(reader, size, &abort)?);
+            body.extend_from_slice(&read_exact_abortable(reader, size, &abort, &mut clock)?);
             // Chunk payload is followed by CRLF.
-            let _ = read_exact_abortable(reader, 2, &abort)?;
+            let _ = read_exact_abortable(reader, 2, &abort, &mut clock)?;
         }
         body
     } else {
@@ -385,7 +539,7 @@ pub(crate) fn read_response<R: BufRead>(reader: &mut R) -> io::Result<WireRespon
         if len > MAX_BODY_BYTES {
             return Err(invalid("response body too large"));
         }
-        read_exact_abortable(reader, len, &abort)?
+        read_exact_abortable(reader, len, &abort, &mut clock)?
     };
 
     Ok(WireResponse {
@@ -395,6 +549,22 @@ pub(crate) fn read_response<R: BufRead>(reader: &mut R) -> io::Result<WireRespon
     })
 }
 
+/// Parses a single request from an in-memory byte buffer, applying `limits`.
+///
+/// Returns `Ok(Some(request))` for a complete request, `Ok(None)` for clean
+/// EOF before any byte, and `Err` for malformed or over-limit input — feed
+/// the error to [`error_status`] for the 400/408/413 the server would answer
+/// with. This is the fuzzing and proxy hook: it exercises exactly the code
+/// path `serve` runs on live connections.
+pub fn parse_request_bytes(raw: &[u8], limits: &Limits) -> io::Result<Option<Request>> {
+    let mut reader = io::BufReader::new(io::Cursor::new(raw.to_vec()));
+    match read_request(&mut reader, &|| false, limits)? {
+        ReadOutcome::Request(request) => Ok(Some(request)),
+        ReadOutcome::Closed => Ok(None),
+        ReadOutcome::Aborted => Err(invalid("aborted")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,7 +572,7 @@ mod tests {
 
     fn parse(raw: &[u8]) -> io::Result<ReadOutcome> {
         let mut reader = BufReader::new(Cursor::new(raw.to_vec()));
-        read_request(&mut reader, &|| false)
+        read_request(&mut reader, &|| false, &Limits::default())
     }
 
     #[test]
@@ -438,7 +608,33 @@ mod tests {
     fn rejects_oversized_heads() {
         let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
         raw.extend_from_slice(format!("x-big: {}\r\n\r\n", "y".repeat(MAX_HEAD_BYTES)).as_bytes());
-        assert!(parse(&raw).is_err());
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(error_status(&err), 413);
+    }
+
+    #[test]
+    fn error_statuses_distinguish_parse_from_limit_failures() {
+        let parse_err = parse(b"BREW /pot HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(error_status(&parse_err), 400);
+
+        let limits = Limits {
+            max_body_bytes: 8,
+            ..Limits::default()
+        };
+        let big_body = b"POST /x HTTP/1.1\r\ncontent-length: 9\r\n\r\n123456789";
+        let err = parse_request_bytes(big_body, &limits).unwrap_err();
+        assert_eq!(error_status(&err), 413);
+    }
+
+    #[test]
+    fn parse_request_bytes_mirrors_read_request() {
+        let limits = Limits::default();
+        let req = parse_request_bytes(b"GET /v1/healthz HTTP/1.1\r\n\r\n", &limits)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/v1/healthz");
+        assert!(parse_request_bytes(b"", &limits).unwrap().is_none());
+        assert!(parse_request_bytes(b"garbage\r\n\r\n", &limits).is_err());
     }
 
     #[test]

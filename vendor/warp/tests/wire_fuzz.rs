@@ -1,0 +1,194 @@
+//! Property fuzz of the request parser ([`warp::parse_request_bytes`]),
+//! which exercises exactly the code path `serve` runs on live connection
+//! bytes. The properties:
+//!
+//! 1. **No panic, ever** — arbitrary bytes, truncations of valid requests,
+//!    hostile header blocks, and binary garbage all return `Ok`/`Err`,
+//!    never unwind;
+//! 2. **Every parse error maps to a client-visible status** — feeding the
+//!    error to [`warp::error_status`] yields 400 (malformed) or 413 (over
+//!    limit); nothing falls through to a 5xx or a connection-only failure
+//!    (408 needs a wall clock and cannot happen on an in-memory buffer);
+//! 3. **Limits are enforced** — oversized header blocks and oversized
+//!    declared bodies are rejected with 413, chunked transfer encoding and
+//!    non-UTF-8 request heads with 400;
+//! 4. **Truncation never fabricates a request** — any strict prefix of a
+//!    valid request with a body either fails to parse or (for the empty
+//!    prefix) reports a clean EOF; it never yields a request with the
+//!    wrong body.
+
+use proptest::prelude::*;
+use warp::{error_status, parse_request_bytes, Limits};
+
+const PATH_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/_-";
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz-0123456789";
+const VALUE_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz 0123456789.;=";
+const UPPER_CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+/// Maps charset indices (what the stand-in proptest can generate) to a
+/// string over that charset.
+fn pick_string(charset: &[u8], picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| charset[i % charset.len()] as char)
+        .collect()
+}
+
+fn small_limits() -> Limits {
+    Limits {
+        max_head_bytes: 256,
+        max_body_bytes: 1024,
+        request_deadline: None,
+    }
+}
+
+/// A syntactically valid request with a `Content-Length` body.
+fn valid_request(path: &str, headers: &[(String, String)], body: &[u8]) -> Vec<u8> {
+    let mut raw = format!("POST {path} HTTP/1.1\r\n");
+    for (name, value) in headers {
+        raw.push_str(&format!("{name}: {value}\r\n"));
+    }
+    raw.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    let mut bytes = raw.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_errors_stay_client_side(
+        raw in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        for limits in [Limits::default(), small_limits()] {
+            match parse_request_bytes(&raw, &limits) {
+                Ok(Some(req)) => prop_assert!(req.body.len() <= limits.max_body_bytes),
+                Ok(None) => prop_assert!(raw.is_empty(), "EOF reported on non-empty input"),
+                Err(e) => {
+                    let status = error_status(&e);
+                    prop_assert!(status == 400 || status == 413, "mapped to {status}: {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn http_shaped_garbage_never_panics(
+        method in proptest::collection::vec(0usize..26, 1..9),
+        target in proptest::collection::vec(0x20u8..0x7f, 0..64),
+        version in proptest::collection::vec(0x20u8..0x7f, 0..13),
+        tail in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut raw = pick_string(UPPER_CHARS, &method).into_bytes();
+        raw.push(b' ');
+        raw.extend_from_slice(&target);
+        raw.push(b' ');
+        raw.extend_from_slice(&version);
+        raw.extend_from_slice(b"\r\n");
+        raw.extend_from_slice(&tail);
+        for limits in [Limits::default(), small_limits()] {
+            if let Err(e) = parse_request_bytes(&raw, &limits) {
+                let status = error_status(&e);
+                prop_assert!(status == 400 || status == 413, "mapped to {status}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_valid_requests_never_fabricate_a_request(
+        path_picks in proptest::collection::vec(0usize..64, 0..25),
+        header_picks in proptest::collection::vec(
+            (
+                proptest::collection::vec(0usize..64, 1..12),
+                proptest::collection::vec(0usize..64, 0..24),
+            ),
+            0..5,
+        ),
+        body in proptest::collection::vec(any::<u8>(), 1..128),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let path = format!("/{}", pick_string(PATH_CHARS, &path_picks));
+        let headers: Vec<(String, String)> = header_picks
+            .iter()
+            .map(|(n, v)| {
+                // A leading letter keeps the name parseable after trim.
+                (format!("x{}", pick_string(NAME_CHARS, n)), pick_string(VALUE_CHARS, v))
+            })
+            .collect();
+        let full = valid_request(&path, &headers, &body);
+        let limits = Limits::default();
+
+        // The full request parses and round-trips its parts.
+        let req = parse_request_bytes(&full, &limits)
+            .expect("valid request must parse")
+            .expect("valid request is not EOF");
+        prop_assert_eq!(&req.path, &path);
+        prop_assert_eq!(&req.body, &body);
+
+        // Any strict prefix is an error (or a clean EOF when empty).
+        let cut = ((full.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < full.len());
+        match parse_request_bytes(&full[..cut], &limits) {
+            Ok(Some(early)) => prop_assert!(
+                false,
+                "truncation at {cut}/{} fabricated a request with body {:?}",
+                full.len(),
+                early.body
+            ),
+            Ok(None) => prop_assert!(cut == 0, "EOF reported mid-request at {cut}"),
+            Err(e) => {
+                let status = error_status(&e);
+                prop_assert!(status == 400 || status == 413, "mapped to {status}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_header_blocks_are_rejected_with_413(
+        pad in 257usize..2048,
+    ) {
+        let raw = format!("GET /ok HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(pad));
+        let e = parse_request_bytes(raw.as_bytes(), &small_limits())
+            .expect_err("head beyond max_head_bytes must be rejected");
+        prop_assert_eq!(error_status(&e), 413);
+    }
+
+    #[test]
+    fn oversized_declared_bodies_are_rejected_with_413(
+        declared in 1025usize..usize::MAX / 2,
+    ) {
+        let raw = format!("POST /ok HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        let e = parse_request_bytes(raw.as_bytes(), &small_limits())
+            .expect_err("body beyond max_body_bytes must be rejected");
+        prop_assert_eq!(error_status(&e), 413);
+    }
+
+    #[test]
+    fn chunked_encoding_is_rejected_with_400(
+        size_picks in proptest::collection::vec(0usize..16, 1..5),
+    ) {
+        let chunks = pick_string(b"0123456789abcdef", &size_picks);
+        let raw = format!(
+            "POST /ok HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n{chunks}\r\nxx\r\n0\r\n\r\n"
+        );
+        let e = parse_request_bytes(raw.as_bytes(), &Limits::default())
+            .expect_err("chunked bodies are unsupported and must be rejected");
+        prop_assert_eq!(error_status(&e), 400);
+    }
+
+    #[test]
+    fn non_utf8_request_heads_are_rejected_with_400(
+        junk in proptest::collection::vec(0x80u8..=0xff, 1..32),
+    ) {
+        let mut raw = b"GET /".to_vec();
+        raw.extend_from_slice(&junk);
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        // Random high bytes can happen to be valid UTF-8 (e.g. a two-byte
+        // sequence); only a head that is *not* valid UTF-8 must map to 400.
+        prop_assume!(String::from_utf8(raw.clone()).is_err());
+        let e = parse_request_bytes(&raw, &Limits::default())
+            .expect_err("non-UTF-8 head must be rejected");
+        prop_assert_eq!(error_status(&e), 400);
+    }
+}
